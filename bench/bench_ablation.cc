@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation study for the architectural design choices DESIGN.md calls
+ * out (not a paper figure, but the paper's Table III picks specific
+ * values for each): queue depth (24), reference-accelerator memory
+ * parallelism, SMT thread count, and the value-forwarding pass. Run on
+ * BFS over the road-network training input.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace phloem;
+
+namespace {
+
+double
+runBfs(const sim::SysConfig& cfg, const comp::CompileOptions& copts)
+{
+    wl::Workload bfs = wl::findWorkload("bfs");
+    driver::Experiment exp(bfs, cfg);
+    const wl::Case* c = nullptr;
+    for (const auto& cc : bfs.cases)
+        if (cc.inputName == "USA-road-d-NY")
+            c = &cc;
+    uint64_t serial = exp.serialCycles(*c);
+    auto res = exp.compileStatic(copts);
+    if (!res.ok())
+        return 0.0;
+    auto out = exp.runPipeline(*c, *res.pipeline);
+    if (!out.correct)
+        return 0.0;
+    return static_cast<double>(serial) /
+           static_cast<double>(out.stats.cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: BFS pipeline speedup vs design choices "
+                "(road network) ===\n\n");
+
+    std::printf("queue depth (Table III: 24):\n");
+    for (int depth : {2, 4, 8, 16, 24, 48, 96}) {
+        sim::SysConfig cfg = bench::evalConfig();
+        cfg.queueDepth = depth;
+        std::printf("  depth %-4d %5.2fx\n", depth,
+                    runBfs(cfg, comp::CompileOptions{}));
+    }
+
+    std::printf("\nRA outstanding requests:\n");
+    for (int inflight : {1, 2, 4, 8, 16, 32}) {
+        sim::SysConfig cfg = bench::evalConfig();
+        cfg.raMaxInflight = inflight;
+        std::printf("  inflight %-4d %5.2fx\n", inflight,
+                    runBfs(cfg, comp::CompileOptions{}));
+    }
+
+    std::printf("\npipeline depth (stage-thread budget):\n");
+    for (int stages : {2, 3, 4, 6, 8}) {
+        sim::SysConfig cfg = bench::evalConfig();
+        cfg.threadsPerCore = std::max(4, stages);
+        comp::CompileOptions copts;
+        copts.numStages = stages;
+        std::printf("  %d stages  %5.2fx\n", stages, runBfs(cfg, copts));
+    }
+
+    std::printf("\nmispredict penalty (paper-era cores ~14 cycles):\n");
+    for (int penalty : {0, 7, 14, 28}) {
+        sim::SysConfig cfg = bench::evalConfig();
+        cfg.mispredictPenalty = penalty;
+        std::printf("  penalty %-4d %5.2fx\n", penalty,
+                    runBfs(cfg, comp::CompileOptions{}));
+    }
+
+    std::printf("\npass toggles (from the full compiler):\n");
+    {
+        comp::CompileOptions base;
+        struct Row
+        {
+            const char* label;
+            comp::CompileOptions opts;
+        };
+        comp::CompileOptions no_ra = base;
+        no_ra.referenceAccelerators = false;
+        comp::CompileOptions no_cv = base;
+        no_cv.controlValues = false;
+        comp::CompileOptions no_dce = base;
+        no_dce.dce = false;
+        comp::CompileOptions no_ch = base;
+        no_ch.handlers = false;
+        comp::CompileOptions no_rec = base;
+        no_rec.recompute = false;
+        const Row rows[] = {
+            {"full", base},           {"-recompute", no_rec},
+            {"-accelerators", no_ra}, {"-control values", no_cv},
+            {"-dce", no_dce},         {"-handlers", no_ch},
+        };
+        for (const auto& r : rows) {
+            comp::CompileOptions o = r.opts;
+            o.maxQueues = 64;
+            std::printf("  %-18s %5.2fx\n", r.label,
+                        runBfs(bench::evalConfig(), o));
+        }
+    }
+    return 0;
+}

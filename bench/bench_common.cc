@@ -1,0 +1,113 @@
+#include "bench/bench_common.h"
+
+#include <sstream>
+
+#include "base/stats_util.h"
+#include "ir/printer.h"
+
+namespace phloem::bench {
+
+namespace {
+
+std::string
+shapeOf(const ir::Pipeline& p)
+{
+    std::ostringstream oss;
+    oss << p.stages.size() << " stages + " << p.ras.size()
+        << " RAs (length " << p.lengthWithRAs() << ")";
+    return oss.str();
+}
+
+VariantRun
+toRun(const driver::RunOutcome& out, const sim::SysConfig& cfg)
+{
+    VariantRun r;
+    r.ok = out.correct;
+    r.cycles = out.stats.cycles;
+    r.stats = out.stats;
+    r.energy = sim::computeEnergy(out.stats, sim::EnergyConfig{},
+                                  cfg.numCores);
+    r.error = out.error;
+    return r;
+}
+
+} // namespace
+
+WorkloadRuns
+runWorkloadSuite(const wl::Workload& workload, const SuiteOptions& opts)
+{
+    WorkloadRuns runs;
+    runs.workload = workload.name;
+
+    sim::SysConfig cfg = evalConfig(opts.cores);
+    driver::Experiment exp(workload, cfg);
+
+    // Compile the pipelines once.
+    comp::CompileOptions copts;
+    copts.numStages = workload.maxThreads;
+    comp::CompileResult static_pipe = exp.compileStatic(copts);
+    if (static_pipe.pipeline != nullptr)
+        runs.staticShape = shapeOf(*static_pipe.pipeline);
+
+    const ir::Pipeline* pgo_pipe = nullptr;
+    if (opts.runPgo) {
+        comp::AutotuneOptions aopts;
+        aopts.maxThreads = workload.maxThreads;
+        aopts.topK = workload.pgoTopK;
+        aopts.base = copts;
+        aopts.base.shrinkToFit = false;  // candidates verify individually
+        runs.autotune = exp.autotunePGO(aopts);
+        if (runs.autotune.best.pipeline != nullptr) {
+            pgo_pipe = runs.autotune.best.pipeline.get();
+            runs.pgoShape = shapeOf(*pgo_pipe);
+        }
+    }
+
+    ir::PipelinePtr manual;
+    if (opts.runManual)
+        manual = exp.buildManual();
+
+    for (const auto& c : workload.cases) {
+        if (c.training == opts.testInputs)
+            continue;
+        InputRuns in;
+        in.input = c.inputName;
+
+        driver::RunOutcome serial = exp.runSerial(c);
+        in.serialCycles = serial.stats.cycles;
+        in.variants["serial"] = toRun(serial, cfg);
+
+        if (opts.runParallel) {
+            in.variants["parallel"] =
+                toRun(exp.runParallel(c, opts.parallelThreads), cfg);
+        }
+        if (static_pipe.ok()) {
+            in.variants["phloem-static"] =
+                toRun(exp.runPipeline(c, *static_pipe.pipeline), cfg);
+        }
+        if (pgo_pipe != nullptr) {
+            in.variants["phloem"] =
+                toRun(exp.runPipeline(c, *pgo_pipe), cfg);
+        }
+        if (manual != nullptr) {
+            in.variants["manual"] =
+                toRun(exp.runPipeline(c, *manual), cfg);
+        }
+        runs.inputs.push_back(std::move(in));
+    }
+    return runs;
+}
+
+double
+gmeanSpeedup(const WorkloadRuns& runs, const std::string& variant)
+{
+    std::vector<double> v;
+    for (const auto& in : runs.inputs) {
+        double s = speedup(in, variant);
+        if (s > 0)
+            v.push_back(s);
+    }
+    return gmean(v);
+}
+
+} // namespace phloem::bench

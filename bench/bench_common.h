@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-regeneration harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper's
+ * evaluation (see DESIGN.md's per-experiment index). The binaries print
+ * the same rows/series the paper reports; absolute numbers differ from
+ * the authors' testbed, but the shapes are the reproduction target
+ * (EXPERIMENTS.md records both).
+ */
+
+#ifndef PHLOEM_BENCH_BENCH_COMMON_H
+#define PHLOEM_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "sim/energy.h"
+#include "workloads/workload.h"
+
+namespace phloem::bench {
+
+/** The evaluation config: Table III scaled to the reduced inputs. */
+inline sim::SysConfig
+evalConfig(int cores = 1)
+{
+    return sim::SysConfig::scaledEval(cores);
+}
+
+/** Everything one (workload, input, variant) run produced. */
+struct VariantRun
+{
+    bool ok = false;
+    uint64_t cycles = 0;
+    sim::RunStats stats;
+    sim::EnergyBreakdown energy;
+    std::string error;
+};
+
+/** All variants for one (workload, input). */
+struct InputRuns
+{
+    std::string input;
+    uint64_t serialCycles = 0;
+    std::map<std::string, VariantRun> variants;  // keyed by variant name
+};
+
+struct WorkloadRuns
+{
+    std::string workload;
+    std::vector<InputRuns> inputs;
+    /** Cut/pipeline metadata for reporting. */
+    std::string staticShape;
+    std::string pgoShape;
+    comp::AutotuneResult autotune;  // populated when PGO ran
+};
+
+struct SuiteOptions
+{
+    bool runPgo = true;
+    bool runManual = true;
+    bool runParallel = true;
+    bool testInputs = true;  // false = training inputs
+    int parallelThreads = 4;
+    int cores = 1;
+};
+
+/** Run the full variant matrix for one workload. */
+WorkloadRuns runWorkloadSuite(const wl::Workload& workload,
+                              const SuiteOptions& opts);
+
+/** Print "name: val" aligned. */
+inline void
+printRow(const std::string& label, const std::string& value)
+{
+    std::printf("  %-28s %s\n", label.c_str(), value.c_str());
+}
+
+/** speedup of a variant vs serial for one input (0 when failed). */
+inline double
+speedup(const InputRuns& in, const std::string& variant)
+{
+    auto it = in.variants.find(variant);
+    if (it == in.variants.end() || !it->second.ok ||
+        it->second.cycles == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(in.serialCycles) /
+           static_cast<double>(it->second.cycles);
+}
+
+/** gmean speedup of a variant across a workload's inputs (skips fails). */
+double gmeanSpeedup(const WorkloadRuns& runs, const std::string& variant);
+
+} // namespace phloem::bench
+
+#endif // PHLOEM_BENCH_BENCH_COMMON_H

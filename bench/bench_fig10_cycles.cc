@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 10: breakdown of cycles, normalized to the serial baseline.
+ *
+ * For each benchmark and variant (S: serial, D: data-parallel, P: Phloem,
+ * M: manually pipelined) the paper breaks aggregate core cycles into
+ * issuing micro-ops, backend stalls (memory), full/empty-queue stalls,
+ * and other stalls (frontend / mispredicts).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace phloem;
+
+namespace {
+
+void
+printBreakdown(const char* tag, const bench::VariantRun& run,
+               double serial_cycles)
+{
+    if (!run.ok) {
+        std::printf("    %-2s (failed: %s)\n", tag, run.error.c_str());
+        return;
+    }
+    const sim::RunStats& s = run.stats;
+    double norm = serial_cycles;
+    std::printf("    %-2s total=%6.2f  issue=%5.2f  backend=%5.2f  "
+                "queue=%5.2f  other=%5.2f\n",
+                tag, s.totalThreadCycles() / norm,
+                s.totalIssueCycles() / norm, s.totalBackendCycles() / norm,
+                s.totalQueueStallCycles() / norm,
+                s.totalFrontendCycles() / norm);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* only = argc > 1 ? argv[1] : nullptr;
+    std::printf("=== Fig. 10: cycle breakdown, normalized to serial "
+                "(aggregate thread-cycles) ===\n");
+    std::printf("buckets: issuing uops | backend (memory) stalls | "
+                "full/empty queues | other (frontend)\n\n");
+
+    for (const auto& w : wl::mainSuite()) {
+        if (only != nullptr && w.name != only)
+            continue;
+        bench::SuiteOptions opts;
+        opts.runPgo = false;  // breakdown uses the static pipeline
+        auto runs = bench::runWorkloadSuite(w, opts);
+        std::printf("%s:\n", runs.workload.c_str());
+        for (const auto& in : runs.inputs) {
+            std::printf("  %s (serial %llu cycles)\n", in.input.c_str(),
+                        static_cast<unsigned long long>(in.serialCycles));
+            double base = static_cast<double>(in.serialCycles);
+            printBreakdown("S", in.variants.at("serial"), base);
+            if (in.variants.count("parallel"))
+                printBreakdown("D", in.variants.at("parallel"), base);
+            if (in.variants.count("phloem-static"))
+                printBreakdown("P", in.variants.at("phloem-static"), base);
+            if (in.variants.count("manual"))
+                printBreakdown("M", in.variants.at("manual"), base);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 11: breakdown of energy, normalized to the serial baseline
+ * (S: serial, D: data-parallel, P: Phloem, M: manually pipelined).
+ * Buckets follow the paper's model: core dynamic, cache (incl. RAs),
+ * DRAM, and static energy over the run.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace phloem;
+
+namespace {
+
+void
+printEnergy(const char* tag, const bench::VariantRun& run,
+            double serial_total)
+{
+    if (!run.ok) {
+        std::printf("    %-2s (failed)\n", tag);
+        return;
+    }
+    const sim::EnergyBreakdown& e = run.energy;
+    std::printf("    %-2s total=%5.2f  core=%5.2f  cache=%5.2f  "
+                "dram=%5.2f  static=%5.2f\n",
+                tag, e.total() / serial_total,
+                e.coreDynamic / serial_total, e.cache / serial_total,
+                e.dram / serial_total, e.staticEnergy / serial_total);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* only = argc > 1 ? argv[1] : nullptr;
+    std::printf("=== Fig. 11: energy breakdown, normalized to serial "
+                "===\n\n");
+
+    for (const auto& w : wl::mainSuite()) {
+        if (only != nullptr && w.name != only)
+            continue;
+        bench::SuiteOptions opts;
+        opts.runPgo = false;
+        auto runs = bench::runWorkloadSuite(w, opts);
+        std::printf("%s:\n", runs.workload.c_str());
+        for (const auto& in : runs.inputs) {
+            const auto& serial = in.variants.at("serial");
+            if (!serial.ok)
+                continue;
+            double base = serial.energy.total();
+            std::printf("  %s (serial %.3f mJ)\n", in.input.c_str(),
+                        base);
+            printEnergy("S", serial, base);
+            if (in.variants.count("parallel"))
+                printEnergy("D", in.variants.at("parallel"), base);
+            if (in.variants.count("phloem-static"))
+                printEnergy("P", in.variants.at("phloem-static"), base);
+            if (in.variants.count("manual"))
+                printEnergy("M", in.variants.at("manual"), base);
+        }
+    }
+    std::printf("\npaper shape: Phloem below serial and data-parallel "
+                "everywhere, comparable to manual\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 12: speedups when parallelizing Taco-generated kernels (static
+ * compilation flow only, per the paper Sec. VI-C), gmean over the Taco
+ * input matrices. Paper shape: MTMul/Residual/SpMV ~1.5x for Phloem with
+ * data-parallel barely improving; SDDMM flat for Phloem while
+ * data-parallel gains (its dense inner loop suits conventional cores).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace phloem;
+
+int
+main(int argc, char** argv)
+{
+    const char* only = argc > 1 ? argv[1] : nullptr;
+    std::printf("=== Fig. 12: Taco kernels, speedup over Taco serial "
+                "===\n");
+    std::printf("%-14s %12s %16s\n", "kernel", "data-par",
+                "phloem(static)");
+
+    for (const auto& w : wl::tacoWorkloads()) {
+        if (only != nullptr && w.name != only)
+            continue;
+        bench::SuiteOptions opts;
+        opts.runPgo = false;     // Taco uses the static flow (Sec. VI-C)
+        opts.runManual = false;  // no manual pipelines for Taco code
+        auto runs = bench::runWorkloadSuite(w, opts);
+        std::printf("%-14s %11.2fx %15.2fx\n", runs.workload.c_str(),
+                    bench::gmeanSpeedup(runs, "parallel"),
+                    bench::gmeanSpeedup(runs, "phloem-static"));
+        std::printf("    pipeline: %s\n", runs.staticShape.c_str());
+        for (const auto& in : runs.inputs) {
+            std::printf("    %-20s serial=%-10llu static=%.2fx "
+                        "dp=%.2fx\n",
+                        in.input.c_str(),
+                        static_cast<unsigned long long>(in.serialCycles),
+                        bench::speedup(in, "phloem-static"),
+                        bench::speedup(in, "parallel"));
+            for (const auto& [name, run] : in.variants) {
+                if (!run.ok)
+                    std::printf("      !! %s failed: %s\n", name.c_str(),
+                                run.error.c_str());
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 13: distribution of gmean training-input performance of the
+ * autotuner's candidate pipelines, grouped by pipeline length (stage
+ * threads + reference accelerators). Paper shape: performance peaks at
+ * moderate lengths (BFS best 4-long ~2.8x, 8-long worse), SpMM degrades
+ * as stages are added, SpMV dips at 5.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace phloem;
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> names = {"bfs", "spmm", "taco_spmv"};
+    if (argc > 1)
+        names = {argv[1]};
+
+    std::printf("=== Fig. 13: training gmean speedup vs pipeline length "
+                "(stages incl. RAs) ===\n\n");
+
+    for (const auto& name : names) {
+        wl::Workload w = wl::findWorkload(name);
+        driver::Experiment exp(w, bench::evalConfig());
+        comp::AutotuneOptions aopts;
+        aopts.maxThreads = w.maxThreads;
+        aopts.topK = w.pgoTopK;
+        aopts.base.shrinkToFit = false;
+        auto result = exp.autotunePGO(aopts);
+
+        std::map<int, std::vector<double>> by_length;
+        for (const auto& e : result.entries) {
+            if (e.trainingSpeedup > 0)
+                by_length[e.lengthWithRAs].push_back(e.trainingSpeedup);
+        }
+
+        std::printf("%s (%zu candidate pipelines profiled; best %.2fx)\n",
+                    name.c_str(), result.entries.size(),
+                    result.bestTrainingSpeedup);
+        std::printf("  %-8s %5s %8s %8s %8s\n", "length", "count", "min",
+                    "median", "max");
+        for (auto& [len, v] : by_length) {
+            std::sort(v.begin(), v.end());
+            std::printf("  %-8d %5zu %7.2fx %7.2fx %7.2fx\n", len,
+                        v.size(), v.front(), v[v.size() / 2], v.back());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

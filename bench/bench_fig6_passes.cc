@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fig. 6: BFS speedup as Phloem's passes are added, on the road-network
+ * training input (the paper's large road network, scaled).
+ *
+ * Reported configurations follow the paper: naive queues (Q), +recompute
+ * (R), control values without their cleanups (CV, R, Q) — which *hurts* —
+ * reference accelerators alone (RA, R, Q), control values with inter-stage
+ * DCE and handlers, the full compiler, the manually pipelined version,
+ * and the Dynamatic-style dataflow baseline (worse than serial).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sim/dataflow_model.h"
+
+using namespace phloem;
+
+namespace {
+
+struct Config
+{
+    const char* label;
+    bool recompute, ra, cv, dce, handlers;
+};
+
+} // namespace
+
+int
+main()
+{
+    wl::Workload bfs = wl::findWorkload("bfs");
+    sim::SysConfig cfg = bench::evalConfig();
+    driver::Experiment exp(bfs, cfg);
+
+    // The paper's Fig. 6 uses a large road network.
+    const wl::Case* road = nullptr;
+    for (const auto& c : bfs.cases)
+        if (c.inputName == "USA-road-d-NY")
+            road = &c;
+    if (road == nullptr)
+        return 1;
+
+    uint64_t serial = exp.serialCycles(*road);
+    std::printf("=== Fig. 6: BFS speedup with each added pass "
+                "(road network) ===\n");
+    std::printf("serial baseline: %llu cycles\n\n",
+                static_cast<unsigned long long>(serial));
+    std::printf("%-22s %10s %s\n", "configuration", "speedup",
+                "(pipeline)");
+
+    // Dataflow baseline (paper: ~1.7x worse than serial).
+    {
+        sim::Binding binding;
+        road->bind(binding, 1);
+        auto df = sim::runDataflow(exp.serialFn(), binding, cfg);
+        std::string err;
+        bool ok = road->check(binding, wl::Variant::kSerial, &err);
+        std::printf("%-22s %9.2fx %s\n", "dataflow (Dynamatic)",
+                    static_cast<double>(serial) /
+                        static_cast<double>(df.cycles),
+                    ok ? "" : "(INCORRECT)");
+    }
+
+    const Config configs[] = {
+        {"Q (naive queues)", false, false, false, false, false},
+        {"R,Q", true, false, false, false, false},
+        {"CV,R,Q", true, false, true, false, false},
+        {"RA,R,Q", true, true, false, false, false},
+        {"CV,DCE,R,Q", true, false, true, true, false},
+        {"CV,DCE,CH,R,Q", true, false, true, true, true},
+        {"all (full Phloem)", true, true, true, true, true},
+    };
+
+    for (const Config& c : configs) {
+        comp::CompileOptions o;
+        o.numStages = 4;
+        o.recompute = c.recompute;
+        o.referenceAccelerators = c.ra;
+        o.controlValues = c.cv;
+        o.dce = c.dce;
+        o.handlers = c.handlers;
+        // Naive configurations exceed the queue budget by design; let
+        // them run anyway (the paper measured them too).
+        o.maxQueues = 64;
+        auto res = comp::compilePipeline(exp.serialFn(), o);
+        if (res.pipeline == nullptr) {
+            std::printf("%-22s %10s\n", c.label, "n/a");
+            continue;
+        }
+        auto out = exp.runPipeline(*road, *res.pipeline);
+        if (!out.correct) {
+            std::printf("%-22s %10s %s\n", c.label, "FAIL",
+                        out.error.c_str());
+            continue;
+        }
+        std::printf("%-22s %9.2fx (%zu stages + %zu RAs, %d queues)\n",
+                    c.label,
+                    static_cast<double>(serial) /
+                        static_cast<double>(out.stats.cycles),
+                    res.pipeline->stages.size(), res.pipeline->ras.size(),
+                    res.pipeline->numQueues());
+    }
+
+    // Manual baseline.
+    auto manual = exp.buildManual();
+    if (manual != nullptr) {
+        auto out = exp.runPipeline(*road, *manual);
+        if (out.correct) {
+            std::printf("%-22s %9.2fx\n", "manually pipelined",
+                        static_cast<double>(serial) /
+                            static_cast<double>(out.stats.cycles));
+        }
+    }
+    std::printf("\npaper shape: dataflow < serial < Q < ... < manual "
+                "~ all; CV alone below its R,Q base; RA largest jump\n");
+    return 0;
+}

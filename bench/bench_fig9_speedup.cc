@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 9: per-benchmark speedup over the serial baseline.
+ *
+ * For each application the paper reports the data-parallel speedup, the
+ * Phloem bar (profile-guided pipeline) with an x marking the static
+ * cost-model pipeline, and the manually pipelined version; all gmean
+ * over the test inputs on a 1-core, 4-SMT-thread system.
+ */
+
+#include <cstdio>
+
+#include "base/stats_util.h"
+#include "bench/bench_common.h"
+
+using namespace phloem;
+
+int
+main(int argc, char** argv)
+{
+    const char* only = argc > 1 ? argv[1] : nullptr;
+
+    std::printf("=== Fig. 9: speedup over serial (gmean across test "
+                "inputs) ===\n");
+    std::printf("%-8s %12s %14s %16s %10s\n", "bench", "data-par",
+                "phloem(PGO)", "phloem(static)", "manual");
+
+    std::vector<double> pgo_all, manual_all;
+    for (const auto& w : wl::mainSuite()) {
+        if (only != nullptr && w.name != only)
+            continue;
+        bench::SuiteOptions opts;
+        auto runs = bench::runWorkloadSuite(w, opts);
+        double dp = bench::gmeanSpeedup(runs, "parallel");
+        double pgo = bench::gmeanSpeedup(runs, "phloem");
+        double st = bench::gmeanSpeedup(runs, "phloem-static");
+        double man = bench::gmeanSpeedup(runs, "manual");
+        std::printf("%-8s %11.2fx %13.2fx %15.2fx %9.2fx\n",
+                    runs.workload.c_str(), dp, pgo, st, man);
+        if (pgo > 0)
+            pgo_all.push_back(pgo);
+        if (man > 0)
+            manual_all.push_back(man);
+
+        std::printf("    static pipeline: %s | PGO pipeline: %s\n",
+                    runs.staticShape.c_str(), runs.pgoShape.c_str());
+        for (const auto& in : runs.inputs) {
+            std::printf("    %-24s serial=%-10llu pgo=%.2fx "
+                        "static=%.2fx dp=%.2fx manual=%.2fx\n",
+                        in.input.c_str(),
+                        static_cast<unsigned long long>(in.serialCycles),
+                        bench::speedup(in, "phloem"),
+                        bench::speedup(in, "phloem-static"),
+                        bench::speedup(in, "parallel"),
+                        bench::speedup(in, "manual"));
+            for (const auto& [name, run] : in.variants) {
+                if (!run.ok) {
+                    std::printf("      !! %s failed: %s\n", name.c_str(),
+                                run.error.c_str());
+                }
+            }
+        }
+    }
+
+    if (!pgo_all.empty()) {
+        std::printf("\ngmean Phloem speedup over serial: %.2fx "
+                    "(paper: 1.7x)\n",
+                    gmean(pgo_all));
+    }
+    if (!manual_all.empty() && !pgo_all.empty()) {
+        std::printf("Phloem relative to manual: %.0f%% (paper: 85%%)\n",
+                    100.0 * gmean(pgo_all) / gmean(manual_all));
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library itself (not a paper
+ * figure): frontend compilation, pipeline compilation, flattening, and
+ * simulator throughput. Useful for keeping the tools fast enough for the
+ * autotuner's many candidate compiles (paper: the search "completes in
+ * seconds").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.h"
+#include "compiler/cost_model.h"
+#include "driver/experiment.h"
+#include "frontend/frontend.h"
+#include "sim/machine.h"
+#include "sim/program.h"
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+using namespace phloem;
+
+static void
+BM_FrontendCompile(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto k = fe::compileKernel(wl::kBfsSerial);
+        benchmark::DoNotOptimize(k.fn.get());
+    }
+}
+BENCHMARK(BM_FrontendCompile);
+
+static void
+BM_CostModelRanking(benchmark::State& state)
+{
+    auto k = fe::compileKernel(wl::kBfsSerial);
+    for (auto _ : state) {
+        auto ranked = comp::rankCutPoints(*k.fn);
+        benchmark::DoNotOptimize(ranked.data());
+    }
+}
+BENCHMARK(BM_CostModelRanking);
+
+static void
+BM_PipelineCompile(benchmark::State& state)
+{
+    auto k = fe::compileKernel(wl::kBfsSerial);
+    comp::CompileOptions opts;
+    opts.numStages = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto res = comp::compilePipeline(*k.fn, opts);
+        benchmark::DoNotOptimize(res.pipeline.get());
+    }
+}
+BENCHMARK(BM_PipelineCompile)->Arg(2)->Arg(3)->Arg(4);
+
+static void
+BM_Flatten(benchmark::State& state)
+{
+    auto k = fe::compileKernel(wl::kSpmmSerial);
+    for (auto _ : state) {
+        auto prog = sim::flatten(*k.fn);
+        benchmark::DoNotOptimize(prog.code.data());
+    }
+}
+BENCHMARK(BM_Flatten);
+
+static void
+BM_SimulatorThroughput(benchmark::State& state)
+{
+    // Simulated instructions per second on serial BFS over the training
+    // internet graph.
+    wl::Workload bfs = wl::findWorkload("bfs");
+    const wl::Case& c = bfs.cases.front();
+    driver::Experiment exp(bfs, sim::SysConfig::scaledEval());
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        auto out = exp.runSerial(c);
+        instructions = out.stats.totalInstructions();
+        benchmark::DoNotOptimize(out.stats.cycles);
+    }
+    state.counters["sim_instrs"] = static_cast<double>(instructions);
+    state.counters["sim_instrs/s"] = benchmark::Counter(
+        static_cast<double>(instructions) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+BENCHMARK_MAIN();

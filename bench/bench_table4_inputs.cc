@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table IV: the input graphs (synthetic stand-ins matched on vertex and
+ * edge counts — scaled ~40x — and average degree; see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "base/stats_util.h"
+#include "workloads/graph.h"
+
+using namespace phloem;
+
+int
+main()
+{
+    std::printf("=== Table IV: input graphs (scaled ~40x) ===\n");
+    std::printf("%-24s %-26s %10s %10s %10s\n", "graph", "domain",
+                "vertices", "edges", "avg deg");
+    for (const auto& in : wl::tableIVInputs()) {
+        std::printf("%-24s %-26s %10s %10s %9.1f%s\n", in.name.c_str(),
+                    in.domain.c_str(),
+                    formatCount(static_cast<uint64_t>(in.graph->n)).c_str(),
+                    formatCount(static_cast<uint64_t>(in.graph->m()))
+                        .c_str(),
+                    in.graph->avgDegree(),
+                    in.training ? "  [training]" : "");
+    }
+    return 0;
+}

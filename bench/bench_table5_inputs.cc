@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table V: the input matrices (synthetic stand-ins matched on size and
+ * average nonzeros per row; SpMM sizes further reduced for the O(n^2)
+ * inner-product; see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "base/stats_util.h"
+#include "workloads/matrix.h"
+
+using namespace phloem;
+
+namespace {
+
+void
+printSet(const char* title, const std::vector<wl::MatrixInput>& inputs)
+{
+    std::printf("%s\n", title);
+    std::printf("%-20s %-26s %12s %12s\n", "matrix", "domain",
+                "size (n x n)", "avg nnz/row");
+    for (const auto& in : inputs) {
+        std::printf("%-20s %-26s %12s %11.1f%s\n", in.name.c_str(),
+                    in.domain.c_str(),
+                    formatCount(static_cast<uint64_t>(in.matrix->rows))
+                        .c_str(),
+                    in.matrix->avgNnzPerRow(),
+                    in.training ? "  [training]" : "");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table V: input matrices ===\n\n");
+    printSet("SpMM inputs:", wl::spmmInputs());
+    printSet("Taco (MTMul, Residual, SpMV, SDDMM) inputs:",
+             wl::tacoInputs());
+    return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerate every table/figure; tee everything into bench_output.txt.
+set -u
+cd "$(dirname "$0")"
+OUT=bench_output.txt
+: > "$OUT"
+for b in bench_table3_config bench_table4_inputs bench_table5_inputs \
+         bench_fig6_passes bench_fig12_taco bench_fig10_cycles \
+         bench_fig11_energy bench_fig13_stages bench_fig14_replication \
+         bench_fig9_speedup bench_ablation bench_micro; do
+    echo "########## $b ##########" | tee -a "$OUT"
+    ./build/bench/$b 2>&1 | tee -a "$OUT"
+    echo | tee -a "$OUT"
+done

@@ -1,0 +1,32 @@
+#include "base/logging.h"
+
+#include <stdexcept>
+
+namespace phloem {
+namespace detail {
+
+[[noreturn]] void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::string full = std::string("panic: ") + msg + " @ " + file + ":" +
+                       std::to_string(line);
+    // Throw instead of abort() so unit tests can assert on panics.
+    throw std::logic_error(full);
+}
+
+[[noreturn]] void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::string full = std::string("fatal: ") + msg + " @ " + file + ":" +
+                       std::to_string(line);
+    throw std::runtime_error(full);
+}
+
+void
+warnImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s @ %s:%d\n", msg.c_str(), file, line);
+}
+
+} // namespace detail
+} // namespace phloem

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library).
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, malformed input program, ...).
+ * warn()   — something works, but not as well as it should.
+ */
+
+#ifndef PHLOEM_BASE_LOGGING_H
+#define PHLOEM_BASE_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace phloem {
+
+namespace detail {
+
+/** Stream-compose a message from variadic parts. */
+template <typename... Args>
+std::string
+composeMessage(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const char* file, int line, const std::string& msg);
+
+} // namespace detail
+
+} // namespace phloem
+
+/** Abort with a message: something that should never happen did. */
+#define phloem_panic(...)                                                     \
+    ::phloem::detail::panicImpl(__FILE__, __LINE__,                           \
+        ::phloem::detail::composeMessage(__VA_ARGS__))
+
+/** Exit with a message: the user asked for something unsupported. */
+#define phloem_fatal(...)                                                     \
+    ::phloem::detail::fatalImpl(__FILE__, __LINE__,                           \
+        ::phloem::detail::composeMessage(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define phloem_warn(...)                                                      \
+    ::phloem::detail::warnImpl(__FILE__, __LINE__,                            \
+        ::phloem::detail::composeMessage(__VA_ARGS__))
+
+/** Internal invariant check; always on (simulators must not run corrupted). */
+#define phloem_assert(cond, ...)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::phloem::detail::panicImpl(__FILE__, __LINE__,                   \
+                ::phloem::detail::composeMessage(                             \
+                    "assertion failed: " #cond " ", ##__VA_ARGS__));          \
+        }                                                                     \
+    } while (0)
+
+#endif // PHLOEM_BASE_LOGGING_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small numeric helpers shared by the benchmark harnesses: geometric means
+ * and fixed-width table formatting, matching how the paper reports results.
+ */
+
+#ifndef PHLOEM_BASE_STATS_UTIL_H
+#define PHLOEM_BASE_STATS_UTIL_H
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phloem {
+
+/** Geometric mean of a set of strictly positive values. */
+inline double
+gmean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+amean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** Format a double as e.g. "1.73x" for speedup tables. */
+inline std::string
+formatSpeedup(double x)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", x);
+    return buf;
+}
+
+/** Format a count with thousands separators for table output. */
+inline std::string
+formatCount(uint64_t n)
+{
+    std::string digits = std::to_string(n);
+    std::string out;
+    int c = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (c != 0 && c % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++c;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace phloem
+
+#endif // PHLOEM_BASE_STATS_UTIL_H

@@ -1,0 +1,83 @@
+#include "compiler/autotune.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "compiler/cost_model.h"
+
+namespace phloem::comp {
+
+namespace {
+
+/** Enumerate all size-k subsets of [0, n). */
+void
+subsets(int n, int k, std::vector<std::vector<int>>& out)
+{
+    std::vector<int> cur;
+    std::function<void(int)> rec = [&](int start) {
+        if (static_cast<int>(cur.size()) == k) {
+            out.push_back(cur);
+            return;
+        }
+        for (int i = start; i < n; ++i) {
+            cur.push_back(i);
+            rec(i + 1);
+            cur.pop_back();
+        }
+    };
+    rec(0);
+}
+
+} // namespace
+
+AutotuneResult
+autotune(const ir::Function& fn, const AutotuneOptions& opts,
+         const PipelineEvaluator& evaluate)
+{
+    AutotuneResult result;
+
+    auto ranked = rankCutPoints(fn);
+    int k = std::min<int>(opts.topK, static_cast<int>(ranked.size()));
+
+    // Candidate cut sets: all combinations of 1..(maxThreads-1) cuts from
+    // the top-k ranked points ("no fewer than fifty different pipelines"
+    // for the paper's benchmarks at k=6, up to 3 cuts).
+    std::vector<std::vector<int>> combos;
+    for (int size = 1; size < opts.maxThreads; ++size)
+        subsets(k, size, combos);
+    if (static_cast<int>(combos.size()) > opts.maxCandidates)
+        combos.resize(static_cast<size_t>(opts.maxCandidates));
+
+    for (const auto& combo : combos) {
+        CompileOptions copts = opts.base;
+        copts.explicitCuts.clear();
+        for (int idx : combo)
+            copts.explicitCuts.push_back(
+                ranked[static_cast<size_t>(idx)].cutOp);
+
+        CompileResult cres = compilePipeline(fn, copts);
+        if (!cres.ok())
+            continue;
+        if (static_cast<int>(cres.pipeline->stages.size()) >
+            opts.maxThreads) {
+            continue;
+        }
+
+        double speedup = evaluate(*cres.pipeline);
+
+        AutotuneEntry entry;
+        entry.cuts = cres.cuts;
+        entry.lengthWithRAs = cres.pipeline->lengthWithRAs();
+        entry.trainingSpeedup = speedup;
+        result.entries.push_back(entry);
+
+        if (speedup > result.bestTrainingSpeedup) {
+            result.bestTrainingSpeedup = speedup;
+            result.best = std::move(cres);
+        }
+    }
+
+    return result;
+}
+
+} // namespace phloem::comp

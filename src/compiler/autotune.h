@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Profile-guided decoupling-point search (paper Sec. V, Fig. 8).
+ *
+ * The static cost model's ranking is approximate; the autotuner selects
+ * more than (N-1) candidate cut points, builds the candidate pipelines
+ * from combinations of them, profiles each on small training inputs, and
+ * keeps the best (never peeking at the test inputs).
+ */
+
+#ifndef PHLOEM_COMPILER_AUTOTUNE_H
+#define PHLOEM_COMPILER_AUTOTUNE_H
+
+#include <functional>
+#include <vector>
+
+#include "compiler/compiler.h"
+
+namespace phloem::comp {
+
+struct AutotuneOptions
+{
+    /** Hardware thread budget per pipeline (SMT threads per core). */
+    int maxThreads = 4;
+    /** How many top-ranked candidate cut points to combine. */
+    int topK = 6;
+    /** Cap on profiled candidate pipelines. */
+    int maxCandidates = 96;
+    /** Base options applied to every candidate compile. */
+    CompileOptions base;
+};
+
+/**
+ * Evaluator: gmean speedup of the pipeline over serial across the
+ * training inputs. Return <= 0 to reject a candidate (e.g., wrong
+ * output, deadlock, resource overflow).
+ */
+using PipelineEvaluator =
+    std::function<double(const ir::Pipeline& pipeline)>;
+
+struct AutotuneEntry
+{
+    std::vector<int> cuts;
+    /** Stage threads + RAs (how Fig. 13 counts pipeline length). */
+    int lengthWithRAs = 0;
+    double trainingSpeedup = 0;
+};
+
+struct AutotuneResult
+{
+    CompileResult best;
+    double bestTrainingSpeedup = 0;
+    /** Every profiled candidate (Fig. 13's distribution). */
+    std::vector<AutotuneEntry> entries;
+};
+
+AutotuneResult autotune(const ir::Function& fn, const AutotuneOptions& opts,
+                        const PipelineEvaluator& evaluate);
+
+} // namespace phloem::comp
+
+#endif // PHLOEM_COMPILER_AUTOTUNE_H

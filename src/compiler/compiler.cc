@@ -1,0 +1,474 @@
+#include "compiler/compiler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/logging.h"
+#include "compiler/cost_model.h"
+#include "compiler/decouple.h"
+#include "compiler/passes.h"
+#include "ir/verifier.h"
+#include "ir/walk.h"
+
+namespace phloem::comp {
+
+namespace {
+
+using ir::Op;
+using ir::Opcode;
+using ir::QueueId;
+using ir::RegId;
+
+/** Find the stage whose body contains an op with the given origin. */
+int
+stageContainingOrigin(const ir::Pipeline& pipeline, int origin)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        bool found = false;
+        ir::forEachOp(pipeline.stages[s]->body, [&](const Op& op) {
+            if (op.origin == origin)
+                found = true;
+        });
+        if (found)
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+} // namespace
+
+namespace {
+
+CompileResult compileOnce(const ir::Function& fn,
+                          const CompileOptions& opts);
+
+} // namespace
+
+CompileResult
+compilePipeline(const ir::Function& fn, const CompileOptions& opts)
+{
+    CompileResult result = compileOnce(fn, opts);
+    if (result.ok() || !opts.shrinkToFit || !opts.explicitCuts.empty())
+        return result;
+    // Resource overflow: progressively shallower pipelines.
+    for (int stages = opts.numStages - 1; stages >= 1; --stages) {
+        CompileOptions retry = opts;
+        retry.numStages = stages;
+        CompileResult r = compileOnce(fn, retry);
+        if (r.ok()) {
+            r.notes.push_back(
+                "shrunk to " + std::to_string(stages) +
+                " stages to fit the queue/RA budget");
+            return r;
+        }
+    }
+    return result;
+}
+
+namespace {
+
+CompileResult
+compileOnce(const ir::Function& fn, const CompileOptions& opts)
+{
+    CompileResult result;
+
+    // Forced cuts (e.g., #pragma decouple / distribute boundaries) count
+    // against the stage budget.
+    int budget = opts.numStages -
+                 static_cast<int>(opts.forcedCuts.size());
+    std::vector<int> cuts = opts.explicitCuts.empty()
+                                ? selectStaticCuts(fn, std::max(1, budget))
+                                : opts.explicitCuts;
+    for (int c : opts.forcedCuts)
+        cuts.push_back(c);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    result.cuts = cuts;
+
+    DecoupleOptions dopts;
+    dopts.recompute = opts.recompute;
+    dopts.prefetchMovedLoads = opts.prefetchMovedLoads;
+    DecoupleResult dres = decouple(fn, cuts, dopts);
+    result.notes = std::move(dres.notes);
+    ir::PipelinePtr pipeline = std::move(dres.pipeline);
+
+    int boundary_stage = -1;
+    if (opts.distributeBoundaryOp >= 0) {
+        boundary_stage =
+            stageContainingOrigin(*pipeline, opts.distributeBoundaryOp);
+    }
+
+    PassReport report;
+    forwardValues(*pipeline, &report);
+    if (opts.referenceAccelerators) {
+        accelerateAccesses(*pipeline, &report, opts.maxRAs,
+                           boundary_stage);
+        // Stage elision may renumber stages; re-locate the boundary.
+        if (opts.distributeBoundaryOp >= 0) {
+            boundary_stage = stageContainingOrigin(
+                *pipeline, opts.distributeBoundaryOp);
+        }
+    }
+    if (opts.controlValues) {
+        useControlValues(*pipeline, &report);
+        if (opts.dce) {
+            interStageDce(*pipeline, &report);
+            // Flattening can leave control-only stages behind.
+            accelerateAccesses(*pipeline, &report,
+                               opts.referenceAccelerators ? opts.maxRAs
+                                                          : 0,
+                               boundary_stage);
+            if (opts.distributeBoundaryOp >= 0) {
+                boundary_stage = stageContainingOrigin(
+                    *pipeline, opts.distributeBoundaryOp);
+            }
+        }
+    }
+    if (opts.handlers)
+        useControlHandlers(*pipeline, &report);
+    compactQueueIds(*pipeline);
+
+    if (opts.replicas > 1) {
+        applyReplication(*pipeline, opts.replicas,
+                         opts.distributeBoundaryOp, &report.notes);
+    }
+
+    for (auto& n : report.notes)
+        result.notes.push_back(std::move(n));
+
+    result.problems =
+        ir::verify(*pipeline, opts.maxQueues, opts.maxRAs);
+    result.pipeline = std::move(pipeline);
+    return result;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Replication (paper Sec. IV-C).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Insert "cnt = 0" at the top of a function body. */
+RegId
+addCounterInit(ir::Function& fn)
+{
+    RegId cnt = fn.newReg("done_cnt");
+    Op init;
+    init.opcode = Opcode::kConst;
+    init.id = fn.nextOpId++;
+    init.dst = cnt;
+    init.imm = 0;
+    auto stmt = std::make_unique<ir::OpStmt>(init);
+    stmt->id = fn.nextStmtId++;
+    fn.body.insert(fn.body.begin(), std::move(stmt));
+    return cnt;
+}
+
+ir::StmtPtr
+makeOpStmt(ir::Function& fn, Op op)
+{
+    op.id = fn.nextOpId++;
+    auto stmt = std::make_unique<ir::OpStmt>(op);
+    stmt->id = fn.nextStmtId++;
+    stmt->origin = op.origin;
+    return stmt;
+}
+
+/**
+ * Build the "wait for one control value per replica" logic replacing a
+ * plain Break: cnt++; if (cnt == R) { cnt = 0; break; }
+ */
+std::vector<ir::StmtPtr>
+makeCountedBreak(ir::Function& fn, RegId cnt, int replicas, int break_levels)
+{
+    std::vector<ir::StmtPtr> out;
+    RegId one = fn.newReg();
+    Op c1;
+    c1.opcode = Opcode::kConst;
+    c1.dst = one;
+    c1.imm = 1;
+    out.push_back(makeOpStmt(fn, c1));
+    Op add;
+    add.opcode = Opcode::kAdd;
+    add.dst = cnt;
+    add.src[0] = cnt;
+    add.src[1] = one;
+    out.push_back(makeOpStmt(fn, add));
+    RegId r_reg = fn.newReg();
+    Op cr;
+    cr.opcode = Opcode::kConst;
+    cr.dst = r_reg;
+    cr.imm = replicas;
+    out.push_back(makeOpStmt(fn, cr));
+    RegId eq = fn.newReg();
+    Op cmp;
+    cmp.opcode = Opcode::kCmpEq;
+    cmp.dst = eq;
+    cmp.src[0] = cnt;
+    cmp.src[1] = r_reg;
+    out.push_back(makeOpStmt(fn, cmp));
+
+    auto iff = std::make_unique<ir::IfStmt>();
+    iff->id = fn.nextStmtId++;
+    iff->cond = eq;
+    Op reset;
+    reset.opcode = Opcode::kConst;
+    reset.dst = cnt;
+    reset.imm = 0;
+    iff->thenBody.push_back(makeOpStmt(fn, reset));
+    auto brk = std::make_unique<ir::BreakStmt>(break_levels);
+    brk->id = fn.nextStmtId++;
+    iff->thenBody.push_back(std::move(brk));
+    out.push_back(std::move(iff));
+    return out;
+}
+
+} // namespace
+
+void
+applyReplication(ir::Pipeline& pipeline, int replicas,
+                 int distribute_boundary_op, std::vector<std::string>* notes)
+{
+    pipeline.replicas = replicas;
+    auto note = [&](const std::string& s) {
+        if (notes != nullptr)
+            notes->push_back(s);
+    };
+
+    if (distribute_boundary_op < 0) {
+        note("replicated x" + std::to_string(replicas) +
+             " with independent pipelines (no distribution)");
+        return;
+    }
+
+    int target = stageContainingOrigin(pipeline, distribute_boundary_op);
+    if (target < 0) {
+        note("distribute boundary op not found; replicating without "
+             "distribution");
+        return;
+    }
+    ir::Function& consumer = *pipeline.stages[static_cast<size_t>(target)];
+
+    // Distribute queues: data streams whose consumer-side deq heads a
+    // *control-value* loop (handler installed or explicit is_control
+    // check) in the target stage. Plain flag loops (e.g., the per-round
+    // condition broadcast) are not element streams and stay per-replica.
+    std::set<QueueId> dist_queues;
+    std::function<void(ir::Region&, int)> scan =
+        [&](ir::Region& region, int loop_depth) {
+            for (auto& s : region) {
+                switch (s->kind()) {
+                  case ir::StmtKind::kWhile: {
+                    auto* w = ir::stmtCast<ir::WhileStmt>(s.get());
+                    if (!w->body.empty() &&
+                        w->body[0]->kind() == ir::StmtKind::kOp) {
+                        const Op& op =
+                            ir::stmtCast<ir::OpStmt>(w->body[0].get())->op;
+                        bool explicit_check =
+                            w->body.size() >= 2 &&
+                            w->body[1]->kind() == ir::StmtKind::kOp &&
+                            ir::stmtCast<ir::OpStmt>(w->body[1].get())
+                                    ->op.opcode == Opcode::kIsControl;
+                        if (op.opcode == Opcode::kDeq &&
+                            (consumer.handlerFor(op.queue) != nullptr ||
+                             explicit_check)) {
+                            dist_queues.insert(op.queue);
+                        }
+                    }
+                    scan(w->body, loop_depth + 1);
+                    break;
+                  }
+                  case ir::StmtKind::kFor:
+                    scan(ir::stmtCast<ir::ForStmt>(s.get())->body,
+                         loop_depth + 1);
+                    break;
+                  case ir::StmtKind::kIf: {
+                    auto* i = ir::stmtCast<ir::IfStmt>(s.get());
+                    scan(i->thenBody, loop_depth);
+                    scan(i->elseBody, loop_depth);
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        };
+    scan(consumer.body, 0);
+
+    if (dist_queues.empty()) {
+        note("no control-value stream enters the distribute stage; "
+             "replicating without distribution");
+        return;
+    }
+    if (dist_queues.size() > 1) {
+        note("WARNING: " + std::to_string(dist_queues.size()) +
+             " streams distributed independently; cross-queue element "
+             "pairing is not preserved in multi-producer FIFOs — pack "
+             "multi-field payloads into one value and force a cut at "
+             "the distribute boundary");
+    }
+
+    // Producer side: enq -> enq_dist with selector = value mod replicas;
+    // control values broadcast to every replica.
+    for (auto& stage : pipeline.stages) {
+        if (stage.get() == &consumer)
+            continue;
+        std::function<void(ir::Region&)> rewrite = [&](ir::Region& region) {
+            for (size_t i = 0; i < region.size(); ++i) {
+                ir::Stmt* st = region[i].get();
+                switch (st->kind()) {
+                  case ir::StmtKind::kFor:
+                    rewrite(ir::stmtCast<ir::ForStmt>(st)->body);
+                    continue;
+                  case ir::StmtKind::kWhile:
+                    rewrite(ir::stmtCast<ir::WhileStmt>(st)->body);
+                    continue;
+                  case ir::StmtKind::kIf: {
+                    auto* f = ir::stmtCast<ir::IfStmt>(st);
+                    rewrite(f->thenBody);
+                    rewrite(f->elseBody);
+                    continue;
+                  }
+                  case ir::StmtKind::kOp:
+                    break;
+                  default:
+                    continue;
+                }
+                Op op = ir::stmtCast<ir::OpStmt>(st)->op;
+                if (op.opcode == Opcode::kEnq &&
+                    dist_queues.count(op.queue)) {
+                    // sel = v mod R; power-of-two replica counts use the
+                    // paper's "inspecting bits" (a single AND).
+                    bool pow2 = (replicas & (replicas - 1)) == 0;
+                    RegId r_reg = stage->newReg();
+                    Op cr;
+                    cr.opcode = Opcode::kConst;
+                    cr.dst = r_reg;
+                    cr.imm = pow2 ? replicas - 1 : replicas;
+                    RegId sel = stage->newReg();
+                    Op rem;
+                    rem.opcode = pow2 ? Opcode::kAnd : Opcode::kRem;
+                    rem.dst = sel;
+                    rem.src[0] = op.src[0];
+                    rem.src[1] = r_reg;
+                    Op dist;
+                    dist.opcode = Opcode::kEnqDist;
+                    dist.queue = op.queue;
+                    dist.src[0] = op.src[0];
+                    dist.src[1] = sel;
+                    dist.origin = op.origin;
+                    region[i] = makeOpStmt(*stage, dist);
+                    region.insert(region.begin() + static_cast<long>(i),
+                                  makeOpStmt(*stage, rem));
+                    region.insert(region.begin() + static_cast<long>(i),
+                                  makeOpStmt(*stage, cr));
+                    i += 2;
+                } else if (op.opcode == Opcode::kEnqCtrl &&
+                           dist_queues.count(op.queue)) {
+                    // Broadcast: one control value per replica.
+                    region.erase(region.begin() + static_cast<long>(i));
+                    for (int r = 0; r < replicas; ++r) {
+                        RegId sel = stage->newReg();
+                        Op cs;
+                        cs.opcode = Opcode::kConst;
+                        cs.dst = sel;
+                        cs.imm = r;
+                        Op dist;
+                        dist.opcode = Opcode::kEnqDist;
+                        dist.queue = op.queue;
+                        dist.src[0] = ir::kNoReg;  // control payload
+                        dist.src[1] = sel;
+                        dist.imm = op.imm;
+                        dist.origin = op.origin;
+                        region.insert(
+                            region.begin() + static_cast<long>(i),
+                            makeOpStmt(*stage, dist));
+                        region.insert(
+                            region.begin() + static_cast<long>(i),
+                            makeOpStmt(*stage, cs));
+                        i += 2;
+                    }
+                    i -= 1;
+                }
+            }
+        };
+        rewrite(stage->body);
+    }
+
+    // Consumer side: wait for one terminating control value per replica.
+    RegId cnt = addCounterInit(consumer);
+    bool patched = false;
+    // Handler form.
+    for (auto& h : consumer.handlers) {
+        if (!dist_queues.count(h.queue))
+            continue;
+        if (h.body.size() == 1 &&
+            h.body[0]->kind() == ir::StmtKind::kBreak) {
+            int levels =
+                ir::stmtCast<ir::BreakStmt>(h.body[0].get())->levels;
+            h.body = ir::Region{};
+            for (auto& s : makeCountedBreak(consumer, cnt, replicas,
+                                            levels)) {
+                h.body.push_back(std::move(s));
+            }
+            patched = true;
+        }
+    }
+    // Explicit-check form.
+    std::function<void(ir::Region&)> patch = [&](ir::Region& region) {
+        for (auto& s : region) {
+            switch (s->kind()) {
+              case ir::StmtKind::kWhile: {
+                auto* w = ir::stmtCast<ir::WhileStmt>(s.get());
+                if (w->body.size() >= 3 &&
+                    w->body[0]->kind() == ir::StmtKind::kOp &&
+                    w->body[2]->kind() == ir::StmtKind::kIf) {
+                    const Op& deq =
+                        ir::stmtCast<ir::OpStmt>(w->body[0].get())->op;
+                    auto* brk_if =
+                        ir::stmtCast<ir::IfStmt>(w->body[2].get());
+                    if (deq.opcode == Opcode::kDeq &&
+                        dist_queues.count(deq.queue) &&
+                        brk_if->thenBody.size() == 1 &&
+                        brk_if->thenBody[0]->kind() ==
+                            ir::StmtKind::kBreak) {
+                        int levels = ir::stmtCast<ir::BreakStmt>(
+                                         brk_if->thenBody[0].get())
+                                         ->levels;
+                        brk_if->thenBody = ir::Region{};
+                        for (auto& st : makeCountedBreak(
+                                 consumer, cnt, replicas, levels)) {
+                            brk_if->thenBody.push_back(std::move(st));
+                        }
+                        patched = true;
+                    }
+                }
+                patch(w->body);
+                break;
+              }
+              case ir::StmtKind::kFor:
+                patch(ir::stmtCast<ir::ForStmt>(s.get())->body);
+                break;
+              case ir::StmtKind::kIf: {
+                auto* i = ir::stmtCast<ir::IfStmt>(s.get());
+                patch(i->thenBody);
+                patch(i->elseBody);
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    };
+    patch(consumer.body);
+
+    note(std::string("distributed ") +
+         std::to_string(dist_queues.size()) +
+         " stream(s) into stage " + std::to_string(target) + " across " +
+         std::to_string(replicas) + " replicas" +
+         (patched ? "" : " (warning: consumer break not patched)"));
+}
+
+} // namespace phloem::comp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Top-level Phloem compiler driver: serial IR in, pipeline out.
+ *
+ * Orchestrates the full pass sequence (paper Fig. 5/Fig. 8):
+ *   decouple (+ add queues, recompute) -> control values -> inter-stage
+ *   DCE -> reference accelerators (+ chaining) -> control handlers ->
+ *   queue compaction -> optional replication (paper Sec. IV-C).
+ *
+ * Individual passes can be toggled, which is how the Fig. 6 pass-ablation
+ * benchmark produces its intermediate configurations.
+ */
+
+#ifndef PHLOEM_COMPILER_COMPILER_H
+#define PHLOEM_COMPILER_COMPILER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/pipeline.h"
+
+namespace phloem::comp {
+
+struct CompileOptions
+{
+    /** Target stage-thread count for static cut selection. */
+    int numStages = 4;
+
+    // Pass toggles (all on = full Phloem).
+    bool recompute = true;
+    bool referenceAccelerators = true;
+    bool controlValues = true;
+    bool dce = true;
+    bool handlers = true;
+    bool prefetchMovedLoads = true;
+
+    // Architectural resource limits (paper Table III).
+    int maxRAs = 4;
+    int maxQueues = 16;
+
+    /** Explicit cut op ids; if nonempty, overrides static selection. */
+    std::vector<int> explicitCuts;
+    /** Extra cuts forced by #pragma decouple. */
+    std::vector<int> forcedCuts;
+
+    /**
+     * When the static flow's pipeline exceeds the architectural queue/RA
+     * budget, retry with fewer stages (paper Fig. 8: resource limits are
+     * part of pipeline generation). Only applies to static selection.
+     */
+    bool shrinkToFit = true;
+
+    /** Replication factor (#pragma replicate). */
+    int replicas = 1;
+    /**
+     * #pragma distribute marker: op id beginning the distributed-to
+     * stage. Values streamed into that stage are partitioned across
+     * replicas by value modulo replica count. -1 = no distribution.
+     */
+    int distributeBoundaryOp = -1;
+};
+
+struct CompileResult
+{
+    ir::PipelinePtr pipeline;
+    std::vector<int> cuts;
+    std::vector<std::string> notes;
+    /** Verification problems (empty = legal pipeline). */
+    std::vector<std::string> problems;
+
+    bool ok() const { return problems.empty() && pipeline != nullptr; }
+};
+
+/** Compile with static cut selection (or opts.explicitCuts). */
+CompileResult compilePipeline(const ir::Function& fn,
+                              const CompileOptions& opts = CompileOptions{});
+
+/**
+ * Replicate a compiled pipeline: marks the replica count, converts the
+ * data stream entering the distribute boundary stage into enq_dist
+ * operations (selector = value mod replicas), broadcasts its terminating
+ * control values to all replicas, and patches the consumer to wait for
+ * one control value per replica.
+ */
+void applyReplication(ir::Pipeline& pipeline, int replicas,
+                      int distribute_boundary_op,
+                      std::vector<std::string>* notes = nullptr);
+
+} // namespace phloem::comp
+
+#endif // PHLOEM_COMPILER_COMPILER_H

@@ -1,0 +1,192 @@
+#include "compiler/cost_model.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/logging.h"
+#include "ir/walk.h"
+
+namespace phloem::comp {
+
+namespace {
+
+struct IndexedOp
+{
+    const ir::Op* op;
+    int pos;
+    int depth;
+};
+
+/** Linearize ops with loop depth. */
+void
+collect(const ir::Region& region, int depth, int& pos,
+        std::vector<IndexedOp>& out, std::set<ir::RegId>& induction)
+{
+    for (const auto& s : region) {
+        switch (s->kind()) {
+          case ir::StmtKind::kOp:
+            out.push_back(
+                {&ir::stmtCast<ir::OpStmt>(s.get())->op, pos++, depth});
+            break;
+          case ir::StmtKind::kFor: {
+            auto* f = ir::stmtCast<ir::ForStmt>(s.get());
+            induction.insert(f->var);
+            collect(f->body, depth + 1, pos, out, induction);
+            break;
+          }
+          case ir::StmtKind::kWhile:
+            collect(ir::stmtCast<ir::WhileStmt>(s.get())->body, depth + 1,
+                    pos, out, induction);
+            break;
+          case ir::StmtKind::kIf: {
+            auto* i = ir::stmtCast<ir::IfStmt>(s.get());
+            collect(i->thenBody, depth, pos, out, induction);
+            collect(i->elseBody, depth, pos, out, induction);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<CutCandidate>
+rankCutPoints(const ir::Function& fn)
+{
+    std::vector<IndexedOp> ops;
+    std::set<ir::RegId> induction;
+    int pos = 0;
+    collect(fn.body, 0, pos, ops, induction);
+
+    // Map: register -> defining op (last def wins; good enough for the
+    // short def-use chains index expressions have).
+    std::map<ir::RegId, const ir::Op*> def_of;
+    for (const auto& io : ops) {
+        if (ir::hasDst(io.op->opcode) && io.op->dst >= 0)
+            def_of[io.op->dst] = io.op;
+    }
+
+    // An index is sequential if it is an induction variable (or an
+    // induction variable plus a constant); anything else is treated as a
+    // data-dependent indirection.
+    auto classify_sequential = [&](ir::RegId idx) {
+        if (induction.count(idx))
+            return true;
+        auto it = def_of.find(idx);
+        if (it == def_of.end())
+            return false;
+        const ir::Op* d = it->second;
+        if (d->opcode == ir::Opcode::kAdd || d->opcode == ir::Opcode::kSub) {
+            bool lhs_ind = induction.count(d->src[0]) != 0;
+            auto c = def_of.find(d->src[1]);
+            bool rhs_const =
+                c != def_of.end() && c->second->opcode == ir::Opcode::kConst;
+            return lhs_ind && rhs_const;
+        }
+        return false;
+    };
+
+    // Group adjacent accesses: load arr[i] and load arr[i +/- c].
+    // follower[opId] = leader opId.
+    std::map<int, int> follower;
+    for (size_t a = 0; a < ops.size(); ++a) {
+        const ir::Op* first = ops[a].op;
+        if (first->opcode != ir::Opcode::kLoad)
+            continue;
+        for (size_t b = a + 1; b < ops.size() && b < a + 8; ++b) {
+            const ir::Op* second = ops[b].op;
+            if (second->opcode != ir::Opcode::kLoad ||
+                second->arr != first->arr) {
+                continue;
+            }
+            auto it = def_of.find(second->src[0]);
+            if (it == def_of.end())
+                continue;
+            const ir::Op* d = it->second;
+            if ((d->opcode == ir::Opcode::kAdd ||
+                 d->opcode == ir::Opcode::kSub) &&
+                d->src[0] == first->src[0]) {
+                auto c = def_of.find(d->src[1]);
+                if (c != def_of.end() &&
+                    c->second->opcode == ir::Opcode::kConst) {
+                    follower[second->id] = first->id;
+                }
+            }
+        }
+    }
+
+    // Score each group leader; the cut lands after the last member.
+    std::map<int, CutCandidate> cands;  // by leader id
+    std::map<int, int> last_pos;        // leader -> last member position
+    for (const auto& io : ops) {
+        if (io.op->opcode != ir::Opcode::kLoad)
+            continue;
+        int leader = io.op->id;
+        auto f = follower.find(leader);
+        if (f != follower.end())
+            leader = f->second;
+        CutCandidate& cand = cands[leader];
+        cand.groupLoads.push_back(io.op->id);
+        bool indirect = !classify_sequential(io.op->src[0]);
+        double cost = indirect ? 10.0 : 2.0;
+        double weight = 1.0;
+        for (int d = 0; d < io.depth; ++d)
+            weight *= 8.0;
+        cand.score = std::max(cand.score, cost * weight);
+        cand.indirect = cand.indirect || indirect;
+        cand.loopDepth = std::max(cand.loopDepth, io.depth);
+        last_pos[leader] =
+            std::max(last_pos.count(leader) ? last_pos[leader] : -1,
+                     io.pos);
+        if (cand.desc.empty()) {
+            cand.desc = std::string(indirect ? "indirect" : "sequential") +
+                        " load of " +
+                        fn.arrays[static_cast<size_t>(io.op->arr)].name;
+        }
+    }
+
+    // Resolve cut ops: the first op after the group's last member.
+    std::vector<CutCandidate> out;
+    for (auto& [leader, cand] : cands) {
+        int lp = last_pos[leader];
+        const ir::Op* next = nullptr;
+        for (const auto& io : ops) {
+            if (io.pos > lp) {
+                next = io.op;
+                break;
+            }
+        }
+        if (next == nullptr)
+            continue;  // nothing after the group; no useful cut
+        cand.cutOp = next->id;
+        out.push_back(cand);
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const CutCandidate& a, const CutCandidate& b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.cutOp < b.cutOp;
+              });
+    return out;
+}
+
+std::vector<int>
+selectStaticCuts(const ir::Function& fn, int num_stages)
+{
+    auto ranked = rankCutPoints(fn);
+    std::vector<int> cuts;
+    std::set<int> seen;
+    for (const auto& cand : ranked) {
+        if (static_cast<int>(cuts.size()) >= num_stages - 1)
+            break;
+        if (seen.insert(cand.cutOp).second)
+            cuts.push_back(cand.cutOp);
+    }
+    return cuts;
+}
+
+} // namespace phloem::comp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static cost model for decoupling-point selection (paper Sec. V).
+ *
+ * The model ranks candidate cut points by (1) predicted cost of the memory
+ * access — indirect accesses are expensive, sequential ones cheap — and
+ * (2) frequency, approximated by loop depth. Nearby accesses to the same
+ * array (e.g., nodes[v] and nodes[v+1]) are grouped so they stay together
+ * in one stage and share a reference accelerator.
+ */
+
+#ifndef PHLOEM_COMPILER_COST_MODEL_H
+#define PHLOEM_COMPILER_COST_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace phloem::comp {
+
+struct CutCandidate
+{
+    /** Op id at which the new stage begins (the op after the access
+     *  group, so the group's loads stay with the producer). */
+    int cutOp = -1;
+    /** The load op(s) motivating this cut. */
+    std::vector<int> groupLoads;
+    double score = 0;
+    bool indirect = false;
+    int loopDepth = 0;
+    std::string desc;
+};
+
+/** Rank candidate cut points, best first. */
+std::vector<CutCandidate> rankCutPoints(const ir::Function& fn);
+
+/**
+ * Static selection: the (num_stages - 1) highest-ranked candidates
+ * (paper: "selects the (N-1) highest-ranked points").
+ */
+std::vector<int> selectStaticCuts(const ir::Function& fn, int num_stages);
+
+} // namespace phloem::comp
+
+#endif // PHLOEM_COMPILER_COST_MODEL_H

@@ -1,0 +1,962 @@
+#include "compiler/decouple.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "base/logging.h"
+#include "ir/builder.h"
+#include "ir/clone.h"
+#include "ir/walk.h"
+
+namespace phloem::comp {
+
+namespace {
+
+using ir::ArrayId;
+using ir::Op;
+using ir::Opcode;
+using ir::RegId;
+
+/** How a (def op, consumer stage) pair is satisfied. */
+enum class Decision : uint8_t { kNone, kQueue, kRecompute };
+
+struct OpInfo
+{
+    const ir::OpStmt* stmt = nullptr;
+    int pos = -1;
+    int stage = 0;
+    int originalStage = 0;
+    /** Enclosing structured statements, outermost first. */
+    std::vector<const ir::Stmt*> path;
+};
+
+struct BreakInfo
+{
+    const ir::Stmt* stmt = nullptr;  // BreakStmt or ContinueStmt
+    /** Enclosing structures, outermost first. */
+    std::vector<const ir::Stmt*> path;
+    /** Target loop (for continue: the innermost loop). */
+    const ir::Stmt* targetLoop = nullptr;
+};
+
+/** Union-find over array slots for the aliasing discipline. */
+class SlotUnion
+{
+  public:
+    explicit SlotUnion(int n) : parent_(static_cast<size_t>(n))
+    {
+        for (int i = 0; i < n; ++i)
+            parent_[static_cast<size_t>(i)] = i;
+    }
+
+    int
+    find(int x)
+    {
+        while (parent_[static_cast<size_t>(x)] != x) {
+            parent_[static_cast<size_t>(x)] =
+                parent_[static_cast<size_t>(parent_[static_cast<size_t>(
+                    x)])];
+            x = parent_[static_cast<size_t>(x)];
+        }
+        return x;
+    }
+
+    void
+    unite(int a, int b)
+    {
+        parent_[static_cast<size_t>(find(a))] = find(b);
+    }
+
+  private:
+    std::vector<int> parent_;
+};
+
+class Decoupler
+{
+  public:
+    Decoupler(const ir::Function& fn, std::vector<int> cut_ops,
+              const DecoupleOptions& opts)
+        : fn_(fn), cutOps_(std::move(cut_ops)), opts_(opts)
+    {
+    }
+
+    DecoupleResult
+    run()
+    {
+        indexOps();
+        assignStages();
+        repairAliases();
+        planSwapsAndBarriers();
+        solveFixpoint();
+        assignQueues();
+        buildStages();
+        return std::move(result_);
+    }
+
+  private:
+    // ------------------------------------------------------------------
+    // Indexing.
+    // ------------------------------------------------------------------
+
+    void
+    indexRegion(const ir::Region& region,
+                std::vector<const ir::Stmt*>& path)
+    {
+        for (const auto& s : region) {
+            switch (s->kind()) {
+              case ir::StmtKind::kOp: {
+                auto* os = ir::stmtCast<ir::OpStmt>(s.get());
+                OpInfo info;
+                info.stmt = os;
+                info.pos = nextPos_++;
+                info.path = path;
+                ops_[os->op.id] = std::move(info);
+                opOrder_.push_back(os->op.id);
+                break;
+              }
+              case ir::StmtKind::kFor: {
+                auto* f = ir::stmtCast<ir::ForStmt>(s.get());
+                inductionRegs_.insert(f->var);
+                path.push_back(f);
+                indexRegion(f->body, path);
+                path.pop_back();
+                break;
+              }
+              case ir::StmtKind::kWhile: {
+                auto* w = ir::stmtCast<ir::WhileStmt>(s.get());
+                path.push_back(w);
+                indexRegion(w->body, path);
+                path.pop_back();
+                break;
+              }
+              case ir::StmtKind::kIf: {
+                auto* i = ir::stmtCast<ir::IfStmt>(s.get());
+                path.push_back(i);
+                indexRegion(i->thenBody, path);
+                indexRegion(i->elseBody, path);
+                path.pop_back();
+                break;
+              }
+              case ir::StmtKind::kBreak:
+              case ir::StmtKind::kContinue: {
+                BreakInfo info;
+                info.stmt = s.get();
+                info.path = path;
+                int levels = 1;
+                if (s->kind() == ir::StmtKind::kBreak)
+                    levels = ir::stmtCast<ir::BreakStmt>(s.get())->levels;
+                // Find the levels-th innermost loop on the path.
+                int seen = 0;
+                for (auto it = path.rbegin(); it != path.rend(); ++it) {
+                    if ((*it)->kind() == ir::StmtKind::kFor ||
+                        (*it)->kind() == ir::StmtKind::kWhile) {
+                        seen++;
+                        if (seen == levels) {
+                            info.targetLoop = *it;
+                            break;
+                        }
+                    }
+                }
+                phloem_assert(info.targetLoop != nullptr,
+                              "break/continue without target loop");
+                breaks_.push_back(std::move(info));
+                break;
+              }
+            }
+        }
+    }
+
+    void
+    indexOps()
+    {
+        std::vector<const ir::Stmt*> path;
+        indexRegion(fn_.body, path);
+    }
+
+    // ------------------------------------------------------------------
+    // Stage assignment (cuts) and alias repair.
+    // ------------------------------------------------------------------
+
+    void
+    assignStages()
+    {
+        // Sort cuts by program position; ignore unknown ids.
+        std::vector<int> cut_pos;
+        for (int c : cutOps_) {
+            auto it = ops_.find(c);
+            if (it == ops_.end()) {
+                note("cut op " + std::to_string(c) + " not found; ignored");
+                continue;
+            }
+            cut_pos.push_back(it->second.pos);
+        }
+        std::sort(cut_pos.begin(), cut_pos.end());
+        cut_pos.erase(std::unique(cut_pos.begin(), cut_pos.end()),
+                      cut_pos.end());
+        numStages_ = static_cast<int>(cut_pos.size()) + 1;
+
+        for (auto& [id, info] : ops_) {
+            int stage = 0;
+            for (int cp : cut_pos) {
+                if (info.pos >= cp)
+                    stage++;
+            }
+            info.stage = stage;
+            info.originalStage = stage;
+        }
+    }
+
+    /**
+     * Paper Sec. IV-A relaxation for swap-rotated double buffers (e.g.,
+     * BFS fringes): reads and writes go through disjoint slots, so they
+     * touch different buffers within any one iteration of the rotating
+     * loop; across iterations they are ordered by the loop-carried value
+     * the later (writer) stage sends back to the reading stages. Safe
+     * when (1) read and write slots are disjoint, and (2) the writer
+     * stage defines, inside the rotating loop, a register that the
+     * earliest reading stage consumes (the backward round-gate).
+     */
+    bool
+    doubleBufferSafe(const std::vector<int>& access_ops, int writer_stage,
+                     int swap_op_id)
+    {
+        // The rotating loop is the innermost loop enclosing the swap.
+        const OpInfo& swap_info = ops_.at(swap_op_id);
+        const ir::Stmt* rot_loop = nullptr;
+        for (auto it = swap_info.path.rbegin(); it != swap_info.path.rend();
+             ++it) {
+            if ((*it)->kind() == ir::StmtKind::kFor ||
+                (*it)->kind() == ir::StmtKind::kWhile) {
+                rot_loop = *it;
+                break;
+            }
+        }
+        if (rot_loop == nullptr)
+            return false;
+
+        auto inside_rot = [&](int id) {
+            for (const ir::Stmt* st : ops_.at(id).path)
+                if (st == rot_loop)
+                    return true;
+            return false;
+        };
+
+        // Inside the rotating loop, reads and writes must use disjoint
+        // slots; the earliest reading stage is the round gate's consumer.
+        std::set<ArrayId> in_reads, in_writes;
+        int rmin = writer_stage;
+        for (int id : access_ops) {
+            const Op& op = ops_.at(id).stmt->op;
+            if (!inside_rot(id))
+                continue;
+            if (ir::isMemRead(op.opcode)) {
+                in_reads.insert(op.arr);
+                rmin = std::min(rmin, ops_.at(id).stage);
+            }
+            if (ir::isMemWrite(op.opcode))
+                in_writes.insert(op.arr);
+        }
+        for (ArrayId a : in_reads)
+            if (in_writes.count(a))
+                return false;
+        if (rmin >= writer_stage)
+            return true;  // everything already in one stage
+        // One-shot accesses outside the rotating loop (e.g., seeding the
+        // first fringe) are only ordered against the readers if they run
+        // in the reading stage itself.
+        for (int id : access_ops) {
+            if (!inside_rot(id) && ops_.at(id).stage != rmin)
+                return false;
+        }
+        // Gate check: the writer stage must define, inside the rotating
+        // loop, a register the earliest reading stage consumes inside the
+        // rotating loop — the loop-carried backward value that serializes
+        // rounds (in BFS: cur_size).
+        for (int did : opOrder_) {
+            const OpInfo& dinfo = ops_.at(did);
+            const Op& d = dinfo.stmt->op;
+            if (dinfo.stage != writer_stage || !ir::hasDst(d.opcode) ||
+                d.dst < 0 || !inside_rot(did)) {
+                continue;
+            }
+            for (int uid : opOrder_) {
+                const OpInfo& uinfo = ops_.at(uid);
+                if (uinfo.stage != rmin || !inside_rot(uid))
+                    continue;
+                const Op& u = uinfo.stmt->op;
+                for (int i = 0; i < ir::numSrcs(u.opcode); ++i) {
+                    if (u.src[i] == d.dst)
+                        return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Second exemption (paper Sec. IV-A "Program phases"): reads by
+     * earlier stages and writes by the latest stage that live in
+     * *different top-level phases* of a common loop are ordered by the
+     * pipeline's data stream — the writer only reaches its phase after
+     * consuming the readers' full per-round stream — and rounds are
+     * ordered by the loop-carried backward gate. PageRank-Delta's
+     * delta[] (read in the push phase, written in the activate phase) is
+     * the canonical case. Reads sharing a phase subtree with writes
+     * (e.g., BFS distances) do not qualify and still collapse.
+     */
+    bool
+    phaseDisjointSafe(const std::vector<int>& access_ops, int writer_stage)
+    {
+        // Common enclosing loop of all accesses.
+        const ir::Stmt* common = nullptr;
+        {
+            const OpInfo& first = ops_.at(access_ops.front());
+            for (auto it = first.path.rbegin(); it != first.path.rend();
+                 ++it) {
+                if ((*it)->kind() != ir::StmtKind::kFor &&
+                    (*it)->kind() != ir::StmtKind::kWhile) {
+                    continue;
+                }
+                bool in_all = true;
+                for (int id : access_ops) {
+                    bool found = false;
+                    for (const ir::Stmt* st : ops_.at(id).path)
+                        if (st == *it)
+                            found = true;
+                    if (!found) {
+                        in_all = false;
+                        break;
+                    }
+                }
+                if (in_all) {
+                    common = *it;
+                    break;
+                }
+            }
+        }
+        if (common == nullptr)
+            return false;
+
+        // Phase of an access = the path element right below `common`.
+        auto phase_of = [&](int id) -> const ir::Stmt* {
+            const auto& path = ops_.at(id).path;
+            for (size_t i = 0; i < path.size(); ++i) {
+                if (path[i] == common)
+                    return i + 1 < path.size() ? path[i + 1] : nullptr;
+            }
+            return nullptr;
+        };
+
+        std::set<const ir::Stmt*> read_phases, write_phases;
+        int rmin = writer_stage;
+        for (int id : access_ops) {
+            const Op& op = ops_.at(id).stmt->op;
+            int stage = ops_.at(id).stage;
+            const ir::Stmt* ph = phase_of(id);
+            if (ph == nullptr)
+                return false;  // access directly in the loop body
+            if (ir::isMemWrite(op.opcode))
+                write_phases.insert(ph);
+            if (ir::isMemRead(op.opcode) && stage < writer_stage) {
+                read_phases.insert(ph);
+                rmin = std::min(rmin, stage);
+            }
+        }
+        if (rmin >= writer_stage)
+            return true;
+        for (const ir::Stmt* ph : read_phases)
+            if (write_phases.count(ph))
+                return false;
+
+        // Round gate, as in doubleBufferSafe.
+        auto inside = [&](int id) {
+            for (const ir::Stmt* st : ops_.at(id).path)
+                if (st == common)
+                    return true;
+            return false;
+        };
+        for (int did : opOrder_) {
+            const OpInfo& dinfo = ops_.at(did);
+            const Op& d = dinfo.stmt->op;
+            if (dinfo.stage != writer_stage || !ir::hasDst(d.opcode) ||
+                d.dst < 0 || !inside(did)) {
+                continue;
+            }
+            for (int uid : opOrder_) {
+                const OpInfo& uinfo = ops_.at(uid);
+                if (uinfo.stage != rmin || !inside(uid))
+                    continue;
+                const Op& u = uinfo.stmt->op;
+                for (int i = 0; i < ir::numSrcs(u.opcode); ++i) {
+                    if (u.src[i] == d.dst)
+                        return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    void
+    repairAliases()
+    {
+        int nslots = static_cast<int>(fn_.arrays.size());
+        if (nslots == 0)
+            return;
+        SlotUnion uf(nslots);
+        // Slots sharing an alias class may alias.
+        std::map<int, int> class_rep;
+        for (int a = 0; a < nslots; ++a) {
+            int cls = fn_.arrays[static_cast<size_t>(a)].aliasClass;
+            auto [it, fresh] = class_rep.try_emplace(cls, a);
+            if (!fresh)
+                uf.unite(a, it->second);
+        }
+        // Swapped slots rotate through the same buffers.
+        for (int id : opOrder_) {
+            const Op& op = ops_[id].stmt->op;
+            if (op.opcode == Opcode::kSwapArr)
+                uf.unite(op.arr, op.arr2);
+        }
+
+        // Collect per-group access info.
+        struct Group
+        {
+            bool written = false;
+            int maxStage = 0;
+            std::vector<int> accessOps;
+            std::set<ArrayId> readSlots;
+            std::set<ArrayId> writeSlots;
+            bool swapped = false;
+            int swapOp = -1;
+        };
+        std::map<int, Group> groups;
+        for (int id : opOrder_) {
+            const Op& op = ops_[id].stmt->op;
+            if (op.opcode == Opcode::kSwapArr) {
+                Group& g = groups[uf.find(op.arr)];
+                g.swapped = true;
+                g.swapOp = id;
+                continue;
+            }
+            if (!ir::usesArray(op.opcode) || op.opcode == Opcode::kPrefetch)
+                continue;
+            Group& g = groups[uf.find(op.arr)];
+            g.accessOps.push_back(id);
+            g.maxStage = std::max(g.maxStage, ops_[id].stage);
+            if (ir::isMemWrite(op.opcode)) {
+                g.written = true;
+                g.writeSlots.insert(op.arr);
+            }
+            if (ir::isMemRead(op.opcode))
+                g.readSlots.insert(op.arr);
+        }
+
+        // Collapse written groups whose accesses span stages into the
+        // latest stage; loads moved may leave a prefetch behind.
+        for (auto& [root, g] : groups) {
+            if (!g.written)
+                continue;
+            if (g.swapped &&
+                doubleBufferSafe(g.accessOps, g.maxStage, g.swapOp)) {
+                note("alias rule: " +
+                     fn_.arrays[static_cast<size_t>(
+                                    *g.writeSlots.begin())]
+                         .name +
+                     " group left decoupled (swap-rotated double buffer "
+                     "serialized by the loop-carried backward value)");
+                continue;
+            }
+            if (!g.swapped &&
+                phaseDisjointSafe(g.accessOps, g.maxStage)) {
+                note("alias rule: " +
+                     fn_.arrays[static_cast<size_t>(
+                                    *g.writeSlots.begin())]
+                         .name +
+                     " group left decoupled (reads and writes live in "
+                     "stream-ordered phases)");
+                continue;
+            }
+            for (int id : g.accessOps) {
+                OpInfo& info = ops_[id];
+                if (info.stage == g.maxStage)
+                    continue;
+                if (opts_.prefetchMovedLoads &&
+                    info.stmt->op.opcode == Opcode::kLoad) {
+                    prefetchAt_.insert({id, info.stage});
+                }
+                note("alias rule: moved " +
+                     std::string(ir::opcodeName(info.stmt->op.opcode)) +
+                     " of " +
+                     fn_.arrays[static_cast<size_t>(info.stmt->op.arr)]
+                         .name +
+                     " (op " + std::to_string(id) + ") from stage " +
+                     std::to_string(info.stage) + " to stage " +
+                     std::to_string(g.maxStage));
+                info.stage = g.maxStage;
+            }
+        }
+    }
+
+    void
+    planSwapsAndBarriers()
+    {
+        int nslots = static_cast<int>(fn_.arrays.size());
+        SlotUnion uf(std::max(1, nslots));
+        std::map<int, int> class_rep;
+        for (int a = 0; a < nslots; ++a) {
+            int cls = fn_.arrays[static_cast<size_t>(a)].aliasClass;
+            auto [it, fresh] = class_rep.try_emplace(cls, a);
+            if (!fresh)
+                uf.unite(a, it->second);
+        }
+        for (int id : opOrder_) {
+            const Op& op = ops_[id].stmt->op;
+            if (op.opcode == Opcode::kSwapArr)
+                uf.unite(op.arr, op.arr2);
+        }
+
+        // Which stages access each slot group?
+        std::map<int, std::set<int>> group_stages;
+        for (int id : opOrder_) {
+            const Op& op = ops_[id].stmt->op;
+            if (!ir::usesArray(op.opcode) || op.opcode == Opcode::kSwapArr)
+                continue;
+            group_stages[uf.find(op.arr)].insert(ops_[id].stage);
+        }
+        // Prefetch sites also depend on the binding.
+        for (const auto& [id, stage] : prefetchAt_) {
+            const Op& op = ops_[id].stmt->op;
+            group_stages[uf.find(op.arr)].insert(stage);
+        }
+
+        for (int id : opOrder_) {
+            const Op& op = ops_[id].stmt->op;
+            if (op.opcode == Opcode::kSwapArr) {
+                std::set<int> stages = group_stages[uf.find(op.arr)];
+                stages.insert(ops_[id].stage);
+                replicateTo_[id] = std::move(stages);
+            } else if (op.opcode == Opcode::kBarrier) {
+                std::set<int> all;
+                for (int s = 0; s < numStages_; ++s)
+                    all.insert(s);
+                replicateTo_[id] = std::move(all);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fixpoint: refSets, retention, decisions.
+    // ------------------------------------------------------------------
+
+    bool
+    isParamReg(RegId r) const
+    {
+        for (const auto& p : fn_.scalarParams)
+            if (p.reg == r)
+                return true;
+        return false;
+    }
+
+    /** Is r locally producible in stage s without new queue traffic? */
+    bool
+    availableIn(RegId r, int s) const
+    {
+        return inductionRegs_.count(r) != 0 || isParamReg(r) ||
+               refSet_[static_cast<size_t>(s)].count(r) != 0;
+    }
+
+    /** Add the control-context registers of a path to a stage's refs. */
+    bool
+    addPathRefs(const std::vector<const ir::Stmt*>& path, int s)
+    {
+        bool changed = false;
+        for (const ir::Stmt* st : path) {
+            changed |= retained_[static_cast<size_t>(s)].insert(st).second;
+            if (st->kind() == ir::StmtKind::kFor) {
+                auto* f = ir::stmtCast<ir::ForStmt>(st);
+                changed |= addRef(f->start, s);
+                changed |= addRef(f->bound, s);
+            } else if (st->kind() == ir::StmtKind::kIf) {
+                auto* i = ir::stmtCast<ir::IfStmt>(st);
+                changed |= addRef(i->cond, s);
+            }
+        }
+        return changed;
+    }
+
+    bool
+    addRef(RegId r, int s)
+    {
+        if (r < 0 || inductionRegs_.count(r) != 0)
+            return false;
+        return refSet_[static_cast<size_t>(s)].insert(r).second;
+    }
+
+    bool
+    addOpRefs(const Op& op, int s)
+    {
+        bool changed = false;
+        for (int i = 0; i < ir::numSrcs(op.opcode); ++i)
+            changed |= addRef(op.src[i], s);
+        return changed;
+    }
+
+    void
+    solveFixpoint()
+    {
+        refSet_.assign(static_cast<size_t>(numStages_), {});
+        retained_.assign(static_cast<size_t>(numStages_), {});
+
+        // Collect all defs per register (position order).
+        std::map<RegId, std::vector<int>> defs;
+        for (int id : opOrder_) {
+            const Op& op = ops_[id].stmt->op;
+            if (ir::hasDst(op.opcode) && op.dst >= 0)
+                defs[op.dst].push_back(id);
+        }
+
+        // Seed: owned ops + prefetch sites + replicated ops.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+
+            for (int id : opOrder_) {
+                const OpInfo& info = ops_.at(id);
+                const Op& op = info.stmt->op;
+                auto rep = replicateTo_.find(id);
+                if (rep != replicateTo_.end()) {
+                    for (int s : rep->second) {
+                        changed |= addOpRefs(op, s);
+                        changed |= addPathRefs(info.path, s);
+                    }
+                    continue;
+                }
+                int s = info.stage;
+                changed |= addOpRefs(op, s);
+                changed |= addPathRefs(info.path, s);
+            }
+            for (const auto& [id, s] : prefetchAt_) {
+                const OpInfo& info = ops_.at(id);
+                changed |= addRef(info.stmt->op.src[0], s);
+                changed |= addPathRefs(info.path, s);
+            }
+
+            // Materialize cross-stage defs: queue or recompute.
+            for (int id : opOrder_) {
+                const OpInfo& info = ops_.at(id);
+                const Op& op = info.stmt->op;
+                if (!ir::hasDst(op.opcode) || op.dst < 0)
+                    continue;
+                if (replicateTo_.count(id))
+                    continue;
+                for (int s = 0; s < numStages_; ++s) {
+                    if (s == info.stage)
+                        continue;
+                    if (refSet_[static_cast<size_t>(s)].count(op.dst) == 0)
+                        continue;
+                    auto key = std::make_pair(id, s);
+                    Decision cur = decision_.count(key)
+                                       ? decision_[key]
+                                       : Decision::kNone;
+                    // Prefer recompute when it adds no traffic.
+                    bool can_recompute = opts_.recompute &&
+                                         ir::isPure(op.opcode);
+                    if (can_recompute) {
+                        for (int i = 0; i < ir::numSrcs(op.opcode); ++i) {
+                            if (op.src[i] >= 0 &&
+                                !availableIn(op.src[i], s)) {
+                                can_recompute = false;
+                                break;
+                            }
+                        }
+                    }
+                    Decision want = can_recompute ? Decision::kRecompute
+                                                  : Decision::kQueue;
+                    if (cur != want) {
+                        // Never downgrade recompute -> queue once chosen
+                        // (sources only become more available).
+                        if (cur == Decision::kRecompute)
+                            continue;
+                        decision_[key] = want;
+                        changed = true;
+                    }
+                    // The consumer materializes at D's position either
+                    // way; it needs D's control context. Recompute also
+                    // needs D's sources.
+                    changed |= addPathRefs(info.path, s);
+                    if (decision_[key] == Decision::kRecompute)
+                        changed |= addOpRefs(op, s);
+                }
+            }
+
+            // Breaks/continues in retained loops must replicate.
+            for (const BreakInfo& b : breaks_) {
+                for (int s = 0; s < numStages_; ++s) {
+                    if (retained_[static_cast<size_t>(s)].count(
+                            b.targetLoop) == 0) {
+                        continue;
+                    }
+                    changed |= addPathRefs(b.path, s);
+                }
+            }
+        }
+
+        // Tally decisions for diagnostics.
+        for (const auto& [key, d] : decision_) {
+            if (d == Decision::kQueue)
+                result_.queuedValues++;
+            else if (d == Decision::kRecompute)
+                result_.recomputedValues++;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queue assignment and stage construction.
+    // ------------------------------------------------------------------
+
+    void
+    assignQueues()
+    {
+        std::set<std::pair<int, int>> pairs;
+        for (const auto& [key, d] : decision_) {
+            if (d != Decision::kQueue)
+                continue;
+            int producer = ops_.at(key.first).stage;
+            pairs.insert({producer, key.second});
+        }
+        int next = 0;
+        for (const auto& p : pairs)
+            queueFor_[p] = next++;
+    }
+
+    /** Build stage s's version of a region. Returns the filtered clone. */
+    ir::Region
+    buildRegion(const ir::Region& src, int s, ir::Function& out)
+    {
+        ir::Region result;
+        for (const auto& stmt : src) {
+            switch (stmt->kind()) {
+              case ir::StmtKind::kOp:
+                buildOp(*ir::stmtCast<ir::OpStmt>(stmt.get()), s, out,
+                        result);
+                break;
+              case ir::StmtKind::kFor: {
+                auto* f = ir::stmtCast<ir::ForStmt>(stmt.get());
+                ir::Region body = buildRegion(f->body, s, out);
+                if (body.empty())
+                    break;
+                auto nf = std::make_unique<ir::ForStmt>();
+                nf->id = out.nextStmtId++;
+                nf->origin = f->origin;
+                nf->var = f->var;
+                nf->start = f->start;
+                nf->bound = f->bound;
+                nf->body = std::move(body);
+                result.push_back(std::move(nf));
+                break;
+              }
+              case ir::StmtKind::kWhile: {
+                auto* w = ir::stmtCast<ir::WhileStmt>(stmt.get());
+                ir::Region body = buildRegion(w->body, s, out);
+                if (body.empty())
+                    break;
+                auto nw = std::make_unique<ir::WhileStmt>();
+                nw->id = out.nextStmtId++;
+                nw->origin = w->origin;
+                nw->body = std::move(body);
+                result.push_back(std::move(nw));
+                break;
+              }
+              case ir::StmtKind::kIf: {
+                auto* i = ir::stmtCast<ir::IfStmt>(stmt.get());
+                ir::Region then_body = buildRegion(i->thenBody, s, out);
+                ir::Region else_body = buildRegion(i->elseBody, s, out);
+                if (then_body.empty() && else_body.empty())
+                    break;
+                auto ni = std::make_unique<ir::IfStmt>();
+                ni->id = out.nextStmtId++;
+                ni->origin = i->origin;
+                ni->cond = i->cond;
+                ni->thenBody = std::move(then_body);
+                ni->elseBody = std::move(else_body);
+                result.push_back(std::move(ni));
+                break;
+              }
+              case ir::StmtKind::kBreak: {
+                auto* b = ir::stmtCast<ir::BreakStmt>(stmt.get());
+                const BreakInfo* info = findBreak(stmt.get());
+                if (retained_[static_cast<size_t>(s)].count(
+                        info->targetLoop) == 0) {
+                    break;
+                }
+                auto nb = std::make_unique<ir::BreakStmt>(b->levels);
+                nb->id = out.nextStmtId++;
+                nb->origin = b->origin;
+                result.push_back(std::move(nb));
+                break;
+              }
+              case ir::StmtKind::kContinue: {
+                const BreakInfo* info = findBreak(stmt.get());
+                if (retained_[static_cast<size_t>(s)].count(
+                        info->targetLoop) == 0) {
+                    break;
+                }
+                auto nc = std::make_unique<ir::ContinueStmt>();
+                nc->id = out.nextStmtId++;
+                nc->origin = stmt->origin;
+                result.push_back(std::move(nc));
+                break;
+              }
+            }
+        }
+        return result;
+    }
+
+    const BreakInfo*
+    findBreak(const ir::Stmt* stmt) const
+    {
+        for (const auto& b : breaks_)
+            if (b.stmt == stmt)
+                return &b;
+        phloem_panic("unindexed break/continue");
+    }
+
+    void
+    appendOp(ir::Region& region, ir::Function& out, Op op)
+    {
+        op.id = out.nextOpId++;
+        auto stmt = std::make_unique<ir::OpStmt>(op);
+        stmt->id = out.nextStmtId++;
+        stmt->origin = op.origin;
+        region.push_back(std::move(stmt));
+    }
+
+    void
+    buildOp(const ir::OpStmt& src, int s, ir::Function& out,
+            ir::Region& region)
+    {
+        const Op& op = src.op;
+        int id = op.id;
+
+        auto rep = replicateTo_.find(id);
+        if (rep != replicateTo_.end()) {
+            if (rep->second.count(s)) {
+                Op copy = op;
+                copy.origin = id;
+                appendOp(region, out, copy);
+            }
+            return;
+        }
+
+        const OpInfo& info = ops_.at(id);
+        if (info.stage == s) {
+            Op copy = op;
+            copy.origin = id;
+            appendOp(region, out, copy);
+            // Enqueue the value for downstream/upstream consumers.
+            for (int t = 0; t < numStages_; ++t) {
+                auto key = std::make_pair(id, t);
+                auto it = decision_.find(key);
+                if (it == decision_.end() ||
+                    it->second != Decision::kQueue) {
+                    continue;
+                }
+                Op enq;
+                enq.opcode = Opcode::kEnq;
+                enq.queue = queueFor_.at({s, t});
+                enq.src[0] = op.dst;
+                enq.origin = id;
+                appendOp(region, out, enq);
+            }
+            return;
+        }
+
+        auto key = std::make_pair(id, s);
+        auto it = decision_.find(key);
+        if (it != decision_.end()) {
+            if (it->second == Decision::kQueue) {
+                Op deq;
+                deq.opcode = Opcode::kDeq;
+                deq.queue = queueFor_.at({info.stage, s});
+                deq.dst = op.dst;
+                deq.origin = id;
+                appendOp(region, out, deq);
+            } else {
+                Op copy = op;
+                copy.origin = id;
+                appendOp(region, out, copy);
+            }
+            return;
+        }
+
+        if (prefetchAt_.count({id, s})) {
+            Op pf;
+            pf.opcode = Opcode::kPrefetch;
+            pf.arr = op.arr;
+            pf.src[0] = op.src[0];
+            pf.origin = id;
+            appendOp(region, out, pf);
+        }
+    }
+
+    void
+    buildStages()
+    {
+        auto pipeline = std::make_unique<ir::Pipeline>();
+        pipeline->name = fn_.name + "-pipe";
+        for (int s = 0; s < numStages_; ++s) {
+            auto stage = ir::cloneDecl(
+                fn_, fn_.name + ".s" + std::to_string(s));
+            stage->body = buildRegion(fn_.body, s, *stage);
+            pipeline->stages.push_back(std::move(stage));
+        }
+        for (const auto& [pair, q] : queueFor_) {
+            ir::QueueConfig qc;
+            qc.id = q;
+            qc.depth = opts_.queueDepth;
+            qc.producerStage = pair.first;
+            qc.consumerStage = pair.second;
+            qc.note = pair.first > pair.second ? "backward" : "";
+            pipeline->queues.push_back(qc);
+        }
+        result_.pipeline = std::move(pipeline);
+    }
+
+    void note(std::string msg) { result_.notes.push_back(std::move(msg)); }
+
+    const ir::Function& fn_;
+    std::vector<int> cutOps_;
+    DecoupleOptions opts_;
+
+    int nextPos_ = 0;
+    int numStages_ = 1;
+    std::map<int, OpInfo> ops_;
+    std::vector<int> opOrder_;
+    std::set<RegId> inductionRegs_;
+    std::vector<BreakInfo> breaks_;
+
+    /** (op id, stage) pairs where a prefetch replaces a moved load. */
+    std::set<std::pair<int, int>> prefetchAt_;
+    /** Ops replicated into several stages (swaps, barriers). */
+    std::map<int, std::set<int>> replicateTo_;
+
+    std::vector<std::set<RegId>> refSet_;
+    std::vector<std::set<const ir::Stmt*>> retained_;
+    std::map<std::pair<int, int>, Decision> decision_;
+    std::map<std::pair<int, int>, int> queueFor_;
+
+    DecoupleResult result_;
+};
+
+} // namespace
+
+DecoupleResult
+decouple(const ir::Function& fn, const std::vector<int>& cut_ops,
+         const DecoupleOptions& opts)
+{
+    return Decoupler(fn, cut_ops, opts).run();
+}
+
+} // namespace phloem::comp

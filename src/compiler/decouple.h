@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The decoupling transformation: serial function + cut points -> pipeline.
+ *
+ * This implements the paper's initial "Decouple" step and Pass 1 ("Add
+ * queues"), with Pass 2 ("Recompute") available as an analysis flag:
+ *
+ *  - Every op is assigned to a stage by its position relative to the cut
+ *    points (a cut names the op that begins a new stage).
+ *  - Each stage receives a copy of the enclosing loop/if skeleton of its
+ *    ops; loop induction variables are recomputed locally by every stage.
+ *  - Every register a stage reads is kept in sync positionally: at each
+ *    def of such a register owned by another stage, the consumer stage
+ *    dequeues the value from a per-(producer, consumer) FIFO; the producer
+ *    enqueues it right after the def. Because all stages execute the same
+ *    skeleton with the same (synced) control values, enq/deq sequences
+ *    pair exactly. Loop-carried values naturally become backward queues,
+ *    which is what synchronizes outer iterations (e.g., BFS fringes).
+ *  - With recompute enabled, pure single-op defs whose sources are already
+ *    materialized in the consumer are cloned locally instead of queued
+ *    (the paper's rematerialization of index computations).
+ *  - The aliasing discipline (paper Sec. IV-A, Fig. 4): all accesses to a
+ *    written array slot (or to any may-alias slot group) collapse into the
+ *    latest stage that touches the group; moved loads may leave a
+ *    prefetch in their original stage.
+ */
+
+#ifndef PHLOEM_COMPILER_DECOUPLE_H
+#define PHLOEM_COMPILER_DECOUPLE_H
+
+#include <string>
+#include <vector>
+
+#include "ir/pipeline.h"
+
+namespace phloem::comp {
+
+struct DecoupleOptions
+{
+    /** Pass 2: rematerialize cheap defs instead of queueing them. */
+    bool recompute = true;
+    /** Leave a prefetch where an alias-moved load used to be. */
+    bool prefetchMovedLoads = true;
+    /** Queue depth override for generated queues (0 = architectural). */
+    int queueDepth = 0;
+};
+
+struct DecoupleResult
+{
+    ir::PipelinePtr pipeline;
+    /** Human-readable notes (which values were queued/recomputed/moved). */
+    std::vector<std::string> notes;
+    /** Number of (def, consumer) pairs that became queue traffic. */
+    int queuedValues = 0;
+    /** Number of (def, consumer) pairs satisfied by recomputation. */
+    int recomputedValues = 0;
+};
+
+/**
+ * Decouple `fn` at the given cut points.
+ *
+ * @param cut_ops op ids (in fn) that each begin a new stage; they are
+ *        sorted by program position internally. N cuts produce N+1 stages.
+ */
+DecoupleResult decouple(const ir::Function& fn,
+                        const std::vector<int>& cut_ops,
+                        const DecoupleOptions& opts = DecoupleOptions{});
+
+} // namespace phloem::comp
+
+#endif // PHLOEM_COMPILER_DECOUPLE_H

@@ -1,0 +1,1891 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/logging.h"
+#include "ir/clone.h"
+#include "ir/walk.h"
+
+namespace phloem::comp {
+
+namespace {
+
+using ir::Op;
+using ir::Opcode;
+using ir::QueueId;
+using ir::RegId;
+
+bool
+isEnqOp(Opcode op)
+{
+    return op == Opcode::kEnq || op == Opcode::kEnqCtrl ||
+           op == Opcode::kEnqDist;
+}
+
+bool
+isDeqOp(Opcode op)
+{
+    return op == Opcode::kDeq || op == Opcode::kPeek;
+}
+
+/** Visit every region of a function (body + handlers), mutable. */
+void
+forEachRegionOf(ir::Region& region, const std::function<void(ir::Region&)>& fn)
+{
+    fn(region);
+    for (auto& s : region) {
+        switch (s->kind()) {
+          case ir::StmtKind::kFor:
+            forEachRegionOf(ir::stmtCast<ir::ForStmt>(s.get())->body, fn);
+            break;
+          case ir::StmtKind::kWhile:
+            forEachRegionOf(ir::stmtCast<ir::WhileStmt>(s.get())->body, fn);
+            break;
+          case ir::StmtKind::kIf: {
+            auto* i = ir::stmtCast<ir::IfStmt>(s.get());
+            forEachRegionOf(i->thenBody, fn);
+            forEachRegionOf(i->elseBody, fn);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+forEachRegionOf(ir::Function& fn,
+                const std::function<void(ir::Region&)>& visitor)
+{
+    forEachRegionOf(fn.body, visitor);
+    for (auto& h : fn.handlers)
+        forEachRegionOf(h.body, visitor);
+}
+
+/** Count reads of a register in a function (srcs, loop bounds, if conds). */
+int
+regReadCount(const ir::Function& fn, RegId r)
+{
+    int count = 0;
+    std::function<void(const ir::Region&)> walk =
+        [&](const ir::Region& region) {
+            for (const auto& s : region) {
+                switch (s->kind()) {
+                  case ir::StmtKind::kOp: {
+                    const Op& op = ir::stmtCast<ir::OpStmt>(s.get())->op;
+                    for (int i = 0; i < ir::numSrcs(op.opcode); ++i)
+                        if (op.src[i] == r)
+                            count++;
+                    break;
+                  }
+                  case ir::StmtKind::kFor: {
+                    auto* f = ir::stmtCast<ir::ForStmt>(s.get());
+                    if (f->start == r)
+                        count++;
+                    if (f->bound == r)
+                        count++;
+                    walk(f->body);
+                    break;
+                  }
+                  case ir::StmtKind::kWhile:
+                    walk(ir::stmtCast<ir::WhileStmt>(s.get())->body);
+                    break;
+                  case ir::StmtKind::kIf: {
+                    auto* i = ir::stmtCast<ir::IfStmt>(s.get());
+                    if (i->cond == r)
+                        count++;
+                    walk(i->thenBody);
+                    walk(i->elseBody);
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        };
+    walk(fn.body);
+    for (const auto& h : fn.handlers)
+        walk(h.body);
+    return count;
+}
+
+/** Allocate a fresh queue id above everything the pipeline uses. */
+QueueId
+newQueueId(const ir::Pipeline& pipeline)
+{
+    QueueId next = 0;
+    for (const auto& stage : pipeline.stages) {
+        ir::forEachOp(stage->body, [&](const Op& op) {
+            if (ir::usesQueue(op.opcode))
+                next = std::max(next, op.queue + 1);
+        });
+        for (const auto& h : stage->handlers) {
+            next = std::max(next, h.queue + 1);
+            ir::forEachOp(h.body, [&](const Op& op) {
+                if (ir::usesQueue(op.opcode))
+                    next = std::max(next, op.queue + 1);
+            });
+        }
+    }
+    for (const auto& ra : pipeline.ras)
+        next = std::max({next, ra.inQueue + 1, ra.outQueue + 1});
+    return next;
+}
+
+/** Retarget the queue of ops matching a predicate; returns count. */
+int
+retargetQueue(ir::Function& fn, const std::function<bool(const Op&)>& pred,
+              QueueId to)
+{
+    int n = 0;
+    forEachRegionOf(fn, [&](ir::Region& region) {
+        for (auto& s : region) {
+            if (s->kind() != ir::StmtKind::kOp)
+                continue;
+            Op& op = ir::stmtCast<ir::OpStmt>(s.get())->op;
+            if (ir::usesQueue(op.opcode) && pred(op)) {
+                op.queue = to;
+                n++;
+            }
+        }
+    });
+    return n;
+}
+
+/**
+ * Ensure the traffic of def `origin` on queue `q` flows through a
+ * dedicated queue. If other defs share q, this def's endpoints move to a
+ * fresh queue (per-def order is preserved, so pairing is intact).
+ * Returns the (possibly new) queue id.
+ */
+QueueId
+splitQueueForDef(ir::Pipeline& pipeline, int origin, QueueId q)
+{
+    bool shared = false;
+    for (const auto& stage : pipeline.stages) {
+        ir::forEachOp(stage->body, [&](const Op& op) {
+            if (!ir::usesQueue(op.opcode) || op.queue != q)
+                return;
+            if (op.origin != origin)
+                shared = true;
+        });
+    }
+    if (!shared)
+        return q;
+    QueueId q2 = newQueueId(pipeline);
+    for (auto& stage : pipeline.stages) {
+        retargetQueue(*stage,
+                      [&](const Op& op) {
+                          return op.queue == q && op.origin == origin;
+                      },
+                      q2);
+    }
+    return q2;
+}
+
+/** Remove every OpStmt matching a predicate; returns count removed. */
+int
+removeOps(ir::Function& fn, const std::function<bool(const Op&)>& pred)
+{
+    int n = 0;
+    forEachRegionOf(fn, [&](ir::Region& region) {
+        for (size_t i = 0; i < region.size();) {
+            if (region[i]->kind() == ir::StmtKind::kOp &&
+                pred(ir::stmtCast<ir::OpStmt>(region[i].get())->op)) {
+                region.erase(region.begin() + static_cast<long>(i));
+                n++;
+            } else {
+                ++i;
+            }
+        }
+    });
+    return n;
+}
+
+/** Drop loops and ifs that contain no statements at all. */
+void
+pruneEmptyStructures(ir::Region& region)
+{
+    for (size_t i = 0; i < region.size();) {
+        ir::Stmt* s = region[i].get();
+        bool drop = false;
+        switch (s->kind()) {
+          case ir::StmtKind::kFor: {
+            auto* f = ir::stmtCast<ir::ForStmt>(s);
+            pruneEmptyStructures(f->body);
+            drop = f->body.empty();
+            break;
+          }
+          case ir::StmtKind::kWhile: {
+            auto* w = ir::stmtCast<ir::WhileStmt>(s);
+            pruneEmptyStructures(w->body);
+            // An empty while(true) would spin forever; it can only be
+            // empty if nothing inside was retained, so drop it.
+            drop = w->body.empty();
+            break;
+          }
+          case ir::StmtKind::kIf: {
+            auto* f = ir::stmtCast<ir::IfStmt>(s);
+            pruneEmptyStructures(f->thenBody);
+            pruneEmptyStructures(f->elseBody);
+            drop = f->thenBody.empty() && f->elseBody.empty();
+            break;
+          }
+          default:
+            break;
+        }
+        if (drop)
+            region.erase(region.begin() + static_cast<long>(i));
+        else
+            ++i;
+    }
+}
+
+/**
+ * Find the unique deq (not peek) on queue q with the given origin.
+ * Returns {stage index, OpStmt*} or {-1, nullptr}.
+ */
+std::pair<int, ir::OpStmt*>
+findDeqOnQueue(ir::Pipeline& pipeline, QueueId q, int origin)
+{
+    std::pair<int, ir::OpStmt*> found{-1, nullptr};
+    int count = 0;
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        forEachRegionOf(*pipeline.stages[s], [&](ir::Region& region) {
+            for (auto& st : region) {
+                if (st->kind() != ir::StmtKind::kOp)
+                    continue;
+                auto* os = ir::stmtCast<ir::OpStmt>(st.get());
+                if (os->op.opcode == Opcode::kDeq && os->op.queue == q &&
+                    os->op.origin == origin) {
+                    found = {static_cast<int>(s), os};
+                    count++;
+                }
+            }
+        });
+    }
+    if (count != 1)
+        return {-1, nullptr};
+    return found;
+}
+
+/** Does any op send control values on queue q? */
+bool
+queueCarriesCtrl(const ir::Pipeline& pipeline, QueueId q)
+{
+    for (const auto& stage : pipeline.stages) {
+        bool found = false;
+        ir::forEachOp(stage->body, [&](const Op& op) {
+            if ((op.opcode == Opcode::kEnqCtrl ||
+                 (op.opcode == Opcode::kEnqDist && op.src[0] < 0)) &&
+                op.queue == q) {
+                found = true;
+            }
+        });
+        if (found)
+            return true;
+    }
+    return false;
+}
+
+/** Stage index that enqueues into queue q, or -1. */
+int
+producerStageOf(const ir::Pipeline& pipeline, QueueId q)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        bool produces = false;
+        ir::forEachOp(pipeline.stages[s]->body, [&](const Op& op) {
+            if (isEnqOp(op.opcode) && op.queue == q)
+                produces = true;
+        });
+        if (produces)
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+/** Matches the CV while shape; returns the deq op or nullptr. */
+ir::OpStmt*
+matchCvWhile(ir::WhileStmt* w)
+{
+    if (w->body.size() < 3)
+        return nullptr;
+    if (w->body[0]->kind() != ir::StmtKind::kOp ||
+        w->body[1]->kind() != ir::StmtKind::kOp ||
+        w->body[2]->kind() != ir::StmtKind::kIf) {
+        return nullptr;
+    }
+    auto* deq = ir::stmtCast<ir::OpStmt>(w->body[0].get());
+    auto* isc = ir::stmtCast<ir::OpStmt>(w->body[1].get());
+    auto* brk = ir::stmtCast<ir::IfStmt>(w->body[2].get());
+    if (deq->op.opcode != Opcode::kDeq ||
+        isc->op.opcode != Opcode::kIsControl ||
+        isc->op.src[0] != deq->op.dst || brk->cond != isc->op.dst ||
+        !brk->elseBody.empty() || brk->thenBody.size() != 1 ||
+        brk->thenBody[0]->kind() != ir::StmtKind::kBreak) {
+        return nullptr;
+    }
+    return deq;
+}
+
+/** RA index whose outQueue is q, or -1. */
+int
+raProducing(const ir::Pipeline& pipeline, QueueId q)
+{
+    for (size_t i = 0; i < pipeline.ras.size(); ++i)
+        if (pipeline.ras[i].outQueue == q)
+            return static_cast<int>(i);
+    return -1;
+}
+
+struct LoopRef
+{
+    ir::Region* parent = nullptr;
+    size_t index = 0;
+    ir::Stmt* stmt = nullptr;
+};
+
+/** Find the loop statement with a given origin in a function. */
+LoopRef
+findLoopWithOrigin(ir::Function& fn, int origin)
+{
+    LoopRef found;
+    forEachRegionOf(fn, [&](ir::Region& region) {
+        for (size_t i = 0; i < region.size(); ++i) {
+            ir::Stmt* s = region[i].get();
+            if ((s->kind() == ir::StmtKind::kFor ||
+                 s->kind() == ir::StmtKind::kWhile) &&
+                s->origin == origin) {
+                found = {&region, i, s};
+            }
+        }
+    });
+    return found;
+}
+
+Op
+makeOp(ir::Function& fn, Opcode opc)
+{
+    Op op;
+    op.opcode = opc;
+    op.id = fn.nextOpId++;
+    return op;
+}
+
+void
+insertOpAt(ir::Region& region, size_t index, ir::Function& fn, Op op)
+{
+    auto stmt = std::make_unique<ir::OpStmt>(op);
+    stmt->id = fn.nextStmtId++;
+    stmt->origin = op.origin;
+    region.insert(region.begin() + static_cast<long>(index),
+                  std::move(stmt));
+}
+
+/**
+ * If the delimiter for queue q should come from a reference accelerator,
+ * return that RA's index (the final RA in the chain feeding q, if it is a
+ * SCAN). Otherwise -1.
+ */
+int
+delimiterRA(const ir::Pipeline& pipeline, QueueId q)
+{
+    int ra = raProducing(pipeline, q);
+    if (ra < 0)
+        return -1;
+    if (pipeline.ras[static_cast<size_t>(ra)].mode == ir::RAMode::kScan)
+        return ra;
+    return -1;
+}
+
+/** Walk an RA chain feeding q back to the queue a stage enqueues into. */
+QueueId
+chainHeadQueue(const ir::Pipeline& pipeline, QueueId q)
+{
+    for (;;) {
+        int ra = raProducing(pipeline, q);
+        if (ra < 0)
+            return q;
+        q = pipeline.ras[static_cast<size_t>(ra)].inQueue;
+    }
+}
+
+/**
+ * Cleanup of now-unused materialized bounds in stage s: removes deq or
+ * recompute clones for `reg` when it is no longer read, together with the
+ * matching producer enq.
+ */
+void
+cleanupDeadMaterialization(ir::Pipeline& pipeline, int s, RegId reg,
+                           PassReport* report)
+{
+    ir::Function& fn = *pipeline.stages[static_cast<size_t>(s)];
+    if (regReadCount(fn, reg) != 0)
+        return;
+    // Find deq ops writing reg; remove them and, per def, the matching
+    // producer enq. Removing both endpoints of one def from a shared
+    // FIFO keeps the remaining defs' pairing intact (positions align).
+    struct DeadDef
+    {
+        int origin;
+        QueueId queue;
+    };
+    std::vector<DeadDef> dead;
+    removeOps(fn, [&](const Op& op) {
+        if (op.opcode == Opcode::kDeq && op.dst == reg) {
+            dead.push_back({op.origin, op.queue});
+            return true;
+        }
+        return false;
+    });
+    for (const DeadDef& d : dead) {
+        // If the value arrived through an RA chain, the producer feeds
+        // the chain-head queue instead.
+        QueueId q = chainHeadQueue(pipeline, d.queue);
+        for (auto& stage : pipeline.stages) {
+            removeOps(*stage, [&](const Op& op) {
+                return op.opcode == Opcode::kEnq && op.origin == d.origin &&
+                       op.queue == q;
+            });
+        }
+    }
+    // Remove pure recompute clones whose dst is dead.
+    removeOps(fn, [&](const Op& op) {
+        return ir::isPure(op.opcode) && op.dst == reg;
+    });
+    if (report != nullptr)
+        report->note("removed dead bound r" + std::to_string(reg) +
+                     " in stage " + std::to_string(s));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Pass 3: reference accelerators.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct RAKey
+{
+    int producerStage;
+    int consumerStage;
+    std::string array;
+
+    bool
+    operator<(const RAKey& o) const
+    {
+        return std::tie(producerStage, consumerStage, array) <
+               std::tie(o.producerStage, o.consumerStage, o.array);
+    }
+};
+
+/**
+ * Reference accelerators are configured with a fixed base address; an
+ * array slot whose binding rotates (kSwapArr double buffers) cannot be
+ * offloaded to one.
+ */
+bool
+arraySlotIsSwapped(const ir::Pipeline& pipeline, ir::ArrayId arr)
+{
+    for (const auto& stage : pipeline.stages) {
+        bool swapped = false;
+        ir::forEachOp(stage->body, [&](const Op& op) {
+            if (op.opcode == Opcode::kSwapArr &&
+                (op.arr == arr || op.arr2 == arr)) {
+                swapped = true;
+            }
+        });
+        if (swapped)
+            return true;
+    }
+    return false;
+}
+
+/** One producer-side INDIRECT offload; returns true if applied. */
+bool
+tryIndirectOffload(ir::Pipeline& pipeline, std::map<RAKey, int>& ra_index,
+                   PassReport* report, int max_ras, int skip_consumer)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        ir::Function& fn = *pipeline.stages[s];
+        bool applied = false;
+        forEachRegionOf(fn, [&](ir::Region& region) {
+            if (applied)
+                return;
+            for (size_t i = 0; i + 1 < region.size(); ++i) {
+                if (region[i]->kind() != ir::StmtKind::kOp ||
+                    region[i + 1]->kind() != ir::StmtKind::kOp) {
+                    continue;
+                }
+                Op& load = ir::stmtCast<ir::OpStmt>(region[i].get())->op;
+                Op& enq =
+                    ir::stmtCast<ir::OpStmt>(region[i + 1].get())->op;
+                if (load.opcode != Opcode::kLoad ||
+                    enq.opcode != Opcode::kEnq ||
+                    enq.src[0] != load.dst ||
+                    enq.origin != load.origin) {
+                    continue;
+                }
+                // The loaded value must only feed this enq, and the
+                // queue's control values (if any) would not survive the
+                // re-routing of the data stream.
+                if (regReadCount(fn, load.dst) != 1)
+                    continue;
+                if (queueCarriesCtrl(pipeline, enq.queue))
+                    continue;
+                if (arraySlotIsSwapped(pipeline, load.arr))
+                    continue;
+                auto [cons_stage, deq] =
+                    findDeqOnQueue(pipeline, enq.queue, load.origin);
+                if (deq == nullptr || cons_stage == skip_consumer)
+                    continue;
+
+                RAKey key{static_cast<int>(s), cons_stage,
+                          fn.arrays[static_cast<size_t>(load.arr)].name};
+                int ra;
+                auto it = ra_index.find(key);
+                if (it != ra_index.end() &&
+                    pipeline.ras[static_cast<size_t>(it->second)].mode ==
+                        ir::RAMode::kIndirect) {
+                    ra = it->second;
+                } else {
+                    if (static_cast<int>(pipeline.ras.size()) >= max_ras)
+                        continue;
+                    ir::RAConfig cfg;
+                    cfg.mode = ir::RAMode::kIndirect;
+                    cfg.arrayName = key.array;
+                    cfg.elem =
+                        fn.arrays[static_cast<size_t>(load.arr)].elem;
+                    cfg.inQueue = newQueueId(pipeline);
+                    cfg.outQueue = cfg.inQueue + 1;
+                    pipeline.ras.push_back(cfg);
+                    ra = static_cast<int>(pipeline.ras.size()) - 1;
+                    ra_index[key] = ra;
+                }
+                const ir::RAConfig& cfg =
+                    pipeline.ras[static_cast<size_t>(ra)];
+
+                // Producer: load + enq(value) -> enq(index to RA).
+                Op idx_enq = makeOp(fn, Opcode::kEnq);
+                idx_enq.queue = cfg.inQueue;
+                idx_enq.src[0] = load.src[0];
+                idx_enq.origin = load.origin;
+                int origin = load.origin;
+                region.erase(region.begin() + static_cast<long>(i),
+                             region.begin() + static_cast<long>(i) + 2);
+                insertOpAt(region, i, fn, idx_enq);
+                // Consumer: deq from the RA output.
+                deq->op.queue = cfg.outQueue;
+                if (report != nullptr)
+                    report->note(
+                        "RA(indirect " + key.array + "): offloaded load op " +
+                        std::to_string(origin) + " from stage " +
+                        std::to_string(s));
+                applied = true;
+                return;
+            }
+        });
+        if (applied)
+            return true;
+    }
+    return false;
+}
+
+/** One producer-side SCAN offload (with chaining); true if applied. */
+bool
+tryScanOffload(ir::Pipeline& pipeline, PassReport* report, int max_ras,
+               int skip_consumer)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        ir::Function& fn = *pipeline.stages[s];
+        bool applied = false;
+        forEachRegionOf(fn, [&](ir::Region& region) {
+            if (applied)
+                return;
+            for (size_t i = 0; i < region.size(); ++i) {
+                if (region[i]->kind() != ir::StmtKind::kFor)
+                    continue;
+                auto* f = ir::stmtCast<ir::ForStmt>(region[i].get());
+                if (f->body.size() != 2 ||
+                    f->body[0]->kind() != ir::StmtKind::kOp ||
+                    f->body[1]->kind() != ir::StmtKind::kOp) {
+                    continue;
+                }
+                Op& load =
+                    ir::stmtCast<ir::OpStmt>(f->body[0].get())->op;
+                Op& enq = ir::stmtCast<ir::OpStmt>(f->body[1].get())->op;
+                if (load.opcode != Opcode::kLoad ||
+                    load.src[0] != f->var ||
+                    enq.opcode != Opcode::kEnq ||
+                    enq.src[0] != load.dst ||
+                    enq.origin != load.origin) {
+                    continue;
+                }
+                if (regReadCount(fn, load.dst) != 1)
+                    continue;
+                if (arraySlotIsSwapped(pipeline, load.arr))
+                    continue;
+                auto [cons_stage, deq] =
+                    findDeqOnQueue(pipeline, enq.queue, load.origin);
+                if (deq == nullptr || cons_stage == skip_consumer)
+                    continue;
+                if (static_cast<int>(pipeline.ras.size()) >= max_ras)
+                    continue;
+
+                QueueId old_q = enq.queue;
+                ir::RAConfig cfg;
+                cfg.mode = ir::RAMode::kScan;
+                cfg.arrayName =
+                    fn.arrays[static_cast<size_t>(load.arr)].name;
+                cfg.elem = fn.arrays[static_cast<size_t>(load.arr)].elem;
+                cfg.outQueue = newQueueId(pipeline);
+                int origin = load.origin;
+
+                // Chaining: if the bounds come straight from an RA output
+                // queue and are used nowhere else, feed that RA into this
+                // one and drop the plumbing.
+                bool chained = false;
+                ir::OpStmt* start_def = nullptr;
+                ir::OpStmt* bound_def = nullptr;
+                forEachRegionOf(fn, [&](ir::Region& r2) {
+                    for (auto& st : r2) {
+                        if (st->kind() != ir::StmtKind::kOp)
+                            continue;
+                        auto* os = ir::stmtCast<ir::OpStmt>(st.get());
+                        if (os->op.opcode != Opcode::kDeq)
+                            continue;
+                        if (os->op.dst == f->start)
+                            start_def = os;
+                        if (os->op.dst == f->bound)
+                            bound_def = os;
+                    }
+                });
+                if (start_def != nullptr && bound_def != nullptr &&
+                    start_def->op.queue == bound_def->op.queue &&
+                    raProducing(pipeline, start_def->op.queue) >= 0 &&
+                    regReadCount(fn, f->start) == 1 &&
+                    regReadCount(fn, f->bound) == 1) {
+                    cfg.inQueue = start_def->op.queue;
+                    int sd = start_def->op.id;
+                    int bd = bound_def->op.id;
+                    removeOps(fn, [&](const Op& op) {
+                        return op.id == sd || op.id == bd;
+                    });
+                    chained = true;
+                } else {
+                    // newQueueId() is unaware of cfg until it is pushed,
+                    // so allocate the input above the fresh output id.
+                    cfg.inQueue = cfg.outQueue + 1;
+                }
+
+                pipeline.ras.push_back(cfg);
+
+                // Replace the loop with the range enqueue pair (unless
+                // chained, in which case the RA chain carries the range).
+                size_t pos = i;
+                region.erase(region.begin() + static_cast<long>(pos));
+                if (!chained) {
+                    Op e1 = makeOp(fn, Opcode::kEnq);
+                    e1.queue = cfg.inQueue;
+                    e1.src[0] = f->start;
+                    e1.origin = origin;
+                    Op e2 = makeOp(fn, Opcode::kEnq);
+                    e2.queue = cfg.inQueue;
+                    e2.src[0] = f->bound;
+                    e2.origin = origin;
+                    insertOpAt(region, pos, fn, e1);
+                    insertOpAt(region, pos + 1, fn, e2);
+                }
+
+                // Control values previously sent on the data queue now
+                // enter the RA chain and pass through. When the range
+                // itself arrives through an upstream RA (chained), this
+                // stage no longer gates the stream, so the control value
+                // must move to the producer feeding the chain head
+                // (otherwise it could overtake buffered data).
+                if (!chained) {
+                    retargetQueue(fn,
+                                  [&](const Op& op) {
+                                      return op.opcode ==
+                                                 Opcode::kEnqCtrl &&
+                                             op.queue == old_q;
+                                  },
+                                  cfg.inQueue);
+                } else {
+                    QueueId head = chainHeadQueue(pipeline, cfg.inQueue);
+                    int head_prod = producerStageOf(pipeline, head);
+                    std::vector<Op> moved_ctrls;
+                    removeOps(fn, [&](const Op& op) {
+                        if (op.opcode == Opcode::kEnqCtrl &&
+                            op.queue == old_q) {
+                            moved_ctrls.push_back(op);
+                            return true;
+                        }
+                        return false;
+                    });
+                    if (head_prod >= 0) {
+                        ir::Function& hp = *pipeline.stages[
+                            static_cast<size_t>(head_prod)];
+                        for (const Op& c : moved_ctrls) {
+                            LoopRef anchor =
+                                findLoopWithOrigin(hp, c.origin);
+                            Op moved = c;
+                            moved.queue = head;
+                            moved.id = hp.nextOpId++;
+                            if (anchor.stmt != nullptr) {
+                                insertOpAt(*anchor.parent,
+                                           anchor.index + 1, hp, moved);
+                            } else {
+                                // Fall back to the end of the body.
+                                insertOpAt(hp.body, hp.body.size(), hp,
+                                           moved);
+                            }
+                        }
+                    }
+                }
+
+                deq->op.queue = cfg.outQueue;
+                if (report != nullptr)
+                    report->note("RA(scan " + cfg.arrayName +
+                                 "): offloaded loop around load op " +
+                                 std::to_string(origin) + " from stage " +
+                                 std::to_string(s) +
+                                 (chained ? " (chained)" : ""));
+                applied = true;
+                return;
+            }
+        });
+        if (applied)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Chain two reference accelerators through a plumbing stage: when every
+ * deq of an RA-output queue qa in some stage merely forwards the value
+ * into an RA-input queue qb, splice RA(qb).in = qa, delete the plumbing
+ * ops, and relocate qb's control-value senders to the new chain head.
+ */
+bool
+tryPlumbingElision(ir::Pipeline& pipeline, PassReport* report)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        ir::Function& fn = *pipeline.stages[s];
+
+        // Candidate (qa, qb) pairs from adjacent deq/enq ops.
+        std::map<QueueId, QueueId> pair_of;  // qa -> qb
+        bool broken = false;
+        forEachRegionOf(fn, [&](ir::Region& region) {
+            for (size_t i = 0; i < region.size(); ++i) {
+                if (region[i]->kind() != ir::StmtKind::kOp)
+                    continue;
+                const Op& op =
+                    ir::stmtCast<ir::OpStmt>(region[i].get())->op;
+                if (op.opcode != Opcode::kDeq)
+                    continue;
+                if (raProducing(pipeline, op.queue) < 0)
+                    continue;
+                // Must be immediately forwarded.
+                if (i + 1 >= region.size() ||
+                    region[i + 1]->kind() != ir::StmtKind::kOp) {
+                    continue;
+                }
+                const Op& next =
+                    ir::stmtCast<ir::OpStmt>(region[i + 1].get())->op;
+                if (next.opcode != Opcode::kEnq ||
+                    next.src[0] != op.dst ||
+                    regReadCount(fn, op.dst) != 1) {
+                    continue;
+                }
+                auto [it, fresh] = pair_of.try_emplace(op.queue,
+                                                       next.queue);
+                if (!fresh && it->second != next.queue)
+                    broken = true;
+            }
+        });
+        if (broken)
+            continue;
+
+        for (const auto& [qa, qb] : pair_of) {
+            // qb must be an RA input, and every deq of qa / enq of qb in
+            // this stage must belong to forwarding pairs.
+            int target_ra = -1;
+            for (size_t i = 0; i < pipeline.ras.size(); ++i)
+                if (pipeline.ras[i].inQueue == qb)
+                    target_ra = static_cast<int>(i);
+            if (target_ra < 0)
+                continue;
+
+            int deqs = 0, enqs = 0, pairs = 0;
+            forEachRegionOf(fn, [&](ir::Region& region) {
+                for (size_t i = 0; i < region.size(); ++i) {
+                    if (region[i]->kind() != ir::StmtKind::kOp)
+                        continue;
+                    const Op& op =
+                        ir::stmtCast<ir::OpStmt>(region[i].get())->op;
+                    if (op.opcode == Opcode::kDeq && op.queue == qa)
+                        deqs++;
+                    if (op.opcode == Opcode::kEnq && op.queue == qb)
+                        enqs++;
+                    if (op.opcode == Opcode::kDeq && op.queue == qa &&
+                        i + 1 < region.size() &&
+                        region[i + 1]->kind() == ir::StmtKind::kOp) {
+                        const Op& nx = ir::stmtCast<ir::OpStmt>(
+                                           region[i + 1].get())
+                                           ->op;
+                        if (nx.opcode == Opcode::kEnq &&
+                            nx.queue == qb && nx.src[0] == op.dst &&
+                            regReadCount(fn, op.dst) == 1) {
+                            pairs++;
+                        }
+                    }
+                }
+            });
+            if (pairs == 0 || deqs != pairs || enqs != pairs)
+                continue;
+            // Nobody else may consume qa or produce qb.
+            bool conflict = false;
+            for (size_t o = 0; o < pipeline.stages.size(); ++o) {
+                if (o == s)
+                    continue;
+                ir::forEachOp(pipeline.stages[o]->body, [&](const Op& op) {
+                    if (isDeqOp(op.opcode) && op.queue == qa)
+                        conflict = true;
+                    if (op.opcode == Opcode::kEnq && op.queue == qb)
+                        conflict = true;
+                });
+            }
+            if (conflict)
+                continue;
+
+            // Splice.
+            pipeline.ras[static_cast<size_t>(target_ra)].inQueue = qa;
+            // Remove the forwarding pairs.
+            std::set<RegId> fwd_regs;
+            forEachRegionOf(fn, [&](ir::Region& region) {
+                for (auto& st : region) {
+                    if (st->kind() != ir::StmtKind::kOp)
+                        continue;
+                    const Op& op =
+                        ir::stmtCast<ir::OpStmt>(st.get())->op;
+                    if (op.opcode == Opcode::kDeq && op.queue == qa)
+                        fwd_regs.insert(op.dst);
+                }
+            });
+            removeOps(fn, [&](const Op& op) {
+                if (op.opcode == Opcode::kDeq && op.queue == qa)
+                    return true;
+                return op.opcode == Opcode::kEnq && op.queue == qb &&
+                       fwd_regs.count(op.src[0]) != 0;
+            });
+
+            // Relocate this stage's control senders on qb to the chain
+            // head: they gated the stream here, but the stream no longer
+            // passes through this stage.
+            QueueId head = chainHeadQueue(pipeline, qa);
+            int head_prod = producerStageOf(pipeline, head);
+            std::vector<Op> moved;
+            removeOps(fn, [&](const Op& op) {
+                if (op.opcode == Opcode::kEnqCtrl && op.queue == qb) {
+                    moved.push_back(op);
+                    return true;
+                }
+                return false;
+            });
+            if (head_prod >= 0) {
+                ir::Function& hp =
+                    *pipeline.stages[static_cast<size_t>(head_prod)];
+                for (const Op& c : moved) {
+                    LoopRef anchor = findLoopWithOrigin(hp, c.origin);
+                    Op mc = c;
+                    mc.queue = head;
+                    mc.id = hp.nextOpId++;
+                    if (anchor.stmt != nullptr) {
+                        insertOpAt(*anchor.parent, anchor.index + 1, hp,
+                                   mc);
+                    } else {
+                        insertOpAt(hp.body, hp.body.size(), hp, mc);
+                    }
+                }
+            }
+
+            if (report != nullptr)
+                report->note("chained RA via plumbing elision in stage " +
+                             std::to_string(s));
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Delete a control-value while loop that only forwards an RA output
+ * stream into another RA's input:
+ *
+ *   while { x1 = deq(qa); if (is_control(x1)) break;
+ *           x2 = deq(qa); enq(qb, x1); enq(qb, x2); }
+ *
+ * becomes RA(qb).in = qa; the control value that paced the loop flows
+ * through the chain and becomes the downstream delimiter, so an
+ * equivalent delimiter this stage used to send on qb is dropped.
+ */
+bool
+tryForwardingWhileElision(ir::Pipeline& pipeline, PassReport* report)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        ir::Function& fn = *pipeline.stages[s];
+        bool applied = false;
+        forEachRegionOf(fn, [&](ir::Region& region) {
+            if (applied)
+                return;
+            for (size_t i = 0; i < region.size(); ++i) {
+                if (region[i]->kind() != ir::StmtKind::kWhile)
+                    continue;
+                auto* w = ir::stmtCast<ir::WhileStmt>(region[i].get());
+                ir::OpStmt* driver = matchCvWhile(w);
+                if (driver == nullptr)
+                    continue;
+                QueueId qa = driver->op.queue;
+                if (raProducing(pipeline, qa) < 0)
+                    continue;
+
+                // Collect the rest of the body: deqs of qa and enqs of
+                // one RA-input queue qb, order-preserving.
+                std::vector<const Op*> deq_list{&driver->op};
+                std::vector<const Op*> enq_list;
+                QueueId qb = ir::kNoQueue;
+                bool ok = true;
+                for (size_t k = 3; k < w->body.size(); ++k) {
+                    if (w->body[k]->kind() != ir::StmtKind::kOp) {
+                        ok = false;
+                        break;
+                    }
+                    const Op& op =
+                        ir::stmtCast<ir::OpStmt>(w->body[k].get())->op;
+                    if (op.opcode == Opcode::kDeq && op.queue == qa) {
+                        deq_list.push_back(&op);
+                    } else if (op.opcode == Opcode::kEnq) {
+                        if (qb == ir::kNoQueue)
+                            qb = op.queue;
+                        if (op.queue != qb) {
+                            ok = false;
+                            break;
+                        }
+                        enq_list.push_back(&op);
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                }
+                if (!ok || qb == ir::kNoQueue ||
+                    enq_list.size() != deq_list.size()) {
+                    continue;
+                }
+                for (size_t k = 0; k < enq_list.size(); ++k) {
+                    if (enq_list[k]->src[0] != deq_list[k]->dst)
+                        ok = false;
+                }
+                if (!ok)
+                    continue;
+                int target_ra = -1;
+                for (size_t r = 0; r < pipeline.ras.size(); ++r)
+                    if (pipeline.ras[r].inQueue == qb)
+                        target_ra = static_cast<int>(r);
+                if (target_ra < 0)
+                    continue;
+                // Exclusivity.
+                bool conflict = false;
+                for (size_t o = 0; o < pipeline.stages.size(); ++o) {
+                    ir::forEachOp(pipeline.stages[o]->body,
+                                  [&](const Op& op) {
+                        if (o != s && isDeqOp(op.opcode) &&
+                            op.queue == qa) {
+                            conflict = true;
+                        }
+                        if (o != s && op.opcode == Opcode::kEnq &&
+                            op.queue == qb) {
+                            conflict = true;
+                        }
+                    });
+                }
+                if (conflict)
+                    continue;
+
+                // Splice and delete the loop.
+                pipeline.ras[static_cast<size_t>(target_ra)].inQueue = qa;
+                region.erase(region.begin() + static_cast<long>(i));
+
+                // The pacing control value on qa now delimits downstream;
+                // drop this stage's equivalent delimiter on qb, or
+                // relocate it to the chain head if none equivalent flows.
+                QueueId head = chainHeadQueue(pipeline, qa);
+                int head_prod = producerStageOf(pipeline, head);
+                std::vector<Op> moved;
+                removeOps(fn, [&](const Op& op) {
+                    if (op.opcode == Opcode::kEnqCtrl && op.queue == qb) {
+                        moved.push_back(op);
+                        return true;
+                    }
+                    return false;
+                });
+                if (head_prod >= 0) {
+                    ir::Function& hp =
+                        *pipeline.stages[static_cast<size_t>(head_prod)];
+                    for (const Op& c : moved) {
+                        bool duplicate = false;
+                        ir::forEachOp(hp.body, [&](const Op& op) {
+                            if (op.opcode == Opcode::kEnqCtrl &&
+                                op.queue == head &&
+                                op.origin == c.origin) {
+                                duplicate = true;
+                            }
+                        });
+                        if (duplicate)
+                            continue;
+                        LoopRef anchor = findLoopWithOrigin(hp, c.origin);
+                        Op mc = c;
+                        mc.queue = head;
+                        mc.id = hp.nextOpId++;
+                        if (anchor.stmt != nullptr) {
+                            insertOpAt(*anchor.parent, anchor.index + 1,
+                                       hp, mc);
+                        } else {
+                            insertOpAt(hp.body, hp.body.size(), hp, mc);
+                        }
+                    }
+                }
+                if (report != nullptr)
+                    report->note(
+                        "chained RA by eliding forwarding loop in stage " +
+                        std::to_string(s));
+                applied = true;
+                return;
+            }
+        });
+        if (applied)
+            return true;
+    }
+    return false;
+}
+
+/** Does a stage still do externally visible work? */
+bool
+stageHasWork(const ir::Function& fn)
+{
+    bool work = false;
+    ir::forEachOp(fn.body, [&](const Op& op) {
+        switch (op.opcode) {
+          case Opcode::kStore:
+          case Opcode::kAtomicMin:
+          case Opcode::kAtomicAdd:
+          case Opcode::kAtomicFAdd:
+          case Opcode::kEnq:
+          case Opcode::kEnqCtrl:
+          case Opcode::kEnqDist:
+          case Opcode::kBarrier:
+          case Opcode::kPrefetch:
+            work = true;
+            break;
+          default:
+            break;
+        }
+    });
+    for (const auto& h : fn.handlers) {
+        ir::forEachOp(h.body, [&](const Op& op) {
+            if (isEnqOp(op.opcode))
+                work = true;
+        });
+    }
+    return work;
+}
+
+/** Remove stages that only consume values and drive no effects. */
+void
+dropDeadStages(ir::Pipeline& pipeline, PassReport* report)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto& stage : pipeline.stages)
+            pruneEmptyStructures(stage->body);
+
+        for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+            ir::Function& fn = *pipeline.stages[s];
+            if (stageHasWork(fn))
+                continue;
+            // Queues this stage consumes.
+            std::set<QueueId> consumed;
+            ir::forEachOp(fn.body, [&](const Op& op) {
+                if (isDeqOp(op.opcode))
+                    consumed.insert(op.queue);
+            });
+            // Only drop when every consumed queue is stage-produced
+            // (removing RA chains is handled elsewhere).
+            bool ok = true;
+            for (QueueId q : consumed) {
+                if (raProducing(pipeline, q) >= 0)
+                    ok = false;
+            }
+            if (!ok)
+                continue;
+            if (report != nullptr)
+                report->note("dropped stage " + fn.name +
+                             " (control-only after offloading)");
+            // Remove the producers' enqs into the dropped queues.
+            for (auto& other : pipeline.stages) {
+                if (other.get() == &fn)
+                    continue;
+                removeOps(*other, [&](const Op& op) {
+                    return isEnqOp(op.opcode) &&
+                           consumed.count(op.queue) != 0;
+                });
+            }
+            pipeline.stages.erase(pipeline.stages.begin() +
+                                  static_cast<long>(s));
+            changed = true;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void
+accelerateAccesses(ir::Pipeline& pipeline, PassReport* report, int max_ras,
+                   int skip_consumer_stage)
+{
+    std::map<RAKey, int> ra_index;
+    // Offloading removes one def's enq and retargets its deq; shared
+    // queues keep their remaining defs' pairing, so no splitting needed.
+    // SCAN patterns get priority: a whole loop offload is strictly better
+    // than per-element indirection on the same load.
+    bool any = true;
+    while (any) {
+        any = false;
+        if (tryScanOffload(pipeline, report, max_ras,
+                           skip_consumer_stage)) {
+            any = true;
+        } else if (tryIndirectOffload(pipeline, ra_index, report, max_ras,
+                                      skip_consumer_stage)) {
+            any = true;
+        } else if (tryPlumbingElision(pipeline, report)) {
+            any = true;
+        } else if (tryForwardingWhileElision(pipeline, report)) {
+            any = true;
+        }
+    }
+    dropDeadStages(pipeline, report);
+    refreshQueueMetadata(pipeline);
+}
+
+// ---------------------------------------------------------------------
+// Forwarding of multi-consumer values.
+// ---------------------------------------------------------------------
+
+void
+forwardValues(ir::Pipeline& pipeline, PassReport* report)
+{
+    int n = static_cast<int>(pipeline.stages.size());
+    for (int r = 0; r < n; ++r) {
+        ir::Function& fn = *pipeline.stages[static_cast<size_t>(r)];
+        // Collect this stage's loop-hot enqs grouped by origin. Values
+        // produced at shallow nesting (per-round scalars) stay broadcast
+        // on shared queues: forwarding them would burn dedicated queue
+        // ids for negligible gain.
+        std::map<int, std::vector<QueueId>> by_origin;
+        ir::walkOps(fn.body, [&](const Op& op, const ir::WalkContext& ctx) {
+            if (op.opcode == Opcode::kEnq && ctx.loopDepth() >= 2)
+                by_origin[op.origin].push_back(op.queue);
+        });
+        for (const auto& [origin, queues] : by_origin) {
+            if (queues.size() < 2)
+                continue;
+            // Locate each consumer.
+            struct Leg
+            {
+                QueueId queue;
+                int stage;
+            };
+            std::vector<Leg> legs;
+            bool ok = true;
+            for (QueueId q : queues) {
+                auto [s, deq] = findDeqOnQueue(pipeline, q, origin);
+                if (deq == nullptr || s == r) {
+                    ok = false;
+                    break;
+                }
+                legs.push_back({q, s});
+            }
+            if (!ok)
+                continue;
+            // Each leg must own its queue before its enq can move to a
+            // different stage; otherwise a shared per-(producer,
+            // consumer) FIFO would gain a second producer and lose its
+            // positional ordering.
+            for (auto& leg : legs)
+                leg.queue = splitQueueForDef(pipeline, origin, leg.queue);
+            // Order by pipeline distance from the producer.
+            std::sort(legs.begin(), legs.end(),
+                      [&](const Leg& a, const Leg& b) {
+                          return (a.stage - r + n) % n <
+                                 (b.stage - r + n) % n;
+                      });
+            // Move every leg but the first into the previous consumer.
+            for (size_t i = 1; i < legs.size(); ++i) {
+                QueueId q = legs[i].queue;
+                Op moved;
+                bool captured = false;
+                removeOps(fn, [&](const Op& op) {
+                    if (!captured && op.opcode == Opcode::kEnq &&
+                        op.origin == origin && op.queue == q) {
+                        moved = op;
+                        captured = true;
+                        return true;
+                    }
+                    return false;
+                });
+                if (!captured)
+                    continue;
+                ir::Function& prev = *pipeline.stages[
+                    static_cast<size_t>(legs[i - 1].stage)];
+                // Insert right after the previous consumer's deq.
+                bool inserted = false;
+                forEachRegionOf(prev, [&](ir::Region& region) {
+                    if (inserted)
+                        return;
+                    for (size_t k = 0; k < region.size(); ++k) {
+                        if (region[k]->kind() != ir::StmtKind::kOp)
+                            continue;
+                        const Op& op =
+                            ir::stmtCast<ir::OpStmt>(region[k].get())->op;
+                        if (op.opcode == Opcode::kDeq &&
+                            op.origin == origin &&
+                            op.queue == legs[i - 1].queue) {
+                            Op fwd = moved;
+                            fwd.id = prev.nextOpId++;
+                            insertOpAt(region, k + 1, prev, fwd);
+                            inserted = true;
+                            return;
+                        }
+                    }
+                });
+                phloem_assert(inserted, "lost a forwarded enq");
+                if (report != nullptr)
+                    report->note("forwarded value (origin " +
+                                 std::to_string(origin) +
+                                 ") through stage " +
+                                 std::to_string(legs[i - 1].stage));
+            }
+        }
+    }
+    refreshQueueMetadata(pipeline);
+}
+
+// ---------------------------------------------------------------------
+// Pass 4: control values.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Try to convert one consumer For loop into a control-value-terminated
+ * while loop. Returns true if a transformation happened.
+ */
+bool
+tryControlValueLoop(ir::Pipeline& pipeline, PassReport* report)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        ir::Function& fn = *pipeline.stages[s];
+        bool applied = false;
+        forEachRegionOf(fn, [&](ir::Region& region) {
+            if (applied)
+                return;
+            for (size_t i = 0; i < region.size(); ++i) {
+                if (region[i]->kind() != ir::StmtKind::kFor)
+                    continue;
+                auto* f = ir::stmtCast<ir::ForStmt>(region[i].get());
+
+                // Optional filter shape: body == [deq c; if (c) {...}].
+                ir::Region* inner = &f->body;
+                ir::OpStmt* cond_deq = nullptr;
+                ir::IfStmt* filter_if = nullptr;
+                if (f->body.size() == 2 &&
+                    f->body[0]->kind() == ir::StmtKind::kOp &&
+                    f->body[1]->kind() == ir::StmtKind::kIf) {
+                    auto* cd = ir::stmtCast<ir::OpStmt>(f->body[0].get());
+                    auto* fi = ir::stmtCast<ir::IfStmt>(f->body[1].get());
+                    if (cd->op.opcode == Opcode::kDeq &&
+                        fi->cond == cd->op.dst && fi->elseBody.empty() &&
+                        regReadCount(fn, cd->op.dst) == 1) {
+                        cond_deq = cd;
+                        filter_if = fi;
+                        inner = &fi->thenBody;
+                    }
+                }
+
+                if (inner->empty() ||
+                    (*inner)[0]->kind() != ir::StmtKind::kOp) {
+                    continue;
+                }
+                Op first = ir::stmtCast<ir::OpStmt>((*inner)[0].get())->op;
+                if (first.opcode != Opcode::kDeq)
+                    continue;
+                // The induction variable must be dead inside the loop.
+                if (regReadCount(fn, f->var) != 0)
+                    continue;
+
+                // Route the def through a dedicated queue. Queues fed by
+                // an RA are already dedicated; splitting them would sever
+                // the RA plumbing.
+                QueueId q;
+                if (raProducing(pipeline, first.queue) >= 0) {
+                    q = first.queue;
+                } else {
+                    q = splitQueueForDef(pipeline, first.origin,
+                                         first.queue);
+                }
+
+                // Find a delimiter source.
+                int scan_ra = delimiterRA(pipeline, q);
+                int producer = -1;
+                LoopRef prod_loop;
+                if (scan_ra < 0) {
+                    QueueId head = chainHeadQueue(pipeline, q);
+                    producer = producerStageOf(pipeline, head);
+                    if (producer < 0)
+                        continue;
+                    prod_loop = findLoopWithOrigin(
+                        *pipeline.stages[static_cast<size_t>(producer)],
+                        f->origin);
+                    if (prod_loop.stmt == nullptr)
+                        continue;
+                    // Delimiter goes into the chain-head queue.
+                    q = head;
+                }
+
+                // Build the replacement while loop.
+                auto w = std::make_unique<ir::WhileStmt>();
+                w->id = fn.nextStmtId++;
+                w->origin = f->origin;
+
+                // Move the inner body across, keeping the deq first.
+                ir::Region moved = std::move(*inner);
+                // deq stays; insert the control check right after it.
+                Op isc = makeOp(fn, Opcode::kIsControl);
+                isc.dst = fn.newReg("cv");
+                isc.src[0] = first.dst;
+                auto isc_stmt = std::make_unique<ir::OpStmt>(isc);
+                isc_stmt->id = fn.nextStmtId++;
+                auto brk_if = std::make_unique<ir::IfStmt>();
+                brk_if->id = fn.nextStmtId++;
+                brk_if->cond = isc.dst;
+                auto brk = std::make_unique<ir::BreakStmt>(1);
+                brk->id = fn.nextStmtId++;
+                brk_if->thenBody.push_back(std::move(brk));
+
+                w->body.push_back(std::move(moved[0]));  // the deq
+                w->body.push_back(std::move(isc_stmt));
+                w->body.push_back(std::move(brk_if));
+                for (size_t k = 1; k < moved.size(); ++k)
+                    w->body.push_back(std::move(moved[k]));
+
+                RegId start = f->start;
+                RegId bound = f->bound;
+                int forigin = f->origin;
+                region[i] = std::move(w);
+
+                // Remove the filter plumbing.
+                if (cond_deq != nullptr) {
+                    (void)filter_if;
+                    int cd_origin = cond_deq->op.origin;
+                    int cd_id = cond_deq->op.id;
+                    // The filter if was consumed into the while body; the
+                    // cond deq was left inside `moved[0]`? No: the deq
+                    // stmt removed here lives in the new while body only
+                    // if it was part of `inner`; the cond deq was body[0]
+                    // of the For and was NOT moved (inner pointed into the
+                    // if). It is gone with the For replacement, but its
+                    // producer enq remains.
+                    (void)cd_id;
+                    for (auto& st : pipeline.stages) {
+                        removeOps(*st, [&](const Op& op) {
+                            return op.opcode == Opcode::kEnq &&
+                                   op.origin == cd_origin;
+                        });
+                    }
+                }
+
+                // Install the delimiter.
+                if (scan_ra >= 0) {
+                    pipeline.ras[static_cast<size_t>(scan_ra)]
+                        .emitRangeCtrl = true;
+                    pipeline.ras[static_cast<size_t>(scan_ra)]
+                        .rangeCtrlCode = ir::kCtrlNext;
+                } else {
+                    ir::Function& pf =
+                        *pipeline.stages[static_cast<size_t>(producer)];
+                    Op ctrl = makeOp(pf, Opcode::kEnqCtrl);
+                    ctrl.queue = q;
+                    ctrl.imm = ir::kCtrlNext;
+                    ctrl.origin = forigin;
+                    insertOpAt(*prod_loop.parent, prod_loop.index + 1, pf,
+                               ctrl);
+                }
+
+                // Dead bound cleanup.
+                cleanupDeadMaterialization(pipeline, static_cast<int>(s),
+                                           start, report);
+                cleanupDeadMaterialization(pipeline, static_cast<int>(s),
+                                           bound, report);
+                if (report != nullptr)
+                    report->note("CV: stage " + std::to_string(s) +
+                                 " loop (origin " + std::to_string(forigin) +
+                                 ") now terminates on a control value");
+                applied = true;
+                return;
+            }
+        });
+        if (applied)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Sweep every stage for deq ops whose destination is never read and
+ * remove them together with the matching producer enqs. Runs to a
+ * fixpoint: removing a forwarded leg can make the forwarder's own copy
+ * dead. Stream-driving deqs (first statement of a while, or with a
+ * handler) are kept — they pace the loop even if the value is unused.
+ */
+void
+cleanupAllDead(ir::Pipeline& pipeline, PassReport* report)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+            ir::Function& fn = *pipeline.stages[s];
+            // Deq dsts that head a while loop are stream drivers.
+            std::set<RegId> drivers;
+            forEachRegionOf(fn, [&](ir::Region& region) {
+                for (auto& st : region) {
+                    if (st->kind() != ir::StmtKind::kWhile)
+                        continue;
+                    auto* w = ir::stmtCast<ir::WhileStmt>(st.get());
+                    if (!w->body.empty() &&
+                        w->body[0]->kind() == ir::StmtKind::kOp) {
+                        const Op& op =
+                            ir::stmtCast<ir::OpStmt>(w->body[0].get())->op;
+                        if (op.opcode == Opcode::kDeq)
+                            drivers.insert(op.dst);
+                    }
+                }
+            });
+            std::set<RegId> dead;
+            ir::forEachOp(fn.body, [&](const Op& op) {
+                if (op.opcode != Opcode::kDeq || drivers.count(op.dst))
+                    return;
+                if (fn.handlerFor(op.queue) != nullptr)
+                    return;
+                if (regReadCount(fn, op.dst) == 0)
+                    dead.insert(op.dst);
+            });
+            for (RegId reg : dead) {
+                cleanupDeadMaterialization(pipeline, static_cast<int>(s),
+                                           reg, report);
+                changed = true;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+useControlValues(ir::Pipeline& pipeline, PassReport* report)
+{
+    while (tryControlValueLoop(pipeline, report)) {
+    }
+    cleanupAllDead(pipeline, report);
+    refreshQueueMetadata(pipeline);
+}
+
+// ---------------------------------------------------------------------
+// Pass 6: inter-stage DCE of control values.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Remove the old per-group delimiter for queue q (emitted per iteration
+ * of the loop with the given origin). Returns true if one was removed.
+ */
+bool
+removeGroupDelimiter(ir::Pipeline& pipeline, QueueId q, int group_origin)
+{
+    int scan_ra = delimiterRA(pipeline, q);
+    if (scan_ra >= 0 &&
+        pipeline.ras[static_cast<size_t>(scan_ra)].emitRangeCtrl) {
+        pipeline.ras[static_cast<size_t>(scan_ra)].emitRangeCtrl = false;
+        return true;
+    }
+    QueueId head = chainHeadQueue(pipeline, q);
+    int removed = 0;
+    for (auto& st : pipeline.stages) {
+        removed += removeOps(*st, [&](const Op& op) {
+            return op.opcode == Opcode::kEnqCtrl && op.queue == head &&
+                   op.origin == group_origin;
+        });
+    }
+    if (removed == 0) {
+        for (auto& st : pipeline.stages) {
+            removed += removeOps(*st, [&](const Op& op) {
+                return op.opcode == Opcode::kEnqCtrl && op.queue == head &&
+                       op.imm == ir::kCtrlNext;
+            });
+        }
+    }
+    return removed > 0;
+}
+
+/**
+ * Install a delimiter for queue q emitted once per iteration of the
+ * producer-side loop with origin `outer_origin`. Returns false when no
+ * such producer loop exists.
+ */
+bool
+installOuterDelimiter(ir::Pipeline& pipeline, QueueId q, int outer_origin)
+{
+    QueueId head = chainHeadQueue(pipeline, q);
+    int producer = producerStageOf(pipeline, head);
+    if (producer < 0)
+        return false;
+    ir::Function& pf = *pipeline.stages[static_cast<size_t>(producer)];
+    LoopRef anchor = findLoopWithOrigin(pf, outer_origin);
+    if (anchor.stmt == nullptr)
+        return false;
+    Op ctrl = makeOp(pf, Opcode::kEnqCtrl);
+    ctrl.queue = head;
+    ctrl.imm = ir::kCtrlNext;
+    ctrl.origin = outer_origin;
+    insertOpAt(*anchor.parent, anchor.index + 1, pf, ctrl);
+    return true;
+}
+
+/**
+ * Pattern B: a control-value while loop whose only purpose is to pace an
+ * inner control-value while (the consumer does not care which group an
+ * element came from):
+ *
+ *   while { x = deq(qd); if (is_control(x)) break;
+ *           while { v = deq(q); if (is_control(v)) break; body } }
+ *
+ * with x otherwise unused collapses to the inner loop; the pacing stream
+ * qd is deleted at both ends and q's delimiter moves out one level.
+ */
+bool
+tryFlattenWhileDriver(ir::Pipeline& pipeline, PassReport* report)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        ir::Function& fn = *pipeline.stages[s];
+        bool applied = false;
+        forEachRegionOf(fn, [&](ir::Region& region) {
+            if (applied)
+                return;
+            for (size_t i = 0; i < region.size(); ++i) {
+                if (region[i]->kind() != ir::StmtKind::kWhile)
+                    continue;
+                auto* w = ir::stmtCast<ir::WhileStmt>(region[i].get());
+                ir::OpStmt* driver = matchCvWhile(w);
+                if (driver == nullptr || w->body.size() != 4 ||
+                    w->body[3]->kind() != ir::StmtKind::kWhile) {
+                    continue;
+                }
+                auto* w_in =
+                    ir::stmtCast<ir::WhileStmt>(w->body[3].get());
+                ir::OpStmt* data_deq = matchCvWhile(w_in);
+                if (data_deq == nullptr)
+                    continue;
+                // The driver value must be unused (its only read is the
+                // is_control check).
+                if (regReadCount(fn, driver->op.dst) != 1)
+                    continue;
+                QueueId qd = driver->op.queue;
+                if (raProducing(pipeline, qd) >= 0)
+                    continue;
+                // qd must exclusively carry the driver stream.
+                bool exclusive = true;
+                for (const auto& st : pipeline.stages) {
+                    ir::forEachOp(st->body, [&](const Op& op) {
+                        if (!ir::usesQueue(op.opcode) || op.queue != qd)
+                            return;
+                        if (op.opcode == Opcode::kEnqCtrl)
+                            return;
+                        if (op.origin != driver->op.origin)
+                            exclusive = false;
+                    });
+                }
+                if (!exclusive)
+                    continue;
+
+                QueueId q = data_deq->op.queue;
+                if (!removeGroupDelimiter(pipeline, q, w_in->origin))
+                    continue;
+                if (!installOuterDelimiter(pipeline, q, w->origin)) {
+                    // Cannot re-delimit; put the group delimiter back.
+                    installOuterDelimiter(pipeline, q, w_in->origin);
+                    int scan_ra = delimiterRA(pipeline, q);
+                    if (scan_ra >= 0) {
+                        pipeline.ras[static_cast<size_t>(scan_ra)]
+                            .emitRangeCtrl = true;
+                    }
+                    continue;
+                }
+
+                // Delete the pacing stream: producer enqs + its per-round
+                // delimiter + the consumer's driver.
+                int d_origin = driver->op.origin;
+                int w_origin = w->origin;
+                for (auto& st : pipeline.stages) {
+                    removeOps(*st, [&](const Op& op) {
+                        if (op.queue != qd)
+                            return false;
+                        if (op.opcode == Opcode::kEnq &&
+                            op.origin == d_origin) {
+                            return true;
+                        }
+                        return op.opcode == Opcode::kEnqCtrl;
+                    });
+                }
+                (void)w_origin;
+
+                // Hoist the inner while.
+                ir::StmtPtr hoisted = std::move(w->body[3]);
+                region[i] = std::move(hoisted);
+                if (report != nullptr)
+                    report->note("DCE: flattened driver loop in stage " +
+                                 std::to_string(s) +
+                                 "; pacing stream removed");
+                applied = true;
+                return;
+            }
+        });
+        if (applied)
+            return true;
+    }
+    return false;
+}
+
+bool
+tryFlattenGroupLoop(ir::Pipeline& pipeline, PassReport* report)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        ir::Function& fn = *pipeline.stages[s];
+        bool applied = false;
+        forEachRegionOf(fn, [&](ir::Region& region) {
+            if (applied)
+                return;
+            for (size_t i = 0; i < region.size(); ++i) {
+                if (region[i]->kind() != ir::StmtKind::kFor)
+                    continue;
+                auto* f = ir::stmtCast<ir::ForStmt>(region[i].get());
+                if (f->body.size() != 1 ||
+                    f->body[0]->kind() != ir::StmtKind::kWhile) {
+                    continue;
+                }
+                auto* w = ir::stmtCast<ir::WhileStmt>(f->body[0].get());
+                ir::OpStmt* deq = matchCvWhile(w);
+                if (deq == nullptr)
+                    continue;
+                if (regReadCount(fn, f->var) != 0)
+                    continue;
+
+                QueueId q = deq->op.queue;
+
+                if (!removeGroupDelimiter(pipeline, q, w->origin))
+                    continue;
+                if (!installOuterDelimiter(pipeline, q, f->origin)) {
+                    // Cannot re-delimit; restore the group delimiter.
+                    installOuterDelimiter(pipeline, q, w->origin);
+                    int scan_ra = delimiterRA(pipeline, q);
+                    if (scan_ra >= 0) {
+                        pipeline.ras[static_cast<size_t>(scan_ra)]
+                            .emitRangeCtrl = true;
+                    }
+                    continue;
+                }
+
+                // Hoist the while out of the for.
+                RegId start = f->start;
+                RegId bound = f->bound;
+                ir::StmtPtr hoisted = std::move(f->body[0]);
+                region[i] = std::move(hoisted);
+
+                cleanupDeadMaterialization(pipeline, static_cast<int>(s),
+                                           start, report);
+                cleanupDeadMaterialization(pipeline, static_cast<int>(s),
+                                           bound, report);
+                if (report != nullptr)
+                    report->note(
+                        "DCE: flattened group loop in stage " +
+                        std::to_string(s) +
+                        "; per-group control values removed");
+                applied = true;
+                return;
+            }
+        });
+        if (applied)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+interStageDce(ir::Pipeline& pipeline, PassReport* report)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        while (tryFlattenGroupLoop(pipeline, report))
+            changed = true;
+        while (tryFlattenWhileDriver(pipeline, report))
+            changed = true;
+        cleanupAllDead(pipeline, report);
+    }
+    refreshQueueMetadata(pipeline);
+}
+
+// ---------------------------------------------------------------------
+// Pass 5: control-value handlers.
+// ---------------------------------------------------------------------
+
+void
+useControlHandlers(ir::Pipeline& pipeline, PassReport* report)
+{
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        ir::Function& fn = *pipeline.stages[s];
+        forEachRegionOf(fn, [&](ir::Region& region) {
+            for (auto& stmt : region) {
+                if (stmt->kind() != ir::StmtKind::kWhile)
+                    continue;
+                auto* w = ir::stmtCast<ir::WhileStmt>(stmt.get());
+                ir::OpStmt* deq = matchCvWhile(w);
+                if (deq == nullptr)
+                    continue;
+                QueueId q = deq->op.queue;
+                // The queue must be dequeued only here in this stage.
+                int deq_count = 0;
+                ir::forEachOp(fn.body, [&](const Op& op) {
+                    if (isDeqOp(op.opcode) && op.queue == q)
+                        deq_count++;
+                });
+                if (deq_count != 1)
+                    continue;
+                if (fn.handlerFor(q) != nullptr)
+                    continue;
+
+                // Move the break logic into a handler.
+                ir::HandlerSpec h;
+                h.queue = q;
+                auto* brk_if = ir::stmtCast<ir::IfStmt>(w->body[2].get());
+                for (auto& t : brk_if->thenBody)
+                    h.body.push_back(ir::cloneStmt(t.get(), fn));
+                fn.handlers.push_back(std::move(h));
+                // Remove the is_control op and the break if.
+                w->body.erase(w->body.begin() + 1, w->body.begin() + 3);
+                if (report != nullptr)
+                    report->note("CH: stage " + std::to_string(s) +
+                                 " queue " + std::to_string(q) +
+                                 " check moved to a control handler");
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queue metadata utilities.
+// ---------------------------------------------------------------------
+
+void
+refreshQueueMetadata(ir::Pipeline& pipeline)
+{
+    std::map<QueueId, int> depth;
+    for (const auto& q : pipeline.queues)
+        if (q.depth > 0)
+            depth[q.id] = q.depth;
+
+    std::map<QueueId, ir::QueueConfig> configs;
+    auto touch = [&](QueueId q) -> ir::QueueConfig& {
+        auto [it, fresh] = configs.try_emplace(q);
+        if (fresh) {
+            it->second.id = q;
+            it->second.depth = depth.count(q) ? depth[q] : 0;
+        }
+        return it->second;
+    };
+
+    for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+        auto scan = [&](const ir::Region& r) {
+            ir::forEachOp(r, [&](const Op& op) {
+                if (!ir::usesQueue(op.opcode))
+                    return;
+                if (isEnqOp(op.opcode))
+                    touch(op.queue).producerStage = static_cast<int>(s);
+                else
+                    touch(op.queue).consumerStage = static_cast<int>(s);
+            });
+        };
+        scan(pipeline.stages[s]->body);
+        for (const auto& h : pipeline.stages[s]->handlers) {
+            touch(h.queue);
+            scan(h.body);
+        }
+    }
+    for (const auto& ra : pipeline.ras) {
+        touch(ra.inQueue);
+        touch(ra.outQueue);
+    }
+
+    pipeline.queues.clear();
+    for (auto& [q, cfg] : configs)
+        pipeline.queues.push_back(cfg);
+}
+
+void
+compactQueueIds(ir::Pipeline& pipeline)
+{
+    refreshQueueMetadata(pipeline);
+    std::map<QueueId, QueueId> remap;
+    QueueId next = 0;
+    for (const auto& q : pipeline.queues)
+        remap[q.id] = next++;
+
+    for (auto& stage : pipeline.stages) {
+        forEachRegionOf(*stage, [&](ir::Region& region) {
+            for (auto& s : region) {
+                if (s->kind() != ir::StmtKind::kOp)
+                    continue;
+                Op& op = ir::stmtCast<ir::OpStmt>(s.get())->op;
+                if (ir::usesQueue(op.opcode))
+                    op.queue = remap.at(op.queue);
+            }
+        });
+        for (auto& h : stage->handlers)
+            h.queue = remap.at(h.queue);
+    }
+    for (auto& ra : pipeline.ras) {
+        ra.inQueue = remap.at(ra.inQueue);
+        ra.outQueue = remap.at(ra.outQueue);
+    }
+    for (auto& q : pipeline.queues)
+        q.id = remap.at(q.id);
+}
+
+} // namespace phloem::comp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The post-decoupling optimization passes (paper Sec. IV-B, Fig. 5):
+ *
+ *  - Pass 3, accelerateAccesses: offload producer-side load->enq patterns
+ *    to INDIRECT reference accelerators, whole load loops to SCAN RAs, and
+ *    chain RAs when one RA's output only plumbs into another's input;
+ *    stages reduced to pure control skeletons are dropped.
+ *  - Pass 4, useControlValues: replace consumer loops whose trip counts
+ *    arrive through queues with while(true) loops terminated by in-band
+ *    control values; producers (or SCAN RAs) emit the delimiters.
+ *  - Pass 6, interStageDce: remove superfluous per-group control values
+ *    by flattening nested consumer loops that do not depend on group
+ *    boundaries (e.g., BFS neighbors all compare against one distance).
+ *  - Pass 5, useControlHandlers: move explicit is_control checks out of
+ *    inner loops into hardware control-value handlers.
+ *
+ * Each pass is idempotent and works on any pipeline the decoupler (or a
+ * previous pass) produced; they are applied in the order 3, 4, 6, 5.
+ */
+
+#ifndef PHLOEM_COMPILER_PASSES_H
+#define PHLOEM_COMPILER_PASSES_H
+
+#include <string>
+#include <vector>
+
+#include "ir/pipeline.h"
+
+namespace phloem::comp {
+
+struct PassReport
+{
+    std::vector<std::string> notes;
+    void note(std::string s) { notes.push_back(std::move(s)); }
+};
+
+/**
+ * Pass 3: reference accelerators (+ chaining, + dead-stage elision).
+ * Defs consumed by skip_consumer_stage stay stage-produced (needed when
+ * that stream will be distributed across replicas).
+ */
+void accelerateAccesses(ir::Pipeline& pipeline, PassReport* report = nullptr,
+                        int max_ras = 4, int skip_consumer_stage = -1);
+
+/**
+ * Forwarding: a value with several consumer stages is sent once to the
+ * nearest consumer, which forwards it onward after use (the shape
+ * hand-written Pipette pipelines use, e.g. the BFS prefetch stage
+ * forwarding neighbor ids to the update stage). Run before pass 4.
+ */
+void forwardValues(ir::Pipeline& pipeline, PassReport* report = nullptr);
+
+/** Pass 4: control values. */
+void useControlValues(ir::Pipeline& pipeline, PassReport* report = nullptr);
+
+/** Pass 6: inter-stage dead code elimination of control values. */
+void interStageDce(ir::Pipeline& pipeline, PassReport* report = nullptr);
+
+/** Pass 5: control-value handlers. */
+void useControlHandlers(ir::Pipeline& pipeline,
+                        PassReport* report = nullptr);
+
+/** Rebuild queue metadata (producer/consumer stages) from the programs. */
+void refreshQueueMetadata(ir::Pipeline& pipeline);
+
+/** Renumber queues densely (0..n-1), updating stages and RAs. */
+void compactQueueIds(ir::Pipeline& pipeline);
+
+} // namespace phloem::comp
+
+#endif // PHLOEM_COMPILER_PASSES_H

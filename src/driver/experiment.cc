@@ -1,0 +1,142 @@
+#include "driver/experiment.h"
+
+#include "base/logging.h"
+#include "base/stats_util.h"
+#include "frontend/frontend.h"
+
+namespace phloem::driver {
+
+Experiment::Experiment(wl::Workload workload, sim::SysConfig cfg,
+                       sim::MachineOptions mopts)
+    : workload_(std::move(workload)), cfg_(cfg), mopts_(mopts)
+{
+    serialFn_ = fe::compileKernel(workload_.serialSrc).fn;
+    if (!workload_.parallelSrc.empty())
+        parallelFn_ = fe::compileKernel(workload_.parallelSrc).fn;
+}
+
+RunOutcome
+Experiment::runSerial(const wl::Case& c)
+{
+    RunOutcome out;
+    sim::Binding binding;
+    c.bind(binding, /*nthreads=*/1);
+    sim::Machine machine(cfg_, mopts_);
+    try {
+        out.stats = machine.runSerial(*serialFn_, binding);
+    } catch (const std::exception& e) {
+        out.error = e.what();
+        return out;
+    }
+    if (out.stats.deadlock) {
+        out.error = "deadlock:\n" + out.stats.deadlockInfo;
+        return out;
+    }
+    out.correct = c.check(binding, wl::Variant::kSerial, &out.error);
+    return out;
+}
+
+RunOutcome
+Experiment::runParallel(const wl::Case& c, int nthreads)
+{
+    RunOutcome out;
+    if (parallelFn_ == nullptr) {
+        out.error = "no data-parallel variant";
+        return out;
+    }
+    sim::Binding binding;
+    c.bind(binding, nthreads);
+    std::vector<const ir::Function*> fns(static_cast<size_t>(nthreads),
+                                         parallelFn_.get());
+    sim::Machine machine(cfg_, mopts_);
+    try {
+        out.stats = machine.runParallel(fns, binding);
+    } catch (const std::exception& e) {
+        out.error = e.what();
+        return out;
+    }
+    if (out.stats.deadlock) {
+        out.error = "deadlock:\n" + out.stats.deadlockInfo;
+        return out;
+    }
+    out.correct = c.check(binding, wl::Variant::kParallel, &out.error);
+    return out;
+}
+
+RunOutcome
+Experiment::runPipeline(const wl::Case& c, const ir::Pipeline& pipeline)
+{
+    RunOutcome out;
+    sim::Binding binding;
+    c.bind(binding, /*nthreads=*/1);
+    sim::Machine machine(cfg_, mopts_);
+    try {
+        out.stats = machine.runPipeline(pipeline, binding);
+    } catch (const std::exception& e) {
+        out.error = e.what();
+        return out;
+    }
+    if (out.stats.deadlock) {
+        out.error = "deadlock:\n" + out.stats.deadlockInfo;
+        return out;
+    }
+    out.correct = c.check(binding, wl::Variant::kPipeline, &out.error);
+    return out;
+}
+
+comp::CompileResult
+Experiment::compileStatic(const comp::CompileOptions& opts)
+{
+    return comp::compilePipeline(*serialFn_, opts);
+}
+
+uint64_t
+Experiment::serialCycles(const wl::Case& c)
+{
+    for (const auto& [name, cycles] : serialCache_)
+        if (name == c.inputName)
+            return cycles;
+    RunOutcome out = runSerial(c);
+    phloem_assert(out.correct, "serial run failed on ", c.inputName, ": ",
+                  out.error);
+    serialCache_.emplace_back(c.inputName, out.stats.cycles);
+    return out.stats.cycles;
+}
+
+comp::AutotuneResult
+Experiment::autotunePGO(const comp::AutotuneOptions& opts)
+{
+    // Training evaluator: gmean speedup over serial on training cases;
+    // incorrect or deadlocking pipelines score 0 and are discarded.
+    std::vector<const wl::Case*> train;
+    for (const auto& c : workload_.cases)
+        if (c.training)
+            train.push_back(&c);
+    phloem_assert(!train.empty(), "workload ", workload_.name,
+                  " has no training inputs");
+
+    auto evaluate = [&](const ir::Pipeline& pipeline) -> double {
+        std::vector<double> speedups;
+        for (const wl::Case* c : train) {
+            uint64_t base = serialCycles(*c);
+            RunOutcome out = runPipeline(*c, pipeline);
+            if (!out.correct || out.stats.cycles == 0)
+                return 0.0;
+            speedups.push_back(static_cast<double>(base) /
+                               static_cast<double>(out.stats.cycles));
+        }
+        return gmean(speedups);
+    };
+
+    return comp::autotune(*serialFn_, opts, evaluate);
+}
+
+ir::PipelinePtr
+Experiment::buildManual()
+{
+    if (!workload_.manual)
+        return nullptr;
+    return workload_.manual(*serialFn_);
+}
+
+} // namespace phloem::driver

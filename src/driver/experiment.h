@@ -1,0 +1,89 @@
+/**
+ * @file
+ * End-to-end experiment runner: compile a workload's variants, execute
+ * them on the simulated system, validate outputs, and collect the
+ * statistics the benchmark harnesses report.
+ */
+
+#ifndef PHLOEM_DRIVER_EXPERIMENT_H
+#define PHLOEM_DRIVER_EXPERIMENT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/autotune.h"
+#include "compiler/compiler.h"
+#include "sim/config.h"
+#include "sim/energy.h"
+#include "sim/machine.h"
+#include "workloads/workload.h"
+
+namespace phloem::driver {
+
+struct RunOutcome
+{
+    sim::RunStats stats;
+    bool correct = false;
+    std::string error;
+    /** Wall cycles; 0 when the run failed. */
+    uint64_t cycles() const { return correct ? stats.cycles : 0; }
+};
+
+/** One workload compiled once; reused across inputs and variants. */
+class Experiment
+{
+  public:
+    Experiment(wl::Workload workload, sim::SysConfig cfg = sim::SysConfig{},
+               sim::MachineOptions mopts = defaultMachineOptions());
+
+    static sim::MachineOptions
+    defaultMachineOptions()
+    {
+        sim::MachineOptions o;
+        o.maxInstructions = 3'000'000'000ull;
+        return o;
+    }
+
+    const wl::Workload& workload() const { return workload_; }
+    const ir::Function& serialFn() const { return *serialFn_; }
+    const sim::SysConfig& config() const { return cfg_; }
+
+    /** Run the serial baseline on one input case. */
+    RunOutcome runSerial(const wl::Case& c);
+
+    /** Run the data-parallel baseline with `nthreads` threads. */
+    RunOutcome runParallel(const wl::Case& c, int nthreads);
+
+    /** Run an arbitrary pipeline. */
+    RunOutcome runPipeline(const wl::Case& c, const ir::Pipeline& pipeline);
+
+    /** Compile with the static cost-model flow. */
+    comp::CompileResult compileStatic(const comp::CompileOptions& opts =
+                                          comp::CompileOptions{});
+
+    /**
+     * Profile-guided flow: train on the workload's training cases
+     * (speedup over serial, gmean) and return the winner plus every
+     * profiled candidate (Fig. 13's distribution).
+     */
+    comp::AutotuneResult autotunePGO(const comp::AutotuneOptions& opts);
+
+    /** Build the manually pipelined baseline (null if none). */
+    ir::PipelinePtr buildManual();
+
+    /** Serial-baseline cycles for a case (cached). */
+    uint64_t serialCycles(const wl::Case& c);
+
+  private:
+    wl::Workload workload_;
+    sim::SysConfig cfg_;
+    sim::MachineOptions mopts_;
+    ir::FunctionPtr serialFn_;
+    ir::FunctionPtr parallelFn_;
+    std::vector<std::pair<std::string, uint64_t>> serialCache_;
+};
+
+} // namespace phloem::driver
+
+#endif // PHLOEM_DRIVER_EXPERIMENT_H

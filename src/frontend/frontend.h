@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Entry point of the mini-C frontend: source text in, Phloem IR out.
+ *
+ * Phloem transforms serial C (paper Sec. IV-A); programmers steer it with
+ * the pragma annotations of Table II. This frontend accepts the C subset
+ * the paper's kernels need and records the annotations alongside the
+ * lowered function.
+ */
+
+#ifndef PHLOEM_FRONTEND_FRONTEND_H
+#define PHLOEM_FRONTEND_FRONTEND_H
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace phloem::fe {
+
+/** Phloem annotations attached to a kernel (paper Table II). */
+struct Annotations
+{
+    /** #pragma phloem: parallelize this function. */
+    bool phloem = false;
+    /** #pragma replicate N: replicate the pipeline N times. */
+    int replicas = 1;
+    /**
+     * #pragma decouple: op ids (in the lowered function) at which the
+     * user forces a stage boundary. The id names the first op emitted
+     * after the pragma.
+     */
+    std::vector<int> decoupleOps;
+    /** #pragma distribute: boundary where work is distributed across
+     *  replicas; op id of the first op after the pragma. */
+    std::vector<int> distributeOps;
+};
+
+struct CompiledKernel
+{
+    ir::FunctionPtr fn;
+    Annotations ann;
+};
+
+/** Compile all functions in a source buffer. */
+std::vector<CompiledKernel> compileC(const std::string& source);
+
+/**
+ * Compile one function from a source buffer: the named one, or the first
+ * if name is empty. Throws if absent.
+ */
+CompiledKernel compileKernel(const std::string& source,
+                             const std::string& name = "");
+
+} // namespace phloem::fe
+
+#endif // PHLOEM_FRONTEND_FRONTEND_H

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * AST-level function inlining (the paper's Sec. IV-A future work: Phloem
+ * transforms single procedures; inlining removes the limitation).
+ */
+
+#ifndef PHLOEM_FRONTEND_INLINE_H
+#define PHLOEM_FRONTEND_INLINE_H
+
+#include "frontend/ast.h"
+
+namespace phloem::fe {
+
+/**
+ * Replace calls to functions defined in the same translation unit with
+ * their bodies (parameters bound to the identifier arguments, locals
+ * renamed). Builtin calls and calls to unknown names are left alone.
+ * Recursive calls are rejected.
+ */
+void inlineCalls(TranslationUnit& tu);
+
+} // namespace phloem::fe
+
+#endif // PHLOEM_FRONTEND_INLINE_H

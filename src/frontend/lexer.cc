@@ -1,0 +1,340 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "base/logging.h"
+
+namespace phloem::fe {
+
+const char*
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::kEof: return "<eof>";
+      case Tok::kIdent: return "identifier";
+      case Tok::kIntLit: return "integer literal";
+      case Tok::kFloatLit: return "float literal";
+      case Tok::kVoid: return "void";
+      case Tok::kInt: return "int";
+      case Tok::kLong: return "long";
+      case Tok::kDouble: return "double";
+      case Tok::kFloat: return "float";
+      case Tok::kConst: return "const";
+      case Tok::kRestrict: return "restrict";
+      case Tok::kIf: return "if";
+      case Tok::kElse: return "else";
+      case Tok::kFor: return "for";
+      case Tok::kWhile: return "while";
+      case Tok::kBreak: return "break";
+      case Tok::kContinue: return "continue";
+      case Tok::kReturn: return "return";
+      case Tok::kPragma: return "#pragma";
+      case Tok::kLParen: return "(";
+      case Tok::kRParen: return ")";
+      case Tok::kLBrace: return "{";
+      case Tok::kRBrace: return "}";
+      case Tok::kLBracket: return "[";
+      case Tok::kRBracket: return "]";
+      case Tok::kSemi: return ";";
+      case Tok::kComma: return ",";
+      case Tok::kQuestion: return "?";
+      case Tok::kColon: return ":";
+      case Tok::kAssign: return "=";
+      case Tok::kPlusAssign: return "+=";
+      case Tok::kMinusAssign: return "-=";
+      case Tok::kStarAssign: return "*=";
+      case Tok::kOrAssign: return "|=";
+      case Tok::kAndAssign: return "&=";
+      case Tok::kPlus: return "+";
+      case Tok::kMinus: return "-";
+      case Tok::kStar: return "*";
+      case Tok::kSlash: return "/";
+      case Tok::kPercent: return "%";
+      case Tok::kAmp: return "&";
+      case Tok::kPipe: return "|";
+      case Tok::kCaret: return "^";
+      case Tok::kTilde: return "~";
+      case Tok::kBang: return "!";
+      case Tok::kAmpAmp: return "&&";
+      case Tok::kPipePipe: return "||";
+      case Tok::kShl: return "<<";
+      case Tok::kShrTok: return ">>";
+      case Tok::kEq: return "==";
+      case Tok::kNe: return "!=";
+      case Tok::kLt: return "<";
+      case Tok::kLe: return "<=";
+      case Tok::kGt: return ">";
+      case Tok::kGe: return ">=";
+      case Tok::kPlusPlus: return "++";
+      case Tok::kMinusMinus: return "--";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok> kKeywords = {
+    {"void", Tok::kVoid},       {"int", Tok::kInt},
+    {"long", Tok::kLong},       {"double", Tok::kDouble},
+    {"float", Tok::kFloat},     {"const", Tok::kConst},
+    {"restrict", Tok::kRestrict},
+    {"__restrict", Tok::kRestrict},
+    {"__restrict__", Tok::kRestrict},
+    {"if", Tok::kIf},           {"else", Tok::kElse},
+    {"for", Tok::kFor},         {"while", Tok::kWhile},
+    {"break", Tok::kBreak},     {"continue", Tok::kContinue},
+    {"return", Tok::kReturn},
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string& src) : src_(src) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        for (;;) {
+            Token t = next();
+            bool eof = t.kind == Tok::kEof;
+            out.push_back(std::move(t));
+            if (eof)
+                break;
+        }
+        return out;
+    }
+
+  private:
+    char peek(int k = 0) const
+    {
+        size_t i = pos_ + static_cast<size_t>(k);
+        return i < src_.size() ? src_[i] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = peek();
+        pos_++;
+        if (c == '\n') {
+            line_++;
+            col_ = 1;
+        } else {
+            col_++;
+        }
+        return c;
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        for (;;) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (peek() != '\n' && peek() != '\0')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                while (!(peek() == '*' && peek(1) == '/')) {
+                    if (peek() == '\0')
+                        phloem_fatal("unterminated comment at line ", line_);
+                    advance();
+                }
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    Token
+    make(Tok kind)
+    {
+        Token t;
+        t.kind = kind;
+        t.line = line_;
+        t.col = col_;
+        return t;
+    }
+
+    Token
+    next()
+    {
+        skipWhitespaceAndComments();
+        char c = peek();
+        if (c == '\0')
+            return make(Tok::kEof);
+
+        if (c == '#') {
+            // Preprocessor line. Only '#pragma ...' is meaningful; other
+            // directives (e.g. #include) are skipped.
+            Token t = make(Tok::kPragma);
+            std::string text;
+            while (peek() != '\n' && peek() != '\0')
+                text.push_back(advance());
+            if (text.rfind("#pragma", 0) == 0) {
+                t.text = text.substr(7);
+                // Trim leading whitespace.
+                size_t b = t.text.find_first_not_of(" \t");
+                t.text = b == std::string::npos ? "" : t.text.substr(b);
+                return t;
+            }
+            return next();  // skip non-pragma directives
+        }
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            Token t = make(Tok::kIdent);
+            std::string text;
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                text.push_back(advance());
+            }
+            auto it = kKeywords.find(text);
+            if (it != kKeywords.end()) {
+                t.kind = it->second;
+            }
+            t.text = std::move(text);
+            return t;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            Token t = make(Tok::kIntLit);
+            std::string text;
+            bool is_float = false;
+            while (std::isdigit(static_cast<unsigned char>(peek())) ||
+                   peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                   ((peek() == '+' || peek() == '-') &&
+                    (text.back() == 'e' || text.back() == 'E')) ||
+                   peek() == 'x' || peek() == 'X' ||
+                   (text.size() >= 2 && (text[1] == 'x' || text[1] == 'X') &&
+                    std::isxdigit(static_cast<unsigned char>(peek())))) {
+                char d = advance();
+                if (d == '.' || d == 'e' || d == 'E')
+                    is_float = text.size() < 2 ||
+                               (text[1] != 'x' && text[1] != 'X')
+                                   ? true
+                                   : is_float;
+                text.push_back(d);
+            }
+            // Suffixes.
+            while (peek() == 'u' || peek() == 'U' || peek() == 'l' ||
+                   peek() == 'L' || peek() == 'f' || peek() == 'F') {
+                if (peek() == 'f' || peek() == 'F')
+                    is_float = true;
+                advance();
+            }
+            t.text = text;
+            if (is_float) {
+                t.kind = Tok::kFloatLit;
+                t.floatValue = std::stod(text);
+            } else {
+                t.intValue = std::stoll(text, nullptr, 0);
+            }
+            return t;
+        }
+
+        Token t = make(Tok::kEof);
+        advance();
+        auto two = [&](char second, Tok yes, Tok no) {
+            if (peek() == second) {
+                advance();
+                t.kind = yes;
+            } else {
+                t.kind = no;
+            }
+        };
+
+        switch (c) {
+          case '(': t.kind = Tok::kLParen; break;
+          case ')': t.kind = Tok::kRParen; break;
+          case '{': t.kind = Tok::kLBrace; break;
+          case '}': t.kind = Tok::kRBrace; break;
+          case '[': t.kind = Tok::kLBracket; break;
+          case ']': t.kind = Tok::kRBracket; break;
+          case ';': t.kind = Tok::kSemi; break;
+          case ',': t.kind = Tok::kComma; break;
+          case '?': t.kind = Tok::kQuestion; break;
+          case ':': t.kind = Tok::kColon; break;
+          case '~': t.kind = Tok::kTilde; break;
+          case '^': t.kind = Tok::kCaret; break;
+          case '+':
+            if (peek() == '+') {
+                advance();
+                t.kind = Tok::kPlusPlus;
+            } else {
+                two('=', Tok::kPlusAssign, Tok::kPlus);
+            }
+            break;
+          case '-':
+            if (peek() == '-') {
+                advance();
+                t.kind = Tok::kMinusMinus;
+            } else {
+                two('=', Tok::kMinusAssign, Tok::kMinus);
+            }
+            break;
+          case '*': two('=', Tok::kStarAssign, Tok::kStar); break;
+          case '/': t.kind = Tok::kSlash; break;
+          case '%': t.kind = Tok::kPercent; break;
+          case '=': two('=', Tok::kEq, Tok::kAssign); break;
+          case '!': two('=', Tok::kNe, Tok::kBang); break;
+          case '<':
+            if (peek() == '<') {
+                advance();
+                t.kind = Tok::kShl;
+            } else {
+                two('=', Tok::kLe, Tok::kLt);
+            }
+            break;
+          case '>':
+            if (peek() == '>') {
+                advance();
+                t.kind = Tok::kShrTok;
+            } else {
+                two('=', Tok::kGe, Tok::kGt);
+            }
+            break;
+          case '&':
+            if (peek() == '&') {
+                advance();
+                t.kind = Tok::kAmpAmp;
+            } else {
+                two('=', Tok::kAndAssign, Tok::kAmp);
+            }
+            break;
+          case '|':
+            if (peek() == '|') {
+                advance();
+                t.kind = Tok::kPipePipe;
+            } else {
+                two('=', Tok::kOrAssign, Tok::kPipe);
+            }
+            break;
+          default:
+            phloem_fatal("unexpected character '", std::string(1, c),
+                         "' at line ", line_);
+        }
+        return t;
+    }
+
+    const std::string& src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string& source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace phloem::fe

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Lexer for the mini-C frontend. Handles comments, `#pragma` lines (fused
+ * into a kPragma token whose text is the rest of the line), and the
+ * keyword subset the Phloem kernels need.
+ */
+
+#ifndef PHLOEM_FRONTEND_LEXER_H
+#define PHLOEM_FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace phloem::fe {
+
+/** Tokenize a whole source buffer; throws on malformed input. */
+std::vector<Token> lex(const std::string& source);
+
+} // namespace phloem::fe
+
+#endif // PHLOEM_FRONTEND_LEXER_H

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Recursive-descent parser for the mini-C frontend.
+ */
+
+#ifndef PHLOEM_FRONTEND_PARSER_H
+#define PHLOEM_FRONTEND_PARSER_H
+
+#include "frontend/ast.h"
+
+namespace phloem::fe {
+
+/** Parse a whole source buffer; throws (fatal) on syntax errors. */
+TranslationUnit parse(const std::string& source);
+
+} // namespace phloem::fe
+
+#endif // PHLOEM_FRONTEND_PARSER_H

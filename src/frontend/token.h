@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Token definitions for the mini-C frontend.
+ */
+
+#ifndef PHLOEM_FRONTEND_TOKEN_H
+#define PHLOEM_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace phloem::fe {
+
+enum class Tok : uint8_t {
+    kEof,
+    kIdent,
+    kIntLit,
+    kFloatLit,
+
+    // Keywords.
+    kVoid, kInt, kLong, kDouble, kFloat, kConst, kRestrict,
+    kIf, kElse, kFor, kWhile, kBreak, kContinue, kReturn,
+    kPragma,  // '#pragma' fused by the lexer
+
+    // Punctuation / operators.
+    kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+    kSemi, kComma, kQuestion, kColon,
+    kAssign, kPlusAssign, kMinusAssign, kStarAssign,
+    kOrAssign, kAndAssign,
+    kPlus, kMinus, kStar, kSlash, kPercent,
+    kAmp, kPipe, kCaret, kTilde, kBang,
+    kAmpAmp, kPipePipe,
+    kShl, kShrTok,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kPlusPlus, kMinusMinus,
+};
+
+struct Token
+{
+    Tok kind = Tok::kEof;
+    std::string text;
+    int64_t intValue = 0;
+    double floatValue = 0;
+    int line = 0;
+    int col = 0;
+};
+
+const char* tokName(Tok t);
+
+} // namespace phloem::fe
+
+#endif // PHLOEM_FRONTEND_TOKEN_H

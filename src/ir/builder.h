@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Convenience builder for constructing Phloem IR by hand.
+ *
+ * Used by the frontend lowering, by the compiler passes when synthesizing
+ * code, and by the hand-written "manually pipelined" baseline programs.
+ * Region nesting is expressed with lambdas:
+ *
+ * @code
+ *   FunctionBuilder b("axpy");
+ *   ArrayId x = b.arrayParam("x", ElemType::kF64, false);
+ *   ArrayId y = b.arrayParam("y", ElemType::kF64, true);
+ *   RegId n = b.scalarParam("n");
+ *   b.forRange(b.constI(0), n, [&](RegId i) {
+ *       RegId xv = b.load(x, i);
+ *       b.store(y, i, b.fadd(xv, b.load(y, i)));
+ *   });
+ * @endcode
+ */
+
+#ifndef PHLOEM_IR_BUILDER_H
+#define PHLOEM_IR_BUILDER_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "ir/function.h"
+
+namespace phloem::ir {
+
+class FunctionBuilder
+{
+  public:
+    explicit FunctionBuilder(std::string name)
+        : fn_(std::make_unique<Function>())
+    {
+        fn_->name = std::move(name);
+        regionStack_.push_back(&fn_->body);
+    }
+
+    /** Declare a scalar parameter; returns its register. */
+    RegId
+    scalarParam(const std::string& name, bool is_float = false)
+    {
+        RegId r = fn_->newReg(name);
+        fn_->scalarParams.push_back({name, r, is_float});
+        return r;
+    }
+
+    /**
+     * Declare an array parameter. Distinct restrict parameters get
+     * distinct alias classes; pass an explicit alias_class to model
+     * may-alias pointers.
+     */
+    ArrayId
+    arrayParam(const std::string& name, ElemType elem, bool writable,
+               int alias_class = -1)
+    {
+        phloem_assert(static_cast<int>(fn_->arrays.size()) ==
+                          fn_->numArrayParams,
+                      "array params must precede locals");
+        ArrayId a = fn_->addArray(name, elem, writable, alias_class);
+        fn_->numArrayParams++;
+        return a;
+    }
+
+    /** Allocate a local register. */
+    RegId newReg(const std::string& name = "") { return fn_->newReg(name); }
+
+    // ------------------------------------------------------------------
+    // Low-level emission.
+    // ------------------------------------------------------------------
+
+    /** Append an op to the current region; returns dst (or kNoReg). */
+    RegId
+    emit(Op op)
+    {
+        op.id = fn_->nextOpId++;
+        if (op.origin < 0)
+            op.origin = op.id;
+        auto stmt = std::make_unique<OpStmt>(op);
+        assignStmtId(stmt.get());
+        RegId dst = op.dst;
+        regionStack_.back()->push_back(std::move(stmt));
+        return dst;
+    }
+
+    RegId
+    emitBinary(Opcode opc, RegId a, RegId b, const std::string& name = "")
+    {
+        Op op;
+        op.opcode = opc;
+        op.dst = fn_->newReg(name);
+        op.src[0] = a;
+        op.src[1] = b;
+        return emit(op);
+    }
+
+    RegId
+    emitUnary(Opcode opc, RegId a, const std::string& name = "")
+    {
+        Op op;
+        op.opcode = opc;
+        op.dst = fn_->newReg(name);
+        op.src[0] = a;
+        return emit(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar ops.
+    // ------------------------------------------------------------------
+
+    RegId
+    constI(int64_t v, const std::string& name = "")
+    {
+        Op op;
+        op.opcode = Opcode::kConst;
+        op.dst = fn_->newReg(name);
+        op.imm = v;
+        return emit(op);
+    }
+
+    RegId
+    constF(double v, const std::string& name = "")
+    {
+        Op op;
+        op.opcode = Opcode::kConst;
+        op.dst = fn_->newReg(name);
+        op.imm = static_cast<int64_t>(Value::fromDouble(v).bits);
+        return emit(op);
+    }
+
+    RegId mov(RegId a) { return emitUnary(Opcode::kMov, a); }
+
+    /** Assign into an existing register (mutable-variable semantics). */
+    void
+    movTo(RegId dst, RegId src)
+    {
+        Op op;
+        op.opcode = Opcode::kMov;
+        op.dst = dst;
+        op.src[0] = src;
+        emit(op);
+    }
+
+    void
+    constTo(RegId dst, int64_t v)
+    {
+        Op op;
+        op.opcode = Opcode::kConst;
+        op.dst = dst;
+        op.imm = v;
+        emit(op);
+    }
+
+    RegId add(RegId a, RegId b) { return emitBinary(Opcode::kAdd, a, b); }
+    RegId sub(RegId a, RegId b) { return emitBinary(Opcode::kSub, a, b); }
+    RegId mul(RegId a, RegId b) { return emitBinary(Opcode::kMul, a, b); }
+    RegId div(RegId a, RegId b) { return emitBinary(Opcode::kDiv, a, b); }
+    RegId rem(RegId a, RegId b) { return emitBinary(Opcode::kRem, a, b); }
+    RegId and_(RegId a, RegId b) { return emitBinary(Opcode::kAnd, a, b); }
+    RegId or_(RegId a, RegId b) { return emitBinary(Opcode::kOr, a, b); }
+    RegId xor_(RegId a, RegId b) { return emitBinary(Opcode::kXor, a, b); }
+    RegId shl(RegId a, RegId b) { return emitBinary(Opcode::kShl, a, b); }
+    RegId shr(RegId a, RegId b) { return emitBinary(Opcode::kShr, a, b); }
+    RegId min(RegId a, RegId b) { return emitBinary(Opcode::kMin, a, b); }
+    RegId max(RegId a, RegId b) { return emitBinary(Opcode::kMax, a, b); }
+    RegId cmpEq(RegId a, RegId b) { return emitBinary(Opcode::kCmpEq, a, b); }
+    RegId cmpNe(RegId a, RegId b) { return emitBinary(Opcode::kCmpNe, a, b); }
+    RegId cmpLt(RegId a, RegId b) { return emitBinary(Opcode::kCmpLt, a, b); }
+    RegId cmpLe(RegId a, RegId b) { return emitBinary(Opcode::kCmpLe, a, b); }
+    RegId cmpGt(RegId a, RegId b) { return emitBinary(Opcode::kCmpGt, a, b); }
+    RegId cmpGe(RegId a, RegId b) { return emitBinary(Opcode::kCmpGe, a, b); }
+    RegId not_(RegId a) { return emitUnary(Opcode::kNot, a); }
+
+    RegId fadd(RegId a, RegId b) { return emitBinary(Opcode::kFAdd, a, b); }
+    RegId fsub(RegId a, RegId b) { return emitBinary(Opcode::kFSub, a, b); }
+    RegId fmul(RegId a, RegId b) { return emitBinary(Opcode::kFMul, a, b); }
+    RegId fdiv(RegId a, RegId b) { return emitBinary(Opcode::kFDiv, a, b); }
+    RegId fabs_(RegId a) { return emitUnary(Opcode::kFAbs, a); }
+    RegId fcmpGt(RegId a, RegId b) { return emitBinary(Opcode::kFCmpGt, a, b); }
+    RegId fcmpLt(RegId a, RegId b) { return emitBinary(Opcode::kFCmpLt, a, b); }
+    RegId i2f(RegId a) { return emitUnary(Opcode::kI2F, a); }
+    RegId f2i(RegId a) { return emitUnary(Opcode::kF2I, a); }
+
+    RegId
+    select(RegId c, RegId a, RegId b)
+    {
+        Op op;
+        op.opcode = Opcode::kSelect;
+        op.dst = fn_->newReg();
+        op.src[0] = c;
+        op.src[1] = a;
+        op.src[2] = b;
+        return emit(op);
+    }
+
+    RegId
+    work(RegId a, int64_t cost)
+    {
+        Op op;
+        op.opcode = Opcode::kWork;
+        op.dst = fn_->newReg();
+        op.src[0] = a;
+        op.imm = cost;
+        return emit(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory.
+    // ------------------------------------------------------------------
+
+    RegId
+    load(ArrayId arr, RegId idx, const std::string& name = "")
+    {
+        Op op;
+        op.opcode = Opcode::kLoad;
+        op.dst = fn_->newReg(name);
+        op.src[0] = idx;
+        op.arr = arr;
+        return emit(op);
+    }
+
+    void
+    store(ArrayId arr, RegId idx, RegId val)
+    {
+        Op op;
+        op.opcode = Opcode::kStore;
+        op.src[0] = idx;
+        op.src[1] = val;
+        op.arr = arr;
+        emit(op);
+    }
+
+    void
+    prefetch(ArrayId arr, RegId idx)
+    {
+        Op op;
+        op.opcode = Opcode::kPrefetch;
+        op.src[0] = idx;
+        op.arr = arr;
+        emit(op);
+    }
+
+    void
+    swapArrays(ArrayId a, ArrayId b)
+    {
+        Op op;
+        op.opcode = Opcode::kSwapArr;
+        op.arr = a;
+        op.arr2 = b;
+        emit(op);
+    }
+
+    RegId
+    atomicMin(ArrayId arr, RegId idx, RegId val)
+    {
+        Op op;
+        op.opcode = Opcode::kAtomicMin;
+        op.dst = fn_->newReg();
+        op.src[0] = idx;
+        op.src[1] = val;
+        op.arr = arr;
+        return emit(op);
+    }
+
+    RegId
+    atomicAdd(ArrayId arr, RegId idx, RegId val)
+    {
+        Op op;
+        op.opcode = Opcode::kAtomicAdd;
+        op.dst = fn_->newReg();
+        op.src[0] = idx;
+        op.src[1] = val;
+        op.arr = arr;
+        return emit(op);
+    }
+
+    RegId
+    atomicFAdd(ArrayId arr, RegId idx, RegId val)
+    {
+        Op op;
+        op.opcode = Opcode::kAtomicFAdd;
+        op.dst = fn_->newReg();
+        op.src[0] = idx;
+        op.src[1] = val;
+        op.arr = arr;
+        return emit(op);
+    }
+
+    RegId
+    atomicOr(ArrayId arr, RegId idx, RegId val)
+    {
+        Op op;
+        op.opcode = Opcode::kAtomicOr;
+        op.dst = fn_->newReg();
+        op.src[0] = idx;
+        op.src[1] = val;
+        op.arr = arr;
+        return emit(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Queues.
+    // ------------------------------------------------------------------
+
+    void
+    enq(QueueId q, RegId v)
+    {
+        Op op;
+        op.opcode = Opcode::kEnq;
+        op.queue = q;
+        op.src[0] = v;
+        emit(op);
+    }
+
+    RegId
+    deq(QueueId q, const std::string& name = "")
+    {
+        Op op;
+        op.opcode = Opcode::kDeq;
+        op.queue = q;
+        op.dst = fn_->newReg(name);
+        return emit(op);
+    }
+
+    void
+    deqTo(QueueId q, RegId dst)
+    {
+        Op op;
+        op.opcode = Opcode::kDeq;
+        op.queue = q;
+        op.dst = dst;
+        emit(op);
+    }
+
+    RegId
+    peek(QueueId q)
+    {
+        Op op;
+        op.opcode = Opcode::kPeek;
+        op.queue = q;
+        op.dst = fn_->newReg();
+        return emit(op);
+    }
+
+    void
+    enqCtrl(QueueId q, uint32_t code)
+    {
+        Op op;
+        op.opcode = Opcode::kEnqCtrl;
+        op.queue = q;
+        op.imm = code;
+        emit(op);
+    }
+
+    RegId isControl(RegId v) { return emitUnary(Opcode::kIsControl, v); }
+    RegId ctrlCode(RegId v) { return emitUnary(Opcode::kCtrlCode, v); }
+
+    void
+    enqDist(QueueId base_q, RegId v, RegId replica_sel)
+    {
+        Op op;
+        op.opcode = Opcode::kEnqDist;
+        op.queue = base_q;
+        op.src[0] = v;
+        op.src[1] = replica_sel;
+        emit(op);
+    }
+
+    void
+    barrier()
+    {
+        Op op;
+        op.opcode = Opcode::kBarrier;
+        emit(op);
+    }
+
+    // ------------------------------------------------------------------
+    // Structured control flow.
+    // ------------------------------------------------------------------
+
+    /** for (i = start; i < bound; i++) body(i) */
+    void
+    forRange(RegId start, RegId bound, const std::function<void(RegId)>& body,
+             const std::string& var_name = "i")
+    {
+        auto stmt = std::make_unique<ForStmt>();
+        assignStmtId(stmt.get());
+        stmt->var = fn_->newReg(var_name);
+        stmt->start = start;
+        stmt->bound = bound;
+        ForStmt* raw = stmt.get();
+        regionStack_.back()->push_back(std::move(stmt));
+        regionStack_.push_back(&raw->body);
+        body(raw->var);
+        regionStack_.pop_back();
+    }
+
+    /** while (true) body; exit with break_(). */
+    void
+    loop(const std::function<void()>& body)
+    {
+        auto stmt = std::make_unique<WhileStmt>();
+        assignStmtId(stmt.get());
+        WhileStmt* raw = stmt.get();
+        regionStack_.back()->push_back(std::move(stmt));
+        regionStack_.push_back(&raw->body);
+        body();
+        regionStack_.pop_back();
+    }
+
+    void
+    if_(RegId cond, const std::function<void()>& then_body,
+        const std::function<void()>& else_body = nullptr)
+    {
+        auto stmt = std::make_unique<IfStmt>();
+        assignStmtId(stmt.get());
+        stmt->cond = cond;
+        IfStmt* raw = stmt.get();
+        regionStack_.back()->push_back(std::move(stmt));
+        regionStack_.push_back(&raw->thenBody);
+        then_body();
+        regionStack_.pop_back();
+        if (else_body) {
+            regionStack_.push_back(&raw->elseBody);
+            else_body();
+            regionStack_.pop_back();
+        }
+    }
+
+    void
+    break_(int levels = 1)
+    {
+        auto stmt = std::make_unique<BreakStmt>(levels);
+        assignStmtId(stmt.get());
+        regionStack_.back()->push_back(std::move(stmt));
+    }
+
+    void
+    continue_()
+    {
+        auto stmt = std::make_unique<ContinueStmt>();
+        assignStmtId(stmt.get());
+        regionStack_.back()->push_back(std::move(stmt));
+    }
+
+    /** Finish and take ownership of the function. */
+    FunctionPtr
+    finish()
+    {
+        phloem_assert(regionStack_.size() == 1, "unbalanced builder regions");
+        return std::move(fn_);
+    }
+
+    /** Access the function under construction. */
+    Function& fn() { return *fn_; }
+
+  private:
+    void
+    assignStmtId(Stmt* s)
+    {
+        s->id = fn_->nextStmtId++;
+        if (s->origin < 0)
+            s->origin = s->id;
+    }
+
+    FunctionPtr fn_;
+    std::vector<Region*> regionStack_;
+};
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_BUILDER_H

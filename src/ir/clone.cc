@@ -1,0 +1,98 @@
+#include "ir/clone.h"
+
+#include "base/logging.h"
+
+namespace phloem::ir {
+
+StmtPtr
+cloneStmt(const Stmt* stmt, Function& dst)
+{
+    StmtPtr out;
+    switch (stmt->kind()) {
+      case StmtKind::kOp: {
+        auto* src = stmtCast<OpStmt>(stmt);
+        auto s = std::make_unique<OpStmt>(src->op);
+        s->op.id = dst.nextOpId++;
+        out = std::move(s);
+        break;
+      }
+      case StmtKind::kFor: {
+        auto* src = stmtCast<ForStmt>(stmt);
+        auto s = std::make_unique<ForStmt>();
+        s->var = src->var;
+        s->start = src->start;
+        s->bound = src->bound;
+        s->body = cloneRegion(src->body, dst);
+        out = std::move(s);
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto* src = stmtCast<WhileStmt>(stmt);
+        auto s = std::make_unique<WhileStmt>();
+        s->body = cloneRegion(src->body, dst);
+        out = std::move(s);
+        break;
+      }
+      case StmtKind::kIf: {
+        auto* src = stmtCast<IfStmt>(stmt);
+        auto s = std::make_unique<IfStmt>();
+        s->cond = src->cond;
+        s->thenBody = cloneRegion(src->thenBody, dst);
+        s->elseBody = cloneRegion(src->elseBody, dst);
+        out = std::move(s);
+        break;
+      }
+      case StmtKind::kBreak: {
+        auto* src = stmtCast<BreakStmt>(stmt);
+        out = std::make_unique<BreakStmt>(src->levels);
+        break;
+      }
+      case StmtKind::kContinue: {
+        out = std::make_unique<ContinueStmt>();
+        break;
+      }
+    }
+    phloem_assert(out != nullptr, "unknown stmt kind");
+    out->id = dst.nextStmtId++;
+    out->origin = stmt->origin;
+    return out;
+}
+
+Region
+cloneRegion(const Region& region, Function& dst)
+{
+    Region out;
+    out.reserve(region.size());
+    for (const auto& s : region)
+        out.push_back(cloneStmt(s.get(), dst));
+    return out;
+}
+
+FunctionPtr
+cloneDecl(const Function& fn, const std::string& new_name)
+{
+    auto out = std::make_unique<Function>();
+    out->name = new_name;
+    out->scalarParams = fn.scalarParams;
+    out->arrays = fn.arrays;
+    out->numArrayParams = fn.numArrayParams;
+    out->numRegs = fn.numRegs;
+    out->regNames = fn.regNames;
+    return out;
+}
+
+FunctionPtr
+cloneFunction(const Function& fn, const std::string& new_name)
+{
+    auto out = cloneDecl(fn, new_name);
+    out->body = cloneRegion(fn.body, *out);
+    for (const auto& h : fn.handlers) {
+        HandlerSpec hs;
+        hs.queue = h.queue;
+        hs.body = cloneRegion(h.body, *out);
+        out->handlers.push_back(std::move(hs));
+    }
+    return out;
+}
+
+} // namespace phloem::ir

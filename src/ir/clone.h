@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Deep-cloning utilities for regions and functions.
+ *
+ * Clones re-draw op and stmt ids from the destination function's id wells
+ * but preserve `origin` ids, so analyses expressed over the serial
+ * function's ops remain meaningful in every stage derived from it.
+ */
+
+#ifndef PHLOEM_IR_CLONE_H
+#define PHLOEM_IR_CLONE_H
+
+#include "ir/function.h"
+
+namespace phloem::ir {
+
+/** Deep-clone a statement into the id space of `dst`. */
+StmtPtr cloneStmt(const Stmt* stmt, Function& dst);
+
+/** Deep-clone a whole region into the id space of `dst`. */
+Region cloneRegion(const Region& region, Function& dst);
+
+/**
+ * Clone a function's declaration only (params, arrays, registers): the
+ * standard way to create a pipeline stage that shares the original's
+ * register and array numbering, with an empty body.
+ */
+FunctionPtr cloneDecl(const Function& fn, const std::string& new_name);
+
+/** Deep-clone an entire function, body included. */
+FunctionPtr cloneFunction(const Function& fn, const std::string& new_name);
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_CLONE_H

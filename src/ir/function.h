@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Function-level containers of the Phloem IR: parameters, array symbols,
+ * register files, control-value handlers, and the structured body.
+ */
+
+#ifndef PHLOEM_IR_FUNCTION_H
+#define PHLOEM_IR_FUNCTION_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace phloem::ir {
+
+/**
+ * An array symbol visible to a function. Arrays live in simulated shared
+ * memory; the runtime binds each slot to a buffer before execution.
+ *
+ * aliasClass implements the paper's aliasing discipline (Sec. IV-A):
+ * slots derived from distinct `restrict` pointers get distinct classes and
+ * never alias; slots that may refer to the same storage (e.g., swapped
+ * double buffers) share a class.
+ */
+struct ArrayInfo
+{
+    std::string name;
+    ElemType elem = ElemType::kI64;
+    /** True if any op may store through this slot. */
+    bool writable = false;
+    /** Alias-class id; equal ids may alias. */
+    int aliasClass = -1;
+};
+
+/** A scalar parameter, bound to a register at run time. */
+struct ScalarParam
+{
+    std::string name;
+    RegId reg = kNoReg;
+    bool isFloat = false;
+};
+
+/**
+ * A control-value handler for one queue (paper Sec. III "control value
+ * handlers"). When a deq on `queue` is about to return a control value,
+ * the hardware jumps to the handler body instead; the body may forward
+ * control values downstream and typically ends with a Break that exits
+ * loops *relative to the deq site* (level 1 = the loop immediately
+ * containing the deq).
+ */
+struct HandlerSpec
+{
+    QueueId queue = kNoQueue;
+    Region body;
+};
+
+/**
+ * One IR function. Before decoupling this is the whole serial kernel;
+ * after decoupling each pipeline stage is a Function.
+ */
+class Function
+{
+  public:
+    std::string name;
+
+    /** Scalar parameters (bound to registers at run time, in order). */
+    std::vector<ScalarParam> scalarParams;
+
+    /** Array slots; the leading ones are array parameters, in order. */
+    std::vector<ArrayInfo> arrays;
+    int numArrayParams = 0;
+
+    /** Register file size; registers are untyped 64-bit Values. */
+    int numRegs = 0;
+    /** Debug names, parallel to registers (may be shorter). */
+    std::vector<std::string> regNames;
+
+    Region body;
+
+    /** Control-value handlers, keyed by queue (installed by pass 5). */
+    std::vector<HandlerSpec> handlers;
+
+    /** Monotonic id wells for ops and statements. */
+    int nextOpId = 0;
+    int nextStmtId = 0;
+
+    /** Allocate a fresh register with an optional debug name. */
+    RegId
+    newReg(const std::string& name = "")
+    {
+        RegId r = numRegs++;
+        regNames.resize(numRegs);
+        regNames[r] = name.empty() ? ("r" + std::to_string(r)) : name;
+        return r;
+    }
+
+    /** Register debug name (always defined). */
+    std::string
+    regName(RegId r) const
+    {
+        if (r >= 0 && r < static_cast<int>(regNames.size()) &&
+            !regNames[r].empty()) {
+            return regNames[r];
+        }
+        return "r" + std::to_string(r);
+    }
+
+    /** Add an array slot and return its id. */
+    ArrayId
+    addArray(const std::string& name, ElemType elem, bool writable,
+             int alias_class = -1)
+    {
+        ArrayInfo info;
+        info.name = name;
+        info.elem = elem;
+        info.writable = writable;
+        info.aliasClass =
+            alias_class >= 0 ? alias_class : static_cast<int>(arrays.size());
+        arrays.push_back(info);
+        return static_cast<ArrayId>(arrays.size() - 1);
+    }
+
+    /** Look up an array slot by name; returns kNoArray if absent. */
+    ArrayId
+    findArray(const std::string& name) const
+    {
+        for (size_t i = 0; i < arrays.size(); ++i)
+            if (arrays[i].name == name)
+                return static_cast<ArrayId>(i);
+        return kNoArray;
+    }
+
+    /** Look up a scalar param by name; returns kNoReg if absent. */
+    RegId
+    findScalarParam(const std::string& name) const
+    {
+        for (const auto& p : scalarParams)
+            if (p.name == name)
+                return p.reg;
+        return kNoReg;
+    }
+
+    /** Find the handler for a queue, or nullptr. */
+    const HandlerSpec*
+    handlerFor(QueueId q) const
+    {
+        for (const auto& h : handlers)
+            if (h.queue == q)
+                return &h;
+        return nullptr;
+    }
+};
+
+using FunctionPtr = std::unique_ptr<Function>;
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_FUNCTION_H

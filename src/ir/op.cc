@@ -1,0 +1,69 @@
+#include "ir/op.h"
+
+namespace phloem::ir {
+
+const char*
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::kConst: return "const";
+      case Opcode::kMov: return "mov";
+      case Opcode::kAdd: return "add";
+      case Opcode::kSub: return "sub";
+      case Opcode::kMul: return "mul";
+      case Opcode::kDiv: return "div";
+      case Opcode::kRem: return "rem";
+      case Opcode::kAnd: return "and";
+      case Opcode::kOr: return "or";
+      case Opcode::kXor: return "xor";
+      case Opcode::kShl: return "shl";
+      case Opcode::kShr: return "shr";
+      case Opcode::kMin: return "min";
+      case Opcode::kMax: return "max";
+      case Opcode::kCmpEq: return "cmpeq";
+      case Opcode::kCmpNe: return "cmpne";
+      case Opcode::kCmpLt: return "cmplt";
+      case Opcode::kCmpLe: return "cmple";
+      case Opcode::kCmpGt: return "cmpgt";
+      case Opcode::kCmpGe: return "cmpge";
+      case Opcode::kNot: return "not";
+      case Opcode::kSelect: return "select";
+      case Opcode::kFAdd: return "fadd";
+      case Opcode::kFSub: return "fsub";
+      case Opcode::kFMul: return "fmul";
+      case Opcode::kFDiv: return "fdiv";
+      case Opcode::kFNeg: return "fneg";
+      case Opcode::kFAbs: return "fabs";
+      case Opcode::kFMin: return "fmin";
+      case Opcode::kFMax: return "fmax";
+      case Opcode::kFCmpEq: return "fcmpeq";
+      case Opcode::kFCmpNe: return "fcmpne";
+      case Opcode::kFCmpLt: return "fcmplt";
+      case Opcode::kFCmpLe: return "fcmple";
+      case Opcode::kFCmpGt: return "fcmpgt";
+      case Opcode::kFCmpGe: return "fcmpge";
+      case Opcode::kI2F: return "i2f";
+      case Opcode::kF2I: return "f2i";
+      case Opcode::kLoad: return "load";
+      case Opcode::kStore: return "store";
+      case Opcode::kPrefetch: return "prefetch";
+      case Opcode::kSwapArr: return "swaparr";
+      case Opcode::kAtomicMin: return "atomic_min";
+      case Opcode::kAtomicAdd: return "atomic_add";
+      case Opcode::kAtomicFAdd: return "atomic_fadd";
+      case Opcode::kAtomicOr: return "atomic_or";
+      case Opcode::kEnq: return "enq";
+      case Opcode::kDeq: return "deq";
+      case Opcode::kPeek: return "peek";
+      case Opcode::kEnqCtrl: return "enq_ctrl";
+      case Opcode::kIsControl: return "is_control";
+      case Opcode::kCtrlCode: return "ctrl_code";
+      case Opcode::kEnqDist: return "enq_dist";
+      case Opcode::kWork: return "work";
+      case Opcode::kBarrier: return "barrier";
+      case Opcode::kHalt: return "halt";
+    }
+    return "?";
+}
+
+} // namespace phloem::ir

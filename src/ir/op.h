@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Fine-grain operations of the Phloem IR.
+ *
+ * The IR deliberately represents operations at a fine granularity ("load,
+ * add", paper Sec. V) so that any two operations can be decoupled into
+ * separate pipeline stages. Unlike conventional IRs, it has first-class
+ * queue operations (enq/deq/peek/enq_ctrl/is_control) and array accesses
+ * that name the array symbol explicitly, which is what the alias rules and
+ * the reference-accelerator pass key on.
+ */
+
+#ifndef PHLOEM_IR_OP_H
+#define PHLOEM_IR_OP_H
+
+#include <cstdint>
+
+#include "ir/type.h"
+
+namespace phloem::ir {
+
+enum class Opcode : uint8_t {
+    // Value-producing scalar ops.
+    kConst,     ///< dst = imm (raw 64-bit payload)
+    kMov,       ///< dst = src0
+
+    // Integer arithmetic / logic (operands as int64).
+    kAdd, kSub, kMul, kDiv, kRem,
+    kAnd, kOr, kXor, kShl, kShr,
+    kMin, kMax,
+    kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+    kNot,       ///< dst = (src0 == 0)
+    kSelect,    ///< dst = src0 ? src1 : src2
+
+    // Floating point (operands as double).
+    kFAdd, kFSub, kFMul, kFDiv, kFNeg, kFAbs,
+    kFMin, kFMax,
+    kFCmpEq, kFCmpNe, kFCmpLt, kFCmpLe, kFCmpGt, kFCmpGe,
+    kI2F, kF2I,
+
+    // Memory.
+    kLoad,      ///< dst = arr[src0]
+    kStore,     ///< arr[src0] = src1
+    kPrefetch,  ///< warm the cache for arr[src0]; no architectural effect
+    kSwapArr,   ///< swap the bindings of array slots arr and arr2
+
+    // Atomics (used by the data-parallel baselines; one uop + RMW latency).
+    kAtomicMin,  ///< dst = old arr[src0]; arr[src0] = min(old, src1)
+    kAtomicAdd,  ///< dst = old arr[src0]; arr[src0] = old + src1
+    kAtomicFAdd, ///< dst = old arr[src0]; arr[src0] = old + src1 (double)
+    kAtomicOr,   ///< dst = old arr[src0]; arr[src0] = old | src1
+
+    // Pipette queue interface (paper Table I).
+    kEnq,       ///< enq(queue, src0)
+    kDeq,       ///< dst = deq(queue); may invoke a control handler
+    kPeek,      ///< dst = peek(queue)
+    kEnqCtrl,   ///< enq_ctrl(queue, control code imm)
+    kIsControl, ///< dst = is_control(src0)
+    kCtrlCode,  ///< dst = control code of src0 (must be a control value)
+    kEnqDist,   ///< enq(queueOfReplica(queue, src1), src0): #pragma distribute
+
+    // Structured-execution helpers.
+    kWork,      ///< opaque computation: dst = mix(src0), costs imm uops
+    kBarrier,   ///< synchronize all stage threads of the pipeline
+    kHalt,      ///< end of program (implicit at end of body; explicit ok)
+};
+
+/** Number of source-register operands an opcode reads. */
+inline int
+numSrcs(Opcode op)
+{
+    switch (op) {
+      case Opcode::kConst:
+      case Opcode::kDeq:
+      case Opcode::kPeek:
+      case Opcode::kEnqCtrl:
+      case Opcode::kSwapArr:
+      case Opcode::kBarrier:
+      case Opcode::kHalt:
+        return 0;
+      case Opcode::kMov:
+      case Opcode::kNot:
+      case Opcode::kFNeg:
+      case Opcode::kFAbs:
+      case Opcode::kI2F:
+      case Opcode::kF2I:
+      case Opcode::kLoad:
+      case Opcode::kPrefetch:
+      case Opcode::kEnq:
+      case Opcode::kIsControl:
+      case Opcode::kCtrlCode:
+      case Opcode::kWork:
+        return 1;
+      case Opcode::kSelect:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+/** Does this opcode write a destination register? */
+inline bool
+hasDst(Opcode op)
+{
+    switch (op) {
+      case Opcode::kStore:
+      case Opcode::kPrefetch:
+      case Opcode::kSwapArr:
+      case Opcode::kEnq:
+      case Opcode::kEnqCtrl:
+      case Opcode::kEnqDist:
+      case Opcode::kBarrier:
+      case Opcode::kHalt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** Does this opcode reference an array slot? */
+inline bool
+usesArray(Opcode op)
+{
+    switch (op) {
+      case Opcode::kLoad:
+      case Opcode::kStore:
+      case Opcode::kPrefetch:
+      case Opcode::kSwapArr:
+      case Opcode::kAtomicMin:
+      case Opcode::kAtomicAdd:
+      case Opcode::kAtomicFAdd:
+      case Opcode::kAtomicOr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Does this opcode reference a hardware queue? */
+inline bool
+usesQueue(Opcode op)
+{
+    switch (op) {
+      case Opcode::kEnq:
+      case Opcode::kDeq:
+      case Opcode::kPeek:
+      case Opcode::kEnqCtrl:
+      case Opcode::kEnqDist:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Is this a memory read (for alias/cost analysis)? */
+inline bool
+isMemRead(Opcode op)
+{
+    return op == Opcode::kLoad || op == Opcode::kAtomicMin ||
+           op == Opcode::kAtomicAdd || op == Opcode::kAtomicFAdd ||
+           op == Opcode::kAtomicOr;
+}
+
+/** Is this a memory write (for alias analysis)? */
+inline bool
+isMemWrite(Opcode op)
+{
+    return op == Opcode::kStore || op == Opcode::kAtomicMin ||
+           op == Opcode::kAtomicAdd || op == Opcode::kAtomicFAdd ||
+           op == Opcode::kAtomicOr;
+}
+
+/** Pure ops can be recomputed freely (pass 2, "recompute"). */
+inline bool
+isPure(Opcode op)
+{
+    switch (op) {
+      case Opcode::kConst:
+      case Opcode::kMov:
+      case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+      case Opcode::kDiv: case Opcode::kRem:
+      case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor:
+      case Opcode::kShl: case Opcode::kShr:
+      case Opcode::kMin: case Opcode::kMax:
+      case Opcode::kCmpEq: case Opcode::kCmpNe:
+      case Opcode::kCmpLt: case Opcode::kCmpLe:
+      case Opcode::kCmpGt: case Opcode::kCmpGe:
+      case Opcode::kNot: case Opcode::kSelect:
+      case Opcode::kFAdd: case Opcode::kFSub: case Opcode::kFMul:
+      case Opcode::kFDiv: case Opcode::kFNeg: case Opcode::kFAbs:
+      case Opcode::kFMin: case Opcode::kFMax:
+      case Opcode::kFCmpEq: case Opcode::kFCmpNe:
+      case Opcode::kFCmpLt: case Opcode::kFCmpLe:
+      case Opcode::kFCmpGt: case Opcode::kFCmpGe:
+      case Opcode::kI2F: case Opcode::kF2I:
+      case Opcode::kIsControl: case Opcode::kCtrlCode:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char* opcodeName(Opcode op);
+
+/**
+ * One fine-grain operation.
+ *
+ * Every op carries a function-unique id and an `origin` id that survives
+ * cloning during decoupling, so the passes can talk about "the same op"
+ * across pipeline variants (e.g., cost-model rankings name origin ids).
+ */
+struct Op
+{
+    Opcode opcode = Opcode::kConst;
+    int id = -1;
+    int origin = -1;
+
+    RegId dst = kNoReg;
+    RegId src[3] = {kNoReg, kNoReg, kNoReg};
+
+    /** Immediate payload: kConst bits, kEnqCtrl code, kWork cost. */
+    int64_t imm = 0;
+
+    ArrayId arr = kNoArray;
+    /** Second array slot for kSwapArr. */
+    ArrayId arr2 = kNoArray;
+
+    QueueId queue = kNoQueue;
+};
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_OP_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Pipeline topology: the compiler's output and the simulator's input.
+ *
+ * A pipeline is a set of stage Functions connected by hardware queues,
+ * plus reference-accelerator (RA) configurations that interpose on queues
+ * (paper Sec. III). A pipeline may be replicated (paper Sec. IV-C): the
+ * runtime instantiates `replicas` copies, remapping queue ids by
+ * `queueStride` per replica; kEnqDist ops select the destination replica.
+ */
+
+#ifndef PHLOEM_IR_PIPELINE_H
+#define PHLOEM_IR_PIPELINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace phloem::ir {
+
+/** Reference-accelerator operating mode (paper Table I). */
+enum class RAMode : uint8_t {
+    /** Each input value is an index into the array. */
+    kIndirect,
+    /** Consecutive input pairs are [start, end) scan ranges. */
+    kScan,
+};
+
+/**
+ * Configuration of one reference accelerator.
+ *
+ * The RA dequeues from inQueue and enqueues loaded elements to outQueue.
+ * Control values pass through unchanged (they delimit streams across RA
+ * chains). A SCAN RA can additionally emit a control value after each
+ * completed range, which pass 4 enables and pass 6 may remove again.
+ */
+struct RAConfig
+{
+    RAMode mode = RAMode::kIndirect;
+    /** Name of the array this RA indexes (bound at run time). */
+    std::string arrayName;
+    ElemType elem = ElemType::kI64;
+    QueueId inQueue = kNoQueue;
+    QueueId outQueue = kNoQueue;
+    /** SCAN only: emit enq_ctrl(rangeCtrlCode) after each range. */
+    bool emitRangeCtrl = false;
+    uint32_t rangeCtrlCode = kCtrlNext;
+};
+
+/** One hardware queue used by the pipeline. */
+struct QueueConfig
+{
+    QueueId id = kNoQueue;
+    /** 0 means "use the architecture's default depth". */
+    int depth = 0;
+    /** Producer/consumer stage indices (or -1 when an RA endpoint). */
+    int producerStage = -1;
+    int consumerStage = -1;
+    std::string note;
+};
+
+/**
+ * A complete pipeline-parallel program.
+ *
+ * Stage i runs as one hardware thread. Placement onto (core, thread)
+ * pairs is chosen by the driver; by default stages fill a core's SMT
+ * threads in order, and replicas map to successive cores.
+ */
+struct Pipeline
+{
+    std::string name;
+    std::vector<FunctionPtr> stages;
+    std::vector<QueueConfig> queues;
+    std::vector<RAConfig> ras;
+
+    /** Number of replicated copies (paper Sec. IV-C). */
+    int replicas = 1;
+    /** Queue-id stride between successive replicas. */
+    int queueStride = 0;
+
+    /** Find a queue config by id; nullptr if absent. */
+    const QueueConfig*
+    findQueue(QueueId q) const
+    {
+        for (const auto& qc : queues)
+            if (qc.id == q)
+                return &qc;
+        return nullptr;
+    }
+
+    /** Total architectural queues used per replica (queues incl. RA legs). */
+    int
+    numQueues() const
+    {
+        return static_cast<int>(queues.size());
+    }
+
+    /**
+     * Stage count as the paper counts it for Fig. 13: stage threads plus
+     * any reference accelerators used.
+     */
+    int
+    lengthWithRAs() const
+    {
+        return static_cast<int>(stages.size() + ras.size());
+    }
+};
+
+using PipelinePtr = std::unique_ptr<Pipeline>;
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_PIPELINE_H

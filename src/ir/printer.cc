@@ -1,0 +1,167 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "ir/walk.h"
+
+namespace phloem::ir {
+
+namespace {
+
+void
+printRegion(std::ostringstream& oss, const Function& fn, const Region& region,
+            int indent);
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<size_t>(indent) * 2, ' ');
+}
+
+void
+printStmt(std::ostringstream& oss, const Function& fn, const Stmt* stmt,
+          int indent)
+{
+    switch (stmt->kind()) {
+      case StmtKind::kOp:
+        oss << pad(indent) << toString(fn, stmtCast<OpStmt>(stmt)->op)
+            << "\n";
+        break;
+      case StmtKind::kFor: {
+        auto* f = stmtCast<ForStmt>(stmt);
+        oss << pad(indent) << "for " << fn.regName(f->var) << " = "
+            << fn.regName(f->start) << " .. " << fn.regName(f->bound)
+            << " {\n";
+        printRegion(oss, fn, f->body, indent + 1);
+        oss << pad(indent) << "}\n";
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto* w = stmtCast<WhileStmt>(stmt);
+        oss << pad(indent) << "while {\n";
+        printRegion(oss, fn, w->body, indent + 1);
+        oss << pad(indent) << "}\n";
+        break;
+      }
+      case StmtKind::kIf: {
+        auto* i = stmtCast<IfStmt>(stmt);
+        oss << pad(indent) << "if " << fn.regName(i->cond) << " {\n";
+        printRegion(oss, fn, i->thenBody, indent + 1);
+        if (!i->elseBody.empty()) {
+            oss << pad(indent) << "} else {\n";
+            printRegion(oss, fn, i->elseBody, indent + 1);
+        }
+        oss << pad(indent) << "}\n";
+        break;
+      }
+      case StmtKind::kBreak: {
+        auto* b = stmtCast<BreakStmt>(stmt);
+        oss << pad(indent) << "break";
+        if (b->levels > 1)
+            oss << " " << b->levels;
+        oss << "\n";
+        break;
+      }
+      case StmtKind::kContinue:
+        oss << pad(indent) << "continue\n";
+        break;
+    }
+}
+
+void
+printRegion(std::ostringstream& oss, const Function& fn, const Region& region,
+            int indent)
+{
+    for (const auto& s : region)
+        printStmt(oss, fn, s.get(), indent);
+}
+
+} // namespace
+
+std::string
+toString(const Function& fn, const Op& op)
+{
+    std::ostringstream oss;
+    if (hasDst(op.opcode) && op.dst != kNoReg)
+        oss << fn.regName(op.dst) << " = ";
+    oss << opcodeName(op.opcode);
+    if (usesQueue(op.opcode))
+        oss << " q" << op.queue;
+    if (usesArray(op.opcode)) {
+        oss << " " << (op.arr >= 0 ? fn.arrays[op.arr].name : "?");
+        if (op.opcode == Opcode::kSwapArr)
+            oss << ", " << (op.arr2 >= 0 ? fn.arrays[op.arr2].name : "?");
+    }
+    for (int i = 0; i < numSrcs(op.opcode); ++i) {
+        if (op.src[i] == kNoReg)
+            continue;
+        oss << (i == 0 && !usesQueue(op.opcode) && !usesArray(op.opcode)
+                    ? " " : ", ")
+            << fn.regName(op.src[i]);
+    }
+    if (op.opcode == Opcode::kConst || op.opcode == Opcode::kEnqCtrl ||
+        op.opcode == Opcode::kWork) {
+        oss << " #" << op.imm;
+    }
+    return oss.str();
+}
+
+std::string
+toString(const Function& fn)
+{
+    std::ostringstream oss;
+    oss << "func " << fn.name << "(";
+    bool first = true;
+    for (int i = 0; i < fn.numArrayParams; ++i) {
+        if (!first)
+            oss << ", ";
+        first = false;
+        oss << elemTypeName(fn.arrays[i].elem) << "* " << fn.arrays[i].name;
+    }
+    for (const auto& p : fn.scalarParams) {
+        if (!first)
+            oss << ", ";
+        first = false;
+        oss << (p.isFloat ? "f64 " : "i64 ") << p.name;
+    }
+    oss << ") {\n";
+    printRegion(oss, fn, fn.body, 1);
+    for (const auto& h : fn.handlers) {
+        oss << "  handler q" << h.queue << " {\n";
+        printRegion(oss, fn, h.body, 2);
+        oss << "  }\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+std::string
+toString(const Pipeline& pipeline)
+{
+    std::ostringstream oss;
+    oss << "pipeline " << pipeline.name << " (" << pipeline.stages.size()
+        << " stages, " << pipeline.ras.size() << " RAs";
+    if (pipeline.replicas > 1)
+        oss << ", x" << pipeline.replicas << " replicas";
+    oss << ")\n";
+    for (const auto& q : pipeline.queues) {
+        oss << "  queue q" << q.id << ": stage " << q.producerStage
+            << " -> stage " << q.consumerStage;
+        if (!q.note.empty())
+            oss << " (" << q.note << ")";
+        oss << "\n";
+    }
+    for (const auto& ra : pipeline.ras) {
+        oss << "  ra " << (ra.mode == RAMode::kIndirect ? "indirect" : "scan")
+            << " " << ra.arrayName << ": q" << ra.inQueue << " -> q"
+            << ra.outQueue;
+        if (ra.emitRangeCtrl)
+            oss << " (emits ctrl " << ra.rangeCtrlCode << ")";
+        oss << "\n";
+    }
+    for (const auto& s : pipeline.stages)
+        oss << toString(*s);
+    return oss.str();
+}
+
+} // namespace phloem::ir

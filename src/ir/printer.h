@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Textual dumps of IR functions and pipelines, for debugging, golden
+ * tests, and the compiler's -emit-ir mode.
+ */
+
+#ifndef PHLOEM_IR_PRINTER_H
+#define PHLOEM_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/pipeline.h"
+
+namespace phloem::ir {
+
+/** Render one op as a single line (no indentation, no newline). */
+std::string toString(const Function& fn, const Op& op);
+
+/** Render a whole function as indented text. */
+std::string toString(const Function& fn);
+
+/** Render a pipeline: all stages plus queue and RA topology. */
+std::string toString(const Pipeline& pipeline);
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_PRINTER_H

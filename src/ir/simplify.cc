@@ -1,0 +1,257 @@
+#include "ir/simplify.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/logging.h"
+#include "ir/walk.h"
+
+namespace phloem::ir {
+
+namespace {
+
+/** A use or def site with position and enclosing-loop path. */
+struct Site
+{
+    int pos = 0;
+    std::vector<const Stmt*> loops;
+};
+
+struct IndexedFn
+{
+    /** Per-register def sites (ops only; induction vars excluded). */
+    std::map<RegId, std::vector<Site>> defs;
+    /** Per-register use sites (op srcs, loop bounds, if conds). */
+    std::map<RegId, std::vector<Site>> uses;
+    std::set<RegId> induction;
+    std::map<int, Site> opSite;  // by op id
+};
+
+void
+indexRegion(const Region& region, int& pos,
+            std::vector<const Stmt*>& loops, IndexedFn& ix)
+{
+    for (const auto& s : region) {
+        switch (s->kind()) {
+          case StmtKind::kOp: {
+            const Op& op = stmtCast<OpStmt>(s.get())->op;
+            Site site{pos++, loops};
+            ix.opSite[op.id] = site;
+            for (int i = 0; i < numSrcs(op.opcode); ++i) {
+                if (op.src[i] >= 0)
+                    ix.uses[op.src[i]].push_back(site);
+            }
+            if (hasDst(op.opcode) && op.dst >= 0)
+                ix.defs[op.dst].push_back(site);
+            break;
+          }
+          case StmtKind::kFor: {
+            auto* f = stmtCast<ForStmt>(s.get());
+            Site site{pos++, loops};
+            ix.uses[f->start].push_back(site);
+            ix.uses[f->bound].push_back(site);
+            ix.induction.insert(f->var);
+            loops.push_back(f);
+            indexRegion(f->body, pos, loops, ix);
+            loops.pop_back();
+            break;
+          }
+          case StmtKind::kWhile: {
+            auto* w = stmtCast<WhileStmt>(s.get());
+            pos++;
+            loops.push_back(w);
+            indexRegion(w->body, pos, loops, ix);
+            loops.pop_back();
+            break;
+          }
+          case StmtKind::kIf: {
+            auto* i = stmtCast<IfStmt>(s.get());
+            Site site{pos++, loops};
+            ix.uses[i->cond].push_back(site);
+            indexRegion(i->thenBody, pos, loops, ix);
+            indexRegion(i->elseBody, pos, loops, ix);
+            break;
+          }
+          default:
+            pos++;
+            break;
+        }
+    }
+}
+
+/** Is `prefix` a prefix of `path`? */
+bool
+isLoopPrefix(const std::vector<const Stmt*>& prefix,
+             const std::vector<const Stmt*>& path)
+{
+    if (prefix.size() > path.size())
+        return false;
+    for (size_t i = 0; i < prefix.size(); ++i)
+        if (prefix[i] != path[i])
+            return false;
+    return true;
+}
+
+void
+replaceReg(Region& region, RegId from, RegId to)
+{
+    for (auto& s : region) {
+        switch (s->kind()) {
+          case StmtKind::kOp: {
+            Op& op = stmtCast<OpStmt>(s.get())->op;
+            for (int i = 0; i < 3; ++i)
+                if (op.src[i] == from)
+                    op.src[i] = to;
+            break;
+          }
+          case StmtKind::kFor: {
+            auto* f = stmtCast<ForStmt>(s.get());
+            if (f->start == from)
+                f->start = to;
+            if (f->bound == from)
+                f->bound = to;
+            replaceReg(f->body, from, to);
+            break;
+          }
+          case StmtKind::kWhile:
+            replaceReg(stmtCast<WhileStmt>(s.get())->body, from, to);
+            break;
+          case StmtKind::kIf: {
+            auto* i = stmtCast<IfStmt>(s.get());
+            if (i->cond == from)
+                i->cond = to;
+            replaceReg(i->thenBody, from, to);
+            replaceReg(i->elseBody, from, to);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+bool
+eraseOp(Region& region, int op_id)
+{
+    for (size_t i = 0; i < region.size(); ++i) {
+        Stmt* s = region[i].get();
+        switch (s->kind()) {
+          case StmtKind::kOp:
+            if (stmtCast<OpStmt>(s)->op.id == op_id) {
+                region.erase(region.begin() + static_cast<long>(i));
+                return true;
+            }
+            break;
+          case StmtKind::kFor:
+            if (eraseOp(stmtCast<ForStmt>(s)->body, op_id))
+                return true;
+            break;
+          case StmtKind::kWhile:
+            if (eraseOp(stmtCast<WhileStmt>(s)->body, op_id))
+                return true;
+            break;
+          case StmtKind::kIf: {
+            auto* f = stmtCast<IfStmt>(s);
+            if (eraseOp(f->thenBody, op_id) || eraseOp(f->elseBody, op_id))
+                return true;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+int
+copyPropagate(Function& fn)
+{
+    std::set<RegId> params;
+    for (const auto& p : fn.scalarParams)
+        params.insert(p.reg);
+
+    int removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        IndexedFn ix;
+        int pos = 0;
+        std::vector<const Stmt*> loops;
+        indexRegion(fn.body, pos, loops, ix);
+
+        // Find one applicable mov per iteration (indices go stale after a
+        // rewrite).
+        const Op* candidate = nullptr;
+        forEachOp(fn.body, [&](const Op& op) {
+            if (candidate != nullptr || op.opcode != Opcode::kMov)
+                return;
+            RegId d = op.dst;
+            RegId s = op.src[0];
+            if (d == s || params.count(d) != 0)
+                return;
+            if (ix.induction.count(d) || ix.induction.count(s))
+                return;
+            auto dd = ix.defs.find(d);
+            if (dd == ix.defs.end() || dd->second.size() != 1)
+                return;
+            auto sd = ix.defs.find(s);
+            bool s_param = params.count(s) != 0;
+            if (!s_param &&
+                (sd == ix.defs.end() || sd->second.size() != 1)) {
+                return;
+            }
+            const Site& mov_site = ix.opSite.at(op.id);
+            auto du = ix.uses.find(d);
+            if (du != ix.uses.end()) {
+                for (const Site& use : du->second) {
+                    if (use.pos <= mov_site.pos ||
+                        !isLoopPrefix(mov_site.loops, use.loops)) {
+                        return;
+                    }
+                }
+            }
+            candidate = &op;
+        });
+
+        if (candidate != nullptr) {
+            RegId d = candidate->dst;
+            RegId s = candidate->src[0];
+            int id = candidate->id;
+            replaceReg(fn.body, d, s);
+            eraseOp(fn.body, id);
+            removed++;
+            changed = true;
+            continue;
+        }
+
+        // Dead pure ops: destination never read anywhere.
+        IndexedFn ix2;
+        pos = 0;
+        loops.clear();
+        indexRegion(fn.body, pos, loops, ix2);
+        int dead_id = -1;
+        forEachOp(fn.body, [&](const Op& op) {
+            if (dead_id >= 0)
+                return;
+            if (!isPure(op.opcode) || op.dst < 0)
+                return;
+            if (params.count(op.dst) || ix2.induction.count(op.dst))
+                return;
+            auto u = ix2.uses.find(op.dst);
+            if (u == ix2.uses.end() || u->second.empty())
+                dead_id = op.id;
+        });
+        if (dead_id >= 0) {
+            eraseOp(fn.body, dead_id);
+            removed++;
+            changed = true;
+        }
+    }
+    return removed;
+}
+
+} // namespace phloem::ir

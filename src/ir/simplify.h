@@ -1,0 +1,29 @@
+/**
+ * @file
+ * IR-level cleanups applied to serial functions before analysis.
+ *
+ * copyPropagate folds single-def `mov` chains (a frontend lowering
+ * artifact) so that loads feed their consumers directly — both making the
+ * serial baseline comparable to gcc -O3 output and letting the
+ * reference-accelerator pass see its load->enq patterns.
+ */
+
+#ifndef PHLOEM_IR_SIMPLIFY_H
+#define PHLOEM_IR_SIMPLIFY_H
+
+#include "ir/function.h"
+
+namespace phloem::ir {
+
+/**
+ * Forward-substitute movs `d = mov s` where both d and s have exactly one
+ * static definition, s is not a loop induction variable, and every use of
+ * d appears after the mov inside the same loop nest. Returns the number
+ * of movs removed. Also removes ops whose destination is never read and
+ * that have no side effects.
+ */
+int copyPropagate(Function& fn);
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_SIMPLIFY_H

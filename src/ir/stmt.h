@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Structured statements of the Phloem IR.
+ *
+ * Phloem decouples loop nests, so the IR is *structured*: a region is a
+ * sequence of statements, and loops/conditionals nest regions. This makes
+ * the decoupling transformation (which must clone enclosing-loop skeletons
+ * into each stage) and consumer loop reconstruction direct to express.
+ */
+
+#ifndef PHLOEM_IR_STMT_H
+#define PHLOEM_IR_STMT_H
+
+#include <memory>
+#include <vector>
+
+#include "base/logging.h"
+#include "ir/op.h"
+
+namespace phloem::ir {
+
+enum class StmtKind : uint8_t {
+    kOp,
+    kFor,
+    kWhile,
+    kIf,
+    kBreak,
+    kContinue,
+};
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** An ordered sequence of statements. */
+using Region = std::vector<StmtPtr>;
+
+/**
+ * Base class for all structured statements. Each statement has a
+ * function-unique id (used by branch-predictor state and pass bookkeeping)
+ * and an origin id that survives cloning.
+ */
+class Stmt
+{
+  public:
+    virtual ~Stmt() = default;
+
+    StmtKind kind() const { return kind_; }
+    int id = -1;
+    int origin = -1;
+
+  protected:
+    explicit Stmt(StmtKind kind) : kind_(kind) {}
+
+  private:
+    StmtKind kind_;
+};
+
+/** A single fine-grain operation. */
+class OpStmt : public Stmt
+{
+  public:
+    OpStmt() : Stmt(StmtKind::kOp) {}
+    explicit OpStmt(Op op) : Stmt(StmtKind::kOp), op(std::move(op)) {}
+
+    Op op;
+};
+
+/**
+ * Counted loop: for (var = start; var < bound; var++) body.
+ *
+ * start and bound are registers read once at loop entry (the canonical
+ * form the frontend produces for loop-invariant bounds). The induction
+ * variable is a normal register; the body must not write it.
+ */
+class ForStmt : public Stmt
+{
+  public:
+    ForStmt() : Stmt(StmtKind::kFor) {}
+
+    RegId var = kNoReg;
+    RegId start = kNoReg;
+    RegId bound = kNoReg;
+    Region body;
+};
+
+/**
+ * Unbounded loop: while (true) body. Exits only through Break statements
+ * (the frontend lowers `while (cond)` to `while (true) { if (!cond) break;
+ * ... }`). Decoupled consumer stages use this form with control values.
+ */
+class WhileStmt : public Stmt
+{
+  public:
+    WhileStmt() : Stmt(StmtKind::kWhile) {}
+
+    Region body;
+};
+
+/** Two-armed conditional on a register. */
+class IfStmt : public Stmt
+{
+  public:
+    IfStmt() : Stmt(StmtKind::kIf) {}
+
+    RegId cond = kNoReg;
+    Region thenBody;
+    Region elseBody;
+};
+
+/** Break out of `levels` enclosing loops (1 = innermost). */
+class BreakStmt : public Stmt
+{
+  public:
+    BreakStmt() : Stmt(StmtKind::kBreak) {}
+    explicit BreakStmt(int levels) : Stmt(StmtKind::kBreak), levels(levels) {}
+
+    int levels = 1;
+};
+
+/** Continue the innermost enclosing loop. */
+class ContinueStmt : public Stmt
+{
+  public:
+    ContinueStmt() : Stmt(StmtKind::kContinue) {}
+};
+
+/** Checked downcast helpers. */
+template <typename T>
+T*
+stmtCast(Stmt* s)
+{
+    auto* t = dynamic_cast<T*>(s);
+    phloem_assert(t != nullptr, "bad stmt cast");
+    return t;
+}
+
+template <typename T>
+const T*
+stmtCast(const Stmt* s)
+{
+    auto* t = dynamic_cast<const T*>(s);
+    phloem_assert(t != nullptr, "bad stmt cast");
+    return t;
+}
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_STMT_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Core value and type definitions for the Phloem IR.
+ *
+ * Phloem registers are untyped 64-bit containers interpreted by each
+ * operation as either a signed integer or an IEEE double. A register (or
+ * queue entry) additionally carries a *control tag*: Pipette's queues pass
+ * control values in-band with data, and is_control() distinguishes them
+ * (paper Sec. III, Table I).
+ */
+
+#ifndef PHLOEM_IR_TYPE_H
+#define PHLOEM_IR_TYPE_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace phloem::ir {
+
+/** Element type of an array in simulated memory. */
+enum class ElemType : uint8_t {
+    kI32,
+    kI64,
+    kF64,
+};
+
+/** Size in bytes of one array element. */
+inline int
+elemSize(ElemType t)
+{
+    switch (t) {
+      case ElemType::kI32: return 4;
+      case ElemType::kI64: return 8;
+      case ElemType::kF64: return 8;
+    }
+    return 8;
+}
+
+inline const char*
+elemTypeName(ElemType t)
+{
+    switch (t) {
+      case ElemType::kI32: return "i32";
+      case ElemType::kI64: return "i64";
+      case ElemType::kF64: return "f64";
+    }
+    return "?";
+}
+
+/**
+ * A 64-bit machine value with an in-band control tag.
+ *
+ * ctrl == 0 means a data value whose payload is in bits. ctrl != 0 means a
+ * control value with code (ctrl - 1); the bits field is unused for control
+ * values. This mirrors Pipette's tagged queue entries.
+ */
+struct Value
+{
+    uint64_t bits = 0;
+    uint32_t ctrl = 0;
+
+    static Value
+    fromInt(int64_t v)
+    {
+        return Value{static_cast<uint64_t>(v), 0};
+    }
+
+    static Value
+    fromDouble(double v)
+    {
+        return Value{std::bit_cast<uint64_t>(v), 0};
+    }
+
+    /** Make a control value with the given code (>= 0). */
+    static Value
+    makeControl(uint32_t code)
+    {
+        return Value{0, code + 1};
+    }
+
+    bool isControl() const { return ctrl != 0; }
+
+    /** Control code; only meaningful when isControl(). */
+    uint32_t controlCode() const { return ctrl - 1; }
+
+    int64_t asInt() const { return static_cast<int64_t>(bits); }
+    double asDouble() const { return std::bit_cast<double>(bits); }
+
+    bool
+    operator==(const Value& o) const
+    {
+        return bits == o.bits && ctrl == o.ctrl;
+    }
+};
+
+/** Virtual register index within one Function; -1 means "none". */
+using RegId = int32_t;
+/** Array slot index within one Function; -1 means "none". */
+using ArrayId = int32_t;
+/** Pipeline-global hardware queue number; -1 means "none". */
+using QueueId = int32_t;
+
+constexpr RegId kNoReg = -1;
+constexpr ArrayId kNoArray = -1;
+constexpr QueueId kNoQueue = -1;
+
+/**
+ * Well-known control-value codes. Applications and the compiler may use
+ * further codes; these are the ones the pass pipeline emits.
+ */
+enum ControlCode : uint32_t {
+    /** End of one inner group (e.g., one vertex's edge list). */
+    kCtrlNext = 0,
+    /** End of one outer iteration (e.g., one BFS fringe). */
+    kCtrlDone = 1,
+    /** End of the whole stream; consumers terminate. */
+    kCtrlLast = 2,
+};
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_TYPE_H

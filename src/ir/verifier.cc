@@ -1,0 +1,212 @@
+#include "ir/verifier.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ir/walk.h"
+
+namespace phloem::ir {
+
+namespace {
+
+struct Checker
+{
+    const Function& fn;
+    std::vector<std::string>& problems;
+
+    void
+    problem(const std::string& msg)
+    {
+        problems.push_back(fn.name + ": " + msg);
+    }
+
+    bool
+    regOk(RegId r) const
+    {
+        return r >= 0 && r < fn.numRegs;
+    }
+
+    void
+    checkOp(const Op& op)
+    {
+        std::ostringstream where;
+        where << opcodeName(op.opcode) << " (op " << op.id << ")";
+        if (hasDst(op.opcode) && !regOk(op.dst))
+            problem("bad dst register in " + where.str());
+        for (int i = 0; i < numSrcs(op.opcode); ++i) {
+            // enq_dist with src0 == -1 broadcasts a control value.
+            if (op.opcode == Opcode::kEnqDist && i == 0 &&
+                op.src[0] == kNoReg) {
+                continue;
+            }
+            if (!regOk(op.src[i]))
+                problem("bad src register in " + where.str());
+        }
+        if (usesArray(op.opcode)) {
+            if (op.arr < 0 || op.arr >= static_cast<int>(fn.arrays.size()))
+                problem("bad array slot in " + where.str());
+            if (op.opcode == Opcode::kSwapArr &&
+                (op.arr2 < 0 ||
+                 op.arr2 >= static_cast<int>(fn.arrays.size()))) {
+                problem("bad second array slot in " + where.str());
+            }
+            if (isMemWrite(op.opcode) && op.arr >= 0 &&
+                op.arr < static_cast<int>(fn.arrays.size()) &&
+                !fn.arrays[op.arr].writable) {
+                problem("write to read-only array " + fn.arrays[op.arr].name +
+                        " in " + where.str());
+            }
+        }
+        if (usesQueue(op.opcode) && op.queue < 0)
+            problem("missing queue id in " + where.str());
+    }
+
+    void
+    checkRegion(const Region& region, int loop_depth,
+                std::set<RegId>& loop_vars)
+    {
+        for (const auto& s : region) {
+            switch (s->kind()) {
+              case StmtKind::kOp: {
+                const Op& op = stmtCast<OpStmt>(s.get())->op;
+                checkOp(op);
+                if (hasDst(op.opcode) && loop_vars.count(op.dst))
+                    problem("loop induction register written in body");
+                break;
+              }
+              case StmtKind::kFor: {
+                auto* f = stmtCast<ForStmt>(s.get());
+                if (!regOk(f->var) || !regOk(f->start) || !regOk(f->bound))
+                    problem("bad registers in for statement");
+                loop_vars.insert(f->var);
+                checkRegion(f->body, loop_depth + 1, loop_vars);
+                loop_vars.erase(f->var);
+                break;
+              }
+              case StmtKind::kWhile:
+                checkRegion(stmtCast<WhileStmt>(s.get())->body,
+                            loop_depth + 1, loop_vars);
+                break;
+              case StmtKind::kIf: {
+                auto* i = stmtCast<IfStmt>(s.get());
+                if (!regOk(i->cond))
+                    problem("bad condition register in if statement");
+                checkRegion(i->thenBody, loop_depth, loop_vars);
+                checkRegion(i->elseBody, loop_depth, loop_vars);
+                break;
+              }
+              case StmtKind::kBreak: {
+                auto* b = stmtCast<BreakStmt>(s.get());
+                if (b->levels < 1 || b->levels > loop_depth)
+                    problem("break levels exceed loop depth");
+                break;
+              }
+              case StmtKind::kContinue:
+                if (loop_depth < 1)
+                    problem("continue outside loop");
+                break;
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::string>
+verify(const Function& fn)
+{
+    std::vector<std::string> problems;
+    Checker checker{fn, problems};
+
+    std::set<int> op_ids;
+    forEachOp(fn.body, [&](const Op& op) {
+        if (!op_ids.insert(op.id).second)
+            checker.problem("duplicate op id " + std::to_string(op.id));
+    });
+
+    std::set<RegId> loop_vars;
+    checker.checkRegion(fn.body, 0, loop_vars);
+
+    // Handlers execute at a deq site nested in at least one loop; allow
+    // breaks up to a reasonable depth there (checked against the real deq
+    // site at flattening time).
+    for (const auto& h : fn.handlers) {
+        if (h.queue < 0)
+            checker.problem("handler with no queue");
+        std::set<RegId> hv;
+        checker.checkRegion(h.body, /*loop_depth=*/8, hv);
+    }
+    return problems;
+}
+
+std::vector<std::string>
+verify(const Pipeline& pipeline, int max_queues, int max_ras)
+{
+    std::vector<std::string> problems;
+    for (const auto& stage : pipeline.stages) {
+        auto p = verify(*stage);
+        problems.insert(problems.end(), p.begin(), p.end());
+    }
+
+    // Collect queue endpoints: stage programs plus RA legs.
+    std::map<QueueId, int> producers;
+    std::map<QueueId, int> consumers;
+    std::set<QueueId> used;
+    for (const auto& stage : pipeline.stages) {
+        forEachOp(stage->body, [&](const Op& op) {
+            if (!usesQueue(op.opcode))
+                return;
+            used.insert(op.queue);
+            if (op.opcode == Opcode::kEnq || op.opcode == Opcode::kEnqCtrl ||
+                op.opcode == Opcode::kEnqDist) {
+                producers[op.queue]++;
+            } else {
+                consumers[op.queue]++;
+            }
+        });
+        for (const auto& h : stage->handlers) {
+            forEachOp(h.body, [&](const Op& op) {
+                if (!usesQueue(op.opcode))
+                    return;
+                used.insert(op.queue);
+                if (op.opcode == Opcode::kEnq ||
+                    op.opcode == Opcode::kEnqCtrl ||
+                    op.opcode == Opcode::kEnqDist) {
+                    producers[op.queue]++;
+                }
+            });
+        }
+    }
+    for (const auto& ra : pipeline.ras) {
+        used.insert(ra.inQueue);
+        used.insert(ra.outQueue);
+        consumers[ra.inQueue]++;
+        producers[ra.outQueue]++;
+        if (ra.arrayName.empty())
+            problems.push_back(pipeline.name + ": RA with no array");
+    }
+
+    for (QueueId q : used) {
+        if (producers[q] == 0)
+            problems.push_back(pipeline.name + ": queue " +
+                               std::to_string(q) + " has no producer");
+        if (consumers[q] == 0)
+            problems.push_back(pipeline.name + ": queue " +
+                               std::to_string(q) + " has no consumer");
+    }
+
+    if (static_cast<int>(used.size()) > max_queues) {
+        problems.push_back(pipeline.name + ": uses " +
+                           std::to_string(used.size()) + " queues, max " +
+                           std::to_string(max_queues));
+    }
+    if (static_cast<int>(pipeline.ras.size()) > max_ras) {
+        problems.push_back(pipeline.name + ": uses " +
+                           std::to_string(pipeline.ras.size()) +
+                           " RAs, max " + std::to_string(max_ras));
+    }
+    return problems;
+}
+
+} // namespace phloem::ir

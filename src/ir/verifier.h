@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Structural well-formedness checks for IR functions and pipelines.
+ *
+ * The verifier runs between compiler passes (cheap insurance that each
+ * "simple pass" leaves the IR legal) and before simulation.
+ */
+
+#ifndef PHLOEM_IR_VERIFIER_H
+#define PHLOEM_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/pipeline.h"
+
+namespace phloem::ir {
+
+/** Returns a list of problems; empty means the function is well-formed. */
+std::vector<std::string> verify(const Function& fn);
+
+/**
+ * Verify a whole pipeline: per-stage checks plus topology checks (every
+ * queue has exactly one producer and one consumer endpoint counting RAs,
+ * resource limits are not exceeded).
+ */
+std::vector<std::string> verify(const Pipeline& pipeline, int max_queues = 16,
+                                int max_ras = 4);
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_VERIFIER_H

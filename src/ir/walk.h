@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Traversal helpers over structured IR regions.
+ */
+
+#ifndef PHLOEM_IR_WALK_H
+#define PHLOEM_IR_WALK_H
+
+#include <functional>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace phloem::ir {
+
+/** Pre-order walk over every statement (including nested regions). */
+inline void
+forEachStmt(const Region& region, const std::function<void(const Stmt*)>& fn)
+{
+    for (const auto& s : region) {
+        fn(s.get());
+        switch (s->kind()) {
+          case StmtKind::kFor:
+            forEachStmt(stmtCast<ForStmt>(s.get())->body, fn);
+            break;
+          case StmtKind::kWhile:
+            forEachStmt(stmtCast<WhileStmt>(s.get())->body, fn);
+            break;
+          case StmtKind::kIf: {
+            auto* i = stmtCast<IfStmt>(s.get());
+            forEachStmt(i->thenBody, fn);
+            forEachStmt(i->elseBody, fn);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+inline void
+forEachStmt(Region& region, const std::function<void(Stmt*)>& fn)
+{
+    for (auto& s : region) {
+        fn(s.get());
+        switch (s->kind()) {
+          case StmtKind::kFor:
+            forEachStmt(stmtCast<ForStmt>(s.get())->body, fn);
+            break;
+          case StmtKind::kWhile:
+            forEachStmt(stmtCast<WhileStmt>(s.get())->body, fn);
+            break;
+          case StmtKind::kIf: {
+            auto* i = stmtCast<IfStmt>(s.get());
+            forEachStmt(i->thenBody, fn);
+            forEachStmt(i->elseBody, fn);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+/** Walk every Op in a region tree. */
+inline void
+forEachOp(Region& region, const std::function<void(Op&)>& fn)
+{
+    forEachStmt(region, [&](Stmt* s) {
+        if (s->kind() == StmtKind::kOp)
+            fn(stmtCast<OpStmt>(s)->op);
+    });
+}
+
+inline void
+forEachOp(const Region& region, const std::function<void(const Op&)>& fn)
+{
+    forEachStmt(region, [&](const Stmt* s) {
+        if (s->kind() == StmtKind::kOp)
+            fn(stmtCast<OpStmt>(s)->op);
+    });
+}
+
+/**
+ * Context for a contextual walk: the stack of enclosing loops (innermost
+ * last) and the stack of enclosing if statements.
+ */
+struct WalkContext
+{
+    std::vector<const Stmt*> loops;
+    std::vector<const IfStmt*> ifs;
+
+    int loopDepth() const { return static_cast<int>(loops.size()); }
+};
+
+namespace detail {
+
+inline void
+walkOpsImpl(const Region& region, WalkContext& ctx,
+            const std::function<void(const Op&, const WalkContext&)>& fn)
+{
+    for (const auto& s : region) {
+        switch (s->kind()) {
+          case StmtKind::kOp:
+            fn(stmtCast<OpStmt>(s.get())->op, ctx);
+            break;
+          case StmtKind::kFor: {
+            auto* f = stmtCast<ForStmt>(s.get());
+            ctx.loops.push_back(f);
+            walkOpsImpl(f->body, ctx, fn);
+            ctx.loops.pop_back();
+            break;
+          }
+          case StmtKind::kWhile: {
+            auto* w = stmtCast<WhileStmt>(s.get());
+            ctx.loops.push_back(w);
+            walkOpsImpl(w->body, ctx, fn);
+            ctx.loops.pop_back();
+            break;
+          }
+          case StmtKind::kIf: {
+            auto* i = stmtCast<IfStmt>(s.get());
+            ctx.ifs.push_back(i);
+            walkOpsImpl(i->thenBody, ctx, fn);
+            walkOpsImpl(i->elseBody, ctx, fn);
+            ctx.ifs.pop_back();
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace detail
+
+/** Walk ops with loop/if context. */
+inline void
+walkOps(const Region& region,
+        const std::function<void(const Op&, const WalkContext&)>& fn)
+{
+    WalkContext ctx;
+    detail::walkOpsImpl(region, ctx, fn);
+}
+
+/** Count the ops in a region tree. */
+inline int
+countOps(const Region& region)
+{
+    int n = 0;
+    forEachOp(region, [&](const Op&) { ++n; });
+    return n;
+}
+
+/** Count dynamic statements of all kinds. */
+inline int
+countStmts(const Region& region)
+{
+    int n = 0;
+    forEachStmt(region, [&](const Stmt*) { ++n; });
+    return n;
+}
+
+} // namespace phloem::ir
+
+#endif // PHLOEM_IR_WALK_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Configuration of the simulated system (paper Table III).
+ *
+ * The defaults reproduce the paper's evaluation configuration: Skylake-like
+ * 6-wide out-of-order cores with 4-thread SMT at 3.5 GHz, Pipette's 16
+ * architectural queues (24 elements deep) and 4 reference accelerators,
+ * and a 32 KB / 256 KB / 2 MB-per-core cache hierarchy over a 120-cycle,
+ * 2x25 GB/s main memory.
+ */
+
+#ifndef PHLOEM_SIM_CONFIG_H
+#define PHLOEM_SIM_CONFIG_H
+
+#include <cstdint>
+
+namespace phloem::sim {
+
+/** Cache level geometry and latency. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 0;
+    int ways = 8;
+    int latency = 4;
+};
+
+struct SysConfig
+{
+    // Cores (Table III).
+    int numCores = 1;
+    int threadsPerCore = 4;
+    int issueWidth = 6;
+    int robSize = 224;
+    int mispredictPenalty = 14;
+    double freqGHz = 3.5;
+
+    /** Outstanding cache misses per core (fill buffers / MSHRs). */
+    int mshrsPerCore = 12;
+
+    // Pipette (Table III): 16 queues max, 4 RAs, queues up to 24 deep.
+    int maxQueues = 16;
+    int queueDepth = 24;
+    int maxRAs = 4;
+    /** Queue operation latency between threads of one core. */
+    int queueLatency = 1;
+    /** Queue operation latency across cores. */
+    int interCoreQueueLatency = 8;
+    /** Maximum overlapped memory requests per reference accelerator. */
+    int raMaxInflight = 16;
+
+    // Memory hierarchy (Table III). L3 size is per core and scaled by
+    // numCores at construction.
+    CacheConfig l1{32 * 1024, 8, 4};
+    CacheConfig l2{256 * 1024, 8, 12};
+    CacheConfig l3PerCore{2 * 1024 * 1024, 16, 40};
+    int lineBytes = 64;
+    int memMinLatency = 120;
+    int memControllers = 2;
+    double memGBps = 25.0;
+
+    /** Extra latency for atomic read-modify-write operations. */
+    int atomicExtraLatency = 5;
+
+    /** Cycles one 64 B line transfer occupies a memory controller. */
+    double
+    memBusyCycles() const
+    {
+        double ns = static_cast<double>(lineBytes) / memGBps;
+        return ns * freqGHz;
+    }
+
+    /**
+     * Evaluation configuration for the scaled-down inputs: the Table IV/V
+     * inputs are ~40x smaller than the paper's, so cache capacities are
+     * scaled correspondingly (latencies, widths, and every other Table
+     * III parameter unchanged). This preserves the paper's working-set to
+     * cache-capacity ratios — large data structures miss the LLC — which
+     * is what drives its results. See DESIGN.md.
+     */
+    static SysConfig
+    scaledEval(int num_cores = 1)
+    {
+        SysConfig cfg;
+        cfg.numCores = num_cores;
+        cfg.l1 = CacheConfig{8 * 1024, 8, 4};
+        cfg.l2 = CacheConfig{16 * 1024, 8, 12};
+        cfg.l3PerCore = CacheConfig{64 * 1024, 16, 40};
+        return cfg;
+    }
+};
+
+/**
+ * Per-event energy coefficients in picojoules, in the spirit of the
+ * paper's McPAT (22 nm) + DDR3L modeling. Fig. 11 compares *relative*
+ * energy, which event-proportional coefficients preserve.
+ */
+struct EnergyConfig
+{
+    double uopPj = 120.0;          ///< core dynamic energy per issued uop
+    double queueOpPj = 8.0;        ///< architectural queue enq/deq
+    double raOpPj = 20.0;          ///< RA engine per processed element
+    double l1Pj = 40.0;            ///< per L1 access
+    double l2Pj = 180.0;           ///< per L2 access
+    double l3Pj = 800.0;           ///< per L3 access
+    double dramPj = 12000.0;       ///< per DRAM line access
+    double coreStaticPjPerCycle = 400.0;   ///< per active core per cycle
+    double uncoreStaticPjPerCycle = 200.0; ///< per core-equivalent uncore
+};
+
+} // namespace phloem::sim
+
+#endif // PHLOEM_SIM_CONFIG_H

@@ -1,0 +1,294 @@
+#include "sim/dataflow_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "sim/machine.h"
+#include "sim/memory.h"
+#include "sim/program.h"
+
+namespace phloem::sim {
+
+DataflowResult
+runDataflow(const ir::Function& fn, Binding& binding, const SysConfig& cfg,
+            const DataflowOptions& opts)
+{
+    Program prog = flatten(fn);
+    MemorySystem mem(cfg);
+
+    std::vector<ir::Value> regs(static_cast<size_t>(prog.numRegs));
+    std::vector<uint64_t> ready(static_cast<size_t>(prog.numRegs), 0);
+    std::vector<ArrayBuffer*> arrays(fn.arrays.size());
+    for (size_t a = 0; a < fn.arrays.size(); ++a)
+        arrays[a] = binding.array(fn.arrays[a].name);
+    for (const auto& p : fn.scalarParams)
+        regs[static_cast<size_t>(p.reg)] = binding.scalar(p.name);
+
+    std::vector<uint64_t> mem_ring(
+        static_cast<size_t>(opts.memParallelism), 0);
+    size_t mem_idx = 0;
+
+    const uint64_t tok = static_cast<uint64_t>(opts.tokenOverhead);
+
+    // Control tokens: every operation is gated by the most recent branch
+    // decision (Dynamatic-style dataflow must steer tokens through
+    // control merges, and that steering is on the critical path).
+    uint64_t ctrl_time = 0;
+    uint64_t finish = 0;
+    uint64_t ops = 0;
+
+    auto src_ready = [&](const Inst& inst) {
+        uint64_t t = ctrl_time;
+        if (inst.src0 >= 0)
+            t = std::max(t, ready[static_cast<size_t>(inst.src0)]);
+        if (inst.src1 >= 0)
+            t = std::max(t, ready[static_cast<size_t>(inst.src1)]);
+        if (inst.src2 >= 0)
+            t = std::max(t, ready[static_cast<size_t>(inst.src2)]);
+        return t;
+    };
+
+    // Functional evaluation reuses the thread interpreter's semantics by
+    // running a private minimal evaluator for the opcode set serial
+    // programs use.
+    int pc = 0;
+    while (pc < static_cast<int>(prog.code.size())) {
+        if (++ops > opts.maxInstructions)
+            phloem_fatal("dataflow model exceeded instruction budget");
+        const Inst& inst = prog.code[static_cast<size_t>(pc)];
+
+        if (inst.kind == Inst::Kind::kBr) {
+            pc = inst.target;
+            continue;
+        }
+        if (inst.kind == Inst::Kind::kBrIf ||
+            inst.kind == Inst::Kind::kBrIfNot) {
+            bool truth =
+                regs[static_cast<size_t>(inst.src0)].asInt() != 0;
+            bool taken =
+                inst.kind == Inst::Kind::kBrIf ? truth : !truth;
+            uint64_t resolve = src_ready(inst) + 1 + tok;
+            ctrl_time = std::max(ctrl_time, resolve);
+            finish = std::max(finish, resolve);
+            pc = taken ? inst.target : pc + 1;
+            continue;
+        }
+
+        using ir::Opcode;
+        uint64_t start = src_ready(inst);
+        uint64_t done = start + 1 + tok;
+
+        switch (inst.opcode) {
+          case Opcode::kLoad:
+          case Opcode::kStore:
+          case Opcode::kPrefetch: {
+            ArrayBuffer* buf = arrays[static_cast<size_t>(inst.arr)];
+            int64_t idx = regs[static_cast<size_t>(inst.src0)].asInt();
+            uint64_t issue =
+                std::max(start, mem_ring[mem_idx % mem_ring.size()]);
+            AccessResult res = mem.access(0, buf->addrOf(idx), issue);
+            mem_ring[mem_idx++ % mem_ring.size()] = res.done;
+            done = res.done + tok;
+            if (inst.opcode == Opcode::kLoad) {
+                regs[static_cast<size_t>(inst.dst)] = buf->load(idx);
+            } else if (inst.opcode == Opcode::kStore) {
+                buf->store(idx, regs[static_cast<size_t>(inst.src1)]);
+            } else {
+                buf->load(idx);
+            }
+            break;
+          }
+          case Opcode::kSwapArr:
+            std::swap(arrays[static_cast<size_t>(inst.arr)],
+                      arrays[static_cast<size_t>(inst.arr2)]);
+            break;
+          case Opcode::kHalt:
+            pc = static_cast<int>(prog.code.size());
+            continue;
+          default: {
+            // Scalar op: evaluate functionally via a scratch machine-less
+            // path. Mirror the core interpreter's semantics.
+            auto iv = [&](ir::RegId r) {
+                return regs[static_cast<size_t>(r)].asInt();
+            };
+            auto fv = [&](ir::RegId r) {
+                return regs[static_cast<size_t>(r)].asDouble();
+            };
+            ir::Value out;
+            switch (inst.opcode) {
+              case Opcode::kConst:
+                out.bits = static_cast<uint64_t>(inst.imm);
+                break;
+              case Opcode::kMov: out = regs[static_cast<size_t>(
+                                     inst.src0)]; break;
+              case Opcode::kAdd:
+                out = ir::Value::fromInt(iv(inst.src0) + iv(inst.src1));
+                break;
+              case Opcode::kSub:
+                out = ir::Value::fromInt(iv(inst.src0) - iv(inst.src1));
+                break;
+              case Opcode::kMul:
+                out = ir::Value::fromInt(iv(inst.src0) * iv(inst.src1));
+                done += 2;
+                break;
+              case Opcode::kDiv:
+                out = ir::Value::fromInt(
+                    iv(inst.src1) == 0 ? 0
+                                       : iv(inst.src0) / iv(inst.src1));
+                done += 19;
+                break;
+              case Opcode::kRem:
+                out = ir::Value::fromInt(
+                    iv(inst.src1) == 0 ? 0
+                                       : iv(inst.src0) % iv(inst.src1));
+                done += 19;
+                break;
+              case Opcode::kAnd:
+                out = ir::Value::fromInt(iv(inst.src0) & iv(inst.src1));
+                break;
+              case Opcode::kOr:
+                out = ir::Value::fromInt(iv(inst.src0) | iv(inst.src1));
+                break;
+              case Opcode::kXor:
+                out = ir::Value::fromInt(iv(inst.src0) ^ iv(inst.src1));
+                break;
+              case Opcode::kShl:
+                out = ir::Value::fromInt(iv(inst.src0)
+                                         << (iv(inst.src1) & 63));
+                break;
+              case Opcode::kShr:
+                out = ir::Value::fromInt(static_cast<int64_t>(
+                    static_cast<uint64_t>(iv(inst.src0)) >>
+                    (iv(inst.src1) & 63)));
+                break;
+              case Opcode::kMin:
+                out = ir::Value::fromInt(
+                    std::min(iv(inst.src0), iv(inst.src1)));
+                break;
+              case Opcode::kMax:
+                out = ir::Value::fromInt(
+                    std::max(iv(inst.src0), iv(inst.src1)));
+                break;
+              case Opcode::kCmpEq:
+                out = ir::Value::fromInt(iv(inst.src0) == iv(inst.src1));
+                break;
+              case Opcode::kCmpNe:
+                out = ir::Value::fromInt(iv(inst.src0) != iv(inst.src1));
+                break;
+              case Opcode::kCmpLt:
+                out = ir::Value::fromInt(iv(inst.src0) < iv(inst.src1));
+                break;
+              case Opcode::kCmpLe:
+                out = ir::Value::fromInt(iv(inst.src0) <= iv(inst.src1));
+                break;
+              case Opcode::kCmpGt:
+                out = ir::Value::fromInt(iv(inst.src0) > iv(inst.src1));
+                break;
+              case Opcode::kCmpGe:
+                out = ir::Value::fromInt(iv(inst.src0) >= iv(inst.src1));
+                break;
+              case Opcode::kNot:
+                out = ir::Value::fromInt(iv(inst.src0) == 0);
+                break;
+              case Opcode::kSelect:
+                out = iv(inst.src0) != 0
+                          ? regs[static_cast<size_t>(inst.src1)]
+                          : regs[static_cast<size_t>(inst.src2)];
+                break;
+              case Opcode::kFAdd:
+                out = ir::Value::fromDouble(fv(inst.src0) +
+                                            fv(inst.src1));
+                done += 3;
+                break;
+              case Opcode::kFSub:
+                out = ir::Value::fromDouble(fv(inst.src0) -
+                                            fv(inst.src1));
+                done += 3;
+                break;
+              case Opcode::kFMul:
+                out = ir::Value::fromDouble(fv(inst.src0) *
+                                            fv(inst.src1));
+                done += 3;
+                break;
+              case Opcode::kFDiv:
+                out = ir::Value::fromDouble(fv(inst.src0) /
+                                            fv(inst.src1));
+                done += 14;
+                break;
+              case Opcode::kFNeg:
+                out = ir::Value::fromDouble(-fv(inst.src0));
+                break;
+              case Opcode::kFAbs:
+                out = ir::Value::fromDouble(std::fabs(fv(inst.src0)));
+                break;
+              case Opcode::kFMin:
+                out = ir::Value::fromDouble(
+                    std::min(fv(inst.src0), fv(inst.src1)));
+                break;
+              case Opcode::kFMax:
+                out = ir::Value::fromDouble(
+                    std::max(fv(inst.src0), fv(inst.src1)));
+                break;
+              case Opcode::kFCmpEq:
+                out = ir::Value::fromInt(fv(inst.src0) == fv(inst.src1));
+                break;
+              case Opcode::kFCmpNe:
+                out = ir::Value::fromInt(fv(inst.src0) != fv(inst.src1));
+                break;
+              case Opcode::kFCmpLt:
+                out = ir::Value::fromInt(fv(inst.src0) < fv(inst.src1));
+                break;
+              case Opcode::kFCmpLe:
+                out = ir::Value::fromInt(fv(inst.src0) <= fv(inst.src1));
+                break;
+              case Opcode::kFCmpGt:
+                out = ir::Value::fromInt(fv(inst.src0) > fv(inst.src1));
+                break;
+              case Opcode::kFCmpGe:
+                out = ir::Value::fromInt(fv(inst.src0) >= fv(inst.src1));
+                break;
+              case Opcode::kI2F:
+                out = ir::Value::fromDouble(
+                    static_cast<double>(iv(inst.src0)));
+                done += 3;
+                break;
+              case Opcode::kF2I:
+                out = ir::Value::fromInt(
+                    static_cast<int64_t>(fv(inst.src0)));
+                done += 3;
+                break;
+              case Opcode::kWork: {
+                uint64_t x = regs[static_cast<size_t>(inst.src0)].bits;
+                x ^= x >> 33;
+                x *= 0xff51afd7ed558ccdull;
+                x ^= x >> 33;
+                out = ir::Value::fromInt(static_cast<int64_t>(x));
+                done += static_cast<uint64_t>(
+                    std::max<int64_t>(0, inst.imm - 1));
+                break;
+              }
+              default:
+                phloem_fatal("dataflow model: unsupported op ",
+                             ir::opcodeName(inst.opcode),
+                             " (queues/atomics are not dataflow nodes)");
+            }
+            if (inst.dst >= 0)
+                regs[static_cast<size_t>(inst.dst)] = out;
+            break;
+          }
+        }
+
+        if (inst.dst >= 0)
+            ready[static_cast<size_t>(inst.dst)] = done;
+        finish = std::max(finish, done);
+        pc++;
+    }
+
+    DataflowResult result;
+    result.cycles = finish;
+    result.operations = ops;
+    return result;
+}
+
+} // namespace phloem::sim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A dataflow-execution model in the style of the paper's Dynamatic
+ * experiment (Sec. IV-B): the program is treated as a dataflow graph
+ * where "any operation may begin as soon as its inputs are available",
+ * but every token handoff pays a propagation overhead — the program
+ * state that dataflow graphs must carry between operations. The paper
+ * found this abstraction performs *worse* than serial execution
+ * (about 1.7x slower on BFS); this model reproduces that data point.
+ */
+
+#ifndef PHLOEM_SIM_DATAFLOW_MODEL_H
+#define PHLOEM_SIM_DATAFLOW_MODEL_H
+
+#include "ir/function.h"
+#include "sim/binding.h"
+#include "sim/config.h"
+
+namespace phloem::sim {
+
+struct DataflowOptions
+{
+    /** Token-propagation overhead added to every operation. */
+    int tokenOverhead = 2;
+    /** Outstanding memory accesses the fabric can keep in flight. */
+    int memParallelism = 16;
+    /** Instruction safety budget. */
+    uint64_t maxInstructions = 3'000'000'000ull;
+};
+
+struct DataflowResult
+{
+    uint64_t cycles = 0;
+    uint64_t operations = 0;
+};
+
+/**
+ * Execute `fn` under idealized dataflow semantics with per-token
+ * overhead: operations issue as soon as their operands' tokens arrive
+ * (no ROB, no branch predictor — control tokens gate execution), memory
+ * goes through the standard hierarchy with `memParallelism` outstanding
+ * accesses. Functionally equivalent to serial execution.
+ */
+DataflowResult runDataflow(const ir::Function& fn, Binding& binding,
+                           const SysConfig& cfg,
+                           const DataflowOptions& opts = DataflowOptions{});
+
+} // namespace phloem::sim
+
+#endif // PHLOEM_SIM_DATAFLOW_MODEL_H

@@ -1,0 +1,40 @@
+#include "sim/energy.h"
+
+namespace phloem::sim {
+
+EnergyBreakdown
+computeEnergy(const RunStats& stats, const EnergyConfig& cfg,
+              int activeCores)
+{
+    constexpr double kPjToMj = 1e-9;
+
+    EnergyBreakdown e;
+
+    double uop_pj = static_cast<double>(stats.totalUops()) * cfg.uopPj;
+    double queue_pj =
+        static_cast<double>(stats.totalQueueOps()) * cfg.queueOpPj;
+    e.coreDynamic = (uop_pj + queue_pj) * kPjToMj;
+
+    double cache_pj =
+        static_cast<double>(stats.mem.l1Hits) * cfg.l1Pj +
+        static_cast<double>(stats.mem.l2Hits) * (cfg.l1Pj + cfg.l2Pj) +
+        static_cast<double>(stats.mem.l3Hits) *
+            (cfg.l1Pj + cfg.l2Pj + cfg.l3Pj) +
+        static_cast<double>(stats.mem.dramAccesses) *
+            (cfg.l1Pj + cfg.l2Pj + cfg.l3Pj);
+    double ra_pj = static_cast<double>(stats.totalRAElements()) * cfg.raOpPj;
+    e.cache = (cache_pj + ra_pj) * kPjToMj;
+
+    e.dram = static_cast<double>(stats.mem.dramAccesses) * cfg.dramPj *
+             kPjToMj;
+
+    double static_pj =
+        static_cast<double>(stats.cycles) *
+        (cfg.coreStaticPjPerCycle + cfg.uncoreStaticPjPerCycle) *
+        static_cast<double>(activeCores);
+    e.staticEnergy = static_pj * kPjToMj;
+
+    return e;
+}
+
+} // namespace phloem::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Event-proportional energy model (paper Sec. VI: McPAT at 22 nm for core
+ * and uncore, Micron DDR3L for main memory). Computes the Fig. 11
+ * breakdown from a run's event counts.
+ */
+
+#ifndef PHLOEM_SIM_ENERGY_H
+#define PHLOEM_SIM_ENERGY_H
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace phloem::sim {
+
+/** Energy of one run, broken down as in Fig. 11. All values in mJ. */
+struct EnergyBreakdown
+{
+    double coreDynamic = 0;  ///< uop issue/execute + queue ops
+    double cache = 0;        ///< L1/L2/L3 accesses + RA engines
+    double dram = 0;         ///< DRAM line accesses
+    double staticEnergy = 0; ///< leakage over the run's wall-clock time
+
+    double
+    total() const
+    {
+        return coreDynamic + cache + dram + staticEnergy;
+    }
+};
+
+/**
+ * Compute the energy of a run.
+ *
+ * @param activeCores number of cores powered for the run (static energy
+ *        scales with it; the paper compares 1-core and 4-core systems).
+ */
+EnergyBreakdown computeEnergy(const RunStats& stats, const EnergyConfig& cfg,
+                              int activeCores);
+
+} // namespace phloem::sim
+
+#endif // PHLOEM_SIM_ENERGY_H

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The Pipette-style execution machine.
+ *
+ * The machine executes IR programs directly: each pipeline stage runs as
+ * one hardware thread of a simulated out-of-order SMT core, and stages
+ * communicate through architecturally visible queues (paper Sec. III).
+ * Reference accelerators run as autonomous agents interposed on queues.
+ *
+ * Timing model (cycle-approximate, event-driven):
+ *  - In-order dispatch, out-of-order completion. Each thread tracks a
+ *    per-register ready time and a reorder-buffer ring: dispatch of
+ *    instruction i waits for the retirement of instruction i - W, which is
+ *    what throttles serial code on chains of dependent cache misses.
+ *  - Issue bandwidth is shared among a core's SMT threads through a
+ *    per-epoch slot ledger (issueWidth slots per cycle).
+ *  - Conditional branches resolve when their condition is ready;
+ *    mispredictions (2-bit-counter + history predictor) stall dispatch for
+ *    the penalty, modeling the paper's "unpredictable branch" effect.
+ *  - enq to a full queue and deq from an empty queue block the thread;
+ *    other SMT threads keep issuing, which is the mechanism that gives
+ *    decoupled pipelines their latency tolerance.
+ *
+ * Functional model: all threads share the Binding's buffers; queue values
+ * carry enqueue timestamps, so results are deterministic and identical to
+ * a serial interpretation whenever the program is correctly synchronized
+ * (which the compiler's alias rules guarantee).
+ */
+
+#ifndef PHLOEM_SIM_MACHINE_H
+#define PHLOEM_SIM_MACHINE_H
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/pipeline.h"
+#include "sim/binding.h"
+#include "sim/config.h"
+#include "sim/memory.h"
+#include "sim/program.h"
+#include "sim/stats.h"
+
+namespace phloem::sim {
+
+struct MachineOptions
+{
+    /** false = functional-only execution (golden runs, fast validation). */
+    bool timing = true;
+    /** Abort the run after this many dynamic instructions (0 = default). */
+    uint64_t maxInstructions = 0;
+    /** Instructions per scheduling quantum. */
+    int quantum = 4096;
+    /**
+     * Maximum simulated cycles one entity may advance per quantum.
+     * Bounds clock divergence between entities so the shared bandwidth
+     * and MSHR ledgers stay (approximately) causal.
+     */
+    uint64_t horizonCycles = 2048;
+};
+
+class Machine;
+
+namespace detail {
+
+struct QueueEntry
+{
+    ir::Value v;
+    uint64_t ready = 0;
+};
+
+/** One architectural queue instance (absolute id). */
+struct QueueImpl
+{
+    std::deque<QueueEntry> entries;
+    int depth = 24;
+    /** Completion times of the last `depth` dequeues (capacity model). */
+    std::vector<uint64_t> deqTimeRing;
+    uint64_t enqCount = 0;
+    uint64_t deqCount = 0;
+    /** Extra cycles an enqueued value takes to become visible. */
+    int latency = 1;
+    /** Core of the consuming endpoint (for enq_dist latency). */
+    int consumerCore = 0;
+
+    std::vector<int> waitingProducers;
+    int waitingConsumer = -1;
+
+    bool full() const { return entries.size() >= static_cast<size_t>(depth); }
+    bool empty() const { return entries.empty(); }
+};
+
+/** Per-core shared resources: issue-slot ledger and MSHRs. */
+struct CoreState
+{
+    static constexpr int kEpochCycles = 16;
+    static constexpr int kRingSize = 1024;
+
+    struct EpochSlot
+    {
+        uint64_t epoch = ~0ull;
+        int used = 0;
+    };
+
+    std::vector<EpochSlot> ring = std::vector<EpochSlot>(kRingSize);
+    int slotsPerEpoch = 0;
+
+    std::vector<uint64_t> mshrRing;
+    size_t mshrIdx = 0;
+
+    /** Allocate one issue slot at or after time t; returns the slot time. */
+    uint64_t
+    issueAt(uint64_t t)
+    {
+        uint64_t e = t / kEpochCycles;
+        for (;;) {
+            EpochSlot& s = ring[e % ring.size()];
+            if (s.epoch != e) {
+                s.epoch = e;
+                s.used = 0;
+            }
+            if (s.used < slotsPerEpoch) {
+                s.used++;
+                uint64_t slot_time = e * kEpochCycles;
+                return t > slot_time ? t : slot_time;
+            }
+            ++e;
+        }
+    }
+
+    /**
+     * MSHR occupancy, two-phase: acquire returns the earliest time a
+     * fill buffer is free (the miss may not start before it); release
+     * records when the miss completes and the buffer frees. Keeping the
+     * memory access *after* acquisition avoids double-counting DRAM
+     * queueing into the buffer's busy time.
+     */
+    uint64_t
+    mshrAcquire(uint64_t t) const
+    {
+        uint64_t slot = mshrRing[mshrIdx % mshrRing.size()];
+        return t > slot ? t : slot;
+    }
+
+    void
+    mshrRelease(uint64_t completion)
+    {
+        mshrRing[mshrIdx % mshrRing.size()] = completion;
+        mshrIdx++;
+    }
+};
+
+class Entity;
+
+} // namespace detail
+
+/**
+ * A machine executes one run (serial program, data-parallel threads, or a
+ * pipeline) over a Binding. Construct a fresh Machine per run.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const SysConfig& cfg,
+                     const MachineOptions& opt = MachineOptions{});
+    ~Machine();
+
+    /** Run a serial function on one thread of core 0. */
+    RunStats runSerial(const ir::Function& fn, Binding& binding);
+
+    /**
+     * Run one function per thread with no queues (the data-parallel
+     * baselines). Thread i resolves bindings with replica id i.
+     */
+    RunStats runParallel(const std::vector<const ir::Function*>& fns,
+                         Binding& binding);
+
+    /** Run a pipeline (with replication if pipeline.replicas > 1). */
+    RunStats runPipeline(const ir::Pipeline& pipeline, Binding& binding);
+
+    const SysConfig& config() const { return cfg_; }
+    const MachineOptions& options() const { return opt_; }
+    MemorySystem& memory() { return *mem_; }
+
+    // --- Internal interface used by entities (public for the impl). ---
+    detail::QueueImpl& queue(int abs_q);
+    void wakeProducers(int abs_q);
+    void wakeConsumer(int abs_q);
+    void arriveBarrier(int entity_id);
+    detail::CoreState& core(int core_id) { return cores_[core_id]; }
+    uint64_t chargeInstruction();
+    /** One-line clock/state summary of every entity (debugging). */
+    std::string debugClocks() const;
+
+  private:
+    RunStats runEntities(int num_stage_threads);
+    void buildQueues(const ir::Pipeline& pipeline, int replicas, int stride);
+    void addDeadlockInfo(RunStats& stats);
+
+    SysConfig cfg_;
+    MachineOptions opt_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::vector<detail::CoreState> cores_;
+    std::vector<std::unique_ptr<detail::Entity>> entities_;
+    std::vector<detail::QueueImpl> queues_;
+
+    // Flattened programs must outlive the entities that run them.
+    Program programSerial_;
+    std::vector<Program> programsParallel_;
+    std::vector<Program> programsPipeline_;
+
+    int numStageThreads_ = 0;
+    int barrierWaiting_ = 0;
+    uint64_t instructionBudget_ = 0;
+    uint64_t instructionsExecuted_ = 0;
+
+    friend class detail::Entity;
+};
+
+} // namespace phloem::sim
+
+#endif // PHLOEM_SIM_MACHINE_H

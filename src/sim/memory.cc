@@ -1,0 +1,146 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace phloem::sim {
+
+namespace {
+
+/** Round a count up to a power of two (cache set counts). */
+uint64_t
+roundUpPow2(uint64_t x)
+{
+    uint64_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheConfig& cfg, int line_bytes)
+    : ways_(cfg.ways), latency_(cfg.latency)
+{
+    uint64_t lines = cfg.sizeBytes / static_cast<uint64_t>(line_bytes);
+    numSets_ = roundUpPow2(std::max<uint64_t>(1, lines / cfg.ways));
+    ways_storage_.resize(numSets_ * static_cast<uint64_t>(ways_));
+}
+
+CacheModel::Way*
+CacheModel::setFor(uint64_t line_addr)
+{
+    uint64_t set = line_addr & (numSets_ - 1);
+    return &ways_storage_[set * static_cast<uint64_t>(ways_)];
+}
+
+const CacheModel::Way*
+CacheModel::setFor(uint64_t line_addr) const
+{
+    uint64_t set = line_addr & (numSets_ - 1);
+    return &ways_storage_[set * static_cast<uint64_t>(ways_)];
+}
+
+bool
+CacheModel::accessLine(uint64_t line_addr)
+{
+    Way* set = setFor(line_addr);
+    uint64_t tag = line_addr / numSets_;
+    ++useCounter_;
+    Way* victim = &set[0];
+    for (int w = 0; w < ways_; ++w) {
+        Way& way = set[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useCounter_;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useCounter_;
+    return false;
+}
+
+bool
+CacheModel::probeLine(uint64_t line_addr) const
+{
+    const Way* set = setFor(line_addr);
+    uint64_t tag = line_addr / numSets_;
+    for (int w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+MemorySystem::MemorySystem(const SysConfig& cfg)
+    : cfg_(cfg), lineBytes_(cfg.lineBytes),
+      l3_(CacheConfig{cfg.l3PerCore.sizeBytes *
+                          static_cast<uint64_t>(cfg.numCores),
+                      cfg.l3PerCore.ways, cfg.l3PerCore.latency},
+          cfg.lineBytes)
+{
+    phloem_assert(cfg.numCores >= 1, "need at least one core");
+    l1_.reserve(cfg.numCores);
+    l2_.reserve(cfg.numCores);
+    for (int c = 0; c < cfg.numCores; ++c) {
+        l1_.emplace_back(cfg.l1, cfg.lineBytes);
+        l2_.emplace_back(cfg.l2, cfg.lineBytes);
+    }
+    ctrlFree_.assign(static_cast<size_t>(cfg.memControllers), 0.0);
+}
+
+bool
+MemorySystem::probeL1(int core, uint64_t addr) const
+{
+    return l1_[static_cast<size_t>(core)].probeLine(lineAddr(addr));
+}
+
+AccessResult
+MemorySystem::access(int core, uint64_t addr, uint64_t when)
+{
+    phloem_assert(core >= 0 && core < static_cast<int>(l1_.size()),
+                  "bad core id ", core);
+    uint64_t line = lineAddr(addr);
+
+    AccessResult res;
+    if (l1_[core].accessLine(line)) {
+        stats_.l1Hits++;
+        res.done = when + static_cast<uint64_t>(cfg_.l1.latency);
+        res.level = MemLevel::kL1;
+        return res;
+    }
+    res.l1Miss = true;
+    if (l2_[core].accessLine(line)) {
+        stats_.l2Hits++;
+        res.done = when + static_cast<uint64_t>(cfg_.l2.latency);
+        res.level = MemLevel::kL2;
+        return res;
+    }
+    if (l3_.accessLine(line)) {
+        stats_.l3Hits++;
+        res.done = when + static_cast<uint64_t>(cfg_.l3PerCore.latency);
+        res.level = MemLevel::kL3;
+        return res;
+    }
+
+    // DRAM: pick the controller by line address; model occupancy.
+    stats_.dramAccesses++;
+    size_t ctrl = static_cast<size_t>(line) % ctrlFree_.size();
+    double arrival = static_cast<double>(when);
+    double start = std::max(arrival, ctrlFree_[ctrl]);
+    ctrlFree_[ctrl] = start + cfg_.memBusyCycles();
+    double done =
+        start + static_cast<double>(cfg_.memMinLatency);
+    res.done = static_cast<uint64_t>(done);
+    res.level = MemLevel::kDram;
+    return res;
+}
+
+} // namespace phloem::sim

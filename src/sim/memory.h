@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Timing model of the memory hierarchy (paper Table III): per-core L1 and
+ * L2, a shared L3 sized per core, and DRAM with two bandwidth-limited
+ * controllers. Caches are timing-only (tags + LRU); data lives in the
+ * host-side ArrayBuffers.
+ */
+
+#ifndef PHLOEM_SIM_MEMORY_H
+#define PHLOEM_SIM_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/stats.h"
+
+namespace phloem::sim {
+
+/** Which level serviced an access. */
+enum class MemLevel : uint8_t { kL1, kL2, kL3, kDram };
+
+struct AccessResult
+{
+    /** Completion time of the access. */
+    uint64_t done = 0;
+    MemLevel level = MemLevel::kL1;
+    /** True if the access missed the L1 (occupies an MSHR). */
+    bool l1Miss = false;
+};
+
+/** One set-associative, LRU, timing-only cache. */
+class CacheModel
+{
+  public:
+    CacheModel(const CacheConfig& cfg, int line_bytes);
+
+    /**
+     * Probe for a line; on hit refreshes LRU and returns true. On miss
+     * allocates the line (evicting LRU) and returns false.
+     */
+    bool accessLine(uint64_t line_addr);
+
+    /** Probe without allocating (used by invalidation-free checks). */
+    bool probeLine(uint64_t line_addr) const;
+
+    int latency() const { return latency_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = ~0ull;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    int ways_;
+    int latency_;
+    uint64_t numSets_;
+    uint64_t useCounter_ = 0;
+    std::vector<Way> ways_storage_;
+
+    Way* setFor(uint64_t line_addr);
+    const Way* setFor(uint64_t line_addr) const;
+};
+
+/**
+ * The full hierarchy. Timestamps flow in and out: an access issued at
+ * time t completes at AccessResult::done, including DRAM queueing delay
+ * when the controllers are saturated.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const SysConfig& cfg);
+
+    /**
+     * Perform one timing access from a core.
+     *
+     * @param core   issuing core (selects the private L1/L2)
+     * @param addr   simulated physical byte address
+     * @param when   issue time at the core
+     */
+    AccessResult access(int core, uint64_t addr, uint64_t when);
+
+    /** Does this core's L1 currently hold the line (no state change)? */
+    bool probeL1(int core, uint64_t addr) const;
+
+    const MemStats& stats() const { return stats_; }
+    void resetStats() { stats_ = MemStats{}; }
+
+    int l1Latency() const { return cfg_.l1.latency; }
+    uint64_t lineAddr(uint64_t addr) const { return addr / lineBytes_; }
+
+  private:
+    SysConfig cfg_;
+    int lineBytes_;
+
+    std::vector<CacheModel> l1_;
+    std::vector<CacheModel> l2_;
+    CacheModel l3_;
+
+    /** Next-free time per memory controller (bandwidth model). */
+    std::vector<double> ctrlFree_;
+
+    MemStats stats_;
+};
+
+} // namespace phloem::sim
+
+#endif // PHLOEM_SIM_MEMORY_H

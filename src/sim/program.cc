@@ -1,0 +1,426 @@
+#include "sim/program.h"
+
+#include <map>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace phloem::sim {
+
+namespace {
+
+/**
+ * One enclosing loop during emission. While the loop is open, breaks
+ * accumulate in breakPatches; handler emission happens after the loop has
+ * closed, so it uses the resolved exitPc instead.
+ */
+struct LoopFrame
+{
+    std::vector<int> breakPatches;
+    int continueTarget = -1;
+    /** Resolved exit pc; -1 while the loop is still open. */
+    int exitPc = -1;
+};
+
+/** A deq site whose queue has a control handler. */
+struct HandlerSite
+{
+    int deqPc = -1;
+    const ir::HandlerSpec* spec = nullptr;
+    /** Innermost-last stack of enclosing loop frame indices. */
+    std::vector<int> frameStack;
+};
+
+class Flattener
+{
+  public:
+    explicit Flattener(const ir::Function& fn) : fn_(fn)
+    {
+        prog_.fn = &fn;
+        prog_.numRegs = fn.numRegs;
+    }
+
+    Program
+    run()
+    {
+        emitRegion(fn_.body);
+        emitOpcodeOnly(ir::Opcode::kHalt);
+        emitHandlers();
+        prog_.numBranches = nextBranchId_;
+        return std::move(prog_);
+    }
+
+  private:
+    int pc() const { return static_cast<int>(prog_.code.size()); }
+
+    int
+    emitInst(Inst inst)
+    {
+        prog_.code.push_back(inst);
+        return pc() - 1;
+    }
+
+    void
+    emitOpcodeOnly(ir::Opcode opc)
+    {
+        Inst inst;
+        inst.kind = Inst::Kind::kOp;
+        inst.opcode = opc;
+        emitInst(inst);
+    }
+
+    ir::RegId
+    newTemp()
+    {
+        return prog_.numRegs++;
+    }
+
+    int
+    emitBr(int target = -1)
+    {
+        Inst inst;
+        inst.kind = Inst::Kind::kBr;
+        inst.target = target;
+        return emitInst(inst);
+    }
+
+    int
+    emitCondBr(Inst::Kind kind, ir::RegId cond, bool backedge,
+               int target = -1)
+    {
+        Inst inst;
+        inst.kind = kind;
+        inst.src0 = cond;
+        inst.target = target;
+        inst.branchId = static_cast<int16_t>(nextBranchId_++);
+        inst.backedge = backedge;
+        return emitInst(inst);
+    }
+
+    void
+    patch(int at, int target)
+    {
+        prog_.code[at].target = target;
+    }
+
+    void
+    emitOp(const ir::Op& op)
+    {
+        Inst inst;
+        inst.kind = Inst::Kind::kOp;
+        inst.opcode = op.opcode;
+        inst.dst = op.dst;
+        inst.src0 = op.src[0];
+        inst.src1 = op.src[1];
+        inst.src2 = op.src[2];
+        inst.imm = op.imm;
+        inst.arr = op.arr;
+        inst.arr2 = op.arr2;
+        inst.queue = op.queue;
+        inst.origin = op.origin;
+        int at = emitInst(inst);
+
+        if (op.opcode == ir::Opcode::kDeq) {
+            const ir::HandlerSpec* h = fn_.handlerFor(op.queue);
+            if (h != nullptr) {
+                HandlerSite site;
+                site.deqPc = at;
+                site.spec = h;
+                site.frameStack = openFrames_;
+                handlerSites_.push_back(std::move(site));
+            }
+        }
+    }
+
+    void
+    emitRegion(const ir::Region& region)
+    {
+        for (const auto& s : region)
+            emitStmt(s.get());
+    }
+
+    void
+    emitStmt(const ir::Stmt* stmt)
+    {
+        switch (stmt->kind()) {
+          case ir::StmtKind::kOp:
+            emitOp(ir::stmtCast<ir::OpStmt>(stmt)->op);
+            break;
+          case ir::StmtKind::kFor:
+            emitFor(ir::stmtCast<ir::ForStmt>(stmt));
+            break;
+          case ir::StmtKind::kWhile:
+            emitWhile(ir::stmtCast<ir::WhileStmt>(stmt));
+            break;
+          case ir::StmtKind::kIf:
+            emitIf(ir::stmtCast<ir::IfStmt>(stmt));
+            break;
+          case ir::StmtKind::kBreak: {
+            auto* b = ir::stmtCast<ir::BreakStmt>(stmt);
+            phloem_assert(b->levels >= 1 &&
+                              b->levels <= static_cast<int>(
+                                  openFrames_.size()),
+                          "break levels out of range in ", fn_.name);
+            int frame_idx =
+                openFrames_[openFrames_.size() - b->levels];
+            int at = emitBr();
+            frames_[frame_idx].breakPatches.push_back(at);
+            break;
+          }
+          case ir::StmtKind::kContinue: {
+            phloem_assert(!openFrames_.empty(), "continue outside loop");
+            int frame_idx = openFrames_.back();
+            auto it = deferredContinue_.find(frame_idx);
+            if (it != deferredContinue_.end()) {
+                // For-loop: the increment pc is not known yet.
+                it->second->push_back(emitBr());
+            } else {
+                emitBr(frames_[frame_idx].continueTarget);
+            }
+            break;
+          }
+        }
+    }
+
+    void
+    emitFor(const ir::ForStmt* f)
+    {
+        // var = start; one = 1
+        Inst init;
+        init.kind = Inst::Kind::kOp;
+        init.opcode = ir::Opcode::kMov;
+        init.dst = f->var;
+        init.src0 = f->start;
+        init.origin = f->origin;
+        emitInst(init);
+
+        ir::RegId one = newTemp();
+        Inst cone;
+        cone.kind = Inst::Kind::kOp;
+        cone.opcode = ir::Opcode::kConst;
+        cone.dst = one;
+        cone.imm = 1;
+        emitInst(cone);
+
+        int frame_idx = static_cast<int>(frames_.size());
+        frames_.push_back(LoopFrame{});
+        openFrames_.push_back(frame_idx);
+
+        int head = pc();
+        ir::RegId cond = newTemp();
+        Inst cmp;
+        cmp.kind = Inst::Kind::kOp;
+        cmp.opcode = ir::Opcode::kCmpLt;
+        cmp.dst = cond;
+        cmp.src0 = f->var;
+        cmp.src1 = f->bound;
+        cmp.origin = f->origin;
+        emitInst(cmp);
+        int exit_branch =
+            emitCondBr(Inst::Kind::kBrIfNot, cond, /*backedge=*/true);
+
+        // Continue target: the increment at the bottom. We know it only
+        // after the body; use a patch via a dedicated pc placeholder.
+        // Simplest: emit body, then increment, then the backedge; continue
+        // branches jump to the increment.
+        std::vector<int> continue_patches;
+        frames_[frame_idx].continueTarget = -1;  // resolved below
+        int body_start = pc();
+        (void)body_start;
+        emitRegionWithDeferredContinue(f->body, frame_idx,
+                                       continue_patches);
+
+        int inc_pc = pc();
+        Inst inc;
+        inc.kind = Inst::Kind::kOp;
+        inc.opcode = ir::Opcode::kAdd;
+        inc.dst = f->var;
+        inc.src0 = f->var;
+        inc.src1 = one;
+        inc.origin = f->origin;
+        emitInst(inc);
+        emitBr(head);
+
+        int exit_pc = pc();
+        patch(exit_branch, exit_pc);
+        for (int at : continue_patches)
+            patch(at, inc_pc);
+        for (int at : frames_[frame_idx].breakPatches)
+            patch(at, exit_pc);
+        frames_[frame_idx].exitPc = exit_pc;
+        openFrames_.pop_back();
+    }
+
+    /**
+     * Emit a for-loop body where `continue` must jump to the increment,
+     * whose pc is unknown until the body has been emitted. Continue
+     * statements targeting this frame are collected in continue_patches.
+     */
+    void
+    emitRegionWithDeferredContinue(const ir::Region& region, int frame_idx,
+                                   std::vector<int>& continue_patches)
+    {
+        // Mark the frame so nested continue hits the patch list.
+        deferredContinue_[frame_idx] = &continue_patches;
+        emitRegion(region);
+        deferredContinue_.erase(frame_idx);
+    }
+
+    void
+    emitWhile(const ir::WhileStmt* w)
+    {
+        int frame_idx = static_cast<int>(frames_.size());
+        frames_.push_back(LoopFrame{});
+        openFrames_.push_back(frame_idx);
+
+        int head = pc();
+        frames_[frame_idx].continueTarget = head;
+        emitRegion(w->body);
+        emitBr(head);
+
+        int exit_pc = pc();
+        for (int at : frames_[frame_idx].breakPatches)
+            patch(at, exit_pc);
+        frames_[frame_idx].exitPc = exit_pc;
+        openFrames_.pop_back();
+    }
+
+    void
+    emitIf(const ir::IfStmt* i)
+    {
+        int skip = emitCondBr(Inst::Kind::kBrIfNot, i->cond,
+                              /*backedge=*/false);
+        emitRegion(i->thenBody);
+        if (i->elseBody.empty()) {
+            patch(skip, pc());
+        } else {
+            int jump_end = emitBr();
+            patch(skip, pc());
+            emitRegion(i->elseBody);
+            patch(jump_end, pc());
+        }
+    }
+
+    /**
+     * Emit out-of-line handler code for every deq site on a queue with a
+     * control handler. A Break(n) inside the handler exits the n-th loop
+     * enclosing the *deq site*; falling off the end resumes at the deq
+     * (dequeuing the next element).
+     */
+    void
+    emitHandlers()
+    {
+        for (const auto& site : handlerSites_) {
+            prog_.code[site.deqPc].handlerPc = pc();
+            emitHandlerRegion(site.spec->body, site);
+            // Fall-through: go back and dequeue the next value.
+            emitBr(site.deqPc);
+        }
+    }
+
+    void
+    emitHandlerRegion(const ir::Region& region, const HandlerSite& site)
+    {
+        for (const auto& s : region) {
+            switch (s->kind()) {
+              case ir::StmtKind::kOp:
+                emitOp(ir::stmtCast<ir::OpStmt>(s.get())->op);
+                break;
+              case ir::StmtKind::kIf: {
+                auto* i = ir::stmtCast<ir::IfStmt>(s.get());
+                int skip = emitCondBr(Inst::Kind::kBrIfNot, i->cond, false);
+                emitHandlerRegion(i->thenBody, site);
+                if (i->elseBody.empty()) {
+                    patch(skip, pc());
+                } else {
+                    int jump_end = emitBr();
+                    patch(skip, pc());
+                    emitHandlerRegion(i->elseBody, site);
+                    patch(jump_end, pc());
+                }
+                break;
+              }
+              case ir::StmtKind::kBreak: {
+                auto* b = ir::stmtCast<ir::BreakStmt>(s.get());
+                phloem_assert(
+                    b->levels >= 1 &&
+                        b->levels <=
+                            static_cast<int>(site.frameStack.size()),
+                    "handler break levels out of range in ", fn_.name);
+                int frame_idx =
+                    site.frameStack[site.frameStack.size() - b->levels];
+                int exit_pc = frames_[frame_idx].exitPc;
+                phloem_assert(exit_pc >= 0, "handler break into open loop");
+                emitBr(exit_pc);
+                break;
+              }
+              default:
+                phloem_panic("unsupported statement kind in handler body");
+            }
+        }
+    }
+
+    const ir::Function& fn_;
+    Program prog_;
+    std::vector<LoopFrame> frames_;
+    std::vector<int> openFrames_;
+    std::map<int, std::vector<int>*> deferredContinue_;
+    std::vector<HandlerSite> handlerSites_;
+    int nextBranchId_ = 0;
+};
+
+} // namespace
+
+Program
+flatten(const ir::Function& fn)
+{
+    Flattener flattener(fn);
+    return flattener.run();
+}
+
+std::string
+disassemble(const Program& prog)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        const Inst& inst = prog.code[i];
+        oss << i << ": ";
+        switch (inst.kind) {
+          case Inst::Kind::kBr:
+            oss << "br " << inst.target;
+            break;
+          case Inst::Kind::kBrIf:
+            oss << "br_if r" << inst.src0 << ", " << inst.target;
+            break;
+          case Inst::Kind::kBrIfNot:
+            oss << "br_ifnot r" << inst.src0 << ", " << inst.target;
+            break;
+          case Inst::Kind::kOp:
+            oss << ir::opcodeName(inst.opcode);
+            if (inst.dst != ir::kNoReg)
+                oss << " r" << inst.dst;
+            if (inst.src0 != ir::kNoReg)
+                oss << ", r" << inst.src0;
+            if (inst.src1 != ir::kNoReg)
+                oss << ", r" << inst.src1;
+            if (inst.src2 != ir::kNoReg)
+                oss << ", r" << inst.src2;
+            if (inst.queue != ir::kNoQueue)
+                oss << ", q" << inst.queue;
+            if (inst.arr != ir::kNoArray)
+                oss << ", arr" << inst.arr;
+            if (inst.opcode == ir::Opcode::kConst ||
+                inst.opcode == ir::Opcode::kEnqCtrl ||
+                inst.opcode == ir::Opcode::kWork) {
+                oss << ", #" << inst.imm;
+            }
+            if (inst.handlerPc >= 0)
+                oss << " [handler " << inst.handlerPc << "]";
+            break;
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace phloem::sim

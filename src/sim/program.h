@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flat executable form of an IR function.
+ *
+ * The structured IR is what the compiler transforms; the simulator wants a
+ * fast linear instruction stream with explicit branches. Flattening also
+ * makes the *dynamic instruction cost* of control flow explicit — loop
+ * bound computation and branching are real instructions, which is central
+ * to the paper's argument that decoupled inner loops must be tightened
+ * (passes 4-6).
+ *
+ * Lowering rules:
+ *  - `for (v = a; v < b; v++)` becomes mov/cmp/brIfNot/add/br: three extra
+ *    uops per iteration plus one per entry.
+ *  - `while (true)` becomes a single unconditional backedge.
+ *  - Control-value handlers are emitted out of line; a kDeq carries the
+ *    handler entry pc, and the hardware transfers there when a control
+ *    value is about to be dequeued (paper Sec. III).
+ */
+
+#ifndef PHLOEM_SIM_PROGRAM_H
+#define PHLOEM_SIM_PROGRAM_H
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace phloem::sim {
+
+struct Inst
+{
+    enum class Kind : uint8_t {
+        kOp,       ///< a regular IR op
+        kBr,       ///< unconditional branch to target
+        kBrIf,     ///< branch to target when src0 != 0
+        kBrIfNot,  ///< branch to target when src0 == 0
+    };
+
+    Kind kind = Kind::kOp;
+    ir::Opcode opcode = ir::Opcode::kConst;
+
+    ir::RegId dst = ir::kNoReg;
+    ir::RegId src0 = ir::kNoReg;
+    ir::RegId src1 = ir::kNoReg;
+    ir::RegId src2 = ir::kNoReg;
+
+    int64_t imm = 0;
+    ir::ArrayId arr = ir::kNoArray;
+    ir::ArrayId arr2 = ir::kNoArray;
+    ir::QueueId queue = ir::kNoQueue;
+
+    /** Branch target pc. */
+    int32_t target = -1;
+    /** For kDeq: control-handler entry pc, or -1. */
+    int32_t handlerPc = -1;
+    /** Static id of a conditional branch (predictor state index). */
+    int16_t branchId = -1;
+    /** True for loop-header tests (predicted taken-loop). */
+    bool backedge = false;
+
+    /** Origin op/stmt id in the serial function (debugging). */
+    int origin = -1;
+
+    bool isBranch() const { return kind != Kind::kOp; }
+    bool
+    isCondBranch() const
+    {
+        return kind == Kind::kBrIf || kind == Kind::kBrIfNot;
+    }
+};
+
+struct Program
+{
+    const ir::Function* fn = nullptr;
+    std::vector<Inst> code;
+    /** Register file size (IR registers + flattener temporaries). */
+    int numRegs = 0;
+    /** Number of static conditional branches. */
+    int numBranches = 0;
+};
+
+/** Lower a structured function to flat code. */
+Program flatten(const ir::Function& fn);
+
+/** Human-readable disassembly (tests, debugging). */
+std::string disassemble(const Program& prog);
+
+} // namespace phloem::sim
+
+#endif // PHLOEM_SIM_PROGRAM_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Mini-Taco: a tensor-algebra frontend that emits restrict-qualified C
+ * for Phloem to consume (paper Sec. IV-D: "C/C++ remains the lingua
+ * franca of domain-specific accelerator compilers ... Phloem's C-based
+ * frontend makes it possible to seamlessly pass code to and from these
+ * compilers").
+ *
+ * Like the real Taco, the input is a tensor index expression such as
+ * "y(i) = A(i,j) * x(j)"; sparse operands iterate CSR level by level and
+ * dense operands are random-accessed. This implementation covers the
+ * expression class of the paper's four Taco benchmarks (one sparse
+ * operand, dense vectors/matrices, optional scale-and-add), which is all
+ * the integration claim needs.
+ */
+
+#ifndef PHLOEM_TACO_TACO_H
+#define PHLOEM_TACO_TACO_H
+
+#include <string>
+#include <vector>
+
+namespace phloem::taco {
+
+/** One generated kernel: function name plus C source text. */
+struct TacoKernel
+{
+    std::string name;
+    std::string expression;
+    std::string source;
+    /** Row-partitioned data-parallel variant (Taco's -parallel mode). */
+    std::string parallelSource;
+};
+
+/**
+ * Compile a tensor index expression to C. Supported forms (A/B sparse
+ * CSR, lowercase names dense vectors, C/D dense matrices):
+ *
+ *   "y(i) = A(i,j) * x(j)"                       SpMV
+ *   "y(i) = b(i) - A(i,j) * x(j)"                Residual
+ *   "y(j) = alpha * A(i,j) * x(i) + beta * z(j)" MTMul (transpose-mul)
+ *   "A(i,j) = B(i,j) * C(i,k) * D(k,j)"          SDDMM
+ *
+ * Throws (fatal) for expressions outside this class.
+ */
+TacoKernel compileExpression(const std::string& name,
+                             const std::string& expression);
+
+/** The paper's four Taco benchmarks (Sec. VI-B). */
+std::vector<TacoKernel> paperKernels();
+
+} // namespace phloem::taco
+
+#endif // PHLOEM_TACO_TACO_H

@@ -1,0 +1,337 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace phloem::wl {
+
+CSRGraph
+fromAdjacency(const std::vector<std::vector<int32_t>>& adj)
+{
+    CSRGraph g;
+    g.n = static_cast<int32_t>(adj.size());
+    g.nodes.resize(static_cast<size_t>(g.n) + 1);
+    int64_t m = 0;
+    for (int32_t v = 0; v < g.n; ++v) {
+        g.nodes[static_cast<size_t>(v)] = static_cast<int32_t>(m);
+        m += static_cast<int64_t>(adj[static_cast<size_t>(v)].size());
+    }
+    g.nodes[static_cast<size_t>(g.n)] = static_cast<int32_t>(m);
+    g.edges.reserve(static_cast<size_t>(m));
+    for (const auto& list : adj)
+        for (int32_t u : list)
+            g.edges.push_back(u);
+    return g;
+}
+
+CSRGraph
+makeRoadNetwork(int32_t n, double keep_prob, uint64_t seed)
+{
+    Rng rng(seed);
+    int32_t side = static_cast<int32_t>(std::sqrt(static_cast<double>(n)));
+    if (side < 2)
+        side = 2;
+    int32_t total = side * side;
+    std::vector<std::vector<int32_t>> adj(static_cast<size_t>(total));
+    auto id = [side](int32_t r, int32_t c) { return r * side + c; };
+    for (int32_t r = 0; r < side; ++r) {
+        for (int32_t c = 0; c < side; ++c) {
+            int32_t v = id(r, c);
+            if (c + 1 < side && rng.coinFlip(keep_prob)) {
+                adj[static_cast<size_t>(v)].push_back(id(r, c + 1));
+                adj[static_cast<size_t>(id(r, c + 1))].push_back(v);
+            }
+            if (r + 1 < side && rng.coinFlip(keep_prob)) {
+                adj[static_cast<size_t>(v)].push_back(id(r + 1, c));
+                adj[static_cast<size_t>(id(r + 1, c))].push_back(v);
+            }
+            // Occasional short chord (diagonal ramp / bridge).
+            if (r + 1 < side && c + 1 < side && rng.coinFlip(0.05)) {
+                adj[static_cast<size_t>(v)].push_back(id(r + 1, c + 1));
+                adj[static_cast<size_t>(id(r + 1, c + 1))].push_back(v);
+            }
+        }
+    }
+    return fromAdjacency(adj);
+}
+
+CSRGraph
+makeRMat(int32_t n, int64_t m, uint64_t seed)
+{
+    Rng rng(seed);
+    int levels = 0;
+    while ((1 << levels) < n)
+        levels++;
+    int32_t size = 1 << levels;
+    std::vector<std::vector<int32_t>> adj(static_cast<size_t>(size));
+    const double a = 0.57, b = 0.19, c = 0.19;
+    for (int64_t e = 0; e < m; ++e) {
+        int32_t src = 0, dst = 0;
+        for (int l = 0; l < levels; ++l) {
+            double p = rng.nextDouble();
+            int sbit, dbit;
+            if (p < a) {
+                sbit = 0; dbit = 0;
+            } else if (p < a + b) {
+                sbit = 0; dbit = 1;
+            } else if (p < a + b + c) {
+                sbit = 1; dbit = 0;
+            } else {
+                sbit = 1; dbit = 1;
+            }
+            src = (src << 1) | sbit;
+            dst = (dst << 1) | dbit;
+        }
+        if (src == dst)
+            continue;
+        adj[static_cast<size_t>(src)].push_back(dst);
+    }
+    for (auto& list : adj) {
+        std::sort(list.begin(), list.end());
+        list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+    return fromAdjacency(adj);
+}
+
+CSRGraph
+makeUniform(int32_t n, double avg_degree, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<int32_t>> adj(static_cast<size_t>(n));
+    int64_t m = static_cast<int64_t>(avg_degree * n);
+    for (int64_t e = 0; e < m; ++e) {
+        auto src = static_cast<int32_t>(
+            rng.nextBounded(static_cast<uint64_t>(n)));
+        auto dst = static_cast<int32_t>(
+            rng.nextBounded(static_cast<uint64_t>(n)));
+        if (src != dst)
+            adj[static_cast<size_t>(src)].push_back(dst);
+    }
+    return fromAdjacency(adj);
+}
+
+std::vector<GraphInput>
+tableIVInputs()
+{
+    // Table IV rows, scaled ~40x in vertices with average degree and
+    // degree-shape preserved. Diameter-heavy rows use the grid
+    // generator; skewed rows use R-MAT; the rest near-uniform.
+    std::vector<GraphInput> inputs;
+
+    auto add = [&](const std::string& name, const std::string& domain,
+                   CSRGraph g, bool training) {
+        GraphInput in;
+        in.name = name;
+        in.domain = domain;
+        in.graph = std::make_shared<CSRGraph>(std::move(g));
+        // A deterministic well-connected root: highest-degree vertex.
+        int32_t best = 0;
+        for (int32_t v = 0; v < in.graph->n; ++v)
+            if (in.graph->degree(v) > in.graph->degree(best))
+                best = v;
+        in.root = best;
+        in.training = training;
+        inputs.push_back(std::move(in));
+    };
+
+    // Training inputs.
+    add("internet", "training internet graph",
+        makeRMat(3200, 5500, 1001), true);                      // deg ~1.7
+    add("USA-road-d-NY", "training road network",
+        makeRoadNetwork(6600, 0.70, 1002), true);               // deg ~2.8
+
+    // Test inputs.
+    add("coAuthorsDBLP", "human collaboration",
+        makeUniform(7500, 6.4, 2001), false);
+    add("hugetrace", "dynamic simulation",
+        makeRoadNetwork(16000, 0.75, 2002), false);
+    add("Freescale1", "circuit simulation",
+        makeUniform(12000, 5.6, 2003), false);
+    add("as-Skitter", "internet graph", makeRMat(8192, 110000, 2004),
+        false);
+    add("USA-road-d-USA", "road network",
+        makeRoadNetwork(24000, 0.60, 2005), false);
+
+    return inputs;
+}
+
+std::vector<GraphInput>
+graphTrainingInputs()
+{
+    std::vector<GraphInput> out;
+    for (auto& in : tableIVInputs())
+        if (in.training)
+            out.push_back(std::move(in));
+    return out;
+}
+
+std::vector<GraphInput>
+graphTestInputs()
+{
+    std::vector<GraphInput> out;
+    for (auto& in : tableIVInputs())
+        if (!in.training)
+            out.push_back(std::move(in));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Golden implementations.
+// ---------------------------------------------------------------------
+
+std::vector<int32_t>
+bfsGolden(const CSRGraph& g, int32_t root)
+{
+    std::vector<int32_t> dist(static_cast<size_t>(g.n), INT32_MAX);
+    // Match the kernel exactly: fringe-based rounds, duplicates allowed
+    // in the next fringe exactly when the distance improves.
+    std::vector<int32_t> cur{root}, next;
+    dist[static_cast<size_t>(root)] = 0;
+    int32_t cur_dist = 0;
+    while (!cur.empty()) {
+        cur_dist++;
+        next.clear();
+        for (int32_t v : cur) {
+            for (int32_t e = g.nodes[static_cast<size_t>(v)];
+                 e < g.nodes[static_cast<size_t>(v) + 1]; ++e) {
+                int32_t ngh = g.edges[static_cast<size_t>(e)];
+                if (cur_dist < dist[static_cast<size_t>(ngh)]) {
+                    dist[static_cast<size_t>(ngh)] = cur_dist;
+                    next.push_back(ngh);
+                }
+            }
+        }
+        cur.swap(next);
+    }
+    return dist;
+}
+
+std::vector<int32_t>
+ccGolden(const CSRGraph& g)
+{
+    std::vector<int32_t> labels(static_cast<size_t>(g.n));
+    for (int32_t v = 0; v < g.n; ++v)
+        labels[static_cast<size_t>(v)] = v;
+    std::vector<int32_t> cur, next;
+    for (int32_t v = 0; v < g.n; ++v)
+        cur.push_back(v);
+    while (!cur.empty()) {
+        next.clear();
+        for (int32_t v : cur) {
+            int32_t l = labels[static_cast<size_t>(v)];
+            for (int32_t e = g.nodes[static_cast<size_t>(v)];
+                 e < g.nodes[static_cast<size_t>(v) + 1]; ++e) {
+                int32_t ngh = g.edges[static_cast<size_t>(e)];
+                if (l < labels[static_cast<size_t>(ngh)]) {
+                    labels[static_cast<size_t>(ngh)] = l;
+                    next.push_back(ngh);
+                }
+            }
+        }
+        cur.swap(next);
+    }
+    return labels;
+}
+
+std::vector<double>
+prdGolden(const CSRGraph& g, double alpha, double eps, int max_iters)
+{
+    size_t n = static_cast<size_t>(g.n);
+    std::vector<double> rank(n, 0.0), delta(n), accum(n, 0.0);
+    double base = 1.0 - alpha;
+    std::vector<int32_t> cur, next, receivers;
+    for (int32_t v = 0; v < g.n; ++v) {
+        rank[static_cast<size_t>(v)] = base;
+        delta[static_cast<size_t>(v)] = base;
+        cur.push_back(v);
+    }
+    for (int iter = 0; iter < max_iters && !cur.empty(); ++iter) {
+        receivers.clear();
+        for (int32_t v : cur) {
+            int32_t deg = g.degree(v);
+            if (deg == 0)
+                continue;
+            double d = alpha * delta[static_cast<size_t>(v)] /
+                       static_cast<double>(deg);
+            for (int32_t e = g.nodes[static_cast<size_t>(v)];
+                 e < g.nodes[static_cast<size_t>(v) + 1]; ++e) {
+                int32_t ngh = g.edges[static_cast<size_t>(e)];
+                double a = accum[static_cast<size_t>(ngh)];
+                if (a == 0.0)
+                    receivers.push_back(ngh);
+                accum[static_cast<size_t>(ngh)] = a + d;
+            }
+        }
+        next.clear();
+        for (int32_t u : receivers) {
+            double a = accum[static_cast<size_t>(u)];
+            accum[static_cast<size_t>(u)] = 0.0;
+            if (a > eps || a < -eps) {
+                delta[static_cast<size_t>(u)] = a;
+                rank[static_cast<size_t>(u)] += a;
+                next.push_back(u);
+            } else {
+                delta[static_cast<size_t>(u)] = 0.0;
+            }
+        }
+        cur.swap(next);
+    }
+    return rank;
+}
+
+std::vector<int32_t>
+radiiSamples(const CSRGraph& g)
+{
+    std::vector<int32_t> samples;
+    int32_t k = std::min<int32_t>(64, g.n);
+    // Deterministic spread: stride sampling.
+    for (int32_t i = 0; i < k; ++i)
+        samples.push_back(static_cast<int32_t>(
+            (static_cast<int64_t>(i) * g.n) / k));
+    return samples;
+}
+
+std::vector<int32_t>
+radiiGolden(const CSRGraph& g)
+{
+    size_t n = static_cast<size_t>(g.n);
+    std::vector<uint64_t> visited(n, 0);
+    std::vector<int32_t> radii(n, -1);
+    std::vector<int32_t> cur, next;
+    auto samples = radiiSamples(g);
+    for (size_t i = 0; i < samples.size(); ++i) {
+        visited[static_cast<size_t>(samples[i])] |= uint64_t{1} << i;
+        radii[static_cast<size_t>(samples[i])] = 0;
+        cur.push_back(samples[i]);
+    }
+    int32_t round = 0;
+    while (!cur.empty()) {
+        round++;
+        next.clear();
+        for (int32_t v : cur) {
+            uint64_t vv = visited[static_cast<size_t>(v)];
+            for (int32_t e = g.nodes[static_cast<size_t>(v)];
+                 e < g.nodes[static_cast<size_t>(v) + 1]; ++e) {
+                int32_t ngh = g.edges[static_cast<size_t>(e)];
+                uint64_t vn = visited[static_cast<size_t>(ngh)];
+                uint64_t nw = vv | vn;
+                if (nw != vn) {
+                    visited[static_cast<size_t>(ngh)] = nw;
+                    if (radii[static_cast<size_t>(ngh)] != round) {
+                        radii[static_cast<size_t>(ngh)] = round;
+                        next.push_back(ngh);
+                    }
+                }
+            }
+        }
+        cur.swap(next);
+    }
+    return radii;
+}
+
+} // namespace phloem::wl

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Compressed Sparse Row graphs and deterministic synthetic generators.
+ *
+ * The paper evaluates on SuiteSparse/DIMACS graphs (Table IV); offline we
+ * substitute generators matched on the statistics that drive the paper's
+ * results: vertex/edge counts (scaled down to keep simulation times
+ * tractable), average degree (inner-loop trip counts and load balance),
+ * degree skew (power-law vs. near-uniform), and diameter (number of BFS
+ * rounds). See DESIGN.md section 1.
+ */
+
+#ifndef PHLOEM_WORKLOADS_GRAPH_H
+#define PHLOEM_WORKLOADS_GRAPH_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace phloem::wl {
+
+/** A directed graph in CSR format (paper Sec. II). */
+struct CSRGraph
+{
+    int32_t n = 0;
+    std::vector<int32_t> nodes;  ///< size n+1: edge-list offsets
+    std::vector<int32_t> edges;  ///< size m: neighbor ids
+
+    int64_t m() const { return static_cast<int64_t>(edges.size()); }
+
+    double
+    avgDegree() const
+    {
+        return n == 0 ? 0.0
+                      : static_cast<double>(m()) / static_cast<double>(n);
+    }
+
+    int32_t degree(int32_t v) const { return nodes[v + 1] - nodes[v]; }
+};
+
+/** Build a CSR graph from an adjacency list. */
+CSRGraph fromAdjacency(const std::vector<std::vector<int32_t>>& adj);
+
+/**
+ * Road-network-like graph: a sqrt(n) x sqrt(n) grid with 4-neighbor
+ * connectivity thinned by `keep_prob` plus occasional chords; low average
+ * degree, near-uniform degrees, huge diameter (many BFS rounds).
+ */
+CSRGraph makeRoadNetwork(int32_t n, double keep_prob, uint64_t seed);
+
+/**
+ * R-MAT power-law graph (a=0.57, b=c=0.19): skewed degrees, small
+ * diameter; models social/internet graphs like as-Skitter.
+ */
+CSRGraph makeRMat(int32_t n, int64_t m, uint64_t seed);
+
+/** Near-uniform random graph with the given average degree. */
+CSRGraph makeUniform(int32_t n, double avg_degree, uint64_t seed);
+
+/** One evaluation input: a graph plus its BFS/Radii root. */
+struct GraphInput
+{
+    std::string name;
+    std::string domain;
+    std::shared_ptr<CSRGraph> graph;
+    int32_t root = 0;
+    bool training = false;
+};
+
+/**
+ * The Table IV input suite, scaled down ~40x (documented per input).
+ * First two entries are the training inputs (internet, USA-road-d-NY).
+ */
+std::vector<GraphInput> tableIVInputs();
+
+/** Just the training inputs / just the test inputs. */
+std::vector<GraphInput> graphTrainingInputs();
+std::vector<GraphInput> graphTestInputs();
+
+// ---------------------------------------------------------------------
+// Golden reference implementations (plain C++, used for validation).
+// ---------------------------------------------------------------------
+
+/** BFS distances from root; unreachable = INT32_MAX. */
+std::vector<int32_t> bfsGolden(const CSRGraph& g, int32_t root);
+
+/** Connected-component labels via label propagation (min label wins). */
+std::vector<int32_t> ccGolden(const CSRGraph& g);
+
+/**
+ * PageRank-Delta: returns final ranks. Matches the kernel's semantics:
+ * push-style delta propagation with threshold eps, damping alpha,
+ * at most max_iters iterations.
+ */
+std::vector<double> prdGolden(const CSRGraph& g, double alpha, double eps,
+                              int max_iters);
+
+/**
+ * Radii estimation via in-place multi-source bitmask propagation from
+ * k = min(64, n) deterministic sample roots; returns per-vertex last
+ * round each vertex's reachability mask changed.
+ */
+std::vector<int32_t> radiiGolden(const CSRGraph& g);
+
+/** The sample roots used by radii (shared with the kernel setup). */
+std::vector<int32_t> radiiSamples(const CSRGraph& g);
+
+} // namespace phloem::wl
+
+#endif // PHLOEM_WORKLOADS_GRAPH_H

@@ -1,0 +1,685 @@
+#include "workloads/kernels.h"
+
+namespace phloem::wl {
+
+// ---------------------------------------------------------------------
+// Breadth-First Search (paper Sec. II, Fig. 2).
+// ---------------------------------------------------------------------
+
+const char* kBfsSerial = R"(
+#pragma phloem
+void bfs(const int* restrict nodes, const int* restrict edges,
+         int* restrict dist, int* restrict cur_fringe,
+         int* restrict next_fringe, int n, int root) {
+    dist[root] = 0;
+    cur_fringe[0] = root;
+    int cur_size = 1;
+    int cur_dist = 0;
+    while (cur_size > 0) {
+        cur_dist = cur_dist + 1;
+        int next_size = 0;
+        for (int f = 0; f < cur_size; f++) {
+            int v = cur_fringe[f];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                int ngh = edges[e];
+                if (cur_dist < dist[ngh]) {
+                    dist[ngh] = cur_dist;
+                    next_fringe[next_size] = ngh;
+                    next_size = next_size + 1;
+                }
+            }
+        }
+        phloem_swap(cur_fringe, next_fringe);
+        cur_size = next_size;
+    }
+}
+)";
+
+// Work-efficient parallel BFS in the spirit of PBFS: threads split the
+// fringe, claim vertices with atomic-min, and gather per-thread buffers.
+const char* kBfsParallel = R"(
+void bfs_par(const int* restrict nodes, const int* restrict edges,
+             int* restrict dist, int* restrict cur_fringe,
+             int* restrict next_buf, int* restrict next_sizes,
+             int* restrict size_box, int n, int root,
+             int stride, int tid, int nthreads) {
+    if (tid == 0) {
+        dist[root] = 0;
+        cur_fringe[0] = root;
+        size_box[0] = 1;
+    }
+    int cur_dist = 0;
+    phloem_barrier();
+    while (size_box[0] > 0) {
+        cur_dist = cur_dist + 1;
+        int cur_size = size_box[0];
+        int lo = tid * cur_size / nthreads;
+        int hi = (tid + 1) * cur_size / nthreads;
+        int my = 0;
+        for (int f = lo; f < hi; f++) {
+            int v = cur_fringe[f];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                int ngh = edges[e];
+                int old = phloem_atomic_min(dist, ngh, cur_dist);
+                if (cur_dist < old) {
+                    next_buf[tid * stride + my] = ngh;
+                    my = my + 1;
+                }
+            }
+        }
+        next_sizes[tid] = my;
+        phloem_barrier();
+        int off = 0;
+        for (int t = 0; t < tid; t++) {
+            off = off + next_sizes[t];
+        }
+        int total = 0;
+        for (int t = 0; t < nthreads; t++) {
+            total = total + next_sizes[t];
+        }
+        for (int k = 0; k < my; k++) {
+            cur_fringe[off + k] = next_buf[tid * stride + k];
+        }
+        phloem_barrier();
+        if (tid == 0) {
+            size_box[0] = total;
+        }
+        phloem_barrier();
+    }
+}
+)";
+
+// ---------------------------------------------------------------------
+// Connected Components: fringe-based min-label propagation.
+// ---------------------------------------------------------------------
+
+const char* kCcSerial = R"(
+#pragma phloem
+void cc(const int* restrict nodes, const int* restrict edges,
+        int* restrict labels, int* restrict cur_fringe,
+        int* restrict next_fringe, int n) {
+    int cur_size = n;
+    while (cur_size > 0) {
+        int next_size = 0;
+        for (int f = 0; f < cur_size; f++) {
+            int v = cur_fringe[f];
+            int l = labels[v];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                int ngh = edges[e];
+                if (l < labels[ngh]) {
+                    labels[ngh] = l;
+                    next_fringe[next_size] = ngh;
+                    next_size = next_size + 1;
+                }
+            }
+        }
+        phloem_swap(cur_fringe, next_fringe);
+        cur_size = next_size;
+    }
+}
+)";
+
+const char* kCcParallel = R"(
+void cc_par(const int* restrict nodes, const int* restrict edges,
+            int* restrict labels, int* restrict cur_fringe,
+            int* restrict next_buf, int* restrict next_sizes,
+            int* restrict size_box, int n, int stride, int tid, int nthreads) {
+    while (size_box[0] > 0) {
+        int cur_size = size_box[0];
+        int lo = tid * cur_size / nthreads;
+        int hi = (tid + 1) * cur_size / nthreads;
+        int my = 0;
+        for (int f = lo; f < hi; f++) {
+            int v = cur_fringe[f];
+            int l = labels[v];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                int ngh = edges[e];
+                int old = phloem_atomic_min(labels, ngh, l);
+                if (l < old) {
+                    next_buf[tid * stride + my] = ngh;
+                    my = my + 1;
+                }
+            }
+        }
+        next_sizes[tid] = my;
+        phloem_barrier();
+        int off = 0;
+        for (int t = 0; t < tid; t++) {
+            off = off + next_sizes[t];
+        }
+        int total = 0;
+        for (int t = 0; t < nthreads; t++) {
+            total = total + next_sizes[t];
+        }
+        for (int k = 0; k < my; k++) {
+            cur_fringe[off + k] = next_buf[tid * stride + k];
+        }
+        phloem_barrier();
+        if (tid == 0) {
+            size_box[0] = total;
+        }
+        phloem_barrier();
+    }
+}
+)";
+
+// ---------------------------------------------------------------------
+// PageRank-Delta: push deltas, then activate vertices whose accumulated
+// change exceeds the threshold (two phases per iteration).
+// ---------------------------------------------------------------------
+
+const char* kPrdSerial = R"(
+#pragma phloem
+void prd(const int* restrict nodes, const int* restrict edges,
+         double* restrict rank, double* restrict delta,
+         double* restrict accum, int* restrict receivers,
+         int* restrict cur_fringe, int* restrict next_fringe,
+         int n, int max_iters, double alpha, double eps) {
+    int cur_size = n;
+    int iter = 0;
+    while (iter < max_iters) {
+        if (cur_size == 0) {
+            break;
+        }
+        int recv_size = 0;
+        for (int f = 0; f < cur_size; f++) {
+            int v = cur_fringe[f];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            int deg = edge_end - edge_start;
+            if (deg > 0) {
+                double d = alpha * delta[v] / (double) deg;
+                for (int e = edge_start; e < edge_end; e++) {
+                    int ngh = edges[e];
+                    double a = accum[ngh];
+                    if (a == 0.0) {
+                        receivers[recv_size] = ngh;
+                        recv_size = recv_size + 1;
+                    }
+                    accum[ngh] = a + d;
+                }
+            }
+        }
+        int next_size = 0;
+        for (int r = 0; r < recv_size; r++) {
+            int u = receivers[r];
+            double a = accum[u];
+            accum[u] = 0.0;
+            double m = fabs(a);
+            if (m > eps) {
+                delta[u] = a;
+                rank[u] = rank[u] + a;
+                next_fringe[next_size] = u;
+                next_size = next_size + 1;
+            } else {
+                delta[u] = 0.0;
+            }
+        }
+        phloem_swap(cur_fringe, next_fringe);
+        cur_size = next_size;
+        iter = iter + 1;
+    }
+}
+)";
+
+const char* kPrdParallel = R"(
+void prd_par(const int* restrict nodes, const int* restrict edges,
+             double* restrict rank, double* restrict delta,
+             double* restrict accum, int* restrict receivers,
+             int* restrict cur_fringe, int* restrict next_buf,
+             int* restrict next_sizes, int* restrict size_box,
+             int n, int max_iters, double alpha, double eps,
+             int stride, int tid, int nthreads) {
+    int iter = 0;
+    while (iter < max_iters) {
+        if (size_box[0] == 0) {
+            break;
+        }
+        int cur_size = size_box[0];
+        int lo = tid * cur_size / nthreads;
+        int hi = (tid + 1) * cur_size / nthreads;
+        int my = 0;
+        for (int f = lo; f < hi; f++) {
+            int v = cur_fringe[f];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            int deg = edge_end - edge_start;
+            if (deg > 0) {
+                double d = alpha * delta[v] / (double) deg;
+                for (int e = edge_start; e < edge_end; e++) {
+                    int ngh = edges[e];
+                    double old = phloem_atomic_fadd(accum, ngh, d);
+                    if (old == 0.0) {
+                        next_buf[tid * stride + my] = ngh;
+                        my = my + 1;
+                    }
+                }
+            }
+        }
+        next_sizes[tid] = my;
+        phloem_barrier();
+        int off = 0;
+        for (int t = 0; t < tid; t++) {
+            off = off + next_sizes[t];
+        }
+        int recv_total = 0;
+        for (int t = 0; t < nthreads; t++) {
+            recv_total = recv_total + next_sizes[t];
+        }
+        for (int k = 0; k < my; k++) {
+            receivers[off + k] = next_buf[tid * stride + k];
+        }
+        phloem_barrier();
+        int rlo = tid * recv_total / nthreads;
+        int rhi = (tid + 1) * recv_total / nthreads;
+        int fy = 0;
+        for (int r = rlo; r < rhi; r++) {
+            int u = receivers[r];
+            double a = accum[u];
+            accum[u] = 0.0;
+            double m = fabs(a);
+            if (m > eps) {
+                delta[u] = a;
+                rank[u] = rank[u] + a;
+                next_buf[tid * stride + fy] = u;
+                fy = fy + 1;
+            } else {
+                delta[u] = 0.0;
+            }
+        }
+        next_sizes[tid] = fy;
+        phloem_barrier();
+        int off2 = 0;
+        for (int t = 0; t < tid; t++) {
+            off2 = off2 + next_sizes[t];
+        }
+        int total = 0;
+        for (int t = 0; t < nthreads; t++) {
+            total = total + next_sizes[t];
+        }
+        for (int k = 0; k < fy; k++) {
+            cur_fringe[off2 + k] = next_buf[tid * stride + k];
+        }
+        phloem_barrier();
+        if (tid == 0) {
+            size_box[0] = total;
+        }
+        iter = iter + 1;
+        phloem_barrier();
+    }
+}
+)";
+
+// ---------------------------------------------------------------------
+// Radii estimation: multi-source BFS over 64-bit reachability masks.
+// ---------------------------------------------------------------------
+
+const char* kRadiiSerial = R"(
+#pragma phloem
+void radii(const int* restrict nodes, const int* restrict edges,
+           long* restrict visited, int* restrict radii_out,
+           int* restrict cur_fringe, int* restrict next_fringe,
+           int n, int init_size) {
+    int cur_size = init_size;
+    int round = 0;
+    while (cur_size > 0) {
+        round = round + 1;
+        int next_size = 0;
+        for (int f = 0; f < cur_size; f++) {
+            int v = cur_fringe[f];
+            long vv = visited[v];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                int ngh = edges[e];
+                long vn = visited[ngh];
+                long nw = vv | vn;
+                if (nw != vn) {
+                    visited[ngh] = nw;
+                    if (radii_out[ngh] != round) {
+                        radii_out[ngh] = round;
+                        next_fringe[next_size] = ngh;
+                        next_size = next_size + 1;
+                    }
+                }
+            }
+        }
+        phloem_swap(cur_fringe, next_fringe);
+        cur_size = next_size;
+    }
+}
+)";
+
+const char* kRadiiParallel = R"(
+void radii_par(const int* restrict nodes, const int* restrict edges,
+               long* restrict visited, int* restrict radii_out,
+               int* restrict cur_fringe, int* restrict next_buf,
+               int* restrict next_sizes, int* restrict size_box,
+               int n, int stride, int tid, int nthreads) {
+    int round = 0;
+    while (size_box[0] > 0) {
+        round = round + 1;
+        int cur_size = size_box[0];
+        int lo = tid * cur_size / nthreads;
+        int hi = (tid + 1) * cur_size / nthreads;
+        int my = 0;
+        for (int f = lo; f < hi; f++) {
+            int v = cur_fringe[f];
+            long vv = visited[v];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                int ngh = edges[e];
+                long vn = visited[ngh];
+                long nw = vv | vn;
+                if (nw != vn) {
+                    long old = phloem_atomic_or(visited, ngh, nw);
+                    if ((old | nw) != old) {
+                        radii_out[ngh] = round;
+                        next_buf[tid * stride + my] = ngh;
+                        my = my + 1;
+                    }
+                }
+            }
+        }
+        next_sizes[tid] = my;
+        phloem_barrier();
+        int off = 0;
+        for (int t = 0; t < tid; t++) {
+            off = off + next_sizes[t];
+        }
+        int total = 0;
+        for (int t = 0; t < nthreads; t++) {
+            total = total + next_sizes[t];
+        }
+        for (int k = 0; k < my; k++) {
+            cur_fringe[off + k] = next_buf[tid * stride + k];
+        }
+        phloem_barrier();
+        if (tid == 0) {
+            size_box[0] = total;
+        }
+        phloem_barrier();
+    }
+}
+)";
+
+// ---------------------------------------------------------------------
+// SpMM: inner-product (output-stationary) with merge-intersection.
+// ---------------------------------------------------------------------
+
+const char* kSpmmSerial = R"(
+#pragma phloem
+void spmm(const int* restrict a_pos, const int* restrict a_crd,
+          const double* restrict a_val, const int* restrict bt_pos,
+          const int* restrict bt_crd, const double* restrict bt_val,
+          double* restrict c, int n, int m) {
+    for (int i = 0; i < n; i++) {
+        int a_start = a_pos[i];
+        int a_end = a_pos[i + 1];
+        for (int j = 0; j < m; j++) {
+            int pa = a_start;
+            int pb = bt_pos[j];
+            int pb_end = bt_pos[j + 1];
+            double sum = 0.0;
+            while (pa < a_end && pb < pb_end) {
+                int ca = a_crd[pa];
+                int cb = bt_crd[pb];
+                if (ca == cb) {
+                    sum = sum + a_val[pa] * bt_val[pb];
+                    pa = pa + 1;
+                    pb = pb + 1;
+                } else {
+                    if (ca < cb) {
+                        pa = pa + 1;
+                    } else {
+                        pb = pb + 1;
+                    }
+                }
+            }
+            c[i * m + j] = sum;
+        }
+    }
+}
+)";
+
+const char* kSpmmParallel = R"(
+void spmm_par(const int* restrict a_pos, const int* restrict a_crd,
+              const double* restrict a_val, const int* restrict bt_pos,
+              const int* restrict bt_crd, const double* restrict bt_val,
+              double* restrict c, int n, int m, int tid, int nthreads) {
+    int lo = tid * n / nthreads;
+    int hi = (tid + 1) * n / nthreads;
+    for (int i = lo; i < hi; i++) {
+        int a_start = a_pos[i];
+        int a_end = a_pos[i + 1];
+        for (int j = 0; j < m; j++) {
+            int pa = a_start;
+            int pb = bt_pos[j];
+            int pb_end = bt_pos[j + 1];
+            double sum = 0.0;
+            while (pa < a_end && pb < pb_end) {
+                int ca = a_crd[pa];
+                int cb = bt_crd[pb];
+                if (ca == cb) {
+                    sum = sum + a_val[pa] * bt_val[pb];
+                    pa = pa + 1;
+                    pb = pb + 1;
+                } else {
+                    if (ca < cb) {
+                        pa = pa + 1;
+                    } else {
+                        pb = pb + 1;
+                    }
+                }
+            }
+            c[i * m + j] = sum;
+        }
+    }
+}
+)";
+
+} // namespace phloem::wl
+
+namespace phloem::wl {
+// Re-open the namespace for the replicated variants (paper Sec. IV-C).
+} // namespace phloem::wl
+
+namespace phloem::wl {
+
+// ---------------------------------------------------------------------
+// Replicated pipelines (Fig. 14). Rounds are bounded (max_rounds covers
+// the input's convergence); each replica owns the vertices v with
+// v mod R == replica and its own fringes. Streams crossing the
+// #pragma distribute boundary are routed by value mod R.
+// ---------------------------------------------------------------------
+
+const char* kBfsReplicated = R"(
+#pragma phloem
+void bfs_rep(const int* restrict nodes, const int* restrict edges,
+             int* restrict dist, int* restrict cur_fringe,
+             int* restrict next_fringe, int n, int root, int init_size,
+             int max_rounds) {
+    if (init_size > 0) {
+        dist[root] = 0;
+        cur_fringe[0] = root;
+    }
+    int cur_size = init_size;
+    int cur_dist = 0;
+    int round = 0;
+    while (round < max_rounds) {
+        cur_dist = cur_dist + 1;
+        int next_size = 0;
+        for (int f = 0; f < cur_size; f++) {
+            int v = cur_fringe[f];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                int ngh = edges[e];
+#pragma distribute
+                if (cur_dist < dist[ngh]) {
+                    dist[ngh] = cur_dist;
+                    next_fringe[next_size] = ngh;
+                    next_size = next_size + 1;
+                }
+            }
+        }
+        phloem_swap(cur_fringe, next_fringe);
+        cur_size = next_size;
+        round = round + 1;
+        phloem_barrier();
+    }
+}
+)";
+
+const char* kCcReplicated = R"(
+#pragma phloem
+void cc_rep(const int* restrict nodes, const int* restrict edges,
+            const int* restrict labels_r, int* restrict labels_w,
+            int* restrict cur_fringe, int* restrict next_fringe,
+            int n, int init_size, int max_rounds) {
+    int cur_size = init_size;
+    int round = 0;
+    while (round < max_rounds) {
+        int next_size = 0;
+        for (int f = 0; f < cur_size; f++) {
+            long v = cur_fringe[f];
+            long l = labels_r[v];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                long ngh = edges[e];
+                long packed = (l << 32) | ngh;
+#pragma distribute
+                long ngh2 = packed & 4294967295;
+                long l2 = packed >> 32;
+                if (l2 < labels_w[ngh2]) {
+                    labels_w[ngh2] = l2;
+                    next_fringe[next_size] = ngh2;
+                    next_size = next_size + 1;
+                }
+            }
+        }
+        phloem_swap(cur_fringe, next_fringe);
+        cur_size = next_size;
+        round = round + 1;
+        phloem_barrier();
+    }
+}
+)";
+
+const char* kPrdReplicated = R"(
+#pragma phloem
+void prd_rep(const int* restrict nodes, const int* restrict edges,
+             double* restrict rank, double* restrict delta,
+             double* restrict accum, int* restrict receivers,
+             int* restrict cur_fringe, int* restrict next_fringe,
+             int n, int max_iters, double alpha, double eps,
+             int init_size) {
+    int cur_size = init_size;
+    int iter = 0;
+    while (iter < max_iters) {
+        int recv_size = 0;
+        for (int f = 0; f < cur_size; f++) {
+            long v = cur_fringe[f];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            for (int e = edge_start; e < edge_end; e++) {
+                long ngh = edges[e];
+                long packed = (v << 32) | ngh;
+#pragma distribute
+                long ngh2 = packed & 4294967295;
+                long v2 = packed >> 32;
+                int es2 = nodes[v2];
+                int ee2 = nodes[v2 + 1];
+                int deg2 = ee2 - es2;
+                double d = alpha * delta[v2] / (double) deg2;
+                double a = accum[ngh2];
+                if (a == 0.0) {
+                    receivers[recv_size] = ngh2;
+                    recv_size = recv_size + 1;
+                }
+                accum[ngh2] = a + d;
+            }
+        }
+        phloem_barrier();
+        int next_size = 0;
+        for (int r = 0; r < recv_size; r++) {
+            int u = receivers[r];
+            double a = accum[u];
+            accum[u] = 0.0;
+            double m = fabs(a);
+            if (m > eps) {
+                delta[u] = a;
+                rank[u] = rank[u] + a;
+                next_fringe[next_size] = u;
+                next_size = next_size + 1;
+            } else {
+                delta[u] = 0.0;
+            }
+        }
+        phloem_swap(cur_fringe, next_fringe);
+        cur_size = next_size;
+        iter = iter + 1;
+        phloem_barrier();
+    }
+}
+)";
+
+const char* kRadiiReplicated = R"(
+#pragma phloem
+void radii_rep(const int* restrict nodes, const int* restrict edges,
+               const long* restrict visited_r, long* restrict visited_w,
+               int* restrict radii_out, int* restrict cur_fringe,
+               int* restrict next_fringe, int n, int init_size,
+               int max_rounds) {
+    int cur_size = init_size;
+    int round = 0;
+    long lowmask = 4294967295;
+    while (round < max_rounds) {
+        int next_size = 0;
+        for (int f = 0; f < cur_size; f++) {
+            int v = cur_fringe[f];
+            long vv = visited_r[v];
+            int edge_start = nodes[v];
+            int edge_end = nodes[v + 1];
+            int e2_start = edge_start + edge_start;
+            int e2_end = edge_end + edge_end;
+            for (int e2 = e2_start; e2 < e2_end; e2++) {
+                long e = e2 >> 1;
+                long half = e2 & 1;
+                long ngh = edges[e];
+                long bits = (vv >> (half * 32)) & lowmask;
+                long packed = (half << 62) | (ngh << 32) | bits;
+#pragma distribute
+                long bits2 = packed & 4294967295;
+                long ngh2 = (packed >> 32) & 1073741823;
+                long half2 = (packed >> 62) & 1;
+                long contrib = bits2 << (half2 * 32);
+                long vn = visited_w[ngh2];
+                long nw = vn | contrib;
+                if (nw != vn) {
+                    visited_w[ngh2] = nw;
+                    radii_out[ngh2] = radii_out[ngh2] + 1;
+                    next_fringe[next_size] = ngh2;
+                    next_size = next_size + 1;
+                }
+            }
+        }
+        phloem_swap(cur_fringe, next_fringe);
+        cur_size = next_size;
+        round = round + 1;
+        phloem_barrier();
+    }
+}
+)";
+
+} // namespace phloem::wl

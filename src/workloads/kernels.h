@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The benchmark kernels as mini-C source (paper Sec. VI-B).
+ *
+ * Each benchmark has a high-quality serial implementation (the input to
+ * Phloem and the baseline) and a competitive data-parallel implementation
+ * (threads partition the work; shared updates use atomics; rounds
+ * synchronize with barriers), mirroring the paper's PBFS- and
+ * Ligra-derived baselines.
+ */
+
+#ifndef PHLOEM_WORKLOADS_KERNELS_H
+#define PHLOEM_WORKLOADS_KERNELS_H
+
+namespace phloem::wl {
+
+extern const char* kBfsSerial;
+extern const char* kBfsParallel;
+extern const char* kCcSerial;
+extern const char* kCcParallel;
+extern const char* kPrdSerial;
+extern const char* kPrdParallel;
+extern const char* kRadiiSerial;
+extern const char* kRadiiParallel;
+extern const char* kSpmmSerial;
+extern const char* kSpmmParallel;
+
+// Replicated variants (paper Sec. IV-C / Fig. 14): bounded-round kernels
+// with a #pragma distribute boundary; multi-field per-edge payloads are
+// packed into single 64-bit queue values so the distributed stream stays
+// a single atomic element per edge.
+extern const char* kBfsReplicated;
+extern const char* kCcReplicated;
+extern const char* kPrdReplicated;
+extern const char* kRadiiReplicated;
+
+} // namespace phloem::wl
+
+#endif // PHLOEM_WORKLOADS_KERNELS_H

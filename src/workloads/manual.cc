@@ -1,0 +1,214 @@
+#include "workloads/manual.h"
+
+#include "base/logging.h"
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+
+namespace phloem::wl {
+
+namespace {
+
+ir::PipelinePtr
+compileManual(const ir::Function& fn, const comp::CompileOptions& opts)
+{
+    auto res = comp::compilePipeline(fn, opts);
+    phloem_assert(res.pipeline != nullptr, "manual pipeline build failed");
+    return std::move(res.pipeline);
+}
+
+} // namespace
+
+ir::PipelinePtr
+manualBfs(const ir::Function& fn)
+{
+    // The hand-written BFS (Pipette) keeps per-edge-list control values
+    // and explicit checks in some loops; Phloem's DCE+handlers remove
+    // them, which is where its small win comes from.
+    comp::CompileOptions o;
+    o.numStages = 4;
+    o.dce = false;
+    return compileManual(fn, o);
+}
+
+ir::PipelinePtr
+manualCc(const ir::Function& fn)
+{
+    comp::CompileOptions o;
+    o.numStages = 4;
+    return compileManual(fn, o);
+}
+
+ir::PipelinePtr
+manualPrd(const ir::Function& fn)
+{
+    comp::CompileOptions o;
+    o.numStages = 3;
+    return compileManual(fn, o);
+}
+
+ir::PipelinePtr
+manualRadii(const ir::Function& fn)
+{
+    comp::CompileOptions o;
+    o.numStages = 4;
+    o.dce = false;
+    return compileManual(fn, o);
+}
+
+ir::PipelinePtr
+manualSpmm(const ir::Function& serial_fn)
+{
+    // Queue plan: four SCAN reference accelerators stream the rows of A
+    // and the columns of B (crd + val each); the crd RAs delimit ranges
+    // with NEXT control values. One producer thread feeds the ranges and
+    // one consumer merges, with the skip trick on stream exhaustion.
+    (void)serial_fn;
+    constexpr ir::QueueId kAcrdIn = 0, kAcrdOut = 1;
+    constexpr ir::QueueId kAvalIn = 2, kAvalOut = 3;
+    constexpr ir::QueueId kBcrdIn = 4, kBcrdOut = 5;
+    constexpr ir::QueueId kBvalIn = 6, kBvalOut = 7;
+
+    auto pipeline = std::make_unique<ir::Pipeline>();
+    pipeline->name = "spmm-manual";
+
+    // ---------------- Producer stage ----------------
+    {
+        ir::FunctionBuilder b("spmm.range");
+        ir::ArrayId a_pos = b.arrayParam("a_pos", ir::ElemType::kI32, false);
+        b.arrayParam("a_crd", ir::ElemType::kI32, false);
+        b.arrayParam("a_val", ir::ElemType::kF64, false);
+        ir::ArrayId bt_pos =
+            b.arrayParam("bt_pos", ir::ElemType::kI32, false);
+        b.arrayParam("bt_crd", ir::ElemType::kI32, false);
+        b.arrayParam("bt_val", ir::ElemType::kF64, false);
+        b.arrayParam("c", ir::ElemType::kF64, true);
+        ir::RegId n = b.scalarParam("n");
+        ir::RegId m = b.scalarParam("m");
+
+        ir::RegId zero = b.constI(0);
+        b.forRange(zero, n, [&](ir::RegId i) {
+            ir::RegId a_s = b.load(a_pos, i, "a_s");
+            ir::RegId ip1 = b.add(i, b.constI(1));
+            ir::RegId a_e = b.load(a_pos, ip1, "a_e");
+            ir::RegId zero2 = b.constI(0);
+            b.forRange(zero2, m, [&](ir::RegId j) {
+                ir::RegId b_s = b.load(bt_pos, j, "b_s");
+                ir::RegId jp1 = b.add(j, b.constI(1));
+                ir::RegId b_e = b.load(bt_pos, jp1, "b_e");
+                b.enq(kAcrdIn, a_s);
+                b.enq(kAcrdIn, a_e);
+                b.enq(kAvalIn, a_s);
+                b.enq(kAvalIn, a_e);
+                b.enq(kBcrdIn, b_s);
+                b.enq(kBcrdIn, b_e);
+                b.enq(kBvalIn, b_s);
+                b.enq(kBvalIn, b_e);
+            });
+        });
+        pipeline->stages.push_back(b.finish());
+    }
+
+    // ---------------- Merge stage ----------------
+    {
+        ir::FunctionBuilder b("spmm.merge");
+        b.arrayParam("a_pos", ir::ElemType::kI32, false);
+        b.arrayParam("a_crd", ir::ElemType::kI32, false);
+        b.arrayParam("a_val", ir::ElemType::kF64, false);
+        b.arrayParam("bt_pos", ir::ElemType::kI32, false);
+        b.arrayParam("bt_crd", ir::ElemType::kI32, false);
+        b.arrayParam("bt_val", ir::ElemType::kF64, false);
+        ir::ArrayId c = b.arrayParam("c", ir::ElemType::kF64, true);
+        ir::RegId n = b.scalarParam("n");
+        ir::RegId m = b.scalarParam("m");
+
+        ir::RegId sum = b.newReg("sum");
+        ir::RegId ca = b.newReg("ca");
+        ir::RegId cb = b.newReg("cb");
+
+        ir::RegId zero = b.constI(0);
+        b.forRange(zero, n, [&](ir::RegId i) {
+            ir::RegId zero2 = b.constI(0);
+            b.forRange(zero2, m, [&](ir::RegId j) {
+                b.constTo(sum, 0);
+                // sum is a double accumulator; start at +0.0.
+                ir::RegId fzero = b.constF(0.0);
+                b.movTo(sum, fzero);
+                b.deqTo(kAcrdOut, ca);
+                b.deqTo(kBcrdOut, cb);
+                b.loop([&] {
+                    // A exhausted: drain B's remaining values (the
+                    // merge-skip trick).
+                    b.if_(b.isControl(ca), [&] {
+                        b.loop([&] {
+                            b.if_(b.isControl(cb), [&] { b.break_(); });
+                            b.deq(kBvalOut);
+                            b.deqTo(kBcrdOut, cb);
+                        });
+                        b.break_();
+                    });
+                    b.if_(b.isControl(cb), [&] {
+                        b.loop([&] {
+                            b.if_(b.isControl(ca), [&] { b.break_(); });
+                            b.deq(kAvalOut);
+                            b.deqTo(kAcrdOut, ca);
+                        });
+                        b.break_();
+                    });
+                    ir::RegId eq = b.cmpEq(ca, cb);
+                    b.if_(
+                        eq,
+                        [&] {
+                            ir::RegId va = b.deq(kAvalOut, "va");
+                            ir::RegId vb = b.deq(kBvalOut, "vb");
+                            b.movTo(sum,
+                                    b.fadd(sum, b.fmul(va, vb)));
+                            b.deqTo(kAcrdOut, ca);
+                            b.deqTo(kBcrdOut, cb);
+                        },
+                        [&] {
+                            ir::RegId lt = b.cmpLt(ca, cb);
+                            b.if_(
+                                lt,
+                                [&] {
+                                    b.deq(kAvalOut);
+                                    b.deqTo(kAcrdOut, ca);
+                                },
+                                [&] {
+                                    b.deq(kBvalOut);
+                                    b.deqTo(kBcrdOut, cb);
+                                });
+                        });
+                });
+                ir::RegId idx = b.add(b.mul(i, m), j);
+                b.store(c, idx, sum);
+            });
+        });
+        pipeline->stages.push_back(b.finish());
+    }
+
+    auto add_ra = [&](const std::string& array, ir::ElemType elem,
+                      ir::QueueId in, ir::QueueId out, bool ctrl) {
+        ir::RAConfig ra;
+        ra.mode = ir::RAMode::kScan;
+        ra.arrayName = array;
+        ra.elem = elem;
+        ra.inQueue = in;
+        ra.outQueue = out;
+        ra.emitRangeCtrl = ctrl;
+        ra.rangeCtrlCode = ir::kCtrlNext;
+        pipeline->ras.push_back(ra);
+    };
+    add_ra("a_crd", ir::ElemType::kI32, kAcrdIn, kAcrdOut, true);
+    add_ra("a_val", ir::ElemType::kF64, kAvalIn, kAvalOut, false);
+    add_ra("bt_crd", ir::ElemType::kI32, kBcrdIn, kBcrdOut, true);
+    add_ra("bt_val", ir::ElemType::kF64, kBvalIn, kBvalOut, false);
+
+    for (ir::QueueId q = 0; q <= kBvalOut; ++q) {
+        ir::QueueConfig qc;
+        qc.id = q;
+        pipeline->queues.push_back(qc);
+    }
+    return pipeline;
+}
+
+} // namespace phloem::wl

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * "Manually pipelined" baselines (paper Sec. VI-B: the hand-tuned Pipette
+ * implementations from [34]).
+ *
+ * For the graph workloads, the hand decouplings match the structures the
+ * Pipette paper describes; we express them as hand-picked compiler
+ * configurations (explicit stage counts and pass choices) over the same
+ * IR — e.g., the hand-written BFS keeps per-vertex control values that
+ * Phloem's inter-stage DCE eliminates, which is why Phloem edges it out
+ * (paper Sec. VII: "the Phloem version runs slightly fewer
+ * instructions").
+ *
+ * SpMM's manual pipeline is genuinely hand-written with the builder: it
+ * uses the bespoke merge-skip trick (drain the other queue to its next
+ * control value once one side ends) that the paper credits for the manual
+ * version's win — an application-specific insight unavailable to Phloem.
+ */
+
+#ifndef PHLOEM_WORKLOADS_MANUAL_H
+#define PHLOEM_WORKLOADS_MANUAL_H
+
+#include "ir/pipeline.h"
+
+namespace phloem::wl {
+
+ir::PipelinePtr manualBfs(const ir::Function& serial_fn);
+ir::PipelinePtr manualCc(const ir::Function& serial_fn);
+ir::PipelinePtr manualPrd(const ir::Function& serial_fn);
+ir::PipelinePtr manualRadii(const ir::Function& serial_fn);
+
+/** Hand-written merge-skip SpMM pipeline (2 stages + 4 SCAN RAs). */
+ir::PipelinePtr manualSpmm(const ir::Function& serial_fn);
+
+} // namespace phloem::wl
+
+#endif // PHLOEM_WORKLOADS_MANUAL_H

@@ -1,0 +1,275 @@
+#include "workloads/matrix.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace phloem::wl {
+
+namespace {
+
+CSRMatrix
+fromTriples(int32_t n,
+            std::vector<std::pair<int32_t, int32_t>> coords, Rng& rng)
+{
+    std::sort(coords.begin(), coords.end());
+    coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+    CSRMatrix m;
+    m.rows = n;
+    m.cols = n;
+    m.pos.assign(static_cast<size_t>(n) + 1, 0);
+    for (const auto& [r, c] : coords)
+        m.pos[static_cast<size_t>(r) + 1]++;
+    for (int32_t r = 0; r < n; ++r)
+        m.pos[static_cast<size_t>(r) + 1] += m.pos[static_cast<size_t>(r)];
+    m.crd.reserve(coords.size());
+    m.val.reserve(coords.size());
+    for (const auto& [r, c] : coords) {
+        (void)r;
+        m.crd.push_back(c);
+        m.val.push_back(0.5 + rng.nextDouble());
+    }
+    return m;
+}
+
+} // namespace
+
+CSRMatrix
+makeRandomMatrix(int32_t n, double nnz_per_row, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<int32_t, int32_t>> coords;
+    auto total = static_cast<int64_t>(nnz_per_row * n);
+    coords.reserve(static_cast<size_t>(total));
+    for (int64_t k = 0; k < total; ++k) {
+        coords.emplace_back(static_cast<int32_t>(rng.nextBounded(
+                                static_cast<uint64_t>(n))),
+                            static_cast<int32_t>(rng.nextBounded(
+                                static_cast<uint64_t>(n))));
+    }
+    return fromTriples(n, std::move(coords), rng);
+}
+
+CSRMatrix
+makeBandedMatrix(int32_t n, int32_t half_band, double nnz_per_row,
+                 uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<int32_t, int32_t>> coords;
+    double band_fill =
+        std::min(1.0, nnz_per_row / (2.0 * half_band + 1.0));
+    for (int32_t r = 0; r < n; ++r) {
+        for (int32_t c = std::max(0, r - half_band);
+             c <= std::min(n - 1, r + half_band); ++c) {
+            if (rng.coinFlip(band_fill))
+                coords.emplace_back(r, c);
+        }
+    }
+    return fromTriples(n, std::move(coords), rng);
+}
+
+CSRMatrix
+transpose(const CSRMatrix& a)
+{
+    CSRMatrix t;
+    t.rows = a.cols;
+    t.cols = a.rows;
+    t.pos.assign(static_cast<size_t>(t.rows) + 1, 0);
+    for (int32_t c : a.crd)
+        t.pos[static_cast<size_t>(c) + 1]++;
+    for (int32_t r = 0; r < t.rows; ++r)
+        t.pos[static_cast<size_t>(r) + 1] += t.pos[static_cast<size_t>(r)];
+    t.crd.resize(a.crd.size());
+    t.val.resize(a.val.size());
+    std::vector<int32_t> fill(t.pos.begin(), t.pos.end() - 1);
+    for (int32_t r = 0; r < a.rows; ++r) {
+        for (int32_t p = a.pos[static_cast<size_t>(r)];
+             p < a.pos[static_cast<size_t>(r) + 1]; ++p) {
+            int32_t c = a.crd[static_cast<size_t>(p)];
+            int32_t slot = fill[static_cast<size_t>(c)]++;
+            t.crd[static_cast<size_t>(slot)] = r;
+            t.val[static_cast<size_t>(slot)] =
+                a.val[static_cast<size_t>(p)];
+        }
+    }
+    return t;
+}
+
+namespace {
+
+MatrixInput
+makeInput(const std::string& name, const std::string& domain, CSRMatrix m,
+          bool training)
+{
+    MatrixInput in;
+    in.name = name;
+    in.domain = domain;
+    in.matrix = std::make_shared<CSRMatrix>(std::move(m));
+    in.training = training;
+    return in;
+}
+
+} // namespace
+
+std::vector<MatrixInput>
+spmmInputs()
+{
+    // Table V SpMM rows, dimensions scaled to keep the O(n^2) inner-
+    // product tractable in simulation; avg nnz/row preserved.
+    std::vector<MatrixInput> v;
+    v.push_back(makeInput("email-Enron", "training graph as matrix 1",
+                          makeRandomMatrix(150, 10.0, 3001), true));
+    v.push_back(makeInput("wiki-Vote", "training graph as matrix 2",
+                          makeRandomMatrix(120, 12.5, 3002), true));
+    v.push_back(makeInput("p2p-Gnutella31", "file sharing",
+                          makeRandomMatrix(300, 2.4, 3003), false));
+    v.push_back(makeInput("amazon0312", "graph as matrix",
+                          makeRandomMatrix(280, 8.0, 3004), false));
+    v.push_back(makeInput("cage12", "gel electrophoresis",
+                          makeBandedMatrix(250, 12, 15.6, 3005), false));
+    v.push_back(makeInput("2cubes_sphere", "electromagnetics",
+                          makeRandomMatrix(240, 16.2, 3006), false));
+    v.push_back(makeInput("rma10", "fluid dynamics",
+                          makeBandedMatrix(200, 40, 49.7, 3007), false));
+    return v;
+}
+
+std::vector<MatrixInput>
+tacoInputs()
+{
+    std::vector<MatrixInput> v;
+    v.push_back(makeInput("scircuit", "circuit simulation",
+                          makeRandomMatrix(16000, 5.6, 4001), false));
+    v.push_back(makeInput("mac_econ_fwd500", "economics",
+                          makeRandomMatrix(18000, 6.2, 4002), false));
+    v.push_back(makeInput("cop20k_A", "particle physics",
+                          makeRandomMatrix(12000, 21.7, 4003), false));
+    v.push_back(makeInput("pwtk", "structural",
+                          makeBandedMatrix(18000, 40, 52.9, 4004), false));
+    v.push_back(makeInput("cant", "cantilever",
+                          makeBandedMatrix(8000, 45, 64.2, 4005), false));
+    return v;
+}
+
+std::vector<double>
+spmvGolden(const CSRMatrix& a, const std::vector<double>& x)
+{
+    std::vector<double> y(static_cast<size_t>(a.rows), 0.0);
+    for (int32_t i = 0; i < a.rows; ++i) {
+        double sum = 0.0;
+        for (int32_t p = a.pos[static_cast<size_t>(i)];
+             p < a.pos[static_cast<size_t>(i) + 1]; ++p) {
+            sum += a.val[static_cast<size_t>(p)] *
+                   x[static_cast<size_t>(a.crd[static_cast<size_t>(p)])];
+        }
+        y[static_cast<size_t>(i)] = sum;
+    }
+    return y;
+}
+
+std::vector<double>
+spmmGolden(const CSRMatrix& a, const CSRMatrix& bt)
+{
+    size_t n = static_cast<size_t>(a.rows);
+    size_t m = static_cast<size_t>(bt.rows);
+    std::vector<double> c(n * m, 0.0);
+    for (int32_t i = 0; i < a.rows; ++i) {
+        for (int32_t j = 0; j < bt.rows; ++j) {
+            int32_t pa = a.pos[static_cast<size_t>(i)];
+            int32_t pa_end = a.pos[static_cast<size_t>(i) + 1];
+            int32_t pb = bt.pos[static_cast<size_t>(j)];
+            int32_t pb_end = bt.pos[static_cast<size_t>(j) + 1];
+            double sum = 0.0;
+            while (pa < pa_end && pb < pb_end) {
+                int32_t ca = a.crd[static_cast<size_t>(pa)];
+                int32_t cb = bt.crd[static_cast<size_t>(pb)];
+                if (ca == cb) {
+                    sum += a.val[static_cast<size_t>(pa)] *
+                           bt.val[static_cast<size_t>(pb)];
+                    pa++;
+                    pb++;
+                } else if (ca < cb) {
+                    pa++;
+                } else {
+                    pb++;
+                }
+            }
+            c[static_cast<size_t>(i) * m + static_cast<size_t>(j)] = sum;
+        }
+    }
+    return c;
+}
+
+std::vector<double>
+mtmulGolden(const CSRMatrix& a, const std::vector<double>& x,
+            const std::vector<double>& z, double alpha, double beta)
+{
+    std::vector<double> y(static_cast<size_t>(a.cols), 0.0);
+    for (int32_t i = 0; i < a.cols; ++i)
+        y[static_cast<size_t>(i)] = beta * z[static_cast<size_t>(i)];
+    for (int32_t i = 0; i < a.rows; ++i) {
+        for (int32_t p = a.pos[static_cast<size_t>(i)];
+             p < a.pos[static_cast<size_t>(i) + 1]; ++p) {
+            int32_t c = a.crd[static_cast<size_t>(p)];
+            y[static_cast<size_t>(c)] +=
+                alpha * a.val[static_cast<size_t>(p)] *
+                x[static_cast<size_t>(i)];
+        }
+    }
+    return y;
+}
+
+std::vector<double>
+residualGolden(const CSRMatrix& a, const std::vector<double>& x,
+               const std::vector<double>& b)
+{
+    std::vector<double> y(static_cast<size_t>(a.rows), 0.0);
+    for (int32_t i = 0; i < a.rows; ++i) {
+        double sum = 0.0;
+        for (int32_t p = a.pos[static_cast<size_t>(i)];
+             p < a.pos[static_cast<size_t>(i) + 1]; ++p) {
+            sum += a.val[static_cast<size_t>(p)] *
+                   x[static_cast<size_t>(a.crd[static_cast<size_t>(p)])];
+        }
+        y[static_cast<size_t>(i)] = b[static_cast<size_t>(i)] - sum;
+    }
+    return y;
+}
+
+std::vector<double>
+sddmmGolden(const CSRMatrix& b, const std::vector<double>& c,
+            const std::vector<double>& d, int32_t k)
+{
+    std::vector<double> out(b.crd.size(), 0.0);
+    for (int32_t i = 0; i < b.rows; ++i) {
+        for (int32_t p = b.pos[static_cast<size_t>(i)];
+             p < b.pos[static_cast<size_t>(i) + 1]; ++p) {
+            int32_t j = b.crd[static_cast<size_t>(p)];
+            double dot = 0.0;
+            for (int32_t kk = 0; kk < k; ++kk) {
+                dot += c[static_cast<size_t>(i) * static_cast<size_t>(k) +
+                         static_cast<size_t>(kk)] *
+                       d[static_cast<size_t>(kk) *
+                             static_cast<size_t>(b.cols) +
+                         static_cast<size_t>(j)];
+            }
+            out[static_cast<size_t>(p)] =
+                b.val[static_cast<size_t>(p)] * dot;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+makeVector(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(static_cast<size_t>(n));
+    for (auto& x : v)
+        x = 0.5 + rng.nextDouble();
+    return v;
+}
+
+} // namespace phloem::wl

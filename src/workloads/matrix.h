@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Sparse matrices in CSR form and the Table V input suite (synthetic
+ * stand-ins for the paper's SuiteSparse matrices, matched on dimension
+ * and average nonzeros per row), plus golden kernels for SpMM and the
+ * Taco benchmarks.
+ */
+
+#ifndef PHLOEM_WORKLOADS_MATRIX_H
+#define PHLOEM_WORKLOADS_MATRIX_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace phloem::wl {
+
+/** A sparse matrix in CSR: pos/crd/val (Taco's terminology). */
+struct CSRMatrix
+{
+    int32_t rows = 0;
+    int32_t cols = 0;
+    std::vector<int32_t> pos;   ///< size rows+1
+    std::vector<int32_t> crd;   ///< column ids, sorted per row
+    std::vector<double> val;
+
+    int64_t nnz() const { return static_cast<int64_t>(crd.size()); }
+
+    double
+    avgNnzPerRow() const
+    {
+        return rows == 0 ? 0.0
+                         : static_cast<double>(nnz()) /
+                               static_cast<double>(rows);
+    }
+};
+
+/** Uniform-random sparsity with the given average nonzeros per row. */
+CSRMatrix makeRandomMatrix(int32_t n, double nnz_per_row, uint64_t seed);
+
+/**
+ * Banded + random matrix (structural-analysis-like): a diagonal band of
+ * the given half-width plus random fill to reach nnz_per_row.
+ */
+CSRMatrix makeBandedMatrix(int32_t n, int32_t half_band, double nnz_per_row,
+                           uint64_t seed);
+
+/** Transpose (used to build B^T for the inner-product SpMM). */
+CSRMatrix transpose(const CSRMatrix& a);
+
+struct MatrixInput
+{
+    std::string name;
+    std::string domain;
+    std::shared_ptr<CSRMatrix> matrix;
+    bool training = false;
+};
+
+/** SpMM inputs (Table V top): 2 training + 5 test. */
+std::vector<MatrixInput> spmmInputs();
+
+/** Taco-benchmark inputs (Table V bottom): 5 test matrices. */
+std::vector<MatrixInput> tacoInputs();
+
+// ---------------------------------------------------------------------
+// Golden kernels.
+// ---------------------------------------------------------------------
+
+/** y = A x. */
+std::vector<double> spmvGolden(const CSRMatrix& a,
+                               const std::vector<double>& x);
+
+/**
+ * Inner-product SpMM: C = A * B (dense output, row-major), where bt is
+ * B's transpose in CSR; each C(i,j) is a merge-intersection dot product.
+ */
+std::vector<double> spmmGolden(const CSRMatrix& a, const CSRMatrix& bt);
+
+/** y = alpha * A^T x + beta * z. */
+std::vector<double> mtmulGolden(const CSRMatrix& a,
+                                const std::vector<double>& x,
+                                const std::vector<double>& z, double alpha,
+                                double beta);
+
+/** y = b - A x. */
+std::vector<double> residualGolden(const CSRMatrix& a,
+                                   const std::vector<double>& x,
+                                   const std::vector<double>& b);
+
+/**
+ * SDDMM: A = B o (C D) where B is sparse and C (rows x k), D (k x cols)
+ * are dense row-major; returns A's values in B's sparsity pattern.
+ */
+std::vector<double> sddmmGolden(const CSRMatrix& b,
+                                const std::vector<double>& c,
+                                const std::vector<double>& d, int32_t k);
+
+/** Deterministic dense vector fill in [0.5, 1.5). */
+std::vector<double> makeVector(int64_t n, uint64_t seed);
+
+} // namespace phloem::wl
+
+#endif // PHLOEM_WORKLOADS_MATRIX_H

@@ -1,0 +1,553 @@
+#include "workloads/workload.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "base/logging.h"
+#include "workloads/graph.h"
+#include "workloads/kernels.h"
+#include "workloads/manual.h"
+#include "workloads/matrix.h"
+#include "taco/taco.h"
+
+namespace phloem::wl {
+
+namespace {
+
+constexpr int32_t kIntMax = 2147483647;
+
+/** Compare an i32 buffer against a reference vector. */
+bool
+checkI32(sim::Binding& b, const std::string& name,
+         const std::vector<int32_t>& ref, std::string* err)
+{
+    auto* buf = b.array(name);
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (buf->atInt(static_cast<int64_t>(i)) != ref[i]) {
+            if (err != nullptr) {
+                *err = name + "[" + std::to_string(i) + "] = " +
+                       std::to_string(buf->atInt(static_cast<int64_t>(i))) +
+                       ", expected " + std::to_string(ref[i]);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+checkI64(sim::Binding& b, const std::string& name,
+         const std::vector<uint64_t>& ref, std::string* err)
+{
+    auto* buf = b.array(name);
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (static_cast<uint64_t>(buf->atInt(static_cast<int64_t>(i))) !=
+            ref[i]) {
+            if (err != nullptr)
+                *err = name + "[" + std::to_string(i) + "] mask mismatch";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+checkF64(sim::Binding& b, const std::string& name,
+         const std::vector<double>& ref, double rel_tol, std::string* err)
+{
+    auto* buf = b.array(name);
+    for (size_t i = 0; i < ref.size(); ++i) {
+        double got = buf->atDouble(static_cast<int64_t>(i));
+        double want = ref[i];
+        double diff = std::fabs(got - want);
+        double scale = std::max(1.0, std::fabs(want));
+        if (diff > rel_tol * scale) {
+            if (err != nullptr) {
+                *err = name + "[" + std::to_string(i) + "] = " +
+                       std::to_string(got) + ", expected " +
+                       std::to_string(want);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Bind the CSR graph under the standard symbol names. */
+void
+bindGraph(sim::Binding& b, const CSRGraph& g)
+{
+    auto* nodes =
+        b.makeArray("nodes", ir::ElemType::kI32,
+                    static_cast<size_t>(g.n) + 1);
+    for (int32_t v = 0; v <= g.n; ++v)
+        nodes->setInt(v, g.nodes[static_cast<size_t>(v)]);
+    auto* edges = b.makeArray(
+        "edges", ir::ElemType::kI32,
+        std::max<size_t>(1, static_cast<size_t>(g.m())));
+    for (int64_t e = 0; e < g.m(); ++e)
+        edges->setInt(e, g.edges[static_cast<size_t>(e)]);
+}
+
+/** Shared data-parallel scratch (gather buffers, per-thread sizes). */
+void
+bindParallelScratch(sim::Binding& b, const CSRGraph& g, int nthreads)
+{
+    int64_t stride = g.m() + 1;
+    b.makeArray("next_buf", ir::ElemType::kI32,
+                static_cast<size_t>(stride) *
+                    static_cast<size_t>(std::max(1, nthreads)));
+    b.makeArray("next_sizes", ir::ElemType::kI32,
+                static_cast<size_t>(std::max(1, nthreads)));
+    b.makeArray("size_box", ir::ElemType::kI32, 1);
+    b.setScalarInt("stride", stride);
+    b.setScalarInt("nthreads", nthreads);
+    for (int t = 0; t < nthreads; ++t)
+        b.setScalarReplica(t, "tid", ir::Value::fromInt(t));
+}
+
+Workload
+makeBfs()
+{
+    Workload w;
+    w.name = "bfs";
+    w.serialSrc = kBfsSerial;
+    w.parallelSrc = kBfsParallel;
+    w.manual = manualBfs;
+    for (auto& in : tableIVInputs()) {
+        Case c;
+        c.inputName = in.name;
+        c.domain = in.domain;
+        c.training = in.training;
+        auto g = in.graph;
+        int32_t root = in.root;
+        c.bind = [g, root](sim::Binding& b, int nthreads) {
+            bindGraph(b, *g);
+            auto* dist = b.makeArray("dist", ir::ElemType::kI32,
+                                     static_cast<size_t>(g->n));
+            dist->fillInt(kIntMax);
+            b.makeArray("cur_fringe", ir::ElemType::kI32,
+                        static_cast<size_t>(g->m()) + 1);
+            b.makeArray("next_fringe", ir::ElemType::kI32,
+                        static_cast<size_t>(g->m()) + 1);
+            b.setScalarInt("n", g->n);
+            b.setScalarInt("root", root);
+            bindParallelScratch(b, *g, nthreads);
+        };
+        c.check = [g, root](sim::Binding& b, Variant, std::string* err) {
+            return checkI32(b, "dist", bfsGolden(*g, root), err);
+        };
+        w.cases.push_back(std::move(c));
+    }
+    return w;
+}
+
+Workload
+makeCc()
+{
+    Workload w;
+    w.name = "cc";
+    w.serialSrc = kCcSerial;
+    w.parallelSrc = kCcParallel;
+    w.manual = manualCc;
+    for (auto& in : tableIVInputs()) {
+        Case c;
+        c.inputName = in.name;
+        c.domain = in.domain;
+        c.training = in.training;
+        auto g = in.graph;
+        c.bind = [g](sim::Binding& b, int nthreads) {
+            bindGraph(b, *g);
+            auto* labels = b.makeArray("labels", ir::ElemType::kI32,
+                                       static_cast<size_t>(g->n));
+            auto* cur = b.makeArray("cur_fringe", ir::ElemType::kI32,
+                                    static_cast<size_t>(g->m()) +
+                                        static_cast<size_t>(g->n) + 1);
+            b.makeArray("next_fringe", ir::ElemType::kI32,
+                        static_cast<size_t>(g->m()) +
+                            static_cast<size_t>(g->n) + 1);
+            for (int32_t v = 0; v < g->n; ++v) {
+                labels->setInt(v, v);
+                cur->setInt(v, v);
+            }
+            b.setScalarInt("n", g->n);
+            bindParallelScratch(b, *g, nthreads);
+            b.array("size_box")->setInt(0, g->n);
+        };
+        c.check = [g](sim::Binding& b, Variant, std::string* err) {
+            return checkI32(b, "labels", ccGolden(*g), err);
+        };
+        w.cases.push_back(std::move(c));
+    }
+    return w;
+}
+
+Workload
+makePrd()
+{
+    Workload w;
+    w.name = "prd";
+    w.serialSrc = kPrdSerial;
+    w.parallelSrc = kPrdParallel;
+    w.manual = manualPrd;
+    const double alpha = 0.85;
+    const double eps = 0.02;
+    const int max_iters = 8;
+    for (auto& in : tableIVInputs()) {
+        Case c;
+        c.inputName = in.name;
+        c.domain = in.domain;
+        c.training = in.training;
+        auto g = in.graph;
+        c.bind = [g, alpha, eps, max_iters](sim::Binding& b, int nthreads) {
+            (void)eps; (void)max_iters;
+            bindGraph(b, *g);
+            auto* rank = b.makeArray("rank", ir::ElemType::kF64,
+                                     static_cast<size_t>(g->n));
+            auto* delta = b.makeArray("delta", ir::ElemType::kF64,
+                                      static_cast<size_t>(g->n));
+            auto* accum = b.makeArray("accum", ir::ElemType::kF64,
+                                      static_cast<size_t>(g->n));
+            b.makeArray("receivers", ir::ElemType::kI32,
+                        static_cast<size_t>(g->n) + 1);
+            auto* cur = b.makeArray("cur_fringe", ir::ElemType::kI32,
+                                    static_cast<size_t>(g->n) + 1);
+            b.makeArray("next_fringe", ir::ElemType::kI32,
+                        static_cast<size_t>(g->n) + 1);
+            for (int32_t v = 0; v < g->n; ++v) {
+                rank->setDouble(v, 1.0 - alpha);
+                delta->setDouble(v, 1.0 - alpha);
+                accum->setDouble(v, 0.0);
+                cur->setInt(v, v);
+            }
+            b.setScalarInt("n", g->n);
+            b.setScalarInt("max_iters", max_iters);
+            b.setScalar("alpha", ir::Value::fromDouble(alpha));
+            b.setScalar("eps", ir::Value::fromDouble(eps));
+            bindParallelScratch(b, *g, nthreads);
+            b.array("size_box")->setInt(0, g->n);
+        };
+        c.check = [g, alpha, eps, max_iters](sim::Binding& b, Variant v,
+                                             std::string* err) {
+            double tol = v == Variant::kParallel ? 1e-9 : 1e-12;
+            return checkF64(b, "rank",
+                            prdGolden(*g, alpha, eps, max_iters), tol,
+                            err);
+        };
+        w.cases.push_back(std::move(c));
+    }
+    return w;
+}
+
+Workload
+makeRadii()
+{
+    Workload w;
+    w.name = "radii";
+    w.serialSrc = kRadiiSerial;
+    w.parallelSrc = kRadiiParallel;
+    w.manual = manualRadii;
+    for (auto& in : tableIVInputs()) {
+        Case c;
+        c.inputName = in.name;
+        c.domain = in.domain;
+        c.training = in.training;
+        auto g = in.graph;
+        c.bind = [g](sim::Binding& b, int nthreads) {
+            bindGraph(b, *g);
+            auto* visited = b.makeArray("visited", ir::ElemType::kI64,
+                                        static_cast<size_t>(g->n));
+            auto* radii_out = b.makeArray("radii_out", ir::ElemType::kI32,
+                                          static_cast<size_t>(g->n));
+            // The data-parallel variant may re-add a vertex whenever an
+            // atomic-or lands new bits, so size the fringe by edges.
+            auto* cur = b.makeArray("cur_fringe", ir::ElemType::kI32,
+                                    static_cast<size_t>(g->m()) +
+                                        static_cast<size_t>(g->n) + 65);
+            b.makeArray("next_fringe", ir::ElemType::kI32,
+                        static_cast<size_t>(g->m()) +
+                            static_cast<size_t>(g->n) + 65);
+            radii_out->fillInt(-1);
+            auto samples = radiiSamples(*g);
+            for (size_t i = 0; i < samples.size(); ++i) {
+                visited->setInt(samples[i],
+                                static_cast<int64_t>(uint64_t{1} << i));
+                radii_out->setInt(samples[i], 0);
+                cur->setInt(static_cast<int64_t>(i), samples[i]);
+            }
+            b.setScalarInt("n", g->n);
+            b.setScalarInt("init_size",
+                           static_cast<int64_t>(samples.size()));
+            bindParallelScratch(b, *g, nthreads);
+            b.array("size_box")->setInt(
+                0, static_cast<int64_t>(samples.size()));
+        };
+        c.check = [g](sim::Binding& b, Variant v, std::string* err) {
+            auto golden = radiiGolden(*g);
+            // Reachability masks are an order-independent fixpoint; the
+            // per-vertex last-change round is only deterministic for the
+            // serial processing order.
+            std::vector<uint64_t> masks;
+            {
+                std::vector<int32_t> cur, next;
+                size_t n = static_cast<size_t>(g->n);
+                masks.assign(n, 0);
+                auto samples = radiiSamples(*g);
+                for (size_t i = 0; i < samples.size(); ++i) {
+                    masks[static_cast<size_t>(samples[i])] |=
+                        uint64_t{1} << i;
+                    cur.push_back(samples[i]);
+                }
+                bool changed = true;
+                while (changed) {
+                    changed = false;
+                    for (int32_t u = 0; u < g->n; ++u) {
+                        uint64_t m = masks[static_cast<size_t>(u)];
+                        for (int32_t e =
+                                 g->nodes[static_cast<size_t>(u)];
+                             e < g->nodes[static_cast<size_t>(u) + 1];
+                             ++e) {
+                            int32_t ngh =
+                                g->edges[static_cast<size_t>(e)];
+                            uint64_t nw =
+                                masks[static_cast<size_t>(ngh)] | m;
+                            if (nw != masks[static_cast<size_t>(ngh)]) {
+                                masks[static_cast<size_t>(ngh)] = nw;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if (!checkI64(b, "visited", masks, err))
+                return false;
+            if (v == Variant::kParallel)
+                return true;  // rounds depend on processing order
+            return checkI32(b, "radii_out", golden, err);
+        };
+        w.cases.push_back(std::move(c));
+    }
+    return w;
+}
+
+} // namespace
+
+Workload
+spmmWorkload()
+{
+    Workload w;
+    w.name = "spmm";
+    w.pgoTopK = 5;
+    w.serialSrc = kSpmmSerial;
+    w.parallelSrc = kSpmmParallel;
+    w.manual = manualSpmm;
+    for (auto& in : spmmInputs()) {
+        Case c;
+        c.inputName = in.name;
+        c.domain = in.domain;
+        c.training = in.training;
+        auto a = in.matrix;
+        auto bt = std::make_shared<CSRMatrix>(transpose(*a));
+        c.bind = [a, bt](sim::Binding& b, int nthreads) {
+            auto bind_csr = [&b](const std::string& prefix,
+                                 const CSRMatrix& m) {
+                auto* pos =
+                    b.makeArray(prefix + "_pos", ir::ElemType::kI32,
+                                static_cast<size_t>(m.rows) + 1);
+                for (int32_t i = 0; i <= m.rows; ++i)
+                    pos->setInt(i, m.pos[static_cast<size_t>(i)]);
+                auto* crd = b.makeArray(
+                    prefix + "_crd", ir::ElemType::kI32,
+                    std::max<size_t>(1, m.crd.size()));
+                auto* val = b.makeArray(
+                    prefix + "_val", ir::ElemType::kF64,
+                    std::max<size_t>(1, m.val.size()));
+                for (size_t p = 0; p < m.crd.size(); ++p) {
+                    crd->setInt(static_cast<int64_t>(p), m.crd[p]);
+                    val->setDouble(static_cast<int64_t>(p), m.val[p]);
+                }
+            };
+            bind_csr("a", *a);
+            bind_csr("bt", *bt);
+            b.makeArray("c", ir::ElemType::kF64,
+                        static_cast<size_t>(a->rows) *
+                            static_cast<size_t>(bt->rows));
+            b.setScalarInt("n", a->rows);
+            b.setScalarInt("m", bt->rows);
+            b.setScalarInt("nthreads", nthreads);
+            for (int t = 0; t < nthreads; ++t)
+                b.setScalarReplica(t, "tid", ir::Value::fromInt(t));
+        };
+        c.check = [a, bt](sim::Binding& b, Variant, std::string* err) {
+            return checkF64(b, "c", spmmGolden(*a, *bt), 1e-12, err);
+        };
+        w.cases.push_back(std::move(c));
+    }
+    return w;
+}
+
+std::vector<Workload>
+tacoWorkloads()
+{
+    std::vector<Workload> out;
+    const int kDenseK = 16;
+    const double kAlpha = 1.7;
+    const double kBeta = 0.3;
+    for (const auto& kernel : taco::paperKernels()) {
+        Workload w;
+        w.name = kernel.name;
+        w.serialSrc = kernel.source;
+        w.parallelSrc = kernel.parallelSource;
+        // The Taco flow has no manual baseline (paper Fig. 12) and uses
+        // the static compilation flow only.
+        for (auto& in : tacoInputs()) {
+            Case c;
+            c.inputName = in.name;
+            c.domain = in.domain;
+            // Taco benchmarks use the static flow only (Sec. VI-C); the
+            // first input doubles as the training case for harness code
+            // that expects one.
+            c.training = in.name == "scircuit";
+            auto a = in.matrix;
+            std::string kname = kernel.name;
+            c.bind = [a, kname, kDenseK, kAlpha,
+                      kBeta](sim::Binding& b, int nthreads) {
+                int32_t n = a->rows;
+                int32_t m = a->cols;
+                const char* mat =
+                    kname == "taco_sddmm" ? "B" : "A";
+                auto* pos =
+                    b.makeArray(std::string(mat) + "_pos",
+                                ir::ElemType::kI32,
+                                static_cast<size_t>(n) + 1);
+                for (int32_t i = 0; i <= n; ++i)
+                    pos->setInt(i, a->pos[static_cast<size_t>(i)]);
+                auto* crd = b.makeArray(std::string(mat) + "_crd",
+                                        ir::ElemType::kI32,
+                                        std::max<size_t>(1,
+                                                         a->crd.size()));
+                auto* val = b.makeArray(std::string(mat) + "_val",
+                                        ir::ElemType::kF64,
+                                        std::max<size_t>(1,
+                                                         a->val.size()));
+                for (size_t p = 0; p < a->crd.size(); ++p) {
+                    crd->setInt(static_cast<int64_t>(p), a->crd[p]);
+                    val->setDouble(static_cast<int64_t>(p), a->val[p]);
+                }
+                b.setScalarInt("n", n);
+                b.setScalarInt("m", m);
+                b.setScalarInt("nthreads", nthreads);
+                for (int t = 0; t < nthreads; ++t)
+                    b.setScalarReplica(t, "tid", ir::Value::fromInt(t));
+
+                if (kname == "taco_sddmm") {
+                    auto cvec = makeVector(
+                        static_cast<int64_t>(n) * kDenseK, 7001);
+                    auto dvec = makeVector(
+                        static_cast<int64_t>(kDenseK) * m, 7002);
+                    auto* cbuf = b.makeArray("C", ir::ElemType::kF64,
+                                             cvec.size());
+                    auto* dbuf = b.makeArray("D", ir::ElemType::kF64,
+                                             dvec.size());
+                    for (size_t i = 0; i < cvec.size(); ++i)
+                        cbuf->setDouble(static_cast<int64_t>(i), cvec[i]);
+                    for (size_t i = 0; i < dvec.size(); ++i)
+                        dbuf->setDouble(static_cast<int64_t>(i), dvec[i]);
+                    b.makeArray("A_val", ir::ElemType::kF64,
+                                std::max<size_t>(1, a->val.size()));
+                    b.setScalarInt("kdim", kDenseK);
+                    return;
+                }
+                auto xv = makeVector(m, 7003);
+                auto* xbuf = b.makeArray("x", ir::ElemType::kF64,
+                                         xv.size());
+                for (size_t i = 0; i < xv.size(); ++i)
+                    xbuf->setDouble(static_cast<int64_t>(i), xv[i]);
+                b.makeArray("y", ir::ElemType::kF64,
+                            static_cast<size_t>(std::max(n, m)));
+                if (kname == "taco_residual") {
+                    auto bv = makeVector(n, 7004);
+                    auto* bbuf = b.makeArray("b", ir::ElemType::kF64,
+                                             bv.size());
+                    for (size_t i = 0; i < bv.size(); ++i)
+                        bbuf->setDouble(static_cast<int64_t>(i), bv[i]);
+                }
+                if (kname == "taco_mtmul") {
+                    auto zv = makeVector(m, 7005);
+                    auto* zbuf = b.makeArray("z", ir::ElemType::kF64,
+                                             zv.size());
+                    for (size_t i = 0; i < zv.size(); ++i)
+                        zbuf->setDouble(static_cast<int64_t>(i), zv[i]);
+                    b.setScalar("alpha",
+                                ir::Value::fromDouble(kAlpha));
+                    b.setScalar("beta", ir::Value::fromDouble(kBeta));
+                }
+            };
+            c.check = [a, kname, kDenseK, kAlpha,
+                       kBeta](sim::Binding& b, Variant v,
+                              std::string* err) {
+                double tol = v == Variant::kParallel ? 1e-9 : 1e-12;
+                if (kname == "taco_spmv") {
+                    auto x = makeVector(a->cols, 7003);
+                    return checkF64(b, "y", spmvGolden(*a, x), tol, err);
+                }
+                if (kname == "taco_residual") {
+                    auto x = makeVector(a->cols, 7003);
+                    auto bv = makeVector(a->rows, 7004);
+                    return checkF64(b, "y", residualGolden(*a, x, bv),
+                                    tol, err);
+                }
+                if (kname == "taco_mtmul") {
+                    auto x = makeVector(a->cols, 7003);
+                    auto z = makeVector(a->cols, 7005);
+                    return checkF64(b, "y",
+                                    mtmulGolden(*a, x, z, kAlpha, kBeta),
+                                    tol, err);
+                }
+                auto cv = makeVector(
+                    static_cast<int64_t>(a->rows) * kDenseK, 7001);
+                auto dv = makeVector(
+                    static_cast<int64_t>(kDenseK) * a->cols, 7002);
+                return checkF64(b, "A_val",
+                                sddmmGolden(*a, cv, dv, kDenseK), tol,
+                                err);
+            };
+            w.cases.push_back(std::move(c));
+        }
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+std::vector<Workload>
+graphSuite()
+{
+    std::vector<Workload> v;
+    v.push_back(makeBfs());
+    v.push_back(makeCc());
+    v.push_back(makePrd());
+    v.push_back(makeRadii());
+    return v;
+}
+
+std::vector<Workload>
+mainSuite()
+{
+    auto v = graphSuite();
+    v.push_back(spmmWorkload());
+    return v;
+}
+
+Workload
+findWorkload(const std::string& name)
+{
+    for (auto& w : mainSuite())
+        if (w.name == name)
+            return w;
+    for (auto& w : tacoWorkloads())
+        if (w.name == name)
+            return w;
+    phloem_fatal("unknown workload '", name, "'");
+}
+
+} // namespace phloem::wl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The benchmark registry: every evaluated application as one Workload
+ * with its serial source, data-parallel source, per-input binding setup,
+ * and validation against the golden C++ implementations.
+ */
+
+#ifndef PHLOEM_WORKLOADS_WORKLOAD_H
+#define PHLOEM_WORKLOADS_WORKLOAD_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/pipeline.h"
+#include "sim/binding.h"
+
+namespace phloem::wl {
+
+/** Which execution variant produced the outputs being validated. */
+enum class Variant : uint8_t {
+    kSerial,
+    kPipeline,
+    kParallel,
+};
+
+/** One input case: set up a binding, then check the outputs. */
+struct Case
+{
+    std::string inputName;
+    std::string domain;
+    bool training = false;
+    /** Populate the binding's arrays and scalars (nthreads >= 1 also
+     *  sizes the data-parallel scratch buffers). */
+    std::function<void(sim::Binding&, int nthreads)> bind;
+    /** Validate outputs; relaxed rules for data-parallel variants. */
+    std::function<bool(sim::Binding&, Variant, std::string* err)> check;
+};
+
+struct Workload
+{
+    std::string name;
+    std::string serialSrc;
+    std::string parallelSrc;
+    std::vector<Case> cases;
+    /**
+     * Hand-optimized Pipette pipeline (the paper's "Manually pipelined"
+     * baseline); null when the paper has no manual version (Taco).
+     */
+    std::function<ir::PipelinePtr(const ir::Function& serial_fn)> manual;
+    /** Default pipeline-thread budget. */
+    int maxThreads = 4;
+    /** Candidate decoupling points the autotuner combines. */
+    int pgoTopK = 6;
+};
+
+/** The graph-analytics suite: BFS, CC, PageRank-Delta, Radii. */
+std::vector<Workload> graphSuite();
+
+/** Sparse matrix-matrix multiplication (inner product). */
+Workload spmmWorkload();
+
+/** The four Taco-generated kernels (paper Sec. VI-B, Fig. 12). */
+std::vector<Workload> tacoWorkloads();
+
+/** Everything Fig. 9/10/11 evaluates. */
+std::vector<Workload> mainSuite();
+
+/** Find one workload by name from mainSuite(). */
+Workload findWorkload(const std::string& name);
+
+} // namespace phloem::wl
+
+#endif // PHLOEM_WORKLOADS_WORKLOAD_H

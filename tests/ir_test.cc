@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the IR layer: values, builder, cloning, verification,
+ * printing, and the copy-propagation cleanup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/clone.h"
+#include "ir/printer.h"
+#include "ir/simplify.h"
+#include "ir/verifier.h"
+#include "ir/walk.h"
+
+namespace phloem {
+namespace {
+
+TEST(Value, ControlTagging)
+{
+    ir::Value d = ir::Value::fromInt(-7);
+    EXPECT_FALSE(d.isControl());
+    EXPECT_EQ(d.asInt(), -7);
+
+    ir::Value c = ir::Value::makeControl(ir::kCtrlNext);
+    EXPECT_TRUE(c.isControl());
+    EXPECT_EQ(c.controlCode(), ir::kCtrlNext);
+
+    ir::Value f = ir::Value::fromDouble(2.5);
+    EXPECT_DOUBLE_EQ(f.asDouble(), 2.5);
+    EXPECT_FALSE(f.isControl());
+}
+
+TEST(Value, ControlCodeZeroDistinctFromDataZero)
+{
+    // In-band signalling must distinguish ctrl code 0 from data 0.
+    ir::Value zero = ir::Value::fromInt(0);
+    ir::Value ctrl0 = ir::Value::makeControl(0);
+    EXPECT_FALSE(zero == ctrl0);
+}
+
+TEST(Builder, BuildsWellFormedFunction)
+{
+    ir::FunctionBuilder b("axpy");
+    ir::ArrayId x = b.arrayParam("x", ir::ElemType::kF64, false);
+    ir::ArrayId y = b.arrayParam("y", ir::ElemType::kF64, true);
+    ir::RegId n = b.scalarParam("n");
+    ir::RegId a = b.scalarParam("a", /*is_float=*/true);
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        ir::RegId xv = b.load(x, i);
+        ir::RegId yv = b.load(y, i);
+        b.store(y, i, b.fadd(b.fmul(a, xv), yv));
+    });
+    auto fn = b.finish();
+    EXPECT_TRUE(ir::verify(*fn).empty());
+    EXPECT_GT(ir::countOps(fn->body), 5);
+}
+
+TEST(Builder, OpIdsAreUnique)
+{
+    ir::FunctionBuilder b("ids");
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        b.add(i, i);
+        b.mul(i, i);
+    });
+    auto fn = b.finish();
+    std::set<int> ids;
+    ir::forEachOp(fn->body, [&](const ir::Op& op) {
+        EXPECT_TRUE(ids.insert(op.id).second) << "duplicate id " << op.id;
+    });
+}
+
+TEST(Verifier, CatchesBadRegister)
+{
+    ir::FunctionBuilder b("bad");
+    ir::RegId n = b.scalarParam("n");
+    ir::Op op;
+    op.opcode = ir::Opcode::kAdd;
+    op.dst = n;
+    op.src[0] = 999;  // out of range
+    op.src[1] = n;
+    b.emit(op);
+    auto fn = b.finish();
+    EXPECT_FALSE(ir::verify(*fn).empty());
+}
+
+TEST(Verifier, CatchesWriteToReadOnlyArray)
+{
+    ir::FunctionBuilder b("ro");
+    ir::ArrayId x = b.arrayParam("x", ir::ElemType::kI64, false);
+    ir::RegId i = b.constI(0);
+    b.store(x, i, i);
+    auto fn = b.finish();
+    EXPECT_FALSE(ir::verify(*fn).empty());
+}
+
+TEST(Verifier, CatchesBreakBeyondLoopDepth)
+{
+    ir::FunctionBuilder b("brk");
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId) { b.break_(2); });
+    auto fn = b.finish();
+    EXPECT_FALSE(ir::verify(*fn).empty());
+}
+
+TEST(Clone, PreservesOriginAndRedrawsIds)
+{
+    ir::FunctionBuilder b("orig");
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) { b.add(i, i); });
+    auto fn = b.finish();
+
+    auto copy = ir::cloneFunction(*fn, "copy");
+    EXPECT_TRUE(ir::verify(*copy).empty());
+    std::vector<int> orig_origins, copy_origins;
+    ir::forEachOp(fn->body, [&](const ir::Op& op) {
+        orig_origins.push_back(op.origin);
+    });
+    ir::forEachOp(copy->body, [&](const ir::Op& op) {
+        copy_origins.push_back(op.origin);
+    });
+    EXPECT_EQ(orig_origins, copy_origins);
+}
+
+TEST(Printer, RoundTripsKeyShapes)
+{
+    ir::FunctionBuilder b("p");
+    ir::ArrayId a = b.arrayParam("a", ir::ElemType::kI32, true);
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        ir::RegId v = b.load(a, i);
+        b.if_(b.cmpGt(v, b.constI(0)), [&] { b.enq(3, v); });
+    });
+    auto fn = b.finish();
+    std::string text = ir::toString(*fn);
+    EXPECT_NE(text.find("for "), std::string::npos);
+    EXPECT_NE(text.find("if "), std::string::npos);
+    EXPECT_NE(text.find("enq q3"), std::string::npos);
+    EXPECT_NE(text.find("load a"), std::string::npos);
+}
+
+TEST(CopyProp, FoldsSingleDefMovChains)
+{
+    ir::FunctionBuilder b("cp");
+    ir::ArrayId a = b.arrayParam("a", ir::ElemType::kI32, false);
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI32, true);
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        ir::RegId t = b.load(a, i);
+        ir::RegId v = b.mov(t);  // frontend-style artifact
+        b.store(out, i, v);
+    });
+    auto fn = b.finish();
+    int before = ir::countOps(fn->body);
+    int removed = ir::copyPropagate(*fn);
+    EXPECT_GE(removed, 1);
+    EXPECT_EQ(ir::countOps(fn->body), before - removed);
+    EXPECT_TRUE(ir::verify(*fn).empty());
+}
+
+TEST(CopyProp, KeepsMultiDefRegisters)
+{
+    // cur_size = n; ... cur_size = next_size; -- the mov must survive.
+    ir::FunctionBuilder b("cp2");
+    ir::RegId n = b.scalarParam("n");
+    ir::RegId cur = b.newReg("cur");
+    b.movTo(cur, n);
+    b.loop([&] {
+        ir::RegId c = b.cmpGt(cur, b.constI(0));
+        b.if_(c, [&] { b.movTo(cur, b.sub(cur, b.constI(1))); },
+              [&] { b.break_(); });
+    });
+    auto fn = b.finish();
+    ir::copyPropagate(*fn);
+    // cur must still have at least two defs.
+    int defs = 0;
+    ir::forEachOp(fn->body, [&](const ir::Op& op) {
+        if (ir::hasDst(op.opcode) && op.dst == cur)
+            defs++;
+    });
+    EXPECT_GE(defs, 2);
+}
+
+TEST(Pipeline, VerifierChecksTopology)
+{
+    ir::Pipeline p;
+    p.name = "t";
+    {
+        ir::FunctionBuilder b("s0");
+        ir::RegId n = b.scalarParam("n");
+        b.forRange(b.constI(0), n, [&](ir::RegId i) { b.enq(0, i); });
+        p.stages.push_back(b.finish());
+    }
+    // Queue 0 has no consumer.
+    auto problems = ir::verify(p);
+    EXPECT_FALSE(problems.empty());
+
+    {
+        ir::FunctionBuilder b("s1");
+        ir::RegId n = b.scalarParam("n");
+        b.forRange(b.constI(0), n, [&](ir::RegId) { b.deq(0); });
+        p.stages.push_back(b.finish());
+    }
+    EXPECT_TRUE(ir::verify(p).empty());
+}
+
+} // namespace
+} // namespace phloem

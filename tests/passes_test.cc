@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Per-pass behavioral tests on controlled micro-kernels: value
+ * forwarding, recompute decisions, control-value loop conversion,
+ * inter-stage DCE, handler installation, queue splitting/compaction,
+ * and cut sweeps on CC and Radii (the kernels with per-vertex state that
+ * DCE must NOT flatten).
+ */
+
+#include "tests/test_util.h"
+
+#include "base/rng.h"
+#include "compiler/cost_model.h"
+#include "compiler/passes.h"
+#include "ir/walk.h"
+#include "workloads/kernels.h"
+
+namespace phloem {
+namespace {
+
+using test::expectPipelineMatchesSerial;
+
+int
+countOpsOfKind(const ir::Pipeline& p, ir::Opcode opc)
+{
+    int n = 0;
+    for (const auto& stage : p.stages) {
+        ir::forEachOp(stage->body, [&](const ir::Op& op) {
+            if (op.opcode == opc)
+                n++;
+        });
+    }
+    return n;
+}
+
+TEST(Recompute, CheapIndexMathIsNotQueued)
+{
+    // v+1 must be rematerialized, not queued (paper pass 2).
+    const char* src = R"(
+void k(const int* restrict a, const int* restrict t,
+       long* restrict out, int n) {
+    for (int i = 0; i < n; i++) {
+        int v = a[i];
+        int w = t[v];
+        int w2 = t[v + 1];
+        out[i] = w + w2;
+    }
+})";
+    auto kernel = fe::compileKernel(src);
+    // Cut right before the t[] loads: find the first load of t.
+    int cut = -1;
+    ir::forEachOp(kernel.fn->body, [&](const ir::Op& op) {
+        if (cut < 0 && op.opcode == ir::Opcode::kLoad &&
+            kernel.fn->arrays[static_cast<size_t>(op.arr)].name == "t") {
+            cut = op.id;
+        }
+    });
+    ASSERT_GE(cut, 0);
+    auto with = comp::decouple(*kernel.fn, {cut});
+    comp::DecoupleOptions no_rec;
+    no_rec.recompute = false;
+    auto without = comp::decouple(*kernel.fn, {cut}, no_rec);
+    EXPECT_LT(with.queuedValues, without.queuedValues);
+    EXPECT_GT(with.recomputedValues, 0);
+}
+
+TEST(Forwarding, MultiConsumerValueBecomesChain)
+{
+    // x is consumed by two later stages; after forwarding the producer
+    // enqueues it once and the middle stage forwards it.
+    // Forwarding applies to loop-hot values (nesting depth >= 2), so the
+    // kernel repeats its scan a few times.
+    const char* src = R"(
+void k(const int* restrict a, const int* restrict t1,
+       const int* restrict t2, long* restrict out,
+       long* restrict out2, int n, int reps) {
+    for (int r = 0; r < reps; r++) {
+        for (int i = 0; i < n; i++) {
+            int x = a[i];
+            int w1 = t1[x];
+            int w2 = t2[x];
+            out[i] = w1 + x + r;
+            out2[i] = w2 + x + r;
+        }
+    }
+})";
+    auto kernel = fe::compileKernel(src);
+    // Cuts at each t-load: x flows to stages 1 and 2.
+    auto ranked = comp::rankCutPoints(*kernel.fn);
+    ASSERT_GE(ranked.size(), 2u);
+    auto res = comp::decouple(
+        *kernel.fn, {ranked[0].cutOp, ranked[1].cutOp});
+    comp::PassReport report;
+    comp::forwardValues(*res.pipeline, &report);
+    bool forwarded = false;
+    for (const auto& note : report.notes)
+        if (note.find("forwarded") != std::string::npos)
+            forwarded = true;
+    EXPECT_TRUE(forwarded);
+
+    // Still correct after the rewrite.
+    expectPipelineMatchesSerial(
+        *kernel.fn, *res.pipeline,
+        [](sim::Binding& b) {
+            Rng rng(3);
+            const int n = 300;
+            auto* a = b.makeArray("a", ir::ElemType::kI32, n);
+            auto* t1 = b.makeArray("t1", ir::ElemType::kI32, n);
+            auto* t2 = b.makeArray("t2", ir::ElemType::kI32, n);
+            for (int i = 0; i < n; ++i) {
+                a->setInt(i, static_cast<int64_t>(rng.nextBounded(n)));
+                t1->setInt(i, static_cast<int64_t>(rng.nextBounded(99)));
+                t2->setInt(i, static_cast<int64_t>(rng.nextBounded(99)));
+            }
+            b.makeArray("out", ir::ElemType::kI64, n);
+            b.makeArray("out2", ir::ElemType::kI64, n);
+            b.setScalarInt("n", n);
+            b.setScalarInt("reps", 3);
+        },
+        {"out", "out2"});
+}
+
+TEST(ControlValues, ConvertsQueuedBoundLoops)
+{
+    auto kernel = fe::compileKernel(wl::kBfsSerial);
+    comp::CompileOptions no_cv;
+    no_cv.controlValues = false;
+    no_cv.handlers = false;
+    no_cv.dce = false;
+    no_cv.maxQueues = 64;
+    auto base = comp::compilePipeline(*kernel.fn, no_cv);
+
+    comp::CompileOptions with_cv = no_cv;
+    with_cv.controlValues = true;
+    auto cv = comp::compilePipeline(*kernel.fn, with_cv);
+
+    // CV replaces bound recomputation with in-band delimiters: control
+    // value senders appear and at least one For became a While.
+    int base_ctrl = countOpsOfKind(*base.pipeline, ir::Opcode::kEnqCtrl);
+    int cv_ctrl = countOpsOfKind(*cv.pipeline, ir::Opcode::kEnqCtrl);
+    bool ra_ctrl = false;
+    for (const auto& ra : cv.pipeline->ras)
+        ra_ctrl |= ra.emitRangeCtrl;
+    EXPECT_GT(cv_ctrl + (ra_ctrl ? 1 : 0), base_ctrl);
+    EXPECT_GT(countOpsOfKind(*cv.pipeline, ir::Opcode::kIsControl), 0);
+}
+
+TEST(Handlers, RemoveInLoopChecks)
+{
+    auto kernel = fe::compileKernel(wl::kBfsSerial);
+    comp::CompileOptions no_ch;
+    no_ch.handlers = false;
+    auto base = comp::compilePipeline(*kernel.fn, no_ch);
+    auto with = comp::compilePipeline(*kernel.fn);
+    // Handlers replace explicit is_control checks.
+    EXPECT_LT(countOpsOfKind(*with.pipeline, ir::Opcode::kIsControl),
+              countOpsOfKind(*base.pipeline, ir::Opcode::kIsControl));
+    int handlers = 0;
+    for (const auto& stage : with.pipeline->stages)
+        handlers += static_cast<int>(stage->handlers.size());
+    EXPECT_GT(handlers, 0);
+}
+
+TEST(Dce, BfsFlattensButCcKeepsPerVertexGrouping)
+{
+    // BFS: all neighbors compare against one per-round distance, so the
+    // per-vertex loops flatten (paper Sec. IV-B pass 6). CC compares
+    // against the *source vertex's* label, so its update stage must keep
+    // the per-vertex structure.
+    auto bfs = fe::compileKernel(wl::kBfsSerial);
+    auto bfs_pipe = comp::compilePipeline(*bfs.fn);
+    bool bfs_flattened = false;
+    // Flattening is observable as a dropped gateway stage (3 stages).
+    bfs_flattened = bfs_pipe.pipeline->stages.size() <= 3;
+    EXPECT_TRUE(bfs_flattened);
+
+    auto cc = fe::compileKernel(wl::kCcSerial);
+    auto cc_pipe = comp::compilePipeline(*cc.fn);
+    // CC's update stage still contains a nested while (per-vertex loop
+    // around the per-edge stream).
+    const auto& update = *cc_pipe.pipeline->stages.back();
+    int max_depth = 0;
+    std::function<void(const ir::Region&, int)> depth =
+        [&](const ir::Region& r, int d) {
+            for (const auto& s : r) {
+                if (s->kind() == ir::StmtKind::kWhile) {
+                    max_depth = std::max(max_depth, d + 1);
+                    depth(ir::stmtCast<ir::WhileStmt>(s.get())->body,
+                          d + 1);
+                } else if (s->kind() == ir::StmtKind::kFor) {
+                    depth(ir::stmtCast<ir::ForStmt>(s.get())->body,
+                          d + 1);
+                } else if (s->kind() == ir::StmtKind::kIf) {
+                    auto* i = ir::stmtCast<ir::IfStmt>(s.get());
+                    depth(i->thenBody, d);
+                    depth(i->elseBody, d);
+                }
+            }
+        };
+    depth(update.body, 0);
+    EXPECT_GE(max_depth, 3) << "CC update stage lost per-vertex grouping";
+}
+
+TEST(QueueCompaction, IdsAreDense)
+{
+    auto kernel = fe::compileKernel(wl::kBfsSerial);
+    auto res = comp::compilePipeline(*kernel.fn);
+    std::set<ir::QueueId> used;
+    for (const auto& stage : res.pipeline->stages) {
+        ir::forEachOp(stage->body, [&](const ir::Op& op) {
+            if (ir::usesQueue(op.opcode))
+                used.insert(op.queue);
+        });
+        for (const auto& h : stage->handlers)
+            used.insert(h.queue);
+    }
+    for (const auto& ra : res.pipeline->ras) {
+        used.insert(ra.inQueue);
+        used.insert(ra.outQueue);
+    }
+    ASSERT_FALSE(used.empty());
+    EXPECT_EQ(*used.begin(), 0);
+    EXPECT_EQ(*used.rbegin(), static_cast<int>(used.size()) - 1);
+}
+
+// ---------------------------------------------------------------------
+// Cut sweeps on the other fringe workloads.
+// ---------------------------------------------------------------------
+
+void
+setupSmallCc(sim::Binding& b)
+{
+    Rng rng(29);
+    const int n = 300;
+    std::vector<std::vector<int32_t>> adj(n);
+    for (int v = 0; v < n; ++v) {
+        int d = static_cast<int>(rng.nextBounded(4));
+        for (int k = 0; k < d; ++k)
+            adj[static_cast<size_t>(v)].push_back(
+                static_cast<int32_t>(rng.nextBounded(n)));
+    }
+    int64_t m = 0;
+    for (const auto& l : adj)
+        m += static_cast<int64_t>(l.size());
+    auto* nodes = b.makeArray("nodes", ir::ElemType::kI32, n + 1);
+    auto* edges = b.makeArray(
+        "edges", ir::ElemType::kI32,
+        static_cast<size_t>(std::max<int64_t>(1, m)));
+    int64_t p = 0;
+    for (int v = 0; v < n; ++v) {
+        nodes->setInt(v, static_cast<int64_t>(p));
+        for (int32_t u : adj[static_cast<size_t>(v)])
+            edges->setInt(p++, u);
+    }
+    nodes->setInt(n, static_cast<int64_t>(p));
+    auto* labels = b.makeArray("labels", ir::ElemType::kI32, n);
+    auto* cur = b.makeArray("cur_fringe", ir::ElemType::kI32,
+                            static_cast<size_t>(m) + n + 1);
+    b.makeArray("next_fringe", ir::ElemType::kI32,
+                static_cast<size_t>(m) + n + 1);
+    for (int v = 0; v < n; ++v) {
+        labels->setInt(v, v);
+        cur->setInt(v, v);
+    }
+    b.setScalarInt("n", n);
+}
+
+class CcCutSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CcCutSweep, SingleCutPreservesSemantics)
+{
+    auto kernel = fe::compileKernel(wl::kCcSerial);
+    int cut = GetParam();
+    if (cut >= kernel.fn->nextOpId)
+        GTEST_SKIP();
+    auto res = comp::decouple(*kernel.fn, {cut});
+    if (res.pipeline->stages.size() < 2)
+        GTEST_SKIP();
+    expectPipelineMatchesSerial(*kernel.fn, *res.pipeline, setupSmallCc,
+                                {"labels"});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CcCutSweep, ::testing::Range(1, 36));
+
+TEST(FullStack, CcAndRadiiThroughAllPasses)
+{
+    for (const char* src : {wl::kCcSerial, wl::kRadiiSerial}) {
+        auto kernel = fe::compileKernel(src);
+        auto res = comp::compilePipeline(*kernel.fn);
+        ASSERT_TRUE(res.ok()) << (res.problems.empty()
+                                      ? "no pipeline"
+                                      : res.problems.front());
+        EXPECT_GE(res.pipeline->stages.size(), 2u);
+    }
+}
+
+} // namespace
+} // namespace phloem

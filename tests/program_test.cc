@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the flattener (sim/program): structured IR to the flat
+ * instruction stream the simulator executes. The flattening rules are
+ * load-bearing for the paper's argument — loop control is real issued
+ * instructions — so the lowering shapes are pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "ir/builder.h"
+#include "sim/program.h"
+
+namespace phloem {
+namespace {
+
+/** Every structural invariant a flat program must satisfy. */
+void
+checkWellFormed(const sim::Program& prog)
+{
+    std::set<int16_t> branch_ids;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        const sim::Inst& inst = prog.code[pc];
+        if (inst.isBranch()) {
+            ASSERT_GE(inst.target, 0) << "pc " << pc;
+            ASSERT_LT(inst.target, static_cast<int32_t>(prog.code.size()))
+                << "pc " << pc;
+        }
+        if (inst.isCondBranch()) {
+            ASSERT_GE(inst.branchId, 0) << "pc " << pc;
+            ASSERT_LT(inst.branchId, prog.numBranches) << "pc " << pc;
+            branch_ids.insert(inst.branchId);
+        }
+        for (ir::RegId r : {inst.dst, inst.src0, inst.src1, inst.src2}) {
+            if (r != ir::kNoReg) {
+                ASSERT_LT(r, prog.numRegs) << "pc " << pc;
+            }
+        }
+        if (inst.handlerPc >= 0) {
+            ASSERT_LT(inst.handlerPc,
+                      static_cast<int32_t>(prog.code.size()));
+        }
+    }
+    // Every static conditional branch has a distinct predictor slot.
+    EXPECT_EQ(branch_ids.size(), static_cast<size_t>(prog.numBranches));
+}
+
+TEST(Flatten, ForLoopLowersToExplicitControl)
+{
+    ir::FunctionBuilder b("loop");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) { b.store(out, i, i); });
+    auto fn = b.finish();
+
+    sim::Program prog = sim::flatten(*fn);
+    checkWellFormed(prog);
+
+    // Exactly one static conditional branch (the loop-header test),
+    // marked as a backedge for the predictor, plus one unconditional
+    // backwards branch.
+    int cond = 0, uncond_backward = 0;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        const sim::Inst& inst = prog.code[pc];
+        if (inst.isCondBranch()) {
+            ++cond;
+            EXPECT_TRUE(inst.backedge);
+        }
+        if (inst.kind == sim::Inst::Kind::kBr &&
+            inst.target <= static_cast<int32_t>(pc))
+            ++uncond_backward;
+    }
+    EXPECT_EQ(cond, 1);
+    EXPECT_EQ(uncond_backward, 1);
+    EXPECT_EQ(prog.numBranches, 1);
+}
+
+TEST(Flatten, UnboundedLoopIsSingleBackedge)
+{
+    ir::FunctionBuilder b("spin");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    b.loop([&] {
+        ir::RegId v = b.deq(0);
+        b.store(out, v, v);
+    });
+    auto fn = b.finish();
+
+    sim::Program prog = sim::flatten(*fn);
+    checkWellFormed(prog);
+    // `while (true)` costs zero conditional branches.
+    EXPECT_EQ(prog.numBranches, 0);
+    int backward = 0;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        const sim::Inst& inst = prog.code[pc];
+        if (inst.kind == sim::Inst::Kind::kBr &&
+            inst.target <= static_cast<int32_t>(pc))
+            ++backward;
+    }
+    EXPECT_EQ(backward, 1);
+}
+
+TEST(Flatten, HandlerIsOutOfLineAndAttachedToDeq)
+{
+    ir::FunctionBuilder b("cons");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    b.loop([&] {
+        ir::RegId v = b.deq(0);
+        b.store(out, v, v);
+    });
+    auto fn = b.finish();
+    ir::HandlerSpec h;
+    h.queue = 0;
+    auto brk = std::make_unique<ir::BreakStmt>(1);
+    brk->id = fn->nextStmtId++;
+    h.body.push_back(std::move(brk));
+    fn->handlers.push_back(std::move(h));
+
+    sim::Program prog = sim::flatten(*fn);
+    checkWellFormed(prog);
+
+    int last_main_pc = -1; // last pc reachable by fallthrough from entry
+    int deq_pc = -1;
+    for (size_t pc = 0; pc < prog.code.size(); ++pc) {
+        if (prog.code[pc].opcode == ir::Opcode::kDeq &&
+            prog.code[pc].kind == sim::Inst::Kind::kOp)
+            deq_pc = static_cast<int>(pc);
+    }
+    ASSERT_GE(deq_pc, 0);
+    const sim::Inst& deq = prog.code[deq_pc];
+    ASSERT_GE(deq.handlerPc, 0);
+    // The handler body lives after the deq's own loop: jumping there must
+    // not be the deq's fallthrough.
+    EXPECT_NE(deq.handlerPc, deq_pc + 1);
+    (void)last_main_pc;
+}
+
+TEST(Flatten, DeqWithoutHandlerHasNoHandlerPc)
+{
+    ir::FunctionBuilder b("cons");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    b.loop([&] {
+        ir::RegId v = b.deq(0);
+        b.store(out, v, v);
+    });
+    auto fn = b.finish();
+    sim::Program prog = sim::flatten(*fn);
+    for (const auto& inst : prog.code) {
+        if (inst.opcode == ir::Opcode::kDeq) {
+            EXPECT_EQ(inst.handlerPc, -1);
+        }
+    }
+}
+
+TEST(Flatten, DisassemblyCoversEveryInstruction)
+{
+    ir::FunctionBuilder b("dis");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        b.if_(b.cmpGt(i, b.constI(3)), [&] { b.store(out, i, i); });
+    });
+    auto fn = b.finish();
+    sim::Program prog = sim::flatten(*fn);
+    std::string dis = sim::disassemble(prog);
+    // One line per instruction (possibly plus headers).
+    size_t lines = std::count(dis.begin(), dis.end(), '\n');
+    EXPECT_GE(lines, prog.code.size());
+}
+
+// ---------------------------------------------------------------------
+// Parameterized structural sweep: flatten a family of control shapes
+// and check the global invariants on each.
+// ---------------------------------------------------------------------
+
+using ShapeBuilder = std::unique_ptr<ir::Function> (*)();
+
+std::unique_ptr<ir::Function>
+shapeNestedLoops()
+{
+    ir::FunctionBuilder b("nested");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        b.forRange(b.constI(0), n, [&](ir::RegId j) {
+            b.store(out, b.add(b.mul(i, n), j), j);
+        });
+    });
+    return b.finish();
+}
+
+std::unique_ptr<ir::Function>
+shapeIfElseLadder()
+{
+    ir::FunctionBuilder b("ladder");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        b.if_(
+            b.cmpGt(i, b.constI(10)),
+            [&] { b.store(out, i, b.constI(1)); },
+            [&] {
+                b.if_(b.cmpGt(i, b.constI(5)),
+                      [&] { b.store(out, i, b.constI(2)); },
+                      [&] { b.store(out, i, b.constI(3)); });
+            });
+    });
+    return b.finish();
+}
+
+std::unique_ptr<ir::Function>
+shapeLoopWithBreakContinue()
+{
+    ir::FunctionBuilder b("bc");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        b.if_(b.cmpGt(i, b.constI(100)), [&] { b.break_(); });
+        b.if_(b.cmpGt(b.constI(3), i), [&] { b.continue_(); });
+        b.store(out, i, i);
+    });
+    return b.finish();
+}
+
+std::unique_ptr<ir::Function>
+shapeQueueLoopNest()
+{
+    ir::FunctionBuilder b("q");
+    ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+    b.loop([&] {
+        ir::RegId start = b.deq(0);
+        ir::RegId end = b.deq(0);
+        b.forRange(start, end, [&](ir::RegId i) {
+            b.enq(1, b.load(out, i));
+        });
+        b.enqCtrl(1, ir::kCtrlNext);
+    });
+    return b.finish();
+}
+
+class FlattenShapes : public ::testing::TestWithParam<ShapeBuilder>
+{
+};
+
+TEST_P(FlattenShapes, SatisfiesStructuralInvariants)
+{
+    auto fn = GetParam()();
+    sim::Program prog = sim::flatten(*fn);
+    ASSERT_GT(prog.code.size(), 0u);
+    checkWellFormed(prog);
+    EXPECT_GE(prog.numRegs, fn->numRegs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Program, FlattenShapes,
+                         ::testing::Values(&shapeNestedLoops,
+                                           &shapeIfElseLadder,
+                                           &shapeLoopWithBreakContinue,
+                                           &shapeQueueLoopNest));
+
+} // namespace
+} // namespace phloem

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end tests for replicated pipelines (paper Sec. IV-C, Fig. 14):
+ * a replicated BFS with `#pragma distribute` must produce golden
+ * distances for several replica counts, and the distributed stream's
+ * termination protocol (one control value per producer replica) must
+ * hold up under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "frontend/frontend.h"
+#include "sim/machine.h"
+#include "workloads/graph.h"
+#include "workloads/kernels.h"
+
+namespace phloem {
+namespace {
+
+struct Fixture
+{
+    wl::CSRGraph g;
+    int32_t root = 0;
+    std::vector<int32_t> golden;
+    int diameter = 0;
+
+    explicit Fixture(uint64_t seed)
+    {
+        g = wl::makeRoadNetwork(1600, 0.65, seed);
+        for (int32_t v = 0; v < g.n; ++v)
+            if (g.degree(v) > g.degree(root))
+                root = v;
+        golden = wl::bfsGolden(g, root);
+        for (int32_t d : golden)
+            if (d != INT32_MAX)
+                diameter = std::max(diameter, d);
+    }
+};
+
+void
+bindReplicatedBfs(sim::Binding& b, const Fixture& f, int replicas)
+{
+    auto* nodes = b.makeArray("nodes", ir::ElemType::kI32,
+                              static_cast<size_t>(f.g.n) + 1);
+    for (int32_t v = 0; v <= f.g.n; ++v)
+        nodes->setInt(v, f.g.nodes[static_cast<size_t>(v)]);
+    auto* edges = b.makeArray(
+        "edges", ir::ElemType::kI32,
+        std::max<size_t>(1, static_cast<size_t>(f.g.m())));
+    for (int64_t e = 0; e < f.g.m(); ++e)
+        edges->setInt(e, f.g.edges[static_cast<size_t>(e)]);
+    auto* dist =
+        b.makeArray("dist", ir::ElemType::kI32,
+                    static_cast<size_t>(f.g.n));
+    dist->fillInt(2147483647);
+    for (int r = 0; r < replicas; ++r) {
+        size_t cap = static_cast<size_t>(f.g.n) + 1;
+        b.bindReplica(r, "cur_fringe",
+                      b.makeArray("cf@" + std::to_string(r),
+                                  ir::ElemType::kI32, cap));
+        b.bindReplica(r, "next_fringe",
+                      b.makeArray("nf@" + std::to_string(r),
+                                  ir::ElemType::kI32, cap));
+        b.setScalarReplica(r, "init_size",
+                           ir::Value::fromInt(
+                               f.root % replicas == r ? 1 : 0));
+    }
+    b.setScalarInt("n", f.g.n);
+    b.setScalarInt("root", f.root);
+    b.setScalarInt("max_rounds", f.diameter + 1);
+}
+
+class ReplicatedBfs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReplicatedBfs, MatchesGoldenDistances)
+{
+    int replicas = GetParam();
+    Fixture f(101);
+
+    auto kernel = fe::compileKernel(wl::kBfsReplicated);
+    ASSERT_FALSE(kernel.ann.distributeOps.empty());
+    comp::CompileOptions opts;
+    opts.numStages = 4;
+    opts.replicas = replicas;
+    opts.distributeBoundaryOp = kernel.ann.distributeOps.front();
+    auto compiled = comp::compilePipeline(*kernel.fn, opts);
+    ASSERT_TRUE(compiled.pipeline != nullptr);
+
+    sim::Binding b;
+    bindReplicatedBfs(b, f, replicas);
+    sim::MachineOptions mo;
+    mo.maxInstructions = 1'000'000'000ull;
+    sim::Machine machine(sim::SysConfig::scaledEval(4), mo);
+    auto stats = machine.runPipeline(*compiled.pipeline, b);
+    ASSERT_FALSE(stats.deadlock) << stats.deadlockInfo;
+
+    auto* dist = b.array("dist");
+    for (int32_t v = 0; v < f.g.n; ++v) {
+        ASSERT_EQ(dist->atInt(v), f.golden[static_cast<size_t>(v)])
+            << "vertex " << v << " with " << replicas << " replicas";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Replicas, ReplicatedBfs,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ReplicatedBfs, ReplicasSpeedUpOverOneReplica)
+{
+    Fixture f(103);
+    auto kernel = fe::compileKernel(wl::kBfsReplicated);
+    auto run = [&](int replicas) -> uint64_t {
+        comp::CompileOptions opts;
+        opts.numStages = 4;
+        opts.replicas = replicas;
+        opts.distributeBoundaryOp = kernel.ann.distributeOps.front();
+        auto compiled = comp::compilePipeline(*kernel.fn, opts);
+        sim::Binding b;
+        bindReplicatedBfs(b, f, replicas);
+        sim::Machine machine(sim::SysConfig::scaledEval(4));
+        auto stats = machine.runPipeline(*compiled.pipeline, b);
+        EXPECT_FALSE(stats.deadlock);
+        return stats.cycles;
+    };
+    uint64_t one = run(1);
+    uint64_t four = run(4);
+    // Replication must not be slower than a single replica (the paper's
+    // replicated pipelines scale with cores).
+    EXPECT_LT(four, one);
+}
+
+TEST(ReplicatedBfs, ThreadCountBudgetEnforced)
+{
+    // 4 stages x 8 replicas = 32 threads exceeds a 4-core, 4-SMT system.
+    Fixture f(105);
+    auto kernel = fe::compileKernel(wl::kBfsReplicated);
+    comp::CompileOptions opts;
+    opts.numStages = 4;
+    opts.replicas = 8;
+    opts.distributeBoundaryOp = kernel.ann.distributeOps.front();
+    auto compiled = comp::compilePipeline(*kernel.fn, opts);
+    sim::Binding b;
+    bindReplicatedBfs(b, f, 8);
+    sim::Machine machine(sim::SysConfig::scaledEval(4));
+    EXPECT_THROW(machine.runPipeline(*compiled.pipeline, b),
+                 std::exception);
+}
+
+} // namespace
+} // namespace phloem

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Stress and robustness properties: pipeline correctness must be
+ * invariant to architectural parameters (queue depth, RA parallelism,
+ * scheduler quantum/horizon), and the machine must be deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "frontend/frontend.h"
+#include "sim/machine.h"
+#include "workloads/graph.h"
+#include "workloads/kernels.h"
+
+namespace phloem {
+namespace {
+
+struct BfsSetup
+{
+    wl::CSRGraph g;
+    int32_t root = 0;
+    std::vector<int32_t> golden;
+
+    BfsSetup()
+    {
+        g = wl::makeRMat(1024, 6000, 321);
+        for (int32_t v = 0; v < g.n; ++v)
+            if (g.degree(v) > g.degree(root))
+                root = v;
+        golden = wl::bfsGolden(g, root);
+    }
+
+    void
+    bind(sim::Binding& b) const
+    {
+        auto* nodes = b.makeArray("nodes", ir::ElemType::kI32,
+                                  static_cast<size_t>(g.n) + 1);
+        for (int32_t v = 0; v <= g.n; ++v)
+            nodes->setInt(v, g.nodes[static_cast<size_t>(v)]);
+        auto* edges = b.makeArray(
+            "edges", ir::ElemType::kI32,
+            std::max<size_t>(1, static_cast<size_t>(g.m())));
+        for (int64_t e = 0; e < g.m(); ++e)
+            edges->setInt(e, g.edges[static_cast<size_t>(e)]);
+        b.makeArray("dist", ir::ElemType::kI32,
+                    static_cast<size_t>(g.n))
+            ->fillInt(2147483647);
+        b.makeArray("cur_fringe", ir::ElemType::kI32,
+                    static_cast<size_t>(g.m()) + 1);
+        b.makeArray("next_fringe", ir::ElemType::kI32,
+                    static_cast<size_t>(g.m()) + 1);
+        b.setScalarInt("n", g.n);
+        b.setScalarInt("root", root);
+    }
+
+    bool
+    check(sim::Binding& b) const
+    {
+        auto* dist = b.array("dist");
+        for (int32_t v = 0; v < g.n; ++v)
+            if (dist->atInt(v) != golden[static_cast<size_t>(v)])
+                return false;
+        return true;
+    }
+};
+
+const BfsSetup&
+setup()
+{
+    static BfsSetup s;
+    return s;
+}
+
+const ir::Pipeline&
+bfsPipeline()
+{
+    static comp::CompileResult res = [] {
+        auto kernel = fe::compileKernel(wl::kBfsSerial);
+        return comp::compilePipeline(*kernel.fn);
+    }();
+    return *res.pipeline;
+}
+
+class QueueDepthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QueueDepthSweep, BfsPipelineCorrectAtAnyDepth)
+{
+    sim::SysConfig cfg = sim::SysConfig::scaledEval();
+    cfg.queueDepth = GetParam();
+    sim::Binding b;
+    setup().bind(b);
+    sim::Machine m(cfg);
+    auto stats = m.runPipeline(bfsPipeline(), b);
+    ASSERT_FALSE(stats.deadlock)
+        << "depth " << GetParam() << ":\n" << stats.deadlockInfo;
+    EXPECT_TRUE(setup().check(b)) << "depth " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, QueueDepthSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 24, 64));
+
+class RaInflightSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RaInflightSweep, BfsPipelineCorrectAtAnyParallelism)
+{
+    sim::SysConfig cfg = sim::SysConfig::scaledEval();
+    cfg.raMaxInflight = GetParam();
+    sim::Binding b;
+    setup().bind(b);
+    sim::Machine m(cfg);
+    auto stats = m.runPipeline(bfsPipeline(), b);
+    ASSERT_FALSE(stats.deadlock);
+    EXPECT_TRUE(setup().check(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Inflight, RaInflightSweep,
+                         ::testing::Values(1, 2, 8, 32));
+
+class QuantumSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantumSweep, SchedulingGranularityDoesNotChangeResults)
+{
+    sim::SysConfig cfg = sim::SysConfig::scaledEval();
+    sim::MachineOptions mo;
+    mo.quantum = GetParam();
+    sim::Binding b;
+    setup().bind(b);
+    sim::Machine m(cfg, mo);
+    auto stats = m.runPipeline(bfsPipeline(), b);
+    ASSERT_FALSE(stats.deadlock);
+    EXPECT_TRUE(setup().check(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quanta, QuantumSweep,
+                         ::testing::Values(1, 7, 64, 1024, 4096));
+
+TEST(Determinism, RepeatedRunsProduceIdenticalCycleCounts)
+{
+    auto run = [] {
+        sim::Binding b;
+        setup().bind(b);
+        sim::Machine m(sim::SysConfig::scaledEval());
+        return m.runPipeline(bfsPipeline(), b).cycles;
+    };
+    uint64_t a = run();
+    uint64_t b = run();
+    uint64_t c = run();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, c);
+}
+
+TEST(Determinism, FunctionalModeMatchesTimingMode)
+{
+    sim::Binding tb;
+    setup().bind(tb);
+    sim::Machine tm(sim::SysConfig::scaledEval());
+    tm.runPipeline(bfsPipeline(), tb);
+
+    sim::Binding fb;
+    setup().bind(fb);
+    sim::MachineOptions mo;
+    mo.timing = false;
+    sim::Machine fm(sim::SysConfig::scaledEval(), mo);
+    fm.runPipeline(bfsPipeline(), fb);
+
+    EXPECT_TRUE(tb.array("dist")->contentEquals(*fb.array("dist")));
+}
+
+TEST(Robustness, InstructionBudgetStopsRunawayPrograms)
+{
+    // while(true){} must hit the budget, not hang.
+    const char* src = R"(
+void spin(long* restrict out, int n) {
+    int x = 0;
+    while (1) {
+        x = x + 1;
+    }
+    out[0] = x;
+})";
+    auto kernel = fe::compileKernel(src);
+    sim::Binding b;
+    b.makeArray("out", ir::ElemType::kI64, 1);
+    b.setScalarInt("n", 0);
+    sim::MachineOptions mo;
+    mo.maxInstructions = 100000;
+    sim::Machine m(sim::SysConfig{}, mo);
+    EXPECT_THROW(m.runSerial(*kernel.fn, b), std::exception);
+}
+
+TEST(Robustness, OutOfBoundsAccessIsCaught)
+{
+    const char* src = R"(
+void oob(const int* restrict a, long* restrict out, int n) {
+    out[0] = a[n + 5];
+})";
+    auto kernel = fe::compileKernel(src);
+    sim::Binding b;
+    b.makeArray("a", ir::ElemType::kI32, 4);
+    b.makeArray("out", ir::ElemType::kI64, 1);
+    b.setScalarInt("n", 4);
+    sim::Machine m(sim::SysConfig{});
+    EXPECT_THROW(m.runSerial(*kernel.fn, b), std::exception);
+}
+
+} // namespace
+} // namespace phloem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the test suite: compile mini-C, run serial/pipeline,
+ * and compare memory images.
+ */
+
+#ifndef PHLOEM_TESTS_TEST_UTIL_H
+#define PHLOEM_TESTS_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "compiler/decouple.h"
+#include "frontend/frontend.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "sim/machine.h"
+
+namespace phloem::test {
+
+/** A small system config for fast unit tests. */
+inline sim::SysConfig
+testConfig(int cores = 1)
+{
+    sim::SysConfig cfg;
+    cfg.numCores = cores;
+    return cfg;
+}
+
+/**
+ * Run `fn` serially over a binding set up by `setup`, then run `pipeline`
+ * over a second, identically set-up binding, and require the contents of
+ * every named output array to match.
+ */
+inline void
+expectPipelineMatchesSerial(
+    const ir::Function& serial, const ir::Pipeline& pipeline,
+    const std::function<void(sim::Binding&)>& setup,
+    const std::vector<std::string>& outputs, int cores = 1)
+{
+    auto problems = ir::verify(pipeline, /*max_queues=*/64, /*max_ras=*/8);
+    for (const auto& p : problems)
+        ADD_FAILURE() << "pipeline verify: " << p;
+
+    sim::Binding golden_binding;
+    setup(golden_binding);
+    sim::MachineOptions opts;
+    opts.maxInstructions = 50'000'000;
+    sim::Machine golden(testConfig(cores), opts);
+    sim::RunStats gstats = golden.runSerial(serial, golden_binding);
+    ASSERT_FALSE(gstats.deadlock);
+
+    sim::Binding pipe_binding;
+    setup(pipe_binding);
+    sim::Machine machine(testConfig(cores), opts);
+    sim::RunStats pstats = machine.runPipeline(pipeline, pipe_binding);
+    ASSERT_FALSE(pstats.deadlock)
+        << "pipeline deadlocked:\n" << pstats.deadlockInfo
+        << "\npipeline:\n" << ir::toString(pipeline);
+
+    for (const auto& name : outputs) {
+        auto* a = golden_binding.array(name);
+        auto* b = pipe_binding.array(name);
+        ASSERT_EQ(a->size(), b->size()) << name;
+        for (size_t i = 0; i < a->size(); ++i) {
+            ASSERT_EQ(a->load(static_cast<int64_t>(i)).bits,
+                      b->load(static_cast<int64_t>(i)).bits)
+                << name << "[" << i << "] differs\npipeline:\n"
+                << ir::toString(pipeline);
+        }
+    }
+}
+
+} // namespace phloem::test
+
+#endif // PHLOEM_TESTS_TEST_UTIL_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Compiler-configuration sweeps: semantics must be preserved for EVERY
+ * combination of pass toggles and for every stage budget, not just the
+ * full-Phloem default. This is the correctness half of the Fig. 6/Fig. 13
+ * story — the ablation benches measure speed across these same configs,
+ * so each one must first be sound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "frontend/frontend.h"
+#include "sim/machine.h"
+#include "workloads/graph.h"
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+namespace phloem {
+namespace {
+
+struct BfsCase
+{
+    wl::CSRGraph g;
+    int32_t root = 0;
+    std::vector<int32_t> golden;
+
+    BfsCase()
+    {
+        g = wl::makeRMat(768, 4200, 77);
+        for (int32_t v = 0; v < g.n; ++v) {
+            if (g.degree(v) > g.degree(root))
+                root = v;
+        }
+        golden = wl::bfsGolden(g, root);
+    }
+};
+
+const BfsCase&
+bfsCase()
+{
+    static BfsCase c;
+    return c;
+}
+
+void
+bindBfs(sim::Binding& b)
+{
+    const BfsCase& c = bfsCase();
+    auto* nodes = b.makeArray("nodes", ir::ElemType::kI32,
+                              static_cast<size_t>(c.g.n) + 1);
+    for (int32_t v = 0; v <= c.g.n; ++v)
+        nodes->setInt(v, c.g.nodes[static_cast<size_t>(v)]);
+    auto* edges =
+        b.makeArray("edges", ir::ElemType::kI32,
+                    std::max<size_t>(1, static_cast<size_t>(c.g.m())));
+    for (int64_t e = 0; e < c.g.m(); ++e)
+        edges->setInt(e, c.g.edges[static_cast<size_t>(e)]);
+    b.makeArray("dist", ir::ElemType::kI32, static_cast<size_t>(c.g.n))
+        ->fillInt(2147483647);
+    b.makeArray("cur_fringe", ir::ElemType::kI32,
+                static_cast<size_t>(c.g.m()) + 1);
+    b.makeArray("next_fringe", ir::ElemType::kI32,
+                static_cast<size_t>(c.g.m()) + 1);
+    b.setScalarInt("n", c.g.n);
+    b.setScalarInt("root", c.root);
+}
+
+::testing::AssertionResult
+runAndCheck(const ir::Pipeline& p)
+{
+    sim::Binding b;
+    bindBfs(b);
+    sim::Machine m(sim::SysConfig::scaledEval());
+    auto stats = m.runPipeline(p, b);
+    if (stats.deadlock)
+        return ::testing::AssertionFailure()
+               << "deadlock: " << stats.deadlockInfo;
+    auto* dist = b.array("dist");
+    const BfsCase& c = bfsCase();
+    for (int32_t v = 0; v < c.g.n; ++v) {
+        if (dist->atInt(v) != c.golden[static_cast<size_t>(v)]) {
+            return ::testing::AssertionFailure()
+                   << "dist[" << v << "] = " << dist->atInt(v)
+                   << ", golden " << c.golden[static_cast<size_t>(v)];
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------
+// All 32 pass-toggle combinations preserve BFS semantics.
+// ---------------------------------------------------------------------
+
+class PassToggleSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PassToggleSweep, BfsSemanticsPreserved)
+{
+    int mask = GetParam();
+    comp::CompileOptions opts;
+    opts.recompute = (mask & 1) != 0;
+    opts.referenceAccelerators = (mask & 2) != 0;
+    opts.controlValues = (mask & 4) != 0;
+    opts.dce = (mask & 8) != 0;
+    opts.handlers = (mask & 16) != 0;
+
+    auto kernel = fe::compileKernel(wl::kBfsSerial);
+    auto res = comp::compilePipeline(*kernel.fn, opts);
+    ASSERT_TRUE(res.problems.empty())
+        << "mask " << mask << ": " << res.problems.front();
+    EXPECT_TRUE(runAndCheck(*res.pipeline)) << "mask " << mask;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, PassToggleSweep,
+                         ::testing::Range(0, 32));
+
+// ---------------------------------------------------------------------
+// Every stage budget from 1 (no decoupling possible beyond the trivial
+// pipeline) to 6 produces a valid, semantics-preserving pipeline.
+// ---------------------------------------------------------------------
+
+class StageBudgetSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StageBudgetSweep, BfsSemanticsPreserved)
+{
+    comp::CompileOptions opts;
+    opts.numStages = GetParam();
+    auto kernel = fe::compileKernel(wl::kBfsSerial);
+    auto res = comp::compilePipeline(*kernel.fn, opts);
+    ASSERT_TRUE(res.problems.empty())
+        << "stages " << GetParam() << ": " << res.problems.front();
+    EXPECT_LE(res.pipeline->stages.size(),
+              static_cast<size_t>(GetParam()));
+    EXPECT_TRUE(runAndCheck(*res.pipeline)) << "stages " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, StageBudgetSweep,
+                         ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------
+// Key toggle combinations across the whole evaluated suite, on each
+// workload's training input. Masks chosen to hit the Fig. 6 ladder's
+// rungs: nothing, RAs only, RA+CV, everything-but-handlers, full.
+// ---------------------------------------------------------------------
+
+class WorkloadToggleSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, int>>
+{
+};
+
+TEST_P(WorkloadToggleSweep, TrainingInputValidates)
+{
+    const auto& [name, mask] = GetParam();
+    wl::Workload w = wl::findWorkload(name);
+    const wl::Case* training = nullptr;
+    for (const auto& c : w.cases) {
+        if (c.training) {
+            training = &c;
+            break;
+        }
+    }
+    ASSERT_NE(training, nullptr);
+
+    comp::CompileOptions opts;
+    opts.recompute = (mask & 1) != 0;
+    opts.referenceAccelerators = (mask & 2) != 0;
+    opts.controlValues = (mask & 4) != 0;
+    opts.dce = (mask & 8) != 0;
+    opts.handlers = (mask & 16) != 0;
+    opts.numStages = w.maxThreads;
+
+    auto kernel = fe::compileKernel(w.serialSrc);
+    auto res = comp::compilePipeline(*kernel.fn, opts);
+    ASSERT_TRUE(res.problems.empty())
+        << name << " mask " << mask << ": " << res.problems.front();
+
+    sim::Binding b;
+    training->bind(b, 1);
+    sim::Machine m(sim::SysConfig::scaledEval());
+    auto stats = m.runPipeline(*res.pipeline, b);
+    ASSERT_FALSE(stats.deadlock)
+        << name << " mask " << mask << ": " << stats.deadlockInfo;
+    std::string err;
+    EXPECT_TRUE(training->check(b, wl::Variant::kPipeline, &err))
+        << name << " mask " << mask << ": " << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadToggleSweep,
+    ::testing::Combine(::testing::Values("bfs", "cc", "prd", "radii",
+                                         "spmm"),
+                       ::testing::Values(0, 2, 6, 14, 31)));
+
+} // namespace
+} // namespace phloem

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the synthetic input generators and golden implementations:
+ * CSR validity, Table IV/V statistic targets, and algorithmic sanity of
+ * the goldens (triangle inequality for BFS, component consistency for
+ * CC, monotonicity for radii).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/graph.h"
+#include "workloads/matrix.h"
+
+namespace phloem {
+namespace {
+
+void
+expectValidCsr(const wl::CSRGraph& g)
+{
+    ASSERT_EQ(g.nodes.size(), static_cast<size_t>(g.n) + 1);
+    EXPECT_EQ(g.nodes.front(), 0);
+    EXPECT_EQ(g.nodes.back(), static_cast<int32_t>(g.m()));
+    for (int32_t v = 0; v < g.n; ++v)
+        EXPECT_LE(g.nodes[static_cast<size_t>(v)],
+                  g.nodes[static_cast<size_t>(v) + 1]);
+    for (int32_t u : g.edges) {
+        EXPECT_GE(u, 0);
+        EXPECT_LT(u, g.n);
+    }
+}
+
+TEST(Generators, AllTableIVGraphsAreValidCsr)
+{
+    for (const auto& in : wl::tableIVInputs()) {
+        SCOPED_TRACE(in.name);
+        expectValidCsr(*in.graph);
+        EXPECT_GT(in.graph->m(), 0);
+        EXPECT_GE(in.root, 0);
+        EXPECT_LT(in.root, in.graph->n);
+    }
+}
+
+TEST(Generators, DegreeShapesMatchDomains)
+{
+    auto inputs = wl::tableIVInputs();
+    const wl::CSRGraph* road = nullptr;
+    const wl::CSRGraph* skitter = nullptr;
+    for (const auto& in : inputs) {
+        if (in.name == "USA-road-d-USA")
+            road = in.graph.get();
+        if (in.name == "as-Skitter")
+            skitter = in.graph.get();
+    }
+    ASSERT_NE(road, nullptr);
+    ASSERT_NE(skitter, nullptr);
+    // Road: near-uniform low degree; Skitter: heavy-tailed.
+    int32_t road_max = 0, skitter_max = 0;
+    for (int32_t v = 0; v < road->n; ++v)
+        road_max = std::max(road_max, road->degree(v));
+    for (int32_t v = 0; v < skitter->n; ++v)
+        skitter_max = std::max(skitter_max, skitter->degree(v));
+    EXPECT_LE(road_max, 8);
+    EXPECT_GT(skitter_max, 50);
+    EXPECT_LT(road->avgDegree(), 4.0);
+    EXPECT_GT(skitter->avgDegree(), 8.0);
+}
+
+TEST(Generators, Deterministic)
+{
+    auto a = wl::makeRMat(1024, 4000, 7);
+    auto b = wl::makeRMat(1024, 4000, 7);
+    EXPECT_EQ(a.edges, b.edges);
+    auto c = wl::makeRMat(1024, 4000, 8);
+    EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(Golden, BfsDistancesAreBfsDistances)
+{
+    auto g = wl::makeUniform(500, 4.0, 11);
+    auto dist = wl::bfsGolden(g, 0);
+    EXPECT_EQ(dist[0], 0);
+    // Triangle inequality along every edge.
+    for (int32_t v = 0; v < g.n; ++v) {
+        if (dist[static_cast<size_t>(v)] == INT32_MAX)
+            continue;
+        for (int32_t e = g.nodes[static_cast<size_t>(v)];
+             e < g.nodes[static_cast<size_t>(v) + 1]; ++e) {
+            int32_t u = g.edges[static_cast<size_t>(e)];
+            EXPECT_LE(dist[static_cast<size_t>(u)],
+                      dist[static_cast<size_t>(v)] + 1);
+        }
+    }
+}
+
+TEST(Golden, CcLabelsAreConsistentAlongEdges)
+{
+    auto g = wl::makeRoadNetwork(900, 0.7, 13);
+    auto labels = wl::ccGolden(g);
+    // Edge endpoints agree (directed edges here, but propagation was run
+    // to fixpoint, so u's label <= v's label along every edge... in a
+    // directed graph min-label propagates along edge direction only).
+    for (int32_t v = 0; v < g.n; ++v) {
+        for (int32_t e = g.nodes[static_cast<size_t>(v)];
+             e < g.nodes[static_cast<size_t>(v) + 1]; ++e) {
+            int32_t u = g.edges[static_cast<size_t>(e)];
+            EXPECT_LE(labels[static_cast<size_t>(u)],
+                      labels[static_cast<size_t>(v)]);
+        }
+    }
+    // Labels are representatives: label[v] <= v.
+    for (int32_t v = 0; v < g.n; ++v)
+        EXPECT_LE(labels[static_cast<size_t>(v)], v);
+}
+
+TEST(Golden, RadiiMasksRespectSamples)
+{
+    auto g = wl::makeUniform(400, 5.0, 19);
+    auto samples = wl::radiiSamples(g);
+    EXPECT_LE(samples.size(), 64u);
+    std::set<int32_t> uniq(samples.begin(), samples.end());
+    EXPECT_EQ(uniq.size(), samples.size());
+    auto radii = wl::radiiGolden(g);
+    for (int32_t s : samples)
+        EXPECT_GE(radii[static_cast<size_t>(s)], 0);
+}
+
+TEST(Matrices, CsrAndTransposeAgree)
+{
+    auto a = wl::makeRandomMatrix(120, 6.0, 31);
+    auto t = wl::transpose(a);
+    EXPECT_EQ(a.nnz(), t.nnz());
+    // Spot-check: (r, c, v) in a <=> (c, r, v) in t.
+    for (int32_t r = 0; r < a.rows; ++r) {
+        for (int32_t p = a.pos[static_cast<size_t>(r)];
+             p < a.pos[static_cast<size_t>(r) + 1]; ++p) {
+            int32_t c = a.crd[static_cast<size_t>(p)];
+            double v = a.val[static_cast<size_t>(p)];
+            bool found = false;
+            for (int32_t q = t.pos[static_cast<size_t>(c)];
+                 q < t.pos[static_cast<size_t>(c) + 1]; ++q) {
+                if (t.crd[static_cast<size_t>(q)] == r &&
+                    t.val[static_cast<size_t>(q)] == v) {
+                    found = true;
+                }
+            }
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST(Matrices, SpmmGoldenMatchesDenseReference)
+{
+    auto a = wl::makeRandomMatrix(40, 4.0, 37);
+    auto bt = wl::transpose(wl::makeRandomMatrix(40, 4.0, 38));
+    auto c = wl::spmmGolden(a, bt);
+    // Dense reference.
+    for (int32_t i = 0; i < 40; ++i) {
+        for (int32_t j = 0; j < 40; ++j) {
+            double want = 0;
+            for (int32_t k = 0; k < 40; ++k) {
+                double av = 0, bv = 0;
+                for (int32_t p = a.pos[static_cast<size_t>(i)];
+                     p < a.pos[static_cast<size_t>(i) + 1]; ++p) {
+                    if (a.crd[static_cast<size_t>(p)] == k)
+                        av = a.val[static_cast<size_t>(p)];
+                }
+                for (int32_t p = bt.pos[static_cast<size_t>(j)];
+                     p < bt.pos[static_cast<size_t>(j) + 1]; ++p) {
+                    if (bt.crd[static_cast<size_t>(p)] == k)
+                        bv = bt.val[static_cast<size_t>(p)];
+                }
+                want += av * bv;
+            }
+            EXPECT_NEAR(c[static_cast<size_t>(i) * 40 +
+                          static_cast<size_t>(j)],
+                        want, 1e-9);
+        }
+    }
+}
+
+TEST(Matrices, SpmvResidualMtmulGoldensAgree)
+{
+    auto a = wl::makeRandomMatrix(64, 5.0, 41);
+    auto x = wl::makeVector(64, 42);
+    auto b = wl::makeVector(64, 43);
+    auto z = wl::makeVector(64, 44);
+    auto y = wl::spmvGolden(a, x);
+    auto r = wl::residualGolden(a, x, b);
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(r[i], b[i] - y[i], 1e-12);
+    auto t = wl::transpose(a);
+    auto m1 = wl::mtmulGolden(a, x, z, 2.0, 0.5);
+    auto yt = wl::spmvGolden(t, x);
+    for (size_t i = 0; i < m1.size(); ++i)
+        EXPECT_NEAR(m1[i], 2.0 * yt[i] + 0.5 * z[i], 1e-9);
+}
+
+} // namespace
+} // namespace phloem

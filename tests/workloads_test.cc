@@ -1,0 +1,135 @@
+/**
+ * @file
+ * End-to-end workload tests: every benchmark's serial, Phloem-static,
+ * data-parallel, and manual variants must produce outputs matching the
+ * golden C++ implementations on the training inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+#include "ir/printer.h"
+#include "workloads/workload.h"
+
+namespace phloem {
+namespace {
+
+/** (workload, variant) parameterized sweep over the training inputs. */
+struct ParamCase
+{
+    const char* workload;
+    const char* variant;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<ParamCase>& info)
+{
+    return std::string(info.param.workload) + "_" + info.param.variant;
+}
+
+class WorkloadVariant : public ::testing::TestWithParam<ParamCase>
+{
+};
+
+TEST_P(WorkloadVariant, TrainingInputsValidate)
+{
+    auto [wname, variant] = GetParam();
+    driver::Experiment exp(wl::findWorkload(wname));
+
+    comp::CompileResult compiled;
+    ir::PipelinePtr manual;
+    if (std::string(variant) == "phloem") {
+        compiled = exp.compileStatic();
+        ASSERT_TRUE(compiled.pipeline != nullptr);
+        for (const auto& p : compiled.problems)
+            ADD_FAILURE() << "verify: " << p;
+    } else if (std::string(variant) == "manual") {
+        manual = exp.buildManual();
+        ASSERT_TRUE(manual != nullptr);
+    }
+
+    int tested = 0;
+    for (const auto& c : exp.workload().cases) {
+        if (!c.training)
+            continue;
+        driver::RunOutcome out;
+        if (std::string(variant) == "serial") {
+            out = exp.runSerial(c);
+        } else if (std::string(variant) == "parallel") {
+            out = exp.runParallel(c, 4);
+        } else if (std::string(variant) == "phloem") {
+            out = exp.runPipeline(c, *compiled.pipeline);
+        } else {
+            out = exp.runPipeline(c, *manual);
+        }
+        EXPECT_TRUE(out.correct)
+            << wname << "/" << variant << " on " << c.inputName << ": "
+            << out.error;
+        EXPECT_GT(out.stats.cycles, 0u);
+        tested++;
+    }
+    EXPECT_GE(tested, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadVariant,
+    ::testing::Values(ParamCase{"bfs", "serial"},
+                      ParamCase{"bfs", "phloem"},
+                      ParamCase{"bfs", "parallel"},
+                      ParamCase{"bfs", "manual"},
+                      ParamCase{"cc", "serial"},
+                      ParamCase{"cc", "phloem"},
+                      ParamCase{"cc", "parallel"},
+                      ParamCase{"cc", "manual"},
+                      ParamCase{"prd", "serial"},
+                      ParamCase{"prd", "phloem"},
+                      ParamCase{"prd", "parallel"},
+                      ParamCase{"prd", "manual"},
+                      ParamCase{"radii", "serial"},
+                      ParamCase{"radii", "phloem"},
+                      ParamCase{"radii", "parallel"},
+                      ParamCase{"radii", "manual"},
+                      ParamCase{"spmm", "serial"},
+                      ParamCase{"spmm", "phloem"},
+                      ParamCase{"spmm", "parallel"},
+                      ParamCase{"spmm", "manual"}),
+    paramName);
+
+TEST(WorkloadSpeed, BfsPipelineBeatsSerialOnTraining)
+{
+    driver::Experiment exp(wl::findWorkload("bfs"));
+    auto compiled = exp.compileStatic();
+    ASSERT_TRUE(compiled.ok());
+    for (const auto& c : exp.workload().cases) {
+        if (!c.training)
+            continue;
+        uint64_t serial = exp.serialCycles(c);
+        auto out = exp.runPipeline(c, *compiled.pipeline);
+        ASSERT_TRUE(out.correct) << out.error;
+        EXPECT_LT(out.stats.cycles, serial)
+            << "pipeline slower than serial on " << c.inputName;
+    }
+}
+
+TEST(WorkloadPgo, AutotunerFindsCorrectFasterPipeline)
+{
+    driver::Experiment exp(wl::findWorkload("bfs"),
+                           sim::SysConfig::scaledEval());
+    comp::AutotuneOptions opts;
+    opts.topK = 3;  // small candidate pool keeps the test quick
+    auto result = exp.autotunePGO(opts);
+    ASSERT_TRUE(result.best.pipeline != nullptr);
+    EXPECT_GT(result.bestTrainingSpeedup, 1.0)
+        << "the search should find a pipeline faster than serial";
+    EXPECT_GE(result.entries.size(), 5u);
+    // The winner must validate on a held-out test input too.
+    for (const auto& c : exp.workload().cases) {
+        if (c.training || c.inputName != "coAuthorsDBLP")
+            continue;
+        auto out = exp.runPipeline(c, *result.best.pipeline);
+        EXPECT_TRUE(out.correct) << out.error;
+    }
+}
+
+} // namespace
+} // namespace phloem

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * phloemc: the Phloem command-line compiler driver.
+ *
+ * Reads a mini-C source file, compiles the requested kernel (the first
+ * `#pragma phloem` function by default) into a pipeline, and prints the
+ * serial IR, the generated pipeline, and the compiler's notes. With
+ * --taco, the input is a tensor index expression instead of C.
+ *
+ * Usage:
+ *   phloemc [options] <file.c>
+ *   phloemc --taco 'y(i) = A(i,j) * x(j)'
+ *
+ * Options:
+ *   --stages N      target stage-thread count (default 4)
+ *   --no-ra         disable reference accelerators
+ *   --no-cv         disable control values (implies no DCE/handlers)
+ *   --no-dce        disable inter-stage dead code elimination
+ *   --no-handlers   disable control-value handlers
+ *   --kernel NAME   compile the named function
+ *   --ir-only       print only the serial IR
+ *   --quiet         print only the pipeline summary line
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "frontend/frontend.h"
+#include "ir/printer.h"
+#include "taco/taco.h"
+
+using namespace phloem;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: phloemc [--stages N] [--no-ra] [--no-cv] "
+                 "[--no-dce] [--no-handlers]\n"
+                 "               [--kernel NAME] [--ir-only] [--quiet] "
+                 "<file.c>\n"
+                 "       phloemc --taco '<tensor expression>'\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    comp::CompileOptions opts;
+    std::string path;
+    std::string kernel_name;
+    std::string taco_expr;
+    bool ir_only = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--stages" && i + 1 < argc) {
+            opts.numStages = std::atoi(argv[++i]);
+        } else if (arg == "--no-ra") {
+            opts.referenceAccelerators = false;
+        } else if (arg == "--no-cv") {
+            opts.controlValues = false;
+        } else if (arg == "--no-dce") {
+            opts.dce = false;
+        } else if (arg == "--no-handlers") {
+            opts.handlers = false;
+        } else if (arg == "--kernel" && i + 1 < argc) {
+            kernel_name = argv[++i];
+        } else if (arg == "--taco" && i + 1 < argc) {
+            taco_expr = argv[++i];
+        } else if (arg == "--ir-only") {
+            ir_only = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else {
+            path = arg;
+        }
+    }
+
+    std::string source;
+    if (!taco_expr.empty()) {
+        taco::TacoKernel k =
+            taco::compileExpression("taco_kernel", taco_expr);
+        if (!quiet)
+            std::printf("=== emitted C (from '%s') ===\n%s\n",
+                        k.expression.c_str(), k.source.c_str());
+        source = k.source;
+    } else {
+        if (path.empty())
+            return usage();
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "phloemc: cannot open %s\n",
+                         path.c_str());
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        source = buf.str();
+    }
+
+    try {
+        fe::CompiledKernel kernel =
+            fe::compileKernel(source, kernel_name);
+        if (!quiet && !kernel.ann.phloem) {
+            std::fprintf(stderr,
+                         "phloemc: note: '%s' has no #pragma phloem; "
+                         "compiling anyway\n",
+                         kernel.fn->name.c_str());
+        }
+        if (!quiet)
+            std::printf("=== serial IR ===\n%s\n",
+                        ir::toString(*kernel.fn).c_str());
+        if (ir_only)
+            return 0;
+
+        for (int cut : kernel.ann.decoupleOps)
+            opts.forcedCuts.push_back(cut);
+        if (kernel.ann.replicas > 1)
+            opts.replicas = kernel.ann.replicas;
+        if (!kernel.ann.distributeOps.empty()) {
+            opts.distributeBoundaryOp = kernel.ann.distributeOps.front();
+            opts.forcedCuts.push_back(kernel.ann.distributeOps.front());
+        }
+
+        comp::CompileResult result =
+            comp::compilePipeline(*kernel.fn, opts);
+        if (!quiet) {
+            for (const auto& note : result.notes)
+                std::printf("note: %s\n", note.c_str());
+            std::printf("\n=== pipeline ===\n%s\n",
+                        ir::toString(*result.pipeline).c_str());
+        }
+        std::printf("%s: %zu stages + %zu RAs, %d queues%s\n",
+                    kernel.fn->name.c_str(),
+                    result.pipeline->stages.size(),
+                    result.pipeline->ras.size(),
+                    result.pipeline->numQueues(),
+                    result.problems.empty() ? "" : "  [VERIFY FAILED]");
+        for (const auto& p : result.problems)
+            std::fprintf(stderr, "verify: %s\n", p.c_str());
+        return result.problems.empty() ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "phloemc: %s\n", e.what());
+        return 1;
+    }
+}
