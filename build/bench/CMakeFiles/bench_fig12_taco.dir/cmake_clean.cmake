@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_taco.dir/bench_fig12_taco.cc.o"
+  "CMakeFiles/bench_fig12_taco.dir/bench_fig12_taco.cc.o.d"
+  "bench_fig12_taco"
+  "bench_fig12_taco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_taco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_passes.dir/bench_fig6_passes.cc.o"
+  "CMakeFiles/bench_fig6_passes.dir/bench_fig6_passes.cc.o.d"
+  "bench_fig6_passes"
+  "bench_fig6_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/phloem_bench_common.dir/bench_common.cc.o.d"
+  "libphloem_bench_common.a"
+  "libphloem_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_bfs.dir/replicated_bfs.cpp.o"
+  "CMakeFiles/replicated_bfs.dir/replicated_bfs.cpp.o.d"
+  "replicated_bfs"
+  "replicated_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_kernels.dir/tensor_kernels.cpp.o"
+  "CMakeFiles/tensor_kernels.dir/tensor_kernels.cpp.o.d"
+  "tensor_kernels"
+  "tensor_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_base.dir/logging.cc.o"
+  "CMakeFiles/phloem_base.dir/logging.cc.o.d"
+  "libphloem_base.a"
+  "libphloem_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

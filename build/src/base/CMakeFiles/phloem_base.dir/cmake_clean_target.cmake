@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphloem_base.a"
+)

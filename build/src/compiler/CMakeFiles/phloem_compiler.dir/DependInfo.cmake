@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/autotune.cc" "src/compiler/CMakeFiles/phloem_compiler.dir/autotune.cc.o" "gcc" "src/compiler/CMakeFiles/phloem_compiler.dir/autotune.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/phloem_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/phloem_compiler.dir/compiler.cc.o.d"
+  "/root/repo/src/compiler/cost_model.cc" "src/compiler/CMakeFiles/phloem_compiler.dir/cost_model.cc.o" "gcc" "src/compiler/CMakeFiles/phloem_compiler.dir/cost_model.cc.o.d"
+  "/root/repo/src/compiler/decouple.cc" "src/compiler/CMakeFiles/phloem_compiler.dir/decouple.cc.o" "gcc" "src/compiler/CMakeFiles/phloem_compiler.dir/decouple.cc.o.d"
+  "/root/repo/src/compiler/passes.cc" "src/compiler/CMakeFiles/phloem_compiler.dir/passes.cc.o" "gcc" "src/compiler/CMakeFiles/phloem_compiler.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/phloem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/phloem_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_compiler.dir/autotune.cc.o"
+  "CMakeFiles/phloem_compiler.dir/autotune.cc.o.d"
+  "CMakeFiles/phloem_compiler.dir/compiler.cc.o"
+  "CMakeFiles/phloem_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/phloem_compiler.dir/cost_model.cc.o"
+  "CMakeFiles/phloem_compiler.dir/cost_model.cc.o.d"
+  "CMakeFiles/phloem_compiler.dir/decouple.cc.o"
+  "CMakeFiles/phloem_compiler.dir/decouple.cc.o.d"
+  "CMakeFiles/phloem_compiler.dir/passes.cc.o"
+  "CMakeFiles/phloem_compiler.dir/passes.cc.o.d"
+  "libphloem_compiler.a"
+  "libphloem_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_driver.dir/experiment.cc.o"
+  "CMakeFiles/phloem_driver.dir/experiment.cc.o.d"
+  "libphloem_driver.a"
+  "libphloem_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_frontend.dir/inline.cc.o"
+  "CMakeFiles/phloem_frontend.dir/inline.cc.o.d"
+  "CMakeFiles/phloem_frontend.dir/lexer.cc.o"
+  "CMakeFiles/phloem_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/phloem_frontend.dir/lower.cc.o"
+  "CMakeFiles/phloem_frontend.dir/lower.cc.o.d"
+  "CMakeFiles/phloem_frontend.dir/parser.cc.o"
+  "CMakeFiles/phloem_frontend.dir/parser.cc.o.d"
+  "libphloem_frontend.a"
+  "libphloem_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

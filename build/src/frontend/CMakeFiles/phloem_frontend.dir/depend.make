@@ -1,0 +1,2 @@
+# Empty dependencies file for phloem_frontend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/clone.cc" "src/ir/CMakeFiles/phloem_ir.dir/clone.cc.o" "gcc" "src/ir/CMakeFiles/phloem_ir.dir/clone.cc.o.d"
+  "/root/repo/src/ir/op.cc" "src/ir/CMakeFiles/phloem_ir.dir/op.cc.o" "gcc" "src/ir/CMakeFiles/phloem_ir.dir/op.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/phloem_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/phloem_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/simplify.cc" "src/ir/CMakeFiles/phloem_ir.dir/simplify.cc.o" "gcc" "src/ir/CMakeFiles/phloem_ir.dir/simplify.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/phloem_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/phloem_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/phloem_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

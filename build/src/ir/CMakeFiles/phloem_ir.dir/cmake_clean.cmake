@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_ir.dir/clone.cc.o"
+  "CMakeFiles/phloem_ir.dir/clone.cc.o.d"
+  "CMakeFiles/phloem_ir.dir/op.cc.o"
+  "CMakeFiles/phloem_ir.dir/op.cc.o.d"
+  "CMakeFiles/phloem_ir.dir/printer.cc.o"
+  "CMakeFiles/phloem_ir.dir/printer.cc.o.d"
+  "CMakeFiles/phloem_ir.dir/simplify.cc.o"
+  "CMakeFiles/phloem_ir.dir/simplify.cc.o.d"
+  "CMakeFiles/phloem_ir.dir/verifier.cc.o"
+  "CMakeFiles/phloem_ir.dir/verifier.cc.o.d"
+  "libphloem_ir.a"
+  "libphloem_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataflow_model.cc" "src/sim/CMakeFiles/phloem_sim.dir/dataflow_model.cc.o" "gcc" "src/sim/CMakeFiles/phloem_sim.dir/dataflow_model.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/phloem_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/phloem_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/phloem_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/phloem_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/phloem_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/phloem_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/program.cc" "src/sim/CMakeFiles/phloem_sim.dir/program.cc.o" "gcc" "src/sim/CMakeFiles/phloem_sim.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/phloem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/phloem_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_sim.dir/dataflow_model.cc.o"
+  "CMakeFiles/phloem_sim.dir/dataflow_model.cc.o.d"
+  "CMakeFiles/phloem_sim.dir/energy.cc.o"
+  "CMakeFiles/phloem_sim.dir/energy.cc.o.d"
+  "CMakeFiles/phloem_sim.dir/machine.cc.o"
+  "CMakeFiles/phloem_sim.dir/machine.cc.o.d"
+  "CMakeFiles/phloem_sim.dir/memory.cc.o"
+  "CMakeFiles/phloem_sim.dir/memory.cc.o.d"
+  "CMakeFiles/phloem_sim.dir/program.cc.o"
+  "CMakeFiles/phloem_sim.dir/program.cc.o.d"
+  "libphloem_sim.a"
+  "libphloem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_taco.dir/taco.cc.o"
+  "CMakeFiles/phloem_taco.dir/taco.cc.o.d"
+  "libphloem_taco.a"
+  "libphloem_taco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_taco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/phloem_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/phloem_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/workloads/CMakeFiles/phloem_workloads.dir/kernels.cc.o" "gcc" "src/workloads/CMakeFiles/phloem_workloads.dir/kernels.cc.o.d"
+  "/root/repo/src/workloads/manual.cc" "src/workloads/CMakeFiles/phloem_workloads.dir/manual.cc.o" "gcc" "src/workloads/CMakeFiles/phloem_workloads.dir/manual.cc.o.d"
+  "/root/repo/src/workloads/matrix.cc" "src/workloads/CMakeFiles/phloem_workloads.dir/matrix.cc.o" "gcc" "src/workloads/CMakeFiles/phloem_workloads.dir/matrix.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/phloem_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/phloem_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/taco/CMakeFiles/phloem_taco.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/phloem_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phloem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/phloem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/phloem_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/phloem_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

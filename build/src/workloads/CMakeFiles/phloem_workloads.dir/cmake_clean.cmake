@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloem_workloads.dir/graph.cc.o"
+  "CMakeFiles/phloem_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/phloem_workloads.dir/kernels.cc.o"
+  "CMakeFiles/phloem_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/phloem_workloads.dir/manual.cc.o"
+  "CMakeFiles/phloem_workloads.dir/manual.cc.o.d"
+  "CMakeFiles/phloem_workloads.dir/matrix.cc.o"
+  "CMakeFiles/phloem_workloads.dir/matrix.cc.o.d"
+  "CMakeFiles/phloem_workloads.dir/workload.cc.o"
+  "CMakeFiles/phloem_workloads.dir/workload.cc.o.d"
+  "libphloem_workloads.a"
+  "libphloem_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloem_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/phloem_workloads.dir/kernels.cc.o: \
+ /root/repo/src/workloads/kernels.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/kernels.h

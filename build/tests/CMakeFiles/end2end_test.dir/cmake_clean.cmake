@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end2end_test.dir/end2end_test.cc.o"
+  "CMakeFiles/end2end_test.dir/end2end_test.cc.o.d"
+  "end2end_test"
+  "end2end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end2end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/replication_test.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/replication_test.dir/replication_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/phloem_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/phloem_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/taco/CMakeFiles/phloem_taco.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/phloem_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/phloem_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phloem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/phloem_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/phloem_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

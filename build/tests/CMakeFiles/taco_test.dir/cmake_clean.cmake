@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taco_test.dir/taco_test.cc.o"
+  "CMakeFiles/taco_test.dir/taco_test.cc.o.d"
+  "taco_test"
+  "taco_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toggle_test.dir/toggle_test.cc.o"
+  "CMakeFiles/toggle_test.dir/toggle_test.cc.o.d"
+  "toggle_test"
+  "toggle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toggle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_gen_test.dir/workload_gen_test.cc.o"
+  "CMakeFiles/workload_gen_test.dir/workload_gen_test.cc.o.d"
+  "workload_gen_test"
+  "workload_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(compiler_test "/root/repo/build/tests/compiler_test")
+set_tests_properties(compiler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(end2end_test "/root/repo/build/tests/end2end_test")
+set_tests_properties(end2end_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(frontend_test "/root/repo/build/tests/frontend_test")
+set_tests_properties(frontend_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(model_test "/root/repo/build/tests/model_test")
+set_tests_properties(model_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(passes_test "/root/repo/build/tests/passes_test")
+set_tests_properties(passes_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(program_test "/root/repo/build/tests/program_test")
+set_tests_properties(program_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(toggle_test "/root/repo/build/tests/toggle_test")
+set_tests_properties(toggle_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(replication_test "/root/repo/build/tests/replication_test")
+set_tests_properties(replication_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stress_test "/root/repo/build/tests/stress_test")
+set_tests_properties(stress_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(taco_test "/root/repo/build/tests/taco_test")
+set_tests_properties(taco_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;24;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workload_gen_test "/root/repo/build/tests/workload_gen_test")
+set_tests_properties(workload_gen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;25;phloem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;26;phloem_test;/root/repo/tests/CMakeLists.txt;0;")

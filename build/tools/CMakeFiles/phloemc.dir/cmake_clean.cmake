@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phloemc.dir/phloemc.cc.o"
+  "CMakeFiles/phloemc.dir/phloemc.cc.o.d"
+  "phloemc"
+  "phloemc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phloemc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
