@@ -1,0 +1,25 @@
+/*
+ * Sparse matrix-vector product in mini-C, the quick-start input for
+ * phloemc. The irregular x[col[k]] gather is exactly the access pattern
+ * fine-grain pipelining decouples:
+ *
+ *   phloemc --run=both examples/spmv.c
+ *
+ * compiles the kernel into a pipeline, executes it both natively (host
+ * threads + SPSC queues) and on the simulator, and checks the two
+ * outputs match bit-for-bit.
+ */
+#pragma phloem
+void spmv(const int* restrict row, const int* restrict col,
+          const double* restrict val, const double* restrict x,
+          double* restrict y, int n) {
+    for (int i = 0; i < n; i++) {
+        double sum = 0.0;
+        int start = row[i];
+        int end = row[i + 1];
+        for (int k = start; k < end; k++) {
+            sum = sum + val[k] * x[col[k]];
+        }
+        y[i] = sum;
+    }
+}

@@ -685,16 +685,20 @@ tryScanOffload(ir::Pipeline& pipeline, PassReport* report, int max_ras,
 
                 // Replace the loop with the range enqueue pair (unless
                 // chained, in which case the RA chain carries the range).
+                // Erasing destroys the ForStmt `f` points into, so take
+                // what we still need first.
+                ir::RegId range_start = f->start;
+                ir::RegId range_bound = f->bound;
                 size_t pos = i;
                 region.erase(region.begin() + static_cast<long>(pos));
                 if (!chained) {
                     Op e1 = makeOp(fn, Opcode::kEnq);
                     e1.queue = cfg.inQueue;
-                    e1.src[0] = f->start;
+                    e1.src[0] = range_start;
                     e1.origin = origin;
                     Op e2 = makeOp(fn, Opcode::kEnq);
                     e2.queue = cfg.inQueue;
-                    e2.src[0] = f->bound;
+                    e2.src[0] = range_bound;
                     e2.origin = origin;
                     insertOpAt(region, pos, fn, e1);
                     insertOpAt(region, pos + 1, fn, e2);

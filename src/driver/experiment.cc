@@ -84,6 +84,50 @@ Experiment::runPipeline(const wl::Case& c, const ir::Pipeline& pipeline)
     return out;
 }
 
+NativeOutcome
+Experiment::runNative(const wl::Case& c, const ir::Pipeline& pipeline,
+                      const rt::RuntimeOptions& ropts)
+{
+    NativeOutcome out;
+    sim::Binding binding;
+    c.bind(binding, /*nthreads=*/1);
+    rt::Runtime runtime(cfg_, ropts);
+    try {
+        out.stats = runtime.runPipeline(pipeline, binding);
+    } catch (const std::exception& e) {
+        out.error = e.what();
+        return out;
+    }
+    if (!out.stats.ok) {
+        out.error = out.stats.error;
+        return out;
+    }
+    out.correct = c.check(binding, wl::Variant::kPipeline, &out.error);
+    return out;
+}
+
+NativeOutcome
+Experiment::runNativeSerial(const wl::Case& c,
+                            const rt::RuntimeOptions& ropts)
+{
+    NativeOutcome out;
+    sim::Binding binding;
+    c.bind(binding, /*nthreads=*/1);
+    rt::Runtime runtime(cfg_, ropts);
+    try {
+        out.stats = runtime.runSerial(*serialFn_, binding);
+    } catch (const std::exception& e) {
+        out.error = e.what();
+        return out;
+    }
+    if (!out.stats.ok) {
+        out.error = out.stats.error;
+        return out;
+    }
+    out.correct = c.check(binding, wl::Variant::kSerial, &out.error);
+    return out;
+}
+
 comp::CompileResult
 Experiment::compileStatic(const comp::CompileOptions& opts)
 {

@@ -14,6 +14,7 @@
 
 #include "compiler/autotune.h"
 #include "compiler/compiler.h"
+#include "runtime/runtime.h"
 #include "sim/config.h"
 #include "sim/energy.h"
 #include "sim/machine.h"
@@ -28,6 +29,16 @@ struct RunOutcome
     std::string error;
     /** Wall cycles; 0 when the run failed. */
     uint64_t cycles() const { return correct ? stats.cycles : 0; }
+};
+
+/** Result of a native (host-thread) execution. */
+struct NativeOutcome
+{
+    rt::NativeStats stats;
+    bool correct = false;
+    std::string error;
+    /** Wall-clock ms; 0 when the run failed. */
+    double wallMs() const { return correct ? stats.wallMs() : 0.0; }
 };
 
 /** One workload compiled once; reused across inputs and variants. */
@@ -57,6 +68,21 @@ class Experiment
 
     /** Run an arbitrary pipeline. */
     RunOutcome runPipeline(const wl::Case& c, const ir::Pipeline& pipeline);
+
+    /**
+     * Run a pipeline natively: one host thread per stage (and per RA),
+     * lock-free SPSC rings for the queues. Functionally identical to
+     * runPipeline — the differential tests enforce bit-for-bit equality
+     * — but the stats measure real wall time and queue backpressure.
+     */
+    NativeOutcome runNative(const wl::Case& c, const ir::Pipeline& pipeline,
+                            const rt::RuntimeOptions& ropts =
+                                rt::RuntimeOptions{});
+
+    /** Run the serial baseline natively on one host thread. */
+    NativeOutcome runNativeSerial(const wl::Case& c,
+                                  const rt::RuntimeOptions& ropts =
+                                      rt::RuntimeOptions{});
 
     /** Compile with the static cost-model flow. */
     comp::CompileResult compileStatic(const comp::CompileOptions& opts =

@@ -12,11 +12,13 @@
 #ifndef PHLOEM_IR_PIPELINE_H
 #define PHLOEM_IR_PIPELINE_H
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ir/function.h"
+#include "ir/walk.h"
 
 namespace phloem::ir {
 
@@ -109,6 +111,34 @@ struct Pipeline
 };
 
 using PipelinePtr = std::unique_ptr<Pipeline>;
+
+/**
+ * Largest queue id referenced anywhere in a pipeline (stage bodies,
+ * control handlers, and RA endpoints); -1 if no queues are used. Both
+ * execution backends use this to size per-replica queue strides, so the
+ * computation lives here rather than in either backend.
+ */
+inline int
+maxQueueId(const Pipeline& pipeline)
+{
+    int max_qid = -1;
+    for (const auto& stage : pipeline.stages) {
+        forEachOp(stage->body, [&](const Op& op) {
+            if (usesQueue(op.opcode))
+                max_qid = std::max(max_qid, op.queue);
+        });
+        for (const auto& h : stage->handlers) {
+            max_qid = std::max(max_qid, h.queue);
+            forEachOp(h.body, [&](const Op& op) {
+                if (usesQueue(op.opcode))
+                    max_qid = std::max(max_qid, op.queue);
+            });
+        }
+    }
+    for (const auto& ra : pipeline.ras)
+        max_qid = std::max({max_qid, ra.inQueue, ra.outQueue});
+    return max_qid;
+}
 
 } // namespace phloem::ir
 

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Bounded lock-free single-producer/single-consumer ring buffer: the
+ * native-runtime analogue of one Pipette architectural queue.
+ *
+ * Design (in the spirit of Lamport's ring with cached indices, as used
+ * by modern pipeline runtimes):
+ *  - capacity is exact (a queue of depth d holds at most d elements,
+ *    matching SysConfig::queueDepth / QueueConfig::depth semantics);
+ *  - producer and consumer indices live on separate cache lines so the
+ *    hot path has no false sharing; each side additionally caches the
+ *    other side's index and re-reads it only when the ring looks
+ *    full/empty, which removes most cross-core coherence traffic;
+ *  - tryPush/tryPop never block; blocking with spin-then-yield backoff
+ *    is layered above (runtime/worker.cc), where shutdown and deadlock
+ *    watchdog conditions are checked.
+ *
+ * Queues targeted by kEnqDist have one producer *per replica*; those are
+ * marked multi-producer and pushes serialize on a tiny spinlock (the
+ * consumer side stays lock-free).
+ */
+
+#ifndef PHLOEM_RUNTIME_QUEUE_H
+#define PHLOEM_RUNTIME_QUEUE_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+#include "ir/type.h"
+
+namespace phloem::rt {
+
+/** Pause the core briefly inside a spin loop. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpscQueue
+{
+  public:
+    explicit SpscQueue(int depth)
+        : depth_(depth), slots_(static_cast<size_t>(depth) + 1),
+          buf_(static_cast<size_t>(depth) + 1)
+    {
+        phloem_assert(depth >= 1, "queue depth must be positive");
+    }
+
+    SpscQueue(const SpscQueue&) = delete;
+    SpscQueue& operator=(const SpscQueue&) = delete;
+
+    int depth() const { return depth_; }
+
+    void setMultiProducer() { multiProducer_ = true; }
+    bool multiProducer() const { return multiProducer_; }
+
+    /** Producer side: enqueue v; false when the ring is full. */
+    bool
+    tryPush(const ir::Value& v)
+    {
+        if (multiProducer_) {
+            while (pushLock_.exchange(true, std::memory_order_acquire))
+                cpuRelax();
+            bool ok = pushImpl(v);
+            pushLock_.store(false, std::memory_order_release);
+            return ok;
+        }
+        return pushImpl(v);
+    }
+
+    /**
+     * Producer side: push up to max_n values obtained from gen(k),
+     * k = 0..n-1, publishing them all with a single release store.
+     * Returns the number pushed (0 when the ring is full). Scan RAs use
+     * this to stream ranges without per-element synchronization.
+     */
+    template <typename Gen>
+    size_t
+    pushBatch(size_t max_n, Gen&& gen)
+    {
+        if (multiProducer_) {
+            while (pushLock_.exchange(true, std::memory_order_acquire))
+                cpuRelax();
+            size_t n = pushBatchImpl(max_n, gen);
+            pushLock_.store(false, std::memory_order_release);
+            return n;
+        }
+        return pushBatchImpl(max_n, gen);
+    }
+
+    /** Consumer side: dequeue into v; false when the ring is empty. */
+    bool
+    tryPop(ir::Value& v)
+    {
+        size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_)
+                return false;
+        }
+        v = buf_[head];
+        head_.store(next(head), std::memory_order_release);
+        deqCount_++;
+        return true;
+    }
+
+    /** Consumer side: read the front element without removing it. */
+    bool
+    tryPeek(ir::Value& v)
+    {
+        size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_)
+                return false;
+        }
+        v = buf_[head];
+        return true;
+    }
+
+    /**
+     * Approximate occupancy: exact when called from the producer or
+     * consumer thread between their own operations, stale otherwise.
+     */
+    size_t
+    sizeApprox() const
+    {
+        size_t head = head_.load(std::memory_order_acquire);
+        size_t tail = tail_.load(std::memory_order_acquire);
+        return (tail + slots_ - head) % slots_;
+    }
+
+    // --- Stats, read after the run when all workers have joined. ---
+    uint64_t enqCount() const { return enqCount_; }
+    uint64_t deqCount() const { return deqCount_; }
+    size_t maxOccupancy() const { return maxOcc_; }
+    uint64_t enqBlocks() const
+    {
+        return enqBlocks_.load(std::memory_order_relaxed);
+    }
+    uint64_t deqBlocks() const { return deqBlocks_; }
+
+    /** Producer-side bookkeeping: one failed push that led to a wait. */
+    void
+    noteEnqBlocked()
+    {
+        enqBlocks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    /** Consumer-side bookkeeping: one failed pop that led to a wait. */
+    void noteDeqBlocked() { deqBlocks_++; }
+
+  private:
+    size_t next(size_t i) const { return i + 1 == slots_ ? 0 : i + 1; }
+
+    size_t
+    usedSlots(size_t tail) const
+    {
+        return tail >= headCache_ ? tail - headCache_
+                                  : tail + slots_ - headCache_;
+    }
+
+    template <typename Gen>
+    size_t
+    pushBatchImpl(size_t max_n, Gen&& gen)
+    {
+        size_t tail = tail_.load(std::memory_order_relaxed);
+        size_t used = usedSlots(tail);
+        size_t free_slots = slots_ - 1 - used;
+        if (free_slots < max_n) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            used = usedSlots(tail);
+            free_slots = slots_ - 1 - used;
+            if (free_slots == 0)
+                return 0;
+        }
+        size_t n = std::min(max_n, free_slots);
+        size_t t = tail;
+        for (size_t k = 0; k < n; ++k) {
+            buf_[t] = gen(k);
+            t = next(t);
+        }
+        tail_.store(t, std::memory_order_release);
+        enqCount_ += n;
+        size_t occ = used + n;
+        if (occ > maxOcc_)
+            maxOcc_ = occ;
+        return n;
+    }
+
+    bool
+    pushImpl(const ir::Value& v)
+    {
+        size_t tail = tail_.load(std::memory_order_relaxed);
+        size_t nxt = next(tail);
+        if (nxt == headCache_) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (nxt == headCache_)
+                return false;
+        }
+        buf_[tail] = v;
+        tail_.store(nxt, std::memory_order_release);
+        enqCount_++;
+        size_t occ = tail >= headCache_ ? tail - headCache_ + 1
+                                        : tail + slots_ - headCache_ + 1;
+        if (occ > maxOcc_)
+            maxOcc_ = occ;
+        return true;
+    }
+
+    const int depth_;
+    const size_t slots_;
+    std::vector<ir::Value> buf_;
+
+    // Consumer-owned line: index plus the consumer's cache of tail.
+    alignas(64) std::atomic<size_t> head_{0};
+    size_t tailCache_ = 0;
+    uint64_t deqCount_ = 0;
+    uint64_t deqBlocks_ = 0;
+
+    // Producer-owned line: index plus the producer's cache of head.
+    alignas(64) std::atomic<size_t> tail_{0};
+    size_t headCache_ = 0;
+    uint64_t enqCount_ = 0;
+    size_t maxOcc_ = 0;
+
+    // Shared (cold path only).
+    alignas(64) std::atomic<bool> pushLock_{false};
+    std::atomic<uint64_t> enqBlocks_{0};
+    bool multiProducer_ = false;
+};
+
+} // namespace phloem::rt
+
+#endif // PHLOEM_RUNTIME_QUEUE_H

@@ -1,0 +1,213 @@
+#include "runtime/runtime.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/logging.h"
+#include "ir/op.h"
+#include "sim/program.h"
+
+namespace phloem::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedNs(Clock::time_point t0, Clock::time_point t1)
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+}
+
+/** Thread body shared by all workers: route exceptions to RunControl. */
+template <typename W>
+void
+workerMain(W& worker, RunControl& ctl)
+{
+    try {
+        worker.run();
+    } catch (const std::exception& e) {
+        ctl.fail(worker.stats.name + ": " + e.what());
+    }
+}
+
+} // namespace
+
+NativeStats
+Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
+{
+    int replicas = std::max(1, pipeline.replicas);
+
+    // Queue-id stride between replicas, matching the simulator exactly.
+    int max_qid = ir::maxQueueId(pipeline);
+    int stride =
+        pipeline.queueStride > 0 ? pipeline.queueStride : max_qid + 1;
+    phloem_assert(stride >= max_qid + 1, "queue stride too small");
+
+    int stages_per_replica = static_cast<int>(pipeline.stages.size());
+    int total_threads = stages_per_replica * replicas;
+    phloem_assert(total_threads >= 1, "pipeline has no stages");
+    phloem_assert(total_threads + static_cast<int>(pipeline.ras.size()) *
+                                      replicas <=
+                      512,
+                  "refusing to spawn that many host threads");
+
+    // Build the rings: default depth from the architecture config,
+    // per-queue overrides from the pipeline.
+    int num_queues = stride * replicas;
+    std::vector<std::unique_ptr<SpscQueue>> queues;
+    queues.reserve(static_cast<size_t>(num_queues));
+    std::vector<int> depths(static_cast<size_t>(stride), cfg_.queueDepth);
+    for (const auto& qc : pipeline.queues)
+        if (qc.depth > 0)
+            depths[static_cast<size_t>(qc.id)] = qc.depth;
+    for (int i = 0; i < num_queues; ++i)
+        queues.push_back(
+            std::make_unique<SpscQueue>(depths[static_cast<size_t>(
+                i % stride)]));
+
+    std::vector<SpscQueue*> queue_ptrs;
+    queue_ptrs.reserve(queues.size());
+    for (auto& q : queues)
+        queue_ptrs.push_back(q.get());
+
+    // Flatten each stage once; replicas share the program.
+    std::vector<sim::Program> programs;
+    programs.reserve(pipeline.stages.size());
+    for (const auto& stage : pipeline.stages)
+        programs.push_back(sim::flatten(*stage));
+
+    // Queues targeted by kEnqDist have one producer per replica (every
+    // replica's distributor may select them); their pushes must be
+    // serialized.
+    if (replicas > 1) {
+        for (const auto& prog : programs) {
+            for (const auto& inst : prog.code) {
+                if (inst.kind == sim::Inst::Kind::kOp &&
+                    inst.opcode == ir::Opcode::kEnqDist) {
+                    for (int r = 0; r < replicas; ++r)
+                        queue_ptrs[static_cast<size_t>(
+                                       inst.queue + r * stride)]
+                            ->setMultiProducer();
+                }
+            }
+        }
+    }
+
+    RunControl ctl;
+    ctl.opt = opt_;
+    StageBarrier barrier(total_threads);
+
+    std::vector<std::unique_ptr<StageWorker>> stage_workers;
+    for (int r = 0; r < replicas; ++r) {
+        for (int s = 0; s < stages_per_replica; ++s) {
+            std::string name =
+                pipeline.stages[static_cast<size_t>(s)]->name +
+                (replicas > 1 ? "@" + std::to_string(r) : "");
+            stage_workers.push_back(std::make_unique<StageWorker>(
+                std::move(name), &programs[static_cast<size_t>(s)],
+                binding, r, /*queue_offset=*/r * stride, stride, replicas,
+                queue_ptrs, &barrier, &ctl));
+        }
+    }
+
+    std::vector<std::unique_ptr<RAWorker>> ra_workers;
+    for (int r = 0; r < replicas; ++r) {
+        for (const auto& ra : pipeline.ras) {
+            std::string name =
+                "ra:" + ra.arrayName +
+                (replicas > 1 ? "@" + std::to_string(r) : "");
+            ra_workers.push_back(std::make_unique<RAWorker>(
+                std::move(name), ra, binding.array(ra.arrayName, r),
+                queue_ptrs[static_cast<size_t>(ra.inQueue + r * stride)],
+                queue_ptrs[static_cast<size_t>(ra.outQueue + r * stride)],
+                &ctl));
+        }
+    }
+
+    // Parallel region: spawn everyone, join stage threads (their halt
+    // defines completion — RAs never write memory), then release RAs.
+    auto t0 = Clock::now();
+    std::vector<std::thread> ra_threads;
+    ra_threads.reserve(ra_workers.size());
+    for (auto& w : ra_workers)
+        ra_threads.emplace_back(
+            [&ctl, worker = w.get()] { workerMain(*worker, ctl); });
+    std::vector<std::thread> stage_threads;
+    stage_threads.reserve(stage_workers.size());
+    for (auto& w : stage_workers)
+        stage_threads.emplace_back(
+            [&ctl, worker = w.get()] { workerMain(*worker, ctl); });
+
+    for (auto& t : stage_threads)
+        t.join();
+    auto t1 = Clock::now();
+
+    ctl.stop.store(true, std::memory_order_release);
+    for (auto& t : ra_threads)
+        t.join();
+
+    // Collect results.
+    NativeStats out;
+    out.wallNs = elapsedNs(t0, t1);
+    out.numStageThreads = total_threads;
+    out.numRAWorkers = static_cast<int>(ra_workers.size());
+    for (auto& w : stage_workers)
+        out.workers.push_back(w->stats);
+    for (auto& w : ra_workers)
+        out.workers.push_back(w->stats);
+    for (int i = 0; i < num_queues; ++i) {
+        const SpscQueue& q = *queue_ptrs[static_cast<size_t>(i)];
+        if (q.enqCount() == 0 && q.deqCount() == 0 &&
+            q.enqBlocks() == 0 && q.deqBlocks() == 0)
+            continue;
+        QueueStats qs;
+        qs.id = i;
+        qs.depth = q.depth();
+        qs.enq = q.enqCount();
+        qs.deq = q.deqCount();
+        qs.enqBlocks = q.enqBlocks();
+        qs.deqBlocks = q.deqBlocks();
+        qs.maxOccupancy = q.maxOccupancy();
+        out.queues.push_back(qs);
+    }
+    if (ctl.aborted()) {
+        out.ok = false;
+        std::lock_guard<std::mutex> g(ctl.errorMu);
+        out.error = ctl.error;
+    }
+    return out;
+}
+
+NativeStats
+Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
+{
+    sim::Program prog = sim::flatten(fn);
+
+    RunControl ctl;
+    ctl.opt = opt_;
+    StageBarrier barrier(1);
+    StageWorker worker(fn.name, &prog, binding, /*replica=*/0,
+                       /*queue_offset=*/0, /*queue_stride=*/0,
+                       /*num_replicas=*/1, {}, &barrier, &ctl);
+
+    auto t0 = Clock::now();
+    workerMain(worker, ctl);
+    auto t1 = Clock::now();
+
+    NativeStats out;
+    out.wallNs = elapsedNs(t0, t1);
+    out.numStageThreads = 1;
+    out.workers.push_back(worker.stats);
+    if (ctl.aborted()) {
+        out.ok = false;
+        out.error = ctl.error;
+    }
+    return out;
+}
+
+} // namespace phloem::rt

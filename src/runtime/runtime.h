@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Native execution backend: run a compiled pipeline on real host
+ * threads connected by lock-free SPSC ring buffers.
+ *
+ * This is the "what if the paper's hardware were software" backend: one
+ * std::thread per pipeline stage (per replica), one thread per software
+ * reference accelerator, and one bounded ring per architectural queue.
+ * It interprets the same sim::flatten instruction stream as the
+ * simulator, through the same functional core (sim/eval.h), so its
+ * output is bit-for-bit identical to the simulator's — which the
+ * differential tests enforce.
+ *
+ * What it measures is real: wall-clock time of the parallel region and
+ * per-queue backpressure (block counts, occupancy high-water marks),
+ * the native analogue of the paper's queue-sizing discussion.
+ */
+
+#ifndef PHLOEM_RUNTIME_RUNTIME_H
+#define PHLOEM_RUNTIME_RUNTIME_H
+
+#include "ir/pipeline.h"
+#include "runtime/stats.h"
+#include "runtime/worker.h"
+#include "sim/binding.h"
+#include "sim/config.h"
+
+namespace phloem::rt {
+
+class Runtime
+{
+  public:
+    explicit Runtime(const sim::SysConfig& cfg = {},
+                     const RuntimeOptions& opt = {})
+        : cfg_(cfg), opt_(opt)
+    {
+    }
+
+    /**
+     * Execute a pipeline to completion on host threads. Mutates the
+     * bound arrays exactly as Machine::runPipeline would. On failure
+     * (deadlock watchdog, worker exception) the returned stats have
+     * ok=false and the array contents are unspecified.
+     */
+    NativeStats runPipeline(const ir::Pipeline& pipeline,
+                            sim::Binding& binding);
+
+    /** Execute a serial function on one host thread (the baseline). */
+    NativeStats runSerial(const ir::Function& fn, sim::Binding& binding);
+
+  private:
+    sim::SysConfig cfg_;
+    RuntimeOptions opt_;
+};
+
+} // namespace phloem::rt
+
+#endif // PHLOEM_RUNTIME_RUNTIME_H

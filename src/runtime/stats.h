@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Statistics collected by one native-runtime run.
+ *
+ * Unlike sim::RunStats (simulated cycles), these are real measurements:
+ * wall-clock time plus per-queue occupancy/backpressure counters, which
+ * is what the paper's queue-sizing arguments are about — a queue whose
+ * producer keeps blocking is the pipeline's bottleneck edge.
+ */
+
+#ifndef PHLOEM_RUNTIME_STATS_H
+#define PHLOEM_RUNTIME_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phloem::rt {
+
+struct QueueStats
+{
+    /** Absolute queue id (replica-strided, as in the simulator). */
+    int id = 0;
+    int depth = 0;
+    uint64_t enq = 0;
+    uint64_t deq = 0;
+    /** Times the producer found the ring full and had to wait. */
+    uint64_t enqBlocks = 0;
+    /** Times the consumer found the ring empty and had to wait. */
+    uint64_t deqBlocks = 0;
+    /** High-water mark of elements held. */
+    uint64_t maxOccupancy = 0;
+};
+
+struct WorkerStats
+{
+    std::string name;
+    /** True for stage threads; false for software reference accelerators. */
+    bool isStage = true;
+    uint64_t instructions = 0;
+    uint64_t queueOps = 0;
+    /** RA workers: elements streamed + control values forwarded. */
+    uint64_t raElements = 0;
+    uint64_t raCtrlForwarded = 0;
+};
+
+struct NativeStats
+{
+    /** Wall-clock time of the parallel region (threads spawn -> join). */
+    double wallNs = 0.0;
+    int numStageThreads = 0;
+    int numRAWorkers = 0;
+
+    std::vector<WorkerStats> workers;
+    std::vector<QueueStats> queues;
+
+    bool ok = true;
+    /** Deadlock-watchdog / worker-exception diagnostics when !ok. */
+    std::string error;
+
+    double wallMs() const { return wallNs / 1e6; }
+
+    uint64_t
+    totalInstructions() const
+    {
+        uint64_t n = 0;
+        for (const auto& w : workers)
+            n += w.instructions;
+        return n;
+    }
+
+    uint64_t
+    totalEnqBlocks() const
+    {
+        uint64_t n = 0;
+        for (const auto& q : queues)
+            n += q.enqBlocks;
+        return n;
+    }
+
+    uint64_t
+    totalDeqBlocks() const
+    {
+        uint64_t n = 0;
+        for (const auto& q : queues)
+            n += q.deqBlocks;
+        return n;
+    }
+};
+
+} // namespace phloem::rt
+
+#endif // PHLOEM_RUNTIME_STATS_H

@@ -1,0 +1,531 @@
+#include "runtime/worker.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "base/logging.h"
+#include "ir/op.h"
+#include "sim/eval.h"
+
+namespace phloem::rt {
+
+namespace {
+
+/** Monotonic timestamp in nanoseconds. */
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Spin this many times with cpuRelax before starting to yield. */
+constexpr int kSpinLimit = 256;
+/** Bump the global progress counter every this many instructions. */
+constexpr uint64_t kHeartbeatInterval = 4096;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Backoff.
+// ---------------------------------------------------------------------
+
+Backoff::Backoff(RunControl& ctl)
+    : lastProgress_(ctl.progress.load(std::memory_order_relaxed)),
+      lastChangeNs_(nowNs())
+{
+}
+
+Backoff::Result
+Backoff::step(RunControl& ctl, bool stoppable)
+{
+    if (ctl.aborted())
+        return Result::kStopped;
+    if (stoppable && ctl.stop.load(std::memory_order_acquire))
+        return Result::kStopped;
+
+    if (spins_ < kSpinLimit) {
+        spins_++;
+        cpuRelax();
+        return Result::kRetry;
+    }
+
+    std::this_thread::yield();
+
+    // Watchdog: when the whole runtime stops making progress while we
+    // are blocked, the pipeline is deadlocked (e.g. a mis-compiled
+    // program enqueueing without a consumer).
+    uint64_t p = ctl.progress.load(std::memory_order_relaxed);
+    uint64_t now = nowNs();
+    if (p != lastProgress_) {
+        lastProgress_ = p;
+        lastChangeNs_ = now;
+        return Result::kRetry;
+    }
+    uint64_t timeout_ns =
+        static_cast<uint64_t>(ctl.opt.deadlockTimeoutMs) * 1'000'000ull;
+    if (now - lastChangeNs_ > timeout_ns)
+        return Result::kDeadlock;
+    return Result::kRetry;
+}
+
+// ---------------------------------------------------------------------
+// StageBarrier.
+// ---------------------------------------------------------------------
+
+bool
+StageBarrier::arriveAndWait(RunControl& ctl)
+{
+    uint64_t gen = generation_.load(std::memory_order_acquire);
+    int arrived = waiting_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (arrived == parties_) {
+        waiting_.store(0, std::memory_order_relaxed);
+        ctl.progress.fetch_add(1, std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_release);
+        return !ctl.aborted();
+    }
+    Backoff backoff(ctl);
+    while (generation_.load(std::memory_order_acquire) == gen) {
+        switch (backoff.step(ctl, /*stoppable=*/false)) {
+          case Backoff::Result::kRetry:
+            break;
+          case Backoff::Result::kStopped:
+            return false;
+          case Backoff::Result::kDeadlock:
+            ctl.fail("deadlock: thread stuck at barrier (another stage "
+                     "halted without reaching it?)");
+            return false;
+        }
+    }
+    return !ctl.aborted();
+}
+
+// ---------------------------------------------------------------------
+// StageWorker.
+// ---------------------------------------------------------------------
+
+StageWorker::StageWorker(std::string name, const sim::Program* prog,
+                         sim::Binding& binding, int replica,
+                         int queue_offset, int queue_stride,
+                         int num_replicas, std::vector<SpscQueue*> queues,
+                         StageBarrier* barrier, RunControl* ctl)
+    : prog_(prog), replica_(replica), queueOffset_(queue_offset),
+      queueStride_(queue_stride), numReplicas_(num_replicas),
+      queues_(std::move(queues)), barrier_(barrier), ctl_(ctl)
+{
+    stats.name = std::move(name);
+    stats.isStage = true;
+
+    regs_.assign(static_cast<size_t>(prog_->numRegs), ir::Value{});
+    const ir::Function& fn = *prog_->fn;
+    for (const auto& p : fn.scalarParams)
+        regs_[static_cast<size_t>(p.reg)] = binding.scalar(p.name, replica_);
+    arrayBind_.resize(fn.arrays.size());
+    for (size_t a = 0; a < fn.arrays.size(); ++a)
+        arrayBind_[a] = binding.array(fn.arrays[a].name, replica_);
+}
+
+void
+StageWorker::reportDeadlock(const char* what, int abs_q)
+{
+    std::string msg = "deadlock: " + stats.name + " blocked on " + what +
+                      " q" + std::to_string(abs_q) + " at pc=" +
+                      std::to_string(pc_) + " with no global progress for " +
+                      std::to_string(ctl_->opt.deadlockTimeoutMs) + " ms";
+    ctl_->fail(msg);
+    throw std::runtime_error(msg);
+}
+
+bool
+StageWorker::waitPush(int abs_q, const ir::Value& v)
+{
+    SpscQueue& q = *queues_[static_cast<size_t>(abs_q)];
+    // Fast path: no shared-counter traffic. The per-instruction
+    // heartbeat keeps the watchdog fed while this worker runs.
+    if (q.tryPush(v))
+        return true;
+    q.noteEnqBlocked();
+    Backoff backoff(*ctl_);
+    for (;;) {
+        if (q.tryPush(v)) {
+            ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        switch (backoff.step(*ctl_, /*stoppable=*/false)) {
+          case Backoff::Result::kRetry:
+            break;
+          case Backoff::Result::kStopped:
+            return false;
+          case Backoff::Result::kDeadlock:
+            reportDeadlock("enq", abs_q);
+        }
+    }
+}
+
+bool
+StageWorker::waitPop(int abs_q, ir::Value& v)
+{
+    SpscQueue& q = *queues_[static_cast<size_t>(abs_q)];
+    if (q.tryPop(v))
+        return true;
+    q.noteDeqBlocked();
+    Backoff backoff(*ctl_);
+    for (;;) {
+        if (q.tryPop(v)) {
+            ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        switch (backoff.step(*ctl_, /*stoppable=*/false)) {
+          case Backoff::Result::kRetry:
+            break;
+          case Backoff::Result::kStopped:
+            return false;
+          case Backoff::Result::kDeadlock:
+            reportDeadlock("deq", abs_q);
+        }
+    }
+}
+
+bool
+StageWorker::waitPeek(int abs_q, ir::Value& v)
+{
+    SpscQueue& q = *queues_[static_cast<size_t>(abs_q)];
+    if (q.tryPeek(v))
+        return true;
+    q.noteDeqBlocked();
+    Backoff backoff(*ctl_);
+    for (;;) {
+        if (q.tryPeek(v))
+            return true;
+        switch (backoff.step(*ctl_, /*stoppable=*/false)) {
+          case Backoff::Result::kRetry:
+            break;
+          case Backoff::Result::kStopped:
+            return false;
+          case Backoff::Result::kDeadlock:
+            reportDeadlock("peek", abs_q);
+        }
+    }
+}
+
+bool
+StageWorker::execOp(const sim::Inst& inst)
+{
+    using ir::Opcode;
+
+    if (ir::usesQueue(inst.opcode)) {
+        stats.queueOps++;
+        switch (inst.opcode) {
+          case Opcode::kEnq:
+          case Opcode::kEnqCtrl:
+          case Opcode::kEnqDist: {
+            int abs_q;
+            if (inst.opcode == Opcode::kEnqDist) {
+                int64_t sel =
+                    regs_[static_cast<size_t>(inst.src1)].asInt();
+                int target = sim::distTargetReplica(sel, numReplicas_);
+                abs_q = inst.queue + target * queueStride_;
+            } else {
+                abs_q = queueOffset_ + inst.queue;
+            }
+            ir::Value v;
+            if (inst.opcode == Opcode::kEnqCtrl ||
+                (inst.opcode == Opcode::kEnqDist && inst.src0 < 0)) {
+                v = ir::Value::makeControl(
+                    static_cast<uint32_t>(inst.imm));
+            } else {
+                v = regs_[static_cast<size_t>(inst.src0)];
+            }
+            if (!waitPush(abs_q, v))
+                return false;
+            pc_++;
+            return true;
+          }
+
+          case Opcode::kDeq: {
+            int abs_q = queueOffset_ + inst.queue;
+            ir::Value v;
+            if (!waitPop(abs_q, v))
+                return false;
+            regs_[static_cast<size_t>(inst.dst)] = v;
+            // Control-value handler: transfer when a control value is
+            // dequeued, exactly as the simulated hardware does.
+            if (v.isControl() && inst.handlerPc >= 0)
+                pc_ = inst.handlerPc;
+            else
+                pc_++;
+            return true;
+          }
+
+          case Opcode::kPeek: {
+            int abs_q = queueOffset_ + inst.queue;
+            ir::Value v;
+            if (!waitPeek(abs_q, v))
+                return false;
+            regs_[static_cast<size_t>(inst.dst)] = v;
+            pc_++;
+            return true;
+          }
+
+          default:
+            phloem_panic("not a queue op");
+        }
+    }
+
+    if (ir::usesArray(inst.opcode) && inst.opcode != Opcode::kSwapArr) {
+        sim::ArrayBuffer* buf = arrayBind_[static_cast<size_t>(inst.arr)];
+        ir::Value result;
+        bool is_rmw = inst.opcode == Opcode::kAtomicMin ||
+                      inst.opcode == Opcode::kAtomicAdd ||
+                      inst.opcode == Opcode::kAtomicFAdd ||
+                      inst.opcode == Opcode::kAtomicOr;
+        if (is_rmw) {
+            // applyMemOp implements RMWs as load+store; serialize them
+            // across stages so concurrent updates are not lost.
+            std::lock_guard<std::mutex> g(ctl_->atomicsMu);
+            result = sim::applyMemOp(inst, *buf, regs_.data());
+        } else {
+            result = sim::applyMemOp(inst, *buf, regs_.data());
+        }
+        if (inst.dst >= 0)
+            regs_[static_cast<size_t>(inst.dst)] = result;
+        pc_++;
+        return true;
+    }
+
+    switch (inst.opcode) {
+      case Opcode::kBarrier:
+        pc_++;
+        return barrier_->arriveAndWait(*ctl_);
+      case Opcode::kHalt:
+        return false;
+      case Opcode::kSwapArr:
+        std::swap(arrayBind_[static_cast<size_t>(inst.arr)],
+                  arrayBind_[static_cast<size_t>(inst.arr2)]);
+        pc_++;
+        return true;
+      default:
+        break;
+    }
+
+    ir::Value out = sim::evalScalarOp(inst, regs_.data());
+    if (inst.opcode == Opcode::kWork && inst.imm > 1) {
+        // The simulator charges kWork as `imm` uops; natively we burn the
+        // same amount of real compute. Only the first mix lands in the
+        // destination register so results stay bit-identical.
+        uint64_t burn = out.bits;
+        for (int64_t k = 1; k < inst.imm; ++k)
+            burn = sim::workMix(burn);
+        workSink_ += burn;
+    }
+    if (inst.dst >= 0)
+        regs_[static_cast<size_t>(inst.dst)] = out;
+    pc_++;
+    return true;
+}
+
+void
+StageWorker::run()
+{
+    const auto& code = prog_->code;
+    uint64_t heartbeat = 0;
+    for (;;) {
+        if (pc_ >= static_cast<int>(code.size()))
+            return;  // fell off the end: halt
+        stats.instructions++;
+        if (++heartbeat >= kHeartbeatInterval) {
+            // Long compute phases without queue ops must still look
+            // alive to blocked peers' watchdogs. Abort is polled here
+            // (and in every blocked wait) rather than per instruction.
+            ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            heartbeat = 0;
+            if (ctl_->aborted())
+                return;
+            if (stats.instructions > ctl_->opt.maxInstructions) {
+                std::string msg = "instruction budget exceeded (" +
+                                  std::to_string(ctl_->opt.maxInstructions) +
+                                  ") in " + stats.name;
+                ctl_->fail(msg);
+                throw std::runtime_error(msg);
+            }
+        }
+        const sim::Inst& inst = code[static_cast<size_t>(pc_)];
+        switch (inst.kind) {
+          case sim::Inst::Kind::kBr:
+            pc_ = inst.target;
+            break;
+          case sim::Inst::Kind::kBrIf:
+          case sim::Inst::Kind::kBrIfNot: {
+            bool truth =
+                regs_[static_cast<size_t>(inst.src0)].asInt() != 0;
+            bool taken =
+                inst.kind == sim::Inst::Kind::kBrIf ? truth : !truth;
+            pc_ = taken ? inst.target : pc_ + 1;
+            break;
+          }
+          case sim::Inst::Kind::kOp:
+            if (!execOp(inst))
+                return;
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RAWorker.
+// ---------------------------------------------------------------------
+
+RAWorker::RAWorker(std::string name, const ir::RAConfig& cfg,
+                   sim::ArrayBuffer* array, SpscQueue* in_q,
+                   SpscQueue* out_q, RunControl* ctl)
+    : cfg_(cfg), array_(array), inQ_(in_q), outQ_(out_q), ctl_(ctl)
+{
+    stats.name = std::move(name);
+    stats.isStage = false;
+}
+
+void
+RAWorker::heartbeat(uint64_t n)
+{
+    heartbeatCount_ += n;
+    if (heartbeatCount_ >= kHeartbeatInterval) {
+        ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+        heartbeatCount_ = 0;
+    }
+}
+
+bool
+RAWorker::waitPush(const ir::Value& v)
+{
+    if (outQ_->tryPush(v)) {
+        heartbeat();
+        return true;
+    }
+    outQ_->noteEnqBlocked();
+    Backoff backoff(*ctl_);
+    for (;;) {
+        if (outQ_->tryPush(v)) {
+            ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        // Stoppable: once every stage thread halted, whatever the RA
+        // still holds can never reach memory, so it just exits.
+        switch (backoff.step(*ctl_, /*stoppable=*/true)) {
+          case Backoff::Result::kRetry:
+            break;
+          case Backoff::Result::kStopped:
+            return false;
+          case Backoff::Result::kDeadlock: {
+            std::string msg =
+                "deadlock: " + stats.name + " blocked on enq with no "
+                "global progress";
+            ctl_->fail(msg);
+            return false;
+          }
+        }
+    }
+}
+
+bool
+RAWorker::waitPop(ir::Value& v)
+{
+    if (inQ_->tryPop(v)) {
+        heartbeat();
+        return true;
+    }
+    inQ_->noteDeqBlocked();
+    Backoff backoff(*ctl_);
+    for (;;) {
+        if (inQ_->tryPop(v)) {
+            ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        // An empty input after shutdown is the normal RA exit path, not
+        // a deadlock: RAs never see an end-of-stream value.
+        switch (backoff.step(*ctl_, /*stoppable=*/true)) {
+          case Backoff::Result::kRetry:
+            break;
+          case Backoff::Result::kStopped:
+            return false;
+          case Backoff::Result::kDeadlock:
+            return false;
+        }
+    }
+}
+
+void
+RAWorker::run()
+{
+    enum class Phase : uint8_t { kIdle, kHaveStart, kScanning };
+    Phase phase = Phase::kIdle;
+    int64_t pending_start = 0;
+    int64_t scan_cur = 0;
+    int64_t scan_end = 0;
+
+    for (;;) {
+        if (phase == Phase::kScanning) {
+            if (scan_cur >= scan_end) {
+                if (cfg_.emitRangeCtrl) {
+                    if (!waitPush(ir::Value::makeControl(
+                            cfg_.rangeCtrlCode)))
+                        return;
+                    stats.raCtrlForwarded++;
+                }
+                phase = Phase::kIdle;
+                continue;
+            }
+            // Stream the rest of the range as one batch per ring refill:
+            // elements are published with a single release store, which
+            // is where the RA's native-speed advantage comes from.
+            size_t want = static_cast<size_t>(scan_end - scan_cur);
+            size_t pushed = outQ_->pushBatch(want, [&](size_t k) {
+                return array_->load(scan_cur + static_cast<int64_t>(k));
+            });
+            if (pushed == 0) {
+                // Ring full: fall back to one blocking push.
+                if (!waitPush(array_->load(scan_cur)))
+                    return;
+                pushed = 1;
+            } else {
+                heartbeat(pushed);
+            }
+            scan_cur += static_cast<int64_t>(pushed);
+            stats.raElements += pushed;
+            continue;
+        }
+
+        ir::Value e;
+        if (!waitPop(e))
+            return;
+
+        if (e.isControl()) {
+            // Control values pass through RAs, delimiting streams.
+            phase = Phase::kIdle;
+            stats.raCtrlForwarded++;
+            if (!waitPush(e))
+                return;
+            continue;
+        }
+
+        if (cfg_.mode == ir::RAMode::kIndirect) {
+            ir::Value v = array_->load(e.asInt());
+            stats.raElements++;
+            if (!waitPush(v))
+                return;
+        } else {
+            if (phase == Phase::kIdle) {
+                pending_start = e.asInt();
+                phase = Phase::kHaveStart;
+            } else {
+                scan_cur = pending_start;
+                scan_end = e.asInt();
+                phase = Phase::kScanning;
+            }
+        }
+    }
+}
+
+} // namespace phloem::rt

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Native-runtime workers: the per-stage interpreter thread and the
+ * software reference accelerator.
+ *
+ * A StageWorker interprets the same sim::flatten instruction stream the
+ * simulator executes, using the shared functional core (sim/eval.h), so
+ * the two backends agree bit-for-bit. Queue ops block on the SPSC rings
+ * with spin-then-yield backoff; control values arriving at a kDeq with a
+ * handler transfer to the handler pc exactly as the simulated hardware
+ * does.
+ *
+ * An RAWorker replays sim/machine.cc's RAEntity state machine in
+ * software: indirect mode turns dequeued indices into loaded elements;
+ * scan mode streams [start, end) ranges, optionally delimited with a
+ * range control value. Control values pass through unchanged. RA workers
+ * never write memory, so they can be shut down as soon as every stage
+ * thread has halted.
+ */
+
+#ifndef PHLOEM_RUNTIME_WORKER_H
+#define PHLOEM_RUNTIME_WORKER_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ir/pipeline.h"
+#include "runtime/queue.h"
+#include "runtime/stats.h"
+#include "sim/binding.h"
+#include "sim/program.h"
+
+namespace phloem::rt {
+
+/** Tuning knobs for one native run. */
+struct RuntimeOptions
+{
+    /**
+     * Abort the run when no worker makes progress for this long while
+     * some worker is blocked (a mis-compiled pipeline would otherwise
+     * hang the host). Progress = successful queue ops + periodic
+     * instruction-count heartbeats.
+     */
+    int deadlockTimeoutMs = 10000;
+    /** Per-worker dynamic instruction budget (runaway-loop backstop). */
+    uint64_t maxInstructions = 4'000'000'000ull;
+};
+
+/**
+ * Run-wide shared control state: the global progress counter feeding the
+ * deadlock watchdog, the shutdown/abort flags, and the first error.
+ */
+struct RunControl
+{
+    RuntimeOptions opt;
+
+    /** Bumped on successful queue ops and every few k instructions. */
+    std::atomic<uint64_t> progress{0};
+    /** All stage threads have halted; RA workers drain and exit. */
+    std::atomic<bool> stop{false};
+    /** A worker failed (exception, watchdog); everyone unwinds. */
+    std::atomic<bool> abortFlag{false};
+
+    /** Serializes atomic read-modify-write memory ops across stages. */
+    std::mutex atomicsMu;
+
+    std::mutex errorMu;
+    std::string error;
+
+    /** Record the first failure and tell every worker to unwind. */
+    void
+    fail(const std::string& msg)
+    {
+        {
+            std::lock_guard<std::mutex> g(errorMu);
+            if (error.empty())
+                error = msg;
+        }
+        abortFlag.store(true, std::memory_order_release);
+    }
+
+    bool
+    aborted() const
+    {
+        return abortFlag.load(std::memory_order_acquire);
+    }
+};
+
+/**
+ * Spin-then-yield backoff for one blocked queue op. Spins briefly with
+ * cpu-relax, then yields; while yielding it watches the global progress
+ * counter and trips the deadlock watchdog when nothing in the whole
+ * runtime has advanced for opt.deadlockTimeoutMs.
+ */
+class Backoff
+{
+  public:
+    explicit Backoff(RunControl& ctl);
+
+    enum class Result : uint8_t {
+        kRetry,     ///< try the queue op again
+        kStopped,   ///< runtime shut down (RA drain) or aborted
+        kDeadlock,  ///< watchdog fired: caller should report and abort
+    };
+
+    /** One backoff step. `stoppable` waits also end on ctl.stop. */
+    Result step(RunControl& ctl, bool stoppable);
+
+  private:
+    int spins_ = 0;
+    uint64_t lastProgress_;
+    /** Monotonic ns timestamp of the last observed progress change. */
+    uint64_t lastChangeNs_;
+};
+
+/**
+ * Sense-reversing barrier for the pipeline's stage threads (kBarrier).
+ * Abort-aware: a waiter returns false when the run is unwinding.
+ */
+class StageBarrier
+{
+  public:
+    explicit StageBarrier(int parties) : parties_(parties) {}
+
+    /** Returns false when the run aborted while waiting. */
+    bool arriveAndWait(RunControl& ctl);
+
+  private:
+    const int parties_;
+    std::atomic<int> waiting_{0};
+    std::atomic<uint64_t> generation_{0};
+};
+
+/** One pipeline stage (or a serial function) on one host thread. */
+class StageWorker
+{
+  public:
+    StageWorker(std::string name, const sim::Program* prog,
+                sim::Binding& binding, int replica, int queue_offset,
+                int queue_stride, int num_replicas,
+                std::vector<SpscQueue*> queues, StageBarrier* barrier,
+                RunControl* ctl);
+
+    /** Thread body: interpret until halt, abort, or watchdog. */
+    void run();
+
+    WorkerStats stats;
+
+  private:
+    bool waitPush(int abs_q, const ir::Value& v);
+    bool waitPop(int abs_q, ir::Value& v);
+    bool waitPeek(int abs_q, ir::Value& v);
+    [[noreturn]] void reportDeadlock(const char* what, int abs_q);
+
+    /** Execute one kOp instruction; false => stop interpreting. */
+    bool execOp(const sim::Inst& inst);
+
+    const sim::Program* prog_;
+    int replica_;
+    int queueOffset_;
+    int queueStride_;
+    int numReplicas_;
+    std::vector<SpscQueue*> queues_;
+    StageBarrier* barrier_;
+    RunControl* ctl_;
+
+    int pc_ = 0;
+    std::vector<ir::Value> regs_;
+    std::vector<sim::ArrayBuffer*> arrayBind_;
+
+    /** Sink for kWork's burned mixes; keeps the work loop observable. */
+    uint64_t workSink_ = 0;
+};
+
+/** One software reference accelerator on one host thread. */
+class RAWorker
+{
+  public:
+    RAWorker(std::string name, const ir::RAConfig& cfg,
+             sim::ArrayBuffer* array, SpscQueue* in_q, SpscQueue* out_q,
+             RunControl* ctl);
+
+    /** Thread body: service requests until shutdown. */
+    void run();
+
+    WorkerStats stats;
+
+  private:
+    /** Returns false on shutdown/abort. */
+    bool waitPush(const ir::Value& v);
+    bool waitPop(ir::Value& v);
+    /** Periodic progress bump so blocked peers' watchdogs stay fed. */
+    void heartbeat(uint64_t n = 1);
+
+    uint64_t heartbeatCount_ = 0;
+    ir::RAConfig cfg_;
+    sim::ArrayBuffer* array_;
+    SpscQueue* inQ_;
+    SpscQueue* outQ_;
+    RunControl* ctl_;
+};
+
+} // namespace phloem::rt
+
+#endif // PHLOEM_RUNTIME_WORKER_H

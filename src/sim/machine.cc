@@ -6,6 +6,7 @@
 
 #include "base/logging.h"
 #include "ir/walk.h"
+#include "sim/eval.h"
 
 namespace phloem::sim {
 
@@ -33,16 +34,6 @@ aluLatency(ir::Opcode op)
       case ir::Opcode::kF2I: return 4;
       default: return 1;
     }
-}
-
-/** A cheap value mixer for kWork (deterministic, data-dependent). */
-static uint64_t
-workMix(uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdull;
-    x ^= x >> 33;
-    return x;
 }
 
 class Entity
@@ -352,64 +343,12 @@ ThreadEntity::execMemOp(const Inst& inst)
     ArrayBuffer* buf = arrayBind[static_cast<size_t>(inst.arr)];
     int64_t idx = regs[static_cast<size_t>(inst.src0)].asInt();
 
-    // Functional part.
-    ir::Value result;
-    switch (inst.opcode) {
-      case ir::Opcode::kLoad:
-        result = buf->load(idx);
+    // Functional part (shared with the native runtime).
+    ir::Value result = applyMemOp(inst, *buf, regs.data());
+    if (ir::isMemRead(inst.opcode) || inst.opcode == ir::Opcode::kPrefetch)
         stats.loads++;
-        break;
-      case ir::Opcode::kStore:
-        buf->store(idx, regs[static_cast<size_t>(inst.src1)]);
+    if (ir::isMemWrite(inst.opcode))
         stats.stores++;
-        break;
-      case ir::Opcode::kPrefetch:
-        buf->load(idx);  // bounds check; value discarded
-        stats.loads++;
-        break;
-      case ir::Opcode::kAtomicMin: {
-        ir::Value old = buf->load(idx);
-        int64_t nv = std::min(old.asInt(),
-                              regs[static_cast<size_t>(inst.src1)].asInt());
-        buf->store(idx, ir::Value::fromInt(nv));
-        result = old;
-        stats.loads++;
-        stats.stores++;
-        break;
-      }
-      case ir::Opcode::kAtomicAdd: {
-        ir::Value old = buf->load(idx);
-        int64_t nv =
-            old.asInt() + regs[static_cast<size_t>(inst.src1)].asInt();
-        buf->store(idx, ir::Value::fromInt(nv));
-        result = old;
-        stats.loads++;
-        stats.stores++;
-        break;
-      }
-      case ir::Opcode::kAtomicFAdd: {
-        ir::Value old = buf->load(idx);
-        double nv = old.asDouble() +
-                    regs[static_cast<size_t>(inst.src1)].asDouble();
-        buf->store(idx, ir::Value::fromDouble(nv));
-        result = old;
-        stats.loads++;
-        stats.stores++;
-        break;
-      }
-      case ir::Opcode::kAtomicOr: {
-        ir::Value old = buf->load(idx);
-        int64_t nv =
-            old.asInt() | regs[static_cast<size_t>(inst.src1)].asInt();
-        buf->store(idx, ir::Value::fromInt(nv));
-        result = old;
-        stats.loads++;
-        stats.stores++;
-        break;
-      }
-      default:
-        phloem_panic("not a memory op");
-    }
 
     if (inst.dst >= 0)
         regs[static_cast<size_t>(inst.dst)] = result;
@@ -462,9 +401,7 @@ ThreadEntity::execQueueOp(const Inst& inst)
         int abs_q;
         if (inst.opcode == ir::Opcode::kEnqDist) {
             int64_t sel = regs[static_cast<size_t>(inst.src1)].asInt();
-            int target =
-                static_cast<int>(((sel % numReplicas) + numReplicas) %
-                                 numReplicas);
+            int target = distTargetReplica(sel, numReplicas);
             abs_q = inst.queue + target * queueStride;
         } else {
             abs_q = absQueue(inst.queue);
@@ -626,102 +563,8 @@ ThreadEntity::execOp(const Inst& inst)
         break;
     }
 
-    // Scalar op: functional evaluation.
-    auto sv = [&](int i) -> ir::Value& {
-        ir::RegId r = i == 0 ? inst.src0 : (i == 1 ? inst.src1 : inst.src2);
-        return regs[static_cast<size_t>(r)];
-    };
-    auto ivv = [&](int i) { return sv(i).asInt(); };
-    auto fvv = [&](int i) { return sv(i).asDouble(); };
-
-    ir::Value out;
-    switch (inst.opcode) {
-      case Opcode::kConst: out.bits = static_cast<uint64_t>(inst.imm); break;
-      case Opcode::kMov: out = sv(0); break;
-      case Opcode::kAdd: out = ir::Value::fromInt(ivv(0) + ivv(1)); break;
-      case Opcode::kSub: out = ir::Value::fromInt(ivv(0) - ivv(1)); break;
-      case Opcode::kMul: out = ir::Value::fromInt(ivv(0) * ivv(1)); break;
-      case Opcode::kDiv:
-        out = ir::Value::fromInt(ivv(1) == 0 ? 0 : ivv(0) / ivv(1));
-        break;
-      case Opcode::kRem:
-        out = ir::Value::fromInt(ivv(1) == 0 ? 0 : ivv(0) % ivv(1));
-        break;
-      case Opcode::kAnd: out = ir::Value::fromInt(ivv(0) & ivv(1)); break;
-      case Opcode::kOr: out = ir::Value::fromInt(ivv(0) | ivv(1)); break;
-      case Opcode::kXor: out = ir::Value::fromInt(ivv(0) ^ ivv(1)); break;
-      case Opcode::kShl:
-        out = ir::Value::fromInt(ivv(0) << (ivv(1) & 63));
-        break;
-      case Opcode::kShr:
-        out = ir::Value::fromInt(static_cast<int64_t>(
-            static_cast<uint64_t>(ivv(0)) >> (ivv(1) & 63)));
-        break;
-      case Opcode::kMin:
-        out = ir::Value::fromInt(std::min(ivv(0), ivv(1)));
-        break;
-      case Opcode::kMax:
-        out = ir::Value::fromInt(std::max(ivv(0), ivv(1)));
-        break;
-      case Opcode::kCmpEq: out = ir::Value::fromInt(ivv(0) == ivv(1)); break;
-      case Opcode::kCmpNe: out = ir::Value::fromInt(ivv(0) != ivv(1)); break;
-      case Opcode::kCmpLt: out = ir::Value::fromInt(ivv(0) < ivv(1)); break;
-      case Opcode::kCmpLe: out = ir::Value::fromInt(ivv(0) <= ivv(1)); break;
-      case Opcode::kCmpGt: out = ir::Value::fromInt(ivv(0) > ivv(1)); break;
-      case Opcode::kCmpGe: out = ir::Value::fromInt(ivv(0) >= ivv(1)); break;
-      case Opcode::kNot: out = ir::Value::fromInt(ivv(0) == 0); break;
-      case Opcode::kSelect: out = ivv(0) != 0 ? sv(1) : sv(2); break;
-      case Opcode::kFAdd:
-        out = ir::Value::fromDouble(fvv(0) + fvv(1));
-        break;
-      case Opcode::kFSub:
-        out = ir::Value::fromDouble(fvv(0) - fvv(1));
-        break;
-      case Opcode::kFMul:
-        out = ir::Value::fromDouble(fvv(0) * fvv(1));
-        break;
-      case Opcode::kFDiv:
-        out = ir::Value::fromDouble(fvv(0) / fvv(1));
-        break;
-      case Opcode::kFNeg: out = ir::Value::fromDouble(-fvv(0)); break;
-      case Opcode::kFAbs:
-        out = ir::Value::fromDouble(std::fabs(fvv(0)));
-        break;
-      case Opcode::kFMin:
-        out = ir::Value::fromDouble(std::min(fvv(0), fvv(1)));
-        break;
-      case Opcode::kFMax:
-        out = ir::Value::fromDouble(std::max(fvv(0), fvv(1)));
-        break;
-      case Opcode::kFCmpEq: out = ir::Value::fromInt(fvv(0) == fvv(1)); break;
-      case Opcode::kFCmpNe: out = ir::Value::fromInt(fvv(0) != fvv(1)); break;
-      case Opcode::kFCmpLt: out = ir::Value::fromInt(fvv(0) < fvv(1)); break;
-      case Opcode::kFCmpLe: out = ir::Value::fromInt(fvv(0) <= fvv(1)); break;
-      case Opcode::kFCmpGt: out = ir::Value::fromInt(fvv(0) > fvv(1)); break;
-      case Opcode::kFCmpGe: out = ir::Value::fromInt(fvv(0) >= fvv(1)); break;
-      case Opcode::kI2F:
-        out = ir::Value::fromDouble(static_cast<double>(ivv(0)));
-        break;
-      case Opcode::kF2I:
-        out = ir::Value::fromInt(static_cast<int64_t>(fvv(0)));
-        break;
-      case Opcode::kIsControl:
-        out = ir::Value::fromInt(sv(0).isControl());
-        break;
-      case Opcode::kCtrlCode:
-        out = ir::Value::fromInt(sv(0).isControl()
-                                     ? static_cast<int64_t>(
-                                           sv(0).controlCode())
-                                     : -1);
-        break;
-      case Opcode::kWork:
-        out = ir::Value::fromInt(static_cast<int64_t>(
-            workMix(sv(0).bits)));
-        break;
-      default:
-        phloem_panic("unhandled opcode ",
-                     ir::opcodeName(inst.opcode));
-    }
+    // Scalar op: functional evaluation (shared with the native runtime).
+    ir::Value out = evalScalarOp(inst, regs.data());
 
     if (inst.dst >= 0)
         regs[static_cast<size_t>(inst.dst)] = out;
@@ -1236,22 +1079,7 @@ Machine::runPipeline(const ir::Pipeline& pipeline, Binding& binding)
     int replicas = std::max(1, pipeline.replicas);
 
     // Queue-id stride between replicas.
-    int max_qid = -1;
-    for (const auto& stage : pipeline.stages) {
-        ir::forEachOp(stage->body, [&](const ir::Op& op) {
-            if (ir::usesQueue(op.opcode))
-                max_qid = std::max(max_qid, op.queue);
-        });
-        for (const auto& h : stage->handlers) {
-            max_qid = std::max(max_qid, h.queue);
-            ir::forEachOp(h.body, [&](const ir::Op& op) {
-                if (ir::usesQueue(op.opcode))
-                    max_qid = std::max(max_qid, op.queue);
-            });
-        }
-    }
-    for (const auto& ra : pipeline.ras)
-        max_qid = std::max({max_qid, ra.inQueue, ra.outQueue});
+    int max_qid = ir::maxQueueId(pipeline);
     int stride = pipeline.queueStride > 0 ? pipeline.queueStride
                                           : max_qid + 1;
     phloem_assert(stride >= max_qid + 1, "queue stride too small");

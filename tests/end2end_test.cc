@@ -1,12 +1,16 @@
 /**
  * @file
  * End-to-end smoke tests: mini-C -> Phloem compile -> pipeline execution
- * matches serial execution.
+ * matches serial execution, and the native multithreaded runtime matches
+ * the simulator bit-for-bit on every workload in the suite.
  */
 
 #include "tests/test_util.h"
 
 #include "base/rng.h"
+#include "driver/experiment.h"
+#include "runtime/runtime.h"
+#include "workloads/workload.h"
 
 namespace phloem {
 namespace {
@@ -132,6 +136,74 @@ TEST_P(FilterAllCuts, SingleCutPreservesSemantics)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOps, FilterAllCuts, ::testing::Range(1, 16));
+
+/**
+ * Differential test: for every workload in the suite, the native
+ * multithreaded runtime and the simulator must produce bit-for-bit
+ * identical memory images from the statically compiled pipeline.
+ */
+class NativeDifferential : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(NativeDifferential, NativeMatchesSimulator)
+{
+    wl::Workload w = wl::findWorkload(GetParam());
+    driver::Experiment ex(w);
+    comp::CompileResult cr = ex.compileStatic();
+    ASSERT_TRUE(cr.pipeline != nullptr);
+
+    const wl::Case* c = nullptr;
+    for (const auto& cs : w.cases)
+        if (cs.training) {
+            c = &cs;
+            break;
+        }
+    ASSERT_NE(c, nullptr);
+
+    // Simulator run (functional mode: timing does not change results).
+    sim::Binding sim_binding;
+    c->bind(sim_binding, 1);
+    sim::MachineOptions mo;
+    mo.timing = false;
+    mo.maxInstructions = 3'000'000'000ull;
+    sim::Machine machine(sim::SysConfig{}, mo);
+    sim::RunStats sstats = machine.runPipeline(*cr.pipeline, sim_binding);
+    ASSERT_FALSE(sstats.deadlock) << sstats.deadlockInfo;
+
+    // Native run on host threads.
+    sim::Binding native_binding;
+    c->bind(native_binding, 1);
+    rt::Runtime runtime;
+    rt::NativeStats nstats =
+        runtime.runPipeline(*cr.pipeline, native_binding);
+    ASSERT_TRUE(nstats.ok) << nstats.error;
+
+    for (const auto& [name, sim_arr] : sim_binding.globalArrays()) {
+        auto* native_arr = native_binding.array(name);
+        ASSERT_NE(native_arr, nullptr) << name;
+        EXPECT_TRUE(sim_arr->contentEquals(*native_arr))
+            << "array '" << name << "' differs between simulator and "
+            << "native runtime";
+    }
+
+    std::string err;
+    EXPECT_TRUE(c->check(native_binding, wl::Variant::kPipeline, &err))
+        << err;
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto& w : wl::mainSuite())
+        names.push_back(w.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(MainSuite, NativeDifferential,
+                         ::testing::ValuesIn(suiteNames()),
+                         [](const auto& info) { return info.param; });
 
 } // namespace
 } // namespace phloem

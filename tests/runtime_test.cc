@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Native-runtime tests: SPSC ring semantics under one and two threads,
+ * handcrafted pipelines with in-band control values, differential
+ * native-vs-simulator execution, replicated (multi-producer) streams,
+ * and the deadlock watchdog.
+ */
+
+#include "tests/test_util.h"
+
+#include <thread>
+
+#include "base/rng.h"
+#include "ir/builder.h"
+#include "runtime/queue.h"
+#include "runtime/runtime.h"
+#include "workloads/graph.h"
+#include "workloads/kernels.h"
+#include "workloads/workload.h"
+
+namespace phloem {
+namespace {
+
+// ---------------------------------------------------------------------
+// SPSC ring.
+// ---------------------------------------------------------------------
+
+TEST(SpscQueue, FifoOrder)
+{
+    rt::SpscQueue q(16);
+    for (int64_t i = 0; i < 10; ++i)
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(i)));
+    ir::Value v;
+    for (int64_t i = 0; i < 10; ++i) {
+        ASSERT_TRUE(q.tryPop(v));
+        EXPECT_EQ(v.asInt(), i);
+    }
+    EXPECT_FALSE(q.tryPop(v));
+}
+
+TEST(SpscQueue, CapacityIsExact)
+{
+    rt::SpscQueue q(4);
+    ir::Value v;
+    EXPECT_FALSE(q.tryPop(v)) << "fresh ring must be empty";
+    for (int64_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(i)));
+    EXPECT_FALSE(q.tryPush(ir::Value::fromInt(99)))
+        << "depth-4 ring must reject a fifth element";
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v.asInt(), 0);
+    EXPECT_TRUE(q.tryPush(ir::Value::fromInt(4)))
+        << "space freed by a pop must be reusable";
+    EXPECT_EQ(q.maxOccupancy(), 4u);
+}
+
+TEST(SpscQueue, WraparoundPreservesValues)
+{
+    rt::SpscQueue q(3);
+    ir::Value v;
+    for (int64_t i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(i)));
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(i + 1000000)));
+        ASSERT_TRUE(q.tryPop(v));
+        ASSERT_EQ(v.asInt(), i);
+        ASSERT_TRUE(q.tryPop(v));
+        ASSERT_EQ(v.asInt(), i + 1000000);
+    }
+    EXPECT_FALSE(q.tryPop(v));
+    EXPECT_EQ(q.enqCount(), 2000u);
+    EXPECT_EQ(q.deqCount(), 2000u);
+}
+
+TEST(SpscQueue, PeekDoesNotConsume)
+{
+    rt::SpscQueue q(4);
+    ASSERT_TRUE(q.tryPush(ir::Value::fromInt(7)));
+    ir::Value v;
+    ASSERT_TRUE(q.tryPeek(v));
+    EXPECT_EQ(v.asInt(), 7);
+    ASSERT_TRUE(q.tryPeek(v));
+    EXPECT_EQ(v.asInt(), 7);
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v.asInt(), 7);
+    EXPECT_FALSE(q.tryPeek(v));
+}
+
+TEST(SpscQueue, PushBatchRespectsCapacityAndOrder)
+{
+    rt::SpscQueue q(8);
+    auto gen = [](size_t k) {
+        return ir::Value::fromInt(100 + static_cast<int64_t>(k));
+    };
+    EXPECT_EQ(q.pushBatch(20, gen), 8u) << "batch clips to free space";
+    EXPECT_EQ(q.pushBatch(4, gen), 0u) << "full ring takes nothing";
+    ir::Value v;
+    for (int64_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(q.tryPop(v));
+        EXPECT_EQ(v.asInt(), 100 + i);
+    }
+    EXPECT_EQ(q.pushBatch(10, gen), 3u);
+    for (int64_t i = 3; i < 8; ++i) {
+        ASSERT_TRUE(q.tryPop(v));
+        EXPECT_EQ(v.asInt(), 100 + i);
+    }
+    for (int64_t i = 0; i < 3; ++i) {
+        ASSERT_TRUE(q.tryPop(v));
+        EXPECT_EQ(v.asInt(), 100 + i);
+    }
+    EXPECT_FALSE(q.tryPop(v));
+}
+
+TEST(SpscQueue, TwoThreadStress)
+{
+    rt::SpscQueue q(64);
+    constexpr int64_t kN = 500'000;
+    // Spin briefly, then yield: on a single-core host a pure spin burns
+    // a whole scheduling quantum every time one side fills/empties the
+    // ring.
+    auto backoff = [](int& spins) {
+        if (++spins < 64) {
+            rt::cpuRelax();
+        } else {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    };
+    std::thread producer([&q, &backoff] {
+        int spins = 0;
+        for (int64_t i = 0; i < kN; ++i)
+            while (!q.tryPush(ir::Value::fromInt(i)))
+                backoff(spins);
+    });
+    ir::Value v;
+    int spins = 0;
+    for (int64_t expect = 0; expect < kN;) {
+        if (q.tryPop(v)) {
+            ASSERT_EQ(v.asInt(), expect);
+            expect++;
+        } else {
+            backoff(spins);
+        }
+    }
+    producer.join();
+    EXPECT_FALSE(q.tryPop(v));
+    EXPECT_EQ(q.enqCount(), static_cast<uint64_t>(kN));
+}
+
+// ---------------------------------------------------------------------
+// Handcrafted pipeline: in-band control value ends the consumer loop
+// through a dequeue handler, exactly like compiled pipelines do.
+// ---------------------------------------------------------------------
+
+ir::PipelinePtr
+buildDoublerPipeline()
+{
+    constexpr ir::QueueId kQ = 0;
+    auto pipeline = std::make_unique<ir::Pipeline>();
+    pipeline->name = "doubler";
+
+    {
+        ir::FunctionBuilder b("produce");
+        ir::ArrayId a = b.arrayParam("a", ir::ElemType::kI64, false);
+        b.arrayParam("out", ir::ElemType::kI64, true);
+        ir::RegId n = b.scalarParam("n");
+        b.forRange(b.constI(0), n, [&](ir::RegId i) {
+            b.enq(kQ, b.load(a, i, "v"));
+        });
+        b.enqCtrl(kQ, ir::kCtrlNext);
+        pipeline->stages.push_back(b.finish());
+    }
+
+    {
+        ir::FunctionBuilder b("consume");
+        b.arrayParam("a", ir::ElemType::kI64, false);
+        ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+        b.scalarParam("n");
+        ir::RegId idx = b.newReg("idx");
+        ir::RegId v = b.newReg("v");
+        ir::RegId one = b.constI(1);
+        b.movTo(idx, b.constI(0));
+        b.loop([&] {
+            b.deqTo(kQ, v);
+            b.store(out, idx, b.add(v, v));
+            ir::Op bump;
+            bump.opcode = ir::Opcode::kAdd;
+            bump.dst = idx;
+            bump.src[0] = idx;
+            bump.src[1] = one;
+            b.emit(bump);
+        });
+        ir::FunctionPtr fn = b.finish();
+        ir::HandlerSpec h;
+        h.queue = kQ;
+        auto brk = std::make_unique<ir::BreakStmt>(1);
+        brk->id = fn->nextStmtId++;
+        h.body.push_back(std::move(brk));
+        fn->handlers.push_back(std::move(h));
+        pipeline->stages.push_back(std::move(fn));
+    }
+    return pipeline;
+}
+
+void
+bindDoubler(sim::Binding& b, int n)
+{
+    Rng rng(7);
+    auto* a = b.makeArray("a", ir::ElemType::kI64,
+                          static_cast<size_t>(n));
+    auto* out = b.makeArray("out", ir::ElemType::kI64,
+                            static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        a->setInt(i, static_cast<int64_t>(rng.nextBounded(100000)) - 50000);
+        out->setInt(i, -1);
+    }
+    b.setScalarInt("n", n);
+}
+
+TEST(NativeRuntime, HandcraftedControlValueProtocol)
+{
+    const int n = 5000;  // >> default queue depth: exercises backpressure
+    auto pipeline = buildDoublerPipeline();
+
+    rt::Runtime runtime;
+    sim::Binding nb;
+    bindDoubler(nb, n);
+    rt::NativeStats stats = runtime.runPipeline(*pipeline, nb);
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_EQ(stats.numStageThreads, 2);
+
+    auto* a = nb.array("a");
+    auto* out = nb.array("out");
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(out->atInt(i), 2 * a->atInt(i)) << "index " << i;
+
+    // Differential: the simulator must agree bit-for-bit.
+    sim::Binding sb;
+    bindDoubler(sb, n);
+    sim::Machine machine(test::testConfig());
+    auto sim_stats = machine.runPipeline(*pipeline, sb);
+    ASSERT_FALSE(sim_stats.deadlock);
+    EXPECT_TRUE(sb.array("out")->contentEquals(*out));
+}
+
+// ---------------------------------------------------------------------
+// Differential: compiled pipelines, native vs simulator.
+// ---------------------------------------------------------------------
+
+const char* kFilterKernel = R"(
+#pragma phloem
+void filter_work(const int* restrict a, const int* restrict b,
+                 long* restrict out, int n) {
+    for (int i = 0; i < n; i++) {
+        int x = a[i];
+        if (x > 0) {
+            int y = b[x];
+            out[i] = phloem_work(y, 10);
+        }
+    }
+}
+)";
+
+void
+setupFilter(sim::Binding& binding)
+{
+    Rng rng(42);
+    const int n = 2000;
+    auto* a = binding.makeArray("a", ir::ElemType::kI32, n);
+    auto* b = binding.makeArray("b", ir::ElemType::kI32, n);
+    auto* out = binding.makeArray("out", ir::ElemType::kI64, n);
+    for (int i = 0; i < n; ++i) {
+        a->setInt(i, static_cast<int64_t>(rng.nextBounded(n)) - n / 3);
+        b->setInt(i, static_cast<int64_t>(rng.nextBounded(1000)));
+        out->setInt(i, -1);
+    }
+    binding.setScalarInt("n", n);
+}
+
+TEST(NativeRuntime, SerialMatchesSimulatorSerial)
+{
+    auto kernel = fe::compileKernel(kFilterKernel);
+
+    sim::Binding nb;
+    setupFilter(nb);
+    rt::Runtime runtime;
+    rt::NativeStats nstats = runtime.runSerial(*kernel.fn, nb);
+    ASSERT_TRUE(nstats.ok) << nstats.error;
+
+    sim::Binding sb;
+    setupFilter(sb);
+    sim::Machine machine(test::testConfig());
+    auto sstats = machine.runSerial(*kernel.fn, sb);
+    ASSERT_FALSE(sstats.deadlock);
+
+    EXPECT_TRUE(sb.array("out")->contentEquals(*nb.array("out")));
+    // Both backends interpret the same flat program, so dynamic
+    // instruction counts must agree exactly.
+    EXPECT_EQ(nstats.totalInstructions(), sstats.totalInstructions());
+}
+
+TEST(NativeRuntime, CompiledPipelineMatchesSimulator)
+{
+    auto kernel = fe::compileKernel(kFilterKernel);
+    comp::CompileOptions opts;
+    opts.numStages = 4;
+    auto res = comp::compilePipeline(*kernel.fn, opts);
+    ASSERT_TRUE(res.ok());
+
+    sim::Binding nb;
+    setupFilter(nb);
+    rt::Runtime runtime;
+    rt::NativeStats nstats = runtime.runPipeline(*res.pipeline, nb);
+    ASSERT_TRUE(nstats.ok) << nstats.error;
+
+    sim::Binding sb;
+    setupFilter(sb);
+    sim::Machine machine(test::testConfig());
+    auto sstats = machine.runPipeline(*res.pipeline, sb);
+    ASSERT_FALSE(sstats.deadlock);
+
+    EXPECT_TRUE(sb.array("out")->contentEquals(*nb.array("out")));
+}
+
+// ---------------------------------------------------------------------
+// Manual SpMM pipeline: SCAN RAs with range control values.
+// ---------------------------------------------------------------------
+
+TEST(NativeRuntime, ManualSpmmPipelinePasses)
+{
+    wl::Workload w = wl::spmmWorkload();
+    ASSERT_TRUE(w.manual != nullptr);
+    auto kernel = fe::compileKernel(w.serialSrc);
+    ir::PipelinePtr manual = w.manual(*kernel.fn);
+    ASSERT_TRUE(manual != nullptr);
+
+    const wl::Case* c = nullptr;
+    for (const auto& cs : w.cases)
+        if (cs.training) {
+            c = &cs;
+            break;
+        }
+    ASSERT_NE(c, nullptr);
+
+    sim::Binding b;
+    c->bind(b, 1);
+    rt::Runtime runtime;
+    rt::NativeStats stats = runtime.runPipeline(*manual, b);
+    ASSERT_TRUE(stats.ok) << stats.error;
+
+    std::string err;
+    EXPECT_TRUE(c->check(b, wl::Variant::kPipeline, &err)) << err;
+    // The RA workers must actually have streamed elements.
+    uint64_t ra_elements = 0;
+    for (const auto& ws : stats.workers)
+        if (!ws.isStage)
+            ra_elements += ws.raElements;
+    EXPECT_GT(ra_elements, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Replicated pipeline: kEnqDist crosses replicas, so the distributed
+// queues become multi-producer rings.
+// ---------------------------------------------------------------------
+
+TEST(NativeRuntime, ReplicatedBfsMatchesGolden)
+{
+    const int replicas = 3;
+    wl::CSRGraph g = wl::makeRoadNetwork(800, 0.65, 101);
+    int32_t root = 0;
+    for (int32_t v = 0; v < g.n; ++v)
+        if (g.degree(v) > g.degree(root))
+            root = v;
+    std::vector<int32_t> golden = wl::bfsGolden(g, root);
+    int diameter = 0;
+    for (int32_t d : golden)
+        if (d != INT32_MAX)
+            diameter = std::max(diameter, d);
+
+    auto kernel = fe::compileKernel(wl::kBfsReplicated);
+    ASSERT_FALSE(kernel.ann.distributeOps.empty());
+    comp::CompileOptions opts;
+    opts.numStages = 4;
+    opts.replicas = replicas;
+    opts.distributeBoundaryOp = kernel.ann.distributeOps.front();
+    auto compiled = comp::compilePipeline(*kernel.fn, opts);
+    ASSERT_TRUE(compiled.pipeline != nullptr);
+
+    sim::Binding b;
+    auto* nodes = b.makeArray("nodes", ir::ElemType::kI32,
+                              static_cast<size_t>(g.n) + 1);
+    for (int32_t v = 0; v <= g.n; ++v)
+        nodes->setInt(v, g.nodes[static_cast<size_t>(v)]);
+    auto* edges = b.makeArray(
+        "edges", ir::ElemType::kI32,
+        std::max<size_t>(1, static_cast<size_t>(g.m())));
+    for (int64_t e = 0; e < g.m(); ++e)
+        edges->setInt(e, g.edges[static_cast<size_t>(e)]);
+    auto* dist = b.makeArray("dist", ir::ElemType::kI32,
+                             static_cast<size_t>(g.n));
+    dist->fillInt(2147483647);
+    for (int r = 0; r < replicas; ++r) {
+        size_t cap = static_cast<size_t>(g.n) + 1;
+        b.bindReplica(r, "cur_fringe",
+                      b.makeArray("cf@" + std::to_string(r),
+                                  ir::ElemType::kI32, cap));
+        b.bindReplica(r, "next_fringe",
+                      b.makeArray("nf@" + std::to_string(r),
+                                  ir::ElemType::kI32, cap));
+        b.setScalarReplica(r, "init_size",
+                           ir::Value::fromInt(root % replicas == r ? 1
+                                                                   : 0));
+    }
+    b.setScalarInt("n", g.n);
+    b.setScalarInt("root", root);
+    b.setScalarInt("max_rounds", diameter + 1);
+
+    rt::Runtime runtime;
+    rt::NativeStats stats = runtime.runPipeline(*compiled.pipeline, b);
+    ASSERT_TRUE(stats.ok) << stats.error;
+    EXPECT_EQ(stats.numStageThreads,
+              replicas * static_cast<int>(compiled.pipeline->stages.size()));
+
+    for (int32_t v = 0; v < g.n; ++v)
+        ASSERT_EQ(dist->atInt(v), golden[static_cast<size_t>(v)])
+            << "vertex " << v;
+}
+
+// ---------------------------------------------------------------------
+// Deadlock watchdog.
+// ---------------------------------------------------------------------
+
+TEST(NativeRuntime, WatchdogAbortsStuckPipeline)
+{
+    // One stage enqueues past a depth-4 queue that nothing ever drains:
+    // the producer blocks forever and the watchdog must abort the run
+    // instead of hanging the process.
+    auto pipeline = std::make_unique<ir::Pipeline>();
+    pipeline->name = "jam";
+    {
+        ir::FunctionBuilder b("jam");
+        ir::RegId n = b.scalarParam("n");
+        b.forRange(b.constI(0), n, [&](ir::RegId i) { b.enq(0, i); });
+        pipeline->stages.push_back(b.finish());
+    }
+    ir::QueueConfig qc;
+    qc.id = 0;
+    qc.depth = 4;
+    pipeline->queues.push_back(qc);
+
+    sim::Binding b;
+    b.setScalarInt("n", 64);
+
+    rt::RuntimeOptions opt;
+    opt.deadlockTimeoutMs = 100;
+    rt::Runtime runtime(sim::SysConfig{}, opt);
+    rt::NativeStats stats = runtime.runPipeline(*pipeline, b);
+    EXPECT_FALSE(stats.ok);
+    EXPECT_NE(stats.error.find("deadlock"), std::string::npos)
+        << stats.error;
+}
+
+} // namespace
+} // namespace phloem

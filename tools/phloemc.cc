@@ -20,6 +20,11 @@
  *   --kernel NAME   compile the named function
  *   --ir-only       print only the serial IR
  *   --quiet         print only the pipeline summary line
+ *   --run[=MODE]    execute the compiled pipeline on synthetic inputs;
+ *                   MODE is native (host threads, default), sim
+ *                   (cycle-approximate simulator), or both (run both and
+ *                   compare outputs bit-for-bit)
+ *   --size N        synthetic input size for --run (default 4096)
  */
 
 #include <cstdio>
@@ -31,6 +36,9 @@
 #include "compiler/compiler.h"
 #include "frontend/frontend.h"
 #include "ir/printer.h"
+#include "runtime/runtime.h"
+#include "sim/binding.h"
+#include "sim/machine.h"
 #include "taco/taco.h"
 
 using namespace phloem;
@@ -43,10 +51,116 @@ usage()
     std::fprintf(stderr,
                  "usage: phloemc [--stages N] [--no-ra] [--no-cv] "
                  "[--no-dce] [--no-handlers]\n"
-                 "               [--kernel NAME] [--ir-only] [--quiet] "
+                 "               [--kernel NAME] [--ir-only] [--quiet]\n"
+                 "               [--run[=native|sim|both]] [--size N] "
                  "<file.c>\n"
                  "       phloemc --taco '<tensor expression>'\n");
     return 2;
+}
+
+enum class RunMode { kNone, kNative, kSim, kBoth };
+
+/**
+ * Synthesize a deterministic binding from the kernel signature: arrays
+ * get size+1 elements (room for CSR-style `row[i+1]` reads); read-only
+ * integer arrays get pseudo-random values in [0, size) so indirect
+ * accesses stay in bounds; writable arrays start zeroed; integer scalars
+ * are bound to `size` (the conventional trip count) and float scalars to
+ * 0.5.
+ */
+void
+synthesizeBinding(const ir::Function& fn, int64_t size,
+                  sim::Binding& binding)
+{
+    uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next_rand = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+
+    for (const auto& a : fn.arrays) {
+        if (binding.hasArray(a.name))
+            continue;  // double-buffer slots may repeat a name
+        auto* buf = binding.makeArray(a.name, a.elem,
+                                      static_cast<size_t>(size) + 1);
+        if (a.writable)
+            continue;
+        for (int64_t i = 0; i <= size; ++i) {
+            if (a.elem == ir::ElemType::kF64)
+                buf->setDouble(i, static_cast<double>(next_rand() % 1000) /
+                                      1000.0);
+            else
+                buf->setInt(i, static_cast<int64_t>(
+                                   next_rand() %
+                                   static_cast<uint64_t>(size)));
+        }
+    }
+    for (const auto& p : fn.scalarParams) {
+        if (p.isFloat)
+            binding.setScalar(p.name, ir::Value::fromDouble(0.5));
+        else
+            binding.setScalarInt(p.name, size);
+    }
+}
+
+/** Execute the pipeline per --run; returns the process exit code. */
+int
+runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
+            RunMode mode, int64_t size)
+{
+    sim::Binding native_binding;
+    rt::NativeStats native;
+    if (mode == RunMode::kNative || mode == RunMode::kBoth) {
+        synthesizeBinding(fn, size, native_binding);
+        rt::Runtime runtime;
+        native = runtime.runPipeline(pipeline, native_binding);
+        if (!native.ok) {
+            std::fprintf(stderr, "run: native failed: %s\n",
+                         native.error.c_str());
+            return 1;
+        }
+        std::printf("run: native  %.3f ms, %d stage threads + %d RAs, "
+                    "%llu instructions, enq blocks %llu, deq blocks %llu\n",
+                    native.wallMs(), native.numStageThreads,
+                    native.numRAWorkers,
+                    static_cast<unsigned long long>(
+                        native.totalInstructions()),
+                    static_cast<unsigned long long>(
+                        native.totalEnqBlocks()),
+                    static_cast<unsigned long long>(
+                        native.totalDeqBlocks()));
+    }
+
+    sim::Binding sim_binding;
+    if (mode == RunMode::kSim || mode == RunMode::kBoth) {
+        synthesizeBinding(fn, size, sim_binding);
+        sim::Machine machine{sim::SysConfig{}};
+        sim::RunStats stats = machine.runPipeline(pipeline, sim_binding);
+        if (stats.deadlock) {
+            std::fprintf(stderr, "run: simulator deadlock:\n%s\n",
+                         stats.deadlockInfo.c_str());
+            return 1;
+        }
+        std::printf("run: sim     %llu cycles\n",
+                    static_cast<unsigned long long>(stats.cycles));
+    }
+
+    if (mode == RunMode::kBoth) {
+        for (const auto& [name, buf] : native_binding.globalArrays()) {
+            const auto* other = sim_binding.array(name);
+            if (!buf->contentEquals(*other)) {
+                std::fprintf(stderr,
+                             "run: MISMATCH: array '%s' differs between "
+                             "native and sim\n",
+                             name.c_str());
+                return 1;
+            }
+        }
+        std::printf("run: native and sim outputs match bit-for-bit\n");
+    }
+    return 0;
 }
 
 } // namespace
@@ -60,6 +174,8 @@ main(int argc, char** argv)
     std::string taco_expr;
     bool ir_only = false;
     bool quiet = false;
+    RunMode run_mode = RunMode::kNone;
+    int64_t run_size = 4096;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -81,7 +197,21 @@ main(int argc, char** argv)
             ir_only = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--run" || arg == "--run=native") {
+            run_mode = RunMode::kNative;
+        } else if (arg == "--run=sim") {
+            run_mode = RunMode::kSim;
+        } else if (arg == "--run=both") {
+            run_mode = RunMode::kBoth;
+        } else if (arg == "--size" && i + 1 < argc) {
+            run_size = std::atoll(argv[++i]);
+            if (run_size < 1) {
+                std::fprintf(stderr, "phloemc: --size must be >= 1\n");
+                return 2;
+            }
         } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "phloemc: unknown option '%s'\n",
+                         arg.c_str());
             return usage();
         } else {
             path = arg;
@@ -150,7 +280,12 @@ main(int argc, char** argv)
                     result.problems.empty() ? "" : "  [VERIFY FAILED]");
         for (const auto& p : result.problems)
             std::fprintf(stderr, "verify: %s\n", p.c_str());
-        return result.problems.empty() ? 0 : 1;
+        if (!result.problems.empty())
+            return 1;
+        if (run_mode != RunMode::kNone)
+            return runPipeline(*kernel.fn, *result.pipeline, run_mode,
+                               run_size);
+        return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "phloemc: %s\n", e.what());
         return 1;
