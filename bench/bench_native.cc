@@ -20,6 +20,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "compiler/compiler.h"
@@ -50,16 +53,88 @@ void gather_sum(const int* restrict pos, const int* restrict col,
 }
 )";
 
+/** One result row, collected for the optional --json report. */
+struct Row
+{
+    std::string name;
+    std::string input;
+    bool ok = false;
+    std::string error;
+    double serialMs = 0.0;
+    double pipelineMs = 0.0;
+    int stageThreads = 0;
+    int ras = 0;
+};
+
+std::vector<Row> g_rows;
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Write every collected row as a JSON array of objects. */
+bool
+writeJson(const char* path)
+{
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_native: cannot write %s\n", path);
+        return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_native\",\n  \"rows\": [\n");
+    for (size_t i = 0; i < g_rows.size(); ++i) {
+        const Row& r = g_rows[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"input\": \"%s\", \"ok\": %s, "
+            "\"error\": \"%s\", \"serial_ms\": %.3f, "
+            "\"pipeline_ms\": %.3f, \"speedup\": %.4f, "
+            "\"stage_threads\": %d, \"ras\": %d}%s\n",
+            jsonEscape(r.name).c_str(), jsonEscape(r.input).c_str(),
+            r.ok ? "true" : "false", jsonEscape(r.error).c_str(),
+            r.serialMs, r.pipelineMs,
+            r.pipelineMs > 0.0 ? r.serialMs / r.pipelineMs : 0.0,
+            r.stageThreads, r.ras,
+            i + 1 < g_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
 void
 reportRow(const char* name, const char* input,
           const driver::NativeOutcome& ser,
           const driver::NativeOutcome& pipe, int stage_threads, int ras)
 {
+    Row row;
+    row.name = name;
+    row.input = input;
     if (!ser.correct || !pipe.correct) {
+        row.error = !ser.correct ? ser.error : pipe.error;
+        g_rows.push_back(row);
         std::printf("%-12s %-12s FAILED (%s)\n", name, input,
-                    (!ser.correct ? ser.error : pipe.error).c_str());
+                    row.error.c_str());
         return;
     }
+    row.ok = true;
+    row.serialMs = ser.stats.wallMs();
+    row.pipelineMs = pipe.stats.wallMs();
+    row.stageThreads = stage_threads;
+    row.ras = ras;
+    g_rows.push_back(row);
     std::printf("%-12s %-12s serial %8.2f ms   pipeline %8.2f ms   "
                 "speedup %5.2fx   (%d threads + %d RAs)\n",
                 name, input, ser.stats.wallMs(), pipe.stats.wallMs(),
@@ -207,16 +282,28 @@ benchGatherSum(int64_t rows, int64_t degree)
     make_binding(pipe_binding);
     rt::NativeStats pipe = runtime.runPipeline(*pipeline, pipe_binding);
 
+    Row row;
+    row.name = "gather_sum";
+    row.input = std::to_string(rows) + "x" + std::to_string(degree);
     if (!ser.ok || !pipe.ok) {
-        std::printf("gather_sum: run failed: %s\n",
-                    (!ser.ok ? ser.error : pipe.error).c_str());
+        row.error = !ser.ok ? ser.error : pipe.error;
+        g_rows.push_back(row);
+        std::printf("gather_sum: run failed: %s\n", row.error.c_str());
         return false;
     }
     if (!serial_binding.array("out")->contentEquals(
             *pipe_binding.array("out"))) {
+        row.error = "output mismatch between serial and pipeline";
+        g_rows.push_back(row);
         std::printf("gather_sum: MISMATCH between serial and pipeline\n");
         return false;
     }
+    row.ok = true;
+    row.serialMs = ser.wallMs();
+    row.pipelineMs = pipe.wallMs();
+    row.stageThreads = pipe.numStageThreads;
+    row.ras = pipe.numRAWorkers;
+    g_rows.push_back(row);
 
     double speedup = ser.wallMs() / pipe.wallMs();
     std::printf("%-12s %-12s serial %8.2f ms   pipeline %8.2f ms   "
@@ -244,10 +331,18 @@ main(int argc, char** argv)
 {
     int64_t rows = 1 << 15;
     int64_t degree = 16;
-    if (argc > 1)
-        rows = std::atoll(argv[1]);
-    if (argc > 2)
-        degree = std::atoll(argv[2]);
+    const char* json_path = nullptr;
+    std::vector<const char*> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else
+            pos.push_back(argv[i]);
+    }
+    if (pos.size() > 0)
+        rows = std::atoll(pos[0]);
+    if (pos.size() > 1)
+        degree = std::atoll(pos[1]);
 
     std::printf("=== native runtime: pipeline vs serial wall-clock ===\n");
 
@@ -277,5 +372,15 @@ main(int argc, char** argv)
     std::printf(won ? "native pipeline beats native serial: yes\n"
                     : "native pipeline beats native serial: no "
                       "(host-dependent)\n");
-    return 0;
+
+    // Speedup is host-dependent, but correctness is not: any FAILED or
+    // MISMATCH row makes the bench exit nonzero so run_benches.sh (and
+    // CI) notice instead of scrolling past it.
+    int failures = 0;
+    for (const Row& r : g_rows)
+        if (!r.ok)
+            ++failures;
+    if (json_path != nullptr && !writeJson(json_path))
+        return 1;
+    return failures == 0 ? 0 : 1;
 }

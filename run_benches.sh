@@ -1,14 +1,31 @@
 #!/bin/bash
 # Regenerate every table/figure; tee everything into bench_output.txt.
-set -u
+#
+# Exits nonzero if any bench fails (pipefail keeps tee from masking a
+# bench's exit status), and writes the native-runtime results to
+# BENCH_native.json for machine consumption.
+set -u -o pipefail
 cd "$(dirname "$0")"
 OUT=bench_output.txt
 : > "$OUT"
+failed=()
+run() {
+    echo "########## $1 ##########" | tee -a "$OUT"
+    if ! ./build/bench/"$@" 2>&1 | tee -a "$OUT"; then
+        failed+=("$1")
+    fi
+    echo | tee -a "$OUT"
+}
 for b in bench_table3_config bench_table4_inputs bench_table5_inputs \
          bench_fig6_passes bench_fig12_taco bench_fig10_cycles \
          bench_fig11_energy bench_fig13_stages bench_fig14_replication \
          bench_fig9_speedup bench_ablation bench_micro; do
-    echo "########## $b ##########" | tee -a "$OUT"
-    ./build/bench/$b 2>&1 | tee -a "$OUT"
-    echo | tee -a "$OUT"
+    run "$b"
 done
+run bench_native --json=BENCH_native.json
+if ((${#failed[@]} > 0)); then
+    echo "FAILED benches: ${failed[*]}" | tee -a "$OUT"
+    exit 1
+fi
+echo "all benches passed; native results in BENCH_native.json" \
+    | tee -a "$OUT"

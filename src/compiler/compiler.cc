@@ -310,6 +310,206 @@ applyReplication(ir::Pipeline& pipeline, int replicas,
              "the distribute boundary");
     }
 
+    // Boundary-crossing bypass streams. The stage split may forward a
+    // pre-boundary value straight to a stage *beyond* the distribute
+    // target (queue producer < target < consumer). Once replicated,
+    // such a queue carries each producer replica's input slice to its
+    // own replica, while the distributed stream routes the same
+    // elements to their owner replica — the downstream stage pairs two
+    // streams with different contents and lengths, which mispairs data
+    // and deadlocks. Relay those streams through the target instead:
+    // the target re-enqueues the element it dequeued, so every
+    // post-boundary queue is per-replica and iteration-paired. When a
+    // crossing stream is not the boundary element itself (or passes
+    // through an RA), distribution is unsound — fall back to
+    // independent replicas, which the driver can then unwind.
+    auto resolve_sink = [&](QueueId q) {
+        for (int hops = 0; hops < 16; ++hops) {
+            const ir::QueueConfig* qc = pipeline.findQueue(q);
+            if (qc == nullptr)
+                return -1;
+            if (qc->consumerStage >= 0)
+                return qc->consumerStage;
+            const ir::RAConfig* hop = nullptr;
+            for (const auto& ra : pipeline.ras)
+                if (ra.inQueue == q)
+                    hop = &ra;
+            if (hop == nullptr)
+                return -1;
+            q = hop->outQueue;
+        }
+        return -1;
+    };
+    // One unconditional enq of register `reg` into queue `q`?
+    auto find_single_enq = [](ir::Function& fn, QueueId q, RegId* reg) {
+        int hits = 0;
+        std::function<void(ir::Region&)> walk = [&](ir::Region& region) {
+            for (auto& s : region) {
+                switch (s->kind()) {
+                  case ir::StmtKind::kFor:
+                    walk(ir::stmtCast<ir::ForStmt>(s.get())->body);
+                    break;
+                  case ir::StmtKind::kWhile:
+                    walk(ir::stmtCast<ir::WhileStmt>(s.get())->body);
+                    break;
+                  case ir::StmtKind::kOp: {
+                    const Op& op =
+                        ir::stmtCast<ir::OpStmt>(s.get())->op;
+                    if (op.opcode == Opcode::kEnq && op.queue == q) {
+                        ++hits;
+                        *reg = op.src[0];
+                    }
+                    break;
+                  }
+                  default:
+                    // enq under an if would drop elements from the
+                    // stream; never relay those.
+                    break;
+                }
+            }
+        };
+        walk(fn.body);
+        return hits == 1;
+    };
+
+    // Only the feeder stage — the one whose enq becomes the enq_dist —
+    // emits at element rate. Streams from other pre-boundary stages
+    // (e.g. BFS's per-round condition flags) are per-replica control
+    // and stay untouched.
+    std::vector<ir::QueueConfig*> relays;
+    for (auto& qc : pipeline.queues) {
+        if (qc.producerStage < 0 || qc.producerStage >= target)
+            continue;
+        ir::Function& prod =
+            *pipeline.stages[static_cast<size_t>(qc.producerStage)];
+        RegId stream_reg = ir::kNoReg;
+        bool is_feeder = false;
+        for (QueueId dq : dist_queues)
+            if (find_single_enq(prod, dq, &stream_reg))
+                is_feeder = true;
+        if (!is_feeder)
+            continue;
+        int sink = resolve_sink(qc.id);
+        if (sink < target || dist_queues.count(qc.id))
+            continue;  // stays pre-boundary, or is the stream itself
+        RegId bypass_reg = ir::kNoReg;
+        if (sink == target || qc.consumerStage < 0 ||  // through an RA
+            !find_single_enq(prod, qc.id, &bypass_reg) ||
+            bypass_reg != stream_reg) {
+            note("a feeder stream bypasses the distribute stage and is "
+                 "not the boundary element; replicating without "
+                 "distribution");
+            return;
+        }
+        relays.push_back(&qc);
+    }
+
+    for (ir::QueueConfig* qc : relays) {
+        ir::Function& prod =
+            *pipeline.stages[static_cast<size_t>(qc->producerStage)];
+        // Drop the producer's enq and terminating enq_ctrl, keeping the
+        // control code for re-emission at the target.
+        int64_t ctrl_imm = 0;
+        std::function<void(ir::Region&)> erase = [&](ir::Region& region) {
+            for (size_t i = 0; i < region.size();) {
+                ir::Stmt* st = region[i].get();
+                switch (st->kind()) {
+                  case ir::StmtKind::kFor:
+                    erase(ir::stmtCast<ir::ForStmt>(st)->body);
+                    break;
+                  case ir::StmtKind::kWhile:
+                    erase(ir::stmtCast<ir::WhileStmt>(st)->body);
+                    break;
+                  case ir::StmtKind::kOp: {
+                    const Op& op = ir::stmtCast<ir::OpStmt>(st)->op;
+                    if (op.queue == qc->id &&
+                        (op.opcode == Opcode::kEnq ||
+                         op.opcode == Opcode::kEnqCtrl)) {
+                        if (op.opcode == Opcode::kEnqCtrl)
+                            ctrl_imm = op.imm;
+                        region.erase(region.begin() +
+                                     static_cast<long>(i));
+                        continue;
+                    }
+                    break;
+                  }
+                  default:
+                    break;
+                }
+                ++i;
+            }
+        };
+        erase(prod.body);
+
+        // Target side: re-enqueue the dequeued element each iteration,
+        // and send one terminating control value after the loop.
+        ir::Region* loop_parent = nullptr;
+        size_t loop_pos = 0;
+        ir::WhileStmt* loop = nullptr;
+        std::function<void(ir::Region&)> find = [&](ir::Region& region) {
+            for (size_t i = 0; i < region.size(); ++i) {
+                ir::Stmt* st = region[i].get();
+                if (st->kind() == ir::StmtKind::kWhile) {
+                    auto* w = ir::stmtCast<ir::WhileStmt>(st);
+                    if (!w->body.empty() &&
+                        w->body[0]->kind() == ir::StmtKind::kOp) {
+                        const Op& op =
+                            ir::stmtCast<ir::OpStmt>(w->body[0].get())
+                                ->op;
+                        if (op.opcode == Opcode::kDeq &&
+                            dist_queues.count(op.queue)) {
+                            loop_parent = &region;
+                            loop_pos = i;
+                            loop = w;
+                            return;
+                        }
+                    }
+                    find(w->body);
+                } else if (st->kind() == ir::StmtKind::kFor) {
+                    find(ir::stmtCast<ir::ForStmt>(st)->body);
+                }
+                if (loop != nullptr)
+                    return;
+            }
+        };
+        find(consumer.body);
+        if (loop == nullptr) {
+            note("distribute stage loop not found for stream relay; "
+                 "replicating without distribution");
+            return;
+        }
+        const Op& head =
+            ir::stmtCast<ir::OpStmt>(loop->body[0].get())->op;
+        // Skip an explicit "is_control -> counted break" pair so only
+        // data values are relayed.
+        size_t pos = 1;
+        if (loop->body.size() >= 3 &&
+            loop->body[1]->kind() == ir::StmtKind::kOp &&
+            ir::stmtCast<ir::OpStmt>(loop->body[1].get())->op.opcode ==
+                Opcode::kIsControl &&
+            loop->body[2]->kind() == ir::StmtKind::kIf) {
+            pos = 3;
+        }
+        Op fwd;
+        fwd.opcode = Opcode::kEnq;
+        fwd.queue = qc->id;
+        fwd.src[0] = head.dst;
+        loop->body.insert(loop->body.begin() + static_cast<long>(pos),
+                          makeOpStmt(consumer, fwd));
+        Op done;
+        done.opcode = Opcode::kEnqCtrl;
+        done.queue = qc->id;
+        done.imm = ctrl_imm;
+        loop_parent->insert(loop_parent->begin() +
+                                static_cast<long>(loop_pos) + 1,
+                            makeOpStmt(consumer, done));
+        qc->producerStage = target;
+        qc->note = "relayed through the distribute stage";
+    }
+    if (!relays.empty())
+        note("relayed " + std::to_string(relays.size()) +
+             " boundary-crossing stream(s) through the distribute stage");
+
     // Producer side: enq -> enq_dist with selector = value mod replicas;
     // control values broadcast to every replica.
     for (auto& stage : pipeline.stages) {
@@ -442,6 +642,12 @@ applyReplication(ir::Pipeline& pipeline, int replicas,
                                  consumer, cnt, replicas, levels)) {
                             brk_if->thenBody.push_back(std::move(st));
                         }
+                        // A non-final control value (fewer than R seen)
+                        // must not fall through into the loop body as
+                        // if it were data.
+                        auto cont = std::make_unique<ir::ContinueStmt>();
+                        cont->id = consumer.nextStmtId++;
+                        brk_if->thenBody.push_back(std::move(cont));
                         patched = true;
                     }
                 }

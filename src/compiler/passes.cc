@@ -1087,6 +1087,8 @@ stageHasWork(const ir::Function& fn)
           case Opcode::kAtomicMin:
           case Opcode::kAtomicAdd:
           case Opcode::kAtomicFAdd:
+          case Opcode::kAtomicOr:
+          case Opcode::kSwapArr:
           case Opcode::kEnq:
           case Opcode::kEnqCtrl:
           case Opcode::kEnqDist:
@@ -1378,10 +1380,25 @@ tryControlValueLoop(ir::Pipeline& pipeline, PassReport* report)
 
                 // Move the inner body across, keeping the deq first.
                 ir::Region moved = std::move(*inner);
-                // deq stays; insert the control check right after it.
+                // With the body detached, remaining reads of the deq's
+                // dst are the ones *outside* the loop (after it, or in
+                // the next outer iteration). If any exist, dequeue into
+                // a scratch register and copy to the real def only on
+                // the data path — the terminating control value must
+                // not clobber a live-out value. Pure forwarding loops
+                // keep the direct form so RA chaining still recognizes
+                // them.
+                bool live_out = first.dst != ir::kNoReg &&
+                                regReadCount(fn, first.dst) > 0;
+                RegId deq_dst = first.dst;
+                if (live_out) {
+                    deq_dst = fn.newReg("cvv");
+                    ir::stmtCast<ir::OpStmt>(moved[0].get())->op.dst =
+                        deq_dst;
+                }
                 Op isc = makeOp(fn, Opcode::kIsControl);
                 isc.dst = fn.newReg("cv");
-                isc.src[0] = first.dst;
+                isc.src[0] = deq_dst;
                 auto isc_stmt = std::make_unique<ir::OpStmt>(isc);
                 isc_stmt->id = fn.nextStmtId++;
                 auto brk_if = std::make_unique<ir::IfStmt>();
@@ -1394,31 +1411,41 @@ tryControlValueLoop(ir::Pipeline& pipeline, PassReport* report)
                 w->body.push_back(std::move(moved[0]));  // the deq
                 w->body.push_back(std::move(isc_stmt));
                 w->body.push_back(std::move(brk_if));
+                if (live_out) {
+                    Op mv = makeOp(fn, Opcode::kMov);
+                    mv.dst = first.dst;
+                    mv.src[0] = deq_dst;
+                    mv.origin = first.origin;
+                    auto mv_stmt = std::make_unique<ir::OpStmt>(mv);
+                    mv_stmt->id = fn.nextStmtId++;
+                    w->body.push_back(std::move(mv_stmt));
+                }
                 for (size_t k = 1; k < moved.size(); ++k)
                     w->body.push_back(std::move(moved[k]));
 
                 RegId start = f->start;
                 RegId bound = f->bound;
                 int forigin = f->origin;
+                // The cond deq lives in the For body that the region
+                // assignment below destroys; capture its identity first.
+                int cd_origin = cond_deq != nullptr ? cond_deq->op.origin
+                                                    : -1;
+                QueueId cd_queue = cond_deq != nullptr
+                                       ? cond_deq->op.queue
+                                       : ir::kNoQueue;
                 region[i] = std::move(w);
 
-                // Remove the filter plumbing.
+                // Remove the filter plumbing: the producer-side enq that
+                // fed the filter condition. Match the queue as well as
+                // the origin — another stage may consume the same def
+                // through its own queue, and that copy must survive.
                 if (cond_deq != nullptr) {
                     (void)filter_if;
-                    int cd_origin = cond_deq->op.origin;
-                    int cd_id = cond_deq->op.id;
-                    // The filter if was consumed into the while body; the
-                    // cond deq was left inside `moved[0]`? No: the deq
-                    // stmt removed here lives in the new while body only
-                    // if it was part of `inner`; the cond deq was body[0]
-                    // of the For and was NOT moved (inner pointed into the
-                    // if). It is gone with the For replacement, but its
-                    // producer enq remains.
-                    (void)cd_id;
                     for (auto& st : pipeline.stages) {
                         removeOps(*st, [&](const Op& op) {
                             return op.opcode == Opcode::kEnq &&
-                                   op.origin == cd_origin;
+                                   op.origin == cd_origin &&
+                                   op.queue == cd_queue;
                         });
                     }
                 }

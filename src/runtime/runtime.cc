@@ -173,6 +173,7 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
         qs.enqBlocks = q.enqBlocks();
         qs.deqBlocks = q.deqBlocks();
         qs.maxOccupancy = q.maxOccupancy();
+        qs.residual = q.sizeApprox();  // exact: all workers have joined
         out.queues.push_back(qs);
     }
     if (ctl.aborted()) {
@@ -187,6 +188,23 @@ NativeStats
 Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
 {
     sim::Program prog = sim::flatten(fn);
+
+    // A serial function must be self-contained: the worker below gets no
+    // queues, so a stray enq/deq (e.g. a pipeline stage passed here by
+    // mistake) would index an empty queue vector. Fail with a diagnostic
+    // instead.
+    for (const auto& inst : prog.code) {
+        if (inst.kind == sim::Inst::Kind::kOp &&
+            inst.queue != ir::kNoQueue) {
+            NativeStats out;
+            out.ok = false;
+            out.error = fn.name + ": serial function contains a queue " +
+                        "operation (op " + std::to_string(inst.origin) +
+                        " targets queue " + std::to_string(inst.queue) +
+                        "); run it as a pipeline stage instead";
+            return out;
+        }
+    }
 
     RunControl ctl;
     ctl.opt = opt_;
@@ -205,6 +223,7 @@ Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
     out.workers.push_back(worker.stats);
     if (ctl.aborted()) {
         out.ok = false;
+        std::lock_guard<std::mutex> g(ctl.errorMu);
         out.error = ctl.error;
     }
     return out;

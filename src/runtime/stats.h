@@ -30,6 +30,12 @@ struct QueueStats
     uint64_t deqBlocks = 0;
     /** High-water mark of elements held. */
     uint64_t maxOccupancy = 0;
+    /**
+     * Elements still in the ring when the stage threads halted. Nonzero
+     * means a producer out-ran its consumer's demand — the signature of
+     * a mispaired stream (the fuzzer's deadlock post-mortems key on it).
+     */
+    uint64_t residual = 0;
 };
 
 struct WorkerStats

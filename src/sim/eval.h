@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "base/logging.h"
 #include "ir/op.h"
@@ -33,6 +34,76 @@ workMix(uint64_t x)
     x *= 0xff51afd7ed558ccdull;
     x ^= x >> 33;
     return x;
+}
+
+// Integer arithmetic wraps (two's complement) rather than invoking
+// signed-overflow UB: generated/fuzzed programs may overflow freely, and
+// both backends must agree with the serial reference bit-for-bit even
+// when they do. Division by zero and INT64_MIN / -1 are likewise given
+// defined results.
+inline int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapMul(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+wrapDiv(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (b == -1 && a == std::numeric_limits<int64_t>::min())
+        return a;  // the one overflowing quotient: wraps to itself
+    return a / b;
+}
+
+inline int64_t
+wrapRem(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (b == -1)
+        return 0;  // avoids the INT64_MIN % -1 trap; result is exact
+    return a % b;
+}
+
+inline int64_t
+wrapShl(int64_t a, int64_t sh)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a)
+                                << (static_cast<uint64_t>(sh) & 63));
+}
+
+/** double -> int64 with saturation (the raw cast is UB out of range). */
+inline int64_t
+doubleToInt(double v)
+{
+    if (std::isnan(v))
+        return 0;
+    constexpr double kLo =
+        static_cast<double>(std::numeric_limits<int64_t>::min());
+    // 2^63 exactly; every double >= this is out of range.
+    constexpr double kHi = 9223372036854775808.0;
+    if (v < kLo)
+        return std::numeric_limits<int64_t>::min();
+    if (v >= kHi)
+        return std::numeric_limits<int64_t>::max();
+    return static_cast<int64_t>(v);
 }
 
 /**
@@ -56,20 +127,20 @@ evalScalarOp(const Inst& inst, const ir::Value* regs)
     switch (inst.opcode) {
       case Opcode::kConst: out.bits = static_cast<uint64_t>(inst.imm); break;
       case Opcode::kMov: out = sv(0); break;
-      case Opcode::kAdd: out = ir::Value::fromInt(ivv(0) + ivv(1)); break;
-      case Opcode::kSub: out = ir::Value::fromInt(ivv(0) - ivv(1)); break;
-      case Opcode::kMul: out = ir::Value::fromInt(ivv(0) * ivv(1)); break;
+      case Opcode::kAdd: out = ir::Value::fromInt(wrapAdd(ivv(0), ivv(1))); break;
+      case Opcode::kSub: out = ir::Value::fromInt(wrapSub(ivv(0), ivv(1))); break;
+      case Opcode::kMul: out = ir::Value::fromInt(wrapMul(ivv(0), ivv(1))); break;
       case Opcode::kDiv:
-        out = ir::Value::fromInt(ivv(1) == 0 ? 0 : ivv(0) / ivv(1));
+        out = ir::Value::fromInt(wrapDiv(ivv(0), ivv(1)));
         break;
       case Opcode::kRem:
-        out = ir::Value::fromInt(ivv(1) == 0 ? 0 : ivv(0) % ivv(1));
+        out = ir::Value::fromInt(wrapRem(ivv(0), ivv(1)));
         break;
       case Opcode::kAnd: out = ir::Value::fromInt(ivv(0) & ivv(1)); break;
       case Opcode::kOr: out = ir::Value::fromInt(ivv(0) | ivv(1)); break;
       case Opcode::kXor: out = ir::Value::fromInt(ivv(0) ^ ivv(1)); break;
       case Opcode::kShl:
-        out = ir::Value::fromInt(ivv(0) << (ivv(1) & 63));
+        out = ir::Value::fromInt(wrapShl(ivv(0), ivv(1)));
         break;
       case Opcode::kShr:
         out = ir::Value::fromInt(static_cast<int64_t>(
@@ -121,7 +192,7 @@ evalScalarOp(const Inst& inst, const ir::Value* regs)
         out = ir::Value::fromDouble(static_cast<double>(ivv(0)));
         break;
       case Opcode::kF2I:
-        out = ir::Value::fromInt(static_cast<int64_t>(fvv(0)));
+        out = ir::Value::fromInt(doubleToInt(fvv(0)));
         break;
       case Opcode::kIsControl:
         out = ir::Value::fromInt(sv(0).isControl());
@@ -176,8 +247,8 @@ applyMemOp(const Inst& inst, ArrayBuffer& buf, const ir::Value* regs)
       }
       case ir::Opcode::kAtomicAdd: {
         ir::Value old = buf.load(idx);
-        int64_t nv =
-            old.asInt() + regs[static_cast<size_t>(inst.src1)].asInt();
+        int64_t nv = wrapAdd(old.asInt(),
+                             regs[static_cast<size_t>(inst.src1)].asInt());
         buf.store(idx, ir::Value::fromInt(nv));
         result = old;
         break;

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The checked-in regression seed corpus.
+ *
+ * Policy (see DESIGN.md "Differential fuzzing"):
+ *  - every divergence the fuzzer ever finds adds its seed here with a
+ *    one-line note of what it exposed, *after* the underlying bug is
+ *    fixed (or filed), so the scenario is replayed forever by
+ *    fuzz_smoke_test and CI;
+ *  - a block of structural-coverage seeds keeps the smoke run exercising
+ *    each generator shape (replication, inner loops, RA offload, depth-1
+ *    queues) even when no bug is attached to them;
+ *  - seeds are compiled in rather than loaded from a data file so the
+ *    smoke test runs from any build/working directory.
+ *
+ * Replaying one seed by hand:  phloem-fuzz --seed=0x....
+ */
+
+#ifndef PHLOEM_TESTING_CORPUS_H
+#define PHLOEM_TESTING_CORPUS_H
+
+#include <cstdint>
+
+namespace phloem::fuzz {
+
+struct CorpusEntry
+{
+    uint64_t seed;
+    const char* note;
+};
+
+/**
+ * Regression + structural-coverage seeds. The structural seeds were
+ * picked by scanning the first few thousand cases of base seed 1 for
+ * the property named in the note (see tools/phloem_fuzz.cc --scan).
+ */
+inline constexpr CorpusEntry kRegressionCorpus[] = {
+    // Replication bypass-queue deadlocks: a pre-boundary stream that
+    // skipped over the #pragma distribute target paired producer and
+    // consumer replicas inconsistently. Fixed by relaying such streams
+    // through the distribute stage (compiler.cc applyReplication).
+    {0x13a16201310d9abaull, "bypass-queue deadlock under replication"},
+    {0x185f17ddc9558eacull, "bypass-queue deadlock under replication"},
+    {0x19dd34c5bd4a2eedull, "bypass-queue deadlock under replication"},
+    {0x2b9cedc47ec84013ull, "bypass-queue deadlock under replication"},
+    {0x31d4494dec013888ull, "bypass-queue deadlock under replication"},
+    {0x424214d4b53a11a9ull, "bypass-queue deadlock under replication"},
+    {0x63cbe1e459320dd7ull, "bypass-queue deadlock under replication"},
+    {0x657b445f1ff82bc7ull, "bypass-queue deadlock under replication"},
+    {0x71098dc238492249ull, "bypass-queue deadlock under replication"},
+    {0x8747d9fb9bc44a54ull, "bypass-queue deadlock under replication"},
+    {0xa26704211a727b4cull, "bypass-queue deadlock under replication"},
+    {0xa9bca159ae5bcffdull, "bypass-queue deadlock under replication"},
+    {0xb21379fc7e3914c3ull, "bypass-queue deadlock under replication"},
+    {0xc0d9c31037a425adull, "bypass-queue deadlock under replication"},
+    {0xc89c0991468da7eaull, "bypass-queue deadlock under replication"},
+    {0xddeb1c419a32385cull, "bypass-queue deadlock under replication"},
+    {0xeb7a07aacd555fc9ull, "bypass-queue deadlock under replication"},
+    {0xf6e7ecda9ceb01d2ull, "bypass-queue deadlock under replication"},
+
+    // CV pass removed every enq with the filtered def's origin, even
+    // copies feeding other stages through other queues; the consumer
+    // then dequeued data as branch conditions (deadlocks, and one
+    // double-bits-as-index crash). Fixed by matching queue + origin.
+    {0x0994092682c51d09ull, "filter-plumbing over-removal: OOB crash"},
+    {0x02f26732daed94d7ull, "filter-plumbing over-removal: deadlock"},
+    {0x3a6ee5f893531f43ull, "filter-plumbing over-removal: deadlock"},
+    {0xd81bc087634b4f71ull, "filter-plumbing over-removal: deadlock"},
+
+    // The CV pass let a terminating control value clobber the deq's
+    // destination register when that register was live after the loop.
+    // Fixed with a scratch register + mov on the data path (live-out
+    // loops only, so RA forwarding-loop elision still fires).
+    {0x6ef555afc3f48051ull, "CV payload clobbered live-out register"},
+
+    // Divergences traced to oracle/harness defects while the fuzzer
+    // itself was being brought up (reference-eval wraparound, binding
+    // synthesis for replicated node streams, explicit-check counted
+    // break falling through into the loop body). Kept as replay
+    // coverage over the exact programs that exposed them.
+    {0x13297aee912226fdull, "early harness/compiler bring-up failure"},
+    {0x17d94a552ad8a9ccull, "early harness/compiler bring-up failure"},
+    {0x3558d10cbb86dcf2ull, "early harness/compiler bring-up failure"},
+    {0x35e1803bf4585807ull, "early harness/compiler bring-up failure"},
+    {0x50a99be62ca7cbcbull, "early harness/compiler bring-up failure"},
+    {0x54f4bf7db8fd3495ull, "early harness/compiler bring-up failure"},
+    {0x641c6d76d555caa7ull, "early harness/compiler bring-up failure"},
+    {0x73310af256b0c4d6ull, "early harness/compiler bring-up failure"},
+    {0x77cbc4a133c2d0f6ull, "early harness/compiler bring-up failure"},
+    {0x7a27143edc7f3d65ull, "early harness/compiler bring-up failure"},
+    {0x7fa5a4e0c4f4480eull, "early harness/compiler bring-up failure"},
+    {0x800c07a0d4624544ull, "early harness/compiler bring-up failure"},
+    {0x92182924107eabd6ull, "early harness/compiler bring-up failure"},
+    {0x9addaebe85a34e6cull, "early harness/compiler bring-up failure"},
+    {0xa4d4f04889d20de1ull, "early harness/compiler bring-up failure"},
+    {0xb5589b4b7d95746bull, "early harness/compiler bring-up failure"},
+    {0xd511148311f199c6ull, "early harness/compiler bring-up failure"},
+    {0xda7c1b6e0c3df758ull, "early harness/compiler bring-up failure"},
+    {0xdd2f9b2d0b5f15e6ull, "early harness/compiler bring-up failure"},
+    {0xf4432ee832a2a93cull, "early harness/compiler bring-up failure"},
+    {0xf5d81f333a1fb9e9ull, "early harness/compiler bring-up failure"},
+    {0xf89c5aca8c448a78ull, "early harness/compiler bring-up failure"},
+
+    // Structural coverage (picked with --scan over base seed 1).
+    {0x6954f8c055de1b90ull, "replicated x7, CV + handlers, no RA"},
+    {0x1c4640469e68eeebull, "replicated x4 with RA offload"},
+    {0xb87084d9aee15d73ull, "replication fallback path (x8 requested)"},
+    {0x5f9e43143afd6d3eull, "inner loop, CV disabled"},
+    {0xd46787018953f255ull, "depth-1 queues, 5 stages"},
+    {0x4846ae4d5e3fb7f3ull, "depth-2 queues, 6 stages, all passes on"},
+};
+
+/** Base seed for the bounded pseudo-random smoke sweep in CI. */
+inline constexpr uint64_t kSmokeBaseSeed = 0x900d5eedull;
+/** Cases in the smoke sweep (sized for ~a minute under sanitizers). */
+inline constexpr int kSmokeCases = 60;
+
+} // namespace phloem::fuzz
+
+#endif // PHLOEM_TESTING_CORPUS_H

@@ -1,0 +1,964 @@
+#include "testing/progen.h"
+
+#include <functional>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace phloem::fuzz {
+
+// ---------------------------------------------------------------------
+// GenExpr.
+// ---------------------------------------------------------------------
+
+GenExprPtr
+GenExpr::clone() const
+{
+    auto e = std::make_unique<GenExpr>();
+    e->kind = kind;
+    e->isFloat = isFloat;
+    e->intVal = intVal;
+    e->floatVal = floatVal;
+    e->var = var;
+    e->array = array;
+    e->index = index;
+    e->op = op;
+    e->workCost = workCost;
+    if (a)
+        e->a = a->clone();
+    if (b)
+        e->b = b->clone();
+    if (c)
+        e->c = c->clone();
+    return e;
+}
+
+void
+GenExpr::render(std::string& out) const
+{
+    switch (kind) {
+      case Kind::kIntLit:
+        out += std::to_string(intVal);
+        break;
+      case Kind::kFloatLit: {
+        // Keep literals exactly representable so text round-trips.
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6f", floatVal);
+        out += buf;
+        break;
+      }
+      case Kind::kVar:
+        out += var;
+        break;
+      case Kind::kLoad:
+        out += array;
+        out += "[";
+        out += index;
+        out += "]";
+        break;
+      case Kind::kBin:
+        out += "(";
+        a->render(out);
+        out += " ";
+        out += op;
+        out += " ";
+        b->render(out);
+        out += ")";
+        break;
+      case Kind::kTernary:
+        out += "(";
+        a->render(out);
+        out += " ? ";
+        b->render(out);
+        out += " : ";
+        c->render(out);
+        out += ")";
+        break;
+      case Kind::kCall:
+        out += op;
+        out += "(";
+        a->render(out);
+        if (op == "phloem_work") {
+            out += ", ";
+            out += std::to_string(workCost);
+        } else if (b) {
+            out += ", ";
+            b->render(out);
+        }
+        out += ")";
+        break;
+    }
+}
+
+void
+GenExpr::collectVars(std::set<std::string>& out) const
+{
+    if (kind == Kind::kVar)
+        out.insert(var);
+    if (kind == Kind::kLoad)
+        out.insert(index);
+    if (a)
+        a->collectVars(out);
+    if (b)
+        b->collectVars(out);
+    if (c)
+        c->collectVars(out);
+}
+
+// ---------------------------------------------------------------------
+// GenStmt.
+// ---------------------------------------------------------------------
+
+GenStmtPtr
+GenStmt::clone() const
+{
+    auto s = std::make_unique<GenStmt>();
+    s->kind = kind;
+    s->type = type;
+    s->name = name;
+    if (value)
+        s->value = value->clone();
+    s->array = array;
+    s->index = index;
+    s->atomicFn = atomicFn;
+    s->loopVar = loopVar;
+    s->body = cloneBody(body);
+    s->elseBody = cloneBody(elseBody);
+    return s;
+}
+
+std::vector<GenStmtPtr>
+cloneBody(const std::vector<GenStmtPtr>& body)
+{
+    std::vector<GenStmtPtr> out;
+    out.reserve(body.size());
+    for (const auto& s : body)
+        out.push_back(s->clone());
+    return out;
+}
+
+namespace {
+
+void
+indentTo(std::string& out, int indent)
+{
+    out.append(static_cast<size_t>(indent) * 4, ' ');
+}
+
+void
+renderBody(const std::vector<GenStmtPtr>& body, std::string& out, int indent)
+{
+    for (const auto& s : body)
+        s->render(out, indent);
+}
+
+} // namespace
+
+void
+GenStmt::render(std::string& out, int indent) const
+{
+    switch (kind) {
+      case Kind::kLet:
+        indentTo(out, indent);
+        out += type + " " + name + " = ";
+        value->render(out);
+        out += ";\n";
+        break;
+      case Kind::kAssign:
+        indentTo(out, indent);
+        out += name + " = ";
+        value->render(out);
+        out += ";\n";
+        break;
+      case Kind::kStore:
+        indentTo(out, indent);
+        out += array + "[" + index + "] = ";
+        value->render(out);
+        out += ";\n";
+        break;
+      case Kind::kAtomic:
+        indentTo(out, indent);
+        out += atomicFn + "(" + array + ", " + index + ", ";
+        value->render(out);
+        out += ");\n";
+        break;
+      case Kind::kIf:
+        indentTo(out, indent);
+        out += "if (";
+        value->render(out);
+        out += ") {\n";
+        renderBody(body, out, indent + 1);
+        if (!elseBody.empty()) {
+            indentTo(out, indent);
+            out += "} else {\n";
+            renderBody(elseBody, out, indent + 1);
+        }
+        indentTo(out, indent);
+        out += "}\n";
+        break;
+      case Kind::kInnerLoop:
+        indentTo(out, indent);
+        out += "int " + loopVar + "_s = " + array + "[i];\n";
+        indentTo(out, indent);
+        out += "int " + loopVar + "_e = " + array + "[i + 1];\n";
+        indentTo(out, indent);
+        out += "for (int " + loopVar + " = " + loopVar + "_s; " + loopVar +
+               " < " + loopVar + "_e; " + loopVar + "++) {\n";
+        renderBody(body, out, indent + 1);
+        indentTo(out, indent);
+        out += "}\n";
+        break;
+      case Kind::kDistribute:
+        out += "#pragma distribute\n";
+        break;
+    }
+}
+
+std::string
+GenStmt::definedVar() const
+{
+    if (kind == Kind::kLet)
+        return name;
+    return "";
+}
+
+void
+GenStmt::collectUses(std::set<std::string>& out) const
+{
+    if (kind == Kind::kAssign)
+        out.insert(name);
+    if (!index.empty())
+        out.insert(index);
+    if (kind == Kind::kInnerLoop) {
+        // The rendered bound lets read `i` and define loopVar/_s/_e.
+        out.insert("i");
+    }
+    if (value)
+        value->collectVars(out);
+    for (const auto& s : body)
+        s->collectUses(out);
+    for (const auto& s : elseBody)
+        s->collectUses(out);
+}
+
+// ---------------------------------------------------------------------
+// GenProgram.
+// ---------------------------------------------------------------------
+
+bool
+roleWritable(ArrayRole role)
+{
+    return role == ArrayRole::kOutInt || role == ArrayRole::kOutFloat;
+}
+
+bool
+roleEdgeSized(ArrayRole role)
+{
+    return role == ArrayRole::kEdgeIndex || role == ArrayRole::kEdgeData;
+}
+
+GenProgram
+GenProgram::clone() const
+{
+    GenProgram p;
+    p.kernelName = kernelName;
+    p.arrays = arrays;
+    p.replicated = replicated;
+    p.body = cloneBody(body);
+    return p;
+}
+
+const GenArray*
+GenProgram::findArray(const std::string& name) const
+{
+    for (const auto& a : arrays)
+        if (a.name == name)
+            return &a;
+    return nullptr;
+}
+
+std::string
+GenProgram::render() const
+{
+    std::string out = "#pragma phloem\n";
+    out += "void " + kernelName + "(";
+    std::string sep;
+    for (const auto& a : arrays) {
+        out += sep;
+        sep = ",\n        ";
+        if (!roleWritable(a.role))
+            out += "const ";
+        out += a.ctype + "* restrict " + a.name;
+    }
+    out += sep + "int n) {\n";
+    out += "    for (int i = 0; i < n; i++) {\n";
+    renderBody(body, out, 2);
+    out += "    }\n";
+    out += "}\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Knobs.
+// ---------------------------------------------------------------------
+
+std::string
+FuzzKnobs::describe() const
+{
+    std::string s = "stages=" + std::to_string(numStages) +
+                    " qdepth=" + std::to_string(queueDepth) +
+                    " replicas=" + std::to_string(replicas) + " n=" +
+                    std::to_string(inputSize);
+    auto flag = [&](const char* name, bool v) {
+        s += std::string(" ") + (v ? "+" : "-") + name;
+    };
+    flag("ra", referenceAccelerators);
+    flag("cv", controlValues);
+    flag("dce", dce);
+    flag("handlers", handlers);
+    flag("prefetch", prefetchMovedLoads);
+    flag("timing", simTiming);
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Generator.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** How a scalar variable may be used as an array index. */
+enum class SafeClass : uint8_t {
+    kNone,  ///< arbitrary value; never an index
+    kNode,  ///< in [0, n]; may index node-sized arrays
+    kEdge,  ///< in [0, m); may index edge-sized arrays
+};
+
+struct VarInfo
+{
+    std::string name;
+    std::string type;  // "int" | "long" | "double"
+    SafeClass safe = SafeClass::kNone;
+    bool assignable = false;
+};
+
+class Generator
+{
+  public:
+    Generator(uint64_t seed, const GenLimits& limits)
+        : rng_(seed), limits_(limits)
+    {
+    }
+
+    FuzzCase
+    run(uint64_t seed)
+    {
+        FuzzCase fc;
+        fc.seed = seed;
+        genKnobs(fc.knobs);
+
+        bool replicated = limits_.allowReplication && chance(20);
+        if (!replicated)
+            fc.knobs.replicas = 1;
+
+        GenProgram& p = fc.program;
+        p.replicated = replicated;
+        buildSignature(p, replicated);
+
+        scopes_.emplace_back();
+        declare({"i", "int", SafeClass::kNode, false});
+        if (replicated)
+            buildReplicatedBody(p);
+        else
+            buildGeneralBody(p);
+        scopes_.clear();
+
+        if (replicated) {
+            fc.knobs.replicas = 2 + static_cast<int>(rng_.nextBounded(7));
+            // Distribution needs control-value streams with handlers.
+            fc.knobs.controlValues = true;
+            fc.knobs.handlers = true;
+        }
+        return fc;
+    }
+
+  private:
+    // --- randomness helpers -----------------------------------------
+    bool chance(int percent)
+    {
+        return rng_.nextBounded(100) < static_cast<uint64_t>(percent);
+    }
+
+    int64_t
+    intIn(int64_t lo, int64_t hi)  // inclusive
+    {
+        return lo + static_cast<int64_t>(
+                        rng_.nextBounded(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    // --- scopes ------------------------------------------------------
+    void declare(VarInfo v) { scopes_.back().push_back(std::move(v)); }
+
+    std::vector<const VarInfo*>
+    visible(const std::function<bool(const VarInfo&)>& pred) const
+    {
+        std::vector<const VarInfo*> out;
+        for (const auto& scope : scopes_)
+            for (const auto& v : scope)
+                if (pred(v))
+                    out.push_back(&v);
+        return out;
+    }
+
+    const VarInfo*
+    pickVar(const std::function<bool(const VarInfo&)>& pred)
+    {
+        auto cands = visible(pred);
+        if (cands.empty())
+            return nullptr;
+        return cands[rng_.nextBounded(cands.size())];
+    }
+
+    std::string
+    freshName(const char* prefix)
+    {
+        return std::string(prefix) + std::to_string(nameCounter_++);
+    }
+
+    // --- knobs -------------------------------------------------------
+    void
+    genKnobs(FuzzKnobs& k)
+    {
+        k.numStages = 2 + static_cast<int>(rng_.nextBounded(5));
+        k.queueDepth = 1 + static_cast<int>(rng_.nextBounded(64));
+        k.referenceAccelerators = chance(75);
+        k.controlValues = chance(80);
+        if (!k.controlValues) {
+            // --no-cv implies no DCE / no handlers (phloemc semantics).
+            k.dce = false;
+            k.handlers = false;
+        } else {
+            k.dce = chance(80);
+            k.handlers = chance(80);
+        }
+        k.prefetchMovedLoads = chance(85);
+        k.simTiming = chance(70);
+        k.inputSize =
+            intIn(limits_.minInputSize, limits_.maxInputSize);
+    }
+
+    // --- signatures --------------------------------------------------
+    void
+    buildSignature(GenProgram& p, bool replicated)
+    {
+        auto add = [&](const char* name, ArrayRole role, const char* ct) {
+            p.arrays.push_back(GenArray{name, role, ct});
+        };
+        if (replicated) {
+            add("src", ArrayRole::kNodeIndex, "int");
+            add("dat1", ArrayRole::kNodeData, chance(50) ? "int" : "long");
+            add("out", ArrayRole::kOutInt, "long");
+            return;
+        }
+        add("row", ArrayRole::kRowPtr, "int");
+        add("col", ArrayRole::kEdgeIndex, "int");
+        add("idx1", ArrayRole::kNodeIndex, "int");
+        add("dat1", ArrayRole::kNodeData, chance(50) ? "int" : "long");
+        add("edat", ArrayRole::kEdgeData, chance(50) ? "int" : "long");
+        add("fdat", ArrayRole::kNodeFData, "double");
+        add("out", ArrayRole::kOutInt, "long");
+        if (chance(40))
+            add("out2", ArrayRole::kOutInt, "long");
+        add("fout", ArrayRole::kOutFloat, "double");
+    }
+
+    // --- expressions -------------------------------------------------
+    GenExprPtr
+    intLit(int64_t v)
+    {
+        auto e = std::make_unique<GenExpr>();
+        e->kind = GenExpr::Kind::kIntLit;
+        e->intVal = v;
+        return e;
+    }
+
+    GenExprPtr
+    varRef(const VarInfo& v)
+    {
+        auto e = std::make_unique<GenExpr>();
+        e->kind = GenExpr::Kind::kVar;
+        e->var = v.name;
+        e->isFloat = v.type == "double";
+        return e;
+    }
+
+    /** A load whose index is a var of the class the array requires. */
+    GenExprPtr
+    makeLoad(const GenArray& arr)
+    {
+        SafeClass need =
+            roleEdgeSized(arr.role) ? SafeClass::kEdge : SafeClass::kNode;
+        const VarInfo* idx =
+            pickVar([&](const VarInfo& v) { return v.safe == need; });
+        if (idx == nullptr)
+            return nullptr;
+        auto e = std::make_unique<GenExpr>();
+        e->kind = GenExpr::Kind::kLoad;
+        e->array = arr.name;
+        e->index = idx->name;
+        e->isFloat = arr.ctype == "double";
+        return e;
+    }
+
+    /** Pick a random readable array suitable for int (or float) loads. */
+    const GenArray*
+    pickLoadableArray(const GenProgram& p, bool wantFloat)
+    {
+        std::vector<const GenArray*> cands;
+        for (const auto& a : p.arrays) {
+            if (roleWritable(a.role))
+                continue;  // writable arrays are write-only by discipline
+            if (a.name == excludeArray_)
+                continue;  // e.g. the sliced stream, post-distribute
+            bool isF = a.ctype == "double";
+            if (isF != wantFloat)
+                continue;
+            SafeClass need = roleEdgeSized(a.role) ? SafeClass::kEdge
+                                                   : SafeClass::kNode;
+            if (visible([&](const VarInfo& v) { return v.safe == need; })
+                    .empty())
+                continue;
+            cands.push_back(&a);
+        }
+        if (cands.empty())
+            return nullptr;
+        return cands[rng_.nextBounded(cands.size())];
+    }
+
+    GenExprPtr
+    genIntExpr(const GenProgram& p, int depth)
+    {
+        if (depth >= limits_.maxExprDepth || chance(35)) {
+            // Leaf: literal, int variable, or load.
+            switch (rng_.nextBounded(3)) {
+              case 0:
+                return intLit(intIn(0, 16));
+              case 1: {
+                const VarInfo* v = pickVar([](const VarInfo& x) {
+                    return x.type != "double";
+                });
+                if (v != nullptr)
+                    return varRef(*v);
+                return intLit(intIn(0, 16));
+              }
+              default: {
+                const GenArray* a = pickLoadableArray(p, false);
+                if (a != nullptr) {
+                    if (auto e = makeLoad(*a))
+                        return e;
+                }
+                return intLit(intIn(0, 16));
+              }
+            }
+        }
+
+        uint64_t pick = rng_.nextBounded(100);
+        if (pick < 55) {
+            static const char* kOps[] = {"+", "-", "*",  "/", "%", "&",
+                                         "|", "^", "<<", "<", "<=", ">",
+                                         ">=", "==", "!="};
+            auto e = std::make_unique<GenExpr>();
+            e->kind = GenExpr::Kind::kBin;
+            e->op = kOps[rng_.nextBounded(std::size(kOps))];
+            e->a = genIntExpr(p, depth + 1);
+            e->b = genIntExpr(p, depth + 1);
+            // Never render a literal 0 divisor: runtime division by zero
+            // is defined (= 0) but the frontend would fold it.
+            if ((e->op == "/" || e->op == "%") &&
+                e->b->kind == GenExpr::Kind::kIntLit && e->b->intVal == 0)
+                e->b->intVal = 1;
+            return e;
+        }
+        if (pick < 65) {
+            // Float comparison yields an int.
+            static const char* kOps[] = {"<", "<=", ">", ">=", "==", "!="};
+            auto e = std::make_unique<GenExpr>();
+            e->kind = GenExpr::Kind::kBin;
+            e->op = kOps[rng_.nextBounded(std::size(kOps))];
+            e->a = genFloatExpr(p, depth + 1);
+            e->b = genFloatExpr(p, depth + 1);
+            return e;
+        }
+        if (pick < 75) {
+            auto e = std::make_unique<GenExpr>();
+            e->kind = GenExpr::Kind::kTernary;
+            e->a = genIntExpr(p, depth + 1);
+            e->b = genIntExpr(p, depth + 1);
+            e->c = genIntExpr(p, depth + 1);
+            return e;
+        }
+        if (pick < 88) {
+            auto e = std::make_unique<GenExpr>();
+            e->kind = GenExpr::Kind::kCall;
+            e->op = chance(50) ? "min" : "max";
+            e->a = genIntExpr(p, depth + 1);
+            e->b = genIntExpr(p, depth + 1);
+            return e;
+        }
+        auto e = std::make_unique<GenExpr>();
+        e->kind = GenExpr::Kind::kCall;
+        e->op = "phloem_work";
+        e->workCost = intIn(1, 8);
+        e->a = genIntExpr(p, depth + 1);
+        return e;
+    }
+
+    GenExprPtr
+    genFloatExpr(const GenProgram& p, int depth)
+    {
+        if (depth >= limits_.maxExprDepth || chance(40)) {
+            switch (rng_.nextBounded(3)) {
+              case 0: {
+                auto e = std::make_unique<GenExpr>();
+                e->kind = GenExpr::Kind::kFloatLit;
+                e->isFloat = true;
+                e->floatVal =
+                    static_cast<double>(intIn(-8, 8)) * 0.25;
+                return e;
+              }
+              case 1: {
+                const VarInfo* v = pickVar([](const VarInfo& x) {
+                    return x.type == "double";
+                });
+                if (v != nullptr)
+                    return varRef(*v);
+                [[fallthrough]];
+              }
+              default: {
+                const GenArray* a = pickLoadableArray(p, true);
+                if (a != nullptr) {
+                    if (auto e = makeLoad(*a))
+                        return e;
+                }
+                auto e = std::make_unique<GenExpr>();
+                e->kind = GenExpr::Kind::kFloatLit;
+                e->isFloat = true;
+                e->floatVal = 0.5;
+                return e;
+              }
+            }
+        }
+
+        uint64_t pick = rng_.nextBounded(100);
+        if (pick < 70) {
+            static const char* kOps[] = {"+", "-", "*", "/"};
+            auto e = std::make_unique<GenExpr>();
+            e->kind = GenExpr::Kind::kBin;
+            e->isFloat = true;
+            e->op = kOps[rng_.nextBounded(std::size(kOps))];
+            // Mixed int operands exercise the frontend's i2f coercion.
+            e->a = chance(20) ? genIntExpr(p, limits_.maxExprDepth)
+                              : genFloatExpr(p, depth + 1);
+            e->b = genFloatExpr(p, depth + 1);
+            return e;
+        }
+        if (pick < 85) {
+            auto e = std::make_unique<GenExpr>();
+            e->kind = GenExpr::Kind::kCall;
+            e->isFloat = true;
+            e->op = "fabs";
+            e->a = genFloatExpr(p, depth + 1);
+            return e;
+        }
+        auto e = std::make_unique<GenExpr>();
+        e->kind = GenExpr::Kind::kTernary;
+        e->isFloat = true;
+        e->a = genIntExpr(p, depth + 1);
+        e->b = genFloatExpr(p, depth + 1);
+        e->c = genFloatExpr(p, depth + 1);
+        return e;
+    }
+
+    // --- statements --------------------------------------------------
+
+    /** `int v = <index array>[safe];` — introduces a kNode variable. */
+    GenStmtPtr
+    genIndexLet(const GenProgram& p)
+    {
+        std::vector<const GenArray*> cands;
+        for (const auto& a : p.arrays) {
+            if (a.role != ArrayRole::kNodeIndex &&
+                a.role != ArrayRole::kEdgeIndex)
+                continue;
+            SafeClass need = roleEdgeSized(a.role) ? SafeClass::kEdge
+                                                   : SafeClass::kNode;
+            if (!visible([&](const VarInfo& v) { return v.safe == need; })
+                     .empty())
+                cands.push_back(&a);
+        }
+        if (cands.empty())
+            return nullptr;
+        const GenArray* arr = cands[rng_.nextBounded(cands.size())];
+        auto load = makeLoad(*arr);
+        if (!load)
+            return nullptr;
+        auto s = std::make_unique<GenStmt>();
+        s->kind = GenStmt::Kind::kLet;
+        s->type = "int";
+        s->name = freshName("v");
+        s->value = std::move(load);
+        declare({s->name, "int", SafeClass::kNode, false});
+        return s;
+    }
+
+    GenStmtPtr
+    genLet(const GenProgram& p)
+    {
+        auto s = std::make_unique<GenStmt>();
+        s->kind = GenStmt::Kind::kLet;
+        if (chance(30)) {
+            s->type = "double";
+            s->value = genFloatExpr(p, 0);
+        } else {
+            s->type = chance(50) ? "int" : "long";
+            s->value = genIntExpr(p, 0);
+        }
+        s->name = freshName("v");
+        declare({s->name, s->type, SafeClass::kNone, true});
+        return s;
+    }
+
+    GenStmtPtr
+    genAssign(const GenProgram& p)
+    {
+        const VarInfo* v =
+            pickVar([](const VarInfo& x) { return x.assignable; });
+        if (v == nullptr)
+            return nullptr;
+        auto s = std::make_unique<GenStmt>();
+        s->kind = GenStmt::Kind::kAssign;
+        s->name = v->name;
+        s->value = v->type == "double" ? genFloatExpr(p, 0)
+                                       : genIntExpr(p, 0);
+        return s;
+    }
+
+    /**
+     * One write site (plain store or atomic) to a not-yet-written
+     * writable array. A single site per array keeps per-location write
+     * order equal to serial order in every legal pipeline, so outputs
+     * must match bit-for-bit.
+     */
+    GenStmtPtr
+    genWrite(const GenProgram& p, bool allowAtomic)
+    {
+        std::vector<const GenArray*> cands;
+        for (const auto& a : p.arrays)
+            if (roleWritable(a.role) && written_.count(a.name) == 0)
+                cands.push_back(&a);
+        if (cands.empty())
+            return nullptr;
+        const VarInfo* idx = pickVar(
+            [](const VarInfo& v) { return v.safe == SafeClass::kNode; });
+        if (idx == nullptr)
+            return nullptr;
+        const GenArray* arr = cands[rng_.nextBounded(cands.size())];
+        bool isFloat = arr->role == ArrayRole::kOutFloat;
+
+        auto s = std::make_unique<GenStmt>();
+        s->array = arr->name;
+        s->index = idx->name;
+        s->value = isFloat ? genFloatExpr(p, 0) : genIntExpr(p, 0);
+        if (allowAtomic && chance(40)) {
+            s->kind = GenStmt::Kind::kAtomic;
+            if (isFloat) {
+                s->atomicFn = "phloem_atomic_fadd";
+            } else {
+                static const char* kFns[] = {"phloem_atomic_add",
+                                             "phloem_atomic_or",
+                                             "phloem_atomic_min"};
+                s->atomicFn = kFns[rng_.nextBounded(std::size(kFns))];
+            }
+        } else {
+            s->kind = GenStmt::Kind::kStore;
+        }
+        written_.insert(arr->name);
+        return s;
+    }
+
+    GenStmtPtr
+    genIf(const GenProgram& p, int depth)
+    {
+        auto s = std::make_unique<GenStmt>();
+        s->kind = GenStmt::Kind::kIf;
+        s->value = genIntExpr(p, 0);
+        scopes_.emplace_back();
+        genBlock(p, s->body, limits_.maxBlockStmts, depth + 1);
+        scopes_.pop_back();
+        if (chance(35)) {
+            scopes_.emplace_back();
+            genBlock(p, s->elseBody, limits_.maxBlockStmts, depth + 1);
+            scopes_.pop_back();
+        }
+        return s;
+    }
+
+    GenStmtPtr
+    genInnerLoop(const GenProgram& p)
+    {
+        const GenArray* row = nullptr;
+        for (const auto& a : p.arrays)
+            if (a.role == ArrayRole::kRowPtr)
+                row = &a;
+        if (row == nullptr)
+            return nullptr;
+        auto s = std::make_unique<GenStmt>();
+        s->kind = GenStmt::Kind::kInnerLoop;
+        s->array = row->name;
+        s->loopVar = freshName("k");
+        scopes_.emplace_back();
+        declare({s->loopVar, "int", SafeClass::kEdge, false});
+        genBlock(p, s->body, limits_.maxBlockStmts, 1);
+        scopes_.pop_back();
+        innerLoopUsed_ = true;
+        return s;
+    }
+
+    void
+    genBlock(const GenProgram& p, std::vector<GenStmtPtr>& out, int budget,
+             int depth)
+    {
+        int count = 1 + static_cast<int>(
+                            rng_.nextBounded(static_cast<uint64_t>(budget)));
+        for (int s = 0; s < count; ++s) {
+            GenStmtPtr stmt;
+            uint64_t pick = rng_.nextBounded(100);
+            if (pick < 20) {
+                stmt = genIndexLet(p);
+            } else if (pick < 45) {
+                stmt = genLet(p);
+            } else if (pick < 55) {
+                stmt = genAssign(p);
+            } else if (pick < 75) {
+                stmt = genWrite(p, /*allowAtomic=*/true);
+            } else if (pick < 90 && depth < 2) {
+                stmt = genIf(p, depth);
+            } else if (depth == 0 && !innerLoopUsed_ &&
+                       limits_.allowInnerLoop) {
+                stmt = genInnerLoop(p);
+            }
+            if (!stmt)
+                stmt = genLet(p);  // always possible
+            out.push_back(std::move(stmt));
+        }
+    }
+
+    void
+    buildGeneralBody(GenProgram& p)
+    {
+        genBlock(p, p.body, limits_.maxTopStmts, 0);
+        // Guarantee at least one observable output.
+        if (written_.empty()) {
+            auto s = std::make_unique<GenStmt>();
+            s->kind = GenStmt::Kind::kStore;
+            s->array = "out";
+            s->index = "i";
+            s->value = genIntExpr(p, limits_.maxExprDepth - 1);
+            written_.insert("out");
+            p.body.push_back(std::move(s));
+        }
+    }
+
+    /**
+     * The replicated shape: compute the owner value v before the
+     * distribute boundary; everything after it references only v (plus
+     * values derived from v), so v is the single stream crossing the
+     * boundary and replica ownership is v mod R.
+     */
+    void
+    buildReplicatedBody(GenProgram& p)
+    {
+        auto owner = std::make_unique<GenStmt>();
+        owner->kind = GenStmt::Kind::kLet;
+        owner->type = "int";
+        owner->name = "v0";
+        {
+            auto load = std::make_unique<GenExpr>();
+            load->kind = GenExpr::Kind::kLoad;
+            load->array = "src";
+            load->index = "i";
+            owner->value = std::move(load);
+        }
+        p.body.push_back(std::move(owner));
+
+        auto dist = std::make_unique<GenStmt>();
+        dist->kind = GenStmt::Kind::kDistribute;
+        p.body.push_back(std::move(dist));
+
+        // Post-boundary scope: only v0 is visible — referencing i (or any
+        // other pre-boundary value) would add a second distributed
+        // stream, and the stream array src is sliced per replica by the
+        // oracle (replicate_arguments), so it must not be re-read here.
+        auto saved_scopes = std::move(scopes_);
+        scopes_.clear();
+        scopes_.emplace_back();
+        declare({"v0", "int", SafeClass::kNode, false});
+        excludeArray_ = "src";
+
+        int extra = static_cast<int>(rng_.nextBounded(3));
+        for (int s = 0; s < extra; ++s) {
+            auto let = std::make_unique<GenStmt>();
+            let->kind = GenStmt::Kind::kLet;
+            let->type = chance(50) ? "int" : "long";
+            let->name = freshName("v");
+            let->value = genIntExpr(p, 1);
+            declare({let->name, let->type, SafeClass::kNone, true});
+            p.body.push_back(std::move(let));
+        }
+
+        auto upd = std::make_unique<GenStmt>();
+        upd->kind = GenStmt::Kind::kAtomic;
+        static const char* kFns[] = {"phloem_atomic_add",
+                                     "phloem_atomic_or",
+                                     "phloem_atomic_min"};
+        upd->atomicFn = kFns[rng_.nextBounded(std::size(kFns))];
+        upd->array = "out";
+        upd->index = "v0";
+        upd->value = genIntExpr(p, 0);
+        written_.insert("out");
+        p.body.push_back(std::move(upd));
+
+        excludeArray_.clear();
+        scopes_ = std::move(saved_scopes);
+    }
+
+    Rng rng_;
+    GenLimits limits_;
+    std::vector<std::vector<VarInfo>> scopes_;
+    std::string excludeArray_;
+    std::set<std::string> written_;
+    bool innerLoopUsed_ = false;
+    int nameCounter_ = 1;
+};
+
+} // namespace
+
+FuzzCase
+generateCase(uint64_t seed, const GenLimits& limits)
+{
+    Generator gen(seed, limits);
+    return gen.run(seed);
+}
+
+uint64_t
+caseSeed(uint64_t base, uint64_t index)
+{
+    // splitmix64 over (base, index): bit-mixing keeps nearby indices
+    // statistically independent while staying trivially reproducible.
+    uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace phloem::fuzz

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Seeded random generator of well-formed mini-C kernels for differential
+ * fuzzing.
+ *
+ * Every case derives deterministically from one 64-bit seed (base/rng.h),
+ * so a failure replays from the printed seed alone. The generator only
+ * emits programs inside the compiler's supported discipline — restrict
+ * arrays, bounded indices, one write site per writable array — so that
+ * any divergence between the serial reference, the cycle simulator, and
+ * the native runtime is a real bug rather than an unsupported input.
+ *
+ * The grammar (see DESIGN.md "Differential fuzzing"):
+ *
+ *   kernel   := for (i = 0; i < n; i++) { stmt* }
+ *   stmt     := let | assign | store | atomic | if | inner-loop
+ *   let      := ty name = expr
+ *   store    := out[safe] = expr          (one site per writable array)
+ *   atomic   := phloem_atomic_*(out, safe, expr)
+ *   inner    := CSR loop for (k = row[i]; k < row[i+1]; k++) { stmt* }
+ *   expr     := literal | var | arr[safe] | expr op expr | cond ? e : e
+ *             | phloem_work(expr, C) | min/max(e, e)
+ *
+ * "safe" index variables are tracked by class: kNode values lie in
+ * [0, n] and may index node-sized arrays; kEdge values lie in [0, m)
+ * and may index edge-sized arrays. Loads from index-typed arrays yield
+ * kNode values, which is how irregular a[b[i]] gathers arise.
+ *
+ * A replicated shape mirrors the paper's distribute idiom: the outer
+ * loop computes an owner value v = src[i], crosses a `#pragma
+ * distribute` boundary, and updates out[v] with a single atomic site.
+ * Replicas partition v by value mod R, so per-location update order is
+ * serial order and results stay bit-identical.
+ */
+
+#ifndef PHLOEM_TESTING_PROGEN_H
+#define PHLOEM_TESTING_PROGEN_H
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace phloem::fuzz {
+
+// ---------------------------------------------------------------------
+// Expression trees.
+// ---------------------------------------------------------------------
+
+struct GenExpr;
+using GenExprPtr = std::unique_ptr<GenExpr>;
+
+struct GenExpr
+{
+    enum class Kind : uint8_t {
+        kIntLit,   ///< integer literal
+        kFloatLit, ///< double literal
+        kVar,      ///< scalar variable reference
+        kLoad,     ///< array[indexVar]
+        kBin,      ///< a <op> b
+        kTernary,  ///< a ? b : c
+        kCall,     ///< op(a[, b]) intrinsic: min, max, fabs, phloem_work
+    };
+
+    Kind kind = Kind::kIntLit;
+    bool isFloat = false;
+
+    int64_t intVal = 0;
+    double floatVal = 0.0;
+    std::string var;    ///< kVar: variable name
+    std::string array;  ///< kLoad: array name
+    std::string index;  ///< kLoad: index variable name
+    std::string op;     ///< kBin operator / kCall callee
+    int64_t workCost = 1;  ///< kCall phloem_work: literal cost
+
+    GenExprPtr a, b, c;
+
+    GenExprPtr clone() const;
+    void render(std::string& out) const;
+    /** Collect every variable read anywhere in the tree. */
+    void collectVars(std::set<std::string>& out) const;
+};
+
+// ---------------------------------------------------------------------
+// Statements.
+// ---------------------------------------------------------------------
+
+struct GenStmt;
+using GenStmtPtr = std::unique_ptr<GenStmt>;
+
+struct GenStmt
+{
+    enum class Kind : uint8_t {
+        kLet,        ///< ty name = value;
+        kAssign,     ///< name = value;
+        kStore,      ///< array[index] = value;
+        kAtomic,     ///< atomicFn(array, index, value);
+        kIf,         ///< if (value) { body } [else { elseBody }]
+        kInnerLoop,  ///< CSR inner loop over [array[i], array[i+1])
+        kDistribute, ///< #pragma distribute marker (replicated shape)
+    };
+
+    Kind kind = Kind::kLet;
+
+    std::string type;      ///< kLet: "int" | "long" | "double"
+    std::string name;      ///< kLet / kAssign target
+    GenExprPtr value;      ///< let/assign/store/atomic value; if condition
+    std::string array;     ///< store/atomic target; inner-loop row array
+    std::string index;     ///< store/atomic index variable
+    std::string atomicFn;  ///< kAtomic intrinsic name
+    std::string loopVar;   ///< kInnerLoop induction variable
+    std::vector<GenStmtPtr> body;
+    std::vector<GenStmtPtr> elseBody;
+
+    GenStmtPtr clone() const;
+    void render(std::string& out, int indent) const;
+    /** Variable this statement introduces ("" if none). */
+    std::string definedVar() const;
+    /** Every variable this statement (and children) reads or assigns. */
+    void collectUses(std::set<std::string>& out) const;
+};
+
+/** Deep-copy a statement list. */
+std::vector<GenStmtPtr> cloneBody(const std::vector<GenStmtPtr>& body);
+
+// ---------------------------------------------------------------------
+// Whole programs.
+// ---------------------------------------------------------------------
+
+/** What a parameter array holds; drives binding synthesis and indexing. */
+enum class ArrayRole : uint8_t {
+    kRowPtr,    ///< monotone CSR offsets in [0, m], size n+1
+    kEdgeIndex, ///< values in [0, n), size m (indexable by kEdge vars)
+    kEdgeData,  ///< small data, size m
+    kNodeIndex, ///< values in [0, n), size n+1
+    kNodeData,  ///< small data, size n+1
+    kNodeFData, ///< doubles in [-1, 1), size n+1
+    kOutInt,    ///< writable long array, size n+1, zeroed
+    kOutFloat,  ///< writable double array, size n+1, zeroed
+};
+
+bool roleWritable(ArrayRole role);
+bool roleEdgeSized(ArrayRole role);
+
+struct GenArray
+{
+    std::string name;
+    ArrayRole role = ArrayRole::kNodeData;
+    /** Declared C element type: "int", "long", or "double". */
+    std::string ctype = "int";
+};
+
+struct GenProgram
+{
+    std::string kernelName = "fuzz_kernel";
+    std::vector<GenArray> arrays;
+    /** Replicated shape: body carries a kDistribute marker. */
+    bool replicated = false;
+    /** Body of the outer `for (i = 0; i < n; i++)` loop. */
+    std::vector<GenStmtPtr> body;
+
+    GenProgram clone() const;
+    /** Render the full mini-C source, including pragmas. */
+    std::string render() const;
+    const GenArray* findArray(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------
+// Cases and knobs.
+// ---------------------------------------------------------------------
+
+/** Randomized compiler/runtime configuration for one case. */
+struct FuzzKnobs
+{
+    int numStages = 4;       ///< 2..6
+    int queueDepth = 24;     ///< 1..64 (SysConfig::queueDepth)
+    int replicas = 1;        ///< 1..8 (replicated shape only)
+    bool referenceAccelerators = true;
+    bool controlValues = true;
+    bool dce = true;
+    bool handlers = true;
+    bool prefetchMovedLoads = true;
+    bool simTiming = true;   ///< cycle simulator timing model on/off
+    int64_t inputSize = 64;  ///< n
+
+    std::string describe() const;
+};
+
+struct FuzzCase
+{
+    uint64_t seed = 0;
+    FuzzKnobs knobs;
+    GenProgram program;
+
+    std::string source() const { return program.render(); }
+};
+
+/** Bounds on generated size (CI smoke uses smaller limits). */
+struct GenLimits
+{
+    int maxTopStmts = 7;       ///< statements in the outer loop body
+    int maxBlockStmts = 4;     ///< statements per nested block
+    int maxExprDepth = 3;
+    int64_t minInputSize = 8;
+    int64_t maxInputSize = 192;
+    bool allowReplication = true;
+    bool allowInnerLoop = true;
+};
+
+/** Deterministically derive the case for one seed. */
+FuzzCase generateCase(uint64_t seed, const GenLimits& limits = {});
+
+/** Derive case seed `index` from a base seed (splitmix64 step). */
+uint64_t caseSeed(uint64_t base, uint64_t index);
+
+} // namespace phloem::fuzz
+
+#endif // PHLOEM_TESTING_PROGEN_H

@@ -1,0 +1,394 @@
+#include "testing/shrink.h"
+
+#include <functional>
+
+namespace phloem::fuzz {
+
+namespace {
+
+int
+countBody(const std::vector<GenStmtPtr>& body)
+{
+    int n = 0;
+    for (const auto& s : body) {
+        ++n;
+        n += countBody(s->body);
+        n += countBody(s->elseBody);
+    }
+    return n;
+}
+
+/** All variables defined anywhere (lets, loop vars, implicit i). */
+void
+collectDefs(const std::vector<GenStmtPtr>& body, std::set<std::string>& out)
+{
+    for (const auto& s : body) {
+        std::string v = s->definedVar();
+        if (!v.empty())
+            out.insert(v);
+        if (s->kind == GenStmt::Kind::kInnerLoop) {
+            out.insert(s->loopVar);
+            out.insert(s->loopVar + "_s");
+            out.insert(s->loopVar + "_e");
+        }
+        collectDefs(s->body, out);
+        collectDefs(s->elseBody, out);
+    }
+}
+
+/** Cheap well-formedness filter: every used variable has a definition. */
+bool
+usesAreDefined(const GenProgram& p)
+{
+    std::set<std::string> defs{"i"};
+    collectDefs(p.body, defs);
+    std::set<std::string> uses;
+    for (const auto& s : p.body)
+        s->collectUses(uses);
+    for (const auto& u : uses)
+        if (defs.count(u) == 0)
+            return false;
+    return true;
+}
+
+/**
+ * Visit every statement position in pre-order and call fn with the
+ * owning list and index. fn returning true stops the walk (the tree
+ * was mutated; indices are stale).
+ */
+bool
+visitPositions(std::vector<GenStmtPtr>& body,
+               const std::function<bool(std::vector<GenStmtPtr>&, size_t)>& fn)
+{
+    for (size_t i = 0; i < body.size(); ++i) {
+        if (fn(body, i))
+            return true;
+        if (visitPositions(body[i]->body, fn))
+            return true;
+        if (visitPositions(body[i]->elseBody, fn))
+            return true;
+    }
+    return false;
+}
+
+/** Visit every expression slot (statement values) in pre-order. */
+void
+visitExprs(std::vector<GenStmtPtr>& body,
+           const std::function<void(GenExprPtr&)>& fn)
+{
+    for (auto& s : body) {
+        if (s->value)
+            fn(s->value);
+        visitExprs(s->body, fn);
+        visitExprs(s->elseBody, fn);
+    }
+}
+
+class Shrinker
+{
+  public:
+    Shrinker(const FuzzCase& failing, Verdict target,
+             const OracleOptions& opts, int maxAttempts)
+        : target_(target), opts_(opts), maxAttempts_(maxAttempts)
+    {
+        best_.seed = failing.seed;
+        best_.knobs = failing.knobs;
+        best_.program = failing.program.clone();
+    }
+
+    ShrinkResult
+    run()
+    {
+        shrinkKnobs();
+        shrinkInputSize();
+        // Structural passes to fixed point (deleting one statement can
+        // orphan another's last use, unlocking further deletion).
+        bool changed = true;
+        while (changed && attempts_ < maxAttempts_) {
+            changed = false;
+            changed |= deleteStatements();
+            changed |= unwrapBlocks();
+            changed |= simplifyExprs();
+        }
+        shrinkKnobs();  // structure changes may unlock knob reductions
+
+        ShrinkResult out;
+        out.reduced = std::move(best_);
+        out.finalResult = runCase(out.reduced, opts_);
+        out.attempts = attempts_;
+        out.statements = countStmts(out.reduced.program);
+        return out;
+    }
+
+  private:
+    /** True iff the candidate reproduces the original verdict kind. */
+    bool
+    accept(FuzzCase& cand)
+    {
+        if (attempts_ >= maxAttempts_)
+            return false;
+        if (!usesAreDefined(cand.program))
+            return false;
+        ++attempts_;
+        if (runCase(cand, opts_).verdict != target_)
+            return false;
+        best_ = std::move(cand);
+        return true;
+    }
+
+    FuzzCase
+    fork() const
+    {
+        FuzzCase c;
+        c.seed = best_.seed;
+        c.knobs = best_.knobs;
+        c.program = best_.program.clone();
+        return c;
+    }
+
+    void
+    shrinkKnobs()
+    {
+        auto tryKnobs = [&](const std::function<void(FuzzKnobs&)>& mut) {
+            FuzzCase c = fork();
+            mut(c.knobs);
+            accept(c);
+        };
+        tryKnobs([](FuzzKnobs& k) { k.simTiming = false; });
+        tryKnobs([](FuzzKnobs& k) { k.queueDepth = 24; });
+        tryKnobs([](FuzzKnobs& k) { k.referenceAccelerators = false; });
+        tryKnobs([](FuzzKnobs& k) { k.prefetchMovedLoads = false; });
+        tryKnobs([](FuzzKnobs& k) {
+            k.controlValues = false;
+            k.dce = false;
+            k.handlers = false;
+        });
+        tryKnobs([](FuzzKnobs& k) { k.dce = false; });
+        tryKnobs([](FuzzKnobs& k) { k.handlers = false; });
+        if (best_.knobs.replicas > 1) {
+            FuzzCase c = fork();
+            c.knobs.replicas = 1;
+            c.program.replicated = false;
+            accept(c);
+        }
+        while (best_.knobs.numStages > 2) {
+            FuzzCase c = fork();
+            c.knobs.numStages = best_.knobs.numStages - 1;
+            if (!accept(c))
+                break;
+        }
+    }
+
+    void
+    shrinkInputSize()
+    {
+        while (best_.knobs.inputSize > 2 && attempts_ < maxAttempts_) {
+            FuzzCase c = fork();
+            c.knobs.inputSize = best_.knobs.inputSize / 2;
+            if (!accept(c))
+                break;
+        }
+    }
+
+    bool
+    deleteStatements()
+    {
+        bool any = false;
+        bool progress = true;
+        while (progress && attempts_ < maxAttempts_) {
+            progress = false;
+            // One deletion per tree walk: positions go stale on mutation.
+            int target_pos = 0;
+            int total = countStmts(best_.program);
+            for (; target_pos < total && attempts_ < maxAttempts_;
+                 ++target_pos) {
+                FuzzCase c = fork();
+                int seen = 0;
+                bool removed = visitPositions(
+                    c.program.body,
+                    [&](std::vector<GenStmtPtr>& list, size_t i) {
+                        if (seen++ != target_pos)
+                            return false;
+                        // Keep the distribute marker: deleting it turns
+                        // a replicated case into a frontend error.
+                        if (list[i]->kind == GenStmt::Kind::kDistribute)
+                            return false;
+                        list.erase(list.begin() +
+                                   static_cast<long>(i));
+                        return true;
+                    });
+                if (removed && accept(c)) {
+                    progress = true;
+                    any = true;
+                    break;  // tree changed; restart position scan
+                }
+            }
+        }
+        return any;
+    }
+
+    bool
+    unwrapBlocks()
+    {
+        bool any = false;
+        bool progress = true;
+        while (progress && attempts_ < maxAttempts_) {
+            progress = false;
+            int total = countStmts(best_.program);
+            for (int pos = 0; pos < total && attempts_ < maxAttempts_;
+                 ++pos) {
+                FuzzCase c = fork();
+                int seen = 0;
+                bool mutated = visitPositions(
+                    c.program.body,
+                    [&](std::vector<GenStmtPtr>& list, size_t i) {
+                        if (seen++ != pos)
+                            return false;
+                        GenStmt& s = *list[i];
+                        if (s.kind == GenStmt::Kind::kIf) {
+                            // Splice then+else bodies in place of the if.
+                            std::vector<GenStmtPtr> flat;
+                            for (auto& b : s.body)
+                                flat.push_back(std::move(b));
+                            for (auto& b : s.elseBody)
+                                flat.push_back(std::move(b));
+                            list.erase(list.begin() +
+                                       static_cast<long>(i));
+                            list.insert(
+                                list.begin() + static_cast<long>(i),
+                                std::make_move_iterator(flat.begin()),
+                                std::make_move_iterator(flat.end()));
+                            return true;
+                        }
+                        if (s.kind == GenStmt::Kind::kInnerLoop &&
+                            s.body.empty()) {
+                            list.erase(list.begin() +
+                                       static_cast<long>(i));
+                            return true;
+                        }
+                        return false;
+                    });
+                if (mutated && accept(c)) {
+                    progress = true;
+                    any = true;
+                    break;
+                }
+            }
+        }
+        return any;
+    }
+
+    bool
+    simplifyExprs()
+    {
+        bool any = false;
+        // Candidate rewrites for the value expression of statement
+        // `pos`: hoist a child, or collapse to a literal.
+        int total = countStmts(best_.program);
+        for (int pos = 0; pos < total && attempts_ < maxAttempts_; ++pos) {
+            for (int variant = 0; variant < 3; ++variant) {
+                if (attempts_ >= maxAttempts_)
+                    break;
+                FuzzCase c = fork();
+                int seen = 0;
+                bool mutated = false;
+                visitExprs(c.program.body, [&](GenExprPtr& e) {
+                    if (seen++ != pos || !e)
+                        return;
+                    mutated = rewrite(e, variant);
+                });
+                if (mutated && accept(c))
+                    any = true;
+            }
+        }
+        return any;
+    }
+
+    /** Apply one reduction variant to an expression slot in place. */
+    static bool
+    rewrite(GenExprPtr& e, int variant)
+    {
+        switch (e->kind) {
+          case GenExpr::Kind::kIntLit:
+          case GenExpr::Kind::kFloatLit:
+          case GenExpr::Kind::kVar:
+            return false;
+          case GenExpr::Kind::kLoad:
+            if (variant != 0)
+                return false;
+            if (e->isFloat) {
+                auto lit = std::make_unique<GenExpr>();
+                lit->kind = GenExpr::Kind::kFloatLit;
+                lit->isFloat = true;
+                lit->floatVal = 0.0;
+                e = std::move(lit);
+            } else {
+                auto lit = std::make_unique<GenExpr>();
+                lit->kind = GenExpr::Kind::kIntLit;
+                lit->intVal = 0;
+                e = std::move(lit);
+            }
+            return true;
+          case GenExpr::Kind::kBin:
+          case GenExpr::Kind::kTernary:
+          case GenExpr::Kind::kCall: {
+            bool want_float = e->isFloat;
+            auto matches = [&](const GenExprPtr& ch) {
+                return ch && ch->isFloat == want_float;
+            };
+            if (variant == 0 && matches(e->a)) {
+                e = std::move(e->a);
+                return true;
+            }
+            if (variant == 1 && matches(e->b)) {
+                e = std::move(e->b);
+                return true;
+            }
+            if (variant == 1 && matches(e->c)) {
+                e = std::move(e->c);
+                return true;
+            }
+            if (variant == 2) {
+                auto lit = std::make_unique<GenExpr>();
+                if (want_float) {
+                    lit->kind = GenExpr::Kind::kFloatLit;
+                    lit->isFloat = true;
+                    lit->floatVal = 1.0;
+                } else {
+                    lit->kind = GenExpr::Kind::kIntLit;
+                    lit->intVal = 1;
+                }
+                e = std::move(lit);
+                return true;
+            }
+            return false;
+          }
+        }
+        return false;
+    }
+
+    FuzzCase best_;
+    Verdict target_;
+    OracleOptions opts_;
+    int attempts_ = 0;
+    int maxAttempts_;
+};
+
+} // namespace
+
+int
+countStmts(const GenProgram& p)
+{
+    return countBody(p.body);
+}
+
+ShrinkResult
+shrinkCase(const FuzzCase& failing, const OracleOptions& opts,
+           int maxAttempts)
+{
+    Verdict target = runCase(failing, opts).verdict;
+    Shrinker sh(failing, target, opts, maxAttempts);
+    return sh.run();
+}
+
+} // namespace phloem::fuzz

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Automatic minimizer for diverging fuzz cases.
+ *
+ * Classic greedy delta debugging over the generator's own AST: a
+ * candidate reduction is kept iff the oracle still returns the *same
+ * verdict kind* as the original failure (so a mismatch never quietly
+ * morphs into an unrelated crash while shrinking). Reduction passes,
+ * in order of bang-for-buck:
+ *
+ *   1. knob canonicalization — timing off, default queue depth, fewer
+ *      stages, RA/cv/dce/handlers off, replication off;
+ *   2. input-size bisection — halve n while the failure reproduces;
+ *   3. statement deletion — drop any statement whose defined variable
+ *      is unused (fixed-point over all nesting levels);
+ *   4. block unwrapping — replace `if` statements by their bodies,
+ *      delete else-branches;
+ *   5. expression simplification — replace operator trees by one of
+ *      their operands or a literal.
+ *
+ * The result is a self-contained FuzzCase (program + knobs) that the
+ * tool prints in full; it no longer corresponds to generateCase(seed),
+ * which is why the report always includes the reduced source.
+ */
+
+#ifndef PHLOEM_TESTING_SHRINK_H
+#define PHLOEM_TESTING_SHRINK_H
+
+#include "testing/oracle.h"
+#include "testing/progen.h"
+
+namespace phloem::fuzz {
+
+/** Total GenStmt nodes in the program (the shrinker's size metric). */
+int countStmts(const GenProgram& p);
+
+struct ShrinkResult
+{
+    FuzzCase reduced;
+    /** Oracle verdict of the reduced case (same kind as the original). */
+    OracleResult finalResult;
+    int attempts = 0;   ///< oracle runs spent
+    int statements = 0; ///< countStmts of the reduced program
+};
+
+/**
+ * Minimize a failing case. `failing` must have produced a non-ok
+ * verdict under `opts`; maxAttempts bounds total oracle invocations.
+ */
+ShrinkResult shrinkCase(const FuzzCase& failing,
+                        const OracleOptions& opts = {},
+                        int maxAttempts = 500);
+
+} // namespace phloem::fuzz
+
+#endif // PHLOEM_TESTING_SHRINK_H

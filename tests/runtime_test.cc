@@ -110,6 +110,124 @@ TEST(SpscQueue, PushBatchRespectsCapacityAndOrder)
     EXPECT_FALSE(q.tryPop(v));
 }
 
+TEST(SpscQueue, PushBatchWrapsAroundRingSeam)
+{
+    // Walk the write index through every alignment of the ring so some
+    // batch always straddles the physical end of the buffer, then check
+    // values and order survive the seam.
+    rt::SpscQueue q(5);
+    ir::Value v;
+    int64_t produced = 0;
+    int64_t consumed = 0;
+    for (int round = 0; round < 50; ++round) {
+        size_t n = q.pushBatch(4, [&](size_t k) {
+            return ir::Value::fromInt(produced + static_cast<int64_t>(k));
+        });
+        ASSERT_GE(n, 1u);
+        produced += static_cast<int64_t>(n);
+        // Drain all but one element so the indices creep forward by a
+        // non-divisor step each round.
+        while (consumed + 1 < produced) {
+            ASSERT_TRUE(q.tryPop(v));
+            ASSERT_EQ(v.asInt(), consumed);
+            ++consumed;
+        }
+    }
+    while (consumed < produced) {
+        ASSERT_TRUE(q.tryPop(v));
+        ASSERT_EQ(v.asInt(), consumed);
+        ++consumed;
+    }
+    EXPECT_FALSE(q.tryPop(v));
+    EXPECT_EQ(q.enqCount(), static_cast<uint64_t>(produced));
+    EXPECT_EQ(q.deqCount(), static_cast<uint64_t>(produced));
+}
+
+TEST(SpscQueue, MultiProducerCountsEveryElementOnce)
+{
+    // An enq_dist target ring has one producer per replica. Under
+    // contention every pushed value must arrive exactly once and the
+    // producer-side counters must not lose increments.
+    rt::SpscQueue q(32);
+    q.setMultiProducer();
+    constexpr int kProducers = 4;
+    constexpr int64_t kPerProducer = 20'000;
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            int spins = 0;
+            for (int64_t i = 0; i < kPerProducer; ++i) {
+                ir::Value v =
+                    ir::Value::fromInt(p * kPerProducer + i);
+                while (!q.tryPush(v)) {
+                    if (++spins >= 64) {
+                        std::this_thread::yield();
+                        spins = 0;
+                    } else {
+                        rt::cpuRelax();
+                    }
+                }
+            }
+        });
+    }
+
+    constexpr int64_t kTotal = kProducers * kPerProducer;
+    std::vector<int> seen(static_cast<size_t>(kTotal), 0);
+    std::vector<int64_t> last(kProducers, -1);
+    ir::Value v;
+    int spins = 0;
+    for (int64_t i = 0; i < kTotal; ++i) {
+        while (!q.tryPop(v)) {
+            if (++spins >= 64) {
+                std::this_thread::yield();
+                spins = 0;
+            } else {
+                rt::cpuRelax();
+            }
+        }
+        int64_t x = v.asInt();
+        ASSERT_GE(x, 0);
+        ASSERT_LT(x, kTotal);
+        seen[static_cast<size_t>(x)]++;
+        // Per-producer order must still be FIFO.
+        int p = static_cast<int>(x / kPerProducer);
+        ASSERT_GT(x % kPerProducer,
+                  last[p] < 0 ? -1 : last[p] % kPerProducer);
+        last[p] = x;
+    }
+    for (auto& t : producers)
+        t.join();
+
+    for (int64_t i = 0; i < kTotal; ++i)
+        ASSERT_EQ(seen[static_cast<size_t>(i)], 1)
+            << "value " << i << " delivered " << seen[i] << " times";
+    EXPECT_EQ(q.enqCount(), static_cast<uint64_t>(kTotal));
+    EXPECT_EQ(q.deqCount(), static_cast<uint64_t>(kTotal));
+    EXPECT_FALSE(q.tryPop(v));
+    EXPECT_LE(q.maxOccupancy(), 32u);
+}
+
+TEST(SpscQueue, SizeApproxTracksOccupancy)
+{
+    // From a quiesced ring, sizeApprox is exact; drive it across a full
+    // fill/drain cycle including the wraparound region.
+    rt::SpscQueue q(4);
+    ir::Value v;
+    EXPECT_EQ(q.sizeApprox(), 0u);
+    for (int64_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(i)));
+        EXPECT_EQ(q.sizeApprox(), static_cast<size_t>(i) + 1);
+    }
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(q.sizeApprox(), 3u);
+    ASSERT_TRUE(q.tryPush(ir::Value::fromInt(4)));  // wraps
+    EXPECT_EQ(q.sizeApprox(), 4u);
+    while (q.tryPop(v))
+        EXPECT_LT(q.sizeApprox(), 4u);
+    EXPECT_EQ(q.sizeApprox(), 0u);
+}
+
 TEST(SpscQueue, TwoThreadStress)
 {
     rt::SpscQueue q(64);
@@ -296,6 +414,27 @@ TEST(NativeRuntime, SerialMatchesSimulatorSerial)
     // Both backends interpret the same flat program, so dynamic
     // instruction counts must agree exactly.
     EXPECT_EQ(nstats.totalInstructions(), sstats.totalInstructions());
+}
+
+TEST(NativeRuntime, SerialRejectsQueueOps)
+{
+    // runSerial provides no queues; handing it a pipeline stage must be
+    // a clean diagnostic, not an out-of-bounds queue index.
+    ir::FunctionBuilder b("stagey");
+    ir::ArrayId a = b.arrayParam("a", ir::ElemType::kI64, false);
+    ir::RegId n = b.scalarParam("n");
+    b.forRange(b.constI(0), n, [&](ir::RegId i) {
+        b.enq(0, b.load(a, i, "v"));
+    });
+    ir::FunctionPtr fn = b.finish();
+
+    sim::Binding nb;
+    nb.makeArray("a", ir::ElemType::kI64, 4);
+    nb.setScalarInt("n", 4);
+    rt::Runtime runtime;
+    rt::NativeStats st = runtime.runSerial(*fn, nb);
+    EXPECT_FALSE(st.ok);
+    EXPECT_NE(st.error.find("queue"), std::string::npos) << st.error;
 }
 
 TEST(NativeRuntime, CompiledPipelineMatchesSimulator)

@@ -27,7 +27,9 @@
  *   --size N        synthetic input size for --run (default 4096)
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -59,6 +61,39 @@ usage()
 }
 
 enum class RunMode { kNone, kNative, kSim, kBoth };
+
+/**
+ * Strict integer parse for option operands: the whole operand must be a
+ * decimal number. atoi() would quietly map garbage ("4x", "--run") to a
+ * number and compile with a nonsense configuration.
+ */
+bool
+parseInt64(const char* s, int64_t* out)
+{
+    if (s == nullptr || *s == '\0')
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0')
+        return false;
+    *out = static_cast<int64_t>(v);
+    return true;
+}
+
+/**
+ * Fetch the operand of option `flag`, advancing `i`; on a missing
+ * operand, print a diagnostic and return nullptr.
+ */
+const char*
+optionOperand(const char* flag, int argc, char** argv, int* i)
+{
+    if (*i + 1 >= argc) {
+        std::fprintf(stderr, "phloemc: %s requires an operand\n", flag);
+        return nullptr;
+    }
+    return argv[++*i];
+}
 
 /**
  * Synthesize a deterministic binding from the kernel signature: arrays
@@ -179,8 +214,19 @@ main(int argc, char** argv)
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--stages" && i + 1 < argc) {
-            opts.numStages = std::atoi(argv[++i]);
+        if (arg == "--stages") {
+            const char* v = optionOperand("--stages", argc, argv, &i);
+            int64_t stages = 0;
+            if (v == nullptr || !parseInt64(v, &stages) || stages < 1 ||
+                stages > 64) {
+                if (v != nullptr)
+                    std::fprintf(stderr,
+                                 "phloemc: --stages needs an integer in "
+                                 "[1, 64], got '%s'\n",
+                                 v);
+                return usage();
+            }
+            opts.numStages = static_cast<int>(stages);
         } else if (arg == "--no-ra") {
             opts.referenceAccelerators = false;
         } else if (arg == "--no-cv") {
@@ -189,10 +235,16 @@ main(int argc, char** argv)
             opts.dce = false;
         } else if (arg == "--no-handlers") {
             opts.handlers = false;
-        } else if (arg == "--kernel" && i + 1 < argc) {
-            kernel_name = argv[++i];
-        } else if (arg == "--taco" && i + 1 < argc) {
-            taco_expr = argv[++i];
+        } else if (arg == "--kernel") {
+            const char* v = optionOperand("--kernel", argc, argv, &i);
+            if (v == nullptr)
+                return usage();
+            kernel_name = v;
+        } else if (arg == "--taco") {
+            const char* v = optionOperand("--taco", argc, argv, &i);
+            if (v == nullptr)
+                return usage();
+            taco_expr = v;
         } else if (arg == "--ir-only") {
             ir_only = true;
         } else if (arg == "--quiet") {
@@ -203,15 +255,26 @@ main(int argc, char** argv)
             run_mode = RunMode::kSim;
         } else if (arg == "--run=both") {
             run_mode = RunMode::kBoth;
-        } else if (arg == "--size" && i + 1 < argc) {
-            run_size = std::atoll(argv[++i]);
-            if (run_size < 1) {
-                std::fprintf(stderr, "phloemc: --size must be >= 1\n");
-                return 2;
+        } else if (arg == "--size") {
+            const char* v = optionOperand("--size", argc, argv, &i);
+            if (v == nullptr || !parseInt64(v, &run_size) ||
+                run_size < 1) {
+                if (v != nullptr)
+                    std::fprintf(stderr,
+                                 "phloemc: --size needs an integer "
+                                 ">= 1, got '%s'\n",
+                                 v);
+                return usage();
             }
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "phloemc: unknown option '%s'\n",
                          arg.c_str());
+            return usage();
+        } else if (!path.empty()) {
+            std::fprintf(stderr,
+                         "phloemc: more than one input file ('%s' and "
+                         "'%s')\n",
+                         path.c_str(), arg.c_str());
             return usage();
         } else {
             path = arg;
