@@ -64,6 +64,12 @@ struct Row
     double pipelineMs = 0.0;
     int stageThreads = 0;
     int ras = 0;
+    /** Pipeline dynamic instructions (stage workers, all replicas). */
+    uint64_t instructions = 0;
+    /** Values per consumer-side ring synchronization (engine runs). */
+    double meanPopBatch = 0.0;
+    /** Pipeline ran the pre-decoded engine (vs raw interpreter). */
+    bool engine = false;
 };
 
 std::vector<Row> g_rows;
@@ -101,12 +107,16 @@ writeJson(const char* path)
             "    {\"name\": \"%s\", \"input\": \"%s\", \"ok\": %s, "
             "\"error\": \"%s\", \"serial_ms\": %.3f, "
             "\"pipeline_ms\": %.3f, \"speedup\": %.4f, "
-            "\"stage_threads\": %d, \"ras\": %d}%s\n",
+            "\"stage_threads\": %d, \"ras\": %d, "
+            "\"instructions\": %llu, \"mean_pop_batch\": %.2f, "
+            "\"engine\": %s}%s\n",
             jsonEscape(r.name).c_str(), jsonEscape(r.input).c_str(),
             r.ok ? "true" : "false", jsonEscape(r.error).c_str(),
             r.serialMs, r.pipelineMs,
             r.pipelineMs > 0.0 ? r.serialMs / r.pipelineMs : 0.0,
             r.stageThreads, r.ras,
+            static_cast<unsigned long long>(r.instructions),
+            r.meanPopBatch, r.engine ? "true" : "false",
             i + 1 < g_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -134,12 +144,16 @@ reportRow(const char* name, const char* input,
     row.pipelineMs = pipe.stats.wallMs();
     row.stageThreads = stage_threads;
     row.ras = ras;
+    row.instructions = pipe.stats.totalInstructions();
+    row.meanPopBatch = pipe.stats.meanPopBatch();
+    row.engine = pipe.stats.engine;
     g_rows.push_back(row);
     std::printf("%-12s %-12s serial %8.2f ms   pipeline %8.2f ms   "
-                "speedup %5.2fx   (%d threads + %d RAs)\n",
+                "speedup %5.2fx   (%d threads + %d RAs, pop batch "
+                "%.1f)\n",
                 name, input, ser.stats.wallMs(), pipe.stats.wallMs(),
                 ser.stats.wallMs() / pipe.stats.wallMs(), stage_threads,
-                ras);
+                ras, pipe.stats.meanPopBatch());
 }
 
 /**
@@ -303,6 +317,9 @@ benchGatherSum(int64_t rows, int64_t degree)
     row.pipelineMs = pipe.wallMs();
     row.stageThreads = pipe.numStageThreads;
     row.ras = pipe.numRAWorkers;
+    row.instructions = pipe.totalInstructions();
+    row.meanPopBatch = pipe.meanPopBatch();
+    row.engine = pipe.engine;
     g_rows.push_back(row);
 
     double speedup = ser.wallMs() / pipe.wallMs();
@@ -316,11 +333,13 @@ benchGatherSum(int64_t rows, int64_t degree)
     uint64_t interp_ser = ser.totalInstructions();
     uint64_t interp_pipe = pipe.totalInstructions();
     std::printf("  interpreted instructions: serial %llu, pipeline %llu "
-                "(RAs stream natively); enq blocks %llu, deq blocks %llu\n",
+                "(RAs stream natively); enq blocks %llu, deq blocks "
+                "%llu, mean pop batch %.1f\n",
                 static_cast<unsigned long long>(interp_ser),
                 static_cast<unsigned long long>(interp_pipe),
                 static_cast<unsigned long long>(pipe.totalEnqBlocks()),
-                static_cast<unsigned long long>(pipe.totalDeqBlocks()));
+                static_cast<unsigned long long>(pipe.totalDeqBlocks()),
+                pipe.meanPopBatch());
     return speedup > 1.0 && pipe.numStageThreads >= 2;
 }
 

@@ -22,7 +22,36 @@ for b in bench_table3_config bench_table4_inputs bench_table5_inputs \
          bench_fig9_speedup bench_ablation bench_micro; do
     run "$b"
 done
+# Keep the previous native results so we can report per-kernel deltas.
+PREV=
+if [[ -f BENCH_native.json ]]; then
+    PREV=BENCH_native.prev.json
+    cp BENCH_native.json "$PREV"
+fi
 run bench_native --json=BENCH_native.json
+# Informational before/after table (never affects the exit status): one
+# row per kernel, pipeline wall-clock old vs new. Rows are emitted
+# one-per-line by bench_native, so line-oriented parsing is safe.
+if [[ -n "$PREV" && -f BENCH_native.json ]]; then
+    awk '
+        /"name":/ {
+            match($0, /"name": "[^"]*"/)
+            name = substr($0, RSTART + 9, RLENGTH - 10)
+            match($0, /"pipeline_ms": [0-9.]*/)
+            ms = substr($0, RSTART + 15, RLENGTH - 15)
+            if (FILENAME == ARGV[1]) { old[name] = ms }
+            else if (name in old) {
+                d = (old[name] > 0) ? old[name] / ms : 0
+                printf "  %-12s %10.3f ms -> %10.3f ms   %.2fx\n", \
+                       name, old[name], ms, d
+            } else {
+                printf "  %-12s %10s    -> %10.3f ms   (new)\n", \
+                       name, "-", ms
+            }
+        }' "$PREV" BENCH_native.json \
+        | { echo "native pipeline delta vs previous run:"; cat; } \
+        | tee -a "$OUT"
+fi
 if ((${#failed[@]} > 0)); then
     echo "FAILED benches: ${failed[*]}" | tee -a "$OUT"
     exit 1

@@ -65,6 +65,9 @@ enum class Opcode : uint8_t {
     kHalt,      ///< end of program (implicit at end of body; explicit ok)
 };
 
+/** Dense opcode count (profiling tables are indexed by opcode). */
+constexpr int kNumOpcodes = static_cast<int>(Opcode::kHalt) + 1;
+
 /** Number of source-register operands an opcode reads. */
 inline int
 numSrcs(Opcode op)

@@ -1,0 +1,538 @@
+#include "runtime/engine.h"
+
+#include <stdexcept>
+
+#include "base/logging.h"
+#include "ir/op.h"
+#include "sim/eval.h"
+
+namespace phloem::rt {
+
+Engine::Engine(const DecodedProgram& prog, const EngineEnv& env)
+    : prog_(prog), env_(env)
+{
+    phloem_assert(env_.regs != nullptr && env_.ctl != nullptr &&
+                      env_.stats != nullptr && env_.queues != nullptr,
+                  "engine env incomplete");
+    bufs_.resize(env_.queues->size());
+}
+
+// ---------------------------------------------------------------------
+// Bookkeeping.
+// ---------------------------------------------------------------------
+
+bool
+Engine::slowTick()
+{
+    // Mirrors the interpreter's heartbeat: long compute phases without
+    // queue ops must still look alive to blocked peers' watchdogs, and
+    // abort/budget are polled here rather than per instruction.
+    env_.ctl->progress.fetch_add(1, std::memory_order_relaxed);
+    heartbeat_ = 0;
+    if (env_.ctl->aborted())
+        return false;
+    if (env_.stats->instructions > env_.ctl->opt.maxInstructions) {
+        std::string msg = "instruction budget exceeded (" +
+                          std::to_string(env_.ctl->opt.maxInstructions) +
+                          ") in " + env_.stats->name;
+        env_.ctl->fail(msg);
+        throw std::runtime_error(msg);
+    }
+    return true;
+}
+
+inline bool
+Engine::tick(uint64_t n)
+{
+    env_.stats->instructions += n;
+    heartbeat_ += n;
+    if (heartbeat_ >= kHeartbeatInterval)
+        return slowTick();
+    return true;
+}
+
+void
+Engine::reportDeadlock(const char* what, int abs_q)
+{
+    std::string msg = "deadlock: " + env_.stats->name + " blocked on " +
+                      what + " q" + std::to_string(abs_q) + " at pc=" +
+                      std::to_string(pc_) + " with no global progress for " +
+                      std::to_string(env_.ctl->opt.deadlockTimeoutMs) +
+                      " ms";
+    env_.ctl->fail(msg);
+    throw std::runtime_error(msg);
+}
+
+// ---------------------------------------------------------------------
+// Blocking queue primitives.
+// ---------------------------------------------------------------------
+
+bool
+Engine::waitPush(SpscQueue& q, int abs_q, const ir::Value& v)
+{
+    // Fast path: no shared-counter traffic; the instruction heartbeat
+    // keeps the watchdog fed while this worker runs.
+    if (q.tryPush(v))
+        return true;
+    q.noteEnqBlocked();
+    Backoff backoff(*env_.ctl);
+    for (;;) {
+        if (q.tryPush(v)) {
+            env_.ctl->progress.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
+          case Backoff::Result::kRetry:
+            break;
+          case Backoff::Result::kStopped:
+            return false;
+          case Backoff::Result::kDeadlock:
+            reportDeadlock("enq", abs_q);
+        }
+    }
+}
+
+bool
+Engine::popValue(const DInst& d, ir::Value& v)
+{
+    ConsumerBuf& b = bufs_[static_cast<size_t>(d.absQ)];
+    if (b.pos < b.len) {
+        v = b.data[b.pos++];
+        return true;
+    }
+    if (!b.data)
+        b.data = std::make_unique<ir::Value[]>(kBatchCap);
+    size_t n = d.q->popBatch(kBatchCap, b.data.get());
+    if (n == 0) {
+        d.q->noteDeqBlocked();
+        Backoff backoff(*env_.ctl);
+        for (;;) {
+            n = d.q->popBatch(kBatchCap, b.data.get());
+            if (n != 0) {
+                env_.ctl->progress.fetch_add(1,
+                                             std::memory_order_relaxed);
+                break;
+            }
+            switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
+              case Backoff::Result::kRetry:
+                break;
+              case Backoff::Result::kStopped:
+                return false;
+              case Backoff::Result::kDeadlock:
+                reportDeadlock("deq", d.absQ);
+            }
+        }
+    }
+    b.len = static_cast<uint32_t>(n);
+    b.pos = 1;
+    v = b.data[0];
+    return true;
+}
+
+bool
+Engine::peekValue(const DInst& d, ir::Value& v)
+{
+    // Peek must not consume, so it never triggers a refill: serve the
+    // buffer front when one is pending, otherwise read the ring front.
+    const ConsumerBuf& b = bufs_[static_cast<size_t>(d.absQ)];
+    if (b.pos < b.len) {
+        v = b.data[b.pos];
+        return true;
+    }
+    if (d.q->tryPeek(v))
+        return true;
+    d.q->noteDeqBlocked();
+    Backoff backoff(*env_.ctl);
+    for (;;) {
+        if (d.q->tryPeek(v)) {
+            env_.ctl->progress.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
+          case Backoff::Result::kRetry:
+            break;
+          case Backoff::Result::kStopped:
+            return false;
+          case Backoff::Result::kDeadlock:
+            reportDeadlock("peek", d.absQ);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handlers.
+// ---------------------------------------------------------------------
+
+bool
+Engine::hEnd(Engine& e, const DInst&)
+{
+    // Fell off the end: halt without counting an instruction, exactly
+    // like the interpreter's pc bound check.
+    (void)e;
+    return false;
+}
+
+bool
+Engine::hHalt(Engine& e, const DInst& d)
+{
+    e.tick(1);
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    return false;
+}
+
+bool
+Engine::hBr(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->branches++;
+    e.pc_ = d.target;
+    return true;
+}
+
+bool
+Engine::hBrIf(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->branches++;
+    bool truth =
+        e.env_.regs[static_cast<size_t>(d.src0)].asInt() != 0;
+    e.pc_ = truth ? d.target : e.pc_ + 1;
+    return true;
+}
+
+bool
+Engine::hBrIfNot(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->branches++;
+    bool truth =
+        e.env_.regs[static_cast<size_t>(d.src0)].asInt() != 0;
+    e.pc_ = truth ? e.pc_ + 1 : d.target;
+    return true;
+}
+
+bool
+Engine::hScalar(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    ir::Value out = sim::evalScalarOp(*d.raw, e.env_.regs);
+    if (d.dst >= 0)
+        e.env_.regs[static_cast<size_t>(d.dst)] = out;
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hWork(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    ir::Value out = sim::evalScalarOp(*d.raw, e.env_.regs);
+    if (d.imm > 1) {
+        // The simulator charges kWork as `imm` uops; natively we burn
+        // the same amount of real compute. Only the first mix lands in
+        // the destination register so results stay bit-identical.
+        uint64_t burn = out.bits;
+        for (int64_t k = 1; k < d.imm; ++k)
+            burn = sim::workMix(burn);
+        e.workSink_ += burn;
+    }
+    if (d.dst >= 0)
+        e.env_.regs[static_cast<size_t>(d.dst)] = out;
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hLoad(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    // Array bindings are looked up per execution: kSwapArr may retarget
+    // them at runtime, so decoded instructions never cache the buffer.
+    sim::ArrayBuffer* buf = e.env_.arrayBind[static_cast<size_t>(d.arr)];
+    int64_t idx = e.env_.regs[static_cast<size_t>(d.src0)].asInt();
+    ir::Value out = buf->load(idx);
+    if (d.dst >= 0)
+        e.env_.regs[static_cast<size_t>(d.dst)] = out;
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hStore(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    sim::ArrayBuffer* buf = e.env_.arrayBind[static_cast<size_t>(d.arr)];
+    int64_t idx = e.env_.regs[static_cast<size_t>(d.src0)].asInt();
+    buf->store(idx, e.env_.regs[static_cast<size_t>(d.src1)]);
+    if (d.dst >= 0)
+        e.env_.regs[static_cast<size_t>(d.dst)] = ir::Value{};
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hMemOther(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    sim::ArrayBuffer* buf = e.env_.arrayBind[static_cast<size_t>(d.arr)];
+    ir::Value out = sim::applyMemOp(*d.raw, *buf, e.env_.regs);
+    if (d.dst >= 0)
+        e.env_.regs[static_cast<size_t>(d.dst)] = out;
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hAtomic(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    sim::ArrayBuffer* buf = e.env_.arrayBind[static_cast<size_t>(d.arr)];
+    ir::Value out;
+    {
+        // applyMemOp implements RMWs as load+store; serialize them
+        // across stages so concurrent updates are not lost.
+        std::lock_guard<std::mutex> g(e.env_.ctl->atomicsMu);
+        out = sim::applyMemOp(*d.raw, *buf, e.env_.regs);
+    }
+    if (d.dst >= 0)
+        e.env_.regs[static_cast<size_t>(d.dst)] = out;
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hSwapArr(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    std::swap(e.env_.arrayBind[static_cast<size_t>(d.arr)],
+              e.env_.arrayBind[static_cast<size_t>(d.arr2)]);
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hBarrier(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    e.pc_++;
+    return e.env_.barrier->arriveAndWait(*e.env_.ctl);
+}
+
+bool
+Engine::hEnq(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->queueOps++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    if (!e.waitPush(*d.q, d.absQ,
+                    e.env_.regs[static_cast<size_t>(d.src0)]))
+        return false;
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hEnqCtrl(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->queueOps++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    if (!e.waitPush(*d.q, d.absQ,
+                    ir::Value::makeControl(static_cast<uint32_t>(d.imm))))
+        return false;
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hEnqDist(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->queueOps++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    int64_t sel = e.env_.regs[static_cast<size_t>(d.src1)].asInt();
+    int target = sim::distTargetReplica(sel, e.env_.numReplicas);
+    int abs_q = d.queueBase + target * e.env_.queueStride;
+    SpscQueue& q = *(*e.env_.queues)[static_cast<size_t>(abs_q)];
+    ir::Value v =
+        d.src0 < 0 ? ir::Value::makeControl(static_cast<uint32_t>(d.imm))
+                   : e.env_.regs[static_cast<size_t>(d.src0)];
+    if (!e.waitPush(q, abs_q, v))
+        return false;
+    e.pc_++;
+    return true;
+}
+
+bool
+Engine::hDeq(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->queueOps++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    ir::Value v;
+    if (!e.popValue(d, v))
+        return false;
+    e.env_.regs[static_cast<size_t>(d.dst)] = v;
+    // Control-value handler: transfer when a control value is dequeued,
+    // exactly as the simulated hardware does.
+    if (v.isControl() && d.handlerPc >= 0)
+        e.pc_ = d.handlerPc;
+    else
+        e.pc_++;
+    return true;
+}
+
+bool
+Engine::hPeek(Engine& e, const DInst& d)
+{
+    if (!e.tick(1))
+        return false;
+    e.env_.stats->queueOps++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    ir::Value v;
+    if (!e.peekValue(d, v))
+        return false;
+    e.env_.regs[static_cast<size_t>(d.dst)] = v;
+    e.pc_++;
+    return true;
+}
+
+// --- Fused superinstructions (two raw instructions per dispatch). ----
+
+bool
+Engine::hScalarBr(Engine& e, const DInst& d)
+{
+    if (!e.tick(2))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    e.env_.stats->branches++;
+    ir::Value out = sim::evalScalarOp(*d.raw, e.env_.regs);
+    e.env_.regs[static_cast<size_t>(d.dst)] = out;
+    bool truth = out.asInt() != 0;
+    if (d.negate)
+        truth = !truth;
+    e.pc_ = truth ? d.target : e.pc_ + 2;
+    return true;
+}
+
+bool
+Engine::hScalarJmp(Engine& e, const DInst& d)
+{
+    if (!e.tick(2))
+        return false;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    e.env_.stats->branches++;
+    e.env_.regs[static_cast<size_t>(d.dst)] =
+        sim::evalScalarOp(*d.raw, e.env_.regs);
+    e.pc_ = d.target;
+    return true;
+}
+
+bool
+Engine::hScalarEnq(Engine& e, const DInst& d)
+{
+    if (!e.tick(2))
+        return false;
+    e.env_.stats->queueOps++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode2)]++;
+    ir::Value out = sim::evalScalarOp(*d.raw, e.env_.regs);
+    e.env_.regs[static_cast<size_t>(d.dst)] = out;
+    if (!e.waitPush(*d.q, d.absQ, out))
+        return false;
+    e.pc_ += 2;
+    return true;
+}
+
+bool
+Engine::hLoadEnq(Engine& e, const DInst& d)
+{
+    if (!e.tick(2))
+        return false;
+    e.env_.stats->queueOps++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
+    e.env_.stats->opCounts[static_cast<size_t>(d.opcode2)]++;
+    sim::ArrayBuffer* buf = e.env_.arrayBind[static_cast<size_t>(d.arr)];
+    int64_t idx = e.env_.regs[static_cast<size_t>(d.src0)].asInt();
+    ir::Value out = buf->load(idx);
+    e.env_.regs[static_cast<size_t>(d.dst)] = out;
+    if (!e.waitPush(*d.q, d.absQ, out))
+        return false;
+    e.pc_ += 2;
+    return true;
+}
+
+// Order must match the DOp enumerators exactly.
+const Engine::Handler Engine::kDispatch[kNumDOps] = {
+    &Engine::hEnd,       // kEnd
+    &Engine::hHalt,      // kHalt
+    &Engine::hBr,        // kBr
+    &Engine::hBrIf,      // kBrIf
+    &Engine::hBrIfNot,   // kBrIfNot
+    &Engine::hScalar,    // kScalar
+    &Engine::hWork,      // kWork
+    &Engine::hLoad,      // kLoad
+    &Engine::hStore,     // kStore
+    &Engine::hMemOther,  // kMemOther
+    &Engine::hAtomic,    // kAtomic
+    &Engine::hSwapArr,   // kSwapArr
+    &Engine::hBarrier,   // kBarrier
+    &Engine::hEnq,       // kEnq
+    &Engine::hEnqCtrl,   // kEnqCtrl
+    &Engine::hEnqDist,   // kEnqDist
+    &Engine::hDeq,       // kDeq
+    &Engine::hPeek,      // kPeek
+    &Engine::hScalarBr,  // kScalarBr
+    &Engine::hScalarJmp, // kScalarJmp
+    &Engine::hScalarEnq, // kScalarEnq
+    &Engine::hLoadEnq,   // kLoadEnq
+};
+
+void
+Engine::run()
+{
+    const DInst* code = prog_.code.data();
+    for (;;) {
+        const DInst& d = code[pc_];
+        if (!kDispatch[static_cast<size_t>(d.op)](*this, d))
+            return;
+    }
+}
+
+std::vector<std::pair<int, uint64_t>>
+Engine::unconsumed() const
+{
+    std::vector<std::pair<int, uint64_t>> out;
+    for (size_t q = 0; q < bufs_.size(); ++q) {
+        const ConsumerBuf& b = bufs_[q];
+        if (b.pos < b.len)
+            out.emplace_back(static_cast<int>(q),
+                             static_cast<uint64_t>(b.len - b.pos));
+    }
+    return out;
+}
+
+} // namespace phloem::rt

@@ -99,6 +99,38 @@ class SpscQueue
         return pushBatchImpl(max_n, gen);
     }
 
+    /**
+     * Consumer side: drain up to max_n values into out, releasing them
+     * all with a single store of the head index (the mirror image of
+     * pushBatch). Returns the number popped (0 when the ring is empty).
+     * The decoded execution engine uses this to consume runs of values
+     * with one acquire/release pair per run instead of one per element.
+     */
+    size_t
+    popBatch(size_t max_n, ir::Value* out)
+    {
+        size_t head = head_.load(std::memory_order_relaxed);
+        size_t avail = availSlots(head);
+        if (avail == 0) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            avail = availSlots(head);
+            if (avail == 0)
+                return 0;
+        }
+        size_t n = std::min(max_n, avail);
+        size_t h = head;
+        for (size_t k = 0; k < n; ++k) {
+            out[k] = buf_[h];
+            h = next(h);
+        }
+        head_.store(h, std::memory_order_release);
+        deqCount_ += n;
+        popBatches_++;
+        popBatchElems_ += n;
+        popHist_[histBucket(n)]++;
+        return n;
+    }
+
     /** Consumer side: dequeue into v; false when the ring is empty. */
     bool
     tryPop(ir::Value& v)
@@ -145,6 +177,14 @@ class SpscQueue
     uint64_t enqCount() const { return enqCount_; }
     uint64_t deqCount() const { return deqCount_; }
     size_t maxOccupancy() const { return maxOcc_; }
+    /** Number of log2 histogram buckets: 1, 2-3, 4-7, ..., >= 128. */
+    static constexpr int kBatchHistBuckets = 8;
+    uint64_t popBatches() const { return popBatches_; }
+    uint64_t popBatchElems() const { return popBatchElems_; }
+    uint64_t pushBatches() const { return pushBatches_; }
+    uint64_t pushBatchElems() const { return pushBatchElems_; }
+    uint64_t popHist(int b) const { return popHist_[b]; }
+    uint64_t pushHist(int b) const { return pushHist_[b]; }
     uint64_t enqBlocks() const
     {
         return enqBlocks_.load(std::memory_order_relaxed);
@@ -170,6 +210,26 @@ class SpscQueue
                                   : tail + slots_ - headCache_;
     }
 
+    /** Elements visible to the consumer, per its cached tail. */
+    size_t
+    availSlots(size_t head) const
+    {
+        return tailCache_ >= head ? tailCache_ - head
+                                  : tailCache_ + slots_ - head;
+    }
+
+    /** Log2 bucket of a batch size n >= 1, clamped to the last bucket. */
+    static int
+    histBucket(size_t n)
+    {
+        int b = 0;
+        while (n > 1 && b + 1 < kBatchHistBuckets) {
+            n >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
     template <typename Gen>
     size_t
     pushBatchImpl(size_t max_n, Gen&& gen)
@@ -192,6 +252,9 @@ class SpscQueue
         }
         tail_.store(t, std::memory_order_release);
         enqCount_ += n;
+        pushBatches_++;
+        pushBatchElems_ += n;
+        pushHist_[histBucket(n)]++;
         size_t occ = used + n;
         if (occ > maxOcc_)
             maxOcc_ = occ;
@@ -227,12 +290,18 @@ class SpscQueue
     size_t tailCache_ = 0;
     uint64_t deqCount_ = 0;
     uint64_t deqBlocks_ = 0;
+    uint64_t popBatches_ = 0;
+    uint64_t popBatchElems_ = 0;
+    uint64_t popHist_[kBatchHistBuckets] = {};
 
     // Producer-owned line: index plus the producer's cache of head.
     alignas(64) std::atomic<size_t> tail_{0};
     size_t headCache_ = 0;
     uint64_t enqCount_ = 0;
     size_t maxOcc_ = 0;
+    uint64_t pushBatches_ = 0;
+    uint64_t pushBatchElems_ = 0;
+    uint64_t pushHist_[kBatchHistBuckets] = {};
 
     // Shared (cold path only).
     alignas(64) std::atomic<bool> pushLock_{false};

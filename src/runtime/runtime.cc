@@ -1,6 +1,8 @@
 #include "runtime/runtime.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -33,6 +35,25 @@ workerMain(W& worker, RunControl& ctl)
     } catch (const std::exception& e) {
         ctl.fail(worker.stats.name + ": " + e.what());
     }
+}
+
+/**
+ * Resolve the engine selection: explicit option wins; kAuto defaults to
+ * on, with PHLOEM_NATIVE_ENGINE=0 as the environment escape hatch.
+ */
+bool
+resolveEngine(EngineMode mode)
+{
+    switch (mode) {
+      case EngineMode::kOn:
+        return true;
+      case EngineMode::kOff:
+        return false;
+      case EngineMode::kAuto:
+        break;
+    }
+    const char* env = std::getenv("PHLOEM_NATIVE_ENGINE");
+    return env == nullptr || std::strcmp(env, "0") != 0;
 }
 
 } // namespace
@@ -100,6 +121,7 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
 
     RunControl ctl;
     ctl.opt = opt_;
+    ctl.useEngine = resolveEngine(opt_.engine);
     StageBarrier barrier(total_threads);
 
     std::vector<std::unique_ptr<StageWorker>> stage_workers;
@@ -116,6 +138,7 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
     }
 
     std::vector<std::unique_ptr<RAWorker>> ra_workers;
+    std::vector<int> ra_in_qids;
     for (int r = 0; r < replicas; ++r) {
         for (const auto& ra : pipeline.ras) {
             std::string name =
@@ -126,6 +149,7 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
                 queue_ptrs[static_cast<size_t>(ra.inQueue + r * stride)],
                 queue_ptrs[static_cast<size_t>(ra.outQueue + r * stride)],
                 &ctl));
+            ra_in_qids.push_back(ra.inQueue + r * stride);
         }
     }
 
@@ -151,11 +175,22 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
     for (auto& t : ra_threads)
         t.join();
 
-    // Collect results.
+    // Collect results. Values drained into a consumer-side batch buffer
+    // but never architecturally dequeued get folded back: they were
+    // never consumed by the program, so they count as residual, not deq.
+    std::vector<uint64_t> undequeued(static_cast<size_t>(num_queues), 0);
+    for (auto& w : stage_workers)
+        for (const auto& [qid, n] : w->unconsumed)
+            undequeued[static_cast<size_t>(qid)] += n;
+    for (size_t k = 0; k < ra_workers.size(); ++k)
+        undequeued[static_cast<size_t>(ra_in_qids[k])] +=
+            ra_workers[k]->unconsumedIn;
+
     NativeStats out;
     out.wallNs = elapsedNs(t0, t1);
     out.numStageThreads = total_threads;
     out.numRAWorkers = static_cast<int>(ra_workers.size());
+    out.engine = ctl.useEngine;
     for (auto& w : stage_workers)
         out.workers.push_back(w->stats);
     for (auto& w : ra_workers)
@@ -168,12 +203,20 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
         QueueStats qs;
         qs.id = i;
         qs.depth = q.depth();
+        uint64_t uncons = undequeued[static_cast<size_t>(i)];
         qs.enq = q.enqCount();
-        qs.deq = q.deqCount();
+        qs.deq = q.deqCount() - uncons;
         qs.enqBlocks = q.enqBlocks();
         qs.deqBlocks = q.deqBlocks();
         qs.maxOccupancy = q.maxOccupancy();
-        qs.residual = q.sizeApprox();  // exact: all workers have joined
+        // Exact: all workers have joined.
+        qs.residual = q.sizeApprox() + uncons;
+        qs.popBatches = q.popBatches();
+        qs.popBatchElems = q.popBatchElems();
+        qs.pushBatches = q.pushBatches();
+        qs.pushBatchElems = q.pushBatchElems();
+        for (int b = 0; b < QueueStats::kBatchHistBuckets; ++b)
+            qs.batchHist[b] = q.popHist(b) + q.pushHist(b);
         out.queues.push_back(qs);
     }
     if (ctl.aborted()) {
@@ -208,6 +251,7 @@ Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
 
     RunControl ctl;
     ctl.opt = opt_;
+    ctl.useEngine = resolveEngine(opt_.engine);
     StageBarrier barrier(1);
     StageWorker worker(fn.name, &prog, binding, /*replica=*/0,
                        /*queue_offset=*/0, /*queue_stride=*/0,
@@ -220,6 +264,7 @@ Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
     NativeStats out;
     out.wallNs = elapsedNs(t0, t1);
     out.numStageThreads = 1;
+    out.engine = ctl.useEngine;
     out.workers.push_back(worker.stats);
     if (ctl.aborted()) {
         out.ok = false;

@@ -31,11 +31,44 @@ struct QueueStats
     /** High-water mark of elements held. */
     uint64_t maxOccupancy = 0;
     /**
-     * Elements still in the ring when the stage threads halted. Nonzero
-     * means a producer out-ran its consumer's demand — the signature of
-     * a mispaired stream (the fuzzer's deadlock post-mortems key on it).
+     * Elements still in the ring — or drained into a consumer-side
+     * batch buffer but never architecturally dequeued — when the stage
+     * threads halted. Nonzero means a producer out-ran its consumer's
+     * demand — the signature of a mispaired stream (the fuzzer's
+     * deadlock post-mortems key on it).
      */
     uint64_t residual = 0;
+
+    // --- Batched-transfer accounting (engine + RA streaming). -------
+    /** Number of log2 histogram buckets: 1, 2-3, 4-7, ..., >= 128. */
+    static constexpr int kBatchHistBuckets = 8;
+    /** Consumer-side batch drains (popBatch calls that took >= 1). */
+    uint64_t popBatches = 0;
+    uint64_t popBatchElems = 0;
+    /** Producer-side batch publishes (pushBatch calls that took >= 1). */
+    uint64_t pushBatches = 0;
+    uint64_t pushBatchElems = 0;
+    /** Batch sizes, log2-bucketed, push and pop combined. */
+    uint64_t batchHist[kBatchHistBuckets] = {};
+
+    /** Values moved per ring synchronization on the consumer side. */
+    double
+    meanPopBatch() const
+    {
+        return popBatches > 0
+                   ? static_cast<double>(popBatchElems) /
+                         static_cast<double>(popBatches)
+                   : 0.0;
+    }
+
+    double
+    meanPushBatch() const
+    {
+        return pushBatches > 0
+                   ? static_cast<double>(pushBatchElems) /
+                         static_cast<double>(pushBatches)
+                   : 0.0;
+    }
 };
 
 struct WorkerStats
@@ -48,6 +81,14 @@ struct WorkerStats
     /** RA workers: elements streamed + control values forwarded. */
     uint64_t raElements = 0;
     uint64_t raCtrlForwarded = 0;
+
+    // --- Profiling (stage workers). ---------------------------------
+    /** Dynamic executions per ir::Opcode (size ir::kNumOpcodes). */
+    std::vector<uint64_t> opCounts;
+    /** Dynamic branch instructions (kBr/kBrIf/kBrIfNot). */
+    uint64_t branches = 0;
+    /** Static superinstruction sites found by the decoder. */
+    uint64_t fusedSites = 0;
 };
 
 struct NativeStats
@@ -56,6 +97,8 @@ struct NativeStats
     double wallNs = 0.0;
     int numStageThreads = 0;
     int numRAWorkers = 0;
+    /** Stage workers ran the pre-decoded engine (vs. raw interpreter). */
+    bool engine = false;
 
     std::vector<WorkerStats> workers;
     std::vector<QueueStats> queues;
@@ -91,6 +134,43 @@ struct NativeStats
         for (const auto& q : queues)
             n += q.deqBlocks;
         return n;
+    }
+
+    /** Per-opcode dynamic counts summed over all stage workers. */
+    std::vector<uint64_t>
+    totalOpCounts() const
+    {
+        std::vector<uint64_t> out;
+        for (const auto& w : workers) {
+            if (w.opCounts.size() > out.size())
+                out.resize(w.opCounts.size(), 0);
+            for (size_t i = 0; i < w.opCounts.size(); ++i)
+                out[i] += w.opCounts[i];
+        }
+        return out;
+    }
+
+    uint64_t
+    totalBranches() const
+    {
+        uint64_t n = 0;
+        for (const auto& w : workers)
+            n += w.branches;
+        return n;
+    }
+
+    /** Mean consumer-side batch size, weighted over all queues. */
+    double
+    meanPopBatch() const
+    {
+        uint64_t batches = 0, elems = 0;
+        for (const auto& q : queues) {
+            batches += q.popBatches;
+            elems += q.popBatchElems;
+        }
+        return batches > 0 ? static_cast<double>(elems) /
+                                 static_cast<double>(batches)
+                           : 0.0;
     }
 };
 

@@ -6,6 +6,8 @@
 
 #include "base/logging.h"
 #include "ir/op.h"
+#include "runtime/decode.h"
+#include "runtime/engine.h"
 #include "sim/eval.h"
 
 namespace phloem::rt {
@@ -24,8 +26,6 @@ nowNs()
 
 /** Spin this many times with cpuRelax before starting to yield. */
 constexpr int kSpinLimit = 256;
-/** Bump the global progress counter every this many instructions. */
-constexpr uint64_t kHeartbeatInterval = 4096;
 
 } // namespace
 
@@ -118,6 +118,7 @@ StageWorker::StageWorker(std::string name, const sim::Program* prog,
 {
     stats.name = std::move(name);
     stats.isStage = true;
+    stats.opCounts.assign(static_cast<size_t>(ir::kNumOpcodes), 0);
 
     regs_.assign(static_cast<size_t>(prog_->numRegs), ir::Value{});
     const ir::Function& fn = *prog_->fn;
@@ -198,8 +199,13 @@ StageWorker::waitPeek(int abs_q, ir::Value& v)
     q.noteDeqBlocked();
     Backoff backoff(*ctl_);
     for (;;) {
-        if (q.tryPeek(v))
+        if (q.tryPeek(v)) {
+            // The producer's value arriving is global progress: without
+            // this bump a pipeline advancing only through peeks would
+            // eventually trip a peer's deadlock watchdog.
+            ctl_->progress.fetch_add(1, std::memory_order_relaxed);
             return true;
+        }
         switch (backoff.step(*ctl_, /*stoppable=*/false)) {
           case Backoff::Result::kRetry:
             break;
@@ -215,6 +221,8 @@ bool
 StageWorker::execOp(const sim::Inst& inst)
 {
     using ir::Opcode;
+
+    stats.opCounts[static_cast<size_t>(inst.opcode)]++;
 
     if (ir::usesQueue(inst.opcode)) {
         stats.queueOps++;
@@ -330,6 +338,44 @@ StageWorker::execOp(const sim::Inst& inst)
 void
 StageWorker::run()
 {
+    if (ctl_->useEngine)
+        runEngine();
+    else
+        runInterpreter();
+}
+
+void
+StageWorker::runEngine()
+{
+    DecodedProgram dec = decodeProgram(*prog_, queueOffset_, queueStride_,
+                                       numReplicas_, queues_);
+    stats.fusedSites = static_cast<uint64_t>(dec.fusedSites);
+
+    EngineEnv env;
+    env.regs = regs_.data();
+    env.arrayBind = arrayBind_.data();
+    env.queues = &queues_;
+    env.barrier = barrier_;
+    env.ctl = ctl_;
+    env.stats = &stats;
+    env.queueStride = queueStride_;
+    env.numReplicas = numReplicas_;
+
+    Engine engine(dec, env);
+    try {
+        engine.run();
+    } catch (...) {
+        // Deadlock / budget throws still report buffered-but-undequeued
+        // values: the watchdog post-mortem keys on residual occupancy.
+        unconsumed = engine.unconsumed();
+        throw;
+    }
+    unconsumed = engine.unconsumed();
+}
+
+void
+StageWorker::runInterpreter()
+{
     const auto& code = prog_->code;
     uint64_t heartbeat = 0;
     for (;;) {
@@ -355,10 +401,12 @@ StageWorker::run()
         const sim::Inst& inst = code[static_cast<size_t>(pc_)];
         switch (inst.kind) {
           case sim::Inst::Kind::kBr:
+            stats.branches++;
             pc_ = inst.target;
             break;
           case sim::Inst::Kind::kBrIf:
           case sim::Inst::Kind::kBrIfNot: {
+            stats.branches++;
             bool truth =
                 regs_[static_cast<size_t>(inst.src0)].asInt() != 0;
             bool taken =
@@ -456,6 +504,46 @@ RAWorker::waitPop(ir::Value& v)
     }
 }
 
+bool
+RAWorker::serviceIndirectBatch(const ir::Value* batch, size_t n)
+{
+    size_t i = 0;
+    while (i < n) {
+        if (batch[i].isControl()) {
+            // Control values pass through in order, delimiting streams.
+            stats.raCtrlForwarded++;
+            if (!waitPush(batch[i])) {
+                unconsumedIn += n - i;
+                return false;
+            }
+            ++i;
+            continue;
+        }
+        // Emit the maximal run of data indices [i, j) as output batches.
+        size_t j = i;
+        while (j < n && !batch[j].isControl())
+            ++j;
+        while (i < j) {
+            size_t pushed = outQ_->pushBatch(j - i, [&](size_t k) {
+                return array_->load(batch[i + k].asInt());
+            });
+            if (pushed == 0) {
+                // Ring full: fall back to one blocking push.
+                if (!waitPush(array_->load(batch[i].asInt()))) {
+                    unconsumedIn += n - i;
+                    return false;
+                }
+                pushed = 1;
+            } else {
+                heartbeat(pushed);
+            }
+            i += pushed;
+            stats.raElements += pushed;
+        }
+    }
+    return true;
+}
+
 void
 RAWorker::run()
 {
@@ -511,6 +599,20 @@ RAWorker::run()
         }
 
         if (cfg_.mode == ir::RAMode::kIndirect) {
+            if (ctl_->useEngine) {
+                // Batched drain/emit: grab whatever run of indices the
+                // producer has already published alongside e, then load
+                // and publish the elements with pushBatch — one ring
+                // synchronization per run on each side instead of one
+                // per element.
+                ir::Value batch[kIndirectBatch];
+                batch[0] = e;
+                size_t n =
+                    1 + inQ_->popBatch(kIndirectBatch - 1, batch + 1);
+                if (!serviceIndirectBatch(batch, n))
+                    return;
+                continue;
+            }
             ir::Value v = array_->load(e.asInt());
             stats.raElements++;
             if (!waitPush(v))

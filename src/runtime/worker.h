@@ -24,6 +24,7 @@
 #include <atomic>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/pipeline.h"
@@ -33,6 +34,17 @@
 #include "sim/program.h"
 
 namespace phloem::rt {
+
+/** Bump the global progress counter every this many instructions. */
+constexpr uint64_t kHeartbeatInterval = 4096;
+
+/** Stage execution engine selection (see runtime/engine.h). */
+enum class EngineMode : uint8_t {
+    /** Engine on unless the PHLOEM_NATIVE_ENGINE=0 env override. */
+    kAuto,
+    kOn,   ///< pre-decoded batching engine
+    kOff,  ///< raw sim::Inst interpreter (the pre-engine behavior)
+};
 
 /** Tuning knobs for one native run. */
 struct RuntimeOptions
@@ -46,6 +58,8 @@ struct RuntimeOptions
     int deadlockTimeoutMs = 10000;
     /** Per-worker dynamic instruction budget (runaway-loop backstop). */
     uint64_t maxInstructions = 4'000'000'000ull;
+    /** Stage execution engine (decoded+batched vs raw interpreter). */
+    EngineMode engine = EngineMode::kAuto;
 };
 
 /**
@@ -55,6 +69,8 @@ struct RuntimeOptions
 struct RunControl
 {
     RuntimeOptions opt;
+    /** Resolved engine choice for this run (opt.engine + env override). */
+    bool useEngine = true;
 
     /** Bumped on successful queue ops and every few k instructions. */
     std::atomic<uint64_t> progress{0};
@@ -148,11 +164,24 @@ class StageWorker
 
     WorkerStats stats;
 
+    /**
+     * Engine runs only: per-queue counts of values drained into the
+     * consumer batch buffer but never architecturally dequeued (pairs
+     * of absolute queue id, count). The runtime subtracts these from
+     * the ring's deq count and adds them to residual occupancy.
+     */
+    std::vector<std::pair<int, uint64_t>> unconsumed;
+
   private:
     bool waitPush(int abs_q, const ir::Value& v);
     bool waitPop(int abs_q, ir::Value& v);
     bool waitPeek(int abs_q, ir::Value& v);
     [[noreturn]] void reportDeadlock(const char* what, int abs_q);
+
+    /** Raw sim::Inst interpreter loop (engine off). */
+    void runInterpreter();
+    /** Decode + pre-decoded engine (engine on). */
+    void runEngine();
 
     /** Execute one kOp instruction; false => stop interpreting. */
     bool execOp(const sim::Inst& inst);
@@ -187,10 +216,22 @@ class RAWorker
 
     WorkerStats stats;
 
+    /**
+     * Values drained from the input queue (batched indirect mode) but
+     * not yet serviced when the worker shut down. The runtime folds
+     * these back into the input ring's deq/residual statistics.
+     */
+    uint64_t unconsumedIn = 0;
+
   private:
+    /** Indices drained per input-ring synchronization (indirect mode). */
+    static constexpr size_t kIndirectBatch = 256;
+
     /** Returns false on shutdown/abort. */
     bool waitPush(const ir::Value& v);
     bool waitPop(ir::Value& v);
+    /** Service a drained run of values in order; false on shutdown. */
+    bool serviceIndirectBatch(const ir::Value* batch, size_t n);
     /** Periodic progress bump so blocked peers' watchdogs stay fed. */
     void heartbeat(uint64_t n = 1);
 

@@ -378,6 +378,10 @@ runCase(const FuzzCase& fc, const OracleOptions& opts)
         rt::RuntimeOptions ro;
         ro.deadlockTimeoutMs = opts.nativeTimeoutMs;
         ro.maxInstructions = opts.maxInstructions;
+        // kAuto (not kOn) when enabled, so PHLOEM_NATIVE_ENGINE=0 can
+        // flip a whole fuzzing run to the interpreter from outside.
+        ro.engine = opts.nativeEngine ? rt::EngineMode::kAuto
+                                      : rt::EngineMode::kOff;
         rt::Runtime runtime(cfg, ro);
         rt::NativeStats st =
             runtime.runPipeline(*cr.pipeline, native_binding);

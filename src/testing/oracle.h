@@ -51,6 +51,14 @@ struct OracleOptions
     uint64_t maxInstructions = 400'000'000ull;
     /** Native deadlock watchdog (ms); generated cases finish in ms. */
     int nativeTimeoutMs = 10000;
+    /**
+     * Run the native side with the pre-decoded batching engine (true,
+     * still subject to the PHLOEM_NATIVE_ENGINE=0 env override) or
+     * force the raw interpreter (false). Differential harnesses
+     * exercise both so the engine stays bit-identical to the legacy
+     * path.
+     */
+    bool nativeEngine = true;
 };
 
 struct OracleResult

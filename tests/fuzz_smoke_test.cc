@@ -32,6 +32,25 @@ TEST(FuzzSmoke, RegressionCorpusReplaysClean)
     }
 }
 
+/**
+ * The corpus again with the native engine disabled: the raw-interpreter
+ * path must stay a correct oracle backend, and any engine-only bug
+ * shows up as a verdict difference between the two replays.
+ */
+TEST(FuzzSmoke, RegressionCorpusReplaysCleanWithEngineOff)
+{
+    OracleOptions opts;
+    opts.nativeEngine = false;
+    for (const CorpusEntry& entry : kRegressionCorpus) {
+        FuzzCase fc = generateCase(entry.seed);
+        OracleResult r = runCase(fc, opts);
+        EXPECT_TRUE(r.ok())
+            << "corpus seed 0x" << std::hex << entry.seed << std::dec
+            << " (" << entry.note << ") regressed with engine off: "
+            << verdictName(r.verdict) << ": " << r.detail;
+    }
+}
+
 /** Bounded random sweep: the CI analogue of `phloem-fuzz --smoke`. */
 TEST(FuzzSmoke, BoundedRandomSweepPasses)
 {

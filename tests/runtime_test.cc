@@ -8,6 +8,7 @@
 
 #include "tests/test_util.h"
 
+#include <cstdlib>
 #include <thread>
 
 #include "base/rng.h"
@@ -141,6 +142,130 @@ TEST(SpscQueue, PushBatchWrapsAroundRingSeam)
     EXPECT_FALSE(q.tryPop(v));
     EXPECT_EQ(q.enqCount(), static_cast<uint64_t>(produced));
     EXPECT_EQ(q.deqCount(), static_cast<uint64_t>(produced));
+}
+
+TEST(SpscQueue, PopBatchClipsToAvailableAndPreservesOrder)
+{
+    rt::SpscQueue q(8);
+    ir::Value out[16];
+    EXPECT_EQ(q.popBatch(4, out), 0u) << "empty ring yields nothing";
+    for (int64_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(100 + i)));
+    EXPECT_EQ(q.popBatch(16, out), 6u) << "batch clips to occupancy";
+    for (int64_t i = 0; i < 6; ++i)
+        EXPECT_EQ(out[i].asInt(), 100 + i);
+    EXPECT_EQ(q.popBatch(16, out), 0u) << "drained ring yields nothing";
+
+    // Partial drains: take less than is available, twice.
+    for (int64_t i = 0; i < 8; ++i)
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(200 + i)));
+    EXPECT_EQ(q.popBatch(3, out), 3u);
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(out[i].asInt(), 200 + i);
+    EXPECT_EQ(q.popBatch(3, out), 3u);
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_EQ(out[i].asInt(), 203 + i);
+    EXPECT_EQ(q.popBatch(8, out), 2u) << "tail of the run";
+    EXPECT_EQ(out[0].asInt(), 206);
+    EXPECT_EQ(out[1].asInt(), 207);
+}
+
+TEST(SpscQueue, PopBatchWrapsAroundRingSeam)
+{
+    // Mirror of PushBatchWrapsAroundRingSeam: creep the read index
+    // through every alignment of the physical buffer so some drain
+    // always straddles the seam.
+    rt::SpscQueue q(5);
+    ir::Value out[4];
+    int64_t produced = 0;
+    int64_t consumed = 0;
+    for (int round = 0; round < 50; ++round) {
+        while (q.tryPush(ir::Value::fromInt(produced)))
+            ++produced;
+        size_t n = q.popBatch(4, out);
+        ASSERT_GE(n, 1u);
+        for (size_t k = 0; k < n; ++k)
+            ASSERT_EQ(out[k].asInt(), consumed + static_cast<int64_t>(k));
+        consumed += static_cast<int64_t>(n);
+    }
+    while (consumed < produced) {
+        size_t n = q.popBatch(4, out);
+        ASSERT_GE(n, 1u);
+        for (size_t k = 0; k < n; ++k)
+            ASSERT_EQ(out[k].asInt(), consumed + static_cast<int64_t>(k));
+        consumed += static_cast<int64_t>(n);
+    }
+    EXPECT_EQ(q.enqCount(), static_cast<uint64_t>(produced));
+    EXPECT_EQ(q.deqCount(), static_cast<uint64_t>(produced));
+}
+
+TEST(SpscQueue, PopBatchInterleavesWithSingleOps)
+{
+    // Batched and single-element operations on the same ring must see
+    // one FIFO: push singles, drain a batch, pop singles, drain again.
+    rt::SpscQueue q(8);
+    ir::Value v;
+    ir::Value out[8];
+    int64_t next_in = 0;
+    int64_t next_out = 0;
+    for (int round = 0; round < 20; ++round) {
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(next_in++)));
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(next_in++)));
+        ASSERT_EQ(q.pushBatch(2, [&](size_t k) {
+                      return ir::Value::fromInt(next_in +
+                                                static_cast<int64_t>(k));
+                  }),
+                  2u);
+        next_in += 2;
+        size_t n = q.popBatch(3, out);
+        ASSERT_EQ(n, 3u);
+        for (size_t k = 0; k < n; ++k)
+            ASSERT_EQ(out[k].asInt(), next_out + static_cast<int64_t>(k));
+        next_out += 3;
+        ASSERT_TRUE(q.tryPop(v));
+        ASSERT_EQ(v.asInt(), next_out++);
+    }
+    EXPECT_EQ(next_in, next_out);
+    EXPECT_FALSE(q.tryPop(v));
+    EXPECT_EQ(q.enqCount(), static_cast<uint64_t>(next_in));
+    EXPECT_EQ(q.deqCount(), static_cast<uint64_t>(next_in));
+}
+
+TEST(SpscQueue, BatchStatsAccounting)
+{
+    rt::SpscQueue q(200);
+    ir::Value out[200];
+    auto gen = [](size_t k) {
+        return ir::Value::fromInt(static_cast<int64_t>(k));
+    };
+    // One push batch of 1 (bucket 0), one of 6 (bucket 2: 4-7), one of
+    // 150 (bucket 7: >= 128).
+    ASSERT_EQ(q.pushBatch(1, gen), 1u);
+    ASSERT_EQ(q.pushBatch(6, gen), 6u);
+    ASSERT_EQ(q.pushBatch(150, gen), 150u);
+    EXPECT_EQ(q.pushBatches(), 3u);
+    EXPECT_EQ(q.pushBatchElems(), 157u);
+    EXPECT_EQ(q.pushHist(0), 1u);
+    EXPECT_EQ(q.pushHist(2), 1u);
+    EXPECT_EQ(q.pushHist(7), 1u);
+
+    // Drains of 100 (bucket 6: 64-127), 50 (bucket 5), 7 (bucket 2).
+    ASSERT_EQ(q.popBatch(100, out), 100u);
+    ASSERT_EQ(q.popBatch(50, out), 50u);
+    ASSERT_EQ(q.popBatch(100, out), 7u);
+    EXPECT_EQ(q.popBatches(), 3u);
+    EXPECT_EQ(q.popBatchElems(), 157u);
+    EXPECT_EQ(q.popHist(6), 1u);
+    EXPECT_EQ(q.popHist(5), 1u);
+    EXPECT_EQ(q.popHist(2), 1u);
+    EXPECT_EQ(q.enqCount(), 157u);
+    EXPECT_EQ(q.deqCount(), 157u);
+    // Single-element ops do not touch batch counters.
+    ASSERT_TRUE(q.tryPush(ir::Value::fromInt(1)));
+    ir::Value v;
+    ASSERT_TRUE(q.tryPop(v));
+    EXPECT_EQ(q.pushBatches(), 3u);
+    EXPECT_EQ(q.popBatches(), 3u);
 }
 
 TEST(SpscQueue, MultiProducerCountsEveryElementOnce)
@@ -458,6 +583,96 @@ TEST(NativeRuntime, CompiledPipelineMatchesSimulator)
     ASSERT_FALSE(sstats.deadlock);
 
     EXPECT_TRUE(sb.array("out")->contentEquals(*nb.array("out")));
+}
+
+// ---------------------------------------------------------------------
+// Pre-decoded engine vs raw interpreter.
+// ---------------------------------------------------------------------
+
+TEST(NativeRuntime, EngineMatchesInterpreterOnCompiledPipeline)
+{
+    auto kernel = fe::compileKernel(kFilterKernel);
+    comp::CompileOptions copts;
+    copts.numStages = 4;
+    auto res = comp::compilePipeline(*kernel.fn, copts);
+    ASSERT_TRUE(res.ok());
+
+    rt::RuntimeOptions on;
+    on.engine = rt::EngineMode::kOn;
+    sim::Binding eb;
+    setupFilter(eb);
+    rt::Runtime engine_rt(sim::SysConfig{}, on);
+    rt::NativeStats es = engine_rt.runPipeline(*res.pipeline, eb);
+    ASSERT_TRUE(es.ok) << es.error;
+    EXPECT_TRUE(es.engine);
+
+    rt::RuntimeOptions off;
+    off.engine = rt::EngineMode::kOff;
+    sim::Binding ib;
+    setupFilter(ib);
+    rt::Runtime interp_rt(sim::SysConfig{}, off);
+    rt::NativeStats is = interp_rt.runPipeline(*res.pipeline, ib);
+    ASSERT_TRUE(is.ok) << is.error;
+    EXPECT_FALSE(is.engine);
+
+    // Bit-identical memory and identical dynamic profiles: the engine
+    // may fuse and batch, but it must retire exactly the same
+    // instruction stream.
+    EXPECT_TRUE(ib.array("out")->contentEquals(*eb.array("out")));
+    EXPECT_EQ(es.totalInstructions(), is.totalInstructions());
+    EXPECT_EQ(es.totalBranches(), is.totalBranches());
+    EXPECT_EQ(es.totalOpCounts(), is.totalOpCounts());
+
+    // The decoder must have found superinstruction sites (every lowered
+    // for-loop has a fusable cmp+brIfNot header), and every dequeue ran
+    // through popBatch.
+    uint64_t fused = 0;
+    for (const auto& w : es.workers)
+        fused += w.fusedSites;
+    EXPECT_GT(fused, 0u);
+    uint64_t pop_batches = 0;
+    for (const auto& q : es.queues)
+        pop_batches += q.popBatches;
+    EXPECT_GT(pop_batches, 0u);
+    EXPECT_GE(es.meanPopBatch(), 1.0);
+
+    // Per-worker profile invariant, in both modes: every retired
+    // instruction is either an opcode execution or a branch.
+    for (const rt::NativeStats* st : {&es, &is}) {
+        for (const auto& w : st->workers) {
+            if (!w.isStage)
+                continue;
+            uint64_t sum = w.branches;
+            for (uint64_t c : w.opCounts)
+                sum += c;
+            EXPECT_EQ(sum, w.instructions) << w.name;
+        }
+    }
+}
+
+TEST(NativeRuntime, EngineEnvToggleAndSerialEquivalence)
+{
+    auto kernel = fe::compileKernel(kFilterKernel);
+
+    sim::Binding b_off;
+    setupFilter(b_off);
+    ::setenv("PHLOEM_NATIVE_ENGINE", "0", 1);
+    rt::Runtime r_off;
+    rt::NativeStats s_off = r_off.runSerial(*kernel.fn, b_off);
+    ::unsetenv("PHLOEM_NATIVE_ENGINE");
+    ASSERT_TRUE(s_off.ok) << s_off.error;
+    EXPECT_FALSE(s_off.engine);
+
+    sim::Binding b_on;
+    setupFilter(b_on);
+    rt::Runtime r_on;
+    rt::NativeStats s_on = r_on.runSerial(*kernel.fn, b_on);
+    ASSERT_TRUE(s_on.ok) << s_on.error;
+    EXPECT_TRUE(s_on.engine) << "kAuto must default to the engine";
+
+    EXPECT_TRUE(b_off.array("out")->contentEquals(*b_on.array("out")));
+    EXPECT_EQ(s_off.totalInstructions(), s_on.totalInstructions());
+    EXPECT_EQ(s_off.totalOpCounts(), s_on.totalOpCounts());
 }
 
 // ---------------------------------------------------------------------

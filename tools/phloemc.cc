@@ -25,8 +25,11 @@
  *                   (cycle-approximate simulator), or both (run both and
  *                   compare outputs bit-for-bit)
  *   --size N        synthetic input size for --run (default 4096)
+ *   --profile       with --run=native: per-opcode dynamic instruction
+ *                   counts and per-queue batch-size statistics
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -34,9 +37,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "compiler/compiler.h"
 #include "frontend/frontend.h"
+#include "ir/op.h"
 #include "ir/printer.h"
 #include "runtime/runtime.h"
 #include "sim/binding.h"
@@ -55,7 +61,8 @@ usage()
                  "[--no-dce] [--no-handlers]\n"
                  "               [--kernel NAME] [--ir-only] [--quiet]\n"
                  "               [--run[=native|sim|both]] [--size N] "
-                 "<file.c>\n"
+                 "[--profile]\n"
+                 "               <file.c>\n"
                  "       phloemc --taco '<tensor expression>'\n");
     return 2;
 }
@@ -140,10 +147,57 @@ synthesizeBinding(const ir::Function& fn, int64_t size,
     }
 }
 
+/**
+ * Per-opcode dynamic counts and per-queue batch statistics from one
+ * native run (--profile).
+ */
+void
+printProfile(const rt::NativeStats& st)
+{
+    std::printf("profile: engine %s\n", st.engine ? "on" : "off");
+
+    std::vector<uint64_t> counts = st.totalOpCounts();
+    std::vector<std::pair<uint64_t, int>> order;
+    for (size_t op = 0; op < counts.size(); ++op)
+        if (counts[op] > 0)
+            order.emplace_back(counts[op], static_cast<int>(op));
+    order.emplace_back(st.totalBranches(), -1);  // branch pseudo-row
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::printf("profile: dynamic instructions by opcode:\n");
+    for (const auto& [n, op] : order) {
+        if (n == 0)
+            continue;
+        std::printf("  %-10s %12llu\n",
+                    op < 0 ? "branch"
+                           : ir::opcodeName(static_cast<ir::Opcode>(op)),
+                    static_cast<unsigned long long>(n));
+    }
+
+    uint64_t fused = 0;
+    for (const auto& w : st.workers)
+        fused += w.fusedSites;
+    std::printf("profile: %llu fused superinstruction sites (static)\n",
+                static_cast<unsigned long long>(fused));
+
+    std::printf("profile: queue batches (values per ring sync):\n");
+    for (const auto& q : st.queues) {
+        if (q.popBatches == 0 && q.pushBatches == 0)
+            continue;
+        std::printf("  q%-3d pop mean %7.1f over %8llu   "
+                    "push mean %7.1f over %8llu\n",
+                    q.id, q.meanPopBatch(),
+                    static_cast<unsigned long long>(q.popBatches),
+                    q.meanPushBatch(),
+                    static_cast<unsigned long long>(q.pushBatches));
+    }
+    std::printf("profile: mean pop batch %.2f\n", st.meanPopBatch());
+}
+
 /** Execute the pipeline per --run; returns the process exit code. */
 int
 runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
-            RunMode mode, int64_t size)
+            RunMode mode, int64_t size, bool profile)
 {
     sim::Binding native_binding;
     rt::NativeStats native;
@@ -166,6 +220,8 @@ runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
                         native.totalEnqBlocks()),
                     static_cast<unsigned long long>(
                         native.totalDeqBlocks()));
+        if (profile)
+            printProfile(native);
     }
 
     sim::Binding sim_binding;
@@ -211,6 +267,7 @@ main(int argc, char** argv)
     bool quiet = false;
     RunMode run_mode = RunMode::kNone;
     int64_t run_size = 4096;
+    bool profile = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -249,6 +306,8 @@ main(int argc, char** argv)
             ir_only = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--run" || arg == "--run=native") {
             run_mode = RunMode::kNative;
         } else if (arg == "--run=sim") {
@@ -347,7 +406,7 @@ main(int argc, char** argv)
             return 1;
         if (run_mode != RunMode::kNone)
             return runPipeline(*kernel.fn, *result.pipeline, run_mode,
-                               run_size);
+                               run_size, profile);
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "phloemc: %s\n", e.what());
