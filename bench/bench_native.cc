@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "frontend/frontend.h"
 #include "ir/builder.h"
 #include "runtime/runtime.h"
+#include "runtime/trace.h"
 #include "sim/binding.h"
 #include "workloads/workload.h"
 
@@ -70,9 +72,63 @@ struct Row
     double meanPopBatch = 0.0;
     /** Pipeline ran the pre-decoded engine (vs raw interpreter). */
     bool engine = false;
+    /** Batch-size histograms (log2 buckets), summed over all queues. */
+    uint64_t pushHist[rt::QueueStats::kBatchHistBuckets] = {};
+    uint64_t popHist[rt::QueueStats::kBatchHistBuckets] = {};
 };
 
 std::vector<Row> g_rows;
+
+/** Output directory for --trace-dir; empty = tracing off. */
+std::string g_trace_dir;
+
+void
+sumHists(const rt::NativeStats& st, Row& row)
+{
+    for (const auto& q : st.queues)
+        for (int b = 0; b < rt::QueueStats::kBatchHistBuckets; ++b) {
+            row.pushHist[b] += q.pushHist[b];
+            row.popHist[b] += q.popHist[b];
+        }
+}
+
+/** "[1,0,42,...]" — kept compact so each JSON row stays on one line. */
+std::string
+histJson(const uint64_t (&hist)[rt::QueueStats::kBatchHistBuckets])
+{
+    std::string out = "[";
+    for (int b = 0; b < rt::QueueStats::kBatchHistBuckets; ++b) {
+        if (b > 0)
+            out += ",";
+        out += std::to_string(hist[b]);
+    }
+    out += "]";
+    return out;
+}
+
+/** DIR/<name>-<input>.trace.json with path-hostile characters mapped. */
+std::string
+tracePath(const std::string& name, const std::string& input)
+{
+    std::string base = name + "-" + input;
+    for (char& c : base)
+        if (c == '/' || c == ' ')
+            c = '_';
+    return g_trace_dir + "/" + base + ".trace.json";
+}
+
+void
+writeBenchTrace(const trace::Tracer& tracer, const std::string& name,
+                const std::string& input)
+{
+    std::string path = tracePath(name, input);
+    std::string err;
+    if (!tracer.writeJson(path, &err))
+        std::fprintf(stderr, "bench_native: trace write failed: %s\n",
+                     err.c_str());
+    else
+        std::printf("  trace: %s\n", path.c_str());
+}
 
 std::string
 jsonEscape(const std::string& s)
@@ -109,7 +165,7 @@ writeJson(const char* path)
             "\"pipeline_ms\": %.3f, \"speedup\": %.4f, "
             "\"stage_threads\": %d, \"ras\": %d, "
             "\"instructions\": %llu, \"mean_pop_batch\": %.2f, "
-            "\"engine\": %s}%s\n",
+            "\"engine\": %s, \"push_hist\": %s, \"pop_hist\": %s}%s\n",
             jsonEscape(r.name).c_str(), jsonEscape(r.input).c_str(),
             r.ok ? "true" : "false", jsonEscape(r.error).c_str(),
             r.serialMs, r.pipelineMs,
@@ -117,6 +173,7 @@ writeJson(const char* path)
             r.stageThreads, r.ras,
             static_cast<unsigned long long>(r.instructions),
             r.meanPopBatch, r.engine ? "true" : "false",
+            histJson(r.pushHist).c_str(), histJson(r.popHist).c_str(),
             i + 1 < g_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -147,6 +204,7 @@ reportRow(const char* name, const char* input,
     row.instructions = pipe.stats.totalInstructions();
     row.meanPopBatch = pipe.stats.meanPopBatch();
     row.engine = pipe.stats.engine;
+    sumHists(pipe.stats, row);
     g_rows.push_back(row);
     std::printf("%-12s %-12s serial %8.2f ms   pipeline %8.2f ms   "
                 "speedup %5.2fx   (%d threads + %d RAs, pop batch "
@@ -292,9 +350,19 @@ benchGatherSum(int64_t rows, int64_t degree)
     rt::NativeStats ser =
         runtime.runSerial(*kernel.fn, serial_binding);
 
+    trace::Tracer tracer{trace::Timebase::kWallNs};
+    rt::RuntimeOptions ropts;
+    if (!g_trace_dir.empty())
+        ropts.tracer = &tracer;
+    rt::Runtime traced_runtime{sim::SysConfig{}, ropts};
     sim::Binding pipe_binding;
     make_binding(pipe_binding);
-    rt::NativeStats pipe = runtime.runPipeline(*pipeline, pipe_binding);
+    rt::NativeStats pipe =
+        traced_runtime.runPipeline(*pipeline, pipe_binding);
+    std::string input_name =
+        std::to_string(rows) + "x" + std::to_string(degree);
+    if (!g_trace_dir.empty())
+        writeBenchTrace(tracer, "gather_sum", input_name);
 
     Row row;
     row.name = "gather_sum";
@@ -320,6 +388,7 @@ benchGatherSum(int64_t rows, int64_t degree)
     row.instructions = pipe.totalInstructions();
     row.meanPopBatch = pipe.meanPopBatch();
     row.engine = pipe.engine;
+    sumHists(pipe, row);
     g_rows.push_back(row);
 
     double speedup = ser.wallMs() / pipe.wallMs();
@@ -355,8 +424,20 @@ main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--json=", 7) == 0)
             json_path = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0)
+            g_trace_dir = argv[i] + 12;
         else
             pos.push_back(argv[i]);
+    }
+    if (!g_trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(g_trace_dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "bench_native: cannot create trace dir %s: %s\n",
+                         g_trace_dir.c_str(), ec.message().c_str());
+            return 1;
+        }
     }
     if (pos.size() > 0)
         rows = std::atoll(pos[0]);
@@ -381,9 +462,15 @@ main(int argc, char** argv)
         if (c == nullptr)
             continue;
         driver::NativeOutcome ser = ex.runNativeSerial(*c);
-        driver::NativeOutcome pipe = ex.runNative(*c, *cr.pipeline);
+        trace::Tracer tracer{trace::Timebase::kWallNs};
+        rt::RuntimeOptions ropts;
+        if (!g_trace_dir.empty())
+            ropts.tracer = &tracer;
+        driver::NativeOutcome pipe = ex.runNative(*c, *cr.pipeline, ropts);
         reportRow(w.name.c_str(), c->inputName.c_str(), ser, pipe,
                   pipe.stats.numStageThreads, pipe.stats.numRAWorkers);
+        if (!g_trace_dir.empty())
+            writeBenchTrace(tracer, w.name, c->inputName);
     }
 
     std::printf("\n=== RA-offload configuration (deep queues) ===\n");

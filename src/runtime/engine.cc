@@ -75,18 +75,28 @@ Engine::waitPush(SpscQueue& q, int abs_q, const ir::Value& v)
     if (q.tryPush(v))
         return true;
     q.noteEnqBlocked();
+    uint64_t t0 = env_.trace ? env_.trace->now() : 0;
     Backoff backoff(*env_.ctl);
     for (;;) {
         if (q.tryPush(v)) {
             env_.ctl->progress.fetch_add(1, std::memory_order_relaxed);
+            if (env_.trace)
+                env_.trace->record(trace::EventKind::kEnqBlock, abs_q,
+                                   t0, env_.trace->now());
             return true;
         }
         switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
+            if (env_.trace)
+                env_.trace->record(trace::EventKind::kEnqBlock, abs_q,
+                                   t0, env_.trace->now());
             return false;
           case Backoff::Result::kDeadlock:
+            if (env_.trace)
+                env_.trace->record(trace::EventKind::kEnqBlock, abs_q,
+                                   t0, env_.trace->now());
             reportDeadlock("enq", abs_q);
         }
     }
@@ -105,20 +115,30 @@ Engine::popValue(const DInst& d, ir::Value& v)
     size_t n = d.q->popBatch(kBatchCap, b.data.get());
     if (n == 0) {
         d.q->noteDeqBlocked();
+        uint64_t t0 = env_.trace ? env_.trace->now() : 0;
         Backoff backoff(*env_.ctl);
         for (;;) {
             n = d.q->popBatch(kBatchCap, b.data.get());
             if (n != 0) {
                 env_.ctl->progress.fetch_add(1,
                                              std::memory_order_relaxed);
+                if (env_.trace)
+                    env_.trace->record(trace::EventKind::kDeqBlock,
+                                       d.absQ, t0, env_.trace->now());
                 break;
             }
             switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
               case Backoff::Result::kRetry:
                 break;
               case Backoff::Result::kStopped:
+                if (env_.trace)
+                    env_.trace->record(trace::EventKind::kDeqBlock,
+                                       d.absQ, t0, env_.trace->now());
                 return false;
               case Backoff::Result::kDeadlock:
+                if (env_.trace)
+                    env_.trace->record(trace::EventKind::kDeqBlock,
+                                       d.absQ, t0, env_.trace->now());
                 reportDeadlock("deq", d.absQ);
             }
         }
@@ -142,18 +162,28 @@ Engine::peekValue(const DInst& d, ir::Value& v)
     if (d.q->tryPeek(v))
         return true;
     d.q->noteDeqBlocked();
+    uint64_t t0 = env_.trace ? env_.trace->now() : 0;
     Backoff backoff(*env_.ctl);
     for (;;) {
         if (d.q->tryPeek(v)) {
             env_.ctl->progress.fetch_add(1, std::memory_order_relaxed);
+            if (env_.trace)
+                env_.trace->record(trace::EventKind::kDeqBlock, d.absQ,
+                                   t0, env_.trace->now());
             return true;
         }
         switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
+            if (env_.trace)
+                env_.trace->record(trace::EventKind::kDeqBlock, d.absQ,
+                                   t0, env_.trace->now());
             return false;
           case Backoff::Result::kDeadlock:
+            if (env_.trace)
+                env_.trace->record(trace::EventKind::kDeqBlock, d.absQ,
+                                   t0, env_.trace->now());
             reportDeadlock("peek", d.absQ);
         }
     }
@@ -334,7 +364,13 @@ Engine::hBarrier(Engine& e, const DInst& d)
         return false;
     e.env_.stats->opCounts[static_cast<size_t>(d.opcode)]++;
     e.pc_++;
-    return e.env_.barrier->arriveAndWait(*e.env_.ctl);
+    if (!e.env_.trace)
+        return e.env_.barrier->arriveAndWait(*e.env_.ctl);
+    uint64_t t0 = e.env_.trace->now();
+    bool ok = e.env_.barrier->arriveAndWait(*e.env_.ctl);
+    e.env_.trace->record(trace::EventKind::kBarrierWait, -1, t0,
+                         e.env_.trace->now());
+    return ok;
 }
 
 bool

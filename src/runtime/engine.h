@@ -51,6 +51,8 @@ struct EngineEnv
     StageBarrier* barrier = nullptr;
     RunControl* ctl = nullptr;
     WorkerStats* stats = nullptr;
+    /** Owning worker's trace ring, or null when tracing is off. */
+    trace::TraceBuffer* trace = nullptr;
     int queueStride = 0;
     int numReplicas = 1;
 };

@@ -230,6 +230,35 @@ class SpscQueue
         return b;
     }
 
+    /**
+     * Producer-side high-water-mark update after a push left occupancy
+     * at `occ` *per the producer's cached head*. The cache only lags:
+     * the consumer may have advanced past headCache_, so the stale occ
+     * is an upper bound on the true occupancy — never an underestimate.
+     * That makes the stale value safe as a *trigger* but wrong as a
+     * *measurement*: recording it directly over-reports the mark (it
+     * can even exceed depth). So only when the stale candidate would
+     * raise the mark do we pay one acquire load to refresh the cache
+     * and recompute; any true new maximum still trips the trigger, so
+     * the mark stays exact while the hot path (occ <= maxOcc_) stays
+     * free of coherence traffic.
+     */
+    void
+    noteOccupancy(size_t tail_after)
+    {
+        size_t occ = tail_after >= headCache_
+                         ? tail_after - headCache_
+                         : tail_after + slots_ - headCache_;
+        if (occ <= maxOcc_)
+            return;
+        headCache_ = head_.load(std::memory_order_acquire);
+        occ = tail_after >= headCache_
+                  ? tail_after - headCache_
+                  : tail_after + slots_ - headCache_;
+        if (occ > maxOcc_)
+            maxOcc_ = occ;
+    }
+
     template <typename Gen>
     size_t
     pushBatchImpl(size_t max_n, Gen&& gen)
@@ -255,9 +284,7 @@ class SpscQueue
         pushBatches_++;
         pushBatchElems_ += n;
         pushHist_[histBucket(n)]++;
-        size_t occ = used + n;
-        if (occ > maxOcc_)
-            maxOcc_ = occ;
+        noteOccupancy(t);
         return n;
     }
 
@@ -274,10 +301,7 @@ class SpscQueue
         buf_[tail] = v;
         tail_.store(nxt, std::memory_order_release);
         enqCount_++;
-        size_t occ = tail >= headCache_ ? tail - headCache_ + 1
-                                        : tail + slots_ - headCache_ + 1;
-        if (occ > maxOcc_)
-            maxOcc_ = occ;
+        noteOccupancy(nxt);
         return true;
     }
 

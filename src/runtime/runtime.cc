@@ -1,9 +1,11 @@
 #include "runtime/runtime.h"
 
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
-#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -39,7 +41,10 @@ workerMain(W& worker, RunControl& ctl)
 
 /**
  * Resolve the engine selection: explicit option wins; kAuto defaults to
- * on, with PHLOEM_NATIVE_ENGINE=0 as the environment escape hatch.
+ * on, with the PHLOEM_NATIVE_ENGINE environment variable as the escape
+ * hatch. Accepted spellings (case-insensitive): 0/false/off disable,
+ * 1/true/on enable. Anything else warns once and keeps the default so a
+ * typo in a fuzz/CI harness cannot silently flip the configuration.
  */
 bool
 resolveEngine(EngineMode mode)
@@ -53,7 +58,22 @@ resolveEngine(EngineMode mode)
         break;
     }
     const char* env = std::getenv("PHLOEM_NATIVE_ENGINE");
-    return env == nullptr || std::strcmp(env, "0") != 0;
+    if (env == nullptr || *env == '\0')
+        return true;
+    std::string v(env);
+    for (char& c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (v == "0" || v == "false" || v == "off")
+        return false;
+    if (v == "1" || v == "true" || v == "on")
+        return true;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+        phloem_warn("unrecognized PHLOEM_NATIVE_ENGINE value \"", env,
+                    "\" (expected 0/false/off or 1/true/on); engine "
+                    "stays enabled");
+    return true;
 }
 
 } // namespace
@@ -149,8 +169,52 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
                 queue_ptrs[static_cast<size_t>(ra.inQueue + r * stride)],
                 queue_ptrs[static_cast<size_t>(ra.outQueue + r * stride)],
                 &ctl));
+            ra_workers.back()->traceInQ = ra.inQueue + r * stride;
+            ra_workers.back()->traceOutQ = ra.outQueue + r * stride;
             ra_in_qids.push_back(ra.inQueue + r * stride);
         }
+    }
+
+    // Tracing: register one ring per worker (single-writer; must happen
+    // before the threads start) plus a sampler lane that snapshots queue
+    // occupancy through the rings' atomic size estimate. With no tracer,
+    // every worker keeps a null traceBuf and each hook is a dead branch.
+    trace::Tracer* tracer = opt_.tracer;
+    trace::TraceBuffer* occ_buf = nullptr;
+    std::atomic<bool> sampler_stop{false};
+    std::thread sampler;
+    if (tracer != nullptr) {
+        phloem_assert(tracer->timebase() == trace::Timebase::kWallNs,
+                      "native runs trace on the wall-clock timebase");
+        for (auto& w : stage_workers)
+            w->traceBuf = tracer->addWorker(w->stats.name,
+                                            /*is_stage=*/true);
+        for (auto& w : ra_workers)
+            w->traceBuf = tracer->addWorker(w->stats.name,
+                                            /*is_stage=*/false);
+        occ_buf = tracer->addWorker("queue-occupancy", /*is_stage=*/false);
+        sampler = std::thread([&sampler_stop, occ_buf, &queue_ptrs] {
+            // Delta-encoded: a sample is recorded only when the estimate
+            // moved, so idle phases cost ring space proportional to
+            // activity. sizeApprox is all-atomic, keeping the sampler
+            // race-free against producers and consumers.
+            std::vector<uint64_t> last(queue_ptrs.size(), ~0ull);
+            for (;;) {
+                for (size_t i = 0; i < queue_ptrs.size(); ++i) {
+                    uint64_t occ = queue_ptrs[i]->sizeApprox();
+                    if (occ == last[i])
+                        continue;
+                    last[i] = occ;
+                    uint64_t t = occ_buf->now();
+                    occ_buf->record(trace::EventKind::kQueueOcc,
+                                    static_cast<int32_t>(i), t, t, occ);
+                }
+                if (sampler_stop.load(std::memory_order_acquire))
+                    return;
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+            }
+        });
     }
 
     // Parallel region: spawn everyone, join stage threads (their halt
@@ -174,6 +238,10 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
     ctl.stop.store(true, std::memory_order_release);
     for (auto& t : ra_threads)
         t.join();
+    if (sampler.joinable()) {
+        sampler_stop.store(true, std::memory_order_release);
+        sampler.join();
+    }
 
     // Collect results. Values drained into a consumer-side batch buffer
     // but never architecturally dequeued get folded back: they were
@@ -215,14 +283,33 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
         qs.popBatchElems = q.popBatchElems();
         qs.pushBatches = q.pushBatches();
         qs.pushBatchElems = q.pushBatchElems();
-        for (int b = 0; b < QueueStats::kBatchHistBuckets; ++b)
-            qs.batchHist[b] = q.popHist(b) + q.pushHist(b);
+        for (int b = 0; b < QueueStats::kBatchHistBuckets; ++b) {
+            qs.pushHist[b] = q.pushHist(b);
+            qs.popHist[b] = q.popHist(b);
+        }
         out.queues.push_back(qs);
     }
     if (ctl.aborted()) {
         out.ok = false;
-        std::lock_guard<std::mutex> g(ctl.errorMu);
-        out.error = ctl.error;
+        {
+            std::lock_guard<std::mutex> g(ctl.errorMu);
+            out.error = ctl.error;
+        }
+        // Watchdog post-mortem: which edges still hold data, and (when
+        // traced) what each worker was doing right before the stall.
+        std::string residuals;
+        for (const auto& qs : out.queues)
+            if (qs.residual > 0)
+                residuals += "  q" + std::to_string(qs.id) +
+                             ": residual occupancy " +
+                             std::to_string(qs.residual) + "/" +
+                             std::to_string(qs.depth) + "\n";
+        if (!residuals.empty())
+            out.error += "\nresidual occupancy:\n" + residuals;
+        if (tracer != nullptr)
+            out.error +=
+                "\ntrace post-mortem (trailing events per worker):\n" +
+                tracer->postMortem();
     }
     return out;
 }
@@ -256,6 +343,9 @@ Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
     StageWorker worker(fn.name, &prog, binding, /*replica=*/0,
                        /*queue_offset=*/0, /*queue_stride=*/0,
                        /*num_replicas=*/1, {}, &barrier, &ctl);
+    if (opt_.tracer != nullptr)
+        worker.traceBuf = opt_.tracer->addWorker(fn.name,
+                                                 /*is_stage=*/true);
 
     auto t0 = Clock::now();
     workerMain(worker, ctl);

@@ -48,8 +48,14 @@ struct QueueStats
     /** Producer-side batch publishes (pushBatch calls that took >= 1). */
     uint64_t pushBatches = 0;
     uint64_t pushBatchElems = 0;
-    /** Batch sizes, log2-bucketed, push and pop combined. */
-    uint64_t batchHist[kBatchHistBuckets] = {};
+    /**
+     * Batch sizes, log2-bucketed, kept separate per side: producer
+     * publish sizes (pushHist) and consumer drain sizes (popHist) answer
+     * different questions — small pushes mean the producer trickles,
+     * small pops mean the consumer never finds runs to drain.
+     */
+    uint64_t pushHist[kBatchHistBuckets] = {};
+    uint64_t popHist[kBatchHistBuckets] = {};
 
     /** Values moved per ring synchronization on the consumer side. */
     double

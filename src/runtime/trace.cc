@@ -1,0 +1,241 @@
+#include "runtime/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace phloem::trace {
+
+const char*
+eventKindName(EventKind k)
+{
+    switch (k) {
+    case EventKind::kEnqBlock: return "enq_block";
+    case EventKind::kDeqBlock: return "deq_block";
+    case EventKind::kBarrierWait: return "barrier_wait";
+    case EventKind::kRaService: return "ra_service";
+    case EventKind::kHalt: return "halt";
+    case EventKind::kQueueOcc: return "queue_occ";
+    }
+    return "unknown";
+}
+
+TraceBuffer::TraceBuffer(const Tracer* owner, std::string name,
+                         bool is_stage, size_t capacity)
+    : owner_(owner), name_(std::move(name)), isStage_(is_stage),
+      ring_(capacity == 0 ? 1 : capacity)
+{
+}
+
+size_t
+TraceBuffer::retained() const
+{
+    return head_ < ring_.size() ? static_cast<size_t>(head_) : ring_.size();
+}
+
+std::vector<Event>
+TraceBuffer::lastN(size_t n) const
+{
+    size_t avail = retained();
+    size_t take = n < avail ? n : avail;
+    std::vector<Event> out;
+    out.reserve(take);
+    for (uint64_t i = head_ - take; i < head_; ++i)
+        out.push_back(ring_[static_cast<size_t>(i % ring_.size())]);
+    return out;
+}
+
+Tracer::Tracer(Timebase tb, size_t capacity)
+    : tb_(tb), capacity_(capacity),
+      epochNs_(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()))
+{
+}
+
+TraceBuffer*
+Tracer::addWorker(const std::string& name, bool is_stage)
+{
+    buffers_.push_back(
+        std::make_unique<TraceBuffer>(this, name, is_stage, capacity_));
+    return buffers_.back().get();
+}
+
+namespace {
+
+/** Timebase units -> trace `ts` microseconds, rendered as a string.
+ * Wall ns map 1000:1; simulated cycles map 1:1 so a cycle reads as a
+ * microsecond lane width in the viewer. */
+void
+appendTs(std::string& out, uint64_t t, Timebase tb)
+{
+    char buf[40];
+    if (tb == Timebase::kWallNs)
+        std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", t / 1000,
+                      static_cast<unsigned>(t % 1000));
+    else
+        std::snprintf(buf, sizeof buf, "%" PRIu64, t);
+    out += buf;
+}
+
+void
+appendJsonString(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+Tracer::toJson() const
+{
+    const int pid = 1;
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"timebase\":";
+    out += tb_ == Timebase::kWallNs ? "\"wall_ns\"" : "\"sim_cycles\"";
+    out += "},\"traceEvents\":[\n";
+    out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":"
+           "{\"name\":";
+    out += tb_ == Timebase::kWallNs ? "\"phloem native\"" : "\"phloem sim\"";
+    out += "}}";
+
+    char buf[128];
+    for (size_t i = 0; i < buffers_.size(); ++i) {
+        const TraceBuffer& b = *buffers_[i];
+        const int tid = static_cast<int>(i) + 1;
+
+        out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+        out += std::to_string(tid);
+        out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+        appendJsonString(out, b.workerName());
+        out += "}},\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+        out += std::to_string(tid);
+        out += ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":";
+        out += std::to_string(tid);
+        out += "}}";
+
+        b.forEachRetained([&](const Event& e) {
+            out += ",\n{\"pid\":";
+            out += std::to_string(pid);
+            out += ",\"tid\":";
+            out += std::to_string(tid);
+            switch (e.kind) {
+            case EventKind::kEnqBlock:
+            case EventKind::kDeqBlock:
+            case EventKind::kBarrierWait:
+            case EventKind::kRaService: {
+                out += ",\"ph\":\"X\",\"ts\":";
+                appendTs(out, e.begin, tb_);
+                out += ",\"dur\":";
+                appendTs(out, e.end - e.begin, tb_);
+                out += ",\"name\":\"";
+                out += eventKindName(e.kind);
+                if (e.queue >= 0) {
+                    std::snprintf(buf, sizeof buf, " q%d", e.queue);
+                    out += buf;
+                }
+                out += "\",\"args\":{";
+                bool first = true;
+                if (e.queue >= 0) {
+                    std::snprintf(buf, sizeof buf, "\"queue\":%d", e.queue);
+                    out += buf;
+                    first = false;
+                }
+                if (e.kind == EventKind::kRaService) {
+                    if (!first) out += ',';
+                    std::snprintf(buf, sizeof buf,
+                                  "\"elements\":%" PRIu64, e.arg);
+                    out += buf;
+                }
+                out += "}}";
+                break;
+            }
+            case EventKind::kHalt:
+                out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+                appendTs(out, e.begin, tb_);
+                out += ",\"name\":\"halt\",\"args\":{}}";
+                break;
+            case EventKind::kQueueOcc:
+                out += ",\"ph\":\"C\",\"ts\":";
+                appendTs(out, e.begin, tb_);
+                std::snprintf(buf, sizeof buf,
+                              ",\"name\":\"q%d occupancy\",\"args\":"
+                              "{\"occ\":%" PRIu64 "}}",
+                              e.queue, e.arg);
+                out += buf;
+                break;
+            }
+        });
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+Tracer::writeJson(const std::string& path, std::string* err) const
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        if (err) *err = "cannot open " + path + " for writing";
+        return false;
+    }
+    f << toJson();
+    f.flush();
+    if (!f) {
+        if (err) *err = "write failed for " + path;
+        return false;
+    }
+    return true;
+}
+
+std::string
+Tracer::postMortem(size_t last_n) const
+{
+    std::ostringstream os;
+    const char* unit = tb_ == Timebase::kWallNs ? "ns" : "cyc";
+    for (const auto& bp : buffers_) {
+        const TraceBuffer& b = *bp;
+        os << "  " << b.workerName() << ": " << b.recorded()
+           << " trace events";
+        std::vector<Event> tail = b.lastN(last_n);
+        if (tail.empty()) {
+            os << " (none retained)\n";
+            continue;
+        }
+        os << ", last " << tail.size() << ":\n";
+        for (const Event& e : tail) {
+            os << "    [" << e.begin;
+            if (e.end != e.begin) os << ".." << e.end;
+            os << ' ' << unit << "] " << eventKindName(e.kind);
+            if (e.queue >= 0) os << " q" << e.queue;
+            if (e.kind == EventKind::kRaService)
+                os << " n=" << e.arg;
+            if (e.kind == EventKind::kQueueOcc)
+                os << " occ=" << e.arg;
+            os << '\n';
+        }
+    }
+    return os.str();
+}
+
+} // namespace phloem::trace

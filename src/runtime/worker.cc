@@ -149,18 +149,28 @@ StageWorker::waitPush(int abs_q, const ir::Value& v)
     if (q.tryPush(v))
         return true;
     q.noteEnqBlocked();
+    uint64_t t0 = traceBuf ? traceBuf->now() : 0;
     Backoff backoff(*ctl_);
     for (;;) {
         if (q.tryPush(v)) {
             ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kEnqBlock, abs_q, t0,
+                                 traceBuf->now());
             return true;
         }
         switch (backoff.step(*ctl_, /*stoppable=*/false)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kEnqBlock, abs_q, t0,
+                                 traceBuf->now());
             return false;
           case Backoff::Result::kDeadlock:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kEnqBlock, abs_q, t0,
+                                 traceBuf->now());
             reportDeadlock("enq", abs_q);
         }
     }
@@ -173,18 +183,28 @@ StageWorker::waitPop(int abs_q, ir::Value& v)
     if (q.tryPop(v))
         return true;
     q.noteDeqBlocked();
+    uint64_t t0 = traceBuf ? traceBuf->now() : 0;
     Backoff backoff(*ctl_);
     for (;;) {
         if (q.tryPop(v)) {
             ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, abs_q, t0,
+                                 traceBuf->now());
             return true;
         }
         switch (backoff.step(*ctl_, /*stoppable=*/false)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, abs_q, t0,
+                                 traceBuf->now());
             return false;
           case Backoff::Result::kDeadlock:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, abs_q, t0,
+                                 traceBuf->now());
             reportDeadlock("deq", abs_q);
         }
     }
@@ -197,6 +217,7 @@ StageWorker::waitPeek(int abs_q, ir::Value& v)
     if (q.tryPeek(v))
         return true;
     q.noteDeqBlocked();
+    uint64_t t0 = traceBuf ? traceBuf->now() : 0;
     Backoff backoff(*ctl_);
     for (;;) {
         if (q.tryPeek(v)) {
@@ -204,14 +225,23 @@ StageWorker::waitPeek(int abs_q, ir::Value& v)
             // this bump a pipeline advancing only through peeks would
             // eventually trip a peer's deadlock watchdog.
             ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, abs_q, t0,
+                                 traceBuf->now());
             return true;
         }
         switch (backoff.step(*ctl_, /*stoppable=*/false)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, abs_q, t0,
+                                 traceBuf->now());
             return false;
           case Backoff::Result::kDeadlock:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, abs_q, t0,
+                                 traceBuf->now());
             reportDeadlock("peek", abs_q);
         }
     }
@@ -305,9 +335,16 @@ StageWorker::execOp(const sim::Inst& inst)
     }
 
     switch (inst.opcode) {
-      case Opcode::kBarrier:
+      case Opcode::kBarrier: {
         pc_++;
-        return barrier_->arriveAndWait(*ctl_);
+        if (!traceBuf)
+            return barrier_->arriveAndWait(*ctl_);
+        uint64_t t0 = traceBuf->now();
+        bool ok = barrier_->arriveAndWait(*ctl_);
+        traceBuf->record(trace::EventKind::kBarrierWait, -1, t0,
+                         traceBuf->now());
+        return ok;
+      }
       case Opcode::kHalt:
         return false;
       case Opcode::kSwapArr:
@@ -342,6 +379,12 @@ StageWorker::run()
         runEngine();
     else
         runInterpreter();
+    // Abnormal exits (watchdog, budget) throw past this point; they
+    // already recorded the block span they died in.
+    if (traceBuf) {
+        uint64_t t = traceBuf->now();
+        traceBuf->record(trace::EventKind::kHalt, -1, t, t);
+    }
 }
 
 void
@@ -358,6 +401,7 @@ StageWorker::runEngine()
     env.barrier = barrier_;
     env.ctl = ctl_;
     env.stats = &stats;
+    env.trace = traceBuf;
     env.queueStride = queueStride_;
     env.numReplicas = numReplicas_;
 
@@ -453,10 +497,14 @@ RAWorker::waitPush(const ir::Value& v)
         return true;
     }
     outQ_->noteEnqBlocked();
+    uint64_t t0 = traceBuf ? traceBuf->now() : 0;
     Backoff backoff(*ctl_);
     for (;;) {
         if (outQ_->tryPush(v)) {
             ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kEnqBlock, traceOutQ,
+                                 t0, traceBuf->now());
             return true;
         }
         // Stoppable: once every stage thread halted, whatever the RA
@@ -465,8 +513,14 @@ RAWorker::waitPush(const ir::Value& v)
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kEnqBlock, traceOutQ,
+                                 t0, traceBuf->now());
             return false;
           case Backoff::Result::kDeadlock: {
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kEnqBlock, traceOutQ,
+                                 t0, traceBuf->now());
             std::string msg =
                 "deadlock: " + stats.name + " blocked on enq with no "
                 "global progress";
@@ -485,10 +539,14 @@ RAWorker::waitPop(ir::Value& v)
         return true;
     }
     inQ_->noteDeqBlocked();
+    uint64_t t0 = traceBuf ? traceBuf->now() : 0;
     Backoff backoff(*ctl_);
     for (;;) {
         if (inQ_->tryPop(v)) {
             ctl_->progress.fetch_add(1, std::memory_order_relaxed);
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, traceInQ,
+                                 t0, traceBuf->now());
             return true;
         }
         // An empty input after shutdown is the normal RA exit path, not
@@ -497,8 +555,14 @@ RAWorker::waitPop(ir::Value& v)
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, traceInQ,
+                                 t0, traceBuf->now());
             return false;
           case Backoff::Result::kDeadlock:
+            if (traceBuf)
+                traceBuf->record(trace::EventKind::kDeqBlock, traceInQ,
+                                 t0, traceBuf->now());
             return false;
         }
     }
@@ -524,6 +588,7 @@ RAWorker::serviceIndirectBatch(const ir::Value* batch, size_t n)
         while (j < n && !batch[j].isControl())
             ++j;
         while (i < j) {
+            uint64_t t0 = traceBuf ? traceBuf->now() : 0;
             size_t pushed = outQ_->pushBatch(j - i, [&](size_t k) {
                 return array_->load(batch[i + k].asInt());
             });
@@ -536,6 +601,10 @@ RAWorker::serviceIndirectBatch(const ir::Value* batch, size_t n)
                 pushed = 1;
             } else {
                 heartbeat(pushed);
+                if (traceBuf)
+                    traceBuf->record(trace::EventKind::kRaService,
+                                     traceOutQ, t0, traceBuf->now(),
+                                     pushed);
             }
             i += pushed;
             stats.raElements += pushed;
@@ -546,6 +615,16 @@ RAWorker::serviceIndirectBatch(const ir::Value* batch, size_t n)
 
 void
 RAWorker::run()
+{
+    runLoop();
+    if (traceBuf) {
+        uint64_t t = traceBuf->now();
+        traceBuf->record(trace::EventKind::kHalt, -1, t, t);
+    }
+}
+
+void
+RAWorker::runLoop()
 {
     enum class Phase : uint8_t { kIdle, kHaveStart, kScanning };
     Phase phase = Phase::kIdle;
@@ -569,6 +648,7 @@ RAWorker::run()
             // elements are published with a single release store, which
             // is where the RA's native-speed advantage comes from.
             size_t want = static_cast<size_t>(scan_end - scan_cur);
+            uint64_t t0 = traceBuf ? traceBuf->now() : 0;
             size_t pushed = outQ_->pushBatch(want, [&](size_t k) {
                 return array_->load(scan_cur + static_cast<int64_t>(k));
             });
@@ -579,6 +659,10 @@ RAWorker::run()
                 pushed = 1;
             } else {
                 heartbeat(pushed);
+                if (traceBuf)
+                    traceBuf->record(trace::EventKind::kRaService,
+                                     traceOutQ, t0, traceBuf->now(),
+                                     pushed);
             }
             scan_cur += static_cast<int64_t>(pushed);
             stats.raElements += pushed;

@@ -30,6 +30,7 @@
 #include "ir/pipeline.h"
 #include "runtime/queue.h"
 #include "runtime/stats.h"
+#include "runtime/trace.h"
 #include "sim/binding.h"
 #include "sim/program.h"
 
@@ -60,6 +61,13 @@ struct RuntimeOptions
     uint64_t maxInstructions = 4'000'000'000ull;
     /** Stage execution engine (decoded+batched vs raw interpreter). */
     EngineMode engine = EngineMode::kAuto;
+    /**
+     * Stall-attribution tracer (trace.h), or null for no tracing. Must
+     * outlive the run; the runtime registers one buffer per worker and
+     * a sampled-occupancy lane. Null keeps every hook on its inlined
+     * no-op path (the zero-cost-off contract).
+     */
+    trace::Tracer* tracer = nullptr;
 };
 
 /**
@@ -164,6 +172,9 @@ class StageWorker
 
     WorkerStats stats;
 
+    /** This worker's trace ring, or null when tracing is off. */
+    trace::TraceBuffer* traceBuf = nullptr;
+
     /**
      * Engine runs only: per-queue counts of values drained into the
      * consumer batch buffer but never architecturally dequeued (pairs
@@ -216,6 +227,12 @@ class RAWorker
 
     WorkerStats stats;
 
+    /** This worker's trace ring, or null when tracing is off. */
+    trace::TraceBuffer* traceBuf = nullptr;
+    /** Absolute ids of inQ_/outQ_ for trace attribution (-1 unset). */
+    int traceInQ = -1;
+    int traceOutQ = -1;
+
     /**
      * Values drained from the input queue (batched indirect mode) but
      * not yet serviced when the worker shut down. The runtime folds
@@ -227,6 +244,8 @@ class RAWorker
     /** Indices drained per input-ring synchronization (indirect mode). */
     static constexpr size_t kIndirectBatch = 256;
 
+    /** Service loop (run() wraps it to trace the halt). */
+    void runLoop();
     /** Returns false on shutdown/abort. */
     bool waitPush(const ir::Value& v);
     bool waitPop(ir::Value& v);

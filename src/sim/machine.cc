@@ -67,6 +67,49 @@ class Entity
     BlockReason blockReason = BlockReason::kNone;
     int blockedQueue = -1;
     uint64_t barrierArrival = 0;
+
+    // --- Stall tracing (simulated-cycle timebase). ------------------
+    /** This entity's trace ring, or null when tracing is off. */
+    trace::TraceBuffer* traceBuf = nullptr;
+    /** An un-closed queue-block span (opened at block, closed when the
+     * retried op succeeds — or flushed at end of run for entities that
+     * stay blocked forever, e.g. a deadlocked stage or a drained RA). */
+    bool traceOpen = false;
+    trace::EventKind traceOpenKind = trace::EventKind::kDeqBlock;
+    int32_t traceOpenQueue = -1;
+    uint64_t traceOpenBegin = 0;
+
+    /** Open a queue-block span at the current simulated clock. */
+    void
+    traceBlock(BlockReason reason, int abs_q)
+    {
+        if (traceBuf == nullptr || traceOpen)
+            return;
+        traceOpen = true;
+        traceOpenKind = reason == BlockReason::kQueueEmpty
+                            ? trace::EventKind::kDeqBlock
+                            : trace::EventKind::kEnqBlock;
+        traceOpenQueue = abs_q;
+        traceOpenBegin = clock;
+    }
+
+    /** Close the open block span (no-op when none is open). */
+    void
+    traceUnblock(uint64_t end)
+    {
+        if (!traceOpen)
+            return;
+        traceOpen = false;
+        traceBuf->record(traceOpenKind, traceOpenQueue, traceOpenBegin,
+                         end < traceOpenBegin ? traceOpenBegin : end);
+    }
+
+    void
+    traceHalt()
+    {
+        if (traceBuf != nullptr)
+            traceBuf->record(trace::EventKind::kHalt, -1, clock, clock);
+    }
 };
 
 /**
@@ -330,6 +373,7 @@ ThreadEntity::block(BlockReason reason, int abs_q)
     state = State::kBlocked;
     blockReason = reason;
     blockedQueue = abs_q;
+    traceBlock(reason, abs_q);
     QueueImpl& q = machine.queue(abs_q);
     if (reason == BlockReason::kQueueEmpty)
         q.waitingConsumer = id;
@@ -456,6 +500,8 @@ ThreadEntity::execQueueOp(const Inst& inst)
         q.entries.push_back(e);
         q.enqCount++;
         stats.queueOps++;
+        traceUnblock(clock);
+        machine.traceSampleOcc(abs_q, clock);
         machine.wakeConsumer(abs_q);
         pc++;
         return true;
@@ -493,6 +539,7 @@ ThreadEntity::execQueueOp(const Inst& inst)
             regReady[static_cast<size_t>(inst.dst)] = done;
         stats.queueOps++;
 
+        traceUnblock(clock);
         if (inst.opcode == ir::Opcode::kDeq) {
             q.entries.pop_front();
             if (timing) {
@@ -503,6 +550,7 @@ ThreadEntity::execQueueOp(const Inst& inst)
                               static_cast<uint64_t>(q.depth)] = done;
             }
             q.deqCount++;
+            machine.traceSampleOcc(abs_q, clock);
             machine.wakeProducers(abs_q);
 
             // Control-value handler: hardware transfers to the handler
@@ -545,6 +593,7 @@ ThreadEntity::execOp(const Inst& inst)
       }
       case Opcode::kHalt:
         state = State::kHalted;
+        traceHalt();
         return false;
       case Opcode::kSwapArr: {
         std::swap(arrayBind[static_cast<size_t>(inst.arr)],
@@ -611,6 +660,7 @@ ThreadEntity::step()
             return;  // yield: keep entity clocks close together
         if (pc >= static_cast<int>(code.size())) {
             state = State::kHalted;
+            traceHalt();
             return;
         }
         machine.chargeInstruction();
@@ -683,6 +733,7 @@ RAEntity::block(BlockReason reason, int q)
     state = State::kBlocked;
     blockReason = reason;
     blockedQueue = q;
+    traceBlock(reason, q);
     QueueImpl& queue = machine.queue(q);
     if (reason == BlockReason::kQueueEmpty)
         queue.waitingConsumer = id;
@@ -734,6 +785,8 @@ RAEntity::pushOut(QueueEntry e)
     }
     q.entries.push_back(e);
     q.enqCount++;
+    traceUnblock(clock);
+    machine.traceSampleOcc(outQ, clock);
     machine.wakeConsumer(outQ);
     return true;
 }
@@ -800,6 +853,8 @@ RAEntity::step()
                            static_cast<uint64_t>(in.depth)] = done;
         }
         in.deqCount++;
+        traceUnblock(clock);
+        machine.traceSampleOcc(inQ, clock);
         machine.wakeProducers(inQ);
 
         if (e.v.isControl()) {
@@ -905,6 +960,9 @@ Machine::arriveBarrier(int)
             auto* t = static_cast<ThreadEntity*>(e.get());
             t->stats.queueStallCycles += static_cast<double>(
                 max_arrival + 1 - t->barrierArrival);
+            if (t->traceBuf != nullptr)
+                t->traceBuf->record(trace::EventKind::kBarrierWait, -1,
+                                    t->barrierArrival, max_arrival + 1);
             t->clock = max_arrival + 1;
             t->uopsThisCycle = 0;
             t->state = Entity::State::kReady;
@@ -912,6 +970,18 @@ Machine::arriveBarrier(int)
         }
     }
     barrierWaiting_ = 0;
+}
+
+void
+Machine::traceSampleOcc(int abs_q, uint64_t ts)
+{
+    if (traceOccBuf_ == nullptr)
+        return;
+    uint64_t occ = queues_[static_cast<size_t>(abs_q)].entries.size();
+    if (occ == traceOccLast_[static_cast<size_t>(abs_q)])
+        return;
+    traceOccLast_[static_cast<size_t>(abs_q)] = occ;
+    traceOccBuf_->record(trace::EventKind::kQueueOcc, abs_q, ts, ts, occ);
 }
 
 std::string
@@ -956,6 +1026,14 @@ Machine::addDeadlockInfo(RunStats& stats)
             << " deq=" << qi.deqCount << " held=" << qi.entries.size()
             << "\n";
     }
+    if (opt_.tracer != nullptr) {
+        // Still-open block spans are what the post-mortem is for: flush
+        // them so the deadlocked entities' waits are visible.
+        for (auto& e : entities_)
+            e->traceUnblock(e->clock);
+        oss << "trace post-mortem (trailing events per worker):\n"
+            << opt_.tracer->postMortem();
+    }
     stats.deadlock = true;
     stats.deadlockInfo = oss.str();
 }
@@ -967,6 +1045,17 @@ Machine::runEntities(int num_stage_threads)
 
     for (size_t i = 0; i < entities_.size(); ++i)
         entities_[i]->id = static_cast<int>(i);
+
+    if (opt_.tracer != nullptr) {
+        phloem_assert(opt_.tracer->timebase() ==
+                          trace::Timebase::kSimCycles,
+                      "simulator runs trace on the cycle timebase");
+        for (auto& e : entities_)
+            e->traceBuf = opt_.tracer->addWorker(e->name, e->isThread());
+        traceOccBuf_ = opt_.tracer->addWorker("queue-occupancy",
+                                              /*is_stage=*/false);
+        traceOccLast_.assign(queues_.size(), ~0ull);
+    }
 
     RunStats stats;
     for (;;) {
@@ -987,6 +1076,17 @@ Machine::runEntities(int num_stage_threads)
             break;
         }
         best->step();
+    }
+
+    // Trace epilogue: RAs end the run blocked on their drained input
+    // (that is their normal exit), so flush the open span; any entity
+    // that recorded nothing still gets its terminal state as one event.
+    for (auto& e : entities_) {
+        if (e->traceBuf == nullptr)
+            continue;
+        e->traceUnblock(e->clock);
+        if (e->traceBuf->recorded() == 0)
+            e->traceHalt();
     }
 
     // Collect results.

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "ir/pipeline.h"
+#include "runtime/trace.h"
 #include "sim/binding.h"
 #include "sim/config.h"
 #include "sim/memory.h"
@@ -58,6 +59,12 @@ struct MachineOptions
      * and MSHR ledgers stay (approximately) causal.
      */
     uint64_t horizonCycles = 2048;
+    /**
+     * Stall-attribution tracer (runtime/trace.h) on the simulated-cycle
+     * timebase, or null for no tracing. Must outlive the run; one
+     * buffer is registered per simulated entity.
+     */
+    trace::Tracer* tracer = nullptr;
 };
 
 class Machine;
@@ -190,6 +197,13 @@ class Machine
     void arriveBarrier(int entity_id);
     detail::CoreState& core(int core_id) { return cores_[core_id]; }
     uint64_t chargeInstruction();
+    /**
+     * Record a (delta-encoded) queue-occupancy sample at simulated time
+     * ts. Called by entities after each enq/deq; a no-op when tracing
+     * is off. Single-writer is preserved because the whole simulation
+     * runs on one host thread.
+     */
+    void traceSampleOcc(int abs_q, uint64_t ts);
     /** One-line clock/state summary of every entity (debugging). */
     std::string debugClocks() const;
 
@@ -214,6 +228,10 @@ class Machine
     int barrierWaiting_ = 0;
     uint64_t instructionBudget_ = 0;
     uint64_t instructionsExecuted_ = 0;
+
+    /** Sampled-occupancy trace lane plus the last value per queue. */
+    trace::TraceBuffer* traceOccBuf_ = nullptr;
+    std::vector<uint64_t> traceOccLast_;
 
     friend class detail::Entity;
 };

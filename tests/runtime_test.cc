@@ -15,6 +15,7 @@
 #include "ir/builder.h"
 #include "runtime/queue.h"
 #include "runtime/runtime.h"
+#include "runtime/trace.h"
 #include "workloads/graph.h"
 #include "workloads/kernels.h"
 #include "workloads/workload.h"
@@ -387,6 +388,70 @@ TEST(SpscQueue, TwoThreadStress)
     producer.join();
     EXPECT_FALSE(q.tryPop(v));
     EXPECT_EQ(q.enqCount(), static_cast<uint64_t>(kN));
+    // The high-water mark can never exceed what the ring can hold.
+    EXPECT_LE(q.maxOccupancy(), 64u);
+    EXPECT_GE(q.maxOccupancy(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// maxOccupancy must be exact, not computed against the producer's stale
+// cache of the consumer index.
+// ---------------------------------------------------------------------
+
+TEST(SpscQueue, MaxOccupancyNotInflatedByStaleHeadCache)
+{
+    // Deterministic regression: push 6, pop 5, push 1. The true
+    // high-water mark is 6 — the seventh element enters a ring holding
+    // one. A producer that measures against its cached head (still 0:
+    // nothing refreshed it, the ring never looked full) would record 7.
+    rt::SpscQueue q(8);
+    ir::Value v;
+    for (int64_t i = 0; i < 6; ++i)
+        ASSERT_TRUE(q.tryPush(ir::Value::fromInt(i)));
+    for (int64_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(q.tryPop(v));
+    ASSERT_TRUE(q.tryPush(ir::Value::fromInt(6)));
+    EXPECT_EQ(q.maxOccupancy(), 6u)
+        << "high-water mark inflated by a stale head cache";
+}
+
+TEST(SpscQueue, MaxOccupancyMatchesOracleUnderRandomOps)
+{
+    // Randomized single-thread mix of every producer/consumer entry
+    // point, against an exactly tracked occupancy oracle. Interleaved
+    // pops keep the producer's head cache stale for most pushes, which
+    // is the state the deterministic test above distills.
+    rt::SpscQueue q(32);
+    Rng rng(99);
+    size_t occ = 0, oracle_max = 0;
+    ir::Value out[32];
+    ir::Value v;
+    auto gen = [](size_t k) {
+        return ir::Value::fromInt(static_cast<int64_t>(k));
+    };
+    for (int step = 0; step < 200'000; ++step) {
+        switch (rng.nextBounded(4)) {
+        case 0:
+            if (q.tryPush(ir::Value::fromInt(step)))
+                occ++;
+            break;
+        case 1: {
+            size_t want = 1 + rng.nextBounded(12);
+            occ += q.pushBatch(want, gen);
+            break;
+        }
+        case 2:
+            if (q.tryPop(v))
+                occ--;
+            break;
+        default:
+            occ -= q.popBatch(1 + rng.nextBounded(12), out);
+            break;
+        }
+        oracle_max = std::max(oracle_max, occ);
+        ASSERT_EQ(q.sizeApprox(), occ) << "step " << step;
+    }
+    EXPECT_EQ(q.maxOccupancy(), oracle_max);
 }
 
 // ---------------------------------------------------------------------
@@ -675,6 +740,38 @@ TEST(NativeRuntime, EngineEnvToggleAndSerialEquivalence)
     EXPECT_EQ(s_off.totalOpCounts(), s_on.totalOpCounts());
 }
 
+TEST(NativeRuntime, EngineEnvAcceptsWordsAndRejectsGarbageSafely)
+{
+    // The env toggle must understand the words people actually type
+    // ("off", "false", case-insensitively), not just "0" — an operator
+    // setting PHLOEM_NATIVE_ENGINE=off and silently getting the engine
+    // anyway is the bug this pins down. Unrecognized values keep the
+    // default (engine on) rather than disabling it.
+    auto kernel = fe::compileKernel(kFilterKernel);
+    struct Case
+    {
+        const char* env;
+        bool engine;
+    };
+    const Case cases[] = {
+        {"off", false},   {"OFF", false},  {"false", false},
+        {"False", false}, {"0", false},    {"on", true},
+        {"ON", true},     {"true", true},  {"1", true},
+        {"bananas", true},  // warn-once, fall back to the default
+    };
+    for (const Case& c : cases) {
+        sim::Binding b;
+        setupFilter(b);
+        ::setenv("PHLOEM_NATIVE_ENGINE", c.env, 1);
+        rt::Runtime r;
+        rt::NativeStats s = r.runSerial(*kernel.fn, b);
+        ASSERT_TRUE(s.ok) << s.error;
+        EXPECT_EQ(s.engine, c.engine)
+            << "PHLOEM_NATIVE_ENGINE=" << c.env;
+    }
+    ::unsetenv("PHLOEM_NATIVE_ENGINE");
+}
+
 // ---------------------------------------------------------------------
 // Manual SpMM pipeline: SCAN RAs with range control values.
 // ---------------------------------------------------------------------
@@ -811,6 +908,69 @@ TEST(NativeRuntime, WatchdogAbortsStuckPipeline)
     EXPECT_FALSE(stats.ok);
     EXPECT_NE(stats.error.find("deadlock"), std::string::npos)
         << stats.error;
+}
+
+TEST(NativeRuntime, WatchdogPostMortemAttributesTheStall)
+{
+    // Mispaired streams: the producer enqueues 2n values, the consumer
+    // dequeues n and halts, so the producer eventually jams on a full
+    // ring with the consumer gone. The watchdog report must name the
+    // blocked queue, quantify the residual occupancy, and — when a
+    // tracer is attached — append each worker's trailing trace events.
+    constexpr int kDepth = 4;
+    auto pipeline = std::make_unique<ir::Pipeline>();
+    pipeline->name = "mispair";
+    {
+        ir::FunctionBuilder b("produce2n");
+        ir::RegId n = b.scalarParam("n");
+        b.forRange(b.constI(0), b.add(n, n), [&](ir::RegId i) {
+            b.enq(0, i);
+        });
+        pipeline->stages.push_back(b.finish());
+    }
+    {
+        ir::FunctionBuilder b("consume1n");
+        ir::RegId n = b.scalarParam("n");
+        ir::RegId v = b.newReg("v");
+        b.forRange(b.constI(0), n, [&](ir::RegId) { b.deqTo(0, v); });
+        pipeline->stages.push_back(b.finish());
+    }
+    ir::QueueConfig qc;
+    qc.id = 0;
+    qc.depth = kDepth;
+    pipeline->queues.push_back(qc);
+
+    sim::Binding b;
+    b.setScalarInt("n", 64);
+
+    trace::Tracer tracer{trace::Timebase::kWallNs};
+    rt::RuntimeOptions opt;
+    opt.deadlockTimeoutMs = 100;
+    opt.tracer = &tracer;
+    rt::Runtime runtime(sim::SysConfig{}, opt);
+    rt::NativeStats stats = runtime.runPipeline(*pipeline, b);
+
+    ASSERT_FALSE(stats.ok);
+    EXPECT_NE(stats.error.find("q0"), std::string::npos)
+        << "report must name the blocked queue:\n"
+        << stats.error;
+    EXPECT_NE(stats.error.find("residual occupancy"), std::string::npos)
+        << stats.error;
+    EXPECT_NE(stats.error.find("trace post-mortem"), std::string::npos)
+        << stats.error;
+    EXPECT_NE(stats.error.find("enq_block"), std::string::npos)
+        << "the jammed producer's blocking span must appear in the "
+           "trailing events:\n"
+        << stats.error;
+
+    // The stuck ring really was full when the run was torn down.
+    bool found = false;
+    for (const auto& q : stats.queues)
+        if (q.id == 0) {
+            found = true;
+            EXPECT_GE(q.residual, static_cast<uint64_t>(kDepth));
+        }
+    EXPECT_TRUE(found);
 }
 
 } // namespace

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Stall-attribution tracing tests: ring retention semantics, and — for
+ * both execution backends — that the emitted Chrome trace_event JSON
+ * actually parses and contains at least one event for every registered
+ * worker lane. The JSON is validated with a small recursive-descent
+ * parser rather than string matching, because the consumer (Perfetto /
+ * chrome://tracing) parses it for real.
+ */
+
+#include "tests/test_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "compiler/compiler.h"
+#include "ir/builder.h"
+#include "frontend/frontend.h"
+#include "runtime/runtime.h"
+#include "runtime/trace.h"
+#include "sim/machine.h"
+
+namespace phloem {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser (tests only; no external dependency).
+// ---------------------------------------------------------------------
+
+struct Json
+{
+    enum Type { kNull, kBool, kNum, kStr, kArr, kObj };
+    Type type = kNull;
+    bool boolean = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::map<std::string, Json> obj;
+
+    bool has(const std::string& key) const { return obj.count(key) > 0; }
+    const Json& at(const std::string& key) const { return obj.at(key); }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : s_(text) {}
+
+    /** Parse the whole input; false (with error()) on malformed JSON. */
+    bool
+    parse(Json* out)
+    {
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing characters after top-level value");
+        return true;
+    }
+
+    const std::string& error() const { return err_; }
+
+  private:
+    bool
+    fail(const std::string& why)
+    {
+        if (err_.empty())
+            err_ = why + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            pos_++;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        size_t len = std::string(word).size();
+        if (s_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    value(Json* out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        char c = s_[pos_];
+        switch (c) {
+        case '{':
+            return object(out);
+        case '[':
+            return array(out);
+        case '"':
+            out->type = Json::kStr;
+            return string(&out->str);
+        case 't':
+            out->type = Json::kBool;
+            out->boolean = true;
+            return literal("true");
+        case 'f':
+            out->type = Json::kBool;
+            out->boolean = false;
+            return literal("false");
+        case 'n':
+            out->type = Json::kNull;
+            return literal("null");
+        default:
+            return number(out);
+        }
+    }
+
+    bool
+    number(Json* out)
+    {
+        const char* start = s_.c_str() + pos_;
+        char* end = nullptr;
+        out->num = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a number");
+        out->type = Json::kNum;
+        pos_ += static_cast<size_t>(end - start);
+        return true;
+    }
+
+    bool
+    string(std::string* out)
+    {
+        if (s_[pos_] != '"')
+            return fail("expected '\"'");
+        pos_++;
+        out->clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return fail("dangling escape");
+            char esc = s_[pos_++];
+            switch (esc) {
+            case '"': *out += '"'; break;
+            case '\\': *out += '\\'; break;
+            case '/': *out += '/'; break;
+            case 'n': *out += '\n'; break;
+            case 't': *out += '\t'; break;
+            case 'r': *out += '\r'; break;
+            case 'b': *out += '\b'; break;
+            case 'f': *out += '\f'; break;
+            case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return fail("truncated \\u escape");
+                // The serializer only emits \u00XX for control bytes.
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                *out += static_cast<char>(code & 0xff);
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+        if (pos_ >= s_.size())
+            return fail("unterminated string");
+        pos_++;  // closing quote
+        return true;
+    }
+
+    bool
+    array(Json* out)
+    {
+        out->type = Json::kArr;
+        pos_++;  // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            pos_++;
+            return true;
+        }
+        for (;;) {
+            Json elem;
+            if (!value(&elem))
+                return false;
+            out->arr.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated array");
+            if (s_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                pos_++;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    object(Json* out)
+    {
+        out->type = Json::kObj;
+        pos_++;  // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            pos_++;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(&key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return fail("expected ':'");
+            pos_++;
+            Json val;
+            if (!value(&val))
+                return false;
+            out->obj.emplace(std::move(key), std::move(val));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated object");
+            if (s_[pos_] == ',') {
+                pos_++;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                pos_++;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string& s_;
+    size_t pos_ = 0;
+    std::string err_;
+};
+
+// ---------------------------------------------------------------------
+// Shared checks: parse a tracer's JSON and require one event per lane.
+// ---------------------------------------------------------------------
+
+/**
+ * Parse `json` and assert the Chrome trace_event envelope: expected
+ * timebase tag, one thread_name metadata record per tracer buffer, and
+ * at least one real (non-metadata) event on every lane.
+ */
+void
+checkTraceJson(const trace::Tracer& tracer, const std::string& json,
+               const std::string& want_timebase)
+{
+    JsonParser parser(json);
+    Json root;
+    ASSERT_TRUE(parser.parse(&root)) << parser.error();
+    ASSERT_EQ(root.type, Json::kObj);
+    ASSERT_TRUE(root.has("otherData"));
+    ASSERT_TRUE(root.at("otherData").has("timebase"));
+    EXPECT_EQ(root.at("otherData").at("timebase").str, want_timebase);
+
+    ASSERT_TRUE(root.has("traceEvents"));
+    const Json& events = root.at("traceEvents");
+    ASSERT_EQ(events.type, Json::kArr);
+
+    std::map<int, std::string> lane_names;  // tid -> thread_name
+    std::map<int, int> lane_events;         // tid -> non-metadata count
+    for (const Json& e : events.arr) {
+        ASSERT_EQ(e.type, Json::kObj);
+        ASSERT_TRUE(e.has("ph"));
+        if (e.at("ph").str == "M") {
+            if (e.at("name").str == "thread_name")
+                lane_names[static_cast<int>(e.at("tid").num)] =
+                    e.at("args").at("name").str;
+            continue;
+        }
+        ASSERT_TRUE(e.has("tid"));
+        ASSERT_TRUE(e.has("ts"));
+        lane_events[static_cast<int>(e.at("tid").num)]++;
+        if (e.at("ph").str == "X") {
+            ASSERT_TRUE(e.has("dur"));
+            EXPECT_GE(e.at("dur").num, 0.0);
+        }
+    }
+
+    ASSERT_EQ(lane_names.size(), tracer.buffers().size());
+    for (const auto& [tid, name] : lane_names)
+        EXPECT_GT(lane_events[tid], 0)
+            << "worker lane '" << name << "' (tid " << tid
+            << ") emitted no events";
+}
+
+const char* kTraceKernel = R"(
+#pragma phloem
+void trace_work(const int* restrict a, const int* restrict b,
+                long* restrict out, int n) {
+    for (int i = 0; i < n; i++) {
+        int x = a[i];
+        if (x > 0) {
+            int y = b[x];
+            out[i] = phloem_work(y, 10);
+        }
+    }
+}
+)";
+
+void
+setupTraceKernel(sim::Binding& binding)
+{
+    Rng rng(42);
+    const int n = 2000;
+    auto* a = binding.makeArray("a", ir::ElemType::kI32, n);
+    auto* b = binding.makeArray("b", ir::ElemType::kI32, n);
+    auto* out = binding.makeArray("out", ir::ElemType::kI64, n);
+    for (int i = 0; i < n; ++i) {
+        a->setInt(i, static_cast<int64_t>(rng.nextBounded(n)) - n / 3);
+        b->setInt(i, static_cast<int64_t>(rng.nextBounded(1000)));
+        out->setInt(i, -1);
+    }
+    binding.setScalarInt("n", n);
+}
+
+ir::PipelinePtr
+compileTracePipeline()
+{
+    auto kernel = fe::compileKernel(kTraceKernel);
+    comp::CompileOptions opts;
+    opts.numStages = 4;
+    auto res = comp::compilePipeline(*kernel.fn, opts);
+    EXPECT_TRUE(res.ok());
+    return std::move(res.pipeline);
+}
+
+// ---------------------------------------------------------------------
+// Ring semantics.
+// ---------------------------------------------------------------------
+
+TEST(TraceBuffer, RingKeepsTrailingEventsWhenFull)
+{
+    trace::Tracer tracer{trace::Timebase::kSimCycles, /*capacity=*/4};
+    trace::TraceBuffer* buf = tracer.addWorker("w", true);
+    for (uint64_t i = 0; i < 10; ++i)
+        buf->record(trace::EventKind::kEnqBlock, 0, i, i + 1);
+    EXPECT_EQ(buf->recorded(), 10u);
+    EXPECT_EQ(buf->retained(), 4u);
+
+    // forEachRetained walks oldest-first over the survivors: 6..9.
+    uint64_t expect = 6;
+    buf->forEachRetained([&](const trace::Event& e) {
+        EXPECT_EQ(e.begin, expect);
+        expect++;
+    });
+    EXPECT_EQ(expect, 10u);
+
+    // lastN clips to what is retained and keeps oldest-first order.
+    std::vector<trace::Event> tail = buf->lastN(2);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].begin, 8u);
+    EXPECT_EQ(tail[1].begin, 9u);
+    ASSERT_EQ(buf->lastN(100).size(), 4u);
+}
+
+TEST(TraceBuffer, PostMortemNamesEveryWorkerAndKind)
+{
+    trace::Tracer tracer{trace::Timebase::kSimCycles};
+    trace::TraceBuffer* s = tracer.addWorker("stage.0", true);
+    trace::TraceBuffer* r = tracer.addWorker("ra.scan", false);
+    s->record(trace::EventKind::kDeqBlock, 3, 10, 25);
+    r->record(trace::EventKind::kRaService, 1, 5, 9, 17);
+
+    std::string pm = tracer.postMortem();
+    EXPECT_NE(pm.find("stage.0"), std::string::npos) << pm;
+    EXPECT_NE(pm.find("ra.scan"), std::string::npos) << pm;
+    EXPECT_NE(pm.find("deq_block"), std::string::npos) << pm;
+    EXPECT_NE(pm.find("ra_service"), std::string::npos) << pm;
+    EXPECT_NE(pm.find("q3"), std::string::npos) << pm;
+}
+
+// ---------------------------------------------------------------------
+// Native backend: wall-clock timebase.
+// ---------------------------------------------------------------------
+
+TEST(Trace, NativeTraceJsonParsesAndCoversEveryWorker)
+{
+    ir::PipelinePtr pipeline = compileTracePipeline();
+    ASSERT_TRUE(pipeline != nullptr);
+
+    sim::Binding binding;
+    setupTraceKernel(binding);
+    trace::Tracer tracer{trace::Timebase::kWallNs};
+    rt::RuntimeOptions opt;
+    opt.tracer = &tracer;
+    rt::Runtime runtime{sim::SysConfig{}, opt};
+    rt::NativeStats stats = runtime.runPipeline(*pipeline, binding);
+    ASSERT_TRUE(stats.ok) << stats.error;
+
+    // One lane per stage thread and RA worker, plus the occupancy lane.
+    ASSERT_EQ(tracer.buffers().size(),
+              static_cast<size_t>(stats.numStageThreads +
+                                  stats.numRAWorkers) +
+                  1);
+    checkTraceJson(tracer, tracer.toJson(), "wall_ns");
+}
+
+TEST(Trace, TracedNativeRunMatchesUntracedOutput)
+{
+    // Tracing is observability: it must not perturb results.
+    ir::PipelinePtr pipeline = compileTracePipeline();
+    ASSERT_TRUE(pipeline != nullptr);
+
+    sim::Binding plain;
+    setupTraceKernel(plain);
+    rt::Runtime plain_rt;
+    ASSERT_TRUE(plain_rt.runPipeline(*pipeline, plain).ok);
+
+    sim::Binding traced;
+    setupTraceKernel(traced);
+    trace::Tracer tracer{trace::Timebase::kWallNs};
+    rt::RuntimeOptions opt;
+    opt.tracer = &tracer;
+    rt::Runtime traced_rt{sim::SysConfig{}, opt};
+    ASSERT_TRUE(traced_rt.runPipeline(*pipeline, traced).ok);
+
+    EXPECT_TRUE(plain.array("out")->contentEquals(*traced.array("out")));
+}
+
+// ---------------------------------------------------------------------
+// Simulator backend: simulated-cycle timebase.
+// ---------------------------------------------------------------------
+
+TEST(Trace, SimTraceJsonParsesAndCoversEveryWorker)
+{
+    ir::PipelinePtr pipeline = compileTracePipeline();
+    ASSERT_TRUE(pipeline != nullptr);
+
+    sim::Binding binding;
+    setupTraceKernel(binding);
+    trace::Tracer tracer{trace::Timebase::kSimCycles};
+    sim::MachineOptions mopt;
+    mopt.tracer = &tracer;
+    sim::Machine machine{test::testConfig(), mopt};
+    sim::RunStats stats = machine.runPipeline(*pipeline, binding);
+    ASSERT_FALSE(stats.deadlock) << stats.deadlockInfo;
+
+    EXPECT_GE(tracer.buffers().size(), 2u);
+    checkTraceJson(tracer, tracer.toJson(), "sim_cycles");
+}
+
+TEST(Trace, SimDeadlockPostMortemCarriesTrailingEvents)
+{
+    // A producer with no consumer: the simulator detects the deadlock
+    // and its report must include the tracer's trailing-event dump.
+    auto pipeline = std::make_unique<ir::Pipeline>();
+    pipeline->name = "sim-jam";
+    {
+        ir::FunctionBuilder b("jam");
+        ir::RegId n = b.scalarParam("n");
+        b.forRange(b.constI(0), n, [&](ir::RegId i) { b.enq(0, i); });
+        pipeline->stages.push_back(b.finish());
+    }
+    ir::QueueConfig qc;
+    qc.id = 0;
+    qc.depth = 4;
+    pipeline->queues.push_back(qc);
+
+    sim::Binding b;
+    b.setScalarInt("n", 64);
+
+    trace::Tracer tracer{trace::Timebase::kSimCycles};
+    sim::MachineOptions mopt;
+    mopt.tracer = &tracer;
+    sim::Machine machine{test::testConfig(), mopt};
+    sim::RunStats stats = machine.runPipeline(*pipeline, b);
+    ASSERT_TRUE(stats.deadlock);
+    EXPECT_NE(stats.deadlockInfo.find("trace post-mortem"),
+              std::string::npos)
+        << stats.deadlockInfo;
+    EXPECT_NE(stats.deadlockInfo.find("enq_block"), std::string::npos)
+        << stats.deadlockInfo;
+}
+
+// ---------------------------------------------------------------------
+// File round-trip.
+// ---------------------------------------------------------------------
+
+TEST(Trace, WriteJsonRoundTripsThroughDisk)
+{
+    trace::Tracer tracer{trace::Timebase::kSimCycles};
+    trace::TraceBuffer* buf = tracer.addWorker("w\"ith\nodd name", true);
+    buf->record(trace::EventKind::kBarrierWait, -1, 2, 11);
+    buf->record(trace::EventKind::kHalt, -1, 12, 12);
+
+    std::string path =
+        (std::filesystem::temp_directory_path() / "phloem_trace_test.json")
+            .string();
+    std::string err;
+    ASSERT_TRUE(tracer.writeJson(path, &err)) << err;
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+    checkTraceJson(tracer, text.str(), "sim_cycles");
+    std::remove(path.c_str());
+
+    std::string werr;
+    EXPECT_FALSE(
+        tracer.writeJson("/nonexistent-dir/phloem/trace.json", &werr));
+    EXPECT_FALSE(werr.empty());
+}
+
+} // namespace
+} // namespace phloem

@@ -27,6 +27,11 @@
  *   --size N        synthetic input size for --run (default 4096)
  *   --profile       with --run=native: per-opcode dynamic instruction
  *                   counts and per-queue batch-size statistics
+ *   --trace=PATH    with --run: write a stall-attribution trace as
+ *                   Chrome trace_event JSON (load in Perfetto). Native
+ *                   runs trace wall-clock ns; sim runs trace simulated
+ *                   cycles. With --run=both the sim trace goes to
+ *                   PATH with ".sim" inserted before the extension.
  */
 
 #include <algorithm>
@@ -45,6 +50,7 @@
 #include "ir/op.h"
 #include "ir/printer.h"
 #include "runtime/runtime.h"
+#include "runtime/trace.h"
 #include "sim/binding.h"
 #include "sim/machine.h"
 #include "taco/taco.h"
@@ -61,7 +67,7 @@ usage()
                  "[--no-dce] [--no-handlers]\n"
                  "               [--kernel NAME] [--ir-only] [--quiet]\n"
                  "               [--run[=native|sim|both]] [--size N] "
-                 "[--profile]\n"
+                 "[--profile] [--trace=PATH]\n"
                  "               <file.c>\n"
                  "       phloemc --taco '<tensor expression>'\n");
     return 2;
@@ -181,6 +187,21 @@ printProfile(const rt::NativeStats& st)
                 static_cast<unsigned long long>(fused));
 
     std::printf("profile: queue batches (values per ring sync):\n");
+    auto print_hist = [](const uint64_t (&hist)[rt::QueueStats::
+                                                   kBatchHistBuckets]) {
+        // Buckets are log2: 1, 2-3, 4-7, ..., >= 128.
+        for (int b = 0; b < rt::QueueStats::kBatchHistBuckets; ++b) {
+            if (hist[b] == 0)
+                continue;
+            int lo = 1 << b;
+            if (b == rt::QueueStats::kBatchHistBuckets - 1)
+                std::printf(" %d+:%llu", lo,
+                            static_cast<unsigned long long>(hist[b]));
+            else
+                std::printf(" %d-%d:%llu", lo, (1 << (b + 1)) - 1,
+                            static_cast<unsigned long long>(hist[b]));
+        }
+    };
     for (const auto& q : st.queues) {
         if (q.popBatches == 0 && q.pushBatches == 0)
             continue;
@@ -190,21 +211,62 @@ printProfile(const rt::NativeStats& st)
                     static_cast<unsigned long long>(q.popBatches),
                     q.meanPushBatch(),
                     static_cast<unsigned long long>(q.pushBatches));
+        std::printf("       push hist:");
+        print_hist(q.pushHist);
+        std::printf("\n       pop  hist:");
+        print_hist(q.popHist);
+        std::printf("\n");
     }
     std::printf("profile: mean pop batch %.2f\n", st.meanPopBatch());
+}
+
+/**
+ * Write one backend's trace to disk, reporting rather than failing the
+ * run on I/O errors (the trace is diagnostics, not the result).
+ */
+void
+writeTrace(const trace::Tracer& tracer, const std::string& path)
+{
+    std::string err;
+    if (!tracer.writeJson(path, &err))
+        std::fprintf(stderr, "run: trace write failed: %s\n", err.c_str());
+    else
+        std::printf("run: trace written to %s (%zu workers)\n", path.c_str(),
+                    tracer.buffers().size());
+}
+
+/** Insert ".sim" before the extension (or append it) for --run=both. */
+std::string
+simTracePath(const std::string& path)
+{
+    size_t dot = path.rfind('.');
+    size_t slash = path.find_last_of('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + ".sim";
+    return path.substr(0, dot) + ".sim" + path.substr(dot);
 }
 
 /** Execute the pipeline per --run; returns the process exit code. */
 int
 runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
-            RunMode mode, int64_t size, bool profile)
+            RunMode mode, int64_t size, bool profile,
+            const std::string& trace_path)
 {
     sim::Binding native_binding;
     rt::NativeStats native;
     if (mode == RunMode::kNative || mode == RunMode::kBoth) {
         synthesizeBinding(fn, size, native_binding);
-        rt::Runtime runtime;
+        trace::Tracer tracer{trace::Timebase::kWallNs};
+        rt::RuntimeOptions ropts;
+        if (!trace_path.empty())
+            ropts.tracer = &tracer;
+        rt::Runtime runtime{sim::SysConfig{}, ropts};
         native = runtime.runPipeline(pipeline, native_binding);
+        // Write the trace even on failure: stall attribution is most
+        // useful exactly when the run deadlocked.
+        if (!trace_path.empty())
+            writeTrace(tracer, trace_path);
         if (!native.ok) {
             std::fprintf(stderr, "run: native failed: %s\n",
                          native.error.c_str());
@@ -227,8 +289,16 @@ runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
     sim::Binding sim_binding;
     if (mode == RunMode::kSim || mode == RunMode::kBoth) {
         synthesizeBinding(fn, size, sim_binding);
-        sim::Machine machine{sim::SysConfig{}};
+        trace::Tracer tracer{trace::Timebase::kSimCycles};
+        sim::MachineOptions mopts;
+        if (!trace_path.empty())
+            mopts.tracer = &tracer;
+        sim::Machine machine{sim::SysConfig{}, mopts};
         sim::RunStats stats = machine.runPipeline(pipeline, sim_binding);
+        if (!trace_path.empty())
+            writeTrace(tracer, mode == RunMode::kBoth
+                                   ? simTracePath(trace_path)
+                                   : trace_path);
         if (stats.deadlock) {
             std::fprintf(stderr, "run: simulator deadlock:\n%s\n",
                          stats.deadlockInfo.c_str());
@@ -268,6 +338,7 @@ main(int argc, char** argv)
     RunMode run_mode = RunMode::kNone;
     int64_t run_size = 4096;
     bool profile = false;
+    std::string trace_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -308,6 +379,21 @@ main(int argc, char** argv)
             quiet = true;
         } else if (arg == "--profile") {
             profile = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = arg.substr(std::string("--trace=").size());
+            if (trace_path.empty()) {
+                std::fprintf(stderr,
+                             "phloemc: --trace needs an output path\n");
+                return usage();
+            }
+        } else if (arg == "--trace") {
+            const char* v = optionOperand("--trace", argc, argv, &i);
+            if (v == nullptr || *v == '\0') {
+                std::fprintf(stderr,
+                             "phloemc: --trace needs an output path\n");
+                return usage();
+            }
+            trace_path = v;
         } else if (arg == "--run" || arg == "--run=native") {
             run_mode = RunMode::kNative;
         } else if (arg == "--run=sim") {
@@ -406,7 +492,7 @@ main(int argc, char** argv)
             return 1;
         if (run_mode != RunMode::kNone)
             return runPipeline(*kernel.fn, *result.pipeline, run_mode,
-                               run_size, profile);
+                               run_size, profile, trace_path);
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "phloemc: %s\n", e.what());
