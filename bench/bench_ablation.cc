@@ -38,25 +38,35 @@ runBfs(const sim::SysConfig& cfg, const comp::CompileOptions& copts)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_ablation");
     std::printf("=== Ablation: BFS pipeline speedup vs design choices "
                 "(road network) ===\n\n");
+
+    auto record = [](const char* sweep, const std::string& value,
+                     double s) {
+        if (auto* r = bench::reportRun(
+                "bfs", {{"sweep", sweep}, {"value", value}}))
+            r->top.setGauge("speedup", s);
+    };
 
     std::printf("queue depth (Table III: 24):\n");
     for (int depth : {2, 4, 8, 16, 24, 48, 96}) {
         sim::SysConfig cfg = bench::evalConfig();
         cfg.queueDepth = depth;
-        std::printf("  depth %-4d %5.2fx\n", depth,
-                    runBfs(cfg, comp::CompileOptions{}));
+        double s = runBfs(cfg, comp::CompileOptions{});
+        std::printf("  depth %-4d %5.2fx\n", depth, s);
+        record("queue_depth", std::to_string(depth), s);
     }
 
     std::printf("\nRA outstanding requests:\n");
     for (int inflight : {1, 2, 4, 8, 16, 32}) {
         sim::SysConfig cfg = bench::evalConfig();
         cfg.raMaxInflight = inflight;
-        std::printf("  inflight %-4d %5.2fx\n", inflight,
-                    runBfs(cfg, comp::CompileOptions{}));
+        double s = runBfs(cfg, comp::CompileOptions{});
+        std::printf("  inflight %-4d %5.2fx\n", inflight, s);
+        record("ra_inflight", std::to_string(inflight), s);
     }
 
     std::printf("\npipeline depth (stage-thread budget):\n");
@@ -65,15 +75,18 @@ main()
         cfg.threadsPerCore = std::max(4, stages);
         comp::CompileOptions copts;
         copts.numStages = stages;
-        std::printf("  %d stages  %5.2fx\n", stages, runBfs(cfg, copts));
+        double s = runBfs(cfg, copts);
+        std::printf("  %d stages  %5.2fx\n", stages, s);
+        record("stages", std::to_string(stages), s);
     }
 
     std::printf("\nmispredict penalty (paper-era cores ~14 cycles):\n");
     for (int penalty : {0, 7, 14, 28}) {
         sim::SysConfig cfg = bench::evalConfig();
         cfg.mispredictPenalty = penalty;
-        std::printf("  penalty %-4d %5.2fx\n", penalty,
-                    runBfs(cfg, comp::CompileOptions{}));
+        double s = runBfs(cfg, comp::CompileOptions{});
+        std::printf("  penalty %-4d %5.2fx\n", penalty, s);
+        record("mispredict_penalty", std::to_string(penalty), s);
     }
 
     std::printf("\npass toggles (from the full compiler):\n");
@@ -102,9 +115,10 @@ main()
         for (const auto& r : rows) {
             comp::CompileOptions o = r.opts;
             o.maxQueues = 64;
-            std::printf("  %-18s %5.2fx\n", r.label,
-                        runBfs(bench::evalConfig(), o));
+            double s = runBfs(bench::evalConfig(), o);
+            std::printf("  %-18s %5.2fx\n", r.label, s);
+            record("pass_toggle", r.label, s);
         }
     }
-    return 0;
+    return bench::finishReport();
 }

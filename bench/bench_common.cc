@@ -1,9 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "base/stats_util.h"
 #include "ir/printer.h"
+#include "metrics/collect.h"
 
 namespace phloem::bench {
 
@@ -108,6 +110,97 @@ gmeanSpeedup(const WorkloadRuns& runs, const std::string& variant)
             v.push_back(s);
     }
     return gmean(v);
+}
+
+namespace {
+
+metrics::Report g_report;
+std::string g_report_path;
+std::string g_bench_name;
+
+} // namespace
+
+void
+initReport(int* argc, char** argv, const std::string& bench)
+{
+    g_bench_name = bench;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        if (std::strncmp(argv[i], "--report=", 9) == 0) {
+            g_report_path = argv[i] + 9;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--report") == 0 && i + 1 < *argc) {
+            g_report_path = argv[++i];
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argv[out] = nullptr;
+    *argc = out;
+    if (g_report_path.empty())
+        return;
+    g_report.meta["tool"] = bench;
+    g_report.meta["config_fingerprint"] =
+        metrics::configFingerprint(evalConfig());
+}
+
+metrics::Report*
+report()
+{
+    return g_report_path.empty() ? nullptr : &g_report;
+}
+
+metrics::Run*
+reportRun(const std::string& name,
+          const std::map<std::string, std::string>& labels)
+{
+    if (g_report_path.empty())
+        return nullptr;
+    // The bench label keeps runs distinct when run_benches.sh merges
+    // all suite reports: several benches report the same workloads
+    // under otherwise-identical labels.
+    std::map<std::string, std::string> keyed = labels;
+    keyed.emplace("bench", g_bench_name);
+    return &g_report.run(name, keyed);
+}
+
+void
+reportSuite(const WorkloadRuns& runs)
+{
+    if (g_report_path.empty())
+        return;
+    for (const auto& in : runs.inputs) {
+        for (const auto& [variant, vr] : in.variants) {
+            metrics::Run r = metrics::simRunToMetrics(
+                runs.workload, vr.stats, vr.ok ? &vr.energy : nullptr);
+            r.labels["bench"] = g_bench_name;
+            r.labels["input"] = in.input;
+            r.labels["variant"] = variant;
+            double s = speedup(in, variant);
+            if (s > 0)
+                r.top.setGauge("speedup", s);
+            if (!vr.ok)
+                r.top.addCounter("failures", 1);
+            g_report.run(r.name, r.labels) = std::move(r);
+        }
+    }
+}
+
+int
+finishReport()
+{
+    if (g_report_path.empty())
+        return 0;
+    std::string err;
+    if (!metrics::writeFile(g_report, g_report_path, &err)) {
+        std::fprintf(stderr, "%s: report write failed: %s\n",
+                     g_bench_name.c_str(), err.c_str());
+        return 1;
+    }
+    std::printf("report: %s (%zu runs)\n", g_report_path.c_str(),
+                g_report.runs.size());
+    return 0;
 }
 
 } // namespace phloem::bench

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "driver/experiment.h"
+#include "metrics/metrics.h"
 #include "sim/energy.h"
 #include "workloads/workload.h"
 
@@ -94,6 +95,38 @@ speedup(const InputRuns& in, const std::string& variant)
 
 /** gmean speedup of a variant across a workload's inputs (skips fails). */
 double gmeanSpeedup(const WorkloadRuns& runs, const std::string& variant);
+
+// ---------------------------------------------------------------------
+// Machine-readable run reports (src/metrics). Every harness calls
+// initReport() first — it strips --report=PATH (or --report PATH) from
+// argv so the existing positional parsing stays untouched — then feeds
+// results via reportSuite()/reportRun(), and returns finishReport() so
+// a failed report write fails the bench.
+// ---------------------------------------------------------------------
+
+/** Strip --report from argv and remember the bench name + output path. */
+void initReport(int* argc, char** argv, const std::string& bench);
+
+/** The in-progress report; nullptr when --report was not given. */
+metrics::Report* report();
+
+/**
+ * Find-or-create one run in the report; nullptr when reporting is off.
+ * For ad-hoc result rows (pass configs, ablation sweeps): set gauges /
+ * counters on ->top.
+ */
+metrics::Run* reportRun(const std::string& name,
+                        const std::map<std::string, std::string>& labels);
+
+/**
+ * Add every variant run of a workload suite: one metrics run per
+ * (workload, input, variant) with the full simulator breakdown, energy,
+ * and a "speedup" gauge vs the serial baseline. No-op when off.
+ */
+void reportSuite(const WorkloadRuns& runs);
+
+/** Write the report if one was requested. Returns a process exit code. */
+int finishReport();
 
 } // namespace phloem::bench
 

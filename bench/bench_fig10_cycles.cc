@@ -39,6 +39,7 @@ printBreakdown(const char* tag, const bench::VariantRun& run,
 int
 main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_fig10");
     const char* only = argc > 1 ? argv[1] : nullptr;
     std::printf("=== Fig. 10: cycle breakdown, normalized to serial "
                 "(aggregate thread-cycles) ===\n");
@@ -51,6 +52,7 @@ main(int argc, char** argv)
         bench::SuiteOptions opts;
         opts.runPgo = false;  // breakdown uses the static pipeline
         auto runs = bench::runWorkloadSuite(w, opts);
+        bench::reportSuite(runs);
         std::printf("%s:\n", runs.workload.c_str());
         for (const auto& in : runs.inputs) {
             std::printf("  %s (serial %llu cycles)\n", in.input.c_str(),
@@ -65,5 +67,5 @@ main(int argc, char** argv)
                 printBreakdown("M", in.variants.at("manual"), base);
         }
     }
-    return 0;
+    return bench::finishReport();
 }

@@ -35,6 +35,7 @@ printEnergy(const char* tag, const bench::VariantRun& run,
 int
 main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_fig11");
     const char* only = argc > 1 ? argv[1] : nullptr;
     std::printf("=== Fig. 11: energy breakdown, normalized to serial "
                 "===\n\n");
@@ -45,6 +46,7 @@ main(int argc, char** argv)
         bench::SuiteOptions opts;
         opts.runPgo = false;
         auto runs = bench::runWorkloadSuite(w, opts);
+        bench::reportSuite(runs);
         std::printf("%s:\n", runs.workload.c_str());
         for (const auto& in : runs.inputs) {
             const auto& serial = in.variants.at("serial");
@@ -64,5 +66,5 @@ main(int argc, char** argv)
     }
     std::printf("\npaper shape: Phloem below serial and data-parallel "
                 "everywhere, comparable to manual\n");
-    return 0;
+    return bench::finishReport();
 }

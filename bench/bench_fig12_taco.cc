@@ -16,6 +16,7 @@ using namespace phloem;
 int
 main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_fig12");
     const char* only = argc > 1 ? argv[1] : nullptr;
     std::printf("=== Fig. 12: Taco kernels, speedup over Taco serial "
                 "===\n");
@@ -29,6 +30,7 @@ main(int argc, char** argv)
         opts.runPgo = false;     // Taco uses the static flow (Sec. VI-C)
         opts.runManual = false;  // no manual pipelines for Taco code
         auto runs = bench::runWorkloadSuite(w, opts);
+        bench::reportSuite(runs);
         std::printf("%-14s %11.2fx %15.2fx\n", runs.workload.c_str(),
                     bench::gmeanSpeedup(runs, "parallel"),
                     bench::gmeanSpeedup(runs, "phloem-static"));
@@ -47,5 +49,5 @@ main(int argc, char** argv)
             }
         }
     }
-    return 0;
+    return bench::finishReport();
 }

@@ -18,6 +18,7 @@ using namespace phloem;
 int
 main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_fig13");
     std::vector<std::string> names = {"bfs", "spmm", "taco_spmv"};
     if (argc > 1)
         names = {argv[1]};
@@ -43,6 +44,16 @@ main(int argc, char** argv)
         std::printf("%s (%zu candidate pipelines profiled; best %.2fx)\n",
                     name.c_str(), result.entries.size(),
                     result.bestTrainingSpeedup);
+        if (auto* r = bench::reportRun(name, {{"phase", "autotune"}})) {
+            r->top.addCounter("candidates", result.entries.size());
+            r->top.setGauge("best_training_speedup",
+                            result.bestTrainingSpeedup);
+            auto& d = r->top.dist("candidate_speedup",
+                                  {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0});
+            for (const auto& e : result.entries)
+                if (e.trainingSpeedup > 0)
+                    d.observe(e.trainingSpeedup);
+        }
         std::printf("  %-8s %5s %8s %8s %8s\n", "length", "count", "min",
                     "median", "max");
         for (auto& [len, v] : by_length) {
@@ -52,5 +63,5 @@ main(int argc, char** argv)
         }
         std::printf("\n");
     }
-    return 0;
+    return bench::finishReport();
 }

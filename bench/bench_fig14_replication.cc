@@ -276,6 +276,7 @@ checkReplicated(sim::Binding& b, const wl::GraphInput& in,
 int
 main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_fig14");
     const char* only = argc > 1 ? argv[1] : nullptr;
     const RepSpec specs[] = {
         {"bfs", wl::kBfsReplicated, 4, 4, 4},
@@ -398,6 +399,12 @@ main(int argc, char** argv)
                     "stages)\n",
                     spec.workload, gmean(dp_s), gmean(rep_s),
                     gmean(man_s), spec.replicas, spec.stagesPerReplica);
+        if (auto* r = bench::reportRun(spec.workload,
+                                       {{"phase", "replication"}})) {
+            r->top.setGauge("speedup_dp16", gmean(dp_s));
+            r->top.setGauge("speedup_replicated", gmean(rep_s));
+            r->top.setGauge("speedup_manual", gmean(man_s));
+        }
     }
-    return 0;
+    return bench::finishReport();
 }

@@ -28,8 +28,9 @@ struct Config
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_fig6");
     wl::Workload bfs = wl::findWorkload("bfs");
     sim::SysConfig cfg = bench::evalConfig();
     driver::Experiment exp(bfs, cfg);
@@ -57,10 +58,12 @@ main()
         auto df = sim::runDataflow(exp.serialFn(), binding, cfg);
         std::string err;
         bool ok = road->check(binding, wl::Variant::kSerial, &err);
-        std::printf("%-22s %9.2fx %s\n", "dataflow (Dynamatic)",
-                    static_cast<double>(serial) /
-                        static_cast<double>(df.cycles),
+        double s = static_cast<double>(serial) /
+                   static_cast<double>(df.cycles);
+        std::printf("%-22s %9.2fx %s\n", "dataflow (Dynamatic)", s,
                     ok ? "" : "(INCORRECT)");
+        if (auto* r = bench::reportRun("bfs", {{"config", "dataflow"}}))
+            r->top.setGauge("speedup", s);
     }
 
     const Config configs[] = {
@@ -95,12 +98,13 @@ main()
                         out.error.c_str());
             continue;
         }
+        double s = static_cast<double>(serial) /
+                   static_cast<double>(out.stats.cycles);
         std::printf("%-22s %9.2fx (%zu stages + %zu RAs, %d queues)\n",
-                    c.label,
-                    static_cast<double>(serial) /
-                        static_cast<double>(out.stats.cycles),
-                    res.pipeline->stages.size(), res.pipeline->ras.size(),
-                    res.pipeline->numQueues());
+                    c.label, s, res.pipeline->stages.size(),
+                    res.pipeline->ras.size(), res.pipeline->numQueues());
+        if (auto* r = bench::reportRun("bfs", {{"config", c.label}}))
+            r->top.setGauge("speedup", s);
     }
 
     // Manual baseline.
@@ -108,12 +112,15 @@ main()
     if (manual != nullptr) {
         auto out = exp.runPipeline(*road, *manual);
         if (out.correct) {
-            std::printf("%-22s %9.2fx\n", "manually pipelined",
-                        static_cast<double>(serial) /
-                            static_cast<double>(out.stats.cycles));
+            double s = static_cast<double>(serial) /
+                       static_cast<double>(out.stats.cycles);
+            std::printf("%-22s %9.2fx\n", "manually pipelined", s);
+            if (auto* r =
+                    bench::reportRun("bfs", {{"config", "manual"}}))
+                r->top.setGauge("speedup", s);
         }
     }
     std::printf("\npaper shape: dataflow < serial < Q < ... < manual "
                 "~ all; CV alone below its R,Q base; RA largest jump\n");
-    return 0;
+    return bench::finishReport();
 }

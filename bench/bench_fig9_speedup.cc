@@ -18,6 +18,7 @@ using namespace phloem;
 int
 main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_fig9");
     const char* only = argc > 1 ? argv[1] : nullptr;
 
     std::printf("=== Fig. 9: speedup over serial (gmean across test "
@@ -31,6 +32,7 @@ main(int argc, char** argv)
             continue;
         bench::SuiteOptions opts;
         auto runs = bench::runWorkloadSuite(w, opts);
+        bench::reportSuite(runs);
         double dp = bench::gmeanSpeedup(runs, "parallel");
         double pgo = bench::gmeanSpeedup(runs, "phloem");
         double st = bench::gmeanSpeedup(runs, "phloem-static");
@@ -71,5 +73,11 @@ main(int argc, char** argv)
         std::printf("Phloem relative to manual: %.0f%% (paper: 85%%)\n",
                     100.0 * gmean(pgo_all) / gmean(manual_all));
     }
-    return 0;
+    if (auto* r = bench::reportRun("fig9", {{"summary", "gmean"}})) {
+        if (!pgo_all.empty())
+            r->top.setGauge("speedup_phloem", gmean(pgo_all));
+        if (!manual_all.empty())
+            r->top.setGauge("speedup_manual", gmean(manual_all));
+    }
+    return bench::finishReport();
 }

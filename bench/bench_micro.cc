@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "compiler/compiler.h"
 #include "compiler/cost_model.h"
 #include "driver/experiment.h"
@@ -87,4 +88,48 @@ BM_SimulatorThroughput(benchmark::State& state)
 }
 BENCHMARK(BM_SimulatorThroughput);
 
-BENCHMARK_MAIN();
+namespace {
+
+/**
+ * Console output as usual, but each benchmark's timing also lands in
+ * the shared metrics report (one run per benchmark, real/cpu ns as
+ * lower-is-better gauges) so run_benches.sh can diff tool performance
+ * like any other report.
+ */
+class ReportingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run>& reports) override
+    {
+        ConsoleReporter::ReportRuns(reports);
+        for (const auto& run : reports) {
+            if (run.error_occurred)
+                continue;
+            auto* r = bench::reportRun(run.benchmark_name(), {});
+            if (r == nullptr)
+                continue;
+            r->top.setGauge("real_ns", run.GetAdjustedRealTime());
+            r->top.setGauge("cpu_ns", run.GetAdjustedCPUTime());
+            r->top.addCounter(
+                "iterations", static_cast<uint64_t>(run.iterations));
+        }
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // Strip --report before google-benchmark sees argv (it rejects
+    // unknown flags).
+    bench::initReport(&argc, argv, "bench_micro");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ReportingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return bench::finishReport();
+}

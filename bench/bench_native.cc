@@ -30,6 +30,7 @@
 #include "driver/experiment.h"
 #include "frontend/frontend.h"
 #include "ir/builder.h"
+#include "metrics/collect.h"
 #include "runtime/runtime.h"
 #include "runtime/trace.h"
 #include "sim/binding.h"
@@ -55,26 +56,13 @@ void gather_sum(const int* restrict pos, const int* restrict col,
 }
 )";
 
-/** One result row, collected for the optional --json report. */
+/** One result row; the machine-readable run goes to the shared report. */
 struct Row
 {
     std::string name;
     std::string input;
     bool ok = false;
     std::string error;
-    double serialMs = 0.0;
-    double pipelineMs = 0.0;
-    int stageThreads = 0;
-    int ras = 0;
-    /** Pipeline dynamic instructions (stage workers, all replicas). */
-    uint64_t instructions = 0;
-    /** Values per consumer-side ring synchronization (engine runs). */
-    double meanPopBatch = 0.0;
-    /** Pipeline ran the pre-decoded engine (vs raw interpreter). */
-    bool engine = false;
-    /** Batch-size histograms (log2 buckets), summed over all queues. */
-    uint64_t pushHist[rt::QueueStats::kBatchHistBuckets] = {};
-    uint64_t popHist[rt::QueueStats::kBatchHistBuckets] = {};
 };
 
 std::vector<Row> g_rows;
@@ -82,28 +70,32 @@ std::vector<Row> g_rows;
 /** Output directory for --trace-dir; empty = tracing off. */
 std::string g_trace_dir;
 
+/**
+ * Add one pipeline run (plus its serial baseline timing) to the shared
+ * metrics report: the full native breakdown from nativeRunToMetrics,
+ * the serial/pipeline wall times, and the wall-clock speedup.
+ */
 void
-sumHists(const rt::NativeStats& st, Row& row)
+reportNativeRun(const std::string& name, const std::string& input,
+                const rt::NativeStats& ser, const rt::NativeStats& pipe)
 {
-    for (const auto& q : st.queues)
-        for (int b = 0; b < rt::QueueStats::kBatchHistBuckets; ++b) {
-            row.pushHist[b] += q.pushHist[b];
-            row.popHist[b] += q.popHist[b];
-        }
+    if (bench::report() == nullptr)
+        return;
+    metrics::Run r = metrics::nativeRunToMetrics(name, pipe);
+    r.labels["bench"] = "bench_native";  // assignment below keeps labels
+    r.labels["input"] = input;
+    r.top.setGauge("serial_ms", ser.wallMs());
+    r.top.setGauge("pipeline_ms", pipe.wallMs());
+    if (pipe.wallMs() > 0.0)
+        r.top.setGauge("speedup", ser.wallMs() / pipe.wallMs());
+    *bench::reportRun(r.name, r.labels) = std::move(r);
 }
 
-/** "[1,0,42,...]" — kept compact so each JSON row stays on one line. */
-std::string
-histJson(const uint64_t (&hist)[rt::QueueStats::kBatchHistBuckets])
+void
+reportFailure(const std::string& name, const std::string& input)
 {
-    std::string out = "[";
-    for (int b = 0; b < rt::QueueStats::kBatchHistBuckets; ++b) {
-        if (b > 0)
-            out += ",";
-        out += std::to_string(hist[b]);
-    }
-    out += "]";
-    return out;
+    if (auto* r = bench::reportRun(name, {{"input", input}}))
+        r->top.addCounter("failures", 1);
 }
 
 /** DIR/<name>-<input>.trace.json with path-hostile characters mapped. */
@@ -130,57 +122,6 @@ writeBenchTrace(const trace::Tracer& tracer, const std::string& name,
         std::printf("  trace: %s\n", path.c_str());
 }
 
-std::string
-jsonEscape(const std::string& s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (c == '\n') {
-            out += "\\n";
-            continue;
-        }
-        out += c;
-    }
-    return out;
-}
-
-/** Write every collected row as a JSON array of objects. */
-bool
-writeJson(const char* path)
-{
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "bench_native: cannot write %s\n", path);
-        return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"bench_native\",\n  \"rows\": [\n");
-    for (size_t i = 0; i < g_rows.size(); ++i) {
-        const Row& r = g_rows[i];
-        std::fprintf(
-            f,
-            "    {\"name\": \"%s\", \"input\": \"%s\", \"ok\": %s, "
-            "\"error\": \"%s\", \"serial_ms\": %.3f, "
-            "\"pipeline_ms\": %.3f, \"speedup\": %.4f, "
-            "\"stage_threads\": %d, \"ras\": %d, "
-            "\"instructions\": %llu, \"mean_pop_batch\": %.2f, "
-            "\"engine\": %s, \"push_hist\": %s, \"pop_hist\": %s}%s\n",
-            jsonEscape(r.name).c_str(), jsonEscape(r.input).c_str(),
-            r.ok ? "true" : "false", jsonEscape(r.error).c_str(),
-            r.serialMs, r.pipelineMs,
-            r.pipelineMs > 0.0 ? r.serialMs / r.pipelineMs : 0.0,
-            r.stageThreads, r.ras,
-            static_cast<unsigned long long>(r.instructions),
-            r.meanPopBatch, r.engine ? "true" : "false",
-            histJson(r.pushHist).c_str(), histJson(r.popHist).c_str(),
-            i + 1 < g_rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    return true;
-}
-
 void
 reportRow(const char* name, const char* input,
           const driver::NativeOutcome& ser,
@@ -192,20 +133,14 @@ reportRow(const char* name, const char* input,
     if (!ser.correct || !pipe.correct) {
         row.error = !ser.correct ? ser.error : pipe.error;
         g_rows.push_back(row);
+        reportFailure(name, input);
         std::printf("%-12s %-12s FAILED (%s)\n", name, input,
                     row.error.c_str());
         return;
     }
     row.ok = true;
-    row.serialMs = ser.stats.wallMs();
-    row.pipelineMs = pipe.stats.wallMs();
-    row.stageThreads = stage_threads;
-    row.ras = ras;
-    row.instructions = pipe.stats.totalInstructions();
-    row.meanPopBatch = pipe.stats.meanPopBatch();
-    row.engine = pipe.stats.engine;
-    sumHists(pipe.stats, row);
     g_rows.push_back(row);
+    reportNativeRun(name, input, ser.stats, pipe.stats);
     std::printf("%-12s %-12s serial %8.2f ms   pipeline %8.2f ms   "
                 "speedup %5.2fx   (%d threads + %d RAs, pop batch "
                 "%.1f)\n",
@@ -366,10 +301,11 @@ benchGatherSum(int64_t rows, int64_t degree)
 
     Row row;
     row.name = "gather_sum";
-    row.input = std::to_string(rows) + "x" + std::to_string(degree);
+    row.input = input_name;
     if (!ser.ok || !pipe.ok) {
         row.error = !ser.ok ? ser.error : pipe.error;
         g_rows.push_back(row);
+        reportFailure(row.name, row.input);
         std::printf("gather_sum: run failed: %s\n", row.error.c_str());
         return false;
     }
@@ -377,19 +313,13 @@ benchGatherSum(int64_t rows, int64_t degree)
             *pipe_binding.array("out"))) {
         row.error = "output mismatch between serial and pipeline";
         g_rows.push_back(row);
+        reportFailure(row.name, row.input);
         std::printf("gather_sum: MISMATCH between serial and pipeline\n");
         return false;
     }
     row.ok = true;
-    row.serialMs = ser.wallMs();
-    row.pipelineMs = pipe.wallMs();
-    row.stageThreads = pipe.numStageThreads;
-    row.ras = pipe.numRAWorkers;
-    row.instructions = pipe.totalInstructions();
-    row.meanPopBatch = pipe.meanPopBatch();
-    row.engine = pipe.engine;
-    sumHists(pipe, row);
     g_rows.push_back(row);
+    reportNativeRun(row.name, row.input, ser, pipe);
 
     double speedup = ser.wallMs() / pipe.wallMs();
     std::printf("%-12s %-12s serial %8.2f ms   pipeline %8.2f ms   "
@@ -417,17 +347,32 @@ benchGatherSum(int64_t rows, int64_t degree)
 int
 main(int argc, char** argv)
 {
+    // --json= predates the shared report format and stays as an alias
+    // for --report= (same schema-versioned output, written by
+    // src/metrics).
+    std::vector<std::string> arg_store;
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--json=", 0) == 0)
+            a = "--report=" + a.substr(7);
+        arg_store.push_back(std::move(a));
+    }
+    for (auto& a : arg_store)
+        args.push_back(a.data());
+    args.push_back(nullptr);
+    int nargs = static_cast<int>(args.size()) - 1;
+    bench::initReport(&nargs, args.data(), "bench_native");
+
     int64_t rows = 1 << 15;
     int64_t degree = 16;
-    const char* json_path = nullptr;
     std::vector<const char*> pos;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--json=", 7) == 0)
-            json_path = argv[i] + 7;
-        else if (std::strncmp(argv[i], "--trace-dir=", 12) == 0)
-            g_trace_dir = argv[i] + 12;
+    for (int i = 1; i < nargs; ++i) {
+        if (std::strncmp(args[i], "--trace-dir=", 12) == 0)
+            g_trace_dir = args[i] + 12;
         else
-            pos.push_back(argv[i]);
+            pos.push_back(args[i]);
     }
     if (!g_trace_dir.empty()) {
         std::error_code ec;
@@ -486,7 +431,7 @@ main(int argc, char** argv)
     for (const Row& r : g_rows)
         if (!r.ok)
             ++failures;
-    if (json_path != nullptr && !writeJson(json_path))
+    if (bench::finishReport() != 0)
         return 1;
     return failures == 0 ? 0 : 1;
 }

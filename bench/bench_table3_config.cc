@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "sim/config.h"
 
 using namespace phloem;
@@ -42,12 +43,27 @@ print(const char* title, const sim::SysConfig& c)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_table3");
     std::printf("=== Table III: configuration parameters ===\n\n");
     print("Paper configuration (Table III):", sim::SysConfig{});
     print("Scaled evaluation configuration (inputs ~40x smaller; cache "
           "capacities scaled to match, latencies unchanged):",
           sim::SysConfig::scaledEval());
-    return 0;
+    auto add = [](const char* variant, const sim::SysConfig& c) {
+        if (auto* r = bench::reportRun("config",
+                                       {{"variant", variant}})) {
+            r->top.addCounter("cores",
+                              static_cast<uint64_t>(c.numCores));
+            r->top.addCounter("queue_depth",
+                              static_cast<uint64_t>(c.queueDepth));
+            r->top.addCounter("max_ras",
+                              static_cast<uint64_t>(c.maxRAs));
+            r->top.setGauge("freq_ghz", c.freqGHz);
+        }
+    };
+    add("paper", sim::SysConfig{});
+    add("scaled", sim::SysConfig::scaledEval());
+    return bench::finishReport();
 }

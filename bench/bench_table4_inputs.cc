@@ -7,13 +7,15 @@
 #include <cstdio>
 
 #include "base/stats_util.h"
+#include "bench/bench_common.h"
 #include "workloads/graph.h"
 
 using namespace phloem;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_table4");
     std::printf("=== Table IV: input graphs (scaled ~40x) ===\n");
     std::printf("%-24s %-26s %10s %10s %10s\n", "graph", "domain",
                 "vertices", "edges", "avg deg");
@@ -25,6 +27,15 @@ main()
                         .c_str(),
                     in.graph->avgDegree(),
                     in.training ? "  [training]" : "");
+        if (auto* r = bench::reportRun(
+                in.name,
+                {{"role", in.training ? "training" : "test"}})) {
+            r->top.addCounter("vertices",
+                              static_cast<uint64_t>(in.graph->n));
+            r->top.addCounter("edges",
+                              static_cast<uint64_t>(in.graph->m()));
+            r->top.setGauge("avg_degree", in.graph->avgDegree());
+        }
     }
-    return 0;
+    return bench::finishReport();
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "base/stats_util.h"
+#include "bench/bench_common.h"
 #include "workloads/matrix.h"
 
 using namespace phloem;
@@ -15,7 +16,8 @@ using namespace phloem;
 namespace {
 
 void
-printSet(const char* title, const std::vector<wl::MatrixInput>& inputs)
+printSet(const char* title, const char* set,
+         const std::vector<wl::MatrixInput>& inputs)
 {
     std::printf("%s\n", title);
     std::printf("%-20s %-26s %12s %12s\n", "matrix", "domain",
@@ -27,6 +29,13 @@ printSet(const char* title, const std::vector<wl::MatrixInput>& inputs)
                         .c_str(),
                     in.matrix->avgNnzPerRow(),
                     in.training ? "  [training]" : "");
+        if (auto* r = bench::reportRun(
+                in.name, {{"set", set},
+                          {"role", in.training ? "training" : "test"}})) {
+            r->top.addCounter(
+                "rows", static_cast<uint64_t>(in.matrix->rows));
+            r->top.setGauge("avg_nnz_per_row", in.matrix->avgNnzPerRow());
+        }
     }
     std::printf("\n");
 }
@@ -34,11 +43,12 @@ printSet(const char* title, const std::vector<wl::MatrixInput>& inputs)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::initReport(&argc, argv, "bench_table5");
     std::printf("=== Table V: input matrices ===\n\n");
-    printSet("SpMM inputs:", wl::spmmInputs());
-    printSet("Taco (MTMul, Residual, SpMV, SDDMM) inputs:",
+    printSet("SpMM inputs:", "spmm", wl::spmmInputs());
+    printSet("Taco (MTMul, Residual, SpMV, SDDMM) inputs:", "taco",
              wl::tacoInputs());
-    return 0;
+    return bench::finishReport();
 }

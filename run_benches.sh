@@ -1,18 +1,28 @@
 #!/bin/bash
 # Regenerate every table/figure; tee everything into bench_output.txt.
 #
+# Every bench also writes a machine-readable metrics report into
+# bench_reports/, and the reports are aggregated (with the git sha
+# stamped into the metadata) into BENCH_report.json — one
+# schema-versioned file for the whole suite. The native results keep
+# their BENCH_native.json name for compatibility; it is the same report
+# format. Inspect or compare any of them with build/tools/phloem-report.
+#
 # Exits nonzero if any bench fails (pipefail keeps tee from masking a
-# bench's exit status), and writes the native-runtime results to
-# BENCH_native.json for machine consumption.
+# bench's exit status).
 set -u -o pipefail
 cd "$(dirname "$0")"
 OUT=bench_output.txt
+REPORTS=bench_reports
 : > "$OUT"
+mkdir -p "$REPORTS"
 failed=()
 run() {
     echo "########## $1 ##########" | tee -a "$OUT"
-    if ! ./build/bench/"$@" 2>&1 | tee -a "$OUT"; then
-        failed+=("$1")
+    local name="$1"; shift
+    if ! ./build/bench/"$name" "$@" --report="$REPORTS/$name.json" 2>&1 \
+            | tee -a "$OUT"; then
+        failed+=("$name")
     fi
     echo | tee -a "$OUT"
 }
@@ -28,33 +38,30 @@ if [[ -f BENCH_native.json ]]; then
     PREV=BENCH_native.prev.json
     cp BENCH_native.json "$PREV"
 fi
-run bench_native --json=BENCH_native.json
-# Informational before/after table (never affects the exit status): one
-# row per kernel, pipeline wall-clock old vs new. Rows are emitted
-# one-per-line by bench_native, so line-oriented parsing is safe.
-if [[ -n "$PREV" && -f BENCH_native.json ]]; then
-    awk '
-        /"name":/ {
-            match($0, /"name": "[^"]*"/)
-            name = substr($0, RSTART + 9, RLENGTH - 10)
-            match($0, /"pipeline_ms": [0-9.]*/)
-            ms = substr($0, RSTART + 15, RLENGTH - 15)
-            if (FILENAME == ARGV[1]) { old[name] = ms }
-            else if (name in old) {
-                d = (old[name] > 0) ? old[name] / ms : 0
-                printf "  %-12s %10.3f ms -> %10.3f ms   %.2fx\n", \
-                       name, old[name], ms, d
-            } else {
-                printf "  %-12s %10s    -> %10.3f ms   (new)\n", \
-                       name, "-", ms
-            }
-        }' "$PREV" BENCH_native.json \
-        | { echo "native pipeline delta vs previous run:"; cat; } \
-        | tee -a "$OUT"
+run bench_native
+cp "$REPORTS/bench_native.json" BENCH_native.json
+# Informational wall-clock delta vs the previous run (never affects the
+# exit status: --no-fail). Wall times are host-noisy; the CI perf gate
+# diffs against a committed baseline instead.
+if [[ -n "$PREV" ]]; then
+    echo "native delta vs previous run (informational):" | tee -a "$OUT"
+    ./build/tools/phloem-report --diff "$PREV" BENCH_native.json \
+        --no-fail 2>&1 | tee -a "$OUT"
+fi
+# Aggregate everything into one versioned report stamped with the
+# commit and timestamp it measured.
+GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if ! ./build/tools/phloem-report --merge BENCH_report.json \
+        "$REPORTS"/*.json \
+        --meta tool=run_benches \
+        --meta git_sha="$GIT_SHA" \
+        --meta date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+        | tee -a "$OUT"; then
+    failed+=(merge)
 fi
 if ((${#failed[@]} > 0)); then
     echo "FAILED benches: ${failed[*]}" | tee -a "$OUT"
     exit 1
 fi
-echo "all benches passed; native results in BENCH_native.json" \
+echo "all benches passed; aggregated report in BENCH_report.json" \
     | tee -a "$OUT"

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Collectors: turn each backend's raw stats structs into metrics Runs,
+ * and validate their internal consistency while doing so.
+ *
+ * Every producer (simulator, native runtime, trace summaries) routes
+ * through these functions, so a report written by phloemc, bench_native,
+ * or any figure harness uses identical metric names and families — the
+ * property the diff tool and the CI perf gate depend on.
+ *
+ * Consistency checking: finalizing a run into metrics is the one moment
+ * both sides of each accounting identity are in hand, so the collectors
+ * verify them:
+ *   - per thread: issueCycles + queueStallCycles + frontendCycles
+ *     <= cycles - startCycle (otherwise backendCycles() silently clamps
+ *     a negative residual and the Fig. 10 buckets lie)
+ *   - per queue: pushes == pops + residual
+ * Violations are loudly warned in debug builds; under PHLOEM_STRICT_STATS=1
+ * (any build) they throw, which is how CI can turn accounting rot into a
+ * hard failure.
+ */
+
+#ifndef PHLOEM_METRICS_COLLECT_H
+#define PHLOEM_METRICS_COLLECT_H
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "runtime/stats.h"
+#include "runtime/trace.h"
+#include "sim/config.h"
+#include "sim/energy.h"
+#include "sim/stats.h"
+
+namespace phloem::metrics {
+
+/**
+ * Convert one simulator run. Families: "stage" (per thread), "queue",
+ * "ra". Pass `energy` to add the Fig. 11 gauges.
+ */
+Run simRunToMetrics(const std::string& name, const sim::RunStats& stats,
+                    const sim::EnergyBreakdown* energy = nullptr);
+
+/**
+ * Convert one native-runtime run. Families: "worker" (stages + RAs),
+ * "queue" (with push/pop batch-size distributions), "opcode" (dynamic
+ * instruction counts from --profile-grade stats when present).
+ */
+Run nativeRunToMetrics(const std::string& name,
+                       const rt::NativeStats& stats);
+
+/**
+ * Summarize a stall-attribution trace into the run's "lane" family:
+ * per-lane blocked-span counts and total blocked time (enq/deq/barrier),
+ * RA service bursts and streamed elements. Units follow the tracer's
+ * timebase (wall-ns native, cycles sim).
+ */
+void addTraceSummary(Run& run, const trace::Tracer& tracer);
+
+/**
+ * Accounting-identity violations, one human-readable string each
+ * (empty = consistent). Exposed so tests can inject broken stats.
+ */
+std::vector<std::string> checkSimStats(const sim::RunStats& stats);
+std::vector<std::string> checkNativeStats(const rt::NativeStats& stats);
+
+/** True when PHLOEM_STRICT_STATS=1/true/on is set in the environment. */
+bool strictStats();
+
+/**
+ * Stable fingerprint of the simulated-system configuration (FNV-1a over
+ * every Table III parameter). Two reports with different fingerprints
+ * measured different machines; the diff tool warns before comparing.
+ */
+std::string configFingerprint(const sim::SysConfig& cfg);
+
+} // namespace phloem::metrics
+
+#endif // PHLOEM_METRICS_COLLECT_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Metric-by-metric comparison of two reports — the perf-regression gate.
+ *
+ * Comparing "this PR's bench run" against a committed baseline requires
+ * per-metric judgement, not one global threshold: simulated cycles are
+ * deterministic (tight tolerance), wall-clock is host-noisy (loose,
+ * lower-is-better), functional counters are exact (any drift is a
+ * correctness smell), and scheduling artifacts (block counts, occupancy
+ * high-water marks, batch shapes) vary run to run and must never gate.
+ * The default policy encodes those classes by metric name; callers can
+ * override any metric's tolerance.
+ */
+
+#ifndef PHLOEM_METRICS_DIFF_H
+#define PHLOEM_METRICS_DIFF_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace phloem::metrics {
+
+/** How a metric's delta is judged. */
+enum class Direction {
+    kExact,        ///< any relative deviation beyond tol regresses
+    kLowerBetter,  ///< regression only when the new value is higher
+    kHigherBetter, ///< regression only when the new value is lower
+    kInfo,         ///< reported, never a regression (scheduling noise)
+};
+
+struct Tolerance
+{
+    Direction direction = Direction::kExact;
+    /** Relative tolerance: |delta| / max(|old|, eps) must stay within. */
+    double rel = 0.0;
+};
+
+enum class Verdict { kOk, kImproved, kRegression, kInfo, kMissing, kNew };
+
+/** One compared metric. */
+struct DiffEntry
+{
+    /** "run-name/family[label]/metric" path, stable across runs. */
+    std::string path;
+    double oldValue = 0.0;
+    double newValue = 0.0;
+    double relDelta = 0.0;  ///< (new - old) / max(|old|, eps)
+    bool isCounter = false; ///< render as integer, not %g
+    Tolerance tol;
+    Verdict verdict = Verdict::kOk;
+};
+
+struct DiffOptions
+{
+    /**
+     * Per-metric overrides, matched by suffix against the entry path
+     * (so "cycles" matches every run's "cycles" and "stage[...]/cycles").
+     * Overrides replace the built-in class's tolerance but keep its
+     * direction unless the metric is unknown (then kExact).
+     */
+    std::map<std::string, double> tolOverrides;
+    /** Tolerance for metrics no built-in class matches. */
+    double defaultTol = 0.25;
+    /** Include unchanged metrics in `entries` (the diff table). */
+    bool keepUnchanged = false;
+};
+
+struct DiffResult
+{
+    std::vector<DiffEntry> entries;  ///< regressions first
+    int regressions = 0;
+    int improvements = 0;
+    int infoChanges = 0;
+    /** Baseline/new config fingerprints differ: deltas are suspect. */
+    bool configMismatch = false;
+};
+
+/** The built-in tolerance class for a metric path (see diff.cc table). */
+Tolerance classifyMetric(const std::string& path, bool isCounter);
+
+/** Compare `oldRep` (baseline) against `newRep`. */
+DiffResult diffReports(const Report& oldRep, const Report& newRep,
+                       const DiffOptions& opts = DiffOptions{});
+
+/** Render the diff as an aligned text table (for logs / CI annotation). */
+std::string formatDiff(const DiffResult& result, size_t maxRows = 0);
+
+} // namespace phloem::metrics
+
+#endif // PHLOEM_METRICS_DIFF_H

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The unified metrics model every Phloem producer reports through.
+ *
+ * The paper's whole evaluation is aggregate metrics — Fig. 9 speedups,
+ * Fig. 10 cycle buckets, Fig. 11 energy, Table V queue/RA activity —
+ * yet the repo historically had three disjoint stats structs
+ * (sim::RunStats, rt::NativeStats, rt::QueueStats) and ad-hoc text or
+ * hand-rolled JSON per harness. This model gives them one vocabulary:
+ *
+ *  - counter:      monotonically accumulated event count (uint64)
+ *  - gauge:        a measured value (double): cycles, wall-ns, mJ, x
+ *  - distribution: histogram over fixed bucket edges, plus count/sum
+ *  - family:       metric sets keyed by a label (per stage / queue /
+ *                  RA / core), so per-entity data stays addressable
+ *                  instead of being flattened into name suffixes
+ *
+ * A Report is a set of named runs (one per backend/variant execution)
+ * plus string metadata (git sha, config fingerprint), serialized as
+ * schema-versioned JSON via toJson()/writeFile() and read back with
+ * parseReport()/readFile(). The reader rejects unknown schema versions
+ * so downstream tooling (phloem-report, the CI perf gate) never
+ * misinterprets a report written by a different vocabulary.
+ */
+
+#ifndef PHLOEM_METRICS_METRICS_H
+#define PHLOEM_METRICS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phloem::metrics {
+
+/**
+ * Histogram over fixed, strictly increasing bucket edges.
+ *
+ * Bucket semantics (half-open, lower-inclusive): with edges
+ * e0 < e1 < ... < e(n-1) there are n+1 counts:
+ *   counts[0]   : v <  e0
+ *   counts[i]   : e(i-1) <= v < e(i)
+ *   counts[n]   : v >= e(n-1)   (the overflow bucket)
+ * A value exactly on an edge therefore lands in the *higher* bucket.
+ */
+struct Distribution
+{
+    std::vector<double> edges;
+    std::vector<uint64_t> counts;  ///< edges.size() + 1 entries
+    uint64_t total = 0;            ///< number of observations
+    double sum = 0.0;              ///< sum of observed values
+
+    Distribution() = default;
+    explicit Distribution(std::vector<double> bucket_edges);
+
+    void observe(double v, uint64_t times = 1);
+    /** Index of the bucket `v` falls into (see semantics above). */
+    size_t bucketOf(double v) const;
+    double mean() const { return total > 0 ? sum / static_cast<double>(total) : 0.0; }
+
+    /** Element-wise accumulate; edges must match exactly. */
+    void merge(const Distribution& other);
+};
+
+/** One labeled point: the counters/gauges/distributions of one entity. */
+struct MetricSet
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Distribution> dists;
+
+    void addCounter(const std::string& name, uint64_t v)
+    {
+        counters[name] += v;
+    }
+    void setGauge(const std::string& name, double v) { gauges[name] = v; }
+    Distribution& dist(const std::string& name,
+                       const std::vector<double>& edges);
+
+    bool empty() const
+    {
+        return counters.empty() && gauges.empty() && dists.empty();
+    }
+
+    /**
+     * Accumulate another set: counters add, gauges overwrite (last
+     * writer wins), distributions merge bucket-wise.
+     */
+    void merge(const MetricSet& other);
+};
+
+/** One member of a labeled family (e.g. the metrics of stage "walk@2"). */
+struct FamilyPoint
+{
+    std::map<std::string, std::string> labels;
+    MetricSet metrics;
+};
+
+/**
+ * A family of metric sets keyed by labels: family "stage" holds one
+ * point per stage thread, "queue" one per queue, "ra" one per
+ * accelerator, "lane" one per trace lane. Merging the same label set
+ * merges the underlying metrics (how per-replica stages aggregate).
+ */
+struct Family
+{
+    std::vector<FamilyPoint> points;
+
+    /** Find-or-create the point with exactly these labels. */
+    MetricSet& at(const std::map<std::string, std::string>& labels);
+    const FamilyPoint* find(
+        const std::map<std::string, std::string>& labels) const;
+
+    /** Merge every point of `other` into this family. */
+    void merge(const Family& other);
+};
+
+/** One execution's metrics: a top-level set plus labeled families. */
+struct Run
+{
+    std::string name;
+    std::map<std::string, std::string> labels;
+    MetricSet top;
+    std::map<std::string, Family> families;
+};
+
+/** A full report: schema id + version, metadata, runs. */
+struct Report
+{
+    static constexpr const char* kSchemaName = "phloem-report";
+    static constexpr int kSchemaVersion = 1;
+
+    std::map<std::string, std::string> meta;
+    std::vector<Run> runs;
+
+    /** Find-or-create a run by name + labels. */
+    Run& run(const std::string& name,
+             const std::map<std::string, std::string>& labels = {});
+    const Run* findRun(const std::string& name,
+                       const std::map<std::string, std::string>& labels =
+                           {}) const;
+
+    /** Append (merge) another report's runs and meta into this one. */
+    void merge(const Report& other);
+};
+
+/** Serialize a report as schema-versioned, pretty-printed JSON. */
+std::string toJson(const Report& report);
+
+/**
+ * Parse a report. Fails (with a clear *err naming the found and the
+ * supported version) on malformed JSON, a wrong "schema" id, or an
+ * unknown "version".
+ */
+bool parseReport(const std::string& text, Report* out, std::string* err);
+
+/** toJson() to a file; false (and *err) on I/O failure. */
+bool writeFile(const Report& report, const std::string& path,
+               std::string* err = nullptr);
+
+/** Read + parse a report file. */
+bool readFile(const std::string& path, Report* out, std::string* err);
+
+} // namespace phloem::metrics
+
+#endif // PHLOEM_METRICS_METRICS_H

@@ -209,6 +209,20 @@ class ThreadEntity : public Entity
     uint64_t lastRetire = 0;
     int uopsThisCycle = 0;
 
+    /**
+     * Issue work already charged to issueCycles whose clock advance is
+     * still pending (the in-progress partial cycle). A stall that jumps
+     * the clock and resets uopsThisCycle swallows that advance, so the
+     * stall must charge gap − pendingIssueFrac() or the books
+     * over-attribute: issue + stall would exceed elapsed cycles and
+     * backendCycles() would clamp a negative residual.
+     */
+    double
+    pendingIssueFrac() const
+    {
+        return static_cast<double>(uopsThisCycle) / issueWidth;
+    }
+
     static constexpr size_t kPredictorSize = 4096;
     std::vector<uint8_t> predictor;
     uint32_t history = 0;
@@ -452,6 +466,10 @@ ThreadEntity::execQueueOp(const Inst& inst)
         }
         QueueImpl& q = machine.queue(abs_q);
         if (q.full()) {
+            // The op re-executes (and is re-counted) after the block, so
+            // un-charge it: dynamic instruction counts must match the
+            // native runtime, which blocks *inside* the op.
+            stats.instructions--;
             block(BlockReason::kQueueFull, abs_q);
             return false;
         }
@@ -476,8 +494,9 @@ ThreadEntity::execQueueOp(const Inst& inst)
                                    static_cast<uint64_t>(q.depth)) %
                                   static_cast<uint64_t>(q.depth)];
                 if (free_at > clock) {
-                    stats.queueStallCycles +=
-                        static_cast<double>(free_at - clock);
+                    stats.queueStallCycles += std::max(
+                        0.0, static_cast<double>(free_at - clock) -
+                                 pendingIssueFrac());
                     clock = free_at;
                     uopsThisCycle = 0;
                     d = clock;
@@ -512,6 +531,7 @@ ThreadEntity::execQueueOp(const Inst& inst)
         int abs_q = absQueue(inst.queue);
         QueueImpl& q = machine.queue(abs_q);
         if (q.empty()) {
+            stats.instructions--;  // re-counted on retry, see enq above
             block(BlockReason::kQueueEmpty, abs_q);
             return false;
         }
@@ -521,8 +541,9 @@ ThreadEntity::execQueueOp(const Inst& inst)
         if (timing) {
             uint64_t d = dispatchPoint();
             if (e.ready > d) {
-                stats.queueStallCycles +=
-                    static_cast<double>(e.ready - d);
+                stats.queueStallCycles += std::max(
+                    0.0, static_cast<double>(e.ready - d) -
+                             pendingIssueFrac());
                 clock = e.ready;
                 uopsThisCycle = 0;
             }
@@ -958,8 +979,10 @@ Machine::arriveBarrier(int)
         if (e->isThread() &&
             e->blockReason == Entity::BlockReason::kBarrier) {
             auto* t = static_cast<ThreadEntity*>(e.get());
-            t->stats.queueStallCycles += static_cast<double>(
-                max_arrival + 1 - t->barrierArrival);
+            t->stats.queueStallCycles += std::max(
+                0.0, static_cast<double>(max_arrival + 1 -
+                                         t->barrierArrival) -
+                         t->pendingIssueFrac());
             if (t->traceBuf != nullptr)
                 t->traceBuf->record(trace::EventKind::kBarrierWait, -1,
                                     t->barrierArrival, max_arrival + 1);
@@ -1100,6 +1123,17 @@ Machine::runEntities(int num_stage_threads)
             auto* r = static_cast<RAEntity*>(e.get());
             stats.ras.push_back(r->stats);
         }
+    }
+    for (size_t q = 0; q < queues_.size(); ++q) {
+        const QueueImpl& qi = queues_[q];
+        if (qi.enqCount == 0 && qi.deqCount == 0)
+            continue;  // queues the program never touched add no signal
+        QueueSimStats qs;
+        qs.id = static_cast<int>(q);
+        qs.enq = qi.enqCount;
+        qs.deq = qi.deqCount;
+        qs.residual = qi.entries.size();
+        stats.queues.push_back(qs);
     }
     stats.mem = mem_->stats();
     return stats;

@@ -67,6 +67,21 @@ struct RAStats
     uint64_t memAccesses = 0;
 };
 
+/**
+ * Per-queue activity of one simulated run (absolute queue id). The
+ * native runtime reports the same triple in rt::QueueStats, which is
+ * what lets `phloemc --run=both` compare pushes/pops across backends
+ * and the metrics layer check pushes == pops + residual on both.
+ */
+struct QueueSimStats
+{
+    int id = 0;
+    uint64_t enq = 0;
+    uint64_t deq = 0;
+    /** Elements still held when the stage threads halted. */
+    uint64_t residual = 0;
+};
+
 struct RunStats
 {
     /** Wall-clock cycles: max completion over all stage threads. */
@@ -74,6 +89,7 @@ struct RunStats
 
     std::vector<ThreadStats> threads;
     std::vector<RAStats> ras;
+    std::vector<QueueSimStats> queues;
     MemStats mem;
 
     bool deadlock = false;

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unified metrics model tests: histogram bucket-edge semantics, labeled
+ * family merging, JSON round-tripping (including hostile strings),
+ * schema versioning, the diff tool's tolerance classes, and the stats
+ * self-consistency checkers (including PHLOEM_STRICT_STATS enforcement).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "ir/builder.h"
+#include "metrics/collect.h"
+#include "metrics/diff.h"
+#include "metrics/json.h"
+#include "metrics/metrics.h"
+#include "sim/machine.h"
+
+namespace phloem {
+namespace {
+
+using metrics::Distribution;
+using metrics::Report;
+
+// ---------------------------------------------------------------------
+// Distributions: bucket edges are lower-inclusive half-open.
+// ---------------------------------------------------------------------
+
+TEST(Metrics, DistributionBucketBoundaries)
+{
+    Distribution d({2, 4, 8});
+    ASSERT_EQ(d.counts.size(), 4u);
+
+    // Below the first edge.
+    EXPECT_EQ(d.bucketOf(0.0), 0u);
+    EXPECT_EQ(d.bucketOf(1.999), 0u);
+    // A value exactly on an edge lands in the *higher* bucket.
+    EXPECT_EQ(d.bucketOf(2.0), 1u);
+    EXPECT_EQ(d.bucketOf(3.999), 1u);
+    EXPECT_EQ(d.bucketOf(4.0), 2u);
+    // On the last edge: the overflow bucket.
+    EXPECT_EQ(d.bucketOf(8.0), 3u);
+    EXPECT_EQ(d.bucketOf(1e18), 3u);
+
+    d.observe(2.0);
+    d.observe(2.0);
+    d.observe(8.0, 3);
+    EXPECT_EQ(d.counts[1], 2u);
+    EXPECT_EQ(d.counts[3], 3u);
+    EXPECT_EQ(d.total, 5u);
+    EXPECT_DOUBLE_EQ(d.sum, 2.0 + 2.0 + 3 * 8.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 28.0 / 5.0);
+}
+
+TEST(Metrics, DistributionMergeRequiresMatchingEdges)
+{
+    Distribution a({2, 4});
+    Distribution b({2, 4});
+    a.observe(1.0);
+    b.observe(3.0);
+    b.observe(100.0);
+    a.merge(b);
+    EXPECT_EQ(a.total, 3u);
+    EXPECT_EQ(a.counts[0], 1u);
+    EXPECT_EQ(a.counts[1], 1u);
+    EXPECT_EQ(a.counts[2], 1u);
+}
+
+// ---------------------------------------------------------------------
+// Labeled families.
+// ---------------------------------------------------------------------
+
+TEST(Metrics, FamilyMergeByLabels)
+{
+    metrics::Family fam;
+    fam.at({{"queue", "0"}}).addCounter("enq", 10);
+    fam.at({{"queue", "1"}}).addCounter("enq", 20);
+
+    metrics::Family other;
+    other.at({{"queue", "1"}}).addCounter("enq", 5);   // same labels: add
+    other.at({{"queue", "2"}}).addCounter("enq", 7);   // new point
+    fam.merge(other);
+
+    ASSERT_EQ(fam.points.size(), 3u);
+    EXPECT_EQ(fam.find({{"queue", "0"}})->metrics.counters.at("enq"), 10u);
+    EXPECT_EQ(fam.find({{"queue", "1"}})->metrics.counters.at("enq"), 25u);
+    EXPECT_EQ(fam.find({{"queue", "2"}})->metrics.counters.at("enq"), 7u);
+    EXPECT_EQ(fam.find({{"queue", "9"}}), nullptr);
+}
+
+TEST(Metrics, MetricSetMergeSemantics)
+{
+    metrics::MetricSet a, b;
+    a.addCounter("n", 1);
+    a.setGauge("g", 1.0);
+    b.addCounter("n", 2);
+    b.setGauge("g", 2.0);
+    a.merge(b);
+    EXPECT_EQ(a.counters.at("n"), 3u);       // counters add
+    EXPECT_DOUBLE_EQ(a.gauges.at("g"), 2.0); // gauges: last writer wins
+}
+
+// ---------------------------------------------------------------------
+// JSON round-trip.
+// ---------------------------------------------------------------------
+
+TEST(Metrics, ReportRoundTripsHostileNames)
+{
+    Report rep;
+    rep.meta["note"] = "quotes \" backslash \\ newline \n tab \t";
+    // Names with quotes, backslashes, and non-ASCII (UTF-8) must survive
+    // serialize -> parse unchanged — this is what the hand-rolled
+    // bench_native serializer got wrong for backslashes.
+    std::string hostile = "sp\"m\\v-\xC3\xA9\xE2\x82\xAC";  // é €
+    metrics::Run& r = rep.run(hostile, {{"backend", "native"}});
+    r.top.addCounter("instructions", 12345678901234ull);
+    r.top.setGauge("wall_ns", 1.25e9);
+    r.families["queue"].at({{"queue", "0"}}).addCounter("enq", 7);
+    auto& d = r.families["queue"]
+                  .at({{"queue", "0"}})
+                  .dist("push_batch", {2, 4});
+    d.observe(3.0, 2);
+
+    std::string text = metrics::toJson(rep);
+    Report back;
+    std::string err;
+    ASSERT_TRUE(metrics::parseReport(text, &back, &err)) << err;
+    EXPECT_EQ(back.meta.at("note"), rep.meta.at("note"));
+    const metrics::Run* rr =
+        back.findRun(hostile, {{"backend", "native"}});
+    ASSERT_NE(rr, nullptr);
+    // Counters must round-trip exactly (not through double).
+    EXPECT_EQ(rr->top.counters.at("instructions"), 12345678901234ull);
+    EXPECT_DOUBLE_EQ(rr->top.gauges.at("wall_ns"), 1.25e9);
+    const auto* qp = rr->families.at("queue").find({{"queue", "0"}});
+    ASSERT_NE(qp, nullptr);
+    EXPECT_EQ(qp->metrics.counters.at("enq"), 7u);
+    const Distribution& dd = qp->metrics.dists.at("push_batch");
+    EXPECT_EQ(dd.total, 2u);
+    EXPECT_EQ(dd.counts[1], 2u);
+    EXPECT_DOUBLE_EQ(dd.sum, 6.0);
+
+    // Serialization is deterministic: same report, same bytes.
+    EXPECT_EQ(metrics::toJson(back), text);
+}
+
+TEST(Metrics, ReaderRejectsUnknownSchemaVersion)
+{
+    Report rep;
+    rep.run("x");
+    std::string text = metrics::toJson(rep);
+    std::string bumped = text;
+    size_t at = bumped.find("\"version\": 1");
+    ASSERT_NE(at, std::string::npos);
+    bumped.replace(at, 12, "\"version\": 99");
+
+    Report out;
+    std::string err;
+    EXPECT_FALSE(metrics::parseReport(bumped, &out, &err));
+    // The error must name both the found and the supported version.
+    EXPECT_NE(err.find("99"), std::string::npos) << err;
+    EXPECT_NE(err.find("1"), std::string::npos) << err;
+
+    std::string wrong_schema = text;
+    at = wrong_schema.find("phloem-report");
+    ASSERT_NE(at, std::string::npos);
+    wrong_schema.replace(at, 13, "something-else");
+    EXPECT_FALSE(metrics::parseReport(wrong_schema, &out, &err));
+
+    EXPECT_FALSE(metrics::parseReport("{not json", &out, &err));
+}
+
+// ---------------------------------------------------------------------
+// Diff tolerance classes.
+// ---------------------------------------------------------------------
+
+TEST(Metrics, DiffFlagsExactCounterDrift)
+{
+    Report oldRep, newRep;
+    oldRep.run("k").top.addCounter("instructions", 1000);
+    newRep.run("k").top.addCounter("instructions", 1001);
+    auto result = metrics::diffReports(oldRep, newRep, {});
+    EXPECT_EQ(result.regressions, 1);
+}
+
+TEST(Metrics, DiffToleratesWallClockNoise)
+{
+    Report oldRep, newRep;
+    oldRep.run("k").top.setGauge("wall_ns", 1e9);
+    newRep.run("k").top.setGauge("wall_ns", 1.8e9);  // +80% < 100% tol
+    auto result = metrics::diffReports(oldRep, newRep, {});
+    EXPECT_EQ(result.regressions, 0);
+
+    newRep.runs[0].top.setGauge("wall_ns", 2.5e9);  // +150% > tol
+    result = metrics::diffReports(oldRep, newRep, {});
+    EXPECT_EQ(result.regressions, 1);
+
+    // Lower-is-better: a large drop in deterministic cycles counts as
+    // an improvement, not a regression (wall_ns's 100% tolerance is too
+    // loose for any drop to clear it).
+    oldRep.runs[0].top.setGauge("cycles", 1000.0);
+    newRep.runs[0].top.setGauge("wall_ns", 1e9);
+    newRep.runs[0].top.setGauge("cycles", 100.0);
+    result = metrics::diffReports(oldRep, newRep, {});
+    EXPECT_EQ(result.regressions, 0);
+    EXPECT_EQ(result.improvements, 1);
+}
+
+TEST(Metrics, DiffNeverGatesSchedulingNoise)
+{
+    Report oldRep, newRep;
+    oldRep.run("k").top.addCounter("enq_blocks", 100);
+    newRep.run("k").top.addCounter("enq_blocks", 100000);
+    auto result = metrics::diffReports(oldRep, newRep, {});
+    EXPECT_EQ(result.regressions, 0);
+    EXPECT_EQ(result.infoChanges, 1);
+
+    // ...unless an explicit override asks for it.
+    metrics::DiffOptions opts;
+    opts.tolOverrides["enq_blocks"] = 0.5;
+    result = metrics::diffReports(oldRep, newRep, opts);
+    EXPECT_EQ(result.regressions, 1);
+}
+
+TEST(Metrics, DiffDetectsMissingMetric)
+{
+    Report oldRep, newRep;
+    oldRep.run("k").top.addCounter("instructions", 10);
+    newRep.run("k");
+    auto result = metrics::diffReports(oldRep, newRep, {});
+    EXPECT_EQ(result.regressions, 1);
+    ASSERT_FALSE(result.entries.empty());
+    EXPECT_EQ(result.entries[0].verdict, metrics::Verdict::kMissing);
+}
+
+// ---------------------------------------------------------------------
+// Consistency checkers.
+// ---------------------------------------------------------------------
+
+sim::RunStats
+violatingSimStats()
+{
+    sim::RunStats stats;
+    sim::ThreadStats t;
+    t.name = "broken";
+    t.startCycle = 0;
+    t.cycles = 100;
+    // Accounted busy-cycles exceed active cycles: backendCycles() would
+    // silently clamp the negative residual.
+    t.issueCycles = 80;
+    t.queueStallCycles = 40;
+    t.frontendCycles = 0;
+    stats.threads.push_back(t);
+    return stats;
+}
+
+TEST(Metrics, CheckerCatchesOverAccountedThread)
+{
+    auto problems = metrics::checkSimStats(violatingSimStats());
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("broken"), std::string::npos);
+
+    // A consistent run passes.
+    sim::RunStats ok = violatingSimStats();
+    ok.threads[0].queueStallCycles = 10;
+    EXPECT_TRUE(metrics::checkSimStats(ok).empty());
+}
+
+TEST(Metrics, CheckerCatchesQueueImbalance)
+{
+    sim::RunStats stats;
+    sim::QueueSimStats q;
+    q.id = 3;
+    q.enq = 100;
+    q.deq = 90;
+    q.residual = 5;  // 90 + 5 != 100
+    stats.queues.push_back(q);
+    auto problems = metrics::checkSimStats(stats);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("queue 3"), std::string::npos);
+
+    rt::NativeStats nstats;
+    rt::QueueStats nq;
+    nq.id = 1;
+    nq.enq = 7;
+    nq.deq = 7;
+    nq.residual = 1;
+    nstats.queues.push_back(nq);
+    EXPECT_EQ(metrics::checkNativeStats(nstats).size(), 1u);
+    nstats.queues[0].residual = 0;
+    EXPECT_TRUE(metrics::checkNativeStats(nstats).empty());
+}
+
+TEST(Metrics, RealPipelinedSimRunBalancesBooks)
+{
+    // Regression: stall windows used to re-charge the pending partial
+    // issue cycle that chargeUops had already booked to issueCycles, so
+    // a queue-throttled run over-attributed by a fraction of a cycle
+    // per stall and this check failed. A producer racing a consumer
+    // through one bounded queue stalls thousands of times.
+    ir::Pipeline p;
+    {
+        ir::FunctionBuilder b("prod");
+        b.arrayParam("out", ir::ElemType::kI64, true);
+        ir::RegId count = b.scalarParam("n");
+        b.forRange(b.constI(0), count,
+                   [&](ir::RegId i) { b.enq(0, i); });
+        b.enqCtrl(0, ir::kCtrlLast);
+        p.stages.push_back(b.finish());
+    }
+    {
+        ir::FunctionBuilder b("cons");
+        ir::ArrayId out = b.arrayParam("out", ir::ElemType::kI64, true);
+        b.scalarParam("n");
+        b.loop([&] {
+            ir::RegId v = b.deq(0);
+            b.if_(b.isControl(v), [&] { b.break_(); });
+            b.store(out, v, v);
+        });
+        p.stages.push_back(b.finish());
+    }
+    const int64_t n = 5000;
+    sim::Binding binding;
+    binding.makeArray("out", ir::ElemType::kI64, n);
+    binding.setScalarInt("n", n);
+    sim::Machine m{sim::SysConfig{}};
+    sim::RunStats stats = m.runPipeline(p, binding);
+    ASSERT_FALSE(stats.deadlock);
+    EXPECT_TRUE(metrics::checkSimStats(stats).empty());
+}
+
+TEST(Metrics, StrictStatsThrowsOnViolation)
+{
+    // With PHLOEM_STRICT_STATS=1, finalizing inconsistent stats into a
+    // metrics run throws in any build type.
+    ::setenv("PHLOEM_STRICT_STATS", "1", 1);
+    EXPECT_TRUE(metrics::strictStats());
+    EXPECT_THROW(metrics::simRunToMetrics("x", violatingSimStats()),
+                 std::runtime_error);
+    ::unsetenv("PHLOEM_STRICT_STATS");
+    EXPECT_FALSE(metrics::strictStats());
+    EXPECT_NO_THROW(metrics::simRunToMetrics("x", violatingSimStats()));
+}
+
+// ---------------------------------------------------------------------
+// Config fingerprint.
+// ---------------------------------------------------------------------
+
+TEST(Metrics, ConfigFingerprintTracksParameters)
+{
+    sim::SysConfig a, b;
+    EXPECT_EQ(metrics::configFingerprint(a),
+              metrics::configFingerprint(b));
+    b.queueDepth += 1;
+    EXPECT_NE(metrics::configFingerprint(a),
+              metrics::configFingerprint(b));
+}
+
+} // namespace
+} // namespace phloem

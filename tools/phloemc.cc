@@ -32,6 +32,11 @@
  *                   runs trace wall-clock ns; sim runs trace simulated
  *                   cycles. With --run=both the sim trace goes to
  *                   PATH with ".sim" inserted before the extension.
+ *   --report=PATH   with --run: write one schema-versioned metrics
+ *                   report (metrics/metrics.h). --run=both puts both
+ *                   backends' runs in the same report and prints a
+ *                   side-by-side comparison; inspect or diff with
+ *                   tools/phloem-report.
  */
 
 #include <algorithm>
@@ -49,9 +54,12 @@
 #include "frontend/frontend.h"
 #include "ir/op.h"
 #include "ir/printer.h"
+#include "metrics/collect.h"
+#include "metrics/metrics.h"
 #include "runtime/runtime.h"
 #include "runtime/trace.h"
 #include "sim/binding.h"
+#include "sim/energy.h"
 #include "sim/machine.h"
 #include "taco/taco.h"
 
@@ -68,7 +76,7 @@ usage()
                  "               [--kernel NAME] [--ir-only] [--quiet]\n"
                  "               [--run[=native|sim|both]] [--size N] "
                  "[--profile] [--trace=PATH]\n"
-                 "               <file.c>\n"
+                 "               [--report=PATH] <file.c>\n"
                  "       phloemc --taco '<tensor expression>'\n");
     return 2;
 }
@@ -247,12 +255,110 @@ simTracePath(const std::string& path)
     return path.substr(0, dot) + ".sim" + path.substr(dot);
 }
 
+/** Sum one counter over a run's family points. */
+uint64_t
+familyCounterSum(const metrics::Run& run, const std::string& family,
+                 const std::string& counter)
+{
+    auto it = run.families.find(family);
+    if (it == run.families.end())
+        return 0;
+    uint64_t n = 0;
+    for (const auto& p : it->second.points) {
+        auto c = p.metrics.counters.find(counter);
+        if (c != p.metrics.counters.end())
+            n += c->second;
+    }
+    return n;
+}
+
+/**
+ * Side-by-side sim-vs-native comparison for --run=both, sourced from
+ * the two metrics runs. The functional counters (instructions, queue
+ * ops, pushes/pops) must agree — both backends execute the same
+ * program — so any mismatch is flagged; wall-cycles vs wall-ns are
+ * different clocks and only shown for orientation.
+ */
+bool
+printBothComparison(const metrics::Run& native, const metrics::Run& sim)
+{
+    struct FunctionalRow
+    {
+        const char* label;
+        uint64_t nativeVal;
+        uint64_t simVal;
+    };
+    auto counter = [](const metrics::Run& r, const char* name) {
+        auto it = r.top.counters.find(name);
+        return it != r.top.counters.end() ? it->second : uint64_t{0};
+    };
+    const FunctionalRow rows[] = {
+        {"instructions", counter(native, "instructions"),
+         counter(sim, "instructions")},
+        {"queue ops", counter(native, "queue_ops"),
+         counter(sim, "queue_ops")},
+        {"queue pushes", familyCounterSum(native, "queue", "enq"),
+         familyCounterSum(sim, "queue", "enq")},
+        {"queue pops", familyCounterSum(native, "queue", "deq"),
+         familyCounterSum(sim, "queue", "deq")},
+        {"RA elements", counter(native, "ra_elements"),
+         counter(sim, "ra_elements")},
+    };
+
+    std::printf("run: sim vs native\n");
+    std::printf("  %-16s %16s %16s\n", "", "native", "sim");
+    bool mismatch = false;
+    for (const auto& r : rows) {
+        bool differs = r.nativeVal != r.simVal;
+        mismatch = mismatch || differs;
+        std::printf("  %-16s %16llu %16llu%s\n", r.label,
+                    static_cast<unsigned long long>(r.nativeVal),
+                    static_cast<unsigned long long>(r.simVal),
+                    differs ? "  << MISMATCH" : "");
+    }
+    auto gauge = [](const metrics::Run& r, const char* name) {
+        auto it = r.top.gauges.find(name);
+        return it != r.top.gauges.end() ? it->second : 0.0;
+    };
+    std::printf("  %-16s %13.3f ms %10llu cyc   (different clocks)\n",
+                "wall", gauge(native, "wall_ns") / 1e6,
+                static_cast<unsigned long long>(gauge(sim, "cycles")));
+    if (mismatch) {
+        std::fprintf(stderr,
+                     "run: WARNING: functional counters differ between "
+                     "backends (see table above)\n");
+    }
+    return !mismatch;
+}
+
+/** Write the report if requested; never fails the run on I/O errors. */
+void
+writeReport(const metrics::Report& report, const std::string& path)
+{
+    if (path.empty())
+        return;
+    std::string err;
+    if (!metrics::writeFile(report, path, &err))
+        std::fprintf(stderr, "run: report write failed: %s\n",
+                     err.c_str());
+    else
+        std::printf("run: metrics report written to %s (%zu runs)\n",
+                    path.c_str(), report.runs.size());
+}
+
 /** Execute the pipeline per --run; returns the process exit code. */
 int
 runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
             RunMode mode, int64_t size, bool profile,
-            const std::string& trace_path)
+            const std::string& trace_path, const std::string& report_path)
 {
+    sim::SysConfig cfg;
+    metrics::Report report;
+    report.meta["tool"] = "phloemc";
+    report.meta["kernel"] = fn.name;
+    report.meta["input_size"] = std::to_string(size);
+    report.meta["config_fingerprint"] = metrics::configFingerprint(cfg);
+
     sim::Binding native_binding;
     rt::NativeStats native;
     if (mode == RunMode::kNative || mode == RunMode::kBoth) {
@@ -261,15 +367,21 @@ runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
         rt::RuntimeOptions ropts;
         if (!trace_path.empty())
             ropts.tracer = &tracer;
-        rt::Runtime runtime{sim::SysConfig{}, ropts};
+        rt::Runtime runtime{cfg, ropts};
         native = runtime.runPipeline(pipeline, native_binding);
         // Write the trace even on failure: stall attribution is most
         // useful exactly when the run deadlocked.
         if (!trace_path.empty())
             writeTrace(tracer, trace_path);
+        metrics::Run& run =
+            report.run(fn.name, {{"backend", "native"}}) =
+                metrics::nativeRunToMetrics(fn.name, native);
+        if (!trace_path.empty())
+            metrics::addTraceSummary(run, tracer);
         if (!native.ok) {
             std::fprintf(stderr, "run: native failed: %s\n",
                          native.error.c_str());
+            writeReport(report, report_path);
             return 1;
         }
         std::printf("run: native  %.3f ms, %d stage threads + %d RAs, "
@@ -293,21 +405,29 @@ runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
         sim::MachineOptions mopts;
         if (!trace_path.empty())
             mopts.tracer = &tracer;
-        sim::Machine machine{sim::SysConfig{}, mopts};
+        sim::Machine machine{cfg, mopts};
         sim::RunStats stats = machine.runPipeline(pipeline, sim_binding);
         if (!trace_path.empty())
             writeTrace(tracer, mode == RunMode::kBoth
                                    ? simTracePath(trace_path)
                                    : trace_path);
+        sim::EnergyBreakdown energy =
+            sim::computeEnergy(stats, sim::EnergyConfig{}, cfg.numCores);
+        metrics::Run& run = report.run(fn.name, {{"backend", "sim"}}) =
+            metrics::simRunToMetrics(fn.name, stats, &energy);
+        if (!trace_path.empty())
+            metrics::addTraceSummary(run, tracer);
         if (stats.deadlock) {
             std::fprintf(stderr, "run: simulator deadlock:\n%s\n",
                          stats.deadlockInfo.c_str());
+            writeReport(report, report_path);
             return 1;
         }
         std::printf("run: sim     %llu cycles\n",
                     static_cast<unsigned long long>(stats.cycles));
     }
 
+    int rc = 0;
     if (mode == RunMode::kBoth) {
         for (const auto& [name, buf] : native_binding.globalArrays()) {
             const auto* other = sim_binding.array(name);
@@ -316,12 +436,18 @@ runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
                              "run: MISMATCH: array '%s' differs between "
                              "native and sim\n",
                              name.c_str());
+                writeReport(report, report_path);
                 return 1;
             }
         }
         std::printf("run: native and sim outputs match bit-for-bit\n");
+        if (!printBothComparison(
+                *report.findRun(fn.name, {{"backend", "native"}}),
+                *report.findRun(fn.name, {{"backend", "sim"}})))
+            rc = 1;
     }
-    return 0;
+    writeReport(report, report_path);
+    return rc;
 }
 
 } // namespace
@@ -339,6 +465,7 @@ main(int argc, char** argv)
     int64_t run_size = 4096;
     bool profile = false;
     std::string trace_path;
+    std::string report_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -394,6 +521,21 @@ main(int argc, char** argv)
                 return usage();
             }
             trace_path = v;
+        } else if (arg.rfind("--report=", 0) == 0) {
+            report_path = arg.substr(std::string("--report=").size());
+            if (report_path.empty()) {
+                std::fprintf(stderr,
+                             "phloemc: --report needs an output path\n");
+                return usage();
+            }
+        } else if (arg == "--report") {
+            const char* v = optionOperand("--report", argc, argv, &i);
+            if (v == nullptr || *v == '\0') {
+                std::fprintf(stderr,
+                             "phloemc: --report needs an output path\n");
+                return usage();
+            }
+            report_path = v;
         } else if (arg == "--run" || arg == "--run=native") {
             run_mode = RunMode::kNative;
         } else if (arg == "--run=sim") {
@@ -492,7 +634,8 @@ main(int argc, char** argv)
             return 1;
         if (run_mode != RunMode::kNone)
             return runPipeline(*kernel.fn, *result.pipeline, run_mode,
-                               run_size, profile, trace_path);
+                               run_size, profile, trace_path,
+                               report_path);
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "phloemc: %s\n", e.what());
