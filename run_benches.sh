@@ -32,6 +32,25 @@ for b in bench_table3_config bench_table4_inputs bench_table5_inputs \
          bench_fig9_speedup bench_ablation bench_micro; do
     run "$b"
 done
+# Service round trip: a phloemd daemon under concurrent load, measuring
+# cold-compile vs cache-hit latency. The loadgen report (p50/p95/p99
+# latency per request kind, hit rate, same-kernel speedup) lands in
+# $REPORTS and is merged into BENCH_report.json with everything else.
+echo "########## phloemd + phloem-loadgen ##########" | tee -a "$OUT"
+SOCK=$(mktemp -u /tmp/phloemd.XXXXXX.sock)
+./build/tools/phloemd --socket="$SOCK" --workers=2 --cache=16 \
+    >> "$OUT" 2>&1 &
+DAEMON_PID=$!
+if ! ./build/tools/phloem-loadgen --socket="$SOCK" --clients=2 \
+        --requests=48 --kernels=8 --backend=sim --size=32 \
+        --report="$REPORTS/loadgen.json" 2>&1 | tee -a "$OUT"; then
+    failed+=(loadgen)
+fi
+kill -TERM "$DAEMON_PID" 2>/dev/null
+if ! wait "$DAEMON_PID"; then
+    failed+=(phloemd)
+fi
+echo | tee -a "$OUT"
 # Keep the previous native results so we can report per-kernel deltas.
 PREV=
 if [[ -f BENCH_native.json ]]; then

@@ -1,6 +1,7 @@
 #include "metrics/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -40,6 +41,66 @@ Distribution::observe(double v, uint64_t times)
     counts[bucketOf(v)] += times;
     total += times;
     sum += v * static_cast<double>(times);
+}
+
+double
+Distribution::quantile(double q) const
+{
+    if (total == 0 || counts.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the wanted observation, 1-based and clamped into
+    // [1, total] so q=0 and q=1 hit the first/last observation.
+    double rank = q * static_cast<double>(total);
+    if (rank < 1.0)
+        rank = 1.0;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        double before = static_cast<double>(cum);
+        cum += counts[i];
+        if (rank > static_cast<double>(cum))
+            continue;
+        // Bucket i spans [lo, hi): underflow starts at 0 (nonnegative
+        // data), overflow saturates at the last edge.
+        if (i == counts.size() - 1 && !edges.empty())
+            return edges.back();
+        double lo = i == 0 ? 0.0 : edges[i - 1];
+        double hi = edges.empty() ? lo : edges[i];
+        double frac =
+            (rank - before) / static_cast<double>(counts[i]);
+        return lo + (hi - lo) * frac;
+    }
+    return edges.empty() ? 0.0 : edges.back();
+}
+
+std::vector<double>
+logSpacedEdges(double lo, double hi, int per_decade)
+{
+    phloem_assert(lo > 0.0 && hi > lo && per_decade >= 1,
+                  "logSpacedEdges needs 0 < lo < hi, per_decade >= 1");
+    // Each edge from its integer step index (not repeated
+    // multiplication) so decade boundaries stay exact and the range is
+    // guaranteed to be covered.
+    std::vector<double> edges;
+    for (int i = 0;; ++i) {
+        double e = lo * std::pow(10.0, static_cast<double>(i) /
+                                           static_cast<double>(per_decade));
+        edges.push_back(e);
+        if (e >= hi)
+            break;
+    }
+    // Floating-point drift must never produce equal adjacent edges.
+    phloem_assert(std::adjacent_find(edges.begin(), edges.end(),
+                                     [](double a, double b) {
+                                         return a >= b;
+                                     }) == edges.end(),
+                  "log edges not strictly increasing");
+    return edges;
 }
 
 void

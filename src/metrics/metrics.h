@@ -58,9 +58,32 @@ struct Distribution
     size_t bucketOf(double v) const;
     double mean() const { return total > 0 ? sum / static_cast<double>(total) : 0.0; }
 
+    /**
+     * Estimated q-quantile (q in [0, 1]) of the observed values,
+     * reconstructed from the histogram: find the bucket holding the
+     * q*total-th observation and interpolate linearly inside it. Made
+     * for nonnegative data (service latencies): the underflow bucket
+     * interpolates over [0, edges[0]). Values in the overflow bucket
+     * are only known to be >= the last edge, so the estimate saturates
+     * there — pick edges that cover the expected range (logSpacedEdges).
+     * Returns 0 when no observations were made. Accuracy is bounded by
+     * bucket width; log-spaced edges keep the relative error constant.
+     */
+    double quantile(double q) const;
+
     /** Element-wise accumulate; edges must match exactly. */
     void merge(const Distribution& other);
 };
+
+/**
+ * Logarithmically spaced bucket edges from `lo` to at least `hi`
+ * (both > 0), with `per_decade` edges per power of ten — the standard
+ * edge vector for latency distributions, where a 5 us and a 5 ms
+ * request must both land in proportionally sized buckets. The service
+ * families use logSpacedEdges(1e3, 1e10, 4): 1 us .. 10 s in wall-ns
+ * with ~78% bucket-width steps.
+ */
+std::vector<double> logSpacedEdges(double lo, double hi, int per_decade);
 
 /** One labeled point: the counters/gauges/distributions of one entity. */
 struct MetricSet

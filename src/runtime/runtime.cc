@@ -81,6 +81,13 @@ resolveEngine(EngineMode mode)
 NativeStats
 Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
 {
+    return runPipeline(pipeline, binding, nullptr);
+}
+
+NativeStats
+Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
+                     const std::vector<sim::Program>* pre_flattened)
+{
     int replicas = std::max(1, pipeline.replicas);
 
     // Queue-id stride between replicas, matching the simulator exactly.
@@ -116,11 +123,24 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
     for (auto& q : queues)
         queue_ptrs.push_back(q.get());
 
-    // Flatten each stage once; replicas share the program.
-    std::vector<sim::Program> programs;
-    programs.reserve(pipeline.stages.size());
-    for (const auto& stage : pipeline.stages)
-        programs.push_back(sim::flatten(*stage));
+    // Flatten each stage once; replicas share the program. A caller
+    // that already holds the flattened programs (the compilation
+    // service's cache) supplies them instead; workers only read them,
+    // so one pre-flattened set can back concurrent runs.
+    std::vector<sim::Program> local_programs;
+    if (pre_flattened == nullptr) {
+        local_programs.reserve(pipeline.stages.size());
+        for (const auto& stage : pipeline.stages)
+            local_programs.push_back(sim::flatten(*stage));
+        pre_flattened = &local_programs;
+    } else {
+        phloem_assert(pre_flattened->size() == pipeline.stages.size(),
+                      "pre-flattened program count (",
+                      pre_flattened->size(),
+                      ") does not match pipeline stages (",
+                      pipeline.stages.size(), ")");
+    }
+    const std::vector<sim::Program>& programs = *pre_flattened;
 
     // Queues targeted by kEnqDist have one producer per replica (every
     // replica's distributor may select them); their pushes must be

@@ -45,6 +45,17 @@ class Runtime
     NativeStats runPipeline(const ir::Pipeline& pipeline,
                             sim::Binding& binding);
 
+    /**
+     * Same, but with the stages' flattened programs supplied by the
+     * caller (one per stage, in stage order) instead of re-flattened
+     * per run. The programs are only read, so a compilation service
+     * can share one pre-flattened pipeline across concurrent runs;
+     * they must outlive the call. Null falls back to flattening.
+     */
+    NativeStats runPipeline(const ir::Pipeline& pipeline,
+                            sim::Binding& binding,
+                            const std::vector<sim::Program>* programs);
+
     /** Execute a serial function on one host thread (the baseline). */
     NativeStats runSerial(const ir::Function& fn, sim::Binding& binding);
 

@@ -1,0 +1,90 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+namespace phloem::svc {
+
+bool
+Client::connect(const std::string& socket_path, std::string* err)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        if (err != nullptr) *err = "socket path too long";
+        return false;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (err != nullptr) *err = std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        if (err != nullptr) *err = std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::call(const Request& req, Response* resp, std::string* err)
+{
+    if (fd_ < 0) {
+        if (err != nullptr) *err = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, req.toJson(), err)) return false;
+    std::string payload;
+    ReadResult rr = readFrame(fd_, &payload, err);
+    if (rr == ReadResult::kEof) {
+        if (err != nullptr) *err = "server closed connection";
+        return false;
+    }
+    if (rr != ReadResult::kOk) return false;
+    return Response::fromJson(payload, resp, err);
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+waitForServer(const std::string& socket_path, int timeout_ms,
+              std::string* err)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    std::string last_err = "timed out";
+    for (;;) {
+        Client c;
+        Response resp;
+        Request ping;
+        ping.op = "ping";
+        if (c.connect(socket_path, &last_err) &&
+            c.call(ping, &resp, &last_err) && resp.ok) {
+            return true;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            if (err != nullptr) *err = last_err;
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+} // namespace phloem::svc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Blocking client for the phloemd socket protocol.
+ *
+ * One Client owns one connection and issues sequential request/response
+ * round trips — exactly the concurrency unit the server's worker pool
+ * schedules. The load generator runs N Clients on N threads; anything
+ * fancier (multiplexing, async) would measure the client instead of the
+ * service.
+ */
+
+#ifndef PHLOEM_SERVICE_CLIENT_H
+#define PHLOEM_SERVICE_CLIENT_H
+
+#include <string>
+
+#include "service/protocol.h"
+
+namespace phloem::svc {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /** Connect to a phloemd socket. False + *err on failure. */
+    bool connect(const std::string& socket_path, std::string* err);
+
+    /**
+     * One round trip: frame + send the request, block for the framed
+     * response. False + *err on transport failure (a server-side
+     * failure still returns true, with resp->ok == false).
+     */
+    bool call(const Request& req, Response* resp, std::string* err);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Convenience: connect, wait up to `timeout_ms` for the daemon's socket
+ * to appear and accept a ping (startup race with a just-spawned
+ * phloemd). False when the deadline passes.
+ */
+bool waitForServer(const std::string& socket_path, int timeout_ms,
+                   std::string* err);
+
+} // namespace phloem::svc
+
+#endif // PHLOEM_SERVICE_CLIENT_H

@@ -1,0 +1,248 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "metrics/json.h"
+
+namespace phloem::svc {
+
+namespace {
+
+bool
+writeAll(int fd, const char* data, size_t n, std::string* err)
+{
+    size_t off = 0;
+    while (off < n) {
+        ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            if (err != nullptr) *err = std::strerror(errno);
+            return false;
+        }
+        off += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+/** 1 = ok, 0 = clean EOF at offset 0, -1 = error/truncation. */
+int
+readAll(int fd, char* data, size_t n, std::string* err)
+{
+    size_t off = 0;
+    while (off < n) {
+        ssize_t r = ::read(fd, data + off, n - off);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            if (err != nullptr) *err = std::strerror(errno);
+            return -1;
+        }
+        if (r == 0) {
+            if (off == 0) return 0;
+            if (err != nullptr) *err = "connection closed mid-frame";
+            return -1;
+        }
+        off += static_cast<size_t>(r);
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string& payload, std::string* err)
+{
+    if (payload.size() > kMaxFrameBytes) {
+        if (err != nullptr) *err = "frame payload too large";
+        return false;
+    }
+    char header[8];
+    std::memcpy(header, kFrameMagic, 4);
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    header[4] = static_cast<char>(len & 0xff);
+    header[5] = static_cast<char>((len >> 8) & 0xff);
+    header[6] = static_cast<char>((len >> 16) & 0xff);
+    header[7] = static_cast<char>((len >> 24) & 0xff);
+    return writeAll(fd, header, sizeof header, err) &&
+           writeAll(fd, payload.data(), payload.size(), err);
+}
+
+ReadResult
+readFrame(int fd, std::string* payload, std::string* err)
+{
+    char header[8];
+    int r = readAll(fd, header, sizeof header, err);
+    if (r == 0) return ReadResult::kEof;
+    if (r < 0) return ReadResult::kError;
+    if (std::memcmp(header, kFrameMagic, 4) != 0) {
+        if (err != nullptr) *err = "bad frame magic";
+        return ReadResult::kError;
+    }
+    uint32_t len = static_cast<uint32_t>(static_cast<uint8_t>(header[4])) |
+                   (static_cast<uint32_t>(static_cast<uint8_t>(header[5]))
+                    << 8) |
+                   (static_cast<uint32_t>(static_cast<uint8_t>(header[6]))
+                    << 16) |
+                   (static_cast<uint32_t>(static_cast<uint8_t>(header[7]))
+                    << 24);
+    if (len > kMaxFrameBytes) {
+        if (err != nullptr) *err = "frame payload too large";
+        return ReadResult::kError;
+    }
+    payload->resize(len);
+    if (len > 0 && readAll(fd, payload->data(), len, err) != 1) {
+        return ReadResult::kError;
+    }
+    return ReadResult::kOk;
+}
+
+std::string
+Request::toJson() const
+{
+    using metrics::Json;
+    Json j = Json::object();
+    j.set("op", Json::str(op));
+    if (op == "run") {
+        j.set("source", Json::str(source));
+        if (!kernel.empty()) j.set("kernel", Json::str(kernel));
+        j.set("backend", Json::str(backend));
+        j.set("stages", Json::integer(stages));
+        j.set("size", Json::integer(size));
+        j.set("timeout_ms", Json::integer(timeoutMs));
+        if (noCache) j.set("no_cache", Json::boolean(true));
+    }
+    return j.dump();
+}
+
+bool
+Request::fromJson(const std::string& text, Request* out, std::string* err)
+{
+    using metrics::Json;
+    Json j;
+    if (!Json::parse(text, &j, err)) return false;
+    if (j.kind() != Json::Kind::kObject ||
+        j.at("op").kind() != Json::Kind::kString) {
+        if (err != nullptr) *err = "request must be an object with \"op\"";
+        return false;
+    }
+    Request req;
+    req.op = j.at("op").asString();
+    if (req.op != "run" && req.op != "stats" && req.op != "ping" &&
+        req.op != "shutdown") {
+        if (err != nullptr) *err = "unknown op \"" + req.op + "\"";
+        return false;
+    }
+    if (req.op == "run") {
+        if (j.at("source").kind() != Json::Kind::kString ||
+            j.at("source").asString().empty()) {
+            if (err != nullptr) *err = "run request needs \"source\" text";
+            return false;
+        }
+        req.source = j.at("source").asString();
+        if (j.has("kernel")) req.kernel = j.at("kernel").asString();
+        if (j.has("backend")) req.backend = j.at("backend").asString();
+        if (req.backend != "native" && req.backend != "sim") {
+            if (err != nullptr) {
+                *err = "backend must be \"native\" or \"sim\"";
+            }
+            return false;
+        }
+        if (j.at("stages").isNumber()) {
+            req.stages = static_cast<int>(j.at("stages").asInt());
+        }
+        if (j.at("size").isNumber()) req.size = j.at("size").asInt();
+        if (j.at("timeout_ms").isNumber()) {
+            req.timeoutMs = static_cast<int>(j.at("timeout_ms").asInt());
+        }
+        if (j.at("no_cache").kind() == Json::Kind::kBool) {
+            req.noCache = j.at("no_cache").asBool();
+        }
+        if (req.stages < 1 || req.stages > 64 || req.size < 1 ||
+            req.size > (1ll << 32) || req.timeoutMs < 1) {
+            if (err != nullptr) *err = "run request parameter out of range";
+            return false;
+        }
+    }
+    *out = std::move(req);
+    return true;
+}
+
+std::string
+Response::toJson() const
+{
+    using metrics::Json;
+    Json j = Json::object();
+    j.set("ok", Json::boolean(ok));
+    if (!error.empty()) j.set("error", Json::str(error));
+    if (!cache.empty()) j.set("cache", Json::str(cache));
+    if (compileNs > 0) j.set("compile_ns", Json::number(compileNs));
+    if (runNs > 0) j.set("run_ns", Json::number(runNs));
+    if (totalNs > 0) j.set("total_ns", Json::number(totalNs));
+    if (!outputHash.empty()) j.set("output_hash", Json::str(outputHash));
+    if (stages > 0) j.set("stages", Json::integer(stages));
+    if (instructions > 0) {
+        j.set("instructions",
+              Json::integer(static_cast<int64_t>(instructions)));
+    }
+    if (requestsServed > 0 || cacheHits > 0 || cacheMisses > 0) {
+        j.set("cache_hits", Json::integer(static_cast<int64_t>(cacheHits)));
+        j.set("cache_misses",
+              Json::integer(static_cast<int64_t>(cacheMisses)));
+        j.set("cache_evictions",
+              Json::integer(static_cast<int64_t>(cacheEvictions)));
+        j.set("cache_entries",
+              Json::integer(static_cast<int64_t>(cacheEntries)));
+        j.set("requests_served",
+              Json::integer(static_cast<int64_t>(requestsServed)));
+    }
+    return j.dump();
+}
+
+bool
+Response::fromJson(const std::string& text, Response* out, std::string* err)
+{
+    using metrics::Json;
+    Json j;
+    if (!Json::parse(text, &j, err)) return false;
+    if (j.kind() != Json::Kind::kObject ||
+        j.at("ok").kind() != Json::Kind::kBool) {
+        if (err != nullptr) *err = "response must be an object with \"ok\"";
+        return false;
+    }
+    Response resp;
+    resp.ok = j.at("ok").asBool();
+    if (j.has("error")) resp.error = j.at("error").asString();
+    if (j.has("cache")) resp.cache = j.at("cache").asString();
+    if (j.at("compile_ns").isNumber()) {
+        resp.compileNs = j.at("compile_ns").asDouble();
+    }
+    if (j.at("run_ns").isNumber()) resp.runNs = j.at("run_ns").asDouble();
+    if (j.at("total_ns").isNumber()) {
+        resp.totalNs = j.at("total_ns").asDouble();
+    }
+    if (j.has("output_hash")) {
+        resp.outputHash = j.at("output_hash").asString();
+    }
+    if (j.at("stages").isNumber()) {
+        resp.stages = static_cast<int>(j.at("stages").asInt());
+    }
+    if (j.at("instructions").isNumber()) {
+        resp.instructions =
+            static_cast<uint64_t>(j.at("instructions").asInt());
+    }
+    auto u64 = [&j](const char* key) {
+        return j.at(key).isNumber()
+                   ? static_cast<uint64_t>(j.at(key).asInt())
+                   : 0ull;
+    };
+    resp.cacheHits = u64("cache_hits");
+    resp.cacheMisses = u64("cache_misses");
+    resp.cacheEvictions = u64("cache_evictions");
+    resp.cacheEntries = u64("cache_entries");
+    resp.requestsServed = u64("requests_served");
+    *out = std::move(resp);
+    return true;
+}
+
+} // namespace phloem::svc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Wire protocol of the phloemd compilation service.
+ *
+ * Framing: every message (request or response) is one frame:
+ *
+ *   bytes 0..3   magic "PHLO"      (rejects a stray non-phloem client)
+ *   bytes 4..7   payload length, uint32 little-endian, <= kMaxFrameBytes
+ *   bytes 8..    payload: one UTF-8 JSON document
+ *
+ * Length-prefixed framing keeps the stream self-synchronizing over a
+ * Unix-domain socket (no sentinel scanning, no ambiguity about where a
+ * pretty-printed JSON document ends) and lets the server bound memory
+ * per connection before reading a byte of payload. The payload reuses
+ * metrics::Json so the daemon has exactly one JSON implementation.
+ *
+ * Requests (`op` selects the verb):
+ *   "run"       compile (or cache-hit) and execute a kernel
+ *   "stats"     report cache/server counters
+ *   "ping"      liveness probe
+ *   "shutdown"  ask the server to drain and exit (same path as SIGTERM)
+ *
+ * A connection carries any number of sequential request/response pairs;
+ * the server never pipelines responses out of order.
+ */
+
+#ifndef PHLOEM_SERVICE_PROTOCOL_H
+#define PHLOEM_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace phloem::svc {
+
+/** Frame header magic, on the wire as 'P' 'H' 'L' 'O'. */
+inline constexpr char kFrameMagic[4] = {'P', 'H', 'L', 'O'};
+/** Max payload size; a run request is source text, so 8 MiB is ample. */
+inline constexpr uint32_t kMaxFrameBytes = 8u * 1024u * 1024u;
+
+/**
+ * Write one frame (header + payload) to `fd`, retrying on EINTR and
+ * short writes. False + *err on I/O failure.
+ */
+bool writeFrame(int fd, const std::string& payload, std::string* err);
+
+enum class ReadResult : uint8_t
+{
+    kOk,
+    kEof,   ///< clean close before any header byte
+    kError, ///< I/O failure, bad magic, oversized or truncated frame
+};
+
+/**
+ * Read one frame from `fd` into *payload. kEof only when the peer
+ * closed cleanly between frames; a close mid-frame is kError.
+ */
+ReadResult readFrame(int fd, std::string* payload, std::string* err);
+
+/** One decoded client request. */
+struct Request
+{
+    std::string op = "run"; ///< "run" | "stats" | "ping" | "shutdown"
+
+    // op == "run" fields.
+    std::string source;          ///< mini-C kernel text
+    std::string kernel;          ///< function name; empty = first
+    std::string backend = "native"; ///< "native" | "sim"
+    int stages = 4;              ///< target stage count
+    int64_t size = 4096;         ///< synthetic input size
+    int timeoutMs = 10000;       ///< per-request watchdog bound
+    bool noCache = false;        ///< bypass the pipeline cache
+
+    std::string toJson() const;
+    /** False + *err on malformed JSON or a structurally bad request. */
+    static bool fromJson(const std::string& text, Request* out,
+                         std::string* err);
+};
+
+/** One server response. */
+struct Response
+{
+    bool ok = false;
+    std::string error;
+
+    /** "hit" | "miss" | "bypass" ("" for non-run ops). */
+    std::string cache;
+    double compileNs = 0.0; ///< 0 on a cache hit
+    double runNs = 0.0;
+    double totalNs = 0.0;   ///< server-side request latency
+    /** driver::hashBinding of the output image, as 16 hex digits. */
+    std::string outputHash;
+    int stages = 0;
+    uint64_t instructions = 0;
+
+    // op == "stats" fields.
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+    uint64_t cacheEntries = 0;
+    uint64_t requestsServed = 0;
+
+    std::string toJson() const;
+    static bool fromJson(const std::string& text, Response* out,
+                         std::string* err);
+};
+
+} // namespace phloem::svc
+
+#endif // PHLOEM_SERVICE_PROTOCOL_H

@@ -1,0 +1,354 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "base/logging.h"
+#include "ir/pipeline.h"
+#include "sim/binding.h"
+
+namespace phloem::svc {
+
+namespace {
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+double
+nowNs()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+closeFd(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cacheCapacity)
+{
+}
+
+Server::~Server() { stop(); }
+
+bool
+Server::start(std::string* err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+        if (err != nullptr) *err = "socket path too long";
+        return false;
+    }
+    std::strncpy(addr.sun_path, opts_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (err != nullptr) *err = std::strerror(errno);
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        if (errno == EADDRINUSE) {
+            // Distinguish a live daemon from a stale socket file left by
+            // a crash: if nobody accepts a connection, reclaim the path.
+            int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            bool alive =
+                probe >= 0 &&
+                ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof addr) == 0;
+            if (probe >= 0) ::close(probe);
+            if (alive) {
+                if (err != nullptr) {
+                    *err = "another phloemd is already serving " +
+                           opts_.socketPath;
+                }
+                closeFd(listenFd_);
+                return false;
+            }
+            ::unlink(opts_.socketPath.c_str());
+            if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) != 0) {
+                if (err != nullptr) *err = std::strerror(errno);
+                closeFd(listenFd_);
+                return false;
+            }
+        } else {
+            if (err != nullptr) *err = std::strerror(errno);
+            closeFd(listenFd_);
+            return false;
+        }
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        if (err != nullptr) *err = std::strerror(errno);
+        closeFd(listenFd_);
+        ::unlink(opts_.socketPath.c_str());
+        return false;
+    }
+    if (::pipe(wakePipe_) != 0) {
+        if (err != nullptr) *err = std::strerror(errno);
+        closeFd(listenFd_);
+        ::unlink(opts_.socketPath.c_str());
+        return false;
+    }
+
+    int n = opts_.workers > 0 ? opts_.workers : 1;
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::requestDrain()
+{
+    // Signal-handler path: only async-signal-safe operations here.
+    draining_.store(true, std::memory_order_release);
+    if (wakePipe_[1] >= 0) {
+        char b = 'q';
+        [[maybe_unused]] ssize_t r = ::write(wakePipe_[1], &b, 1);
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2];
+        fds[0] = {listenFd_, POLLIN, 0};
+        fds[1] = {wakePipe_[0], POLLIN, 0};
+        int r = ::poll(fds, 2, -1);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (draining_.load(std::memory_order_acquire)) break;
+        if ((fds[0].revents & POLLIN) == 0) continue;
+        int conn = ::accept(listenFd_, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        std::lock_guard<std::mutex> lock(connMu_);
+        pendingConns_.push_back(conn);
+        connCv_.notify_one();
+    }
+    std::lock_guard<std::mutex> lock(connMu_);
+    acceptorDone_ = true;
+    connCv_.notify_all();
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(connMu_);
+            connCv_.wait(lock, [this] {
+                return !pendingConns_.empty() || acceptorDone_;
+            });
+            if (pendingConns_.empty()) {
+                if (acceptorDone_) return;
+                continue;
+            }
+            fd = pendingConns_.front();
+            pendingConns_.pop_front();
+        }
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+Server::serveConnection(int fd)
+{
+    for (;;) {
+        // Wait for the next request in short slices so a drain can
+        // close idle connections instead of blocking in read() forever.
+        for (;;) {
+            pollfd p{fd, POLLIN, 0};
+            int r = ::poll(&p, 1, 100);
+            if (r < 0 && errno != EINTR) return;
+            if (r > 0) break;
+            if (draining_.load(std::memory_order_acquire)) return;
+        }
+
+        std::string payload, err;
+        ReadResult rr = readFrame(fd, &payload, &err);
+        if (rr != ReadResult::kOk) return;
+
+        Request req;
+        Response resp;
+        if (!Request::fromJson(payload, &req, &err)) {
+            resp.ok = false;
+            resp.error = "bad request: " + err;
+        } else {
+            resp = handleRequest(req);
+        }
+        requestsServed_.fetch_add(1, std::memory_order_relaxed);
+        if (!writeFrame(fd, resp.toJson(), &err)) return;
+        if (req.op == "shutdown") return;
+    }
+}
+
+Response
+Server::handleRequest(const Request& req)
+{
+    Response resp;
+    if (req.op == "ping") {
+        resp.ok = true;
+        return resp;
+    }
+    if (req.op == "stats") {
+        auto s = cache_.stats();
+        resp.ok = true;
+        resp.cacheHits = s.hits;
+        resp.cacheMisses = s.misses;
+        resp.cacheEvictions = s.evictions;
+        resp.cacheEntries = s.entries;
+        resp.requestsServed =
+            requestsServed_.load(std::memory_order_relaxed);
+        return resp;
+    }
+    if (req.op == "shutdown") {
+        requestDrain();
+        resp.ok = true;
+        return resp;
+    }
+    return handleRun(req);
+}
+
+Response
+Server::handleRun(const Request& req)
+{
+    Response resp;
+    double t0 = nowNs();
+
+    driver::CompileSpec spec;
+    spec.source = req.source;
+    spec.kernelName = req.kernel;
+    spec.opts.numStages = req.stages;
+    spec.opts.maxRAs = opts_.cfg.maxRAs;
+    spec.opts.maxQueues = opts_.cfg.maxQueues;
+
+    std::string key = cacheKey(opts_.cfg, spec);
+    driver::CompiledPipelinePtr cp;
+    bool hit = false;
+    std::string fe_err;
+    if (req.noCache) {
+        resp.cache = "bypass";
+        cp = driver::compileSource(spec, &fe_err);
+    } else {
+        cp = cache_.getOrCompile(
+            key, [&] { return driver::compileSource(spec, &fe_err); },
+            &hit);
+        resp.cache = hit ? "hit" : "miss";
+    }
+    if (cp == nullptr) {
+        resp.ok = false;
+        resp.error = "compile failed: " + fe_err;
+        resp.totalNs = nowNs() - t0;
+        return resp;
+    }
+    if (!cp->ok()) {
+        resp.ok = false;
+        resp.error = !cp->error.empty()
+                         ? "compile failed: " + cp->error
+                         : "compile failed: " +
+                               (cp->compiled.problems.empty()
+                                    ? std::string("no pipeline produced")
+                                    : cp->compiled.problems.front());
+        resp.totalNs = nowNs() - t0;
+        return resp;
+    }
+    if (!hit) resp.compileNs = cp->compileNs;
+    resp.stages = static_cast<int>(cp->compiled.pipeline->stages.size());
+
+    driver::RunSpec run;
+    run.backend = req.backend == "sim" ? driver::Backend::kSim
+                                       : driver::Backend::kNative;
+    run.size = std::min<int64_t>(req.size, opts_.maxRunSize);
+    run.cfg = opts_.cfg;
+    run.deadlockTimeoutMs = std::min(req.timeoutMs, opts_.maxTimeoutMs);
+    if (run.backend == driver::Backend::kSim) {
+        // The simulated machine must host one SMT thread per stage
+        // (times replicas); scale cores up for wide pipelines rather
+        // than rejecting them — the daemon serves arbitrary kernels.
+        int threads =
+            static_cast<int>(cp->compiled.pipeline->stages.size()) *
+            std::max(1, cp->compiled.pipeline->replicas);
+        int per_core = std::max(1, run.cfg.threadsPerCore);
+        int cores = (threads + per_core - 1) / per_core;
+        if (cores > run.cfg.numCores) run.cfg.numCores = cores;
+    }
+
+    sim::Binding binding;
+    driver::RunOutcome out;
+    try {
+        driver::synthesizeBinding(*cp->kernel.fn, run.size, binding);
+        out = driver::runCompiled(*cp, run, binding);
+    } catch (const std::exception& e) {
+        resp.ok = false;
+        resp.error = std::string("run failed: ") + e.what();
+        resp.totalNs = nowNs() - t0;
+        return resp;
+    }
+    resp.ok = out.ok;
+    if (!out.ok) resp.error = out.error;
+    resp.runNs = out.runNs;
+    resp.outputHash = hex64(driver::hashBinding(binding));
+    resp.instructions = run.backend == driver::Backend::kSim
+                            ? out.sim.totalInstructions()
+                            : out.native.totalInstructions();
+    resp.totalNs = nowNs() - t0;
+    return resp;
+}
+
+void
+Server::wait()
+{
+    if (acceptor_.joinable()) acceptor_.join();
+    for (auto& w : workers_) {
+        if (w.joinable()) w.join();
+    }
+}
+
+void
+Server::stop()
+{
+    if (stopped_.exchange(true)) return;
+    requestDrain();
+    wait();
+    closeFd(listenFd_);
+    closeFd(wakePipe_[0]);
+    closeFd(wakePipe_[1]);
+    if (!opts_.socketPath.empty()) ::unlink(opts_.socketPath.c_str());
+}
+
+} // namespace phloem::svc

@@ -126,6 +126,9 @@ class ArrayBuffer
         return elem_ == o.elem_ && data_ == o.data_;
     }
 
+    /** Raw backing bytes (output-image hashing, snapshots). */
+    const uint8_t* rawBytes() const { return data_.data(); }
+
   private:
     void
     checkIndex(int64_t idx) const

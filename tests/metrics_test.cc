@@ -68,6 +68,110 @@ TEST(Metrics, DistributionMergeRequiresMatchingEdges)
 }
 
 // ---------------------------------------------------------------------
+// Percentile-capable latency distributions (the service families).
+// ---------------------------------------------------------------------
+
+TEST(Metrics, LogSpacedEdgesCoverRangeStrictlyIncreasing)
+{
+    auto edges = metrics::logSpacedEdges(1e3, 1e6, 4);
+    ASSERT_FALSE(edges.empty());
+    EXPECT_DOUBLE_EQ(edges.front(), 1e3);
+    EXPECT_GE(edges.back(), 1e6);
+    for (size_t i = 1; i < edges.size(); ++i)
+        EXPECT_LT(edges[i - 1], edges[i]);
+    // 4 edges per decade over 3 decades, inclusive of both endpoints.
+    EXPECT_EQ(edges.size(), 13u);
+}
+
+TEST(Metrics, QuantileInterpolatesWithinBuckets)
+{
+    // 100 observations of value 15 in bucket [10, 20): every quantile
+    // lands inside that bucket's span.
+    Distribution d({10, 20, 40});
+    d.observe(15.0, 100);
+    EXPECT_GE(d.quantile(0.5), 10.0);
+    EXPECT_LE(d.quantile(0.5), 20.0);
+
+    // Uniform spread across three buckets: p50 falls in the middle one
+    // and the ordering p50 <= p95 <= p99 holds.
+    Distribution u({10, 20, 40});
+    u.observe(5.0, 10);   // [0, 10)
+    u.observe(15.0, 10);  // [10, 20)
+    u.observe(30.0, 10);  // [20, 40)
+    double p50 = u.quantile(0.5);
+    EXPECT_GE(p50, 10.0);
+    EXPECT_LE(p50, 20.0);
+    EXPECT_LE(p50, u.quantile(0.95));
+    EXPECT_LE(u.quantile(0.95), u.quantile(0.99));
+
+    // Overflow saturates at the last edge; empty distribution is 0.
+    Distribution o({10, 20});
+    o.observe(1e9, 4);
+    EXPECT_DOUBLE_EQ(o.quantile(0.5), 20.0);
+    EXPECT_DOUBLE_EQ(Distribution({10, 20}).quantile(0.5), 0.0);
+}
+
+TEST(Metrics, QuantileSurvivesMerge)
+{
+    // A warm shard (fast requests) merged with a cold shard (slow
+    // requests): the merged p50 sits between the two modes and the
+    // high percentiles move to the slow mode's bucket.
+    auto edges = metrics::logSpacedEdges(1e3, 1e8, 4);
+    Distribution warm(edges), cold(edges), merged(edges);
+    warm.observe(5e3, 900);
+    cold.observe(5e6, 100);
+    merged.merge(warm);
+    merged.merge(cold);
+    EXPECT_EQ(merged.total, 1000u);
+    double p50 = merged.quantile(0.5);
+    EXPECT_GE(p50, 1e3);
+    EXPECT_LE(p50, 1e4);  // still in the fast mode
+    double p99 = merged.quantile(0.99);
+    EXPECT_GE(p99, 1e6);  // dominated by the slow mode
+}
+
+TEST(Metrics, LatencyDistributionRoundTripsThroughJson)
+{
+    Report rep;
+    metrics::Run& r = rep.run("loadgen");
+    auto& d = r.families["latency"]
+                  .at({{"kind", "hit"}})
+                  .dist("latency_ns", metrics::logSpacedEdges(1e3, 1e9, 4));
+    d.observe(4.2e4, 17);
+    d.observe(9e6, 3);
+    double p50 = d.quantile(0.5), p99 = d.quantile(0.99);
+
+    std::string text = metrics::toJson(rep);
+    Report back;
+    std::string err;
+    ASSERT_TRUE(metrics::parseReport(text, &back, &err)) << err;
+    const auto* p = back.runs[0].families.at("latency").find(
+        {{"kind", "hit"}});
+    ASSERT_NE(p, nullptr);
+    const Distribution& dd = p->metrics.dists.at("latency_ns");
+    EXPECT_EQ(dd.total, 20u);
+    // Quantiles are derived state: they must survive the round trip
+    // bit-for-bit because edges/counts/total do.
+    EXPECT_DOUBLE_EQ(dd.quantile(0.5), p50);
+    EXPECT_DOUBLE_EQ(dd.quantile(0.99), p99);
+}
+
+TEST(Metrics, ReaderRejectsMalformedDistribution)
+{
+    // A distribution whose counts length does not match edges + 1 is
+    // structurally invalid and must be rejected, not misread.
+    std::string text =
+        "{\"schema\": \"phloem-report\", \"version\": 1, \"meta\": {},"
+        " \"runs\": [{\"name\": \"x\", \"metrics\": {\"dists\": {"
+        "\"latency_ns\": {\"edges\": [1, 2], \"counts\": [1, 2],"
+        " \"total\": 3, \"sum\": 4.0}}}}]}";
+    Report out;
+    std::string err;
+    EXPECT_FALSE(metrics::parseReport(text, &out, &err));
+    EXPECT_NE(err.find("latency_ns"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------
 // Labeled families.
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Tests for the phloemd service: the compiled-pipeline cache (bit-exact
+ * hits, LRU eviction, fingerprint-keyed invalidation, single-flight),
+ * the framed wire protocol, and the server end to end over a real
+ * Unix-domain socket.
+ *
+ * The cache-correctness core is a differential oracle: a pipeline
+ * served from cache must produce an output image bit-identical to a
+ * fresh cold compile of the same source — if flattening-once-and-
+ * sharing ever diverged from flattening-per-run, this is the test that
+ * pays for it.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/compile_service.h"
+#include "service/cache.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "sim/binding.h"
+#include "sim/config.h"
+
+namespace phloem {
+namespace {
+
+constexpr const char* kSpmv = R"(#pragma phloem
+void spmv(const int* restrict row, const int* restrict col,
+          const double* restrict val, const double* restrict x,
+          double* restrict y, int n) {
+    for (int i = 0; i < n; i++) {
+        double sum = 0.0;
+        int start = row[i];
+        int end = row[i + 1];
+        for (int k = start; k < end; k++) {
+            sum = sum + val[k] * x[col[k]];
+        }
+        y[i] = sum;
+    }
+}
+)";
+
+constexpr const char* kStream = R"(#pragma phloem
+void stream_add(const int* restrict idx, const long* restrict a,
+                long* restrict out, int n) {
+    for (int i = 0; i < n; i++) {
+        long v = a[idx[i]];
+        out[i] = v + 7;
+    }
+}
+)";
+
+driver::CompileSpec
+specFor(const char* source)
+{
+    driver::CompileSpec spec;
+    spec.source = source;
+    spec.opts.numStages = 4;
+    return spec;
+}
+
+/** Compile + native-run a spec, returning the output-image hash. */
+uint64_t
+runForHash(const driver::CompiledPipeline& cp, int64_t size)
+{
+    sim::Binding binding;
+    driver::synthesizeBinding(*cp.kernel.fn, size, binding);
+    driver::RunSpec run;
+    run.backend = driver::Backend::kNative;
+    run.size = size;
+    run.cfg = sim::SysConfig::scaledEval();
+    driver::RunOutcome out = driver::runCompiled(cp, run, binding);
+    EXPECT_TRUE(out.ok) << out.error;
+    return driver::hashBinding(binding);
+}
+
+// ---------------------------------------------------------------------
+// PipelineCache
+// ---------------------------------------------------------------------
+
+TEST(ServiceCache, CacheHitIsBitIdenticalToColdCompile)
+{
+    driver::CompileSpec spec = specFor(kSpmv);
+    sim::SysConfig cfg = sim::SysConfig::scaledEval();
+    svc::PipelineCache cache(4);
+
+    // Cold: compiles and inserts.
+    std::string err;
+    bool hit = true;
+    auto cold = cache.getOrCompile(
+        svc::cacheKey(cfg, spec),
+        [&] { return driver::compileSource(spec, &err); }, &hit);
+    ASSERT_NE(cold, nullptr) << err;
+    ASSERT_TRUE(cold->ok()) << cold->error;
+    EXPECT_FALSE(hit);
+
+    // Hit: must be the same object — no second compile happened.
+    auto cached = cache.getOrCompile(
+        svc::cacheKey(cfg, spec),
+        [&]() -> driver::CompiledPipelinePtr {
+            ADD_FAILURE() << "cache hit must not recompile";
+            return nullptr;
+        },
+        &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(cached.get(), cold.get());
+
+    // Differential oracle: an independent cold compile of the same
+    // source, run over the same synthesized inputs, must produce a
+    // bit-identical output image to a run through the cached pipeline.
+    auto fresh = driver::compileSource(spec, &err);
+    ASSERT_NE(fresh, nullptr) << err;
+    ASSERT_TRUE(fresh->ok()) << fresh->error;
+    EXPECT_EQ(runForHash(*cached, 512), runForHash(*fresh, 512));
+
+    auto s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ServiceCache, LruEvictionUnderSmallCapacity)
+{
+    svc::PipelineCache cache(2);
+    std::string err;
+    auto cp = driver::compileSource(specFor(kStream), &err);
+    ASSERT_NE(cp, nullptr) << err;
+
+    cache.insert("a", cp);
+    cache.insert("b", cp);
+    // Touch "a" so "b" becomes least recently used.
+    EXPECT_NE(cache.lookup("a"), nullptr);
+    cache.insert("c", cp);
+
+    EXPECT_NE(cache.lookup("a"), nullptr);
+    EXPECT_EQ(cache.lookup("b"), nullptr) << "LRU entry must be evicted";
+    EXPECT_NE(cache.lookup("c"), nullptr);
+
+    auto s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.capacity, 2u);
+}
+
+TEST(ServiceCache, ZeroCapacityDisablesCaching)
+{
+    svc::PipelineCache cache(0);
+    std::string err;
+    auto cp = driver::compileSource(specFor(kStream), &err);
+    ASSERT_NE(cp, nullptr) << err;
+    cache.insert("a", cp);
+    EXPECT_EQ(cache.lookup("a"), nullptr);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServiceCache, ConfigFingerprintMismatchForcesRecompile)
+{
+    driver::CompileSpec spec = specFor(kSpmv);
+    sim::SysConfig a = sim::SysConfig::scaledEval();
+    sim::SysConfig b = a;
+    b.queueDepth = 8; // a Table III knob: different machine, new key
+
+    EXPECT_NE(svc::cacheKey(a, spec), svc::cacheKey(b, spec));
+
+    svc::PipelineCache cache(4);
+    std::string err;
+    int compiles = 0;
+    auto factory = [&] {
+        ++compiles;
+        return driver::compileSource(spec, &err);
+    };
+    bool hit = true;
+    cache.getOrCompile(svc::cacheKey(a, spec), factory, &hit);
+    EXPECT_FALSE(hit);
+    cache.getOrCompile(svc::cacheKey(b, spec), factory, &hit);
+    EXPECT_FALSE(hit) << "same source on a new machine config must miss";
+    EXPECT_EQ(compiles, 2);
+    cache.getOrCompile(svc::cacheKey(a, spec), factory, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(compiles, 2);
+}
+
+TEST(ServiceCache, KeyDependsOnSourceAndOptions)
+{
+    sim::SysConfig cfg = sim::SysConfig::scaledEval();
+    driver::CompileSpec a = specFor(kSpmv);
+    driver::CompileSpec b = specFor(kStream);
+    EXPECT_NE(svc::cacheKey(cfg, a), svc::cacheKey(cfg, b));
+
+    driver::CompileSpec c = a;
+    c.opts.numStages = 2;
+    EXPECT_NE(svc::cacheKey(cfg, a), svc::cacheKey(cfg, c));
+}
+
+TEST(ServiceCache, SingleFlightCompilesOnceUnderContention)
+{
+    driver::CompileSpec spec = specFor(kStream);
+    sim::SysConfig cfg = sim::SysConfig::scaledEval();
+    std::string key = svc::cacheKey(cfg, spec);
+    svc::PipelineCache cache(4);
+
+    std::atomic<int> compiles{0};
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    std::vector<driver::CompiledPipelinePtr> got(kThreads);
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            std::string err;
+            got[static_cast<size_t>(t)] = cache.getOrCompile(
+                key,
+                [&] {
+                    compiles.fetch_add(1);
+                    return driver::compileSource(spec, &err);
+                },
+                nullptr);
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(compiles.load(), 1)
+        << "concurrent identical requests must share one compile";
+    for (const auto& cp : got) {
+        ASSERT_NE(cp, nullptr);
+        EXPECT_EQ(cp.get(), got[0].get());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTripsThroughJson)
+{
+    svc::Request req;
+    req.op = "run";
+    req.source = kStream;
+    req.kernel = "stream_add";
+    req.backend = "sim";
+    req.stages = 3;
+    req.size = 1000;
+    req.timeoutMs = 1234;
+    req.noCache = true;
+
+    svc::Request back;
+    std::string err;
+    ASSERT_TRUE(svc::Request::fromJson(req.toJson(), &back, &err)) << err;
+    EXPECT_EQ(back.source, req.source);
+    EXPECT_EQ(back.kernel, req.kernel);
+    EXPECT_EQ(back.backend, "sim");
+    EXPECT_EQ(back.stages, 3);
+    EXPECT_EQ(back.size, 1000);
+    EXPECT_EQ(back.timeoutMs, 1234);
+    EXPECT_TRUE(back.noCache);
+}
+
+TEST(ServiceProtocol, RejectsMalformedRequests)
+{
+    svc::Request req;
+    std::string err;
+    EXPECT_FALSE(svc::Request::fromJson("not json", &req, &err));
+    EXPECT_FALSE(svc::Request::fromJson("{}", &req, &err));
+    EXPECT_FALSE(
+        svc::Request::fromJson(R"({"op":"explode"})", &req, &err));
+    // A run without source is structurally invalid.
+    EXPECT_FALSE(svc::Request::fromJson(R"({"op":"run"})", &req, &err));
+    // Out-of-range parameters are rejected, not clamped silently.
+    EXPECT_FALSE(svc::Request::fromJson(
+        R"({"op":"run","source":"x","stages":0})", &req, &err));
+}
+
+TEST(ServiceProtocol, FramingRejectsBadMagicAndOversize)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    std::string err;
+
+    // A valid frame round-trips.
+    ASSERT_TRUE(svc::writeFrame(fds[1], "hello", &err)) << err;
+    std::string payload;
+    EXPECT_EQ(svc::readFrame(fds[0], &payload, &err),
+              svc::ReadResult::kOk);
+    EXPECT_EQ(payload, "hello");
+
+    // Bad magic is an error, not a hang.
+    const char junk[8] = {'J', 'U', 'N', 'K', 1, 0, 0, 0};
+    ASSERT_EQ(::write(fds[1], junk, sizeof junk), 8);
+    EXPECT_EQ(svc::readFrame(fds[0], &payload, &err),
+              svc::ReadResult::kError);
+
+    // A length beyond kMaxFrameBytes is rejected before any payload read.
+    char big[8] = {'P', 'H', 'L', 'O', 0, 0, 0, 0x7f};
+    ASSERT_EQ(::write(fds[1], big, sizeof big), 8);
+    EXPECT_EQ(svc::readFrame(fds[0], &payload, &err),
+              svc::ReadResult::kError);
+
+    ::close(fds[1]);
+    // Clean EOF after the writer closes.
+    EXPECT_EQ(svc::readFrame(fds[0], &payload, &err),
+              svc::ReadResult::kEof);
+    ::close(fds[0]);
+}
+
+// ---------------------------------------------------------------------
+// Server end to end
+// ---------------------------------------------------------------------
+
+std::string
+testSocketPath(const char* tag)
+{
+    return "/tmp/phloem_service_test_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+TEST(ServiceServer, ServesColdThenHitWithIdenticalOutput)
+{
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("e2e");
+    opts.workers = 2;
+    opts.cacheCapacity = 8;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, &err)) << err;
+
+    svc::Request ping;
+    ping.op = "ping";
+    svc::Response resp;
+    ASSERT_TRUE(client.call(ping, &resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+
+    svc::Request run;
+    run.op = "run";
+    run.source = kSpmv;
+    run.size = 256;
+    svc::Response cold;
+    ASSERT_TRUE(client.call(run, &cold, &err)) << err;
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(cold.cache, "miss");
+    EXPECT_GT(cold.compileNs, 0.0);
+    EXPECT_GT(cold.stages, 1);
+    EXPECT_FALSE(cold.outputHash.empty());
+
+    svc::Response hot;
+    ASSERT_TRUE(client.call(run, &hot, &err)) << err;
+    ASSERT_TRUE(hot.ok) << hot.error;
+    EXPECT_EQ(hot.cache, "hit");
+    EXPECT_EQ(hot.compileNs, 0.0) << "hits must not pay a compile";
+    EXPECT_EQ(hot.outputHash, cold.outputHash)
+        << "cache hit must be bit-identical to the cold compile";
+
+    // no_cache bypasses but still computes the same image.
+    run.noCache = true;
+    svc::Response bypass;
+    ASSERT_TRUE(client.call(run, &bypass, &err)) << err;
+    ASSERT_TRUE(bypass.ok) << bypass.error;
+    EXPECT_EQ(bypass.cache, "bypass");
+    EXPECT_EQ(bypass.outputHash, cold.outputHash);
+
+    svc::Request stats;
+    stats.op = "stats";
+    svc::Response st;
+    ASSERT_TRUE(client.call(stats, &st, &err)) << err;
+    EXPECT_TRUE(st.ok);
+    EXPECT_EQ(st.cacheHits, 1u);
+    EXPECT_EQ(st.cacheMisses, 1u);
+    EXPECT_GE(st.requestsServed, 4u);
+
+    server.stop();
+}
+
+TEST(ServiceServer, ReportsCompileErrorsWithoutDying)
+{
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("err");
+    opts.workers = 1;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, &err)) << err;
+
+    svc::Request run;
+    run.op = "run";
+    run.source = "void broken( {";
+    svc::Response resp;
+    ASSERT_TRUE(client.call(run, &resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+    EXPECT_NE(resp.error.find("compile failed"), std::string::npos)
+        << resp.error;
+
+    // The connection — and the server — survive a failed request.
+    svc::Request ping;
+    ping.op = "ping";
+    ASSERT_TRUE(client.call(ping, &resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+
+    server.stop();
+}
+
+TEST(ServiceServer, ShutdownOpDrainsGracefully)
+{
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("drain");
+    opts.workers = 2;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, &err)) << err;
+    svc::Request shutdown;
+    shutdown.op = "shutdown";
+    svc::Response resp;
+    ASSERT_TRUE(client.call(shutdown, &resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+
+    // wait() must return: acceptor and workers exit on their own.
+    server.wait();
+    server.stop();
+
+    // The socket is gone; new connections fail.
+    svc::Client late;
+    EXPECT_FALSE(late.connect(opts.socketPath, &err));
+}
+
+TEST(ServiceServer, ConcurrentClientsShareTheCache)
+{
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("conc");
+    opts.workers = 4;
+    opts.cacheCapacity = 8;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    constexpr int kClients = 4;
+    constexpr int kRequests = 3;
+    std::atomic<int> failures{0};
+    std::vector<std::string> hashes(kClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            svc::Client client;
+            std::string terr;
+            if (!client.connect(opts.socketPath, &terr)) {
+                failures.fetch_add(1);
+                return;
+            }
+            svc::Request run;
+            run.op = "run";
+            run.source = kStream;
+            run.size = 128;
+            for (int r = 0; r < kRequests; ++r) {
+                svc::Response resp;
+                if (!client.call(run, &resp, &terr) || !resp.ok) {
+                    failures.fetch_add(1);
+                    return;
+                }
+                hashes[static_cast<size_t>(c)] = resp.outputHash;
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    for (int c = 1; c < kClients; ++c) {
+        EXPECT_EQ(hashes[static_cast<size_t>(c)], hashes[0]);
+    }
+    // One compile total: every other request was a hit or a
+    // single-flight wait.
+    auto s = server.cacheStats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits,
+              static_cast<uint64_t>(kClients * kRequests - 1));
+    server.stop();
+}
+
+} // namespace
+} // namespace phloem

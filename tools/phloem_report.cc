@@ -168,6 +168,40 @@ printNativeSummary(const metrics::Run& run)
     }
 }
 
+/** Service-latency runs (phloem-loadgen): percentile table per kind. */
+void
+printLatencySummary(const metrics::Run& run)
+{
+    std::printf("  %llu requests (%llu errors), %.1f req/s, "
+                "cache hit rate %.1f%%\n",
+                static_cast<unsigned long long>(
+                    counterOr(run.top, "requests")),
+                static_cast<unsigned long long>(
+                    counterOr(run.top, "errors")),
+                gaugeOr(run.top, "requests_per_sec"),
+                gaugeOr(run.top, "cache_hit_rate") * 100.0);
+    std::printf("  %-8s %10s %12s %12s %12s %12s\n", "kind", "requests",
+                "p50 ms", "p95 ms", "p99 ms", "mean ms");
+    auto fam = run.families.find("latency");
+    if (fam == run.families.end())
+        return;
+    for (const auto& p : fam->second.points) {
+        auto kind = p.labels.find("kind");
+        std::printf("  %-8s %10llu %12.3f %12.3f %12.3f %12.3f\n",
+                    kind != p.labels.end() ? kind->second.c_str() : "?",
+                    static_cast<unsigned long long>(
+                        counterOr(p.metrics, "requests")),
+                    gaugeOr(p.metrics, "p50_ns") / 1e6,
+                    gaugeOr(p.metrics, "p95_ns") / 1e6,
+                    gaugeOr(p.metrics, "p99_ns") / 1e6,
+                    gaugeOr(p.metrics, "mean_ns") / 1e6);
+    }
+    std::printf("  cold/hit p50 speedup %.1fx, same-kernel median "
+                "%.1fx\n",
+                gaugeOr(run.top, "cold_over_hit_p50"),
+                gaugeOr(run.top, "same_kernel_speedup"));
+}
+
 /** Everything else: dump the top-level metrics generically. */
 void
 printGeneric(const metrics::Run& run)
@@ -196,7 +230,9 @@ cmdPrint(const std::string& path)
         std::printf("\n%s  [%s]\n", run.name.c_str(),
                     labelsString(run.labels).c_str());
         auto backend = run.labels.find("backend");
-        if (backend != run.labels.end() && backend->second == "sim")
+        if (run.families.count("latency") > 0)
+            printLatencySummary(run);
+        else if (backend != run.labels.end() && backend->second == "sim")
             printSimBreakdown(run);
         else if (backend != run.labels.end() &&
                  backend->second == "native")

@@ -51,16 +51,13 @@
 #include <vector>
 
 #include "compiler/compiler.h"
-#include "frontend/frontend.h"
+#include "driver/compile_service.h"
 #include "ir/op.h"
 #include "ir/printer.h"
 #include "metrics/collect.h"
 #include "metrics/metrics.h"
-#include "runtime/runtime.h"
 #include "runtime/trace.h"
 #include "sim/binding.h"
-#include "sim/energy.h"
-#include "sim/machine.h"
 #include "taco/taco.h"
 
 using namespace phloem;
@@ -114,51 +111,6 @@ optionOperand(const char* flag, int argc, char** argv, int* i)
         return nullptr;
     }
     return argv[++*i];
-}
-
-/**
- * Synthesize a deterministic binding from the kernel signature: arrays
- * get size+1 elements (room for CSR-style `row[i+1]` reads); read-only
- * integer arrays get pseudo-random values in [0, size) so indirect
- * accesses stay in bounds; writable arrays start zeroed; integer scalars
- * are bound to `size` (the conventional trip count) and float scalars to
- * 0.5.
- */
-void
-synthesizeBinding(const ir::Function& fn, int64_t size,
-                  sim::Binding& binding)
-{
-    uint64_t state = 0x9e3779b97f4a7c15ull;
-    auto next_rand = [&state]() {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        return state;
-    };
-
-    for (const auto& a : fn.arrays) {
-        if (binding.hasArray(a.name))
-            continue;  // double-buffer slots may repeat a name
-        auto* buf = binding.makeArray(a.name, a.elem,
-                                      static_cast<size_t>(size) + 1);
-        if (a.writable)
-            continue;
-        for (int64_t i = 0; i <= size; ++i) {
-            if (a.elem == ir::ElemType::kF64)
-                buf->setDouble(i, static_cast<double>(next_rand() % 1000) /
-                                      1000.0);
-            else
-                buf->setInt(i, static_cast<int64_t>(
-                                   next_rand() %
-                                   static_cast<uint64_t>(size)));
-        }
-    }
-    for (const auto& p : fn.scalarParams) {
-        if (p.isFloat)
-            binding.setScalar(p.name, ir::Value::fromDouble(0.5));
-        else
-            binding.setScalarInt(p.name, size);
-    }
 }
 
 /**
@@ -348,10 +300,11 @@ writeReport(const metrics::Report& report, const std::string& path)
 
 /** Execute the pipeline per --run; returns the process exit code. */
 int
-runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
-            RunMode mode, int64_t size, bool profile,
-            const std::string& trace_path, const std::string& report_path)
+runPipeline(const driver::CompiledPipeline& cp, RunMode mode,
+            int64_t size, bool profile, const std::string& trace_path,
+            const std::string& report_path)
 {
+    const ir::Function& fn = *cp.kernel.fn;
     sim::SysConfig cfg;
     metrics::Report report;
     report.meta["tool"] = "phloemc";
@@ -360,24 +313,27 @@ runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
     report.meta["config_fingerprint"] = metrics::configFingerprint(cfg);
 
     sim::Binding native_binding;
-    rt::NativeStats native;
     if (mode == RunMode::kNative || mode == RunMode::kBoth) {
-        synthesizeBinding(fn, size, native_binding);
+        driver::synthesizeBinding(fn, size, native_binding);
         trace::Tracer tracer{trace::Timebase::kWallNs};
-        rt::RuntimeOptions ropts;
+        driver::RunSpec spec;
+        spec.backend = driver::Backend::kNative;
+        spec.size = size;
+        spec.cfg = cfg;
         if (!trace_path.empty())
-            ropts.tracer = &tracer;
-        rt::Runtime runtime{cfg, ropts};
-        native = runtime.runPipeline(pipeline, native_binding);
+            spec.tracer = &tracer;
+        driver::RunOutcome outcome =
+            driver::runCompiled(cp, spec, native_binding);
         // Write the trace even on failure: stall attribution is most
         // useful exactly when the run deadlocked.
         if (!trace_path.empty())
             writeTrace(tracer, trace_path);
         metrics::Run& run =
             report.run(fn.name, {{"backend", "native"}}) =
-                metrics::nativeRunToMetrics(fn.name, native);
+                outcome.metricsRun;
         if (!trace_path.empty())
             metrics::addTraceSummary(run, tracer);
+        const rt::NativeStats& native = outcome.native;
         if (!native.ok) {
             std::fprintf(stderr, "run: native failed: %s\n",
                          native.error.c_str());
@@ -400,23 +356,25 @@ runPipeline(const ir::Function& fn, const ir::Pipeline& pipeline,
 
     sim::Binding sim_binding;
     if (mode == RunMode::kSim || mode == RunMode::kBoth) {
-        synthesizeBinding(fn, size, sim_binding);
+        driver::synthesizeBinding(fn, size, sim_binding);
         trace::Tracer tracer{trace::Timebase::kSimCycles};
-        sim::MachineOptions mopts;
+        driver::RunSpec spec;
+        spec.backend = driver::Backend::kSim;
+        spec.size = size;
+        spec.cfg = cfg;
         if (!trace_path.empty())
-            mopts.tracer = &tracer;
-        sim::Machine machine{cfg, mopts};
-        sim::RunStats stats = machine.runPipeline(pipeline, sim_binding);
+            spec.tracer = &tracer;
+        driver::RunOutcome outcome =
+            driver::runCompiled(cp, spec, sim_binding);
         if (!trace_path.empty())
             writeTrace(tracer, mode == RunMode::kBoth
                                    ? simTracePath(trace_path)
                                    : trace_path);
-        sim::EnergyBreakdown energy =
-            sim::computeEnergy(stats, sim::EnergyConfig{}, cfg.numCores);
         metrics::Run& run = report.run(fn.name, {{"backend", "sim"}}) =
-            metrics::simRunToMetrics(fn.name, stats, &energy);
+            outcome.metricsRun;
         if (!trace_path.empty())
             metrics::addTraceSummary(run, tracer);
+        const sim::RunStats& stats = outcome.sim;
         if (stats.deadlock) {
             std::fprintf(stderr, "run: simulator deadlock:\n%s\n",
                          stats.deadlockInfo.c_str());
@@ -591,31 +549,34 @@ main(int argc, char** argv)
     }
 
     try {
-        fe::CompiledKernel kernel =
-            fe::compileKernel(source, kernel_name);
-        if (!quiet && !kernel.ann.phloem) {
+        driver::CompileSpec spec;
+        spec.source = source;
+        spec.kernelName = kernel_name;
+        spec.opts = opts;
+        std::string compile_err;
+        driver::CompiledPipelinePtr cp =
+            driver::compileSource(spec, &compile_err);
+        if (cp == nullptr) {
+            std::fprintf(stderr, "phloemc: %s\n", compile_err.c_str());
+            return 1;
+        }
+        if (!quiet && !cp->kernel.ann.phloem) {
             std::fprintf(stderr,
                          "phloemc: note: '%s' has no #pragma phloem; "
                          "compiling anyway\n",
-                         kernel.fn->name.c_str());
+                         cp->kernel.fn->name.c_str());
         }
         if (!quiet)
             std::printf("=== serial IR ===\n%s\n",
-                        ir::toString(*kernel.fn).c_str());
+                        ir::toString(*cp->kernel.fn).c_str());
         if (ir_only)
             return 0;
-
-        for (int cut : kernel.ann.decoupleOps)
-            opts.forcedCuts.push_back(cut);
-        if (kernel.ann.replicas > 1)
-            opts.replicas = kernel.ann.replicas;
-        if (!kernel.ann.distributeOps.empty()) {
-            opts.distributeBoundaryOp = kernel.ann.distributeOps.front();
-            opts.forcedCuts.push_back(kernel.ann.distributeOps.front());
+        if (!cp->error.empty()) {
+            std::fprintf(stderr, "phloemc: %s\n", cp->error.c_str());
+            return 1;
         }
 
-        comp::CompileResult result =
-            comp::compilePipeline(*kernel.fn, opts);
+        const comp::CompileResult& result = cp->compiled;
         if (!quiet) {
             for (const auto& note : result.notes)
                 std::printf("note: %s\n", note.c_str());
@@ -623,7 +584,7 @@ main(int argc, char** argv)
                         ir::toString(*result.pipeline).c_str());
         }
         std::printf("%s: %zu stages + %zu RAs, %d queues%s\n",
-                    kernel.fn->name.c_str(),
+                    cp->kernel.fn->name.c_str(),
                     result.pipeline->stages.size(),
                     result.pipeline->ras.size(),
                     result.pipeline->numQueues(),
@@ -633,9 +594,8 @@ main(int argc, char** argv)
         if (!result.problems.empty())
             return 1;
         if (run_mode != RunMode::kNone)
-            return runPipeline(*kernel.fn, *result.pipeline, run_mode,
-                               run_size, profile, trace_path,
-                               report_path);
+            return runPipeline(*cp, run_mode, run_size, profile,
+                               trace_path, report_path);
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "phloemc: %s\n", e.what());
