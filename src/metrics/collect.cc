@@ -213,6 +213,17 @@ nativeRunToMetrics(const std::string& name, const rt::NativeStats& stats)
     top.addCounter("branches", stats.totalBranches());
     top.addCounter("enq_blocks", stats.totalEnqBlocks());
     top.addCounter("deq_blocks", stats.totalDeqBlocks());
+    // Task-pool scheduling counters: only when the run actually ran on
+    // the shared pool, so sim/serial/legacy reports are unchanged.
+    if (stats.sched.shared) {
+        top.setGauge("sched_pool_size",
+                     static_cast<double>(stats.sched.poolSize));
+        top.addCounter("sched_stealing", stats.sched.stealing ? 1 : 0);
+        top.addCounter("sched_parks", stats.sched.parks);
+        top.addCounter("sched_unparks", stats.sched.unparks);
+        top.addCounter("sched_steals", stats.sched.steals);
+        top.addCounter("sched_yields", stats.sched.yields);
+    }
 
     uint64_t queue_ops = 0, ra_elements = 0, ra_ctrl = 0, fused = 0;
     for (const auto& w : stats.workers) {

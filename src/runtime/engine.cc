@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "ir/op.h"
+#include "runtime/sched.h"
 #include "sim/eval.h"
 
 namespace phloem::rt {
@@ -38,6 +39,9 @@ Engine::slowTick()
         env_.ctl->fail(msg);
         throw std::runtime_error(msg);
     }
+    // Shared pool: long compute phases must not monopolize the worker
+    // while runnable peers wait (no-op off the pool).
+    Scheduler::maybeYield();
     return true;
 }
 
@@ -76,6 +80,7 @@ Engine::waitPush(SpscQueue& q, int abs_q, const ir::Value& v)
         return true;
     q.noteEnqBlocked();
     uint64_t t0 = env_.trace ? env_.trace->now() : 0;
+    ParkTarget pt = makePushTarget(q, abs_q);
     Backoff backoff(*env_.ctl);
     for (;;) {
         if (q.tryPush(v)) {
@@ -85,7 +90,7 @@ Engine::waitPush(SpscQueue& q, int abs_q, const ir::Value& v)
                                    t0, env_.trace->now());
             return true;
         }
-        switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
+        switch (backoff.step(*env_.ctl, /*stoppable=*/false, &pt)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
@@ -116,6 +121,7 @@ Engine::popValue(const DInst& d, ir::Value& v)
     if (n == 0) {
         d.q->noteDeqBlocked();
         uint64_t t0 = env_.trace ? env_.trace->now() : 0;
+        ParkTarget pt = makePopTarget(*d.q, d.absQ);
         Backoff backoff(*env_.ctl);
         for (;;) {
             n = d.q->popBatch(kBatchCap, b.data.get());
@@ -127,7 +133,7 @@ Engine::popValue(const DInst& d, ir::Value& v)
                                        d.absQ, t0, env_.trace->now());
                 break;
             }
-            switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
+            switch (backoff.step(*env_.ctl, /*stoppable=*/false, &pt)) {
               case Backoff::Result::kRetry:
                 break;
               case Backoff::Result::kStopped:
@@ -163,6 +169,7 @@ Engine::peekValue(const DInst& d, ir::Value& v)
         return true;
     d.q->noteDeqBlocked();
     uint64_t t0 = env_.trace ? env_.trace->now() : 0;
+    ParkTarget pt = makePopTarget(*d.q, d.absQ, "peek");
     Backoff backoff(*env_.ctl);
     for (;;) {
         if (d.q->tryPeek(v)) {
@@ -172,7 +179,7 @@ Engine::peekValue(const DInst& d, ir::Value& v)
                                    t0, env_.trace->now());
             return true;
         }
-        switch (backoff.step(*env_.ctl, /*stoppable=*/false)) {
+        switch (backoff.step(*env_.ctl, /*stoppable=*/false, &pt)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:

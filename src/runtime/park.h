@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Parking primitives shared between the SPSC rings and the task
+ * scheduler: the waiter lists a blocked task registers on, and the
+ * ParkTarget descriptor a blocking wait hands to the backoff layer.
+ *
+ * This header is deliberately tiny and free of scheduler internals so
+ * queue.h can embed waiter slots without pulling in fibers or worker
+ * pools. The lifecycle contract:
+ *
+ *   parker:   state = Parking; list->add(self); seq_cst fence;
+ *             re-check condition; park or cancel (sched.cc).
+ *   notifier: perform the push/pop; seq_cst fence; if the list is
+ *             non-empty, wake every waiter.
+ *
+ * The symmetric fences are the Dekker handshake that makes a lost
+ * wakeup impossible: either the parker's re-check observes the
+ * notifier's operation, or the notifier's list check observes the
+ * parker's registration. Spurious wakeups are allowed and handled by
+ * the wait loops (they re-check the ring and re-park).
+ */
+
+#ifndef PHLOEM_RUNTIME_PARK_H
+#define PHLOEM_RUNTIME_PARK_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace phloem::rt {
+
+class Task;
+
+/**
+ * A spinlocked list of tasks blocked on one condition (one side of a
+ * ring, or a barrier). The lock is held only for pointer insert/remove;
+ * wakers snapshot the list under the lock and unpark outside it.
+ * Multi-producer rings can have several blocked producers, so this is
+ * a list, not a slot.
+ */
+class WaitList
+{
+  public:
+    /** Cheap notifier-side check; call after a seq_cst fence. */
+    bool
+    empty() const
+    {
+        return count_.load(std::memory_order_relaxed) == 0;
+    }
+
+    void
+    add(Task* t)
+    {
+        lock();
+        items_.push_back(t);
+        count_.store(static_cast<int>(items_.size()),
+                     std::memory_order_relaxed);
+        unlock();
+    }
+
+    /** Remove t if present (idempotent: wakers also deregister). */
+    void
+    remove(Task* t)
+    {
+        lock();
+        for (size_t i = 0; i < items_.size(); ++i) {
+            if (items_[i] == t) {
+                items_[i] = items_.back();
+                items_.pop_back();
+                break;
+            }
+        }
+        count_.store(static_cast<int>(items_.size()),
+                     std::memory_order_relaxed);
+        unlock();
+    }
+
+    /** Drain every waiter into out (caller unparks outside the lock). */
+    void
+    takeAll(std::vector<Task*>& out)
+    {
+        lock();
+        out.insert(out.end(), items_.begin(), items_.end());
+        items_.clear();
+        count_.store(0, std::memory_order_relaxed);
+        unlock();
+    }
+
+    /** Snapshot waiters without deregistering them (wake all). */
+    void wakeAll();  // defined in sched.cc (needs Scheduler::unpark)
+
+  private:
+    void
+    lock()
+    {
+        while (lock_.exchange(true, std::memory_order_acquire)) {
+        }
+    }
+
+    void
+    unlock()
+    {
+        lock_.store(false, std::memory_order_release);
+    }
+
+    std::atomic<bool> lock_{false};
+    std::atomic<int> count_{0};
+    std::vector<Task*> items_;
+};
+
+/** Waiter slots for one ring: blocked producers and the consumer. */
+struct QueueWaiters
+{
+    WaitList producers;
+    WaitList consumers;
+};
+
+/**
+ * Where a blocked wait would park and how to re-check its condition.
+ * `ready` must be a pure read of shared state (fresh acquire loads);
+ * the scheduler calls it between registering on `list` and actually
+ * yielding the worker, and again cannot-miss semantics come from the
+ * fence pairing described above. A null `list` (legacy mode, waiters
+ * not attached) makes the backoff fall back to spin-then-yield.
+ */
+struct ParkTarget
+{
+    WaitList* list = nullptr;
+    bool (*ready)(const ParkTarget&) = nullptr;
+    const void* obj = nullptr;  ///< queue or barrier the wait is on
+    uint64_t arg = 0;           ///< e.g. the barrier generation awaited
+    const char* what = "";      ///< "enq"/"deq"/"peek"/"barrier"
+    int q = -1;                 ///< absolute queue id for diagnostics
+};
+
+} // namespace phloem::rt
+
+#endif // PHLOEM_RUNTIME_PARK_H

@@ -31,6 +31,7 @@
 
 #include "base/logging.h"
 #include "ir/type.h"
+#include "runtime/park.h"
 
 namespace phloem::rt {
 
@@ -65,18 +66,31 @@ class SpscQueue
     void setMultiProducer() { multiProducer_ = true; }
     bool multiProducer() const { return multiProducer_; }
 
+    /**
+     * Attach parking waiter slots (scheduler mode). Must happen before
+     * any producer/consumer touches the ring; a null slot (legacy
+     * thread-per-stage mode) keeps every notify hook on its first-load
+     * early-out, so the lock-free hot path is unchanged there.
+     */
+    void setWaiters(QueueWaiters* w) { waiters_ = w; }
+    QueueWaiters* waiters() const { return waiters_; }
+
     /** Producer side: enqueue v; false when the ring is full. */
     bool
     tryPush(const ir::Value& v)
     {
+        bool ok;
         if (multiProducer_) {
             while (pushLock_.exchange(true, std::memory_order_acquire))
                 cpuRelax();
-            bool ok = pushImpl(v);
+            ok = pushImpl(v);
             pushLock_.store(false, std::memory_order_release);
-            return ok;
+        } else {
+            ok = pushImpl(v);
         }
-        return pushImpl(v);
+        if (ok)
+            notifyData();
+        return ok;
     }
 
     /**
@@ -89,14 +103,18 @@ class SpscQueue
     size_t
     pushBatch(size_t max_n, Gen&& gen)
     {
+        size_t n;
         if (multiProducer_) {
             while (pushLock_.exchange(true, std::memory_order_acquire))
                 cpuRelax();
-            size_t n = pushBatchImpl(max_n, gen);
+            n = pushBatchImpl(max_n, gen);
             pushLock_.store(false, std::memory_order_release);
-            return n;
+        } else {
+            n = pushBatchImpl(max_n, gen);
         }
-        return pushBatchImpl(max_n, gen);
+        if (n > 0)
+            notifyData();
+        return n;
     }
 
     /**
@@ -128,6 +146,7 @@ class SpscQueue
         popBatches_++;
         popBatchElems_ += n;
         popHist_[histBucket(n)]++;
+        notifySpace();
         return n;
     }
 
@@ -144,6 +163,7 @@ class SpscQueue
         v = buf_[head];
         head_.store(next(head), std::memory_order_release);
         deqCount_++;
+        notifySpace();
         return true;
     }
 
@@ -201,6 +221,36 @@ class SpscQueue
     void noteDeqBlocked() { deqBlocks_++; }
 
   private:
+    /**
+     * Notifier side of the parking handshake (park.h): after making
+     * data visible, wake blocked consumers. The seq_cst fence orders
+     * our index store before the waiter-list check — the Dekker mirror
+     * of the parker's register-then-recheck — and is only paid when
+     * waiter slots are attached (scheduler mode).
+     */
+    void
+    notifyData()
+    {
+        QueueWaiters* w = waiters_;
+        if (w == nullptr)
+            return;
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (!w->consumers.empty())
+            w->consumers.wakeAll();
+    }
+
+    /** Mirror of notifyData: after freeing a slot, wake producers. */
+    void
+    notifySpace()
+    {
+        QueueWaiters* w = waiters_;
+        if (w == nullptr)
+            return;
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (!w->producers.empty())
+            w->producers.wakeAll();
+    }
+
     size_t next(size_t i) const { return i + 1 == slots_ ? 0 : i + 1; }
 
     size_t
@@ -331,6 +381,8 @@ class SpscQueue
     alignas(64) std::atomic<bool> pushLock_{false};
     std::atomic<uint64_t> enqBlocks_{0};
     bool multiProducer_ = false;
+    /** Parking waiter slots, or null in legacy mode. */
+    QueueWaiters* waiters_ = nullptr;
 };
 
 } // namespace phloem::rt

@@ -11,6 +11,7 @@
 
 #include "base/logging.h"
 #include "ir/op.h"
+#include "runtime/sched.h"
 #include "sim/program.h"
 
 namespace phloem::rt {
@@ -76,6 +77,43 @@ resolveEngine(EngineMode mode)
     return true;
 }
 
+/**
+ * Resolve the scheduler selection, mirroring resolveEngine: explicit
+ * option wins; kAuto defaults to the shared pool, with PHLOEM_SCHED as
+ * the escape hatch. Accepted spellings (case-insensitive):
+ * legacy/threads/off/0 keep one OS thread per worker, shared/pool/on/1
+ * use the shared pool. Anything else warns once and keeps the default.
+ */
+bool
+resolveScheduler(SchedulerMode mode)
+{
+    switch (mode) {
+      case SchedulerMode::kShared:
+        return true;
+      case SchedulerMode::kLegacy:
+        return false;
+      case SchedulerMode::kAuto:
+        break;
+    }
+    const char* env = std::getenv("PHLOEM_SCHED");
+    if (env == nullptr || *env == '\0')
+        return true;
+    std::string v(env);
+    for (char& c : v)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (v == "legacy" || v == "threads" || v == "off" || v == "0")
+        return false;
+    if (v == "shared" || v == "pool" || v == "on" || v == "1")
+        return true;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+        phloem_warn("unrecognized PHLOEM_SCHED value \"", env,
+                    "\" (expected legacy/threads/off/0 or "
+                    "shared/pool/on/1); shared scheduler stays enabled");
+    return true;
+}
+
 } // namespace
 
 NativeStats
@@ -99,10 +137,17 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
     int stages_per_replica = static_cast<int>(pipeline.stages.size());
     int total_threads = stages_per_replica * replicas;
     phloem_assert(total_threads >= 1, "pipeline has no stages");
-    phloem_assert(total_threads + static_cast<int>(pipeline.ras.size()) *
-                                      replicas <=
-                      512,
-                  "refusing to spawn that many host threads");
+    int total_workers =
+        total_threads + static_cast<int>(pipeline.ras.size()) * replicas;
+    const bool use_sched = resolveScheduler(opt_.scheduler);
+    if (use_sched) {
+        // Tasks, not threads: a wide pipeline costs stacks, not cores.
+        phloem_assert(total_workers <= 4096,
+                      "refusing to schedule that many tasks");
+    } else {
+        phloem_assert(total_workers <= 512,
+                      "refusing to spawn that many host threads");
+    }
 
     // Build the rings: default depth from the architecture config,
     // per-queue overrides from the pipeline.
@@ -237,27 +282,77 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
         });
     }
 
-    // Parallel region: spawn everyone, join stage threads (their halt
-    // defines completion — RAs never write memory), then release RAs.
+    // Parallel region: run everyone, wait for the stage workers (their
+    // halt defines completion — RAs never write memory), then release
+    // the RAs. Scheduler mode multiplexes all workers as parkable
+    // tasks on a fixed-size shared pool; legacy mode spawns one OS
+    // thread each (kept as a differential-testing fallback).
+    SchedStats sched_stats;
     auto t0 = Clock::now();
-    std::vector<std::thread> ra_threads;
-    ra_threads.reserve(ra_workers.size());
-    for (auto& w : ra_workers)
-        ra_threads.emplace_back(
-            [&ctl, worker = w.get()] { workerMain(*worker, ctl); });
-    std::vector<std::thread> stage_threads;
-    stage_threads.reserve(stage_workers.size());
-    for (auto& w : stage_workers)
-        stage_threads.emplace_back(
-            [&ctl, worker = w.get()] { workerMain(*worker, ctl); });
+    auto t1 = t0;
+    std::vector<QueueWaiters> queue_waiters;
+    if (use_sched) {
+        Scheduler::Options hint;
+        hint.workers = opt_.schedWorkers;
+        hint.stealing = opt_.schedStealing;
+        Scheduler& sched = opt_.schedulerOverride != nullptr
+                               ? *opt_.schedulerOverride
+                               : Scheduler::shared(&hint);
+        // Attach the rings' waiter slots before any task can touch
+        // them: this is what arms the park/unpark path in the backoff.
+        queue_waiters =
+            std::vector<QueueWaiters>(static_cast<size_t>(num_queues));
+        for (int i = 0; i < num_queues; ++i)
+            queue_ptrs[static_cast<size_t>(i)]->setWaiters(
+                &queue_waiters[static_cast<size_t>(i)]);
+        auto run = sched.createRun(&ctl);
+        ctl.schedRun = run.get();
+        for (auto& w : ra_workers)
+            run->addTask(w->stats.name, /*is_stage=*/false,
+                         [&ctl, worker = w.get()] {
+                             workerMain(*worker, ctl);
+                         });
+        for (auto& w : stage_workers)
+            run->addTask(w->stats.name, /*is_stage=*/true,
+                         [&ctl, worker = w.get()] {
+                             workerMain(*worker, ctl);
+                         });
+        t0 = Clock::now();
+        run->start();
+        run->waitStages();
+        t1 = Clock::now();
+        ctl.stop.store(true, std::memory_order_release);
+        // RAs parked on drained inputs cannot observe stop; wake them.
+        run->wakeAllTasks();
+        run->waitAll();
+        sched_stats.shared = true;
+        sched_stats.poolSize = sched.poolSize();
+        sched_stats.stealing = sched.stealing();
+        sched_stats.parks = run->parks();
+        sched_stats.unparks = run->unparks();
+        sched_stats.steals = run->steals();
+        sched_stats.yields = run->yields();
+        ctl.schedRun = nullptr;
+    } else {
+        std::vector<std::thread> ra_threads;
+        ra_threads.reserve(ra_workers.size());
+        for (auto& w : ra_workers)
+            ra_threads.emplace_back(
+                [&ctl, worker = w.get()] { workerMain(*worker, ctl); });
+        std::vector<std::thread> stage_threads;
+        stage_threads.reserve(stage_workers.size());
+        for (auto& w : stage_workers)
+            stage_threads.emplace_back(
+                [&ctl, worker = w.get()] { workerMain(*worker, ctl); });
 
-    for (auto& t : stage_threads)
-        t.join();
-    auto t1 = Clock::now();
+        for (auto& t : stage_threads)
+            t.join();
+        t1 = Clock::now();
 
-    ctl.stop.store(true, std::memory_order_release);
-    for (auto& t : ra_threads)
-        t.join();
+        ctl.stop.store(true, std::memory_order_release);
+        for (auto& t : ra_threads)
+            t.join();
+    }
     if (sampler.joinable()) {
         sampler_stop.store(true, std::memory_order_release);
         sampler.join();
@@ -279,6 +374,7 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
     out.numStageThreads = total_threads;
     out.numRAWorkers = static_cast<int>(ra_workers.size());
     out.engine = ctl.useEngine;
+    out.sched = sched_stats;
     for (auto& w : stage_workers)
         out.workers.push_back(w->stats);
     for (auto& w : ra_workers)

@@ -4,8 +4,13 @@
  * threads connected by lock-free SPSC ring buffers.
  *
  * This is the "what if the paper's hardware were software" backend: one
- * std::thread per pipeline stage (per replica), one thread per software
+ * resumable task per pipeline stage (per replica), one task per software
  * reference accelerator, and one bounded ring per architectural queue.
+ * Tasks run on a fixed-size shared work-stealing pool (runtime/sched.h)
+ * sized to the machine, so many pipelines — or one pipeline with more
+ * stages than cores — share the host without thread oversubscription; a
+ * task blocked on a full/empty ring parks and yields its pool worker.
+ * RuntimeOptions::scheduler = kLegacy restores thread-per-stage.
  * It interprets the same sim::flatten instruction stream as the
  * simulator, through the same functional core (sim/eval.h), so its
  * output is bit-for-bit identical to the simulator's — which the

@@ -97,6 +97,25 @@ struct WorkerStats
     uint64_t fusedSites = 0;
 };
 
+/** Scheduler-side counters for one run (shared task pool only). */
+struct SchedStats
+{
+    /** Run executed as tasks on the shared pool (vs. legacy threads). */
+    bool shared = false;
+    /** Worker threads in the pool that ran this pipeline. */
+    int poolSize = 0;
+    /** Work stealing between pool workers was enabled. */
+    bool stealing = false;
+    /** Times a task of this run parked on a full/empty ring or barrier. */
+    uint64_t parks = 0;
+    /** Times a parked/parking task of this run was woken. */
+    uint64_t unparks = 0;
+    /** This run's tasks stolen from another worker's queue. */
+    uint64_t steals = 0;
+    /** Cooperative yields from compute loops (heartbeat checkpoints). */
+    uint64_t yields = 0;
+};
+
 struct NativeStats
 {
     /** Wall-clock time of the parallel region (threads spawn -> join). */
@@ -105,6 +124,8 @@ struct NativeStats
     int numRAWorkers = 0;
     /** Stage workers ran the pre-decoded engine (vs. raw interpreter). */
     bool engine = false;
+    /** Task-pool scheduling counters (sched.shared false in legacy mode). */
+    SchedStats sched;
 
     std::vector<WorkerStats> workers;
     std::vector<QueueStats> queues;

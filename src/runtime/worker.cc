@@ -8,6 +8,7 @@
 #include "ir/op.h"
 #include "runtime/decode.h"
 #include "runtime/engine.h"
+#include "runtime/sched.h"
 #include "sim/eval.h"
 
 namespace phloem::rt {
@@ -40,16 +41,35 @@ Backoff::Backoff(RunControl& ctl)
 }
 
 Backoff::Result
-Backoff::step(RunControl& ctl, bool stoppable)
+Backoff::step(RunControl& ctl, bool stoppable, const ParkTarget* pt)
 {
     if (ctl.aborted())
         return Result::kStopped;
     if (stoppable && ctl.stop.load(std::memory_order_acquire))
         return Result::kStopped;
 
+    // On a single-worker pool spinning is pure waste: the peer task
+    // that would satisfy this wait shares the only worker and cannot
+    // run until we yield, so park straight away.
+    if (spins_ == 0 && pt != nullptr && pt->list != nullptr &&
+        Scheduler::currentPoolSize() == 1)
+        spins_ = kSpinLimit;
+
     if (spins_ < kSpinLimit) {
         spins_++;
         cpuRelax();
+        return Result::kRetry;
+    }
+
+    // Scheduler mode: after the capped spin phase, park instead of
+    // burning the core — the other side of the ring unparks us. The
+    // wall-time watchdog below would misfire here (a task can sit
+    // unscheduled with the whole run healthy), so deadlock detection
+    // moves to the scheduler's all-parked monitor, whose fail() the
+    // abort check above observes after we are woken.
+    if (pt != nullptr && pt->list != nullptr &&
+        Scheduler::current() != nullptr) {
+        Scheduler::parkCurrent(*pt, ctl, stoppable);
         return Result::kRetry;
     }
 
@@ -85,11 +105,24 @@ StageBarrier::arriveAndWait(RunControl& ctl)
         waiting_.store(0, std::memory_order_relaxed);
         ctl.progress.fetch_add(1, std::memory_order_relaxed);
         generation_.fetch_add(1, std::memory_order_release);
+        // Notifier side of the parking handshake: the generation bump
+        // above must be ordered before the waiter-list check, so a
+        // peer that registered just before we bumped is either seen
+        // here or sees the new generation in its parked re-check.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (!waiters_.empty())
+            waiters_.wakeAll();
         return !ctl.aborted();
     }
+    ParkTarget pt;
+    pt.list = &waiters_;
+    pt.ready = &StageBarrier::generationAdvanced;
+    pt.obj = this;
+    pt.arg = gen;
+    pt.what = "barrier";
     Backoff backoff(ctl);
     while (generation_.load(std::memory_order_acquire) == gen) {
-        switch (backoff.step(ctl, /*stoppable=*/false)) {
+        switch (backoff.step(ctl, /*stoppable=*/false, &pt)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
@@ -150,6 +183,7 @@ StageWorker::waitPush(int abs_q, const ir::Value& v)
         return true;
     q.noteEnqBlocked();
     uint64_t t0 = traceBuf ? traceBuf->now() : 0;
+    ParkTarget pt = makePushTarget(q, abs_q);
     Backoff backoff(*ctl_);
     for (;;) {
         if (q.tryPush(v)) {
@@ -159,7 +193,7 @@ StageWorker::waitPush(int abs_q, const ir::Value& v)
                                  traceBuf->now());
             return true;
         }
-        switch (backoff.step(*ctl_, /*stoppable=*/false)) {
+        switch (backoff.step(*ctl_, /*stoppable=*/false, &pt)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
@@ -184,6 +218,7 @@ StageWorker::waitPop(int abs_q, ir::Value& v)
         return true;
     q.noteDeqBlocked();
     uint64_t t0 = traceBuf ? traceBuf->now() : 0;
+    ParkTarget pt = makePopTarget(q, abs_q);
     Backoff backoff(*ctl_);
     for (;;) {
         if (q.tryPop(v)) {
@@ -193,7 +228,7 @@ StageWorker::waitPop(int abs_q, ir::Value& v)
                                  traceBuf->now());
             return true;
         }
-        switch (backoff.step(*ctl_, /*stoppable=*/false)) {
+        switch (backoff.step(*ctl_, /*stoppable=*/false, &pt)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
@@ -218,6 +253,7 @@ StageWorker::waitPeek(int abs_q, ir::Value& v)
         return true;
     q.noteDeqBlocked();
     uint64_t t0 = traceBuf ? traceBuf->now() : 0;
+    ParkTarget pt = makePopTarget(q, abs_q, "peek");
     Backoff backoff(*ctl_);
     for (;;) {
         if (q.tryPeek(v)) {
@@ -230,7 +266,7 @@ StageWorker::waitPeek(int abs_q, ir::Value& v)
                                  traceBuf->now());
             return true;
         }
-        switch (backoff.step(*ctl_, /*stoppable=*/false)) {
+        switch (backoff.step(*ctl_, /*stoppable=*/false, &pt)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
@@ -441,6 +477,9 @@ StageWorker::runInterpreter()
                 ctl_->fail(msg);
                 throw std::runtime_error(msg);
             }
+            // Shared pool: long compute phases must not monopolize the
+            // worker while runnable peers wait (no-op off the pool).
+            Scheduler::maybeYield();
         }
         const sim::Inst& inst = code[static_cast<size_t>(pc_)];
         switch (inst.kind) {
@@ -486,6 +525,8 @@ RAWorker::heartbeat(uint64_t n)
     if (heartbeatCount_ >= kHeartbeatInterval) {
         ctl_->progress.fetch_add(1, std::memory_order_relaxed);
         heartbeatCount_ = 0;
+        // Shared pool: a streaming RA must not starve runnable peers.
+        Scheduler::maybeYield();
     }
 }
 
@@ -498,6 +539,7 @@ RAWorker::waitPush(const ir::Value& v)
     }
     outQ_->noteEnqBlocked();
     uint64_t t0 = traceBuf ? traceBuf->now() : 0;
+    ParkTarget pt = makePushTarget(*outQ_, traceOutQ);
     Backoff backoff(*ctl_);
     for (;;) {
         if (outQ_->tryPush(v)) {
@@ -509,7 +551,7 @@ RAWorker::waitPush(const ir::Value& v)
         }
         // Stoppable: once every stage thread halted, whatever the RA
         // still holds can never reach memory, so it just exits.
-        switch (backoff.step(*ctl_, /*stoppable=*/true)) {
+        switch (backoff.step(*ctl_, /*stoppable=*/true, &pt)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:
@@ -540,6 +582,7 @@ RAWorker::waitPop(ir::Value& v)
     }
     inQ_->noteDeqBlocked();
     uint64_t t0 = traceBuf ? traceBuf->now() : 0;
+    ParkTarget pt = makePopTarget(*inQ_, traceInQ);
     Backoff backoff(*ctl_);
     for (;;) {
         if (inQ_->tryPop(v)) {
@@ -551,7 +594,7 @@ RAWorker::waitPop(ir::Value& v)
         }
         // An empty input after shutdown is the normal RA exit path, not
         // a deadlock: RAs never see an end-of-stream value.
-        switch (backoff.step(*ctl_, /*stoppable=*/true)) {
+        switch (backoff.step(*ctl_, /*stoppable=*/true, &pt)) {
           case Backoff::Result::kRetry:
             break;
           case Backoff::Result::kStopped:

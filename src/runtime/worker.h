@@ -47,6 +47,22 @@ enum class EngineMode : uint8_t {
     kOff,  ///< raw sim::Inst interpreter (the pre-engine behavior)
 };
 
+/** How stage/RA workers map onto host threads (see runtime/sched.h). */
+enum class SchedulerMode : uint8_t {
+    /** Shared pool unless the PHLOEM_SCHED=legacy env override. */
+    kAuto,
+    /** Tasks on the shared fixed-size work-stealing pool. */
+    kShared,
+    /** One dedicated OS thread per worker (differential fallback). */
+    kLegacy,
+};
+
+class Scheduler;
+class SchedRun;
+
+/** Null-safe wake of every parked task in a run (runtime/sched.cc). */
+void schedWakeAll(SchedRun* run);
+
 /** Tuning knobs for one native run. */
 struct RuntimeOptions
 {
@@ -68,6 +84,22 @@ struct RuntimeOptions
      * no-op path (the zero-cost-off contract).
      */
     trace::Tracer* tracer = nullptr;
+    /** Task scheduling: shared pool (default) vs thread-per-stage. */
+    SchedulerMode scheduler = SchedulerMode::kAuto;
+    /**
+     * Shared-pool size hint; 0 = hardware_concurrency. Honored only by
+     * the run that creates the process-wide pool (one machine, one
+     * pool); use schedulerOverride for a private pool of a chosen size.
+     */
+    int schedWorkers = 0;
+    /** Work stealing between pool workers (shared mode). */
+    bool schedStealing = true;
+    /**
+     * Run on this scheduler instead of the process-wide shared pool.
+     * Tests use it to build private pools of known size; must outlive
+     * the run. Null = the shared pool.
+     */
+    Scheduler* schedulerOverride = nullptr;
 };
 
 /**
@@ -87,6 +119,9 @@ struct RunControl
     /** A worker failed (exception, watchdog); everyone unwinds. */
     std::atomic<bool> abortFlag{false};
 
+    /** This run's scheduler task group, or null in legacy mode. */
+    SchedRun* schedRun = nullptr;
+
     /** Serializes atomic read-modify-write memory ops across stages. */
     std::mutex atomicsMu;
 
@@ -103,6 +138,9 @@ struct RunControl
                 error = msg;
         }
         abortFlag.store(true, std::memory_order_release);
+        // Parked tasks cannot poll the abort flag; wake them so the
+        // run unwinds instead of waiting out the deadlock monitor.
+        schedWakeAll(schedRun);
     }
 
     bool
@@ -129,8 +167,16 @@ class Backoff
         kDeadlock,  ///< watchdog fired: caller should report and abort
     };
 
-    /** One backoff step. `stoppable` waits also end on ctl.stop. */
-    Result step(RunControl& ctl, bool stoppable);
+    /**
+     * One backoff step. `stoppable` waits also end on ctl.stop. On a
+     * scheduler task with a parkable target, the spin phase is capped
+     * and falls through to park/unpark (the wait then costs ~0 CPU and
+     * deadlock detection is the scheduler's all-parked monitor, which
+     * never returns kDeadlock from here). Off the pool, or with a null
+     * target/list, the legacy spin-yield-watchdog behavior applies.
+     */
+    Result step(RunControl& ctl, bool stoppable,
+                const ParkTarget* pt = nullptr);
 
   private:
     int spins_ = 0;
@@ -139,9 +185,45 @@ class Backoff
     uint64_t lastChangeNs_;
 };
 
+/** ParkTarget for a producer blocked on a full ring. */
+inline ParkTarget
+makePushTarget(SpscQueue& q, int abs_q)
+{
+    ParkTarget pt;
+    QueueWaiters* w = q.waiters();
+    pt.list = w != nullptr ? &w->producers : nullptr;
+    pt.ready = [](const ParkTarget& p) {
+        const auto* queue = static_cast<const SpscQueue*>(p.obj);
+        return queue->sizeApprox() < static_cast<size_t>(queue->depth());
+    };
+    pt.obj = &q;
+    pt.what = "enq";
+    pt.q = abs_q;
+    return pt;
+}
+
+/** ParkTarget for a consumer blocked on an empty ring. */
+inline ParkTarget
+makePopTarget(SpscQueue& q, int abs_q, const char* what = "deq")
+{
+    ParkTarget pt;
+    QueueWaiters* w = q.waiters();
+    pt.list = w != nullptr ? &w->consumers : nullptr;
+    pt.ready = [](const ParkTarget& p) {
+        return static_cast<const SpscQueue*>(p.obj)->sizeApprox() > 0;
+    };
+    pt.obj = &q;
+    pt.what = what;
+    pt.q = abs_q;
+    return pt;
+}
+
 /**
- * Sense-reversing barrier for the pipeline's stage threads (kBarrier).
- * Abort-aware: a waiter returns false when the run is unwinding.
+ * Sense-reversing barrier for the pipeline's stage workers (kBarrier).
+ * Abort-aware: a waiter returns false when the run is unwinding. On
+ * the shared pool, waiters park on the barrier's waiter list and the
+ * last arriver wakes them (spinning would starve the missing parties
+ * when the pool is smaller than the stage count).
  */
 class StageBarrier
 {
@@ -152,9 +234,18 @@ class StageBarrier
     bool arriveAndWait(RunControl& ctl);
 
   private:
+    /** ParkTarget re-check: has the generation moved past pt.arg? */
+    static bool
+    generationAdvanced(const ParkTarget& pt)
+    {
+        const auto* b = static_cast<const StageBarrier*>(pt.obj);
+        return b->generation_.load(std::memory_order_acquire) != pt.arg;
+    }
+
     const int parties_;
     std::atomic<int> waiting_{0};
     std::atomic<uint64_t> generation_{0};
+    WaitList waiters_;
 };
 
 /** One pipeline stage (or a serial function) on one host thread. */

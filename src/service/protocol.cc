@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "metrics/json.h"
@@ -10,14 +11,29 @@ namespace phloem::svc {
 
 namespace {
 
+/**
+ * Write the whole buffer, riding out EINTR and short writes (a small
+ * SO_SNDBUF or a signal can split one frame across many syscalls).
+ * Uses send(MSG_NOSIGNAL) so a peer that disconnected mid-response
+ * surfaces as EPIPE here instead of a process-killing SIGPIPE — the
+ * server must outlive any one client. Falls back to write() for
+ * non-socket fds (ENOTSOCK: pipes and regular files in tests).
+ */
 bool
 writeAll(int fd, const char* data, size_t n, std::string* err)
 {
     size_t off = 0;
+    bool use_send = true;
     while (off < n) {
-        ssize_t w = ::write(fd, data + off, n - off);
+        ssize_t w = use_send
+                        ? ::send(fd, data + off, n - off, MSG_NOSIGNAL)
+                        : ::write(fd, data + off, n - off);
         if (w < 0) {
             if (errno == EINTR) continue;
+            if (use_send && errno == ENOTSOCK) {
+                use_send = false;
+                continue;
+            }
             if (err != nullptr) *err = std::strerror(errno);
             return false;
         }
@@ -196,6 +212,17 @@ Response::toJson() const
         j.set("requests_served",
               Json::integer(static_cast<int64_t>(requestsServed)));
     }
+    if (schedPoolSize > 0) {
+        j.set("sched_pool_size", Json::integer(schedPoolSize));
+        j.set("sched_parks",
+              Json::integer(static_cast<int64_t>(schedParks)));
+        j.set("sched_unparks",
+              Json::integer(static_cast<int64_t>(schedUnparks)));
+        j.set("sched_steals",
+              Json::integer(static_cast<int64_t>(schedSteals)));
+        j.set("sched_yields",
+              Json::integer(static_cast<int64_t>(schedYields)));
+    }
     return j.dump();
 }
 
@@ -241,6 +268,14 @@ Response::fromJson(const std::string& text, Response* out, std::string* err)
     resp.cacheEvictions = u64("cache_evictions");
     resp.cacheEntries = u64("cache_entries");
     resp.requestsServed = u64("requests_served");
+    if (j.at("sched_pool_size").isNumber()) {
+        resp.schedPoolSize =
+            static_cast<int>(j.at("sched_pool_size").asInt());
+    }
+    resp.schedParks = u64("sched_parks");
+    resp.schedUnparks = u64("sched_unparks");
+    resp.schedSteals = u64("sched_steals");
+    resp.schedYields = u64("sched_yields");
     *out = std::move(resp);
     return true;
 }

@@ -99,6 +99,18 @@ struct Response
     uint64_t cacheEntries = 0;
     uint64_t requestsServed = 0;
 
+    /**
+     * Shared task-pool counters, cumulative over the daemon's life
+     * (op == "stats", zero until a native run created the pool). All
+     * native requests share one fixed-size pool, so these are global,
+     * not per-request.
+     */
+    int schedPoolSize = 0;
+    uint64_t schedParks = 0;
+    uint64_t schedUnparks = 0;
+    uint64_t schedSteals = 0;
+    uint64_t schedYields = 0;
+
     std::string toJson() const;
     static bool fromJson(const std::string& text, Response* out,
                          std::string* err);

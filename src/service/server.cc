@@ -11,6 +11,7 @@
 
 #include "base/logging.h"
 #include "ir/pipeline.h"
+#include "runtime/sched.h"
 #include "sim/binding.h"
 
 namespace phloem::svc {
@@ -234,6 +235,16 @@ Server::handleRequest(const Request& req)
         resp.cacheEntries = s.entries;
         resp.requestsServed =
             requestsServed_.load(std::memory_order_relaxed);
+        // Shared task pool counters: null until some native run
+        // instantiated the pool (sim-only daemons never do).
+        if (rt::Scheduler* sched = rt::Scheduler::sharedIfCreated()) {
+            auto c = sched->counters();
+            resp.schedPoolSize = sched->poolSize();
+            resp.schedParks = c.parks;
+            resp.schedUnparks = c.unparks;
+            resp.schedSteals = c.steals;
+            resp.schedYields = c.yields;
+        }
         return resp;
     }
     if (req.op == "shutdown") {

@@ -382,6 +382,11 @@ runCase(const FuzzCase& fc, const OracleOptions& opts)
         // flip a whole fuzzing run to the interpreter from outside.
         ro.engine = opts.nativeEngine ? rt::EngineMode::kAuto
                                       : rt::EngineMode::kOff;
+        // kAuto (not kShared) for the same reason: PHLOEM_SCHED=legacy
+        // flips a whole fuzzing run off the pool from outside.
+        ro.scheduler = opts.nativeSharedScheduler
+                           ? rt::SchedulerMode::kAuto
+                           : rt::SchedulerMode::kLegacy;
         rt::Runtime runtime(cfg, ro);
         rt::NativeStats st =
             runtime.runPipeline(*cr.pipeline, native_binding);

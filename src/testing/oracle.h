@@ -59,6 +59,14 @@ struct OracleOptions
      * path.
      */
     bool nativeEngine = true;
+    /**
+     * Run the native side on the shared task pool (true) or on legacy
+     * thread-per-stage (false). Replaying the corpus in both modes
+     * pins the scheduler to bit-identical results — the pool is a
+     * different interleaving of the same program, never a different
+     * answer.
+     */
+    bool nativeSharedScheduler = true;
 };
 
 struct OracleResult

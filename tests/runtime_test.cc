@@ -15,6 +15,7 @@
 #include "ir/builder.h"
 #include "runtime/queue.h"
 #include "runtime/runtime.h"
+#include "runtime/sched.h"
 #include "runtime/trace.h"
 #include "workloads/graph.h"
 #include "workloads/kernels.h"
@@ -971,6 +972,194 @@ TEST(NativeRuntime, WatchdogPostMortemAttributesTheStall)
             EXPECT_GE(q.residual, static_cast<uint64_t>(kDepth));
         }
     EXPECT_TRUE(found);
+}
+
+TEST(NativeRuntime, WatchdogLegacyModeStillAborts)
+{
+    // The thread-per-stage fallback keeps its wall-time watchdog; a
+    // genuinely stuck pipeline must still abort there, not just on the
+    // scheduler's all-parked monitor.
+    auto pipeline = std::make_unique<ir::Pipeline>();
+    pipeline->name = "jam_legacy";
+    {
+        ir::FunctionBuilder b("jam");
+        ir::RegId n = b.scalarParam("n");
+        b.forRange(b.constI(0), n, [&](ir::RegId i) { b.enq(0, i); });
+        pipeline->stages.push_back(b.finish());
+    }
+    ir::QueueConfig qc;
+    qc.id = 0;
+    qc.depth = 4;
+    pipeline->queues.push_back(qc);
+
+    sim::Binding b;
+    b.setScalarInt("n", 64);
+
+    rt::RuntimeOptions opt;
+    opt.deadlockTimeoutMs = 100;
+    opt.scheduler = rt::SchedulerMode::kLegacy;
+    rt::Runtime runtime(sim::SysConfig{}, opt);
+    rt::NativeStats stats = runtime.runPipeline(*pipeline, b);
+    EXPECT_FALSE(stats.ok);
+    EXPECT_NE(stats.error.find("deadlock"), std::string::npos)
+        << stats.error;
+    EXPECT_FALSE(stats.sched.shared);
+}
+
+// ---------------------------------------------------------------------
+// Shared task-pool scheduler.
+// ---------------------------------------------------------------------
+
+/**
+ * Heavier cousin of kFilterKernel: enough phloem_work per element that
+ * a run comfortably outlives a deliberately short deadlock timeout.
+ */
+const char* kHeavyFilterKernel = R"(
+#pragma phloem
+void heavy_filter(const int* restrict a, const int* restrict b,
+                  long* restrict out, int n) {
+    for (int i = 0; i < n; i++) {
+        int x = a[i];
+        if (x > 0) {
+            int y = b[x];
+            out[i] = phloem_work(y, 20000);
+        }
+    }
+}
+)";
+
+TEST(NativeRuntime, SchedulerOversubscribedLivePipelineIsNotKilled)
+{
+    // The regression the scheduler exists for: more live tasks than
+    // pool workers must look like a busy machine, not a deadlock. On a
+    // one-worker pool every task but one is descheduled (kRunnable) at
+    // any instant, and the run far outlasts the 60 ms timeout — the
+    // wall-time heuristic this replaced would have killed it.
+    auto kernel = fe::compileKernel(kHeavyFilterKernel);
+    comp::CompileOptions copts;
+    copts.numStages = 8;
+    auto res = comp::compilePipeline(*kernel.fn, copts);
+    ASSERT_TRUE(res.ok());
+
+    rt::Scheduler::Options sopt;
+    sopt.workers = 1;
+    rt::Scheduler pool(sopt);
+
+    rt::RuntimeOptions opt;
+    opt.scheduler = rt::SchedulerMode::kShared;
+    opt.schedulerOverride = &pool;
+    opt.deadlockTimeoutMs = 30;
+
+    sim::Binding nb;
+    setupFilter(nb);
+    rt::Runtime runtime(sim::SysConfig{}, opt);
+    rt::NativeStats stats = runtime.runPipeline(*res.pipeline, nb);
+    ASSERT_TRUE(stats.ok) << stats.error;
+    // The run must have straddled several monitor scans for the "not
+    // killed" claim to mean anything.
+    EXPECT_GT(stats.wallMs(), opt.deadlockTimeoutMs) << stats.wallMs();
+
+    EXPECT_TRUE(stats.sched.shared);
+    EXPECT_EQ(stats.sched.poolSize, 1);
+    // >= 2x oversubscribed: every stage and RA shares the one worker.
+    EXPECT_GE(stats.numStageThreads + stats.numRAWorkers, 2);
+    // Blocked tasks parked instead of spinning the pool.
+    EXPECT_GT(stats.sched.parks, 0u);
+    EXPECT_GT(stats.sched.unparks, 0u);
+
+    // And the answer is still the answer.
+    sim::Binding sb;
+    setupFilter(sb);
+    sim::Machine machine(test::testConfig());
+    auto sstats = machine.runPipeline(*res.pipeline, sb);
+    ASSERT_FALSE(sstats.deadlock);
+    EXPECT_TRUE(sb.array("out")->contentEquals(*nb.array("out")));
+}
+
+TEST(NativeRuntime, SchedulerAndLegacyAreBitIdentical)
+{
+    auto kernel = fe::compileKernel(kFilterKernel);
+    comp::CompileOptions copts;
+    copts.numStages = 4;
+    auto res = comp::compilePipeline(*kernel.fn, copts);
+    ASSERT_TRUE(res.ok());
+
+    rt::RuntimeOptions shared;
+    shared.scheduler = rt::SchedulerMode::kShared;
+    sim::Binding pb;
+    setupFilter(pb);
+    rt::Runtime pooled(sim::SysConfig{}, shared);
+    rt::NativeStats ps = pooled.runPipeline(*res.pipeline, pb);
+    ASSERT_TRUE(ps.ok) << ps.error;
+    EXPECT_TRUE(ps.sched.shared);
+
+    rt::RuntimeOptions legacy;
+    legacy.scheduler = rt::SchedulerMode::kLegacy;
+    sim::Binding lb;
+    setupFilter(lb);
+    rt::Runtime threaded(sim::SysConfig{}, legacy);
+    rt::NativeStats ls = threaded.runPipeline(*res.pipeline, lb);
+    ASSERT_TRUE(ls.ok) << ls.error;
+    EXPECT_FALSE(ls.sched.shared);
+
+    // Scheduling must be invisible to the program: same memory image,
+    // same dynamic instruction profile.
+    EXPECT_TRUE(lb.array("out")->contentEquals(*pb.array("out")));
+    EXPECT_EQ(ps.totalInstructions(), ls.totalInstructions());
+    EXPECT_EQ(ps.totalBranches(), ls.totalBranches());
+    EXPECT_EQ(ps.totalOpCounts(), ls.totalOpCounts());
+}
+
+TEST(NativeRuntime, SchedulerTwoConcurrentPipelinesShareOnePool)
+{
+    // The daemon's shape: N requests arrive at once and must multiplex
+    // onto one fixed-size pool instead of spawning N x stages threads.
+    // Two full pipelines run concurrently on two workers; both must
+    // finish, agree with the simulator, and report the shared pool.
+    auto kernel = fe::compileKernel(kFilterKernel);
+    comp::CompileOptions copts;
+    copts.numStages = 4;
+    auto res = comp::compilePipeline(*kernel.fn, copts);
+    ASSERT_TRUE(res.ok());
+
+    rt::Scheduler::Options sopt;
+    sopt.workers = 2;
+    rt::Scheduler pool(sopt);
+
+    constexpr int kRuns = 2;
+    sim::Binding bindings[kRuns];
+    rt::NativeStats stats[kRuns];
+    {
+        std::vector<std::thread> threads;
+        for (int i = 0; i < kRuns; ++i) {
+            threads.emplace_back([&, i] {
+                rt::RuntimeOptions opt;
+                opt.scheduler = rt::SchedulerMode::kShared;
+                opt.schedulerOverride = &pool;
+                setupFilter(bindings[i]);
+                rt::Runtime runtime(sim::SysConfig{}, opt);
+                stats[i] = runtime.runPipeline(*res.pipeline,
+                                               bindings[i]);
+            });
+        }
+        for (auto& t : threads) t.join();
+    }
+
+    sim::Binding sb;
+    setupFilter(sb);
+    sim::Machine machine(test::testConfig());
+    auto sstats = machine.runPipeline(*res.pipeline, sb);
+    ASSERT_FALSE(sstats.deadlock);
+
+    for (int i = 0; i < kRuns; ++i) {
+        ASSERT_TRUE(stats[i].ok) << "run " << i << ": "
+                                 << stats[i].error;
+        EXPECT_TRUE(stats[i].sched.shared);
+        EXPECT_EQ(stats[i].sched.poolSize, 2);
+        EXPECT_TRUE(
+            sb.array("out")->contentEquals(*bindings[i].array("out")))
+            << "run " << i;
+    }
 }
 
 } // namespace

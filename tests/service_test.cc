@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdio>
 #include <string>
+#include <sys/socket.h>
 #include <thread>
 #include <vector>
 
@@ -306,6 +307,55 @@ TEST(ServiceProtocol, FramingRejectsBadMagicAndOversize)
     EXPECT_EQ(svc::readFrame(fds[0], &payload, &err),
               svc::ReadResult::kEof);
     ::close(fds[0]);
+}
+
+TEST(ServiceProtocol, FrameReassemblesAcrossTinySocketBuffer)
+{
+    // Shrink the send buffer far below the payload so one frame needs
+    // many kernel-level writes; writeAll must keep going until every
+    // byte is out, and readFrame must reassemble the split frame.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    int tiny = 1; // the kernel clamps this up to its floor (~4 KiB)
+    ASSERT_EQ(::setsockopt(fds[1], SOL_SOCKET, SO_SNDBUF, &tiny,
+                           sizeof tiny),
+              0);
+
+    std::string payload(1 << 20, '\0');
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>('a' + (i % 23));
+
+    // Reader must drain concurrently or the tiny buffer deadlocks the
+    // writer — which is exactly the condition that forces short writes.
+    std::string got, rerr;
+    svc::ReadResult rr = svc::ReadResult::kError;
+    std::thread reader(
+        [&] { rr = svc::readFrame(fds[0], &got, &rerr); });
+    std::string werr;
+    bool wrote = svc::writeFrame(fds[1], payload, &werr);
+    reader.join();
+
+    EXPECT_TRUE(wrote) << werr;
+    EXPECT_EQ(rr, svc::ReadResult::kOk) << rerr;
+    EXPECT_EQ(got, payload);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(ServiceProtocol, WriteToDisconnectedPeerFailsWithoutSigpipe)
+{
+    // A client that vanishes mid-response used to kill the whole daemon
+    // with SIGPIPE out of raw write(); it must surface as an ordinary
+    // error on this connection only. If the fix regresses, this test
+    // dies of the signal rather than failing an expectation.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[0]);
+
+    std::string err;
+    EXPECT_FALSE(svc::writeFrame(fds[1], "anyone there?", &err));
+    EXPECT_FALSE(err.empty());
+    ::close(fds[1]);
 }
 
 // ---------------------------------------------------------------------

@@ -71,6 +71,7 @@ struct Options
     int clients = 4;
     int requests = 25;  ///< per client
     int kernels = 4;    ///< distinct kernels in the pool
+    int stages = 0;     ///< 0 = per-kernel default; else force this many
     std::string backend = "native";
     int64_t size = 2048;
     uint64_t seed = 1;
@@ -118,6 +119,12 @@ buildKernelPool(const Options& opt)
             fuzz::caseSeed(opt.seed, static_cast<uint64_t>(i)), limits);
         pool.push_back({"fuzz_" + std::to_string(fc.seed), fc.source(),
                         fc.knobs.numStages});
+    }
+    if (opt.stages > 0) {
+        // Force wide pipelines regardless of the kernels' own choices:
+        // the oversubscription smoke wants stage count x concurrency to
+        // far exceed the host's cores.
+        for (auto& k : pool) k.stages = opt.stages;
     }
     return pool;
 }
@@ -174,6 +181,8 @@ usage()
         "  --clients=N      concurrent client threads (default 4)\n"
         "  --requests=N     requests per client (default 25)\n"
         "  --kernels=N      distinct kernels in the pool (default 4)\n"
+        "  --stages=N       force every kernel to N stages (default: "
+        "per-kernel)\n"
         "  --backend=B      native | sim (default native)\n"
         "  --size=N         synthetic input size (default 2048)\n"
         "  --seed=N         base seed for fuzz kernels (default 1)\n"
@@ -227,6 +236,12 @@ main(int argc, char** argv)
                 return 2;
             }
             opt.kernels = static_cast<int>(n);
+        } else if (const char* v = val("--stages")) {
+            if (!parseInt(v, &n) || n < 1 || n > 64) {
+                std::fprintf(stderr, "loadgen: bad --stages\n");
+                return 2;
+            }
+            opt.stages = static_cast<int>(n);
         } else if (const char* v = val("--backend")) {
             opt.backend = v;
             if (opt.backend != "native" && opt.backend != "sim") {
@@ -393,6 +408,18 @@ main(int argc, char** argv)
                                resp.cacheEvictions);
             run.top.setGauge("server_cache_entries",
                              static_cast<double>(resp.cacheEntries));
+            // Shared task-pool counters: all native requests multiplex
+            // onto one fixed pool, so parks/steals here prove the
+            // daemon ran concurrency x stages tasks without spawning
+            // that many threads.
+            if (resp.schedPoolSize > 0) {
+                run.top.setGauge("sched_pool_size",
+                                 static_cast<double>(resp.schedPoolSize));
+                run.top.addCounter("sched_parks", resp.schedParks);
+                run.top.addCounter("sched_unparks", resp.schedUnparks);
+                run.top.addCounter("sched_steals", resp.schedSteals);
+                run.top.addCounter("sched_yields", resp.schedYields);
+            }
         }
     }
 
