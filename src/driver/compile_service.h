@@ -24,6 +24,7 @@
 #include "compiler/compiler.h"
 #include "frontend/frontend.h"
 #include "metrics/metrics.h"
+#include "runtime/runtime.h"
 #include "runtime/stats.h"
 #include "runtime/trace.h"
 #include "sim/binding.h"
@@ -42,6 +43,14 @@ struct CompileSpec
     std::string kernelName;
     /** Pass/stage knobs. Pragma annotations are applied on top. */
     comp::CompileOptions opts;
+    /**
+     * Execution tier the pipeline is being prepared for. kJit makes
+     * compileSource also emit + compile each stage's native artifact
+     * (the .so is cached alongside the pipeline, so service cache hits
+     * skip JIT codegen too). kAuto/kEngine/kInterp prepare nothing
+     * extra; the tier is resolved again at run time.
+     */
+    rt::TierMode tier = rt::TierMode::kAuto;
 };
 
 /**
@@ -58,6 +67,20 @@ struct CompiledPipeline
     comp::CompileOptions effectiveOpts;
     /** One flattened program per pipeline stage (replicas share). */
     std::vector<sim::Program> programs;
+    /**
+     * Pre-decoded replica-independent DInst shape per stage, built
+     * alongside `programs`: a cache hit skips decode, not just
+     * flattening (workers copy + relocate the shape per replica).
+     */
+    std::vector<rt::DecodedProgram> shapes;
+    /**
+     * Per-stage JIT artifacts, non-empty only when the spec asked for
+     * TierMode::kJit. Failed entries are kept (the runtime downgrades
+     * those stages to the engine and reports the error in its stats).
+     */
+    std::vector<rt::JitArtifactPtr> jit;
+    /** Tier this pipeline was prepared for (CompileSpec::tier). */
+    rt::TierMode tier = rt::TierMode::kAuto;
     /** Wall time of frontend + passes + flatten, in nanoseconds. */
     double compileNs = 0.0;
     /**
@@ -99,6 +122,13 @@ struct RunSpec
     uint64_t maxInstructions = 4'000'000'000ull;
     /** Optional stall-attribution tracer (must outlive the run). */
     trace::Tracer* tracer = nullptr;
+    /**
+     * Stage execution tier (native backend only). kAuto defers to the
+     * PHLOEM_NATIVE_TIER / PHLOEM_NATIVE_ENGINE environment. When kJit
+     * and the pipeline was compiled with tier kJit, the cached
+     * artifacts are reused; otherwise the run compiles them on entry.
+     */
+    rt::TierMode tier = rt::TierMode::kAuto;
 };
 
 /** Result of one execution, with the stats of whichever backend ran. */

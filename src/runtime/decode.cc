@@ -29,10 +29,9 @@ isPlainScalar(const sim::Inst& inst)
     }
 }
 
-/** Decode one raw instruction standalone (no fusion). */
+/** Decode one raw instruction standalone (no fusion, no relocation). */
 DInst
-decodeOne(const sim::Inst& inst, int queue_offset,
-          const std::vector<SpscQueue*>& queues)
+decodeOne(const sim::Inst& inst)
 {
     DInst d;
     d.raw = &inst;
@@ -60,23 +59,15 @@ decodeOne(const sim::Inst& inst, int queue_offset,
         break;
     }
 
-    auto resolve = [&](int queue_id) {
-        d.absQ = queue_offset + queue_id;
-        phloem_assert(d.absQ >= 0 &&
-                          d.absQ < static_cast<int>(queues.size()),
-                      "decoded queue id out of range");
-        d.q = queues[static_cast<size_t>(d.absQ)];
-    };
-
     if (ir::usesQueue(inst.opcode)) {
         switch (inst.opcode) {
           case ir::Opcode::kEnq:
             d.op = DOp::kEnq;
-            resolve(inst.queue);
+            d.queueRel = inst.queue;
             return d;
           case ir::Opcode::kEnqCtrl:
             d.op = DOp::kEnqCtrl;
-            resolve(inst.queue);
+            d.queueRel = inst.queue;
             return d;
           case ir::Opcode::kEnqDist:
             // Target replica depends on the selector value; only the
@@ -86,11 +77,11 @@ decodeOne(const sim::Inst& inst, int queue_offset,
             return d;
           case ir::Opcode::kDeq:
             d.op = DOp::kDeq;
-            resolve(inst.queue);
+            d.queueRel = inst.queue;
             return d;
           case ir::Opcode::kPeek:
             d.op = DOp::kPeek;
-            resolve(inst.queue);
+            d.queueRel = inst.queue;
             return d;
           default:
             phloem_panic("not a queue op");
@@ -140,17 +131,13 @@ decodeOne(const sim::Inst& inst, int queue_offset,
 } // namespace
 
 DecodedProgram
-decodeProgram(const sim::Program& prog, int queue_offset,
-              int queue_stride, int num_replicas,
-              const std::vector<SpscQueue*>& queues)
+decodeShape(const sim::Program& prog)
 {
-    (void)queue_stride;
-    (void)num_replicas;
     DecodedProgram out;
     const auto& code = prog.code;
     out.code.reserve(code.size() + 1);
     for (const auto& inst : code)
-        out.code.push_back(decodeOne(inst, queue_offset, queues));
+        out.code.push_back(decodeOne(inst));
 
     // Sentinel: running off the end halts without counting an
     // instruction, exactly like the interpreter's pc bound check.
@@ -176,8 +163,7 @@ decodeProgram(const sim::Program& prog, int queue_offset,
             d.op = DOp::kLoadEnq;
             d.opcode2 = b.opcode;
             d.raw2 = &b;
-            d.absQ = queue_offset + b.queue;
-            d.q = queues[static_cast<size_t>(d.absQ)];
+            d.queueRel = b.queue;
             out.fusedSites++;
             continue;
         }
@@ -213,8 +199,7 @@ decodeProgram(const sim::Program& prog, int queue_offset,
             d.op = DOp::kScalarEnq;
             d.opcode2 = b.opcode;
             d.raw2 = &b;
-            d.absQ = queue_offset + b.queue;
-            d.q = queues[static_cast<size_t>(d.absQ)];
+            d.queueRel = b.queue;
             out.fusedSites++;
             continue;
         }
@@ -235,6 +220,33 @@ decodeProgram(const sim::Program& prog, int queue_offset,
             phloem_assert(d.handlerPc <= limit,
                           "control handler pc out of range");
     }
+    return out;
+}
+
+void
+relocateProgram(DecodedProgram& dp, int queue_offset,
+                const std::vector<SpscQueue*>& queues)
+{
+    for (DInst& d : dp.code) {
+        if (d.queueRel < 0)
+            continue;
+        d.absQ = queue_offset + d.queueRel;
+        phloem_assert(d.absQ >= 0 &&
+                          d.absQ < static_cast<int>(queues.size()),
+                      "decoded queue id out of range");
+        d.q = queues[static_cast<size_t>(d.absQ)];
+    }
+}
+
+DecodedProgram
+decodeProgram(const sim::Program& prog, int queue_offset,
+              int queue_stride, int num_replicas,
+              const std::vector<SpscQueue*>& queues)
+{
+    (void)queue_stride;
+    (void)num_replicas;
+    DecodedProgram out = decodeShape(prog);
+    relocateProgram(out, queue_offset, queues);
     return out;
 }
 

@@ -102,11 +102,18 @@ struct DInst
     /** Control-handler entry pc for kDeq, or -1. */
     int32_t handlerPc = -1;
 
-    /** Absolute (replica-resolved) queue id; -1 when no queue. */
+    /**
+     * Replica-relative queue id (the raw instruction's queue operand);
+     * -1 when no queue. Survives relocation, so one decoded shape can
+     * be re-based for any replica or run (the compilation service
+     * caches shapes and the JIT bakes this id into emitted code).
+     */
+    int32_t queueRel = -1;
+    /** Absolute (replica-resolved) queue id; -1 until relocated. */
     int32_t absQ = -1;
-    /** Resolved ring; null for kEnqDist (selected per element). */
+    /** Resolved ring; null until relocated, and for kEnqDist. */
     SpscQueue* q = nullptr;
-    /** Per-replica base queue id of a kEnqDist. */
+    /** Per-replica base queue id of a kEnqDist (already relative). */
     int32_t queueBase = -1;
 
     /** Original instruction (generic eval paths, diagnostics). */
@@ -123,12 +130,32 @@ struct DecodedProgram
 };
 
 /**
- * Decode one stage's flat program for one replica. `queues` holds the
- * pipeline's rings indexed by absolute id; it may be empty for serial
- * functions (which the runtime verifies contain no queue ops).
+ * Decode one stage's flat program into its replica-independent shape:
+ * classification, fusion, and control-flow validation, with queue
+ * operands kept as relative ids (queueRel/queueBase) and absQ/q left
+ * unresolved. A shape can be cached and shared (the compilation
+ * service decodes once per pipeline, not once per worker per run) —
+ * relocateProgram() re-bases a copy for a concrete replica.
  *
  * The returned DecodedProgram stores pointers into `prog.code`; the
- * program must outlive it.
+ * program must outlive it (and every relocated copy).
+ */
+DecodedProgram decodeShape(const sim::Program& prog);
+
+/**
+ * Resolve a decoded shape's relative queue ids against one replica's
+ * queue window: absQ = queue_offset + queueRel, q = queues[absQ].
+ * `queues` may be empty for serial functions (which the runtime
+ * verifies contain no queue ops). Idempotent on a fresh copy of a
+ * cached shape; kEnqDist stays runtime-selected (queueBase only).
+ */
+void relocateProgram(DecodedProgram& dp, int queue_offset,
+                     const std::vector<SpscQueue*>& queues);
+
+/**
+ * Decode one stage's flat program for one replica: decodeShape +
+ * relocateProgram in one step (the per-worker path when no cached
+ * shape is available).
  */
 DecodedProgram decodeProgram(const sim::Program& prog, int queue_offset,
                              int queue_stride, int num_replicas,

@@ -11,6 +11,7 @@
 
 #include "base/logging.h"
 #include "ir/op.h"
+#include "runtime/jit.h"
 #include "runtime/sched.h"
 #include "sim/program.h"
 
@@ -114,18 +115,115 @@ resolveScheduler(SchedulerMode mode)
     return true;
 }
 
+/**
+ * Resolve the stage execution tier. Precedence: explicit opt.tier, then
+ * an explicit opt.engine (kOn -> engine, kOff -> interpreter), then the
+ * PHLOEM_NATIVE_TIER env override, then PHLOEM_NATIVE_ENGINE (via
+ * resolveEngine). Accepted PHLOEM_NATIVE_TIER spellings
+ * (case-insensitive): jit, engine, interp/interpreter. Anything else
+ * warns once and falls through to the engine-era resolution, matching
+ * the PHLOEM_NATIVE_ENGINE convention.
+ */
+TierMode
+resolveTier(const RuntimeOptions& opt)
+{
+    switch (opt.tier) {
+      case TierMode::kInterp:
+        return TierMode::kInterp;
+      case TierMode::kEngine:
+        return TierMode::kEngine;
+      case TierMode::kJit:
+        return TierMode::kJit;
+      case TierMode::kAuto:
+        break;
+    }
+    if (opt.engine == EngineMode::kOn)
+        return TierMode::kEngine;
+    if (opt.engine == EngineMode::kOff)
+        return TierMode::kInterp;
+    const char* env = std::getenv("PHLOEM_NATIVE_TIER");
+    if (env != nullptr && *env != '\0') {
+        std::string v(env);
+        for (char& c : v)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (v == "jit")
+            return TierMode::kJit;
+        if (v == "engine")
+            return TierMode::kEngine;
+        if (v == "interp" || v == "interpreter")
+            return TierMode::kInterp;
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            phloem_warn("unrecognized PHLOEM_NATIVE_TIER value \"", env,
+                        "\" (expected jit, engine, or "
+                        "interp/interpreter); falling back to "
+                        "PHLOEM_NATIVE_ENGINE");
+    }
+    return resolveEngine(EngineMode::kAuto) ? TierMode::kEngine
+                                            : TierMode::kInterp;
+}
+
+const char*
+tierName(TierMode t)
+{
+    switch (t) {
+      case TierMode::kInterp:
+        return "interp";
+      case TierMode::kJit:
+        return "jit";
+      case TierMode::kAuto:
+      case TierMode::kEngine:
+        break;
+    }
+    return "engine";
+}
+
+/**
+ * Build (or fail) the JIT artifact for one stage program. Never
+ * throws: a decode/emission/compile problem becomes a failed artifact,
+ * and the stage falls back to the engine — which will surface the same
+ * underlying problem through the normal worker-failure path if it is a
+ * real program defect rather than a JIT limitation.
+ */
+JitArtifactPtr
+buildStageArtifact(const sim::Program& prog, const DecodedProgram* shape,
+                   const std::string& name)
+{
+    try {
+        if (shape != nullptr)
+            return jitCompileStage(prog, *shape, name);
+        DecodedProgram local = decodeShape(prog);
+        return jitCompileStage(prog, local, name);
+    } catch (const std::exception& e) {
+        auto failed = std::make_shared<JitArtifact>();
+        failed->error = std::string("jit setup failed: ") + e.what();
+        return failed;
+    }
+}
+
 } // namespace
 
 NativeStats
 Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding)
 {
-    return runPipeline(pipeline, binding, nullptr);
+    return runPipeline(pipeline, binding, PreparedPrograms{});
 }
 
 NativeStats
 Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
-                     const std::vector<sim::Program>* pre_flattened)
+                     const std::vector<sim::Program>* programs)
 {
+    PreparedPrograms prep;
+    prep.programs = programs;
+    return runPipeline(pipeline, binding, prep);
+}
+
+NativeStats
+Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
+                     const PreparedPrograms& prep)
+{
+    const std::vector<sim::Program>* pre_flattened = prep.programs;
     int replicas = std::max(1, pipeline.replicas);
 
     // Queue-id stride between replicas, matching the simulator exactly.
@@ -187,6 +285,15 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
     }
     const std::vector<sim::Program>& programs = *pre_flattened;
 
+    // Cached decoded shapes (compilation service): workers copy and
+    // relocate instead of re-classifying; must match the programs 1:1.
+    const std::vector<DecodedProgram>* shapes = prep.shapes;
+    if (shapes != nullptr)
+        phloem_assert(shapes->size() == programs.size(),
+                      "decoded shape count (", shapes->size(),
+                      ") does not match pipeline stages (",
+                      programs.size(), ")");
+
     // Queues targeted by kEnqDist have one producer per replica (every
     // replica's distributor may select them); their pushes must be
     // serialized.
@@ -206,7 +313,33 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
 
     RunControl ctl;
     ctl.opt = opt_;
-    ctl.useEngine = resolveEngine(opt_.engine);
+    ctl.tier = resolveTier(opt_);
+    ctl.useEngine = ctl.tier != TierMode::kInterp;
+
+    // JIT tier: build (or reuse) one artifact per stage program before
+    // the timed region — replicas share artifacts, and a cache hit in
+    // the compilation service skips this entirely. A failed artifact
+    // just downgrades that stage to the engine (recorded per worker).
+    std::vector<JitArtifactPtr> local_jit;
+    const std::vector<JitArtifactPtr>* jit_arts = nullptr;
+    if (ctl.tier == TierMode::kJit) {
+        if (prep.jit != nullptr) {
+            phloem_assert(prep.jit->size() == programs.size(),
+                          "jit artifact count (", prep.jit->size(),
+                          ") does not match pipeline stages (",
+                          programs.size(), ")");
+            jit_arts = prep.jit;
+        } else {
+            local_jit.reserve(programs.size());
+            for (size_t s = 0; s < programs.size(); ++s)
+                local_jit.push_back(buildStageArtifact(
+                    programs[s],
+                    shapes != nullptr ? &(*shapes)[s] : nullptr,
+                    pipeline.stages[s]->name));
+            jit_arts = &local_jit;
+        }
+    }
+
     StageBarrier barrier(total_threads);
 
     std::vector<std::unique_ptr<StageWorker>> stage_workers;
@@ -219,6 +352,17 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
                 std::move(name), &programs[static_cast<size_t>(s)],
                 binding, r, /*queue_offset=*/r * stride, stride, replicas,
                 queue_ptrs, &barrier, &ctl));
+            StageWorker& w = *stage_workers.back();
+            if (shapes != nullptr)
+                w.shape = &(*shapes)[static_cast<size_t>(s)];
+            if (jit_arts != nullptr) {
+                const JitArtifact& art =
+                    *(*jit_arts)[static_cast<size_t>(s)];
+                if (art.ok())
+                    w.jit = &art;
+                else
+                    w.stats.jitFallback = art.error;
+            }
         }
     }
 
@@ -374,6 +518,22 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
     out.numStageThreads = total_threads;
     out.numRAWorkers = static_cast<int>(ra_workers.size());
     out.engine = ctl.useEngine;
+    out.tier = tierName(ctl.tier);
+    if (jit_arts != nullptr) {
+        for (const JitArtifactPtr& a : *jit_arts) {
+            out.jitEmitNs += a->emitNs;
+            out.jitCompileNs += a->compileNs;
+            out.jitLoadNs += a->loadNs;
+            if (!a->ok() && out.jitError.empty())
+                out.jitError = a->error;
+        }
+        for (auto& w : stage_workers) {
+            if (w->jit != nullptr)
+                out.jitStages++;
+            else
+                out.jitFallbacks++;
+        }
+    }
     out.sched = sched_stats;
     for (auto& w : stage_workers)
         out.workers.push_back(w->stats);
@@ -454,11 +614,20 @@ Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
 
     RunControl ctl;
     ctl.opt = opt_;
-    ctl.useEngine = resolveEngine(opt_.engine);
+    ctl.tier = resolveTier(opt_);
+    ctl.useEngine = ctl.tier != TierMode::kInterp;
     StageBarrier barrier(1);
     StageWorker worker(fn.name, &prog, binding, /*replica=*/0,
                        /*queue_offset=*/0, /*queue_stride=*/0,
                        /*num_replicas=*/1, {}, &barrier, &ctl);
+    JitArtifactPtr jit_art;
+    if (ctl.tier == TierMode::kJit) {
+        jit_art = buildStageArtifact(prog, nullptr, fn.name);
+        if (jit_art->ok())
+            worker.jit = jit_art.get();
+        else
+            worker.stats.jitFallback = jit_art->error;
+    }
     if (opt_.tracer != nullptr)
         worker.traceBuf = opt_.tracer->addWorker(fn.name,
                                                  /*is_stage=*/true);
@@ -471,6 +640,18 @@ Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
     out.wallNs = elapsedNs(t0, t1);
     out.numStageThreads = 1;
     out.engine = ctl.useEngine;
+    out.tier = tierName(ctl.tier);
+    if (jit_art != nullptr) {
+        out.jitEmitNs = jit_art->emitNs;
+        out.jitCompileNs = jit_art->compileNs;
+        out.jitLoadNs = jit_art->loadNs;
+        if (worker.jit != nullptr)
+            out.jitStages = 1;
+        else {
+            out.jitFallbacks = 1;
+            out.jitError = jit_art->error;
+        }
+    }
     out.workers.push_back(worker.stats);
     if (ctl.aborted()) {
         out.ok = false;

@@ -24,13 +24,40 @@
 #ifndef PHLOEM_RUNTIME_RUNTIME_H
 #define PHLOEM_RUNTIME_RUNTIME_H
 
+#include <memory>
+#include <vector>
+
 #include "ir/pipeline.h"
+#include "runtime/decode.h"
 #include "runtime/stats.h"
 #include "runtime/worker.h"
 #include "sim/binding.h"
 #include "sim/config.h"
 
 namespace phloem::rt {
+
+struct JitArtifact;
+using JitArtifactPtr = std::shared_ptr<const JitArtifact>;
+
+/**
+ * Caller-supplied pre-compiled stage state, all optional and all only
+ * read (a compilation service shares one pipeline across concurrent
+ * runs; everything referenced must outlive the call):
+ *  - programs: flattened stage programs, one per stage in stage order
+ *    (null = flatten per run);
+ *  - shapes: decoded replica-independent DInst shapes matching
+ *    `programs` (null = decode per worker); cache hits then skip
+ *    decode, not just flattening;
+ *  - jit: per-stage compiled artifacts for the JIT tier, failed
+ *    entries included (null = compile at run setup when the tier is
+ *    kJit). Ignored on other tiers.
+ */
+struct PreparedPrograms
+{
+    const std::vector<sim::Program>* programs = nullptr;
+    const std::vector<DecodedProgram>* shapes = nullptr;
+    const std::vector<JitArtifactPtr>* jit = nullptr;
+};
 
 class Runtime
 {
@@ -60,6 +87,15 @@ class Runtime
     NativeStats runPipeline(const ir::Pipeline& pipeline,
                             sim::Binding& binding,
                             const std::vector<sim::Program>* programs);
+
+    /**
+     * Same, with any combination of pre-flattened programs, cached
+     * decoded shapes, and pre-built JIT artifacts (see
+     * PreparedPrograms).
+     */
+    NativeStats runPipeline(const ir::Pipeline& pipeline,
+                            sim::Binding& binding,
+                            const PreparedPrograms& prep);
 
     /** Execute a serial function on one host thread (the baseline). */
     NativeStats runSerial(const ir::Function& fn, sim::Binding& binding);

@@ -8,6 +8,7 @@
 #include "ir/op.h"
 #include "runtime/decode.h"
 #include "runtime/engine.h"
+#include "runtime/jit.h"
 #include "runtime/sched.h"
 #include "sim/eval.h"
 
@@ -411,10 +412,19 @@ StageWorker::execOp(const sim::Inst& inst)
 void
 StageWorker::run()
 {
-    if (ctl_->useEngine)
+    if (ctl_->tier == TierMode::kJit && jit != nullptr) {
+        stats.tier = "jit";
+        runJit();
+    } else if (ctl_->useEngine) {
+        // Includes per-stage JIT fallback: a stage whose artifact
+        // failed to build runs on the engine (stats.jitFallback says
+        // why; the runtime set it alongside a null `jit`).
+        stats.tier = "engine";
         runEngine();
-    else
+    } else {
+        stats.tier = "interp";
         runInterpreter();
+    }
     // Abnormal exits (watchdog, budget) throw past this point; they
     // already recorded the block span they died in.
     if (traceBuf) {
@@ -426,8 +436,16 @@ StageWorker::run()
 void
 StageWorker::runEngine()
 {
-    DecodedProgram dec = decodeProgram(*prog_, queueOffset_, queueStride_,
-                                       numReplicas_, queues_);
+    // A cached shape (compilation service) skips classification+fusion;
+    // the copy is then relocated for this replica's queue window.
+    DecodedProgram dec;
+    if (shape != nullptr) {
+        dec = *shape;
+        relocateProgram(dec, queueOffset_, queues_);
+    } else {
+        dec = decodeProgram(*prog_, queueOffset_, queueStride_,
+                            numReplicas_, queues_);
+    }
     stats.fusedSites = static_cast<uint64_t>(dec.fusedSites);
 
     EngineEnv env;
@@ -451,6 +469,32 @@ StageWorker::runEngine()
         throw;
     }
     unconsumed = engine.unconsumed();
+}
+
+void
+StageWorker::runJit()
+{
+    stats.fusedSites = static_cast<uint64_t>(jit->fusedSites);
+
+    EngineEnv env;
+    env.regs = regs_.data();
+    env.arrayBind = arrayBind_.data();
+    env.queues = &queues_;
+    env.barrier = barrier_;
+    env.ctl = ctl_;
+    env.stats = &stats;
+    env.trace = traceBuf;
+    env.queueStride = queueStride_;
+    env.numReplicas = numReplicas_;
+
+    JitHost host(*prog_, env, queueOffset_);
+    try {
+        host.run(*jit);
+    } catch (...) {
+        unconsumed = host.unconsumed();
+        throw;
+    }
+    unconsumed = host.unconsumed();
 }
 
 void

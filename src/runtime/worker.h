@@ -47,6 +47,19 @@ enum class EngineMode : uint8_t {
     kOff,  ///< raw sim::Inst interpreter (the pre-engine behavior)
 };
 
+/**
+ * Stage execution tier (see runtime/jit.h). Subsumes EngineMode: the
+ * engine on/off pair predates the JIT and is kept for compatibility —
+ * an explicit `tier` wins over an explicit `engine`, and kAuto defers
+ * to the PHLOEM_NATIVE_TIER / PHLOEM_NATIVE_ENGINE env overrides.
+ */
+enum class TierMode : uint8_t {
+    kAuto,
+    kInterp,  ///< raw sim::Inst interpreter
+    kEngine,  ///< pre-decoded batching engine (the default)
+    kJit,     ///< per-stage compiled code, engine fallback on failure
+};
+
 /** How stage/RA workers map onto host threads (see runtime/sched.h). */
 enum class SchedulerMode : uint8_t {
     /** Shared pool unless the PHLOEM_SCHED=legacy env override. */
@@ -59,6 +72,8 @@ enum class SchedulerMode : uint8_t {
 
 class Scheduler;
 class SchedRun;
+struct DecodedProgram;
+struct JitArtifact;
 
 /** Null-safe wake of every parked task in a run (runtime/sched.cc). */
 void schedWakeAll(SchedRun* run);
@@ -77,6 +92,14 @@ struct RuntimeOptions
     uint64_t maxInstructions = 4'000'000'000ull;
     /** Stage execution engine (decoded+batched vs raw interpreter). */
     EngineMode engine = EngineMode::kAuto;
+    /**
+     * Stage execution tier. kAuto resolves through `engine`, then the
+     * PHLOEM_NATIVE_TIER env override, then PHLOEM_NATIVE_ENGINE; an
+     * explicit tier here beats all of those. kJit compiles each stage
+     * program before the timed region and falls back per stage to the
+     * engine when emission/compilation/loading fails.
+     */
+    TierMode tier = TierMode::kAuto;
     /**
      * Stall-attribution tracer (trace.h), or null for no tracing. Must
      * outlive the run; the runtime registers one buffer per worker and
@@ -111,6 +134,8 @@ struct RunControl
     RuntimeOptions opt;
     /** Resolved engine choice for this run (opt.engine + env override). */
     bool useEngine = true;
+    /** Resolved execution tier (never kAuto once the run starts). */
+    TierMode tier = TierMode::kEngine;
 
     /** Bumped on successful queue ops and every few k instructions. */
     std::atomic<uint64_t> progress{0};
@@ -267,7 +292,23 @@ class StageWorker
     trace::TraceBuffer* traceBuf = nullptr;
 
     /**
-     * Engine runs only: per-queue counts of values drained into the
+     * Cached decoded shape of prog_ (set by the runtime when the
+     * compilation service pre-decoded it), or null to decode locally.
+     * The engine path copies it and relocates the copy for this
+     * replica, so cache hits skip classification+fusion, not just
+     * flattening. Must outlive the run.
+     */
+    const DecodedProgram* shape = nullptr;
+
+    /**
+     * JIT tier only: this stage's compiled artifact, or null when the
+     * stage fell back to the engine (compile failure). Shared across
+     * replicas; must outlive the run.
+     */
+    const JitArtifact* jit = nullptr;
+
+    /**
+     * Engine/jit runs only: per-queue counts of values drained into the
      * consumer batch buffer but never architecturally dequeued (pairs
      * of absolute queue id, count). The runtime subtracts these from
      * the ring's deq count and adds them to residual occupancy.
@@ -284,6 +325,8 @@ class StageWorker
     void runInterpreter();
     /** Decode + pre-decoded engine (engine on). */
     void runEngine();
+    /** Compiled stage program via the loaded artifact (jit tier). */
+    void runJit();
 
     /** Execute one kOp instruction; false => stop interpreting. */
     bool execOp(const sim::Inst& inst);

@@ -123,6 +123,7 @@ Request::toJson() const
         j.set("source", Json::str(source));
         if (!kernel.empty()) j.set("kernel", Json::str(kernel));
         j.set("backend", Json::str(backend));
+        if (!tier.empty()) j.set("tier", Json::str(tier));
         j.set("stages", Json::integer(stages));
         j.set("size", Json::integer(size));
         j.set("timeout_ms", Json::integer(timeoutMs));
@@ -161,6 +162,15 @@ Request::fromJson(const std::string& text, Request* out, std::string* err)
         if (req.backend != "native" && req.backend != "sim") {
             if (err != nullptr) {
                 *err = "backend must be \"native\" or \"sim\"";
+            }
+            return false;
+        }
+        if (j.has("tier")) req.tier = j.at("tier").asString();
+        if (req.tier == "interpreter") req.tier = "interp";
+        if (!req.tier.empty() && req.tier != "jit" &&
+            req.tier != "engine" && req.tier != "interp") {
+            if (err != nullptr) {
+                *err = "tier must be \"jit\", \"engine\", or \"interp\"";
             }
             return false;
         }

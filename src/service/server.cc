@@ -267,6 +267,19 @@ Server::handleRun(const Request& req)
     spec.opts.numStages = req.stages;
     spec.opts.maxRAs = opts_.cfg.maxRAs;
     spec.opts.maxQueues = opts_.cfg.maxQueues;
+    // Protocol tier -> runtime tier. "" stays kAuto: the daemon's
+    // environment decides, and no artifacts are attached to the cache
+    // entry. An explicit "jit" makes the compile carry the per-stage
+    // .so, so cache hits skip JIT codegen too (the key includes it).
+    rt::TierMode tier = rt::TierMode::kAuto;
+    if (req.tier == "jit") {
+        tier = rt::TierMode::kJit;
+    } else if (req.tier == "engine") {
+        tier = rt::TierMode::kEngine;
+    } else if (req.tier == "interp") {
+        tier = rt::TierMode::kInterp;
+    }
+    spec.tier = tier;
 
     std::string key = cacheKey(opts_.cfg, spec);
     driver::CompiledPipelinePtr cp;
@@ -307,6 +320,7 @@ Server::handleRun(const Request& req)
     run.size = std::min<int64_t>(req.size, opts_.maxRunSize);
     run.cfg = opts_.cfg;
     run.deadlockTimeoutMs = std::min(req.timeoutMs, opts_.maxTimeoutMs);
+    run.tier = tier;
     if (run.backend == driver::Backend::kSim) {
         // The simulated machine must host one SMT thread per stage
         // (times replicas); scale cores up for wide pipelines rather

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "driver/compile_service.h"
+#include "runtime/jit.h"
 #include "service/cache.h"
 #include "service/client.h"
 #include "service/protocol.h"
@@ -69,7 +70,8 @@ specFor(const char* source)
 
 /** Compile + native-run a spec, returning the output-image hash. */
 uint64_t
-runForHash(const driver::CompiledPipeline& cp, int64_t size)
+runForHash(const driver::CompiledPipeline& cp, int64_t size,
+           rt::TierMode tier = rt::TierMode::kAuto)
 {
     sim::Binding binding;
     driver::synthesizeBinding(*cp.kernel.fn, size, binding);
@@ -77,6 +79,7 @@ runForHash(const driver::CompiledPipeline& cp, int64_t size)
     run.backend = driver::Backend::kNative;
     run.size = size;
     run.cfg = sim::SysConfig::scaledEval();
+    run.tier = tier;
     driver::RunOutcome out = driver::runCompiled(cp, run, binding);
     EXPECT_TRUE(out.ok) << out.error;
     return driver::hashBinding(binding);
@@ -200,6 +203,45 @@ TEST(ServiceCache, KeyDependsOnSourceAndOptions)
     EXPECT_NE(svc::cacheKey(cfg, a), svc::cacheKey(cfg, c));
 }
 
+TEST(ServiceCache, JitTierEntriesCarryArtifactsUnderTheirOwnKey)
+{
+    // A kJit compile prebuilds decoded shapes AND native stage
+    // artifacts into the cache entry — a hit skips decode and codegen
+    // entirely. The tier is part of the key, so a jit entry (which
+    // carries dlopen'd .so handles) is never served to a default-tier
+    // request, and vice versa.
+    driver::CompileSpec plain = specFor(kStream);
+    driver::CompileSpec jit = specFor(kStream);
+    jit.tier = rt::TierMode::kJit;
+    sim::SysConfig cfg = sim::SysConfig::scaledEval();
+    EXPECT_NE(svc::cacheKey(cfg, plain), svc::cacheKey(cfg, jit));
+
+    std::string err;
+    auto cp = driver::compileSource(jit, &err);
+    ASSERT_NE(cp, nullptr) << err;
+    ASSERT_TRUE(cp->ok()) << cp->error;
+    EXPECT_EQ(cp->tier, rt::TierMode::kJit);
+    ASSERT_EQ(cp->shapes.size(), cp->programs.size());
+    ASSERT_EQ(cp->jit.size(), cp->programs.size());
+    int compiled = 0;
+    for (const auto& art : cp->jit) {
+        ASSERT_NE(art, nullptr);
+        if (art->ok())
+            ++compiled;
+    }
+    EXPECT_GT(compiled, 0) << "no stage JIT-compiled: "
+                           << cp->jit[0]->error;
+
+    // Differential oracle across tiers: the prebuilt-artifact run must
+    // be bit-identical to a plain engine-tier compile+run.
+    auto ep = driver::compileSource(plain, &err);
+    ASSERT_NE(ep, nullptr) << err;
+    ASSERT_TRUE(ep->ok()) << ep->error;
+    EXPECT_EQ(ep->jit.size(), 0u) << "default tier must not pay codegen";
+    EXPECT_EQ(runForHash(*cp, 512, rt::TierMode::kJit),
+              runForHash(*ep, 512, rt::TierMode::kEngine));
+}
+
 TEST(ServiceCache, SingleFlightCompilesOnceUnderContention)
 {
     driver::CompileSpec spec = specFor(kStream);
@@ -249,6 +291,7 @@ TEST(ServiceProtocol, RequestRoundTripsThroughJson)
     req.size = 1000;
     req.timeoutMs = 1234;
     req.noCache = true;
+    req.tier = "jit";
 
     svc::Request back;
     std::string err;
@@ -260,6 +303,14 @@ TEST(ServiceProtocol, RequestRoundTripsThroughJson)
     EXPECT_EQ(back.size, 1000);
     EXPECT_EQ(back.timeoutMs, 1234);
     EXPECT_TRUE(back.noCache);
+    EXPECT_EQ(back.tier, "jit");
+
+    // "interpreter" is normalized to the canonical "interp" at parse.
+    ASSERT_TRUE(svc::Request::fromJson(
+        R"({"op":"run","source":"x","tier":"interpreter"})", &back,
+        &err))
+        << err;
+    EXPECT_EQ(back.tier, "interp");
 }
 
 TEST(ServiceProtocol, RejectsMalformedRequests)
@@ -275,6 +326,10 @@ TEST(ServiceProtocol, RejectsMalformedRequests)
     // Out-of-range parameters are rejected, not clamped silently.
     EXPECT_FALSE(svc::Request::fromJson(
         R"({"op":"run","source":"x","stages":0})", &req, &err));
+    // An unrecognized tier is a protocol error, not a silent default.
+    EXPECT_FALSE(svc::Request::fromJson(
+        R"({"op":"run","source":"x","tier":"turbo"})", &req, &err));
+    EXPECT_NE(err.find("tier"), std::string::npos) << err;
 }
 
 TEST(ServiceProtocol, FramingRejectsBadMagicAndOversize)
@@ -424,6 +479,52 @@ TEST(ServiceServer, ServesColdThenHitWithIdenticalOutput)
     EXPECT_EQ(st.cacheHits, 1u);
     EXPECT_EQ(st.cacheMisses, 1u);
     EXPECT_GE(st.requestsServed, 4u);
+
+    server.stop();
+}
+
+TEST(ServiceServer, JitTierRequestsHitTheirOwnCacheEntryBitIdentically)
+{
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("jit");
+    opts.workers = 2;
+    opts.cacheCapacity = 8;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, &err)) << err;
+
+    // Default-tier run first: seeds the non-jit cache entry.
+    svc::Request run;
+    run.op = "run";
+    run.source = kStream;
+    run.size = 256;
+    svc::Response plain;
+    ASSERT_TRUE(client.call(run, &plain, &err)) << err;
+    ASSERT_TRUE(plain.ok) << plain.error;
+    EXPECT_EQ(plain.cache, "miss");
+
+    // Same source with tier=jit keys a distinct entry (the jit entry
+    // carries .so artifacts, so it must never alias the default one)...
+    run.tier = "jit";
+    svc::Response cold;
+    ASSERT_TRUE(client.call(run, &cold, &err)) << err;
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(cold.cache, "miss")
+        << "jit tier must not alias the default-tier cache entry";
+    EXPECT_EQ(cold.outputHash, plain.outputHash)
+        << "jit run must be bit-identical to the default tier";
+
+    // ...and the second jit request is a hit: no recompile, no
+    // re-codegen, same image.
+    svc::Response hot;
+    ASSERT_TRUE(client.call(run, &hot, &err)) << err;
+    ASSERT_TRUE(hot.ok) << hot.error;
+    EXPECT_EQ(hot.cache, "hit");
+    EXPECT_EQ(hot.compileNs, 0.0) << "jit hits must not pay codegen";
+    EXPECT_EQ(hot.outputHash, cold.outputHash);
 
     server.stop();
 }

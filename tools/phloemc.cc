@@ -24,6 +24,13 @@
  *                   MODE is native (host threads, default), sim
  *                   (cycle-approximate simulator), or both (run both and
  *                   compare outputs bit-for-bit)
+ *   --tier=T        native stage execution tier: jit (compile each
+ *                   stage's DInst program to a native .so), engine
+ *                   (pre-decoded handler engine), or interp (raw
+ *                   interpreter). Default resolves from
+ *                   PHLOEM_NATIVE_TIER / PHLOEM_NATIVE_ENGINE. All
+ *                   tiers produce bit-identical results; stages the
+ *                   JIT cannot handle fall back to the engine.
  *   --size N        synthetic input size for --run (default 4096)
  *   --profile       with --run=native: per-opcode dynamic instruction
  *                   counts and per-queue batch-size statistics
@@ -71,8 +78,9 @@ usage()
                  "usage: phloemc [--stages N] [--no-ra] [--no-cv] "
                  "[--no-dce] [--no-handlers]\n"
                  "               [--kernel NAME] [--ir-only] [--quiet]\n"
-                 "               [--run[=native|sim|both]] [--size N] "
-                 "[--profile] [--trace=PATH]\n"
+                 "               [--run[=native|sim|both]] "
+                 "[--tier=jit|engine|interp] [--size N]\n"
+                 "               [--profile] [--trace=PATH]\n"
                  "               [--report=PATH] <file.c>\n"
                  "       phloemc --taco '<tensor expression>'\n");
     return 2;
@@ -301,8 +309,8 @@ writeReport(const metrics::Report& report, const std::string& path)
 /** Execute the pipeline per --run; returns the process exit code. */
 int
 runPipeline(const driver::CompiledPipeline& cp, RunMode mode,
-            int64_t size, bool profile, const std::string& trace_path,
-            const std::string& report_path)
+            rt::TierMode tier, int64_t size, bool profile,
+            const std::string& trace_path, const std::string& report_path)
 {
     const ir::Function& fn = *cp.kernel.fn;
     sim::SysConfig cfg;
@@ -320,6 +328,7 @@ runPipeline(const driver::CompiledPipeline& cp, RunMode mode,
         spec.backend = driver::Backend::kNative;
         spec.size = size;
         spec.cfg = cfg;
+        spec.tier = tier;
         if (!trace_path.empty())
             spec.tracer = &tracer;
         driver::RunOutcome outcome =
@@ -350,6 +359,17 @@ runPipeline(const driver::CompiledPipeline& cp, RunMode mode,
                         native.totalEnqBlocks()),
                     static_cast<unsigned long long>(
                         native.totalDeqBlocks()));
+        if (native.tier == "jit") {
+            std::printf("run: jit     %d stage(s) compiled, %d engine "
+                        "fallback(s); emit %.2f ms, cc %.2f ms, "
+                        "dlopen %.2f ms\n",
+                        native.jitStages, native.jitFallbacks,
+                        native.jitEmitNs / 1e6, native.jitCompileNs / 1e6,
+                        native.jitLoadNs / 1e6);
+            if (!native.jitError.empty())
+                std::printf("run: jit     first fallback: %s\n",
+                            native.jitError.c_str());
+        }
         if (profile)
             printProfile(native);
     }
@@ -399,10 +419,27 @@ runPipeline(const driver::CompiledPipeline& cp, RunMode mode,
             }
         }
         std::printf("run: native and sim outputs match bit-for-bit\n");
-        if (!printBothComparison(
-                *report.findRun(fn.name, {{"backend", "native"}}),
-                *report.findRun(fn.name, {{"backend", "sim"}})))
+        // Match on the backend label alone: the collected native run
+        // may carry extra labels (e.g. the resolved execution tier),
+        // so an exact-label findRun would miss it.
+        auto byBackend = [&](const char* b) -> const metrics::Run* {
+            for (const auto& r : report.runs) {
+                auto it = r.labels.find("backend");
+                if (r.name == fn.name && it != r.labels.end() &&
+                    it->second == b)
+                    return &r;
+            }
+            return nullptr;
+        };
+        const metrics::Run* nr = byBackend("native");
+        const metrics::Run* sr = byBackend("sim");
+        if (nr == nullptr || sr == nullptr) {
+            std::fprintf(stderr, "run: internal: metrics run missing "
+                                 "for the backend comparison\n");
             rc = 1;
+        } else if (!printBothComparison(*nr, *sr)) {
+            rc = 1;
+        }
     }
     writeReport(report, report_path);
     return rc;
@@ -420,6 +457,7 @@ main(int argc, char** argv)
     bool ir_only = false;
     bool quiet = false;
     RunMode run_mode = RunMode::kNone;
+    rt::TierMode tier = rt::TierMode::kAuto;
     int64_t run_size = 4096;
     bool profile = false;
     std::string trace_path;
@@ -494,6 +532,21 @@ main(int argc, char** argv)
                 return usage();
             }
             report_path = v;
+        } else if (arg.rfind("--tier=", 0) == 0) {
+            std::string v = arg.substr(std::string("--tier=").size());
+            if (v == "jit") {
+                tier = rt::TierMode::kJit;
+            } else if (v == "engine") {
+                tier = rt::TierMode::kEngine;
+            } else if (v == "interp" || v == "interpreter") {
+                tier = rt::TierMode::kInterp;
+            } else {
+                std::fprintf(stderr,
+                             "phloemc: --tier needs jit, engine, or "
+                             "interp, got '%s'\n",
+                             v.c_str());
+                return usage();
+            }
         } else if (arg == "--run" || arg == "--run=native") {
             run_mode = RunMode::kNative;
         } else if (arg == "--run=sim") {
@@ -553,6 +606,7 @@ main(int argc, char** argv)
         spec.source = source;
         spec.kernelName = kernel_name;
         spec.opts = opts;
+        spec.tier = tier;
         std::string compile_err;
         driver::CompiledPipelinePtr cp =
             driver::compileSource(spec, &compile_err);
@@ -594,7 +648,7 @@ main(int argc, char** argv)
         if (!result.problems.empty())
             return 1;
         if (run_mode != RunMode::kNone)
-            return runPipeline(*cp, run_mode, run_size, profile,
+            return runPipeline(*cp, run_mode, tier, run_size, profile,
                                trace_path, report_path);
         return 0;
     } catch (const std::exception& e) {
