@@ -51,6 +51,19 @@ if ! wait "$DAEMON_PID"; then
     failed+=(phloemd)
 fi
 echo | tee -a "$OUT"
+# Profile-guided autotuning row (closing Fig. 13's loop): search cut
+# sets, replication factors, and queue depths with measured native
+# profiles of spmv. The autotune_* report family (candidate
+# distribution, reject tally, cost-model calibration) is merged into
+# BENCH_report.json with everything else below.
+echo "########## phloemc --autotune=native (spmv) ##########" \
+    | tee -a "$OUT"
+if ! ./build/tools/phloemc --quiet --autotune=native --size 8192 \
+        --report="$REPORTS/autotune.json" examples/spmv.c 2>&1 \
+        | tee -a "$OUT"; then
+    failed+=(autotune)
+fi
+echo | tee -a "$OUT"
 # Keep the previous native results so we can report per-kernel deltas.
 PREV=
 if [[ -f BENCH_native.json ]]; then

@@ -69,9 +69,16 @@ rankCutPoints(const ir::Function& fn)
             def_of[io.op->dst] = io.op;
     }
 
+    auto is_const = [&](ir::RegId r) {
+        auto c = def_of.find(r);
+        return c != def_of.end() &&
+               c->second->opcode == ir::Opcode::kConst;
+    };
+
     // An index is sequential if it is an induction variable (or an
-    // induction variable plus a constant); anything else is treated as a
-    // data-dependent indirection.
+    // induction variable plus/minus a constant); anything else is
+    // treated as a data-dependent indirection. kAdd is commutative, so
+    // `c + i` is just as sequential as `i + c`.
     auto classify_sequential = [&](ir::RegId idx) {
         if (induction.count(idx))
             return true;
@@ -79,13 +86,14 @@ rankCutPoints(const ir::Function& fn)
         if (it == def_of.end())
             return false;
         const ir::Op* d = it->second;
-        if (d->opcode == ir::Opcode::kAdd || d->opcode == ir::Opcode::kSub) {
-            bool lhs_ind = induction.count(d->src[0]) != 0;
-            auto c = def_of.find(d->src[1]);
-            bool rhs_const =
-                c != def_of.end() && c->second->opcode == ir::Opcode::kConst;
-            return lhs_ind && rhs_const;
+        if (d->opcode == ir::Opcode::kAdd) {
+            return (induction.count(d->src[0]) != 0 &&
+                    is_const(d->src[1])) ||
+                   (induction.count(d->src[1]) != 0 &&
+                    is_const(d->src[0]));
         }
+        if (d->opcode == ir::Opcode::kSub)
+            return induction.count(d->src[0]) != 0 && is_const(d->src[1]);
         return false;
     };
 
@@ -106,15 +114,18 @@ rankCutPoints(const ir::Function& fn)
             if (it == def_of.end())
                 continue;
             const ir::Op* d = it->second;
-            if ((d->opcode == ir::Opcode::kAdd ||
-                 d->opcode == ir::Opcode::kSub) &&
-                d->src[0] == first->src[0]) {
-                auto c = def_of.find(d->src[1]);
-                if (c != def_of.end() &&
-                    c->second->opcode == ir::Opcode::kConst) {
-                    follower[second->id] = first->id;
-                }
+            bool offset_of_first = false;
+            if (d->opcode == ir::Opcode::kAdd) {
+                // Commutative: arr[i + c] and arr[c + i] both group.
+                offset_of_first =
+                    (d->src[0] == first->src[0] && is_const(d->src[1])) ||
+                    (d->src[1] == first->src[0] && is_const(d->src[0]));
+            } else if (d->opcode == ir::Opcode::kSub) {
+                offset_of_first =
+                    d->src[0] == first->src[0] && is_const(d->src[1]);
             }
+            if (offset_of_first)
+                follower[second->id] = first->id;
         }
     }
 

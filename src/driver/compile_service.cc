@@ -144,11 +144,11 @@ synthesizeBinding(const ir::Function& fn, int64_t size,
     }
 }
 
-RunOutcome
+ExecOutcome
 runCompiled(const CompiledPipeline& cp, const RunSpec& spec,
             sim::Binding& binding)
 {
-    RunOutcome out;
+    ExecOutcome out;
     const std::string& name = cp.kernel.fn->name;
     auto t0 = Clock::now();
     if (spec.backend == Backend::kNative) {

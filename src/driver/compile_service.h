@@ -132,7 +132,7 @@ struct RunSpec
 };
 
 /** Result of one execution, with the stats of whichever backend ran. */
-struct RunOutcome
+struct ExecOutcome
 {
     bool ok = false;
     std::string error;
@@ -164,7 +164,7 @@ void synthesizeBinding(const ir::Function& fn, int64_t size,
  * the metrics run. Deadlocks and worker failures come back as
  * ok=false with the backend's diagnostic.
  */
-RunOutcome runCompiled(const CompiledPipeline& cp, const RunSpec& spec,
+ExecOutcome runCompiled(const CompiledPipeline& cp, const RunSpec& spec,
                        sim::Binding& binding);
 
 /**

@@ -1,16 +1,75 @@
 #include "driver/experiment.h"
 
+#include <algorithm>
+#include <map>
+
 #include "base/logging.h"
 #include "base/stats_util.h"
+#include "driver/compile_service.h"
 #include "frontend/frontend.h"
+#include "ir/walk.h"
+#include "metrics/collect.h"
 
 namespace phloem::driver {
+
+namespace {
+
+/** One-line form of a backend error for an autotune reject reason. */
+std::string
+briefError(const std::string& err)
+{
+    std::string line = err.substr(0, err.find('\n'));
+    if (line.size() > 120)
+        line = line.substr(0, 117) + "...";
+    return line.empty() ? "run failed" : line;
+}
+
+/**
+ * The stage that consumes queue `queue_id`, following reference-
+ * accelerator chains (the RA's output leg lands in some stage's deq).
+ * Stats report absolute (replica-strided) ids; fold back to the base
+ * replica before scanning. -1 when no stage deqs it.
+ */
+int
+consumerStageOf(const ir::Pipeline& pipeline, int queue_id)
+{
+    int base = queue_id;
+    if (pipeline.replicas > 1 && pipeline.queueStride > 0)
+        base = queue_id % pipeline.queueStride;
+    for (int hop = 0; hop < 4; ++hop) {
+        for (size_t s = 0; s < pipeline.stages.size(); ++s) {
+            bool consumes = false;
+            ir::forEachOp(pipeline.stages[s]->body, [&](const ir::Op& op) {
+                if ((op.opcode == ir::Opcode::kDeq ||
+                     op.opcode == ir::Opcode::kPeek) &&
+                    op.queue == base)
+                    consumes = true;
+            });
+            if (consumes)
+                return static_cast<int>(s);
+        }
+        bool chained = false;
+        for (const auto& ra : pipeline.ras) {
+            if (ra.inQueue == base) {
+                base = ra.outQueue;
+                chained = true;
+                break;
+            }
+        }
+        if (!chained)
+            break;
+    }
+    return -1;
+}
+
+} // namespace
 
 Experiment::Experiment(wl::Workload workload, sim::SysConfig cfg,
                        sim::MachineOptions mopts)
     : workload_(std::move(workload)), cfg_(cfg), mopts_(mopts)
 {
-    serialFn_ = fe::compileKernel(workload_.serialSrc).fn;
+    serialFn_ =
+        fe::compileKernel(workload_.serialSrc, workload_.kernelName).fn;
     if (!workload_.parallelSrc.empty())
         parallelFn_ = fe::compileKernel(workload_.parallelSrc).fn;
 }
@@ -66,10 +125,17 @@ Experiment::runParallel(const wl::Case& c, int nthreads)
 RunOutcome
 Experiment::runPipeline(const wl::Case& c, const ir::Pipeline& pipeline)
 {
+    return runPipeline(c, pipeline, cfg_);
+}
+
+RunOutcome
+Experiment::runPipeline(const wl::Case& c, const ir::Pipeline& pipeline,
+                        const sim::SysConfig& cfg)
+{
     RunOutcome out;
     sim::Binding binding;
     c.bind(binding, /*nthreads=*/1);
-    sim::Machine machine(cfg_, mopts_);
+    sim::Machine machine(cfg, mopts_);
     try {
         out.stats = machine.runPipeline(pipeline, binding);
     } catch (const std::exception& e) {
@@ -88,10 +154,18 @@ NativeOutcome
 Experiment::runNative(const wl::Case& c, const ir::Pipeline& pipeline,
                       const rt::RuntimeOptions& ropts)
 {
+    return runNative(c, pipeline, ropts, cfg_);
+}
+
+NativeOutcome
+Experiment::runNative(const wl::Case& c, const ir::Pipeline& pipeline,
+                      const rt::RuntimeOptions& ropts,
+                      const sim::SysConfig& cfg)
+{
     NativeOutcome out;
     sim::Binding binding;
     c.bind(binding, /*nthreads=*/1);
-    rt::Runtime runtime(cfg_, ropts);
+    rt::Runtime runtime(cfg, ropts);
     try {
         out.stats = runtime.runPipeline(pipeline, binding);
     } catch (const std::exception& e) {
@@ -147,32 +221,178 @@ Experiment::serialCycles(const wl::Case& c)
     return out.stats.cycles;
 }
 
-comp::AutotuneResult
-Experiment::autotunePGO(const comp::AutotuneOptions& opts)
+double
+Experiment::serialNativeMs(const wl::Case& c)
 {
-    // Training evaluator: gmean speedup over serial on training cases;
-    // incorrect or deadlocking pipelines score 0 and are discarded.
+    for (const auto& [name, ms] : serialNativeCache_)
+        if (name == c.inputName)
+            return ms;
+    NativeOutcome out = runNativeSerial(c);
+    phloem_assert(out.correct, "native serial run failed on ",
+                  c.inputName, ": ", out.error);
+    serialNativeCache_.emplace_back(c.inputName, out.wallMs());
+    return out.wallMs();
+}
+
+std::vector<const wl::Case*>
+Experiment::trainingCases() const
+{
     std::vector<const wl::Case*> train;
     for (const auto& c : workload_.cases)
         if (c.training)
             train.push_back(&c);
+    return train;
+}
+
+comp::CandidateEvaluator
+Experiment::makeSimEvaluator(const std::vector<const wl::Case*>& train)
+{
+    // Simulated profiles: gmean cycle speedup over serial, steered by
+    // the simulator's per-thread queue-stall attribution (the sim has
+    // no per-queue block counters, so queue-deepening moves only fire
+    // on the native profiler).
+    return [this, train](const ir::Pipeline& pipeline,
+                         const comp::SearchPoint& point)
+               -> comp::CandidateProfile {
+        comp::CandidateProfile prof;
+        sim::SysConfig cfg = cfg_;
+        if (point.queueDepth > 0)
+            cfg.queueDepth = point.queueDepth;
+
+        std::vector<double> speedups;
+        size_t num_stages = pipeline.stages.size();
+        std::vector<double> stall(num_stages, 0.0);
+        double total_stall = 0;
+        for (const wl::Case* c : train) {
+            uint64_t base = serialCycles(*c);
+            RunOutcome out = runPipeline(*c, pipeline, cfg);
+            if (!out.correct || out.stats.cycles == 0) {
+                prof.rejectReason = briefError(out.error);
+                return prof;
+            }
+            speedups.push_back(static_cast<double>(base) /
+                               static_cast<double>(out.stats.cycles));
+            for (size_t t = 0; t < out.stats.threads.size(); ++t) {
+                double s = out.stats.threads[t].queueStallCycles;
+                stall[t % num_stages] += s;
+                total_stall += s;
+            }
+        }
+        prof.speedup = gmean(speedups);
+        if (total_stall > 0) {
+            size_t hot = static_cast<size_t>(
+                std::max_element(stall.begin(), stall.end()) -
+                stall.begin());
+            prof.hottestStallStage = static_cast<int>(hot);
+            prof.hottestStallShare = stall[hot] / total_stall;
+        }
+        return prof;
+    };
+}
+
+comp::CandidateEvaluator
+Experiment::makeNativeEvaluator(const std::vector<const wl::Case*>& train)
+{
+    // Native profiles: gmean wall-clock speedup over the native serial
+    // baseline. Each run's stats are ingested through the metrics
+    // model (the same report phloemc --report writes), and the
+    // per-queue enq-block counters steer refinement: the queue whose
+    // producer blocks most is the bottleneck edge — deepen it, and
+    // replicate the stage that consumes it.
+    return [this, train](const ir::Pipeline& pipeline,
+                         const comp::SearchPoint& point)
+               -> comp::CandidateProfile {
+        comp::CandidateProfile prof;
+        sim::SysConfig cfg = cfg_;
+        if (point.queueDepth > 0)
+            cfg.queueDepth = point.queueDepth;
+
+        std::vector<double> speedups;
+        std::map<int, uint64_t> enq_blocks;
+        uint64_t total_blocks = 0;
+        for (const wl::Case* c : train) {
+            double base_ms = serialNativeMs(*c);
+            NativeOutcome out =
+                runNative(*c, pipeline, rt::RuntimeOptions{}, cfg);
+            if (!out.correct || out.wallMs() <= 0) {
+                prof.rejectReason = briefError(out.error);
+                return prof;
+            }
+            speedups.push_back(base_ms / out.wallMs());
+
+            metrics::Run mrun =
+                metrics::nativeRunToMetrics(workload_.name, out.stats);
+            auto fam = mrun.families.find("queue");
+            if (fam == mrun.families.end())
+                continue;
+            for (const auto& p : fam->second.points) {
+                auto label = p.labels.find("queue");
+                auto blocks = p.metrics.counters.find("enq_blocks");
+                if (label == p.labels.end() ||
+                    blocks == p.metrics.counters.end())
+                    continue;
+                enq_blocks[std::stoi(label->second)] += blocks->second;
+                total_blocks += blocks->second;
+            }
+        }
+        prof.speedup = gmean(speedups);
+        for (const auto& [q, b] : enq_blocks) {
+            if (b > prof.hottestEnqBlocks) {
+                prof.hottestEnqQueue = q;
+                prof.hottestEnqBlocks = b;
+            }
+        }
+        if (prof.hottestEnqQueue >= 0 && total_blocks > 0) {
+            int consumer = consumerStageOf(pipeline, prof.hottestEnqQueue);
+            if (consumer >= 0) {
+                prof.hottestStallStage = consumer;
+                prof.hottestStallShare =
+                    static_cast<double>(prof.hottestEnqBlocks) /
+                    static_cast<double>(total_blocks);
+            }
+        }
+        return prof;
+    };
+}
+
+comp::AutotuneResult
+Experiment::autotunePGO(const comp::AutotuneOptions& opts,
+                        AutotuneProfiler profiler)
+{
+    std::vector<const wl::Case*> train = trainingCases();
     phloem_assert(!train.empty(), "workload ", workload_.name,
                   " has no training inputs");
 
-    auto evaluate = [&](const ir::Pipeline& pipeline) -> double {
-        std::vector<double> speedups;
-        for (const wl::Case* c : train) {
+    comp::AutotuneOptions aopts = opts;
+    aopts.profilerQueueDepth = cfg_.queueDepth;
+    return comp::autotuneMeasured(*serialFn_, aopts,
+                                  profiler == AutotuneProfiler::kSim
+                                      ? makeSimEvaluator(train)
+                                      : makeNativeEvaluator(train));
+}
+
+double
+Experiment::trainingSpeedup(const ir::Pipeline& pipeline,
+                            AutotuneProfiler profiler)
+{
+    std::vector<double> speedups;
+    for (const wl::Case* c : trainingCases()) {
+        if (profiler == AutotuneProfiler::kSim) {
             uint64_t base = serialCycles(*c);
             RunOutcome out = runPipeline(*c, pipeline);
             if (!out.correct || out.stats.cycles == 0)
                 return 0.0;
             speedups.push_back(static_cast<double>(base) /
                                static_cast<double>(out.stats.cycles));
+        } else {
+            double base_ms = serialNativeMs(*c);
+            NativeOutcome out = runNative(*c, pipeline);
+            if (!out.correct || out.wallMs() <= 0)
+                return 0.0;
+            speedups.push_back(base_ms / out.wallMs());
         }
-        return gmean(speedups);
-    };
-
-    return comp::autotune(*serialFn_, opts, evaluate);
+    }
+    return speedups.empty() ? 0.0 : gmean(speedups);
 }
 
 ir::PipelinePtr
@@ -181,6 +401,59 @@ Experiment::buildManual()
     if (!workload_.manual)
         return nullptr;
     return workload_.manual(*serialFn_);
+}
+
+wl::Workload
+synthesizeWorkload(const std::string& source,
+                   const std::string& kernel_name,
+                   const std::vector<int64_t>& training_sizes)
+{
+    fe::CompiledKernel k = fe::compileKernel(source, kernel_name);
+    std::shared_ptr<ir::Function> fn(std::move(k.fn));
+
+    // Writable arrays are the kernel's outputs: what every candidate
+    // must reproduce bit-for-bit against the serial reference.
+    std::vector<std::string> outputs;
+    for (const auto& a : fn->arrays)
+        if (a.writable)
+            outputs.push_back(a.name);
+
+    wl::Workload w;
+    w.name = fn->name;
+    w.serialSrc = source;
+    w.kernelName = fn->name;
+    for (int64_t size : training_sizes) {
+        auto golden = std::make_shared<sim::Binding>();
+        synthesizeBinding(*fn, size, *golden);
+        sim::Machine machine(sim::SysConfig{},
+                             Experiment::defaultMachineOptions());
+        machine.runSerial(*fn, *golden);
+
+        wl::Case c;
+        c.inputName = "synthetic-" + std::to_string(size);
+        c.domain = "synthetic";
+        c.training = true;
+        c.bind = [fn, size](sim::Binding& b, int) {
+            synthesizeBinding(*fn, size, b);
+        };
+        c.check = [golden, outputs](sim::Binding& b, wl::Variant,
+                                    std::string* err) {
+            for (const auto& name : outputs) {
+                const auto* got = b.array(name);
+                const auto* want = golden->array(name);
+                if (got == nullptr || want == nullptr ||
+                    !got->contentEquals(*want)) {
+                    if (err != nullptr)
+                        *err = "output array '" + name +
+                               "' differs from the serial reference";
+                    return false;
+                }
+            }
+            return true;
+        };
+        w.cases.push_back(std::move(c));
+    }
+    return w;
 }
 
 } // namespace phloem::driver

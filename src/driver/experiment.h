@@ -41,6 +41,12 @@ struct NativeOutcome
     double wallMs() const { return correct ? stats.wallMs() : 0.0; }
 };
 
+/** Which backend the autotuner profiles candidates on. */
+enum class AutotuneProfiler : uint8_t {
+    kSim,     ///< cycle-approximate simulator (deterministic)
+    kNative,  ///< host threads, measured wall clocks + backpressure
+};
+
 /** One workload compiled once; reused across inputs and variants. */
 class Experiment
 {
@@ -69,6 +75,11 @@ class Experiment
     /** Run an arbitrary pipeline. */
     RunOutcome runPipeline(const wl::Case& c, const ir::Pipeline& pipeline);
 
+    /** Same, on an overridden system configuration (e.g., a candidate
+     *  queue depth the autotuner wants to measure). */
+    RunOutcome runPipeline(const wl::Case& c, const ir::Pipeline& pipeline,
+                           const sim::SysConfig& cfg);
+
     /**
      * Run a pipeline natively: one host thread per stage (and per RA),
      * lock-free SPSC rings for the queues. Functionally identical to
@@ -78,6 +89,11 @@ class Experiment
     NativeOutcome runNative(const wl::Case& c, const ir::Pipeline& pipeline,
                             const rt::RuntimeOptions& ropts =
                                 rt::RuntimeOptions{});
+
+    /** Same, on an overridden system configuration. */
+    NativeOutcome runNative(const wl::Case& c, const ir::Pipeline& pipeline,
+                            const rt::RuntimeOptions& ropts,
+                            const sim::SysConfig& cfg);
 
     /** Run the serial baseline natively on one host thread. */
     NativeOutcome runNativeSerial(const wl::Case& c,
@@ -92,14 +108,45 @@ class Experiment
      * Profile-guided flow: train on the workload's training cases
      * (speedup over serial, gmean) and return the winner plus every
      * profiled candidate (Fig. 13's distribution).
+     *
+     * With the kSim profiler, candidates are scored on simulated
+     * cycles and refinement is steered by the simulator's per-thread
+     * queue-stall attribution. With kNative, each candidate runs on
+     * the real runtime (Experiment::runNative); the evaluator ingests
+     * the run's metrics report and steers refinement with the
+     * per-queue backpressure counters — deepening the queue whose
+     * producer blocks most, replicating the stage that consumes it.
      */
-    comp::AutotuneResult autotunePGO(const comp::AutotuneOptions& opts);
+    comp::AutotuneResult autotunePGO(
+        const comp::AutotuneOptions& opts,
+        AutotuneProfiler profiler = AutotuneProfiler::kSim);
+
+    /**
+     * Gmean training speedup of an already-built pipeline on the given
+     * profiler — how the static flow's pipeline is scored for the
+     * autotune-vs-static comparison. Returns 0 when any training run
+     * fails.
+     */
+    double trainingSpeedup(const ir::Pipeline& pipeline,
+                           AutotuneProfiler profiler =
+                               AutotuneProfiler::kSim);
 
     /** Build the manually pipelined baseline (null if none). */
     ir::PipelinePtr buildManual();
 
     /** Serial-baseline cycles for a case (cached). */
     uint64_t serialCycles(const wl::Case& c);
+
+    /** Serial-baseline native wall milliseconds for a case (cached). */
+    double serialNativeMs(const wl::Case& c);
+
+    /** Distinct inputs held by the serial caches (test observability:
+     *  autotuning N candidates must run serial once per input). */
+    size_t serialCacheSize() const { return serialCache_.size(); }
+    size_t serialNativeCacheSize() const
+    {
+        return serialNativeCache_.size();
+    }
 
   private:
     wl::Workload workload_;
@@ -108,7 +155,28 @@ class Experiment
     ir::FunctionPtr serialFn_;
     ir::FunctionPtr parallelFn_;
     std::vector<std::pair<std::string, uint64_t>> serialCache_;
+    std::vector<std::pair<std::string, double>> serialNativeCache_;
+
+    std::vector<const wl::Case*> trainingCases() const;
+    comp::CandidateEvaluator makeSimEvaluator(
+        const std::vector<const wl::Case*>& train);
+    comp::CandidateEvaluator makeNativeEvaluator(
+        const std::vector<const wl::Case*>& train);
 };
+
+/**
+ * Build a synthetic Workload for an arbitrary mini-C kernel so the
+ * autotuner can train on it without a registry entry (the path behind
+ * `phloemc --autotune`). Each training size becomes one training case
+ * with a deterministic synthesized binding (compile_service.h's
+ * synthesizeBinding); outputs validate bit-for-bit against a serial
+ * reference image computed once per size on the simulator — correct for
+ * every backend because the differential tests force serial, sim, and
+ * native to agree exactly.
+ */
+wl::Workload synthesizeWorkload(const std::string& source,
+                                const std::string& kernel_name,
+                                const std::vector<int64_t>& training_sizes);
 
 } // namespace phloem::driver
 

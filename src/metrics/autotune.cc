@@ -1,0 +1,89 @@
+#include "metrics/autotune.h"
+
+#include <sstream>
+
+namespace phloem::metrics {
+
+namespace {
+
+std::string
+cutsLabel(const comp::SearchPoint& p)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < p.cutOps.size(); ++i)
+        oss << (i > 0 ? "+" : "") << p.cutOps[i];
+    return oss.str();
+}
+
+} // namespace
+
+Run
+autotuneToMetrics(const std::string& name,
+                  const comp::AutotuneResult& result,
+                  const std::string& mode)
+{
+    Run run;
+    run.name = name;
+    run.labels["phase"] = "autotune";
+    run.labels["mode"] = mode;
+
+    MetricSet& top = run.top;
+    top.addCounter("candidates", result.entries.size());
+    top.addCounter("rejects", result.rejects.size());
+    top.addCounter("profiled", static_cast<uint64_t>(result.profiled));
+    top.setGauge("best_training_speedup", result.bestTrainingSpeedup);
+    top.setGauge("seed_candidates",
+                 static_cast<double>(result.calibration.seedCandidates));
+    if (result.calibration.predictedTop1MeasuredRank >= 0) {
+        top.setGauge("predicted_top1_measured_rank",
+                     static_cast<double>(
+                         result.calibration.predictedTop1MeasuredRank));
+        top.setGauge("mean_rank_displacement",
+                     result.calibration.meanRankDisplacement);
+    }
+    if (result.best.pipeline != nullptr) {
+        top.setGauge("best_length_with_ras",
+                     static_cast<double>(
+                         result.best.pipeline->lengthWithRAs()));
+        top.setGauge("best_replicas",
+                     static_cast<double>(result.bestPoint.replicas));
+        top.setGauge("best_queue_depth",
+                     static_cast<double>(result.bestPoint.queueDepth));
+    }
+    // Fig. 13's x-axis: the distribution of training speedups over the
+    // accepted candidates (rejects are counted, never observed here).
+    Distribution& d = top.dist("candidate_speedup",
+                               {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0});
+    for (const auto& e : result.entries)
+        d.observe(e.trainingSpeedup);
+
+    Family& cands = run.families["autotune_candidate"];
+    for (size_t i = 0; i < result.entries.size(); ++i) {
+        const comp::AutotuneEntry& e = result.entries[i];
+        MetricSet& ms = cands.at({{"candidate", std::to_string(i)},
+                                  {"cuts", cutsLabel(e.point)},
+                                  {"phase", e.phase}});
+        ms.setGauge("predicted_score", e.predictedScore);
+        ms.setGauge("training_speedup", e.trainingSpeedup);
+        ms.setGauge("length_with_ras",
+                    static_cast<double>(e.lengthWithRAs));
+        ms.setGauge("replicas", static_cast<double>(e.point.replicas));
+        ms.setGauge("queue_depth",
+                    static_cast<double>(e.point.queueDepth));
+        if (e.predictedRank >= 0) {
+            ms.setGauge("predicted_rank",
+                        static_cast<double>(e.predictedRank));
+            ms.setGauge("measured_rank",
+                        static_cast<double>(e.measuredRank));
+        }
+    }
+
+    Family& rejects = run.families["autotune_reject"];
+    for (const auto& r : result.rejects)
+        rejects.at({{"reason", r.reason}, {"phase", r.phase}})
+            .addCounter("count", 1);
+
+    return run;
+}
+
+} // namespace phloem::metrics

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Report form of one autotuner search: the Fig. 13 candidate
+ * distribution plus the model-vs-measurement calibration record, as a
+ * metrics Run every report consumer (phloem-report, the CI gates) can
+ * read with the standard vocabulary.
+ *
+ * Families:
+ *  - "autotune_candidate": one point per accepted candidate, labeled by
+ *    index/cuts/phase, with predicted_score, training_speedup, the
+ *    non-cut knobs (replicas, queue_depth), and both calibration ranks.
+ *  - "autotune_reject": rejected candidates aggregated by reason, so
+ *    failed pipelines are counted without polluting the speedup
+ *    distribution.
+ */
+
+#ifndef PHLOEM_METRICS_AUTOTUNE_H
+#define PHLOEM_METRICS_AUTOTUNE_H
+
+#include <string>
+
+#include "compiler/autotune.h"
+#include "metrics/metrics.h"
+
+namespace phloem::metrics {
+
+/**
+ * Convert one search. `mode` labels the profiler that measured the
+ * candidates ("sim" or "native").
+ */
+Run autotuneToMetrics(const std::string& name,
+                      const comp::AutotuneResult& result,
+                      const std::string& mode);
+
+} // namespace phloem::metrics
+
+#endif // PHLOEM_METRICS_AUTOTUNE_H

@@ -334,7 +334,7 @@ Server::handleRun(const Request& req)
     }
 
     sim::Binding binding;
-    driver::RunOutcome out;
+    driver::ExecOutcome out;
     try {
         driver::synthesizeBinding(*cp->kernel.fn, run.size, binding);
         out = driver::runCompiled(*cp, run, binding);

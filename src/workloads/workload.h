@@ -42,6 +42,10 @@ struct Workload
 {
     std::string name;
     std::string serialSrc;
+    /** Kernel function inside serialSrc; empty = the first function
+     *  (how synthetic workloads target one kernel of a multi-function
+     *  source, e.g. phloemc --autotune --kernel). */
+    std::string kernelName;
     std::string parallelSrc;
     std::vector<Case> cases;
     /**

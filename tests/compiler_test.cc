@@ -54,6 +54,65 @@ TEST(CostModel, GroupsAdjacentAccesses)
     EXPECT_EQ(nodes_candidates, 1);
 }
 
+TEST(CostModel, ConstPlusInductionIsSequential)
+{
+    // Regression: `val[2 + i]` (constant on the left of the +) was
+    // classified as an indirect access because only the `i + 2` operand
+    // order was recognized — a 5x score inflation that promoted a plain
+    // streaming load above the kernel's real indirection. kAdd is
+    // commutative.
+    const char* src = R"(
+void k(const int* restrict col, const float* restrict x,
+       const float* restrict val, float* restrict out, int n) {
+    for (int i = 0; i < n; i++) {
+        float a = val[2 + i];
+        float b = x[col[i]];
+        out[i] = a + b;
+    }
+})";
+    auto kernel = fe::compileKernel(src);
+    auto ranked = comp::rankCutPoints(*kernel.fn);
+    const comp::CutCandidate* val = nullptr;
+    const comp::CutCandidate* ind = nullptr;
+    for (const auto& c : ranked) {
+        if (c.desc.find("of val") != std::string::npos)
+            val = &c;
+        if (c.desc.find("of x") != std::string::npos)
+            ind = &c;
+    }
+    ASSERT_NE(val, nullptr);
+    ASSERT_NE(ind, nullptr);
+    EXPECT_FALSE(val->indirect) << val->desc;
+    EXPECT_TRUE(ind->indirect) << ind->desc;
+    EXPECT_GT(ind->score, val->score)
+        << "the real indirection must outrank the streaming load";
+}
+
+TEST(CostModel, GroupsCommutativeOffsetForms)
+{
+    // row[i] and row[1 + i] are one access group no matter which side
+    // of the + the constant is written on (same adjacency bias as the
+    // row[i], row[i + 1] pair GroupsAdjacentAccesses covers).
+    const char* src = R"(
+void k(const int* restrict row, int* restrict out, int n) {
+    for (int i = 0; i < n; i++) {
+        int a = row[i];
+        int b = row[1 + i];
+        out[i] = a + b;
+    }
+})";
+    auto kernel = fe::compileKernel(src);
+    auto ranked = comp::rankCutPoints(*kernel.fn);
+    int row_candidates = 0;
+    for (const auto& c : ranked) {
+        if (c.desc.find("of row") != std::string::npos) {
+            row_candidates++;
+            EXPECT_EQ(c.groupLoads.size(), 2u);
+        }
+    }
+    EXPECT_EQ(row_candidates, 1);
+}
+
 // ---------------------------------------------------------------------
 // Aliasing discipline (paper Fig. 4).
 // ---------------------------------------------------------------------
@@ -307,6 +366,77 @@ TEST(Autotune, RejectsFailingPipelines)
                                  [](const ir::Pipeline&) { return 0.0; });
     EXPECT_EQ(result.best.pipeline, nullptr);
     EXPECT_DOUBLE_EQ(result.bestTrainingSpeedup, 0.0);
+    // Regression: rejected candidates used to be pushed into `entries`
+    // with speedup 0, polluting the Fig. 13 distribution. They are
+    // tallied separately now, each with a reason.
+    EXPECT_TRUE(result.entries.empty());
+    EXPECT_EQ(result.rejects.size(),
+              static_cast<size_t>(result.profiled));
+    for (const auto& r : result.rejects)
+        EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(Autotune, TruncationKeepsAllCutSetSizes)
+{
+    // Regression: a budget smaller than the enumeration used to
+    // resize() the combo list, silently dropping every cut set of the
+    // larger sizes. The truncation must be round-robin across sizes
+    // (and announced in the notes).
+    auto kernel = fe::compileKernel(wl::kBfsSerial);
+    comp::AutotuneOptions opts;
+    opts.topK = 6;
+    opts.maxCandidates = 6;
+    opts.refineRounds = 0;
+    auto result = comp::autotune(*kernel.fn, opts,
+                                 [](const ir::Pipeline&) { return 1.0; });
+    bool noted = false;
+    for (const auto& n : result.notes)
+        noted = noted || n.find("truncated") != std::string::npos;
+    EXPECT_TRUE(noted);
+    std::set<size_t> sizes;
+    for (const auto& e : result.entries)
+        sizes.insert(e.point.cutOps.size());
+    for (const auto& r : result.rejects)
+        sizes.insert(r.point.cutOps.size());
+    EXPECT_EQ(sizes.count(1), 1u);
+    EXPECT_EQ(sizes.count(2), 1u);
+    EXPECT_EQ(sizes.count(3), 1u);
+}
+
+TEST(Autotune, CalibrationRanksSeedCandidates)
+{
+    // Every accepted seed candidate gets a predicted and a measured
+    // rank; the model's favorite ranks first on a measurement that
+    // agrees with the prediction order.
+    auto kernel = fe::compileKernel(wl::kBfsSerial);
+    comp::AutotuneOptions opts;
+    opts.topK = 4;
+    opts.refineRounds = 0;
+    // Measured speedup proportional to predicted score: a perfectly
+    // calibrated model.
+    auto result = comp::autotuneMeasured(
+        *kernel.fn, opts,
+        [&](const ir::Pipeline&, const comp::SearchPoint& p) {
+            comp::CandidateProfile prof;
+            auto ranked = comp::rankCutPoints(*kernel.fn);
+            for (int cut : p.cutOps) {
+                double best = 0;
+                for (const auto& c : ranked)
+                    if (c.cutOp == cut)
+                        best = std::max(best, c.score);
+                prof.speedup += best;
+            }
+            return prof;
+        });
+    ASSERT_FALSE(result.entries.empty());
+    EXPECT_EQ(result.calibration.seedCandidates,
+              static_cast<int>(result.entries.size()));
+    for (const auto& e : result.entries) {
+        EXPECT_GE(e.predictedRank, 0);
+        EXPECT_GE(e.measuredRank, 0);
+    }
+    EXPECT_EQ(result.calibration.predictedTop1MeasuredRank, 0);
+    EXPECT_DOUBLE_EQ(result.calibration.meanRankDisplacement, 0.0);
 }
 
 // ---------------------------------------------------------------------

@@ -80,7 +80,7 @@ runForHash(const driver::CompiledPipeline& cp, int64_t size,
     run.size = size;
     run.cfg = sim::SysConfig::scaledEval();
     run.tier = tier;
-    driver::RunOutcome out = driver::runCompiled(cp, run, binding);
+    driver::ExecOutcome out = driver::runCompiled(cp, run, binding);
     EXPECT_TRUE(out.ok) << out.error;
     return driver::hashBinding(binding);
 }

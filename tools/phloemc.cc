@@ -44,6 +44,17 @@
  *                   backends' runs in the same report and prints a
  *                   side-by-side comparison; inspect or diff with
  *                   tools/phloem-report.
+ *   --autotune[=MODE]
+ *                   profile-guided search instead of (not on top of) a
+ *                   single static compile: synthesize training inputs,
+ *                   profile candidate pipelines (cut sets, replication,
+ *                   queue depths) on MODE — native (default; measured
+ *                   wall clocks + per-queue backpressure steering) or
+ *                   sim (deterministic cycle counts) — and print the
+ *                   winner, the Fig. 13-style candidate distribution,
+ *                   and the cost-model calibration. --report adds the
+ *                   autotune_* metrics family; --size sets the largest
+ *                   training input.
  */
 
 #include <algorithm>
@@ -57,10 +68,14 @@
 #include <utility>
 #include <vector>
 
+#include <map>
+
 #include "compiler/compiler.h"
 #include "driver/compile_service.h"
+#include "driver/experiment.h"
 #include "ir/op.h"
 #include "ir/printer.h"
+#include "metrics/autotune.h"
 #include "metrics/collect.h"
 #include "metrics/metrics.h"
 #include "runtime/trace.h"
@@ -81,7 +96,8 @@ usage()
                  "               [--run[=native|sim|both]] "
                  "[--tier=jit|engine|interp] [--size N]\n"
                  "               [--profile] [--trace=PATH]\n"
-                 "               [--report=PATH] <file.c>\n"
+                 "               [--report=PATH] "
+                 "[--autotune[=native|sim]] <file.c>\n"
                  "       phloemc --taco '<tensor expression>'\n");
     return 2;
 }
@@ -331,7 +347,7 @@ runPipeline(const driver::CompiledPipeline& cp, RunMode mode,
         spec.tier = tier;
         if (!trace_path.empty())
             spec.tracer = &tracer;
-        driver::RunOutcome outcome =
+        driver::ExecOutcome outcome =
             driver::runCompiled(cp, spec, native_binding);
         // Write the trace even on failure: stall attribution is most
         // useful exactly when the run deadlocked.
@@ -384,7 +400,7 @@ runPipeline(const driver::CompiledPipeline& cp, RunMode mode,
         spec.cfg = cfg;
         if (!trace_path.empty())
             spec.tracer = &tracer;
-        driver::RunOutcome outcome =
+        driver::ExecOutcome outcome =
             driver::runCompiled(cp, spec, sim_binding);
         if (!trace_path.empty())
             writeTrace(tracer, mode == RunMode::kBoth
@@ -445,6 +461,151 @@ runPipeline(const driver::CompiledPipeline& cp, RunMode mode,
     return rc;
 }
 
+/** Render a search point's cut set for the winner/candidate lines. */
+std::string
+cutsToString(const std::vector<int>& cuts)
+{
+    std::string s = "{";
+    for (size_t i = 0; i < cuts.size(); ++i) {
+        if (i > 0)
+            s += ",";
+        s += std::to_string(cuts[i]);
+    }
+    return s + "}";
+}
+
+/**
+ * The --autotune flow: synthesize training inputs for the kernel,
+ * run the profile-guided search on the requested backend, and print
+ * the winner, the Fig. 13-style distribution of candidate speedups by
+ * pipeline length, the reject tally, the cost-model calibration, and
+ * the comparison against the static flow's pipeline (measured on the
+ * same training inputs). Returns the process exit code.
+ */
+int
+runAutotune(const driver::CompiledPipeline& cp, const std::string& source,
+            bool native, int64_t size, const std::string& report_path,
+            bool quiet)
+{
+    const driver::AutotuneProfiler profiler =
+        native ? driver::AutotuneProfiler::kNative
+               : driver::AutotuneProfiler::kSim;
+    const char* mode = native ? "native" : "sim";
+    const std::string kernel = cp.kernel.fn->name;
+
+    // Train on a half-size input plus the requested size so the winner
+    // is not overfit to one trip count.
+    std::vector<int64_t> sizes;
+    if (size / 2 >= 64)
+        sizes.push_back(size / 2);
+    sizes.push_back(size);
+    wl::Workload w = driver::synthesizeWorkload(source, kernel, sizes);
+    w.maxThreads = cp.effectiveOpts.numStages;
+    driver::Experiment exp(std::move(w));
+
+    comp::AutotuneOptions aopts;
+    aopts.base = cp.effectiveOpts;
+    aopts.base.explicitCuts.clear();
+    aopts.base.replicas = 1;
+    aopts.base.distributeBoundaryOp = -1;
+    aopts.base.shrinkToFit = false;
+    aopts.maxThreads = cp.effectiveOpts.numStages;
+    if (native) {
+        // Wall-clock profiles expose real backpressure, so let the
+        // refiner explore queue depths and replication too.
+        aopts.maxQueueDepth = 96;
+        aopts.maxReplicas = 2;
+    }
+
+    std::printf("autotune: profiling candidates on %s (%zu training "
+                "input%s, up to %d stage threads)\n",
+                mode, sizes.size(), sizes.size() == 1 ? "" : "s",
+                aopts.maxThreads);
+    comp::AutotuneResult result = exp.autotunePGO(aopts, profiler);
+
+    if (!quiet)
+        for (const auto& note : result.notes)
+            std::printf("autotune: note: %s\n", note.c_str());
+
+    if (!quiet && !result.rejects.empty()) {
+        std::map<std::string, int> byReason;
+        for (const auto& r : result.rejects)
+            byReason[r.reason]++;
+        for (const auto& [reason, n] : byReason)
+            std::printf("autotune: rejected %d: %s\n", n,
+                        reason.c_str());
+    }
+
+    if (result.entries.empty()) {
+        std::fprintf(stderr,
+                     "autotune: no candidate survived profiling "
+                     "(%zu rejected)\n",
+                     result.rejects.size());
+        return 1;
+    }
+
+    if (!quiet) {
+        // Fig. 13's x-axis: candidates grouped by pipeline length
+        // (stages + RAs), speedup distribution per length.
+        std::map<int, std::vector<double>> byLen;
+        for (const auto& e : result.entries)
+            byLen[e.lengthWithRAs].push_back(e.trainingSpeedup);
+        std::printf("autotune: training speedup by pipeline length "
+                    "(stages + RAs):\n");
+        std::printf("  %-7s %5s %8s %8s %8s\n", "length", "n", "min",
+                    "median", "max");
+        for (auto& [len, v] : byLen) {
+            std::sort(v.begin(), v.end());
+            std::printf("  %-7d %5zu %8.3f %8.3f %8.3f\n", len,
+                        v.size(), v.front(), v[v.size() / 2], v.back());
+        }
+    }
+
+    const comp::AutotuneCalibration& cal = result.calibration;
+    if (cal.predictedTop1MeasuredRank >= 0)
+        std::printf("autotune: cost model: predicted #1 placed %d of %d "
+                    "measured; mean rank displacement %.2f\n",
+                    cal.predictedTop1MeasuredRank + 1, cal.seedCandidates,
+                    cal.meanRankDisplacement);
+
+    std::printf("autotune: winner: cuts %s, replicas %d, queue depth "
+                "%s -> %.3fx training speedup (%d candidates profiled)\n",
+                cutsToString(result.bestPoint.cutOps).c_str(),
+                result.bestPoint.replicas,
+                result.bestPoint.queueDepth > 0
+                    ? std::to_string(result.bestPoint.queueDepth).c_str()
+                    : "default",
+                result.bestTrainingSpeedup, result.profiled);
+
+    double static_speedup = 0.0;
+    if (cp.compiled.ok()) {
+        static_speedup =
+            exp.trainingSpeedup(*cp.compiled.pipeline, profiler);
+        std::printf("autotune: static flow: %.3fx training speedup -> "
+                    "%s\n",
+                    static_speedup,
+                    result.bestTrainingSpeedup >= static_speedup
+                        ? "autotuned pipeline wins"
+                        : "static pipeline wins (measurement noise or "
+                          "model beat the search)");
+    }
+
+    if (!report_path.empty()) {
+        metrics::Report report;
+        report.meta["tool"] = "phloemc";
+        report.meta["kernel"] = kernel;
+        report.meta["input_size"] = std::to_string(size);
+        report.meta["config_fingerprint"] =
+            metrics::configFingerprint(exp.config());
+        metrics::Run run = metrics::autotuneToMetrics(kernel, result, mode);
+        if (static_speedup > 0)
+            run.top.gauges["static_training_speedup"] = static_speedup;
+        report.runs.push_back(std::move(run));
+        writeReport(report, report_path);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -457,6 +618,8 @@ main(int argc, char** argv)
     bool ir_only = false;
     bool quiet = false;
     RunMode run_mode = RunMode::kNone;
+    enum class TuneMode { kNone, kNative, kSim };
+    TuneMode tune_mode = TuneMode::kNone;
     rt::TierMode tier = rt::TierMode::kAuto;
     int64_t run_size = 4096;
     bool profile = false;
@@ -553,6 +716,17 @@ main(int argc, char** argv)
             run_mode = RunMode::kSim;
         } else if (arg == "--run=both") {
             run_mode = RunMode::kBoth;
+        } else if (arg == "--autotune" || arg == "--autotune=native") {
+            tune_mode = TuneMode::kNative;
+        } else if (arg == "--autotune=sim") {
+            tune_mode = TuneMode::kSim;
+        } else if (arg.rfind("--autotune=", 0) == 0) {
+            std::fprintf(stderr,
+                         "phloemc: --autotune needs native or sim, "
+                         "got '%s'\n",
+                         arg.substr(std::string("--autotune=").size())
+                             .c_str());
+            return usage();
         } else if (arg == "--size") {
             const char* v = optionOperand("--size", argc, argv, &i);
             if (v == nullptr || !parseInt64(v, &run_size) ||
@@ -647,6 +821,16 @@ main(int argc, char** argv)
             std::fprintf(stderr, "verify: %s\n", p.c_str());
         if (!result.problems.empty())
             return 1;
+        if (tune_mode != TuneMode::kNone) {
+            if (run_mode != RunMode::kNone) {
+                std::fprintf(stderr, "phloemc: --autotune and --run are "
+                                     "mutually exclusive\n");
+                return usage();
+            }
+            return runAutotune(*cp, source,
+                               tune_mode == TuneMode::kNative, run_size,
+                               report_path, quiet);
+        }
         if (run_mode != RunMode::kNone)
             return runPipeline(*cp, run_mode, tier, run_size, profile,
                                trace_path, report_path);
