@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Naming for spawned threads, so perf/top/Perfetto show readable lanes
+ * ("phl-sched/3", "walk@2") instead of anonymous TIDs.
+ *
+ * Linux caps a thread name at 15 characters + NUL; longer names are
+ * truncated rather than rejected, because worker names come from user
+ * kernel source ("my_long_stage_name@7") and must never fail a run.
+ * On non-Linux hosts this is a no-op.
+ */
+
+#ifndef PHLOEM_BASE_THREAD_NAME_H
+#define PHLOEM_BASE_THREAD_NAME_H
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include <cstring>
+#include <string>
+
+namespace phloem {
+
+/** Longest thread name the kernel stores (excluding the NUL). */
+inline constexpr size_t kMaxThreadNameLen = 15;
+
+inline void
+setCurrentThreadName(const std::string& name)
+{
+#if defined(__linux__)
+    char buf[kMaxThreadNameLen + 1];
+    size_t n = name.size() < kMaxThreadNameLen ? name.size()
+                                               : kMaxThreadNameLen;
+    std::memcpy(buf, name.data(), n);
+    buf[n] = '\0';
+    pthread_setname_np(pthread_self(), buf);
+#else
+    (void)name;
+#endif
+}
+
+} // namespace phloem
+
+#endif // PHLOEM_BASE_THREAD_NAME_H

@@ -157,6 +157,7 @@ runCompiled(const CompiledPipeline& cp, const RunSpec& spec,
         ropts.maxInstructions = spec.maxInstructions;
         ropts.tracer = spec.tracer;
         ropts.tier = spec.tier;
+        ropts.requestId = spec.requestId;
         rt::Runtime runtime{spec.cfg, ropts};
         rt::PreparedPrograms prep;
         prep.programs = &cp.programs;

@@ -129,6 +129,12 @@ struct RunSpec
      * artifacts are reused; otherwise the run compiles them on entry.
      */
     rt::TierMode tier = rt::TierMode::kAuto;
+    /**
+     * Request id threaded from the service (RuntimeOptions.requestId):
+     * tags watchdog errors and trace metadata so service spans and
+     * runtime stalls correlate per request. Empty outside the daemon.
+     */
+    std::string requestId;
 };
 
 /** Result of one execution, with the stats of whichever backend ran. */

@@ -238,6 +238,39 @@ nativeRunToMetrics(const std::string& name, const rt::NativeStats& stats)
         top.addCounter("sched_yields", stats.sched.yields);
     }
 
+    // Hardware-counter family: absent entirely when the PMU is
+    // unavailable (the documented graceful degradation); the getrusage
+    // floor is always present.
+    if (stats.hwValid) {
+        rt::HwCounts total = stats.hwTotal();
+        top.addCounter("hw_cycles", total.cycles);
+        top.addCounter("hw_instructions", total.instructions);
+        top.addCounter("hw_llc_refs", total.llcRefs);
+        top.addCounter("hw_llc_misses", total.llcMisses);
+        top.addCounter("hw_stalled_cycles", total.stalledCycles);
+        top.setGauge("hw_ipc", total.ipc());
+        top.setGauge("hw_llc_miss_rate", total.llcMissRate());
+        Family& hw = run.families["hw"];
+        for (const auto& lane : stats.hwLanes) {
+            if (!lane.counts.valid)
+                continue;
+            MetricSet& ms = hw.at({{"lane", lane.name}});
+            ms.addCounter("cycles", lane.counts.cycles);
+            ms.addCounter("instructions", lane.counts.instructions);
+            ms.addCounter("llc_refs", lane.counts.llcRefs);
+            ms.addCounter("llc_misses", lane.counts.llcMisses);
+            ms.addCounter("stalled_cycles", lane.counts.stalledCycles);
+            ms.setGauge("ipc", lane.counts.ipc());
+            ms.setGauge("llc_miss_rate", lane.counts.llcMissRate());
+        }
+    }
+    top.setGauge("ru_maxrss_kb", stats.rusage.maxRssKb);
+    top.addCounter("ru_ctxsw_voluntary", stats.rusage.voluntaryCtxSw);
+    top.addCounter("ru_ctxsw_involuntary",
+                   stats.rusage.involuntaryCtxSw);
+    top.setGauge("ru_user_ns", stats.rusage.userNs);
+    top.setGauge("ru_system_ns", stats.rusage.systemNs);
+
     uint64_t queue_ops = 0, ra_elements = 0, ra_ctrl = 0, fused = 0;
     for (const auto& w : stats.workers) {
         queue_ops += w.queueOps;
@@ -345,6 +378,18 @@ addTraceSummary(Run& run, const trace::Tracer& tracer)
                 // Occupancy samples are a counter series, not spans;
                 // keep the sample count so lanes stay comparable.
                 ms.addCounter("occupancy_samples", 1);
+                break;
+            case trace::EventKind::kSvcQueueWait:
+            case trace::EventKind::kSvcCacheLookup:
+            case trace::EventKind::kSvcCompile:
+            case trace::EventKind::kSvcRun:
+                // Service lifecycle spans (phloemd request lane).
+                ms.addCounter(std::string(trace::eventKindName(e.kind)) +
+                                  "_spans",
+                              1);
+                ms.addCounter(std::string(trace::eventKindName(e.kind)) +
+                                  "_time",
+                              span);
                 break;
             }
         });

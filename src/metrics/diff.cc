@@ -37,6 +37,14 @@ classifyMetric(const std::string& path, bool isCounter)
 {
     std::string leaf = leafOf(path);
 
+    // Hardware counters and resource usage are host measurements, not
+    // model outputs: IPC, miss rates, rss, and context switches vary
+    // with the machine and its load, so they inform but never gate.
+    // Must precede the "cycles" rule below (hw_cycles, stalled_cycles).
+    if (leaf.rfind("hw_", 0) == 0 || leaf.rfind("ru_", 0) == 0 ||
+        contains(path, "hw[")) {
+        return {Direction::kInfo, 0.0};
+    }
     // Scheduling noise: meaningful to read, meaningless to gate. Block
     // counts, occupancy high-water marks, batch shapes, and trace-lane
     // timings all vary run-to-run on a loaded host.

@@ -1,0 +1,64 @@
+#include "metrics/rolling.h"
+
+#include "base/logging.h"
+
+namespace phloem::metrics {
+
+std::vector<double>
+RollingWindow::defaultEdges()
+{
+    return logSpacedEdges(1e3, 1e10, 4);
+}
+
+RollingWindow::RollingWindow(int window_sec, std::vector<double> edges)
+    : windowSec_(window_sec), edges_(std::move(edges))
+{
+    phloem_assert(windowSec_ > 0, "rolling window must be >= 1 s");
+    ring_.resize(static_cast<size_t>(windowSec_));
+}
+
+void
+RollingWindow::observe(const std::string& kind, double latencyNs,
+                       uint64_t nowNs)
+{
+    uint64_t sec = nowNs / 1'000'000'000ull;
+    std::lock_guard<std::mutex> g(mu_);
+    Bucket& b = ring_[static_cast<size_t>(sec % ring_.size())];
+    if (b.epochSec != sec) {
+        // This slot last held a bucket from >= one lap ago: recycle it.
+        b.epochSec = sec;
+        b.byKind.clear();
+    }
+    auto it = b.byKind.find(kind);
+    if (it == b.byKind.end())
+        it = b.byKind.emplace(kind, Distribution(edges_)).first;
+    it->second.observe(latencyNs);
+}
+
+RollingWindow::Snapshot
+RollingWindow::snapshot(uint64_t nowNs) const
+{
+    uint64_t sec = nowNs / 1'000'000'000ull;
+    uint64_t window = static_cast<uint64_t>(windowSec_);
+    Snapshot out;
+    out.windowSec = windowSec_;
+    out.total = Distribution(edges_);
+    std::lock_guard<std::mutex> g(mu_);
+    for (const Bucket& b : ring_) {
+        // Live iff its second lies in (sec - window, sec]; a bucket an
+        // observe() has not recycled yet fails this and is skipped.
+        if (b.epochSec == ~0ull || b.epochSec > sec ||
+            b.epochSec + window <= sec)
+            continue;
+        for (const auto& [kind, dist] : b.byKind) {
+            auto it = out.byKind.find(kind);
+            if (it == out.byKind.end())
+                it = out.byKind.emplace(kind, Distribution(edges_)).first;
+            it->second.merge(dist);
+            out.total.merge(dist);
+        }
+    }
+    return out;
+}
+
+} // namespace phloem::metrics

@@ -1,0 +1,231 @@
+#include "hwcount.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "base/logging.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <sys/resource.h>
+#endif
+
+namespace phloem::rt {
+
+#if defined(__linux__)
+
+namespace {
+
+struct EventDesc
+{
+    uint32_t type;
+    uint64_t config;
+};
+
+// Slot order matches HwThreadCounters::fds_. Cycles and instructions
+// are the required pair (IPC); the rest are best-effort.
+constexpr EventDesc kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+int
+openEvent(const EventDesc& ev)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = ev.type;
+    attr.config = ev.config;
+    attr.disabled = 0;
+    // User-space only so perf_event_paranoid=2 (distro default) works.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.inherit = 0;
+    // ENABLED/RUNNING let read() undo counter multiplexing.
+    attr.read_format =
+        PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+    // pid=0, cpu=-1: this thread, any CPU.
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+struct ReadValue
+{
+    uint64_t value;
+    uint64_t timeEnabled;
+    uint64_t timeRunning;
+};
+
+// Scaled counter value, or 0 when the fd never got PMU time.
+uint64_t
+readScaled(int fd)
+{
+    if (fd < 0)
+        return 0;
+    ReadValue v{};
+    ssize_t n = ::read(fd, &v, sizeof(v));
+    if (n != static_cast<ssize_t>(sizeof(v)))
+        return 0;
+    if (v.timeRunning == 0)
+        return 0;
+    if (v.timeRunning >= v.timeEnabled)
+        return v.value;
+    double scale = static_cast<double>(v.timeEnabled) /
+                   static_cast<double>(v.timeRunning);
+    return static_cast<uint64_t>(static_cast<double>(v.value) * scale);
+}
+
+std::string gUnavailableReason;
+std::once_flag gProbeOnce;
+std::atomic<bool> gAvailable{false};
+
+void
+probeOnce()
+{
+    const char* env = std::getenv("PHLOEM_HWCOUNT");
+    if (env && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+        gUnavailableReason = "disabled via PHLOEM_HWCOUNT";
+        gAvailable.store(false, std::memory_order_release);
+        return;
+    }
+    int fd = openEvent(kEvents[0]);
+    if (fd >= 0) {
+        ::close(fd);
+        gAvailable.store(true, std::memory_order_release);
+        return;
+    }
+    int err = errno;
+    gUnavailableReason = std::string("perf_event_open failed: ") +
+                         std::strerror(err);
+    if (err == EACCES || err == EPERM)
+        gUnavailableReason +=
+            " (check /proc/sys/kernel/perf_event_paranoid <= 2)";
+    phloem_warn("hardware counters unavailable, hw_* metrics omitted: ",
+                gUnavailableReason);
+    gAvailable.store(false, std::memory_order_release);
+}
+
+} // namespace
+
+bool
+hwCountersAvailable()
+{
+    std::call_once(gProbeOnce, probeOnce);
+    return gAvailable.load(std::memory_order_acquire);
+}
+
+const std::string&
+hwUnavailableReason()
+{
+    std::call_once(gProbeOnce, probeOnce);
+    return gUnavailableReason;
+}
+
+bool
+HwThreadCounters::open()
+{
+    if (!hwCountersAvailable())
+        return false;
+    close();
+    for (int i = 0; i < kNumEvents; ++i)
+        fds_[i] = openEvent(kEvents[i]);
+    // Cycles + instructions are the contract; cache/stall events may be
+    // absent on this PMU (common in VMs) without invalidating the lane.
+    if (fds_[0] < 0 || fds_[1] < 0) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+HwCounts
+HwThreadCounters::read() const
+{
+    HwCounts c;
+    if (!isOpen())
+        return c;
+    c.valid = true;
+    c.cycles = readScaled(fds_[0]);
+    c.instructions = readScaled(fds_[1]);
+    c.llcRefs = readScaled(fds_[2]);
+    c.llcMisses = readScaled(fds_[3]);
+    c.stalledCycles = readScaled(fds_[4]);
+    return c;
+}
+
+void
+HwThreadCounters::close()
+{
+    for (int i = 0; i < kNumEvents; ++i) {
+        if (fds_[i] >= 0)
+            ::close(fds_[i]);
+        fds_[i] = -1;
+    }
+}
+
+#else // !__linux__
+
+bool
+hwCountersAvailable()
+{
+    return false;
+}
+
+const std::string&
+hwUnavailableReason()
+{
+    static const std::string reason = "perf_event_open requires Linux";
+    return reason;
+}
+
+bool
+HwThreadCounters::open()
+{
+    return false;
+}
+
+HwCounts
+HwThreadCounters::read() const
+{
+    return {};
+}
+
+void
+HwThreadCounters::close()
+{
+}
+
+#endif // __linux__
+
+ResourceUsage
+ResourceUsage::processNow()
+{
+    ResourceUsage r;
+    rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return r;
+    r.maxRssKb = static_cast<double>(ru.ru_maxrss);
+    r.voluntaryCtxSw = static_cast<uint64_t>(ru.ru_nvcsw);
+    r.involuntaryCtxSw = static_cast<uint64_t>(ru.ru_nivcsw);
+    auto tvNs = [](const timeval& tv) {
+        return static_cast<double>(tv.tv_sec) * 1e9 +
+               static_cast<double>(tv.tv_usec) * 1e3;
+    };
+    r.userNs = tvNs(ru.ru_utime);
+    r.systemNs = tvNs(ru.ru_stime);
+    return r;
+}
+
+} // namespace phloem::rt

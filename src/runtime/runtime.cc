@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "base/thread_name.h"
 #include "ir/op.h"
+#include "runtime/hwcount.h"
 #include "runtime/jit.h"
 #include "runtime/sched.h"
 #include "sim/program.h"
@@ -403,6 +405,7 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
                                             /*is_stage=*/false);
         occ_buf = tracer->addWorker("queue-occupancy", /*is_stage=*/false);
         sampler = std::thread([&sampler_stop, occ_buf, &queue_ptrs] {
+            setCurrentThreadName("phl-occ-sample");
             // Delta-encoded: a sample is recorded only when the estimate
             // moved, so idle phases cost ring space proportional to
             // activity. sizeApprox is all-atomic, keeping the sampler
@@ -432,6 +435,8 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
     // tasks on a fixed-size shared pool; legacy mode spawns one OS
     // thread each (kept as a differential-testing fallback).
     SchedStats sched_stats;
+    std::vector<HwLane> hw_lanes;
+    ResourceUsage ru0 = ResourceUsage::processNow();
     auto t0 = Clock::now();
     auto t1 = t0;
     std::vector<QueueWaiters> queue_waiters;
@@ -461,6 +466,10 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
                          [&ctl, worker = w.get()] {
                              workerMain(*worker, ctl);
                          });
+        // Pool lanes are snapshot-diffed around the run: the counters
+        // belong to the pool threads, which this run only borrows
+        // (concurrent runs overlap on the same lanes).
+        auto hw_before = sched.hwSnapshot();
         t0 = Clock::now();
         run->start();
         run->waitStages();
@@ -469,6 +478,19 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
         // RAs parked on drained inputs cannot observe stop; wake them.
         run->wakeAllTasks();
         run->waitAll();
+        auto hw_after = sched.hwSnapshot();
+        for (const auto& after : hw_after) {
+            HwLane lane;
+            lane.name = after.name;
+            lane.counts = after.counts;
+            for (const auto& before : hw_before) {
+                if (before.name == after.name) {
+                    lane.counts = after.counts.minus(before.counts);
+                    break;
+                }
+            }
+            hw_lanes.push_back(std::move(lane));
+        }
         sched_stats.shared = true;
         sched_stats.poolSize = sched.poolSize();
         sched_stats.stealing = sched.stealing();
@@ -478,16 +500,33 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
         sched_stats.yields = run->yields();
         ctl.schedRun = nullptr;
     } else {
+        // Dedicated threads: each opens its own counters, reads them at
+        // exit into a pre-sized slot (joined before anyone looks).
+        std::vector<HwCounts> ra_hw(ra_workers.size());
+        std::vector<HwCounts> stage_hw(stage_workers.size());
         std::vector<std::thread> ra_threads;
         ra_threads.reserve(ra_workers.size());
-        for (auto& w : ra_workers)
+        for (size_t k = 0; k < ra_workers.size(); ++k)
             ra_threads.emplace_back(
-                [&ctl, worker = w.get()] { workerMain(*worker, ctl); });
+                [&ctl, worker = ra_workers[k].get(), slot = &ra_hw[k]] {
+                    setCurrentThreadName(worker->stats.name);
+                    HwThreadCounters hw;
+                    hw.open();
+                    workerMain(*worker, ctl);
+                    *slot = hw.read();
+                });
         std::vector<std::thread> stage_threads;
         stage_threads.reserve(stage_workers.size());
-        for (auto& w : stage_workers)
+        for (size_t k = 0; k < stage_workers.size(); ++k)
             stage_threads.emplace_back(
-                [&ctl, worker = w.get()] { workerMain(*worker, ctl); });
+                [&ctl, worker = stage_workers[k].get(),
+                 slot = &stage_hw[k]] {
+                    setCurrentThreadName(worker->stats.name);
+                    HwThreadCounters hw;
+                    hw.open();
+                    workerMain(*worker, ctl);
+                    *slot = hw.read();
+                });
 
         for (auto& t : stage_threads)
             t.join();
@@ -496,6 +535,13 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
         ctl.stop.store(true, std::memory_order_release);
         for (auto& t : ra_threads)
             t.join();
+        for (size_t k = 0; k < stage_workers.size(); ++k)
+            if (stage_hw[k].valid)
+                hw_lanes.push_back(
+                    {stage_workers[k]->stats.name, stage_hw[k]});
+        for (size_t k = 0; k < ra_workers.size(); ++k)
+            if (ra_hw[k].valid)
+                hw_lanes.push_back({ra_workers[k]->stats.name, ra_hw[k]});
     }
     if (sampler.joinable()) {
         sampler_stop.store(true, std::memory_order_release);
@@ -535,6 +581,10 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
         }
     }
     out.sched = sched_stats;
+    out.hwLanes = std::move(hw_lanes);
+    for (const auto& lane : out.hwLanes)
+        out.hwValid = out.hwValid || lane.counts.valid;
+    out.rusage = ResourceUsage::processNow().minus(ru0);
     for (auto& w : stage_workers)
         out.workers.push_back(w->stats);
     for (auto& w : ra_workers)
@@ -586,6 +636,8 @@ Runtime::runPipeline(const ir::Pipeline& pipeline, sim::Binding& binding,
             out.error +=
                 "\ntrace post-mortem (trailing events per worker):\n" +
                 tracer->postMortem();
+        if (!opt_.requestId.empty())
+            out.error = "[req " + opt_.requestId + "] " + out.error;
     }
     return out;
 }
@@ -632,13 +684,23 @@ Runtime::runSerial(const ir::Function& fn, sim::Binding& binding)
         worker.traceBuf = opt_.tracer->addWorker(fn.name,
                                                  /*is_stage=*/true);
 
+    ResourceUsage ru0 = ResourceUsage::processNow();
+    HwThreadCounters hw;
+    hw.open();
+    HwCounts hw_before = hw.read();
     auto t0 = Clock::now();
     workerMain(worker, ctl);
     auto t1 = Clock::now();
+    HwCounts hw_delta = hw.read().minus(hw_before);
 
     NativeStats out;
     out.wallNs = elapsedNs(t0, t1);
     out.numStageThreads = 1;
+    if (hw_delta.valid) {
+        out.hwLanes.push_back({fn.name, hw_delta});
+        out.hwValid = true;
+    }
+    out.rusage = ResourceUsage::processNow().minus(ru0);
     out.engine = ctl.useEngine;
     out.tier = tierName(ctl.tier);
     if (jit_art != nullptr) {

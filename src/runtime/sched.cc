@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "base/thread_name.h"
 #include "runtime/worker.h"
 
 #if defined(__SANITIZE_ADDRESS__)
@@ -349,6 +350,22 @@ Scheduler::counters() const
     return c;
 }
 
+std::vector<Scheduler::HwLaneSnapshot>
+Scheduler::hwSnapshot() const
+{
+    std::vector<HwLaneSnapshot> out;
+    for (const auto& w : workers_) {
+        if (!w->hwReady.load(std::memory_order_acquire))
+            continue;
+        HwLaneSnapshot s;
+        s.name = "pool/" + std::to_string(w->idx);
+        s.counts = w->hw.read();
+        if (s.counts.valid)
+            out.push_back(std::move(s));
+    }
+    return out;
+}
+
 std::unique_ptr<SchedRun>
 Scheduler::createRun(RunControl* ctl)
 {
@@ -556,6 +573,11 @@ void
 Scheduler::workerLoop(Worker& w)
 {
     tlsWorker_ = &w;
+    setCurrentThreadName("phl-sched/" + std::to_string(w.idx));
+    // Counters must attach to the counted thread, so the worker opens
+    // its own; readers gate on hwReady to avoid half-open fd sets.
+    if (w.hw.open())
+        w.hwReady.store(true, std::memory_order_release);
 #if defined(PHLOEM_TSAN)
     w.ctx.tsanFiber = __tsan_get_current_fiber();
 #endif
@@ -681,6 +703,7 @@ Scheduler::unregisterRun(SchedRun* r)
 void
 Scheduler::monitorLoop()
 {
+    setCurrentThreadName("phl-sched-mon");
     std::unique_lock<std::mutex> lk(monMu_);
     while (!shutdown_.load(std::memory_order_acquire)) {
         monCv_.wait_for(lk, std::chrono::milliseconds(10));

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/hwcount.h"
 #include "runtime/park.h"
 
 namespace phloem::rt {
@@ -236,6 +237,20 @@ class Scheduler
     /** Process-lifetime totals (phloemd's "stats" op reports these). */
     Counters counters() const;
 
+    /** One pool worker's cumulative PMU counts (read cross-thread). */
+    struct HwLaneSnapshot
+    {
+        std::string name;
+        HwCounts counts;
+    };
+    /**
+     * Cumulative hardware counters per pool worker, empty when the PMU
+     * is unavailable. Runtime callers snapshot before/after a run and
+     * diff; lanes are pool threads, so concurrent runs on the shared
+     * pool overlap on the same lanes (see HwLane in stats.h).
+     */
+    std::vector<HwLaneSnapshot> hwSnapshot() const;
+
     /** New empty task group bound to one run's RunControl. */
     std::unique_ptr<SchedRun> createRun(RunControl* ctl);
 
@@ -287,6 +302,10 @@ class Scheduler
         std::atomic<int> size{0};
         FiberCtx ctx;
         std::thread thr;
+        /** Opened by the worker thread itself at workerLoop entry. */
+        HwThreadCounters hw;
+        /** Set after hw.open() so hwSnapshot() never reads half-open fds. */
+        std::atomic<bool> hwReady{false};
     };
 
     void workerLoop(Worker& w);

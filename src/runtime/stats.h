@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "hwcount.h"
+
 namespace phloem::rt {
 
 struct QueueStats
@@ -124,6 +126,19 @@ struct SchedStats
     uint64_t yields = 0;
 };
 
+/**
+ * Hardware-counter deltas for one counted OS thread during a run.
+ * In legacy mode a lane is a stage/RA worker thread; in shared-scheduler
+ * mode a lane is a pool worker thread (fibers migrate, so per-task
+ * counting would attribute other tasks' cycles — concurrent runs on the
+ * shared pool therefore overlap on the same lanes).
+ */
+struct HwLane
+{
+    std::string name;
+    HwCounts counts;
+};
+
 struct NativeStats
 {
     /** Wall-clock time of the parallel region (threads spawn -> join). */
@@ -149,6 +164,13 @@ struct NativeStats
 
     std::vector<WorkerStats> workers;
     std::vector<QueueStats> queues;
+
+    /** Per-thread PMU deltas; empty (hwValid false) when unavailable. */
+    std::vector<HwLane> hwLanes;
+    /** True iff the hw lanes carry real counter data. */
+    bool hwValid = false;
+    /** getrusage delta across the run (always populated). */
+    ResourceUsage rusage;
 
     bool ok = true;
     /** Deadlock-watchdog / worker-exception diagnostics when !ok. */
@@ -204,6 +226,16 @@ struct NativeStats
         for (const auto& w : workers)
             n += w.branches;
         return n;
+    }
+
+    /** Pipeline-wide counter totals summed over all hw lanes. */
+    HwCounts
+    hwTotal() const
+    {
+        HwCounts t;
+        for (const auto& lane : hwLanes)
+            t.accumulate(lane.counts);
+        return t;
     }
 
     /** Mean consumer-side batch size, weighted over all queues. */

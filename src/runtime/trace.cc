@@ -17,6 +17,10 @@ eventKindName(EventKind k)
     case EventKind::kRaService: return "ra_service";
     case EventKind::kHalt: return "halt";
     case EventKind::kQueueOcc: return "queue_occ";
+    case EventKind::kSvcQueueWait: return "svc_queue_wait";
+    case EventKind::kSvcCacheLookup: return "svc_cache_lookup";
+    case EventKind::kSvcCompile: return "svc_compile";
+    case EventKind::kSvcRun: return "svc_run";
     }
     return "unknown";
 }
@@ -61,6 +65,18 @@ Tracer::addWorker(const std::string& name, bool is_stage)
     buffers_.push_back(
         std::make_unique<TraceBuffer>(this, name, is_stage, capacity_));
     return buffers_.back().get();
+}
+
+void
+Tracer::setMeta(const std::string& key, const std::string& value)
+{
+    for (auto& kv : meta_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    meta_.emplace_back(key, value);
 }
 
 namespace {
@@ -113,6 +129,12 @@ Tracer::toJson() const
     out.reserve(1 << 16);
     out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"timebase\":";
     out += tb_ == Timebase::kWallNs ? "\"wall_ns\"" : "\"sim_cycles\"";
+    for (const auto& [key, value] : meta_) {
+        out += ',';
+        appendJsonString(out, key);
+        out += ':';
+        appendJsonString(out, value);
+    }
     out += "},\"traceEvents\":[\n";
     out += "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":"
            "{\"name\":";
@@ -143,7 +165,11 @@ Tracer::toJson() const
             case EventKind::kEnqBlock:
             case EventKind::kDeqBlock:
             case EventKind::kBarrierWait:
-            case EventKind::kRaService: {
+            case EventKind::kRaService:
+            case EventKind::kSvcQueueWait:
+            case EventKind::kSvcCacheLookup:
+            case EventKind::kSvcCompile:
+            case EventKind::kSvcRun: {
                 out += ",\"ph\":\"X\",\"ts\":";
                 appendTs(out, e.begin, tb_);
                 out += ",\"dur\":";

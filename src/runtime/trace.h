@@ -51,6 +51,15 @@ enum class EventKind : uint8_t {
     kRaService,   ///< RA streamed a burst of elements    [span, arg=n]
     kHalt,        ///< worker halted                      [instant]
     kQueueOcc,    ///< sampled queue occupancy            [counter, arg=occ]
+
+    // Service-side spans (phloemd request lifecycle). Recorded on a
+    // per-request tracer's "service" lane so a request's queue wait,
+    // cache lookup, compile, and run share one time axis with the
+    // runtime stall spans the run produced.
+    kSvcQueueWait,  ///< connection waited for a service worker  [span]
+    kSvcCacheLookup,///< pipeline-cache probe                    [span]
+    kSvcCompile,    ///< cache-miss compile (single-flight)      [span]
+    kSvcRun,        ///< native execution of the request         [span]
 };
 
 const char* eventKindName(EventKind k);
@@ -155,6 +164,14 @@ class Tracer
      */
     TraceBuffer* addWorker(const std::string& name, bool is_stage);
 
+    /**
+     * Attach a key/value pair serialized into the trace's "otherData"
+     * object (e.g. request_id, cache verdict). Call from the
+     * coordinating thread before/after the run, not concurrently with
+     * toJson().
+     */
+    void setMeta(const std::string& key, const std::string& value);
+
     /** Monotonic timestamp for kWallNs sessions (ns since creation). */
     uint64_t
     now() const
@@ -190,6 +207,8 @@ class Tracer
     size_t capacity_;
     uint64_t epochNs_;
     std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+    /** Insertion-ordered (key, value) pairs for "otherData". */
+    std::vector<std::pair<std::string, std::string>> meta_;
 };
 
 inline uint64_t

@@ -123,6 +123,12 @@ struct RuntimeOptions
      * the run. Null = the shared pool.
      */
     Scheduler* schedulerOverride = nullptr;
+    /**
+     * Caller-assigned request id (phloemd threads the server's id down
+     * here). Prefixes watchdog/worker errors and lands in trace metadata
+     * so a service-side span and the runtime stalls it caused correlate.
+     */
+    std::string requestId;
 };
 
 /**

@@ -128,6 +128,7 @@ Request::toJson() const
         j.set("size", Json::integer(size));
         j.set("timeout_ms", Json::integer(timeoutMs));
         if (noCache) j.set("no_cache", Json::boolean(true));
+        if (trace) j.set("trace", Json::boolean(true));
     }
     return j.dump();
 }
@@ -145,8 +146,8 @@ Request::fromJson(const std::string& text, Request* out, std::string* err)
     }
     Request req;
     req.op = j.at("op").asString();
-    if (req.op != "run" && req.op != "stats" && req.op != "ping" &&
-        req.op != "shutdown") {
+    if (req.op != "run" && req.op != "stats" && req.op != "health" &&
+        req.op != "ping" && req.op != "shutdown") {
         if (err != nullptr) *err = "unknown op \"" + req.op + "\"";
         return false;
     }
@@ -184,6 +185,9 @@ Request::fromJson(const std::string& text, Request* out, std::string* err)
         if (j.at("no_cache").kind() == Json::Kind::kBool) {
             req.noCache = j.at("no_cache").asBool();
         }
+        if (j.at("trace").kind() == Json::Kind::kBool) {
+            req.trace = j.at("trace").asBool();
+        }
         if (req.stages < 1 || req.stages > 64 || req.size < 1 ||
             req.size > (1ll << 32) || req.timeoutMs < 1) {
             if (err != nullptr) *err = "run request parameter out of range";
@@ -201,6 +205,8 @@ Response::toJson() const
     Json j = Json::object();
     j.set("ok", Json::boolean(ok));
     if (!error.empty()) j.set("error", Json::str(error));
+    if (!requestId.empty()) j.set("request_id", Json::str(requestId));
+    if (!tracePath.empty()) j.set("trace_path", Json::str(tracePath));
     if (!cache.empty()) j.set("cache", Json::str(cache));
     if (compileNs > 0) j.set("compile_ns", Json::number(compileNs));
     if (runNs > 0) j.set("run_ns", Json::number(runNs));
@@ -233,6 +239,22 @@ Response::toJson() const
         j.set("sched_yields",
               Json::integer(static_cast<int64_t>(schedYields)));
     }
+    if (!state.empty()) {
+        j.set("state", Json::str(state));
+        j.set("uptime_s", Json::number(uptimeS));
+        j.set("inflight", Json::integer(inflight));
+        j.set("queued_conns", Json::integer(queuedConns));
+        j.set("workers", Json::integer(workersTotal));
+    }
+    // The report snapshot travels as a nested object, not an escaped
+    // string: a generic JSON consumer (the CI smoke, jq) should reach
+    // .report.runs without double-decoding.
+    if (!reportJson.empty()) {
+        Json report;
+        std::string perr;
+        if (Json::parse(reportJson, &report, &perr))
+            j.set("report", std::move(report));
+    }
     return j.dump();
 }
 
@@ -250,6 +272,12 @@ Response::fromJson(const std::string& text, Response* out, std::string* err)
     Response resp;
     resp.ok = j.at("ok").asBool();
     if (j.has("error")) resp.error = j.at("error").asString();
+    if (j.has("request_id")) {
+        resp.requestId = j.at("request_id").asString();
+    }
+    if (j.has("trace_path")) {
+        resp.tracePath = j.at("trace_path").asString();
+    }
     if (j.has("cache")) resp.cache = j.at("cache").asString();
     if (j.at("compile_ns").isNumber()) {
         resp.compileNs = j.at("compile_ns").asDouble();
@@ -286,6 +314,20 @@ Response::fromJson(const std::string& text, Response* out, std::string* err)
     resp.schedUnparks = u64("sched_unparks");
     resp.schedSteals = u64("sched_steals");
     resp.schedYields = u64("sched_yields");
+    if (j.has("state")) {
+        resp.state = j.at("state").asString();
+        if (j.at("uptime_s").isNumber())
+            resp.uptimeS = j.at("uptime_s").asDouble();
+        if (j.at("inflight").isNumber())
+            resp.inflight = j.at("inflight").asInt();
+        if (j.at("queued_conns").isNumber())
+            resp.queuedConns = j.at("queued_conns").asInt();
+        if (j.at("workers").isNumber())
+            resp.workersTotal = static_cast<int>(j.at("workers").asInt());
+    }
+    if (j.at("report").kind() == Json::Kind::kObject) {
+        resp.reportJson = j.at("report").dump();
+    }
     *out = std::move(resp);
     return true;
 }

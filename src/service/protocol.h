@@ -16,7 +16,12 @@
  *
  * Requests (`op` selects the verb):
  *   "run"       compile (or cache-hit) and execute a kernel
- *   "stats"     report cache/server counters
+ *   "stats"     report cache/server counters plus a schema-versioned
+ *               metrics::Report snapshot (rolling-window latency
+ *               distributions per cache verdict, gauges, sched counters)
+ *               embedded as the nested "report" object
+ *   "health"    cheap liveness summary: state, uptime, in-flight and
+ *               queued gauges (no report, no cache walk)
  *   "ping"      liveness probe
  *   "shutdown"  ask the server to drain and exit (same path as SIGTERM)
  *
@@ -59,7 +64,7 @@ ReadResult readFrame(int fd, std::string* payload, std::string* err);
 /** One decoded client request. */
 struct Request
 {
-    std::string op = "run"; ///< "run" | "stats" | "ping" | "shutdown"
+    std::string op = "run"; ///< "run"|"stats"|"health"|"ping"|"shutdown"
 
     // op == "run" fields.
     std::string source;          ///< mini-C kernel text
@@ -75,6 +80,15 @@ struct Request
     int64_t size = 4096;         ///< synthetic input size
     int timeoutMs = 10000;       ///< per-request watchdog bound
     bool noCache = false;        ///< bypass the pipeline cache
+    /**
+     * Ask for a request-scoped trace: the server runs this request
+     * under a per-request Tracer and writes req-<id>.trace.json under
+     * its --trace-dir (ignored, with a response note, when the daemon
+     * has no trace dir). The file carries service spans (queue wait,
+     * cache lookup, compile, run) and the runtime's stall spans on one
+     * time axis, tagged with the server-assigned request id.
+     */
+    bool trace = false;
 
     std::string toJson() const;
     /** False + *err on malformed JSON or a structurally bad request. */
@@ -87,6 +101,11 @@ struct Response
 {
     bool ok = false;
     std::string error;
+
+    /** Server-assigned request id ("r-<hex>", run ops only). */
+    std::string requestId;
+    /** Path of the request-scoped trace file ("" when not traced). */
+    std::string tracePath;
 
     /** "hit" | "miss" | "bypass" ("" for non-run ops). */
     std::string cache;
@@ -116,6 +135,23 @@ struct Response
     uint64_t schedUnparks = 0;
     uint64_t schedSteals = 0;
     uint64_t schedYields = 0;
+
+    /**
+     * op == "stats": the live telemetry snapshot — a serialized
+     * metrics::Report (schema-versioned; rolling-window + cumulative
+     * latency distributions per cache verdict, gauges, counters). On
+     * the wire it is the nested "report" object; here it is kept as
+     * its JSON text so protocol.h does not depend on metrics.h — feed
+     * it to metrics::parseReport.
+     */
+    std::string reportJson;
+
+    // op == "health" fields (also echoed by "stats").
+    std::string state;      ///< "serving" | "draining"
+    double uptimeS = 0.0;
+    int64_t inflight = 0;   ///< run requests currently executing
+    int64_t queuedConns = 0;///< accepted connections awaiting a worker
+    int workersTotal = 0;   ///< service worker-pool size
 
     std::string toJson() const;
     static bool fromJson(const std::string& text, Response* out,

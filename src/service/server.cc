@@ -10,8 +10,11 @@
 #include <unistd.h>
 
 #include "base/logging.h"
+#include "base/thread_name.h"
 #include "ir/pipeline.h"
+#include "metrics/metrics.h"
 #include "runtime/sched.h"
+#include "runtime/trace.h"
 #include "sim/binding.h"
 
 namespace phloem::svc {
@@ -48,7 +51,8 @@ closeFd(int& fd)
 } // namespace
 
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cacheCapacity)
+    : opts_(std::move(opts)), cache_(opts_.cacheCapacity),
+      window_(opts_.statsWindowSec > 0 ? opts_.statsWindowSec : 60)
 {
 }
 
@@ -116,12 +120,19 @@ Server::start(std::string* err)
         return false;
     }
 
+    startNs_ = nowNs();
     int n = opts_.workers > 0 ? opts_.workers : 1;
     workers_.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            setCurrentThreadName("phl-svc/" + std::to_string(i));
+            workerLoop();
+        });
     }
-    acceptor_ = std::thread([this] { acceptLoop(); });
+    acceptor_ = std::thread([this] {
+        setCurrentThreadName("phl-accept");
+        acceptLoop();
+    });
     return true;
 }
 
@@ -156,7 +167,7 @@ Server::acceptLoop()
             break;
         }
         std::lock_guard<std::mutex> lock(connMu_);
-        pendingConns_.push_back(conn);
+        pendingConns_.emplace_back(conn, nowNs());
         connCv_.notify_one();
     }
     std::lock_guard<std::mutex> lock(connMu_);
@@ -169,6 +180,7 @@ Server::workerLoop()
 {
     for (;;) {
         int fd = -1;
+        double queuedAt = 0.0;
         {
             std::unique_lock<std::mutex> lock(connMu_);
             connCv_.wait(lock, [this] {
@@ -178,17 +190,23 @@ Server::workerLoop()
                 if (acceptorDone_) return;
                 continue;
             }
-            fd = pendingConns_.front();
+            fd = pendingConns_.front().first;
+            queuedAt = pendingConns_.front().second;
             pendingConns_.pop_front();
         }
-        serveConnection(fd);
+        serveConnection(fd, queuedAt);
         ::close(fd);
     }
 }
 
 void
-Server::serveConnection(int fd)
+Server::serveConnection(int fd, double queuedAtNs)
 {
+    // The accept-to-worker handoff delay charges the connection's first
+    // request (later requests on the kept-alive connection waited in
+    // the client, not in our queue).
+    double queueWaitNs = nowNs() - queuedAtNs;
+    if (queueWaitNs < 0) queueWaitNs = 0;
     for (;;) {
         // Wait for the next request in short slices so a drain can
         // close idle connections instead of blocking in read() forever.
@@ -210,20 +228,64 @@ Server::serveConnection(int fd)
             resp.ok = false;
             resp.error = "bad request: " + err;
         } else {
-            resp = handleRequest(req);
+            resp = handleRequest(req, queueWaitNs);
+        }
+        if (req.op == "run") {
+            // Fold the request into the live telemetry, keyed by cache
+            // verdict so a cold-path regression stays attributable.
+            std::string verdict = !resp.ok ? "error"
+                                  : resp.cache.empty() ? "run"
+                                                       : resp.cache;
+            if (!resp.ok)
+                stats_.runErrors.fetch_add(1,
+                                           std::memory_order_relaxed);
+            double now = nowNs();
+            window_.observe(verdict, resp.totalNs,
+                            static_cast<uint64_t>(now));
+            std::lock_guard<std::mutex> g(stats_.mu);
+            auto it = stats_.totalByVerdict.find(verdict);
+            if (it == stats_.totalByVerdict.end()) {
+                it = stats_.totalByVerdict
+                         .emplace(verdict,
+                                  metrics::Distribution(
+                                      metrics::RollingWindow::
+                                          defaultEdges()))
+                         .first;
+            }
+            it->second.observe(resp.totalNs);
         }
         requestsServed_.fetch_add(1, std::memory_order_relaxed);
         if (!writeFrame(fd, resp.toJson(), &err)) return;
         if (req.op == "shutdown") return;
+        queueWaitNs = 0.0;
     }
 }
 
+void
+Server::fillHealth(Response* resp)
+{
+    resp->state = draining_.load(std::memory_order_acquire) ? "draining"
+                                                            : "serving";
+    resp->uptimeS = (nowNs() - startNs_) / 1e9;
+    resp->inflight = stats_.inflight.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        resp->queuedConns = static_cast<int64_t>(pendingConns_.size());
+    }
+    resp->workersTotal = static_cast<int>(workers_.size());
+}
+
 Response
-Server::handleRequest(const Request& req)
+Server::handleRequest(const Request& req, double queueWaitNs)
 {
     Response resp;
     if (req.op == "ping") {
         resp.ok = true;
+        return resp;
+    }
+    if (req.op == "health") {
+        resp.ok = true;
+        fillHealth(&resp);
         return resp;
     }
     if (req.op == "stats") {
@@ -245,6 +307,8 @@ Server::handleRequest(const Request& req)
             resp.schedSteals = c.steals;
             resp.schedYields = c.yields;
         }
+        fillHealth(&resp);
+        resp.reportJson = buildStatsReport();
         return resp;
     }
     if (req.op == "shutdown") {
@@ -252,14 +316,149 @@ Server::handleRequest(const Request& req)
         resp.ok = true;
         return resp;
     }
-    return handleRun(req);
+    return handleRun(req, queueWaitNs);
+}
+
+std::string
+Server::buildStatsReport()
+{
+    metrics::Report report;
+    report.meta["service"] = "phloemd";
+    metrics::Run& run = report.run("phloemd", {{"source", "stats"}});
+    metrics::MetricSet& top = run.top;
+
+    auto cs = cache_.stats();
+    top.addCounter("requests_served",
+                   requestsServed_.load(std::memory_order_relaxed));
+    top.addCounter("run_requests",
+                   stats_.runRequests.load(std::memory_order_relaxed));
+    top.addCounter("run_errors",
+                   stats_.runErrors.load(std::memory_order_relaxed));
+    top.addCounter("cache_hits", cs.hits);
+    top.addCounter("cache_misses", cs.misses);
+    top.addCounter("cache_evictions", cs.evictions);
+    top.setGauge("cache_entries", static_cast<double>(cs.entries));
+    uint64_t lookups = cs.hits + cs.misses;
+    top.setGauge("cache_hit_rate",
+                 lookups > 0
+                     ? static_cast<double>(cs.hits) /
+                           static_cast<double>(lookups)
+                     : 0.0);
+    top.setGauge("uptime_s", (nowNs() - startNs_) / 1e9);
+    top.setGauge("inflight", static_cast<double>(stats_.inflight.load(
+                                 std::memory_order_relaxed)));
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        top.setGauge("queued_conns",
+                     static_cast<double>(pendingConns_.size()));
+    }
+    top.setGauge("workers", static_cast<double>(workers_.size()));
+    top.setGauge("window_sec", static_cast<double>(window_.windowSec()));
+    if (rt::Scheduler* sched = rt::Scheduler::sharedIfCreated()) {
+        auto c = sched->counters();
+        top.setGauge("sched_pool_size",
+                     static_cast<double>(sched->poolSize()));
+        top.addCounter("sched_parks", c.parks);
+        top.addCounter("sched_unparks", c.unparks);
+        top.addCounter("sched_steals", c.steals);
+        top.addCounter("sched_yields", c.yields);
+        top.addCounter("sched_tasks_started", c.tasksStarted);
+    }
+
+    // Latency distributions per cache verdict, in two scopes: the live
+    // rolling window ("what is slow now") and the cumulative totals
+    // ("what has this process served") — the latter doubles as the
+    // drain report.
+    metrics::Family& lat = run.families["latency"];
+    auto emit = [&lat](const std::string& verdict,
+                       const std::string& scope,
+                       const metrics::Distribution& d) {
+        metrics::MetricSet& ms =
+            lat.at({{"verdict", verdict}, {"scope", scope}});
+        ms.dists["latency_ns"] = d;
+        ms.addCounter("count", d.total);
+        ms.setGauge("mean_ns", d.mean());
+        ms.setGauge("p50_ns", d.quantile(0.50));
+        ms.setGauge("p95_ns", d.quantile(0.95));
+        ms.setGauge("p99_ns", d.quantile(0.99));
+    };
+    auto snap = window_.snapshot(static_cast<uint64_t>(nowNs()));
+    for (const auto& [verdict, d] : snap.byKind)
+        emit(verdict, "window", d);
+    emit("all", "window", snap.total);
+    {
+        std::lock_guard<std::mutex> g(stats_.mu);
+        metrics::Distribution all_total(
+            metrics::RollingWindow::defaultEdges());
+        for (const auto& [verdict, d] : stats_.totalByVerdict) {
+            emit(verdict, "total", d);
+            all_total.merge(d);
+        }
+        emit("all", "total", all_total);
+    }
+
+    // Window-level headline gauges so quick consumers (phloem-top, the
+    // CI smoke) can skip the family walk.
+    top.setGauge("window_requests",
+                 static_cast<double>(snap.total.total));
+    top.setGauge("window_rps",
+                 static_cast<double>(snap.total.total) /
+                     static_cast<double>(window_.windowSec()));
+    top.setGauge("window_p50_ns", snap.total.quantile(0.50));
+    top.setGauge("window_p95_ns", snap.total.quantile(0.95));
+    top.setGauge("window_p99_ns", snap.total.quantile(0.99));
+    uint64_t whits = 0, wlookups = 0;
+    for (const auto& [verdict, d] : snap.byKind) {
+        if (verdict == "hit") whits += d.total;
+        if (verdict == "hit" || verdict == "miss") wlookups += d.total;
+    }
+    top.setGauge("window_hit_rate",
+                 wlookups > 0 ? static_cast<double>(whits) /
+                                    static_cast<double>(wlookups)
+                              : 0.0);
+    return metrics::toJson(report);
 }
 
 Response
-Server::handleRun(const Request& req)
+Server::handleRun(const Request& req, double queueWaitNs)
 {
     Response resp;
     double t0 = nowNs();
+    resp.requestId =
+        "r-" + std::to_string(nextRequestId_.fetch_add(
+                   1, std::memory_order_relaxed));
+    stats_.runRequests.fetch_add(1, std::memory_order_relaxed);
+    stats_.inflight.fetch_add(1, std::memory_order_relaxed);
+    struct InflightGuard
+    {
+        ServerStats& s;
+        ~InflightGuard()
+        {
+            s.inflight.fetch_sub(1, std::memory_order_relaxed);
+        }
+    } inflight_guard{stats_};
+
+    // Request-scoped tracing: a per-request Tracer whose wall-ns time
+    // axis is shared by the service spans below and the runtime's stall
+    // spans (RuntimeOptions.tracer). Native only — sim traces run on
+    // the simulated-cycle timebase, which cannot share an axis with
+    // service wall time. The epoch starts here, after the connection's
+    // queue wait ended, so that wait is recorded as [0, wait] on its
+    // own lane.
+    std::unique_ptr<trace::Tracer> tracer;
+    trace::TraceBuffer* svc = nullptr;
+    if (req.trace && !opts_.traceDir.empty() && req.backend != "sim") {
+        tracer =
+            std::make_unique<trace::Tracer>(trace::Timebase::kWallNs);
+        tracer->setMeta("request_id", resp.requestId);
+        if (queueWaitNs > 0) {
+            trace::TraceBuffer* qw =
+                tracer->addWorker("svc-queue", /*is_stage=*/false);
+            qw->record(trace::EventKind::kSvcQueueWait, -1, 0,
+                       static_cast<uint64_t>(queueWaitNs));
+        }
+        svc = tracer->addWorker("service", /*is_stage=*/false);
+    }
 
     driver::CompileSpec spec;
     spec.source = req.source;
@@ -285,19 +484,46 @@ Server::handleRun(const Request& req)
     driver::CompiledPipelinePtr cp;
     bool hit = false;
     std::string fe_err;
+    // The compile lambda runs on this worker thread (we are the flight
+    // leader) or not at all (a follower rides the leader's compile), so
+    // recording its span on `svc` keeps the ring single-writer.
+    auto compile_fn = [&] {
+        uint64_t c0 = svc != nullptr ? svc->now() : 0;
+        auto p = driver::compileSource(spec, &fe_err);
+        if (svc != nullptr)
+            svc->record(trace::EventKind::kSvcCompile, -1, c0,
+                        svc->now());
+        return p;
+    };
+    uint64_t l0 = svc != nullptr ? svc->now() : 0;
     if (req.noCache) {
         resp.cache = "bypass";
-        cp = driver::compileSource(spec, &fe_err);
+        cp = compile_fn();
     } else {
-        cp = cache_.getOrCompile(
-            key, [&] { return driver::compileSource(spec, &fe_err); },
-            &hit);
+        cp = cache_.getOrCompile(key, compile_fn, &hit);
         resp.cache = hit ? "hit" : "miss";
     }
+    if (svc != nullptr)
+        svc->record(trace::EventKind::kSvcCacheLookup, -1, l0,
+                    svc->now());
+    // Trace files are written even for failed requests: "why did this
+    // request fail/stall" is exactly when the spans matter.
+    auto finish_trace = [&] {
+        if (tracer == nullptr) return;
+        tracer->setMeta("cache", resp.cache);
+        std::string path =
+            opts_.traceDir + "/req-" + resp.requestId + ".trace.json";
+        std::string terr;
+        if (tracer->writeJson(path, &terr))
+            resp.tracePath = path;
+        else
+            phloem_warn("request trace write failed: ", terr);
+    };
     if (cp == nullptr) {
         resp.ok = false;
         resp.error = "compile failed: " + fe_err;
         resp.totalNs = nowNs() - t0;
+        finish_trace();
         return resp;
     }
     if (!cp->ok()) {
@@ -309,6 +535,7 @@ Server::handleRun(const Request& req)
                                     ? std::string("no pipeline produced")
                                     : cp->compiled.problems.front());
         resp.totalNs = nowNs() - t0;
+        finish_trace();
         return resp;
     }
     if (!hit) resp.compileNs = cp->compileNs;
@@ -321,6 +548,8 @@ Server::handleRun(const Request& req)
     run.cfg = opts_.cfg;
     run.deadlockTimeoutMs = std::min(req.timeoutMs, opts_.maxTimeoutMs);
     run.tier = tier;
+    run.requestId = resp.requestId;
+    run.tracer = tracer.get();
     if (run.backend == driver::Backend::kSim) {
         // The simulated machine must host one SMT thread per stage
         // (times replicas); scale cores up for wide pipelines rather
@@ -335,6 +564,7 @@ Server::handleRun(const Request& req)
 
     sim::Binding binding;
     driver::ExecOutcome out;
+    uint64_t r0 = svc != nullptr ? svc->now() : 0;
     try {
         driver::synthesizeBinding(*cp->kernel.fn, run.size, binding);
         out = driver::runCompiled(*cp, run, binding);
@@ -342,8 +572,11 @@ Server::handleRun(const Request& req)
         resp.ok = false;
         resp.error = std::string("run failed: ") + e.what();
         resp.totalNs = nowNs() - t0;
+        finish_trace();
         return resp;
     }
+    if (svc != nullptr)
+        svc->record(trace::EventKind::kSvcRun, -1, r0, svc->now());
     resp.ok = out.ok;
     if (!out.ok) resp.error = out.error;
     resp.runNs = out.runNs;
@@ -352,6 +585,7 @@ Server::handleRun(const Request& req)
                             ? out.sim.totalInstructions()
                             : out.native.totalInstructions();
     resp.totalNs = nowNs() - t0;
+    finish_trace();
     return resp;
 }
 

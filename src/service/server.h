@@ -30,11 +30,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "metrics/rolling.h"
 #include "service/cache.h"
 #include "service/protocol.h"
 #include "sim/config.h"
@@ -54,6 +56,35 @@ struct ServerOptions
     int64_t maxRunSize = 1 << 22;
     /** Upper bound on a request's timeout_ms (watchdog ceiling). */
     int maxTimeoutMs = 60000;
+    /**
+     * Directory for request-scoped traces (req-<id>.trace.json). Empty
+     * disables per-request tracing: a request's `trace` flag is then
+     * ignored. Must exist; the server does not create it.
+     */
+    std::string traceDir;
+    /** Rolling telemetry window for the stats verb, in seconds. */
+    int statsWindowSec = 60;
+};
+
+/**
+ * Live server telemetry, designed to be read coherently while workers
+ * update it: the scalar counters/gauges are atomics (single-word reads
+ * can't tear), and the latency aggregates — the rolling window and the
+ * cumulative per-verdict distributions — sit behind their own locks
+ * (RollingWindow locks internally; `mu` guards `totalByVerdict`). The
+ * stats verb therefore snapshots without stopping the worker pool.
+ */
+struct ServerStats
+{
+    std::atomic<uint64_t> runRequests{0};
+    std::atomic<uint64_t> runErrors{0};
+    /** Run requests currently executing (gauge). */
+    std::atomic<int64_t> inflight{0};
+
+    std::mutex mu;
+    /** Cumulative request-latency distributions keyed by cache verdict
+     *  ("hit"/"miss"/"bypass"/"error") — the final drain report. */
+    std::map<std::string, metrics::Distribution> totalByVerdict;
 };
 
 class Server
@@ -90,12 +121,22 @@ class Server
         return requestsServed_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * The stats-verb payload: a serialized metrics::Report holding the
+     * rolling-window and cumulative latency distributions per cache
+     * verdict, hit rates, scheduler/JIT counters, and the in-flight /
+     * queued gauges. Safe to call while the server is live (see
+     * ServerStats); also used for the final drain report.
+     */
+    std::string buildStatsReport();
+
   private:
     void acceptLoop();
     void workerLoop();
-    void serveConnection(int fd);
-    Response handleRequest(const Request& req);
-    Response handleRun(const Request& req);
+    void serveConnection(int fd, double queuedAtNs);
+    Response handleRequest(const Request& req, double queueWaitNs);
+    Response handleRun(const Request& req, double queueWaitNs);
+    void fillHealth(Response* resp);
 
     ServerOptions opts_;
     PipelineCache cache_;
@@ -104,13 +145,19 @@ class Server
     std::atomic<bool> draining_{false};
     std::atomic<bool> stopped_{false};
     std::atomic<uint64_t> requestsServed_{0};
+    std::atomic<uint64_t> nextRequestId_{1};
+    double startNs_ = 0.0;
+
+    ServerStats stats_;
+    metrics::RollingWindow window_;
 
     std::thread acceptor_;
     std::vector<std::thread> workers_;
 
     std::mutex connMu_;
     std::condition_variable connCv_;
-    std::deque<int> pendingConns_;
+    /** Accepted connections awaiting a worker: (fd, enqueue time ns). */
+    std::deque<std::pair<int, double>> pendingConns_;
     bool acceptorDone_ = false;
 };
 

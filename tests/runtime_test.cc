@@ -651,6 +651,76 @@ TEST(NativeRuntime, CompiledPipelineMatchesSimulator)
     EXPECT_TRUE(sb.array("out")->contentEquals(*nb.array("out")));
 }
 
+TEST(NativeRuntime, RusageAlwaysPopulatedAndHwLanesConsistent)
+{
+    auto kernel = fe::compileKernel(kFilterKernel);
+    comp::CompileOptions opts;
+    opts.numStages = 4;
+    auto res = comp::compilePipeline(*kernel.fn, opts);
+    ASSERT_TRUE(res.ok());
+
+    sim::Binding nb;
+    setupFilter(nb);
+    rt::Runtime runtime;
+    rt::NativeStats st = runtime.runPipeline(*res.pipeline, nb);
+    ASSERT_TRUE(st.ok) << st.error;
+
+    // The getrusage floor is unconditional: peak RSS regardless of
+    // whether the kernel lets us at the PMU.
+    EXPECT_GT(st.rusage.maxRssKb, 0.0);
+
+    // hw lanes are all-or-nothing consistent with the validity flag;
+    // whether they exist depends on the host (containers commonly deny
+    // perf_event_open), so assert whichever contract applies.
+    if (st.hwValid) {
+        ASSERT_FALSE(st.hwLanes.empty());
+        rt::HwCounts total = st.hwTotal();
+        EXPECT_TRUE(total.valid);
+        EXPECT_GT(total.cycles, 0u);
+        EXPECT_GT(total.instructions, 0u);
+        EXPECT_GT(total.ipc(), 0.0);
+        EXPECT_LE(total.llcMissRate(), 1.0);
+    } else {
+        EXPECT_FALSE(rt::hwCountersAvailable());
+        EXPECT_FALSE(rt::hwUnavailableReason().empty());
+        for (const auto& lane : st.hwLanes)
+            EXPECT_FALSE(lane.counts.valid) << lane.name;
+    }
+}
+
+TEST(NativeRuntime, HwCountsArithmetic)
+{
+    rt::HwCounts a;
+    a.valid = true;
+    a.cycles = 1000;
+    a.instructions = 2000;
+    a.llcRefs = 100;
+    a.llcMisses = 25;
+    rt::HwCounts b;
+    b.valid = true;
+    b.cycles = 400;
+    b.instructions = 500;
+    b.llcRefs = 150; // multiplexing jitter: later read smaller
+
+    rt::HwCounts d = a.minus(b);
+    EXPECT_TRUE(d.valid);
+    EXPECT_EQ(d.cycles, 600u);
+    EXPECT_EQ(d.instructions, 1500u);
+    EXPECT_EQ(d.llcRefs, 0u) << "negative deltas must clamp at zero";
+    EXPECT_DOUBLE_EQ(d.ipc(), 1500.0 / 600.0);
+
+    rt::HwCounts sum;
+    sum.accumulate(d);
+    rt::HwCounts invalid; // valid=false contributions are ignored
+    sum.accumulate(invalid);
+    EXPECT_TRUE(sum.valid);
+    EXPECT_EQ(sum.cycles, 600u);
+
+    rt::HwCounts none;
+    EXPECT_DOUBLE_EQ(none.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(none.llcMissRate(), 0.0);
+}
+
 // ---------------------------------------------------------------------
 // Pre-decoded engine vs raw interpreter.
 // ---------------------------------------------------------------------

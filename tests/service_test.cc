@@ -14,14 +14,18 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "driver/compile_service.h"
+#include "metrics/metrics.h"
 #include "runtime/jit.h"
 #include "service/cache.h"
 #include "service/client.h"
@@ -634,6 +638,246 @@ TEST(ServiceServer, ConcurrentClientsShareTheCache)
     EXPECT_EQ(s.misses, 1u);
     EXPECT_EQ(s.hits,
               static_cast<uint64_t>(kClients * kRequests - 1));
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Observability: health/stats verbs and request-scoped traces
+// ---------------------------------------------------------------------
+
+TEST(ServiceServer, HealthVerbReportsLiveState)
+{
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("health");
+    opts.workers = 3;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, &err)) << err;
+    svc::Request health;
+    health.op = "health";
+    svc::Response resp;
+    ASSERT_TRUE(client.call(health, &resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(resp.state, "serving");
+    EXPECT_EQ(resp.workersTotal, 3);
+    EXPECT_GE(resp.uptimeS, 0.0);
+    EXPECT_GE(resp.inflight, 0);
+    EXPECT_GE(resp.queuedConns, 0);
+
+    server.stop();
+}
+
+TEST(ServiceServer, StatsVerbReturnsParseableWindowedReport)
+{
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("statsrep");
+    opts.workers = 2;
+    opts.statsWindowSec = 30;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, &err)) << err;
+
+    svc::Request run;
+    run.op = "run";
+    run.source = kStream;
+    run.size = 128;
+    svc::Response resp;
+    ASSERT_TRUE(client.call(run, &resp, &err)) << err;
+    ASSERT_TRUE(resp.ok) << resp.error;
+    ASSERT_TRUE(client.call(run, &resp, &err)) << err;
+    ASSERT_TRUE(resp.ok) << resp.error;
+
+    svc::Request stats;
+    stats.op = "stats";
+    svc::Response st;
+    ASSERT_TRUE(client.call(stats, &st, &err)) << err;
+    ASSERT_TRUE(st.ok);
+    // The stats verb carries the health fields too.
+    EXPECT_EQ(st.state, "serving");
+
+    ASSERT_FALSE(st.reportJson.empty());
+    metrics::Report report;
+    ASSERT_TRUE(metrics::parseReport(st.reportJson, &report, &err))
+        << err;
+    const metrics::Run* srun =
+        report.findRun("phloemd", {{"source", "stats"}});
+    ASSERT_NE(srun, nullptr);
+
+    // Counters agree with what we just drove: 2 run requests, one
+    // miss + one hit.
+    EXPECT_EQ(srun->top.counters.at("run_requests"), 2u);
+    EXPECT_EQ(srun->top.counters.at("cache_hits"), 1u);
+    EXPECT_EQ(srun->top.counters.at("cache_misses"), 1u);
+    EXPECT_DOUBLE_EQ(srun->top.gauges.at("window_sec"), 30.0);
+    EXPECT_DOUBLE_EQ(srun->top.gauges.at("window_requests"), 2.0);
+    EXPECT_DOUBLE_EQ(srun->top.gauges.at("window_hit_rate"), 0.5);
+    EXPECT_GT(srun->top.gauges.at("window_p95_ns"), 0.0);
+
+    // The latency family holds both scopes per verdict, and the window
+    // (nothing has aged out) agrees with the cumulative totals.
+    const auto fam = srun->families.find("latency");
+    ASSERT_NE(fam, srun->families.end());
+    for (const char* verdict : {"hit", "miss", "all"}) {
+        for (const char* scope : {"window", "total"}) {
+            const metrics::FamilyPoint* p = fam->second.find(
+                {{"verdict", verdict}, {"scope", scope}});
+            ASSERT_NE(p, nullptr) << verdict << "/" << scope;
+            uint64_t expect =
+                std::string(verdict) == "all" ? 2u : 1u;
+            EXPECT_EQ(p->metrics.counters.at("count"), expect)
+                << verdict << "/" << scope;
+            EXPECT_GT(p->metrics.gauges.at("p50_ns"), 0.0);
+            EXPECT_EQ(p->metrics.dists.at("latency_ns").total, expect);
+        }
+    }
+
+    server.stop();
+}
+
+TEST(ServiceServer, StatsVerbIsCoherentUnderConcurrentLoad)
+{
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("statsload");
+    opts.workers = 4;
+    opts.cacheCapacity = 8;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Drive run requests from two clients while a third hammers the
+    // stats verb: every poll must parse, and the counters it reads must
+    // be monotone — a torn or half-updated snapshot shows up as a
+    // parse failure or a counter going backwards.
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> drivers;
+    for (int c = 0; c < 2; ++c) {
+        drivers.emplace_back([&] {
+            svc::Client client;
+            std::string terr;
+            if (!client.connect(opts.socketPath, &terr)) {
+                failures.fetch_add(1);
+                return;
+            }
+            svc::Request run;
+            run.op = "run";
+            run.source = kStream;
+            run.size = 128;
+            for (int r = 0; r < 6 && !stop.load(); ++r) {
+                svc::Response resp;
+                if (!client.call(run, &resp, &terr) || !resp.ok)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+
+    {
+        svc::Client poller;
+        ASSERT_TRUE(poller.connect(opts.socketPath, &err)) << err;
+        uint64_t last_requests = 0;
+        uint64_t last_lookups = 0;
+        for (int i = 0; i < 20; ++i) {
+            svc::Request stats;
+            stats.op = "stats";
+            svc::Response st;
+            ASSERT_TRUE(poller.call(stats, &st, &err)) << err;
+            ASSERT_TRUE(st.ok);
+            metrics::Report report;
+            ASSERT_TRUE(
+                metrics::parseReport(st.reportJson, &report, &err))
+                << err;
+            const metrics::Run* srun =
+                report.findRun("phloemd", {{"source", "stats"}});
+            ASSERT_NE(srun, nullptr);
+            auto c = [&srun](const char* name) {
+                auto it = srun->top.counters.find(name);
+                return it != srun->top.counters.end() ? it->second : 0;
+            };
+            uint64_t requests = c("run_requests");
+            uint64_t lookups = c("cache_hits") + c("cache_misses");
+            EXPECT_GE(requests, last_requests)
+                << "run_requests went backwards";
+            EXPECT_GE(lookups, last_lookups)
+                << "cache lookups went backwards";
+            EXPECT_GE(srun->top.gauges.at("inflight"), 0.0);
+            last_requests = requests;
+            last_lookups = lookups;
+        }
+    }
+
+    stop.store(true);
+    for (auto& t : drivers) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    server.stop();
+}
+
+TEST(ServiceServer, TracedRequestWritesServiceAndRuntimeSpans)
+{
+    std::string trace_dir = "/tmp/phloem_service_test_traces_" +
+                            std::to_string(::getpid());
+    ::mkdir(trace_dir.c_str(), 0755);
+
+    svc::ServerOptions opts;
+    opts.socketPath = testSocketPath("trace");
+    opts.workers = 1;
+    opts.traceDir = trace_dir;
+    svc::Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    svc::Client client;
+    ASSERT_TRUE(client.connect(opts.socketPath, &err)) << err;
+
+    svc::Request run;
+    run.op = "run";
+    run.source = kStream;
+    run.size = 128;
+    run.trace = true;
+    svc::Response resp;
+    ASSERT_TRUE(client.call(run, &resp, &err)) << err;
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_FALSE(resp.requestId.empty());
+    ASSERT_FALSE(resp.tracePath.empty());
+
+    std::ifstream in(resp.tracePath);
+    ASSERT_TRUE(in.good()) << "trace file missing: " << resp.tracePath;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string trace = buf.str();
+
+    // Service spans and the request id share the file with the
+    // runtime's own events — one time axis per request.
+    EXPECT_NE(trace.find("svc_cache_lookup"), std::string::npos);
+    EXPECT_NE(trace.find("svc_compile"), std::string::npos);
+    EXPECT_NE(trace.find("svc_run"), std::string::npos);
+    EXPECT_NE(trace.find("\"request_id\":\"" + resp.requestId + "\""),
+              std::string::npos)
+        << trace.substr(0, 400);
+    EXPECT_NE(trace.find("traceEvents"), std::string::npos);
+
+    // A cache hit of the same source traces again (no compile span this
+    // time — the lookup short-circuits it) under a fresh request id.
+    svc::Response hot;
+    ASSERT_TRUE(client.call(run, &hot, &err)) << err;
+    ASSERT_TRUE(hot.ok) << hot.error;
+    EXPECT_EQ(hot.cache, "hit");
+    ASSERT_FALSE(hot.tracePath.empty());
+    EXPECT_NE(hot.tracePath, resp.tracePath);
+    EXPECT_NE(hot.requestId, resp.requestId);
+
+    // Without the flag no trace is produced.
+    run.trace = false;
+    svc::Response plain;
+    ASSERT_TRUE(client.call(run, &plain, &err)) << err;
+    ASSERT_TRUE(plain.ok) << plain.error;
+    EXPECT_TRUE(plain.tracePath.empty());
+
     server.stop();
 }
 

@@ -77,6 +77,10 @@ struct Options
     int64_t size = 2048;
     uint64_t seed = 1;
     std::string reportPath;
+    /** Set Request.trace on each client's first request (the cold
+     *  compile): the daemon then writes req-<id>.trace.json under its
+     *  --trace-dir with service + runtime spans for that request. */
+    bool trace = false;
 };
 
 /** One measured request. */
@@ -92,6 +96,8 @@ struct ClientResult
     std::vector<Sample> samples;
     int errors = 0;
     std::string firstError;
+    /** Server-side trace path of this client's traced request. */
+    std::string tracePath;
 };
 
 double
@@ -153,6 +159,7 @@ clientLoop(const Options& opt, const std::vector<KernelSpec>& pool,
         req.tier = opt.tier;
         req.stages = k.stages;
         req.size = opt.size;
+        req.trace = opt.trace && r == 0;
         svc::Response resp;
         double t0 = nowNs();
         bool transport_ok = client.call(req, &resp, &err);
@@ -166,6 +173,8 @@ clientLoop(const Options& opt, const std::vector<KernelSpec>& pool,
             if (!transport_ok) return; // connection is gone
             continue;
         }
+        if (!resp.tracePath.empty() && result->tracePath.empty())
+            result->tracePath = resp.tracePath;
         result->samples.push_back(
             {t1 - t0, resp.cache == "hit", kernel_idx});
     }
@@ -190,7 +199,10 @@ usage()
         "                   (default: the daemon's environment)\n"
         "  --size=N         synthetic input size (default 2048)\n"
         "  --seed=N         base seed for fuzz kernels (default 1)\n"
-        "  --report=PATH    write a phloem-report JSON\n");
+        "  --report=PATH    write a phloem-report JSON\n"
+        "  --trace          request a per-request trace for each "
+        "client's\n"
+        "                   first request (needs phloemd --trace-dir)\n");
 }
 
 bool
@@ -273,6 +285,8 @@ main(int argc, char** argv)
             opt.seed = static_cast<uint64_t>(n);
         } else if (const char* v = val("--report")) {
             opt.reportPath = v;
+        } else if (arg == "--trace") {
+            opt.trace = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -432,6 +446,65 @@ main(int argc, char** argv)
                 run.top.addCounter("sched_steals", resp.schedSteals);
                 run.top.addCounter("sched_yields", resp.schedYields);
             }
+            // Cross-check: the daemon's own rolling-window view of the
+            // burst we just drove, straight from the stats-verb report.
+            // Client latency includes the socket round trip, so the
+            // server's percentiles sit at or below ours; hit rates
+            // should agree (the window still covers the whole burst
+            // when the run is shorter than the window).
+            metrics::Report sreport;
+            std::string perr;
+            const metrics::Run* srun = nullptr;
+            if (!resp.reportJson.empty() &&
+                metrics::parseReport(resp.reportJson, &sreport, &perr)) {
+                for (const auto& r : sreport.runs)
+                    if (r.name == "phloemd") { srun = &r; break; }
+            }
+            if (srun != nullptr) {
+                auto sg = [srun](const char* name) {
+                    auto it = srun->top.gauges.find(name);
+                    return it != srun->top.gauges.end() ? it->second
+                                                        : 0.0;
+                };
+                run.top.setGauge("server_window_requests",
+                                 sg("window_requests"));
+                run.top.setGauge("server_window_p50_ns",
+                                 sg("window_p50_ns"));
+                run.top.setGauge("server_window_p95_ns",
+                                 sg("window_p95_ns"));
+                run.top.setGauge("server_window_hit_rate",
+                                 sg("window_hit_rate"));
+                metrics::Distribution all_d(edges);
+                all_d.merge(hit_d);
+                all_d.merge(cold_d);
+                std::printf(
+                    "loadgen: server window: %.0f requests, p95 "
+                    "%.3f ms, hit rate %.1f%% (client-side p95 "
+                    "%.3f ms, hit rate %.1f%%)\n",
+                    sg("window_requests"),
+                    sg("window_p95_ns") / 1e6,
+                    sg("window_hit_rate") * 100.0,
+                    all_d.quantile(0.95) / 1e6, hit_rate * 100.0);
+            }
+        }
+    }
+
+    if (opt.trace) {
+        int traced = 0;
+        std::string first_trace;
+        for (const auto& res : results) {
+            if (res.tracePath.empty()) continue;
+            ++traced;
+            if (first_trace.empty()) first_trace = res.tracePath;
+        }
+        if (traced > 0) {
+            std::printf("loadgen: %d request traces written (e.g. %s)\n",
+                        traced, first_trace.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "loadgen: --trace requested but the server "
+                         "returned no trace paths (is phloemd running "
+                         "with --trace-dir?)\n");
         }
     }
 

@@ -54,7 +54,12 @@ usage()
         "  --cores=N         simulated cores in the machine config "
         "(default 1)\n"
         "  --max-size=N      clamp per-request input size (default "
-        "4194304)\n");
+        "4194304)\n"
+        "  --trace-dir=DIR   write per-request traces "
+        "(req-<id>.trace.json) for requests that set trace=true; the "
+        "directory must exist (default: tracing disabled)\n"
+        "  --window=SEC      rolling telemetry window for the stats "
+        "verb (default 60)\n");
 }
 
 bool
@@ -110,6 +115,14 @@ main(int argc, char** argv)
                 return 2;
             }
             opts.maxRunSize = n;
+        } else if (const char* v = val("--trace-dir")) {
+            opts.traceDir = v;
+        } else if (const char* v = val("--window")) {
+            if (!parseInt(v, &n) || n < 1 || n > 3600) {
+                std::fprintf(stderr, "phloemd: bad --window\n");
+                return 2;
+            }
+            opts.statsWindowSec = static_cast<int>(n);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
